@@ -1,0 +1,42 @@
+// Honeypot-study example: deploy the 18 vulnerable applications as
+// monitored honeypots, replay the modeled attacker population over four
+// simulated weeks, and analyze the recorded attacks (Section 4 / RQ4-6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mavscan"
+	"mavscan/internal/analysis"
+	"mavscan/internal/report"
+)
+
+func main() {
+	hs, err := mavscan.RunHoneypots(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("central store holds %d monitoring events\n", hs.Store.Len())
+	fmt.Printf("sessionized into %d attacks from %d attacker clusters\n\n",
+		len(hs.Attacks), len(hs.Clusters))
+
+	report.Table5(os.Stdout, hs.Attacks)
+	fmt.Println()
+	report.Table6(os.Stdout, analysis.Table6(hs.Attacks, hs.Start))
+	fmt.Println()
+	report.Figure4(os.Stdout, hs.Clusters)
+
+	// Inspect one recorded compromise end to end: the honeypot monitoring
+	// captured the full HTTP exchange (Packetbeat) and the executed
+	// command (Auditbeat).
+	for _, a := range hs.Attacks {
+		if a.App == "Hadoop" {
+			fmt.Printf("\nfirst Hadoop compromise, %v after exposure:\n", a.Start.Sub(hs.Start))
+			fmt.Printf("  source: %s\n  command: %.120s...\n", a.Src, a.Commands[0])
+			break
+		}
+	}
+}

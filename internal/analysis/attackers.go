@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+
+	"mavscan/internal/mav"
+)
+
+// Attacker clustering (RQ6): the paper groups attacks into attackers by
+// shared payloads and shared source IPs, semi-automatically. We implement
+// the same rule as a union-find over attacks: two attacks belong to the
+// same attacker if they share a payload or a source address.
+
+// AttackerCluster is one inferred attacker.
+type AttackerCluster struct {
+	// ID is a stable ordinal (sorted by attack count descending).
+	ID int
+	// Attacks is the total number of attacks attributed to the cluster.
+	Attacks int
+	// Apps is the set of applications the attacker targeted, in catalog
+	// order.
+	Apps []mav.App
+	// IPs is the attacker's distinct source addresses.
+	IPs []netip.Addr
+}
+
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf.parent[ra] = rb
+	}
+}
+
+// ClusterAttackers links attacks into attacker clusters.
+func ClusterAttackers(attacks []Attack) []AttackerCluster {
+	uf := newUnionFind(len(attacks))
+	byPayload := map[string]int{}
+	byIP := map[netip.Addr]int{}
+	for i, a := range attacks {
+		if j, ok := byPayload[a.Payload]; ok {
+			uf.union(i, j)
+		} else {
+			byPayload[a.Payload] = i
+		}
+		if j, ok := byIP[a.Src]; ok {
+			uf.union(i, j)
+		} else {
+			byIP[a.Src] = i
+		}
+	}
+	type agg struct {
+		attacks int
+		apps    map[mav.App]bool
+		ips     map[netip.Addr]bool
+	}
+	clusters := map[int]*agg{}
+	for i, a := range attacks {
+		root := uf.find(i)
+		c := clusters[root]
+		if c == nil {
+			c = &agg{apps: map[mav.App]bool{}, ips: map[netip.Addr]bool{}}
+			clusters[root] = c
+		}
+		c.attacks++
+		c.apps[a.App] = true
+		c.ips[a.Src] = true
+	}
+	out := make([]AttackerCluster, 0, len(clusters))
+	for _, c := range clusters {
+		cluster := AttackerCluster{Attacks: c.attacks}
+		for _, info := range mav.InScopeApps() {
+			if c.apps[info.App] {
+				cluster.Apps = append(cluster.Apps, info.App)
+			}
+		}
+		for ip := range c.ips {
+			cluster.IPs = append(cluster.IPs, ip)
+		}
+		sort.Slice(cluster.IPs, func(i, j int) bool { return cluster.IPs[i].Less(cluster.IPs[j]) })
+		out = append(out, cluster)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attacks != out[j].Attacks {
+			return out[i].Attacks > out[j].Attacks
+		}
+		return len(out[i].IPs) > len(out[j].IPs)
+	})
+	for i := range out {
+		out[i].ID = i + 1
+	}
+	return out
+}
+
+// TopShare returns the fraction of all attacks carried out by the top-n
+// clusters.
+func TopShare(clusters []AttackerCluster, n int) float64 {
+	total, top := 0, 0
+	for i, c := range clusters {
+		total += c.Attacks
+		if i < n {
+			top += c.Attacks
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// MultiAppAttackers returns the clusters targeting at least two
+// applications — the attackers plotted in Figure 4.
+func MultiAppAttackers(clusters []AttackerCluster) []AttackerCluster {
+	var out []AttackerCluster
+	for _, c := range clusters {
+		if len(c.Apps) >= 2 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package analysis turns the raw monitoring event stream into the paper's
+// measurements: attack sessionization (RQ4), time-to-compromise statistics
+// (RQ5), attacker clustering and geography (RQ6), and the version-age and
+// longevity aggregations behind Figures 1 and 2.
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"mavscan/internal/eslite"
+	"mavscan/internal/geo"
+	"mavscan/internal/mav"
+)
+
+// SessionWindow is the paper's attack grouping rule: commands from the
+// same source IP within 15 minutes count as a single attack.
+const SessionWindow = 15 * time.Minute
+
+// Attack is one sessionized attack on one honeypot.
+type Attack struct {
+	App      mav.App
+	Host     string
+	Src      netip.Addr
+	Start    time.Time
+	End      time.Time
+	Commands []string
+	// Payload identifies the attack content for clustering; the paper
+	// groups by payload semi-automatically, we use the first command.
+	Payload string
+	// Unique is set by Uniquify: true when both the payload and the
+	// source IP were never seen before on this application.
+	Unique bool
+}
+
+// Sessionize groups the store's exec events into attacks using the
+// 15-minute source-IP window.
+func Sessionize(store *eslite.Store) []Attack {
+	events := store.Search(eslite.Query{Type: "exec"})
+	type key struct {
+		src  string
+		host string
+	}
+	open := map[key]*Attack{}
+	var out []*Attack
+	for _, e := range events {
+		k := key{src: e.Field("src"), host: e.Field("host")}
+		cur := open[k]
+		if cur != nil && e.Time.Sub(cur.End) <= SessionWindow {
+			cur.End = e.Time
+			cur.Commands = append(cur.Commands, e.Field("command"))
+			continue
+		}
+		src, _ := netip.ParseAddr(e.Field("src"))
+		atk := &Attack{
+			App:      mav.App(e.Field("app")),
+			Host:     e.Field("host"),
+			Src:      src,
+			Start:    e.Time,
+			End:      e.Time,
+			Commands: []string{e.Field("command")},
+			Payload:  e.Field("command"),
+		}
+		open[k] = atk
+		out = append(out, atk)
+	}
+	attacks := make([]Attack, len(out))
+	for i, a := range out {
+		attacks[i] = *a
+	}
+	sort.Slice(attacks, func(i, j int) bool { return attacks[i].Start.Before(attacks[j].Start) })
+	return attacks
+}
+
+// Uniquify marks the unique attacks: per application, an attack is unique
+// exactly when neither its payload nor its source IP was observed before
+// (repeated attacks from known IPs or with known payloads are excluded, as
+// in Table 6's uniqueness rule). The input must be time-sorted; it is
+// modified in place and returned.
+func Uniquify(attacks []Attack) []Attack {
+	type appState struct {
+		payloads map[string]bool
+		ips      map[netip.Addr]bool
+	}
+	state := map[mav.App]*appState{}
+	for i := range attacks {
+		a := &attacks[i]
+		st := state[a.App]
+		if st == nil {
+			st = &appState{payloads: map[string]bool{}, ips: map[netip.Addr]bool{}}
+			state[a.App] = st
+		}
+		a.Unique = !st.payloads[a.Payload] && !st.ips[a.Src]
+		st.payloads[a.Payload] = true
+		st.ips[a.Src] = true
+	}
+	return attacks
+}
+
+// AppAttackStats is one row of Table 5.
+type AppAttackStats struct {
+	App       mav.App
+	Attacks   int
+	Unique    int
+	UniqueIPs int
+}
+
+// Table5 computes the per-application attack statistics plus the global
+// totals (the total row is not the sum of the rows: actors attack several
+// applications).
+func Table5(attacks []Attack) (rows []AppAttackStats, totalAttacks, totalUnique, totalIPs int) {
+	perApp := map[mav.App]*AppAttackStats{}
+	perAppIPs := map[mav.App]map[netip.Addr]bool{}
+	allIPs := map[netip.Addr]bool{}
+	for _, a := range attacks {
+		st := perApp[a.App]
+		if st == nil {
+			st = &AppAttackStats{App: a.App}
+			perApp[a.App] = st
+			perAppIPs[a.App] = map[netip.Addr]bool{}
+		}
+		st.Attacks++
+		if a.Unique {
+			st.Unique++
+			totalUnique++
+		}
+		perAppIPs[a.App][a.Src] = true
+		allIPs[a.Src] = true
+		totalAttacks++
+	}
+	for _, info := range mav.InScopeApps() {
+		if st, ok := perApp[info.App]; ok {
+			st.UniqueIPs = len(perAppIPs[info.App])
+			rows = append(rows, *st)
+		}
+	}
+	return rows, totalAttacks, totalUnique, len(allIPs)
+}
+
+// TimeStats is one row of Table 6, all values in hours.
+type TimeStats struct {
+	App mav.App
+	// First is the time from exposure to the first attack.
+	First float64
+	// AvgAll is the average gap between consecutive attacks.
+	AvgAll float64
+	// ShortestUnique/LongestUnique/AvgUnique are gap statistics between
+	// consecutive unique attacks (the first unique attack's gap is
+	// measured from exposure).
+	ShortestUnique float64
+	LongestUnique  float64
+	AvgUnique      float64
+}
+
+// Table6 computes the time-to-compromise statistics. start is the moment
+// the honeypots were exposed.
+func Table6(attacks []Attack, start time.Time) []TimeStats {
+	byApp := map[mav.App][]Attack{}
+	for _, a := range attacks {
+		byApp[a.App] = append(byApp[a.App], a)
+	}
+	var out []TimeStats
+	for _, info := range mav.InScopeApps() {
+		as := byApp[info.App]
+		if len(as) == 0 {
+			continue
+		}
+		st := TimeStats{App: info.App}
+		st.First = as[0].Start.Sub(start).Hours()
+		if len(as) > 1 {
+			var sum float64
+			for i := 1; i < len(as); i++ {
+				sum += as[i].Start.Sub(as[i-1].Start).Hours()
+			}
+			st.AvgAll = sum / float64(len(as)-1)
+		} else {
+			st.AvgAll = st.First
+		}
+		var uniqueGaps []float64
+		prev := start
+		for _, a := range as {
+			if !a.Unique {
+				continue
+			}
+			uniqueGaps = append(uniqueGaps, a.Start.Sub(prev).Hours())
+			prev = a.Start
+		}
+		if len(uniqueGaps) > 0 {
+			st.ShortestUnique = uniqueGaps[0]
+			st.LongestUnique = uniqueGaps[0]
+			var sum float64
+			for _, g := range uniqueGaps {
+				if g < st.ShortestUnique {
+					st.ShortestUnique = g
+				}
+				if g > st.LongestUnique {
+					st.LongestUnique = g
+				}
+				sum += g
+			}
+			st.AvgUnique = sum / float64(len(uniqueGaps))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// CountryStats is one row of Table 7.
+type CountryStats struct {
+	Country string
+	Attacks int
+	ASes    int
+}
+
+// Table7 aggregates attacks by source country with the count of involved
+// autonomous systems, sorted by attack count descending.
+func Table7(attacks []Attack, db *geo.DB) []CountryStats {
+	perCountry := map[string]int{}
+	perCountryAS := map[string]map[string]bool{}
+	for _, a := range attacks {
+		rec := db.Lookup(a.Src)
+		perCountry[rec.Country]++
+		if perCountryAS[rec.Country] == nil {
+			perCountryAS[rec.Country] = map[string]bool{}
+		}
+		perCountryAS[rec.Country][rec.ASN] = true
+	}
+	var out []CountryStats
+	for c, n := range perCountry {
+		out = append(out, CountryStats{Country: c, Attacks: n, ASes: len(perCountryAS[c])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attacks != out[j].Attacks {
+			return out[i].Attacks > out[j].Attacks
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// ASStats is one row of Table 8.
+type ASStats struct {
+	ASN       string
+	Provider  string
+	Attacks   int
+	Countries int
+}
+
+// Table8 aggregates attacks by source AS with the count of involved
+// countries, sorted by attack count descending.
+func Table8(attacks []Attack, db *geo.DB) []ASStats {
+	type asAgg struct {
+		provider  string
+		attacks   int
+		countries map[string]bool
+	}
+	perAS := map[string]*asAgg{}
+	for _, a := range attacks {
+		rec := db.Lookup(a.Src)
+		agg := perAS[rec.ASN]
+		if agg == nil {
+			agg = &asAgg{provider: rec.Provider, countries: map[string]bool{}}
+			perAS[rec.ASN] = agg
+		}
+		agg.attacks++
+		agg.countries[rec.Country] = true
+	}
+	var out []ASStats
+	for asn, agg := range perAS {
+		out = append(out, ASStats{ASN: asn, Provider: agg.provider, Attacks: agg.attacks, Countries: len(agg.countries)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attacks != out[j].Attacks {
+			return out[i].Attacks > out[j].Attacks
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Payload-purpose classification (RQ4): the paper manually analyzed a
+// sample of compromised machines and attributed most attacks to
+// cryptojacking, with the Kinsing campaign and one vigilante standing out.
+// This file automates that triage over the recorded commands.
+
+// Purpose is the inferred goal of an attack.
+type Purpose string
+
+// The attack purposes observed in the study.
+const (
+	PurposeCryptojacking Purpose = "cryptojacking"
+	PurposeKinsing       Purpose = "kinsing-campaign"
+	PurposeDropper       Purpose = "stage-one-dropper"
+	PurposeVigilante     Purpose = "vigilante"
+	PurposeDefacement    Purpose = "spam-or-defacement"
+	PurposeUnknown       Purpose = "unknown"
+)
+
+// ClassifyCommand infers the purpose of one executed command from the
+// indicators the paper's manual analysis keyed on.
+func ClassifyCommand(command string) Purpose {
+	low := strings.ToLower(command)
+	switch {
+	case strings.Contains(low, "kinsing") || strings.Contains(low, "kdevtmpfsi"):
+		return PurposeKinsing
+	case strings.Contains(low, "xmrig") || strings.Contains(low, "stratum+tcp") ||
+		strings.Contains(low, "minerd") || strings.Contains(low, "monero") ||
+		strings.Contains(low, "cryptonight"):
+		return PurposeCryptojacking
+	case strings.Contains(low, "shutdown") || strings.Contains(low, "poweroff"):
+		return PurposeVigilante
+	case strings.Contains(low, "eval(base64_decode") || strings.Contains(low, "spam"):
+		return PurposeDefacement
+	case strings.Contains(low, "wget ") || strings.Contains(low, "curl "):
+		return PurposeDropper
+	default:
+		return PurposeUnknown
+	}
+}
+
+// ClassifyAttack infers the purpose of a sessionized attack from its
+// recorded command sequence: the most severe classification across the
+// session wins (a dropper that later starts a miner is cryptojacking).
+func ClassifyAttack(a Attack) Purpose {
+	best := PurposeUnknown
+	rank := map[Purpose]int{
+		PurposeUnknown:       0,
+		PurposeDropper:       1,
+		PurposeDefacement:    2,
+		PurposeVigilante:     3,
+		PurposeCryptojacking: 4,
+		PurposeKinsing:       5,
+	}
+	for _, cmd := range a.Commands {
+		p := ClassifyCommand(cmd)
+		if rank[p] > rank[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// PurposeStats is one row of the purpose breakdown.
+type PurposeStats struct {
+	Purpose Purpose
+	Attacks int
+	Share   float64
+}
+
+// PurposeBreakdown classifies all attacks and returns the distribution,
+// sorted by attack count descending.
+func PurposeBreakdown(attacks []Attack) []PurposeStats {
+	counts := map[Purpose]int{}
+	for _, a := range attacks {
+		counts[ClassifyAttack(a)]++
+	}
+	var out []PurposeStats
+	for p, n := range counts {
+		out = append(out, PurposeStats{Purpose: p, Attacks: n, Share: float64(n) / float64(len(attacks))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attacks != out[j].Attacks {
+			return out[i].Attacks > out[j].Attacks
+		}
+		return out[i].Purpose < out[j].Purpose
+	})
+	return out
+}
+
+// CryptojackingShare returns the fraction of attacks attributable to
+// mining (cryptojacking proper plus the Kinsing campaign) — the paper's
+// "mostly abused for cryptojacking" observation.
+func CryptojackingShare(attacks []Attack) float64 {
+	if len(attacks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range attacks {
+		switch ClassifyAttack(a) {
+		case PurposeCryptojacking, PurposeKinsing:
+			n++
+		}
+	}
+	return float64(n) / float64(len(attacks))
+}

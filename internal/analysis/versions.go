@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/scanner"
+)
+
+// Figure 1 separates software release dates into 7 half-year bins and
+// compares secure against vulnerable instances.
+
+// VersionBins is the number of release-date bins in Figure 1.
+const VersionBins = 7
+
+// binBoundaries returns the lower bound of each bin relative to the scan
+// date: bin 0 is "older than 3 years", bins 1..6 are half-year steps up to
+// the scan date.
+func binBoundaries(scanDate time.Time) []time.Time {
+	bounds := make([]time.Time, VersionBins)
+	for i := 1; i < VersionBins; i++ {
+		bounds[i] = scanDate.AddDate(0, -6*(VersionBins-i), 0)
+	}
+	// bounds[0] stays zero: everything older falls into bin 0.
+	return bounds
+}
+
+// binFor places a release date into its bin.
+func binFor(scanDate, released time.Time) int {
+	bounds := binBoundaries(scanDate)
+	bin := 0
+	for i := 1; i < VersionBins; i++ {
+		if !released.Before(bounds[i]) {
+			bin = i
+		}
+	}
+	return bin
+}
+
+// VersionAgeHistogram is one Figure-1 panel: per-bin instance counts split
+// by security state.
+type VersionAgeHistogram struct {
+	App        mav.App // empty for the all-applications panel
+	Secure     [VersionBins]int
+	Vulnerable [VersionBins]int
+}
+
+// Figure1 builds the overall histogram plus per-application panels for the
+// requested applications (the paper details Jupyter Notebook and Hadoop).
+func Figure1(observations []scanner.AppObservation, scanDate time.Time, detail ...mav.App) []VersionAgeHistogram {
+	panels := make([]VersionAgeHistogram, 1+len(detail))
+	for i, app := range detail {
+		panels[1+i].App = app
+	}
+	for _, obs := range observations {
+		if obs.Released.IsZero() {
+			continue
+		}
+		bin := binFor(scanDate, obs.Released)
+		add := func(p *VersionAgeHistogram) {
+			if obs.Vulnerable() {
+				p.Vulnerable[bin]++
+			} else {
+				p.Secure[bin]++
+			}
+		}
+		add(&panels[0])
+		for i, app := range detail {
+			if obs.App == app {
+				add(&panels[1+i])
+			}
+		}
+	}
+	return panels
+}
+
+// MedianReleaseDate returns the median release date of the observations
+// with a known version (the RQ2 per-category medians).
+func MedianReleaseDate(observations []scanner.AppObservation) (time.Time, bool) {
+	var dates []time.Time
+	for _, obs := range observations {
+		if !obs.Released.IsZero() {
+			dates = append(dates, obs.Released)
+		}
+	}
+	if len(dates) == 0 {
+		return time.Time{}, false
+	}
+	sort.Slice(dates, func(i, j int) bool { return dates[i].Before(dates[j]) })
+	return dates[len(dates)/2], true
+}
+
+// FilterByCategory keeps the observations of one application category.
+func FilterByCategory(observations []scanner.AppObservation, cat mav.Category) []scanner.AppObservation {
+	var out []scanner.AppObservation
+	for _, obs := range observations {
+		if mav.MustLookup(obs.App).Category == cat {
+			out = append(out, obs)
+		}
+	}
+	return out
+}
+
+// RecencyShares reports the fraction of observations released within six
+// months of the scan, within the previous year, and older (the headline
+// RQ2 numbers: ~65% / ~25% / ~10%).
+func RecencyShares(observations []scanner.AppObservation, scanDate time.Time) (recent, mid, old float64) {
+	var r, m, o, n int
+	for _, obs := range observations {
+		if obs.Released.IsZero() {
+			continue
+		}
+		n++
+		switch {
+		case !obs.Released.Before(scanDate.AddDate(0, -6, 0)):
+			r++
+		case !obs.Released.Before(scanDate.AddDate(0, -18, 0)):
+			m++
+		default:
+			o++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(r) / float64(n), float64(m) / float64(n), float64(o) / float64(n)
+}
+
+// TimelinePoint is one attack in Figure 3's per-application timeline.
+type TimelinePoint struct {
+	App  mav.App
+	Hour float64
+	New  bool // yellow star (new) vs black star (repeated payload)
+}
+
+// Figure3 flattens the attacks into per-application timeline points.
+func Figure3(attacks []Attack, start time.Time) []TimelinePoint {
+	out := make([]TimelinePoint, 0, len(attacks))
+	for _, a := range attacks {
+		out = append(out, TimelinePoint{App: a.App, Hour: a.Start.Sub(start).Hours(), New: a.Unique})
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+// Package apps emulates the 25 applications investigated by the paper.
+//
+// Each emulator is an http.Handler whose observable surface depends on the
+// instance configuration (version, installed or not, authentication on or
+// off, app-specific options). The emulators implement:
+//
+//   - landing pages carrying the Stage-II prefilter signatures,
+//   - the exact endpoints and body markers the Tsunami MAV detection
+//     plugins check (Appendix A, Table 10),
+//   - version disclosure endpoints and static assets for fingerprinting,
+//   - the command-execution surfaces real attackers abuse (terminals,
+//     job/pod/app submission APIs, install hijacks followed by template
+//     edits), which report executed commands to an ExecSink so the
+//     honeypot's audit monitoring can record compromises.
+package apps
+
+import (
+	"fmt"
+	"net/http"
+	"net/netip"
+	"sync"
+	"time"
+
+	"mavscan/internal/mav"
+)
+
+// ExecSink receives every system command an emulated application executes
+// on behalf of a client. The honeypot's Auditbeat-like monitor implements
+// it; outside honeypots a nil sink is fine.
+type ExecSink interface {
+	// RecordExec is called when a command reaches the system shell.
+	// src is the network peer that triggered it, via names the application
+	// surface used (e.g. "terminal", "pod-create", "theme-editor").
+	RecordExec(t time.Time, src netip.Addr, app mav.App, via, command string)
+}
+
+// ExecFunc adapts a function to the ExecSink interface.
+type ExecFunc func(t time.Time, src netip.Addr, app mav.App, via, command string)
+
+// RecordExec implements ExecSink.
+func (f ExecFunc) RecordExec(t time.Time, src netip.Addr, app mav.App, via, command string) {
+	f(t, src, app, via, command)
+}
+
+// Clock is the subset of simtime.Clock the emulators need.
+type Clock interface{ Now() time.Time }
+
+// Config describes one deployed instance of an application.
+type Config struct {
+	App mav.App
+	// Version is the deployed release, e.g. "2.277.1". It must be one of
+	// the releases in the application's timeline (see versions.go).
+	Version string
+	// Installed reports whether the post-extract web installation was
+	// completed. Only meaningful for the CMS category; other applications
+	// ignore it (and the constructor forces it to true for them).
+	Installed bool
+	// AuthRequired reports whether the administrative surface demands
+	// authentication. For Docker this models TLS client-certificate auth,
+	// for Kubernetes anonymous-access configuration, for Nomad ACLs.
+	AuthRequired bool
+	// Options holds app-specific toggles: "enableScriptChecks" and
+	// "enableRemoteScriptChecks" (Consul), "autologin" (Ajenti),
+	// "allowNoPassword" (phpMyAdmin), "emptyDBPassword" (Adminer).
+	Options map[string]bool
+
+	// Exec receives executed commands; may be nil.
+	Exec ExecSink
+	// Clock stamps executed commands; nil means wall clock.
+	Clock Clock
+}
+
+// Instance is a running emulated application with mutable runtime state
+// (e.g. a CMS can be installed by whoever reaches it first — the trust-on-
+// first-use MAV).
+type Instance struct {
+	mu  sync.Mutex
+	cfg Config
+	// adminPassword is set when a CMS installation completes.
+	adminPassword string
+	// installedBy records the source that completed the installation,
+	// empty if the legitimate owner pre-installed it.
+	installedBy string
+
+	handler http.Handler
+	info    mav.Info
+}
+
+// New validates cfg and builds the emulator instance.
+func New(cfg Config) (*Instance, error) {
+	info, err := mav.Lookup(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Version == "" {
+		cfg.Version = LatestVersion(cfg.App)
+	}
+	if _, err := ReleaseDate(cfg.App, cfg.Version); err != nil {
+		return nil, err
+	}
+	if cfg.Options == nil {
+		cfg.Options = map[string]bool{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock{}
+	}
+	if info.Kind != mav.KindInstall {
+		cfg.Installed = true
+	}
+	inst := &Instance{cfg: cfg, info: info}
+	build, ok := builders[cfg.App]
+	if !ok {
+		return nil, fmt.Errorf("apps: no emulator for %q", cfg.App)
+	}
+	inst.handler = build(inst)
+	return inst, nil
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// builders maps each application to its handler constructor. Each category
+// file registers its emulators here via register.
+var builders = map[mav.App]func(*Instance) http.Handler{}
+
+func register(app mav.App, build func(*Instance) http.Handler) {
+	if _, dup := builders[app]; dup {
+		panic(fmt.Sprintf("apps: duplicate emulator for %q", app))
+	}
+	builders[app] = build
+}
+
+// App returns which application this instance emulates.
+func (inst *Instance) App() mav.App { return inst.cfg.App }
+
+// Info returns the catalog entry for the emulated application.
+func (inst *Instance) Info() mav.Info { return inst.info }
+
+// Version returns the deployed release.
+func (inst *Instance) Version() string { return inst.cfg.Version }
+
+// Handler returns the emulator's HTTP surface.
+func (inst *Instance) Handler() http.Handler { return inst.handler }
+
+// Option reports an app-specific boolean option.
+func (inst *Instance) Option(name string) bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.cfg.Options[name]
+}
+
+// AuthRequired reports whether the admin surface currently demands
+// authentication.
+func (inst *Instance) AuthRequired() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.cfg.AuthRequired
+}
+
+// Installed reports whether the web installation has been completed.
+func (inst *Instance) Installed() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.cfg.Installed
+}
+
+// InstalledBy returns who completed the installation ("" if pre-installed
+// by the owner), for telling hijacked installations apart in the analysis.
+func (inst *Instance) InstalledBy() string {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.installedBy
+}
+
+// CompleteInstall finishes the trust-on-first-use installation, setting the
+// admin password. It reports whether the call actually completed the
+// installation (false if it had already been completed — the vulnerability
+// is exploitable exactly once).
+func (inst *Instance) CompleteInstall(by, password string) bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.cfg.Installed {
+		return false
+	}
+	inst.cfg.Installed = true
+	inst.adminPassword = password
+	inst.installedBy = by
+	return true
+}
+
+// SetAuthRequired flips the authentication requirement at runtime — the
+// remediation action owners of misconfigured deployments take.
+func (inst *Instance) SetAuthRequired(v bool) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.cfg.AuthRequired = v
+}
+
+// SetOption sets an app-specific option at runtime (e.g. disabling
+// Consul's script checks to remediate).
+func (inst *Instance) SetOption(name string, v bool) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.cfg.Options[name] = v
+}
+
+// checkAdminPassword reports whether password matches the one set at
+// installation time.
+func (inst *Instance) checkAdminPassword(password string) bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.cfg.Installed && password != "" && password == inst.adminPassword
+}
+
+// Vulnerable reports the ground-truth MAV state of the instance, used to
+// validate the detection pipeline and to seed populations. The rules are
+// the per-application findings of Section 2.1.
+func (inst *Instance) Vulnerable() bool {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	switch inst.cfg.App {
+	case mav.Jenkins, mav.GoCD, mav.Kubernetes, mav.Docker, mav.Hadoop,
+		mav.Nomad, mav.JupyterLab, mav.JupyterNotebook, mav.Zeppelin:
+		return !inst.cfg.AuthRequired
+	case mav.Polynote:
+		// Polynote has no authentication mechanism at all.
+		return true
+	case mav.WordPress, mav.Grav, mav.Drupal:
+		return !inst.cfg.Installed
+	case mav.Joomla:
+		// Since 3.7.4 the installer demands proof of server ownership
+		// (deleting a random file) before continuing, defeating hijacks.
+		return !inst.cfg.Installed && InsecureDefault(mav.Joomla, inst.cfg.Version)
+	case mav.Consul:
+		return inst.cfg.Options["enableScriptChecks"] || inst.cfg.Options["enableRemoteScriptChecks"]
+	case mav.Ajenti:
+		return inst.cfg.Options["autologin"]
+	case mav.PhpMyAdmin:
+		return inst.cfg.Options["allowNoPassword"]
+	case mav.Adminer:
+		// Since 4.6.3 Adminer refuses empty passwords outright, so even a
+		// passwordless database account is not reachable through it.
+		return inst.cfg.Options["emptyDBPassword"] && InsecureDefault(mav.Adminer, inst.cfg.Version)
+	default:
+		return false
+	}
+}
+
+// Snapshot captures the instance's mutable state so a honeypot can restore
+// it after a compromise (the paper snapshots each server after setup).
+type Snapshot struct {
+	installed     bool
+	adminPassword string
+	installedBy   string
+	authRequired  bool
+	options       map[string]bool
+}
+
+// Snapshot returns a copy of the current mutable state.
+func (inst *Instance) Snapshot() Snapshot {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	opts := make(map[string]bool, len(inst.cfg.Options))
+	for k, v := range inst.cfg.Options {
+		opts[k] = v
+	}
+	return Snapshot{
+		installed:     inst.cfg.Installed,
+		adminPassword: inst.adminPassword,
+		installedBy:   inst.installedBy,
+		authRequired:  inst.cfg.AuthRequired,
+		options:       opts,
+	}
+}
+
+// Restore resets the instance to a previously captured state.
+func (inst *Instance) Restore(s Snapshot) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.cfg.Installed = s.installed
+	inst.adminPassword = s.adminPassword
+	inst.installedBy = s.installedBy
+	inst.cfg.AuthRequired = s.authRequired
+	opts := make(map[string]bool, len(s.options))
+	for k, v := range s.options {
+		opts[k] = v
+	}
+	inst.cfg.Options = opts
+}
+
+// recordExec reports a command execution to the configured sink.
+func (inst *Instance) recordExec(r *http.Request, via, command string) {
+	sink := inst.cfg.Exec
+	if sink == nil {
+		return
+	}
+	src := peerAddr(r)
+	sink.RecordExec(inst.cfg.Clock.Now(), src, inst.cfg.App, via, command)
+}
+
+// peerAddr extracts the client IP from a request.
+func peerAddr(r *http.Request) netip.Addr {
+	hostPort := r.RemoteAddr
+	if ap, err := netip.ParseAddrPort(hostPort); err == nil {
+		return ap.Addr()
+	}
+	if a, err := netip.ParseAddr(hostPort); err == nil {
+		return a
+	}
+	return netip.Addr{}
+}

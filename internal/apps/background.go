@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// BackgroundKind identifies a non-AWE service used to populate the
+// simulated internet with realistic noise: most hosts with open web ports
+// do not run any of the studied applications, and Stage II must discard
+// them.
+type BackgroundKind string
+
+// The background service flavors.
+const (
+	BackgroundNginx   BackgroundKind = "nginx"
+	BackgroundApache  BackgroundKind = "apache"
+	BackgroundIIS     BackgroundKind = "iis"
+	BackgroundRESTAPI BackgroundKind = "rest-api"
+	BackgroundEmpty   BackgroundKind = "empty"
+	BackgroundRouter  BackgroundKind = "router"
+)
+
+// BackgroundKinds lists all background service flavors.
+func BackgroundKinds() []BackgroundKind {
+	return []BackgroundKind{
+		BackgroundNginx, BackgroundApache, BackgroundIIS,
+		BackgroundRESTAPI, BackgroundEmpty, BackgroundRouter,
+	}
+}
+
+// Background returns a handler emulating a common non-AWE web service.
+func Background(kind BackgroundKind) http.Handler {
+	mux := http.NewServeMux()
+	switch kind {
+	case BackgroundNginx:
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Server", "nginx/1.18.0")
+			htmlPage(w, http.StatusOK, "Welcome to nginx!",
+				`<h1>Welcome to nginx!</h1><p>If you see this page, the nginx web server is successfully installed.</p>`)
+		})
+	case BackgroundApache:
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Server", "Apache/2.4.41 (Ubuntu)")
+			htmlPage(w, http.StatusOK, "Apache2 Ubuntu Default Page: It works",
+				`<h1>Apache2 Default Page</h1><p>It works!</p>`)
+		})
+	case BackgroundIIS:
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Server", "Microsoft-IIS/10.0")
+			htmlPage(w, http.StatusOK, "IIS Windows Server", `<img src="iisstart.png" alt="IIS">`)
+		})
+	case BackgroundRESTAPI:
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "not found", "service": "internal-api"}, false)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "healthy"}, false)
+		})
+	case BackgroundRouter:
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("WWW-Authenticate", `Basic realm="Router Administration"`)
+			htmlPage(w, http.StatusUnauthorized, "401 Unauthorized", "<h1>Authorization required</h1>")
+		})
+	default: // BackgroundEmpty
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "OK")
+		})
+	}
+	return mux
+}

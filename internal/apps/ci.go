@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"mavscan/internal/mav"
+)
+
+// Continuous integration emulators: Gitlab, Drone, Jenkins, Travis, GoCD.
+// Only Jenkins (historically) and GoCD carry MAVs; the other three always
+// demand authentication and exist so the pipeline proves it does not flag
+// them.
+
+func init() {
+	register(mav.Gitlab, buildGitlab)
+	register(mav.Drone, buildDrone)
+	register(mav.Jenkins, buildJenkins)
+	register(mav.Travis, buildTravis)
+	register(mav.GoCD, buildGoCD)
+}
+
+func buildGitlab(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/users/sign_in", http.StatusFound)
+	})
+	mux.HandleFunc("/users/sign_in", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "Sign in · GitLab",
+			`<div class="login-page">GitLab Community Edition</div><form action="/users/sign_in" method="post"><input name="user[login]"><input type="password" name="user[password]"></form>`+assetLinks(mav.Gitlab))
+	})
+	serveAssets(mux, mav.Gitlab, inst.Version())
+	return mux
+}
+
+func buildDrone(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "drone",
+			`<div id="root" data-app="drone-ci"></div><a href="/login">Login with GitHub</a>`)
+	})
+	mux.HandleFunc("/api/user", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"message": "Unauthorized"}, false)
+	})
+	return mux
+}
+
+func buildJenkins(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	stamp := func(w http.ResponseWriter) {
+		w.Header().Set("X-Jenkins", inst.Version())
+		w.Header().Set("X-Hudson", "1.395")
+	}
+	loginPage := func(w http.ResponseWriter, status int) {
+		stamp(w)
+		htmlPage(w, status, "Sign in [Jenkins]",
+			fmt.Sprintf(`<div>Welcome to Jenkins %s!</div><form method="post" action="/j_spring_security_check" name="login"><input name="j_username"><input type="password" name="j_password"></form>%s`,
+				inst.Version(), assetLinks(mav.Jenkins)))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		stamp(w)
+		if inst.AuthRequired() {
+			loginPage(w, http.StatusForbidden)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Dashboard [Jenkins]",
+			fmt.Sprintf(`<div id="jenkins-home">Welcome to Jenkins %s!</div><a href="/view/all/newJob">New Item</a>%s`,
+				inst.Version(), assetLinks(mav.Jenkins)))
+	})
+	// The MAV detection endpoint: the new-job form is reachable without
+	// authentication exactly when the instance is misconfigured.
+	mux.HandleFunc("/view/all/newJob", func(w http.ResponseWriter, r *http.Request) {
+		stamp(w)
+		if inst.AuthRequired() {
+			loginPage(w, http.StatusForbidden)
+			return
+		}
+		htmlPage(w, http.StatusOK, "New Item [Jenkins]",
+			`<h1>Enter an item name</h1><form id="createItem" action="/createItem" method="post"><input name="name"><input type="submit" value="OK"></form>`)
+	})
+	// The Groovy script console: the classic Jenkins code-execution path.
+	mux.HandleFunc("/scriptText", func(w http.ResponseWriter, r *http.Request) {
+		stamp(w)
+		if inst.AuthRequired() {
+			loginPage(w, http.StatusForbidden)
+			return
+		}
+		if r.Method != http.MethodPost {
+			htmlPage(w, http.StatusMethodNotAllowed, "Error", "POST required")
+			return
+		}
+		script := r.FormValue("script")
+		if script == "" {
+			htmlPage(w, http.StatusBadRequest, "Error", "missing script")
+			return
+		}
+		inst.recordExec(r, "script-console", script)
+		htmlPage(w, http.StatusOK, "Result", "Result: done")
+	})
+	// The JSON API root: Jenkins exposes it even behind auth, with the
+	// instance mode; scanners commonly touch it.
+	mux.HandleFunc("/api/json", func(w http.ResponseWriter, r *http.Request) {
+		stamp(w)
+		if inst.AuthRequired() {
+			writeJSON(w, http.StatusForbidden, map[string]string{"message": "Authentication required"}, false)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"mode": "NORMAL", "nodeName": "", "numExecutors": 2,
+			"useSecurity": inst.AuthRequired(),
+		}, false)
+	})
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		loginPage(w, http.StatusOK)
+	})
+	mux.HandleFunc("/createItem", func(w http.ResponseWriter, r *http.Request) {
+		stamp(w)
+		if inst.AuthRequired() || r.Method != http.MethodPost {
+			loginPage(w, http.StatusForbidden)
+			return
+		}
+		// A freestyle job with a shell build step executes on the next
+		// build; attackers trigger it immediately.
+		if cmd := r.FormValue("command"); cmd != "" {
+			inst.recordExec(r, "build-step", cmd)
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	serveAssets(mux, mav.Jenkins, inst.Version())
+	return mux
+}
+
+func buildTravis(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "Travis CI",
+			`<div class="landing">Travis CI - Test and Deploy with Confidence</div><a href="/auth">Sign in</a>`)
+	})
+	return mux
+}
+
+func buildGoCD(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	loginPage := func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "GoCD Login",
+			`<form action="/go/auth/security_check" method="post"><input name="j_username"><input type="password" name="j_password"></form>`+assetLinks(mav.GoCD))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/go/home", http.StatusFound)
+	})
+	mux.HandleFunc("/go/auth/login", loginPage)
+	// The MAV detection endpoint: without authentication the pipelines
+	// dashboard (with its admin links) is served directly.
+	mux.HandleFunc("/go/home", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			http.Redirect(w, r, "/go/auth/login", http.StatusFound)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Create a pipeline - Go",
+			fmt.Sprintf(`<div class="pipelines-page"><a href="/go/admin/pipelines/create">Add Pipeline</a></div><span class="server-version">%s</span>%s`,
+				inst.Version(), assetLinks(mav.GoCD)))
+	})
+	mux.HandleFunc("/go/api/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"version": inst.Version(), "build_number": "12345"}, false)
+	})
+	mux.HandleFunc("/go/api/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"health": "OK"}, false)
+	})
+	mux.HandleFunc("/go/api/admin/pipelines", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"message": "You are not authenticated"}, false)
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"message": "POST required"}, false)
+			return
+		}
+		var body struct {
+			Pipeline struct {
+				Name   string `json:"name"`
+				Stages []struct {
+					Jobs []struct {
+						Tasks []struct {
+							Command string `json:"command"`
+						} `json:"tasks"`
+					} `json:"jobs"`
+				} `json:"stages"`
+			} `json:"pipeline"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
+			return
+		}
+		for _, st := range body.Pipeline.Stages {
+			for _, j := range st.Jobs {
+				for _, t := range j.Tasks {
+					if t.Command != "" {
+						inst.recordExec(r, "pipeline-task", t.Command)
+					}
+				}
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"message": "created"}, false)
+	})
+	serveAssets(mux, mav.GoCD, inst.Version())
+	return mux
+}

@@ -1,0 +1,411 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"mavscan/internal/mav"
+)
+
+// Cluster management emulators: Kubernetes, Docker, Consul, Hadoop, Nomad.
+// All five expose HTTP APIs that wrap system-level operations; running a
+// workload through them is arbitrary code execution.
+
+func init() {
+	register(mav.Kubernetes, buildKubernetes)
+	register(mav.Docker, buildDocker)
+	register(mav.Consul, buildConsul)
+	register(mav.Hadoop, buildHadoop)
+	register(mav.Nomad, buildNomad)
+}
+
+func buildKubernetes(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	unauthorized := func(w http.ResponseWriter) {
+		writeJSON(w, http.StatusUnauthorized, map[string]interface{}{
+			"kind": "Status", "apiVersion": "v1", "status": "Failure",
+			"message": "Unauthorized", "reason": "Unauthorized", "code": 401,
+		}, true)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		if inst.AuthRequired() {
+			unauthorized(w)
+			return
+		}
+		// The API discovery document: the detection plugin looks for the
+		// certificates API group and the healthz ping path in it.
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"paths": []string{
+				"/api", "/api/v1", "/apis", "/apis/apps",
+				"/apis/certificates.k8s.io", "/apis/certificates.k8s.io/v1",
+				"/healthz", "/healthz/ping", "/healthz/etcd",
+				"/livez", "/metrics", "/version",
+			},
+		}, true)
+	})
+	healthz := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("ok"))
+	}
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/livez", healthz)
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		// /version answers without authentication on real clusters too;
+		// the fingerprinter reads gitVersion from it.
+		writeJSON(w, http.StatusOK, map[string]string{
+			"major": "1", "minor": strings.TrimPrefix(inst.Version(), "1."),
+			"gitVersion": "v" + inst.Version(), "platform": "linux/amd64",
+		}, true)
+	})
+	mux.HandleFunc("/api/v1/pods", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			unauthorized(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"kind": "PodList", "apiVersion": "v1",
+			"items": []map[string]interface{}{
+				{
+					"metadata": map[string]string{"name": "coredns-558bd4d5db-x7qpq", "namespace": "kube-system"},
+					"status":   map[string]string{"phase": "Running"},
+				},
+				{
+					"metadata": map[string]string{"name": "web-6799fc88d8-9r2l4", "namespace": "default"},
+					"status":   map[string]string{"phase": "Running"},
+				},
+			},
+		}, true)
+	})
+	mux.HandleFunc("/api/v1/namespaces/default/pods", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			unauthorized(w)
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"message": "method not allowed"}, false)
+			return
+		}
+		var pod struct {
+			Spec struct {
+				Containers []struct {
+					Image   string   `json:"image"`
+					Command []string `json:"command"`
+				} `json:"containers"`
+			} `json:"spec"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&pod); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
+			return
+		}
+		for _, c := range pod.Spec.Containers {
+			if len(c.Command) > 0 {
+				inst.recordExec(r, "pod-create", strings.Join(c.Command, " "))
+			}
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"kind": "Pod", "status": "Pending"}, true)
+	})
+	return mux
+}
+
+func buildDocker(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	denied := func(w http.ResponseWriter) {
+		writeJSON(w, http.StatusForbidden, map[string]string{"message": "authorization denied by plugin"}, false)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// The daemon answers every unknown path with this JSON 404 — the
+		// plugin's first identification step.
+		writeJSON(w, http.StatusNotFound, map[string]string{"message": "page not found"}, false)
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			denied(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"Version": inst.Version(), "ApiVersion": "1.41", "MinAPIVersion": "1.12",
+			"GitCommit": "8728dd2", "GoVersion": "go1.13.15",
+			"Os": "linux", "Arch": "amd64", "KernelVersion": "4.4.0",
+		}, false)
+	})
+	mux.HandleFunc("/_ping", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			denied(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("OK"))
+	})
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			denied(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"Containers": 3, "Images": 12, "ServerVersion": inst.Version(),
+			"OperatingSystem": "Ubuntu 20.04.2 LTS", "NCPU": 4, "MemTotal": 8322932736,
+		}, false)
+	})
+	mux.HandleFunc("/containers/create", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			denied(w)
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"message": "method not allowed"}, false)
+			return
+		}
+		var spec struct {
+			Image string   `json:"Image"`
+			Cmd   []string `json:"Cmd"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
+			return
+		}
+		if len(spec.Cmd) > 0 {
+			inst.recordExec(r, "container-create", strings.Join(spec.Cmd, " "))
+		}
+		writeJSON(w, http.StatusCreated, map[string]interface{}{"Id": "f1d2d2f924e986ac86fdf7b36c94bcdf32beec15", "Warnings": []string{}}, false)
+	})
+	mux.HandleFunc("/containers/", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			denied(w)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, "/start") && r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusNotFound, map[string]string{"message": "page not found"}, false)
+	})
+	return mux
+}
+
+func buildConsul(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/ui/", http.StatusMovedPermanently)
+	})
+	mux.HandleFunc("/ui/", func(w http.ResponseWriter, r *http.Request) {
+		// The UI embeds the version in an HTML comment — the "voluntary"
+		// fingerprinting path for Consul.
+		htmlPage(w, http.StatusOK, "Consul by HashiCorp",
+			fmt.Sprintf("<!-- Consul %s -->\n<div id=\"consul-ui\">Consul</div>\n%s", inst.Version(), assetLinks(mav.Consul)))
+	})
+	// The agent API answers without authentication by default; the MAV is
+	// the script-check configuration exposed in DebugConfig.
+	mux.HandleFunc("/v1/agent/self", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"Config": map[string]interface{}{
+				"Datacenter": "dc1", "NodeName": "consul-0", "Version": inst.Version(),
+			},
+			"DebugConfig": map[string]interface{}{
+				"EnableScriptChecks":       inst.Option("enableScriptChecks"),
+				"EnableRemoteScriptChecks": inst.Option("enableRemoteScriptChecks"),
+				"Bootstrap":                true,
+			},
+		}, true)
+	})
+	mux.HandleFunc("/v1/catalog/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, []map[string]string{
+			{"Node": "consul-0", "Address": "10.0.0.1", "Datacenter": "dc1"},
+		}, false)
+	})
+	mux.HandleFunc("/v1/status/leader", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, "10.0.0.1:8300", false)
+	})
+	mux.HandleFunc("/v1/agent/check/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"}, false)
+			return
+		}
+		if !inst.Option("enableScriptChecks") && !inst.Option("enableRemoteScriptChecks") {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "Scripts are disabled on this agent; to enable, configure 'enable_script_checks' to true",
+			}, false)
+			return
+		}
+		var check struct {
+			Name string   `json:"Name"`
+			Args []string `json:"Args"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&check); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()}, false)
+			return
+		}
+		if len(check.Args) > 0 {
+			inst.recordExec(r, "script-check", strings.Join(check.Args, " "))
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	serveAssets(mux, mav.Consul, inst.Version())
+	return mux
+}
+
+func buildHadoop(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	authWall := func(w http.ResponseWriter) {
+		htmlPage(w, http.StatusUnauthorized, "Authentication required",
+			`<p>Authentication required</p><div id="logo">Hadoop ResourceManager</div>`+assetLink("/static/yarn.css"))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/cluster", http.StatusFound)
+	})
+	clusterPage := func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			authWall(w)
+			return
+		}
+		htmlPage(w, http.StatusOK, "About the Cluster",
+			fmt.Sprintf(`<div id="logo">Hadoop ResourceManager</div>
+<div id="user">Logged in as: dr.who</div>
+<table><tr><td>ResourceManager version:</td><td>%s</td></tr>
+<tr><td>Hadoop version:</td><td>%s</td></tr></table>
+%s`, inst.Version(), inst.Version(), assetLinks(mav.Hadoop)))
+	}
+	mux.HandleFunc("/cluster", clusterPage)
+	mux.HandleFunc("/cluster/cluster", clusterPage)
+	mux.HandleFunc("/ws/v1/cluster/info", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			authWall(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"clusterInfo": map[string]interface{}{
+				"id": 1623456789, "state": "STARTED",
+				"resourceManagerVersion": inst.Version(),
+				"hadoopVersion":          inst.Version(),
+			},
+		}, false)
+	})
+	mux.HandleFunc("/ws/v1/cluster/apps/new-application", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			authWall(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"application-id": "application_1623456789000_0001",
+			"maximum-resource-capability": map[string]int{
+				"memory": 8192, "vCores": 4,
+			},
+		}, false)
+	})
+	mux.HandleFunc("/ws/v1/cluster/apps", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			authWall(w)
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusOK, map[string]interface{}{"apps": map[string]interface{}{"app": []interface{}{}}}, false)
+			return
+		}
+		var sub struct {
+			AMContainerSpec struct {
+				Commands struct {
+					Command string `json:"command"`
+				} `json:"commands"`
+			} `json:"am-container-spec"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
+			return
+		}
+		if cmd := sub.AMContainerSpec.Commands.Command; cmd != "" {
+			inst.recordExec(r, "yarn-app-submit", cmd)
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	serveAssets(mux, mav.Hadoop, inst.Version())
+	return mux
+}
+
+func buildNomad(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	aclDenied := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "text/plain")
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprintln(w, "Permission denied")
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/ui/", http.StatusTemporaryRedirect)
+	})
+	mux.HandleFunc("/ui/", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "Nomad",
+			`<div id="nomad-ui">Nomad by HashiCorp</div>`+assetLinks(mav.Nomad))
+	})
+	mux.HandleFunc("/v1/agent/self", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			aclDenied(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"config": map[string]interface{}{"Version": map[string]string{"Version": inst.Version()}},
+			"member": map[string]string{"Name": "nomad-0"},
+		}, true)
+	})
+	mux.HandleFunc("/v1/status/leader", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			aclDenied(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, "10.0.0.1:4647", false)
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			aclDenied(w)
+			return
+		}
+		if r.Method == http.MethodPost || r.Method == http.MethodPut {
+			var sub struct {
+				Job struct {
+					TaskGroups []struct {
+						Tasks []struct {
+							Driver string `json:"Driver"`
+							Config struct {
+								Command string   `json:"command"`
+								Args    []string `json:"args"`
+							} `json:"Config"`
+						} `json:"Tasks"`
+					} `json:"TaskGroups"`
+				} `json:"Job"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()}, false)
+				return
+			}
+			for _, tg := range sub.Job.TaskGroups {
+				for _, t := range tg.Tasks {
+					if t.Config.Command != "" {
+						inst.recordExec(r, "job-submit", strings.TrimSpace(t.Config.Command+" "+strings.Join(t.Config.Args, " ")))
+					}
+				}
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"EvalID": "deadbeef-0000-1111-2222-333344445555"}, false)
+			return
+		}
+		writeJSON(w, http.StatusOK, []map[string]interface{}{
+			{"ID": "example", "Name": "example", "Status": "running", "Type": "service"},
+		}, false)
+	})
+	serveAssets(mux, mav.Nomad, inst.Version())
+	return mux
+}

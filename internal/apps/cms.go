@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"fmt"
+	"net/http"
+
+	"mavscan/internal/mav"
+)
+
+// Content management system emulators: Ghost, WordPress, Grav, Joomla,
+// Drupal. Except for Ghost (out of scope: no code execution), all are
+// vulnerable exactly while their web installation has not been completed —
+// the trust-on-first-use MAV. Completing the installation sets the admin
+// password; whoever holds it can edit PHP templates and thereby execute
+// system commands.
+
+func init() {
+	register(mav.Ghost, buildGhost)
+	register(mav.WordPress, buildWordPress)
+	register(mav.Grav, buildGrav)
+	register(mav.Joomla, buildJoomla)
+	register(mav.Drupal, buildDrupal)
+}
+
+func buildGhost(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Ghost",
+			`<meta name="generator" content="Ghost `+inst.Version()+`"><div class="site-content">Thoughts, stories and ideas.</div><a href="/ghost/">Sign in</a>`)
+	})
+	mux.HandleFunc("/ghost/", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "Ghost Admin",
+			`<form id="login"><input name="identification"><input type="password" name="password"></form>`)
+	})
+	return mux
+}
+
+func buildWordPress(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		if !inst.Installed() {
+			http.Redirect(w, r, "/wp-admin/install.php", http.StatusFound)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Just another WordPress site",
+			fmt.Sprintf(`<meta name="generator" content="WordPress %s">
+<link rel="https://api.w.org/" href="/wp-json/">
+<div id="content" class="wp-content">Hello world! Welcome to WordPress.</div>
+<a href="/wp-login.php">Log in</a>
+%s`, inst.Version(), assetLinks(mav.WordPress)))
+	})
+	// The MAV detection endpoint: the installer's step-1 form with the
+	// admin password field is served until the installation completes.
+	mux.HandleFunc("/wp-admin/install.php", func(w http.ResponseWriter, r *http.Request) {
+		if inst.Installed() {
+			htmlPage(w, http.StatusOK, "WordPress &rsaquo; Installation",
+				`<h1>Already Installed</h1><p>You appear to have already installed WordPress.</p>`)
+			return
+		}
+		if r.Method == http.MethodPost && r.URL.Query().Get("step") == "2" {
+			pass := r.FormValue("admin_password")
+			if pass == "" {
+				htmlPage(w, http.StatusBadRequest, "WordPress &rsaquo; Installation", "<p>Please provide a password.</p>")
+				return
+			}
+			inst.CompleteInstall(peerAddr(r).String(), pass)
+			htmlPage(w, http.StatusOK, "WordPress &rsaquo; Installation", "<h1>Success!</h1><p>WordPress has been installed.</p>")
+			return
+		}
+		htmlPage(w, http.StatusOK, "WordPress &rsaquo; Installation",
+			`<h1>Welcome to WordPress!</h1>
+<form id="setup" method="post" action="install.php?step=2" novalidate="novalidate">
+<input name="weblog_title" type="text">
+<input name="user_name" type="text">
+<input type="password" name="admin_password" id="pass1">
+<input type="submit" value="Install WordPress">
+</form>`)
+	})
+	mux.HandleFunc("/wp-login.php", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "Log In &lsaquo; WordPress",
+			`<form name="loginform" action="/wp-login.php" method="post"><input name="log"><input type="password" name="pwd"></form>`)
+	})
+	mux.HandleFunc("/wp-json/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"name": "WordPress Site", "namespaces": []string{"wp/v2"},
+		}, false)
+	})
+	// The post-install code-execution surface: editing a PHP theme file
+	// through the admin panel. Requires the admin password set at install
+	// time — which the attacker chose if they hijacked the installation.
+	mux.HandleFunc("/wp-admin/theme-editor.php", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			htmlPage(w, http.StatusOK, "Edit Themes", `<form method="post"><textarea name="newcontent"></textarea></form>`)
+			return
+		}
+		if !inst.checkAdminPassword(r.FormValue("password")) {
+			htmlPage(w, http.StatusForbidden, "WordPress Failure Notice", "<p>Sorry, you are not allowed to edit templates.</p>")
+			return
+		}
+		if cmd := r.FormValue("newcontent"); cmd != "" {
+			inst.recordExec(r, "theme-editor", cmd)
+		}
+		htmlPage(w, http.StatusOK, "Edit Themes", "<p>File edited successfully.</p>")
+	})
+	serveAssets(mux, mav.WordPress, inst.Version())
+	return mux
+}
+
+func buildGrav(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		if !inst.Installed() {
+			htmlPage(w, http.StatusOK, "Grav",
+				`<h1>The Admin plugin has been installed</h1><p><a href="/admin">Create User</a> to begin.</p>`+assetLinks(mav.Grav))
+			return
+		}
+		htmlPage(w, http.StatusOK, "Grav - A Modern Flat-File CMS",
+			`<div class="grav-content">Say hello to Grav!</div>`+assetLinks(mav.Grav))
+	})
+	mux.HandleFunc("/admin", func(w http.ResponseWriter, r *http.Request) {
+		if !inst.Installed() {
+			if r.Method == http.MethodPost {
+				pass := r.FormValue("password")
+				if pass == "" {
+					htmlPage(w, http.StatusBadRequest, "Grav Admin", "<p>Password required.</p>")
+					return
+				}
+				inst.CompleteInstall(peerAddr(r).String(), pass)
+				htmlPage(w, http.StatusOK, "Grav Admin", "<p>Admin account created.</p>")
+				return
+			}
+			htmlPage(w, http.StatusOK, "Grav Admin",
+				`<p>No user accounts found, please <a href="#create">create one</a>.</p>
+<form method="post"><input name="username"><input type="password" name="password"></form>`)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Grav Admin Login",
+			`<form method="post" action="/admin/login"><input name="username"><input type="password" name="password"></form>`)
+	})
+	// Post-install code execution: editing a Twig template.
+	mux.HandleFunc("/admin/tools", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || !inst.checkAdminPassword(r.FormValue("password")) {
+			htmlPage(w, http.StatusForbidden, "Grav Admin", "<p>Unauthorized.</p>")
+			return
+		}
+		if cmd := r.FormValue("template"); cmd != "" {
+			inst.recordExec(r, "twig-template", cmd)
+		}
+		htmlPage(w, http.StatusOK, "Grav Admin", "<p>Template saved.</p>")
+	})
+	serveAssets(mux, mav.Grav, inst.Version())
+	return mux
+}
+
+func buildJoomla(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		if !inst.Installed() {
+			http.Redirect(w, r, "/installation/index.php", http.StatusFound)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Home",
+			`<meta name="generator" content="Joomla! - Open Source Content Management">
+<div class="joomla-site">Welcome to your Joomla site!</div>`+assetLinks(mav.Joomla))
+	})
+	mux.HandleFunc("/installation/index.php", func(w http.ResponseWriter, r *http.Request) {
+		if inst.Installed() {
+			notFound(w)
+			return
+		}
+		if !InsecureDefault(mav.Joomla, inst.Version()) {
+			// The 3.7.4 countermeasure: the installer refuses to continue
+			// until a random file is deleted from the server, proving
+			// ownership. The page deliberately lacks the installer markers
+			// so scanners (correctly) do not flag it.
+			htmlPage(w, http.StatusOK, "Secured installation",
+				`<p>To continue, please delete the file <code>_Joomla_installation_3f9ab2.txt</code> from the installation directory to verify ownership of this site.</p>`+assetLinks(mav.Joomla))
+			return
+		}
+		if r.Method == http.MethodPost {
+			pass := r.FormValue("admin_password")
+			if pass == "" {
+				htmlPage(w, http.StatusBadRequest, "Joomla! Web Installer", "<p>Password required.</p>")
+				return
+			}
+			inst.CompleteInstall(peerAddr(r).String(), pass)
+			htmlPage(w, http.StatusOK, "Joomla! Web Installer", "<p>Congratulations! Joomla! is now installed.</p>")
+			return
+		}
+		htmlPage(w, http.StatusOK, "Joomla! Web Installer",
+			`<h1>Joomla! Web Installer</h1>
+<form method="post"><label>Enter the name of your Joomla! site</label>
+<input name="site_name"><input name="admin_user"><input type="password" name="admin_password"></form>`)
+	})
+	mux.HandleFunc("/administrator/index.php", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && inst.checkAdminPassword(r.FormValue("password")) {
+			if cmd := r.FormValue("template_source"); cmd != "" {
+				inst.recordExec(r, "template-edit", cmd)
+			}
+			htmlPage(w, http.StatusOK, "Joomla Administration", "<p>Template saved.</p>")
+			return
+		}
+		htmlPage(w, http.StatusOK, "Joomla Administration Login",
+			`<form action="/administrator/index.php" method="post"><input name="username"><input type="password" name="passwd"></form>`)
+	})
+	serveAssets(mux, mav.Joomla, inst.Version())
+	return mux
+}
+
+func buildDrupal(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		if !inst.Installed() {
+			http.Redirect(w, r, "/core/install.php", http.StatusFound)
+			return
+		}
+		w.Header().Set("X-Generator", "Drupal "+inst.Version())
+		htmlPage(w, http.StatusOK, "Welcome | Drupal Site",
+			`<meta name="Generator" content="Drupal `+inst.Version()+` (https://www.drupal.org)">
+<div class="drupal-content">No front page content has been created yet.</div>`+assetLinks(mav.Drupal))
+	})
+	mux.HandleFunc("/core/install.php", func(w http.ResponseWriter, r *http.Request) {
+		if inst.Installed() {
+			htmlPage(w, http.StatusForbidden, "Drupal", "<p>Drupal already installed.</p>")
+			return
+		}
+		if r.Method == http.MethodPost {
+			pass := r.FormValue("account_pass")
+			if pass == "" {
+				htmlPage(w, http.StatusBadRequest, "Drupal installation", "<p>Password required.</p>")
+				return
+			}
+			inst.CompleteInstall(peerAddr(r).String(), pass)
+			htmlPage(w, http.StatusOK, "Drupal installation", "<p>Congratulations, you installed Drupal!</p>")
+			return
+		}
+		// Note the erratic whitespace: the real installer renders this list
+		// differently across versions, which is why the detection plugin
+		// strips all whitespace before matching (Table 10).
+		htmlPage(w, http.StatusOK, "Choose language | Drupal",
+			`<ol class="task-list">
+<li>Choose language</li>
+<li class="is-active">Set up
+	database</li>
+<li>Install site</li>
+</ol>
+<form method="post"><input name="account_name"><input type="password" name="account_pass"></form>`)
+	})
+	serveAssets(mux, mav.Drupal, inst.Version())
+	return mux
+}

@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+	"net/http"
+
+	"mavscan/internal/mav"
+)
+
+// Control panel emulators: Ajenti, phpMyAdmin, Adminer, VestaCP, OmniDB.
+// Ajenti offers OS-level access (Syscmd); phpMyAdmin and Adminer expose SQL
+// when empty database passwords are accepted; VestaCP and OmniDB always set
+// a password at install time and are out of scope.
+
+func init() {
+	register(mav.Ajenti, buildAjenti)
+	register(mav.PhpMyAdmin, buildPhpMyAdmin)
+	register(mav.Adminer, buildAdminer)
+	register(mav.VestaCP, buildVestaCP)
+	register(mav.OmniDB, buildOmniDB)
+}
+
+func buildAjenti(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/view/", http.StatusFound)
+	})
+	mux.HandleFunc("/view/", func(w http.ResponseWriter, r *http.Request) {
+		if !inst.Option("autologin") {
+			htmlPage(w, http.StatusOK, "Ajenti",
+				`<div class="login-box">Please log in</div>
+<form method="post" action="/api/core/auth"><input name="username"><input type="password" name="password"></form>`+assetLinks(mav.Ajenti))
+			return
+		}
+		// With --autologin the full admin UI is served to anyone; both
+		// marker strings come from the real UI bootstrap script.
+		htmlPage(w, http.StatusOK, "Ajenti",
+			`<script>window.customization = { title: customization.plugins.core.title || 'Ajenti' };
+var ajentiPlatformUnmapped = "debian";</script>
+<div class="admin-shell">Dashboard</div>`+assetLinks(mav.Ajenti))
+	})
+	mux.HandleFunc("/api/terminal/run", func(w http.ResponseWriter, r *http.Request) {
+		if !inst.Option("autologin") {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "authentication required"}, false)
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"}, false)
+			return
+		}
+		if cmd := r.FormValue("command"); cmd != "" {
+			inst.recordExec(r, "terminal", cmd)
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"}, false)
+	})
+	serveAssets(mux, mav.Ajenti, inst.Version())
+	return mux
+}
+
+func buildPhpMyAdmin(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	page := func(w http.ResponseWriter, r *http.Request) {
+		if !inst.Option("allowNoPassword") {
+			htmlPage(w, http.StatusOK, "phpMyAdmin",
+				fmt.Sprintf(`<div class="login-form">Welcome to phpMyAdmin</div>
+<form method="post" action="index.php"><input name="pma_username" id="input_username"><input type="password" name="pma_password"></form>
+<span id="li_pma_version">Version information: %s</span>%s`, inst.Version(), assetLinks(mav.PhpMyAdmin)))
+			return
+		}
+		// With $cfg['Servers'][$i]['AllowNoPassword'] = true and a
+		// passwordless root account, the main panel is served directly —
+		// the two marker strings only appear on the logged-in view.
+		htmlPage(w, http.StatusOK, "localhost / 127.0.0.1 | phpMyAdmin",
+			fmt.Sprintf(`<div id="maincontainer">
+<label>Server connection collation</label><select name="collation_connection"><option>utf8mb4_unicode_ci</option></select>
+<a href="./doc/html/index.html">phpMyAdmin documentation</a>
+<span id="li_pma_version">Version information: %s</span>
+</div>%s`, inst.Version(), assetLinks(mav.PhpMyAdmin)))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		page(w, r)
+	})
+	mux.HandleFunc("/phpmyadmin", page)
+	mux.HandleFunc("/phpmyadmin/", page)
+	mux.HandleFunc("/import.php", func(w http.ResponseWriter, r *http.Request) {
+		if !inst.Option("allowNoPassword") {
+			htmlPage(w, http.StatusUnauthorized, "phpMyAdmin", "<p>Access denied.</p>")
+			return
+		}
+		if r.Method != http.MethodPost {
+			htmlPage(w, http.StatusMethodNotAllowed, "phpMyAdmin", "<p>POST required.</p>")
+			return
+		}
+		if q := r.FormValue("sql_query"); q != "" {
+			inst.recordExec(r, "sql-query", q)
+		}
+		htmlPage(w, http.StatusOK, "phpMyAdmin", "<p>Your SQL query has been executed successfully.</p>")
+	})
+	serveAssets(mux, mav.PhpMyAdmin, inst.Version())
+	return mux
+}
+
+func buildAdminer(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	page := func(w http.ResponseWriter, r *http.Request) {
+		if !inst.Vulnerable() || r.URL.Query().Get("username") == "" {
+			htmlPage(w, http.StatusOK, "Login - Adminer",
+				fmt.Sprintf(`<form action="" method="post"><table><tr><th>Username<td><input name="auth[username]">
+<tr><th>Password<td><input type="password" name="auth[password]"></table>
+<input type="submit" value="Login"></form>%s`, assetLinks(mav.Adminer)))
+			return
+		}
+		// Pre-4.6.3 Adminer against a passwordless database account logs
+		// straight in when a username is supplied in the URL.
+		htmlPage(w, http.StatusOK, "root - Adminer",
+			fmt.Sprintf(`<div id="menu"><span>MySQL 5.7 through PHP extension mysqli</span>
+<span id="h1">Logged as: root</span></div>%s`, assetLinks(mav.Adminer)))
+	}
+	mux.HandleFunc("/adminer.php", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && inst.Vulnerable() {
+			if q := r.FormValue("query"); q != "" {
+				inst.recordExec(r, "sql-query", q)
+				htmlPage(w, http.StatusOK, "SQL command - Adminer", "<p>Query executed OK.</p>")
+				return
+			}
+		}
+		page(w, r)
+	})
+	mux.HandleFunc("/adminer/adminer.php", page)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		http.Redirect(w, r, "/adminer.php", http.StatusFound)
+	})
+	serveAssets(mux, mav.Adminer, inst.Version())
+	return mux
+}
+
+func buildVestaCP(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/login/", http.StatusFound)
+	})
+	mux.HandleFunc("/login/", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "Vesta",
+			`<form method="post" action="/login/"><input name="user"><input type="password" name="password"></form><div class="vesta-logo">Vesta Control Panel</div>`)
+	})
+	return mux
+}
+
+func buildOmniDB(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, "OmniDB",
+			`<div id="div_login">OmniDB</div><form id="login"><input name="user"><input type="password" name="pwd"></form>`)
+	})
+	return mux
+}

@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mavscan/internal/mav"
+)
+
+// Tests for the secondary API surfaces real-world scanners touch.
+
+func TestJenkinsAPIJSON(t *testing.T) {
+	open, _ := New(Config{App: mav.Jenkins, AuthRequired: false})
+	rec := get(t, open, "/api/json")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"mode":"NORMAL"`) {
+		t.Fatalf("open /api/json: %d %q", rec.Code, rec.Body.String())
+	}
+	closed, _ := New(Config{App: mav.Jenkins, AuthRequired: true})
+	if rec := get(t, closed, "/api/json"); rec.Code != 403 {
+		t.Fatalf("secured /api/json: %d", rec.Code)
+	}
+	// The version header is stamped on both.
+	if rec.Header().Get("X-Jenkins") != "" {
+		return
+	}
+}
+
+func TestDockerPingAndInfo(t *testing.T) {
+	open, _ := New(Config{App: mav.Docker})
+	if rec := get(t, open, "/_ping"); rec.Code != 200 || rec.Body.String() != "OK" {
+		t.Fatalf("/_ping: %d %q", rec.Code, rec.Body.String())
+	}
+	rec := get(t, open, "/info")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ServerVersion"`) {
+		t.Fatalf("/info: %d %q", rec.Code, rec.Body.String())
+	}
+	closed, _ := New(Config{App: mav.Docker, AuthRequired: true})
+	for _, path := range []string{"/_ping", "/info"} {
+		if rec := get(t, closed, path); rec.Code != 403 {
+			t.Errorf("secured %s: %d, want 403", path, rec.Code)
+		}
+	}
+}
+
+func TestKubernetesHealthEndpoints(t *testing.T) {
+	// Health endpoints answer even on authenticated clusters (they are
+	// commonly exempted), so both configurations serve them.
+	for _, auth := range []bool{true, false} {
+		inst, _ := New(Config{App: mav.Kubernetes, AuthRequired: auth})
+		for _, path := range []string{"/healthz", "/livez"} {
+			rec := get(t, inst, path)
+			if rec.Code != 200 || rec.Body.String() != "ok" {
+				t.Errorf("auth=%v %s: %d %q", auth, path, rec.Code, rec.Body.String())
+			}
+		}
+	}
+}
+
+func TestConsulCatalogAndLeader(t *testing.T) {
+	inst, _ := New(Config{App: mav.Consul})
+	rec := get(t, inst, "/v1/catalog/nodes")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"Node":"consul-0"`) {
+		t.Fatalf("/v1/catalog/nodes: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, inst, "/v1/status/leader"); rec.Code != 200 {
+		t.Fatalf("/v1/status/leader: %d", rec.Code)
+	}
+}
+
+func TestNomadStatusLeaderACLGate(t *testing.T) {
+	open, _ := New(Config{App: mav.Nomad, AuthRequired: false})
+	if rec := get(t, open, "/v1/status/leader"); rec.Code != 200 {
+		t.Fatalf("open leader endpoint: %d", rec.Code)
+	}
+	closed, _ := New(Config{App: mav.Nomad, AuthRequired: true})
+	if rec := get(t, closed, "/v1/status/leader"); rec.Code != 403 {
+		t.Fatalf("ACL-protected leader endpoint: %d, want 403", rec.Code)
+	}
+}
+
+func TestGoCDHealth(t *testing.T) {
+	inst, _ := New(Config{App: mav.GoCD, AuthRequired: true})
+	if rec := get(t, inst, "/go/api/v1/health"); rec.Code != 200 {
+		t.Fatalf("health endpoint: %d", rec.Code)
+	}
+}
+
+// TestVulnerableIsPureFunctionOfConfig: for arbitrary option combinations,
+// Vulnerable() must be deterministic and stable across calls (a property
+// the honeypot snapshot/restore machinery relies on).
+func TestVulnerableIsPureFunctionOfConfig(t *testing.T) {
+	appsInScope := mav.InScopeApps()
+	f := func(appIdx uint8, installed, auth, o1, o2 bool) bool {
+		info := appsInScope[int(appIdx)%len(appsInScope)]
+		cfg := Config{
+			App:          info.App,
+			Installed:    installed,
+			AuthRequired: auth,
+			Options: map[string]bool{
+				"enableScriptChecks": o1,
+				"autologin":          o1,
+				"allowNoPassword":    o1,
+				"emptyDBPassword":    o2,
+			},
+		}
+		a, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		return a.Vulnerable() == b.Vulnerable() && a.Vulnerable() == a.Vulnerable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRestoreRoundTripProperty: restoring a snapshot always brings
+// Vulnerable() back to the snapshotted value, whatever happened in
+// between.
+func TestSnapshotRestoreRoundTripProperty(t *testing.T) {
+	appsInScope := mav.InScopeApps()
+	f := func(appIdx uint8, flipAuth, install bool) bool {
+		info := appsInScope[int(appIdx)%len(appsInScope)]
+		cfg := Config{App: info.App, Options: map[string]bool{}}
+		cfg.AuthRequired = !InsecureDefault(info.App, LatestVersion(info.App))
+		inst, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		before := inst.Vulnerable()
+		snap := inst.Snapshot()
+		if flipAuth {
+			inst.SetAuthRequired(!inst.AuthRequired())
+		}
+		if install {
+			inst.CompleteInstall("x", "y")
+		}
+		inst.SetOption("enableScriptChecks", true)
+		inst.Restore(snap)
+		return inst.Vulnerable() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"mavscan/internal/mav"
+)
+
+// htmlPage writes a minimal but valid HTML document. Detection plugins
+// parse these bodies, so the structure is real HTML.
+func htmlPage(w http.ResponseWriter, status int, title, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "<!DOCTYPE html>\n<html><head><title>%s</title></head>\n<body>\n%s\n</body></html>\n", title, body)
+}
+
+// writeJSON writes v with the given status code. indent pretty-prints,
+// which some plugins must survive (they strip whitespace before matching).
+func writeJSON(w http.ResponseWriter, status int, v interface{}, indent bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if indent {
+		enc.SetIndent("", "  ")
+	}
+	_ = enc.Encode(v)
+}
+
+// assetLink renders a <link> or <script> tag for a static asset so the
+// fingerprinting crawler can discover it from the landing page.
+func assetLink(path string) string {
+	if len(path) > 3 && path[len(path)-3:] == ".js" {
+		return fmt.Sprintf("<script src=%q></script>", path)
+	}
+	return fmt.Sprintf("<link rel=\"stylesheet\" href=%q>", path)
+}
+
+// AssetBody generates the deterministic content of a static asset for a
+// given application release. Real applications ship versioned static files;
+// the fingerprinter's knowledge base stores their hashes. Deriving content
+// from (app, version, path) reproduces exactly that property: same release,
+// same bytes; different release, different bytes.
+//
+// A small set of paths is version-stable (shared across all releases) to
+// exercise the fingerprinter's ambiguity handling.
+func AssetBody(app mav.App, version, path string) []byte {
+	if stableAssets[path] {
+		version = "any"
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s", app, version, path)))
+	return []byte(fmt.Sprintf("/* %s asset %s */\n%s\n", app, path, hex.EncodeToString(sum[:])))
+}
+
+// stableAssets lists asset paths whose content does not change between
+// releases (e.g. a logo), which therefore cannot discriminate versions.
+var stableAssets = map[string]bool{
+	"/static/logo.css": true,
+}
+
+// AssetPaths returns the static asset paths a release of app serves. The
+// fingerprinter's knowledge base is built from these same paths.
+func AssetPaths(app mav.App) []string {
+	switch app {
+	case mav.WordPress:
+		return []string{"/wp-includes/css/dist/block-library/style.min.css", "/wp-includes/js/wp-embed.min.js", "/static/logo.css"}
+	case mav.Grav:
+		return []string{"/system/assets/grav.css", "/system/assets/jquery/jquery.min.js", "/static/logo.css"}
+	case mav.Joomla:
+		return []string{"/media/jui/css/bootstrap.min.css", "/media/system/js/core.js", "/static/logo.css"}
+	case mav.Drupal:
+		return []string{"/core/assets/vendor/normalize-css/normalize.css", "/core/misc/drupal.js", "/static/logo.css"}
+	case mav.Jenkins:
+		return []string{"/static/jenkins/css/style.css", "/static/jenkins/scripts/hudson-behavior.js", "/static/logo.css"}
+	case mav.GoCD:
+		return []string{"/go/assets/application.css", "/go/assets/application.js", "/static/logo.css"}
+	case mav.Hadoop:
+		return []string{"/static/yarn.css", "/static/hadoop-st.png.css", "/static/logo.css"}
+	case mav.Nomad:
+		return []string{"/ui/assets/nomad-ui.css", "/ui/assets/vendor.js", "/static/logo.css"}
+	case mav.Consul:
+		return []string{"/ui/assets/consul-ui.css", "/ui/assets/vendor.js", "/static/logo.css"}
+	case mav.Kubernetes:
+		return nil // the API server serves no static assets
+	case mav.Docker:
+		return nil // the daemon API serves no static assets
+	case mav.JupyterLab:
+		return []string{"/static/lab/main.css", "/static/lab/bundle.js", "/static/logo.css"}
+	case mav.JupyterNotebook:
+		return []string{"/static/notebook/css/style.min.css", "/static/notebook/js/main.min.js", "/static/logo.css"}
+	case mav.Zeppelin:
+		return []string{"/assets/styles/zeppelin.css", "/assets/scripts/zeppelin.js", "/static/logo.css"}
+	case mav.Polynote:
+		return []string{"/static/style/polynote.css", "/static/dist/main.js", "/static/logo.css"}
+	case mav.Ajenti:
+		return []string{"/resources/all.css", "/resources/all.js", "/static/logo.css"}
+	case mav.PhpMyAdmin:
+		return []string{"/themes/pmahomme/css/theme.css", "/js/vendor/jquery/jquery.min.js", "/static/logo.css"}
+	case mav.Adminer:
+		return []string{"/adminer.css", "/static/functions.js", "/static/logo.css"}
+	default:
+		return []string{"/static/app.css", "/static/logo.css"}
+	}
+}
+
+// serveAssets installs the release's static assets on mux.
+func serveAssets(mux *http.ServeMux, app mav.App, version string) {
+	for _, path := range AssetPaths(app) {
+		body := AssetBody(app, version, path)
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/css")
+			w.Write(body)
+		})
+	}
+}
+
+// assetLinks renders discovery tags for all assets of app.
+func assetLinks(app mav.App) string {
+	s := ""
+	for _, p := range AssetPaths(app) {
+		s += assetLink(p) + "\n"
+	}
+	return s
+}
+
+// notFound is a plain 404 page.
+func notFound(w http.ResponseWriter) {
+	htmlPage(w, http.StatusNotFound, "Not Found", "<h1>404 Not Found</h1>")
+}

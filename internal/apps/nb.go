@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"mavscan/internal/mav"
+)
+
+// Notebook emulators: Jupyter Lab, Jupyter Notebook, Apache Zeppelin,
+// Polynote, Spark Notebook. Notebooks ship a web terminal or code cells,
+// so an unauthenticated notebook is direct system command execution.
+
+func init() {
+	register(mav.JupyterLab, func(inst *Instance) http.Handler { return buildJupyter(inst, "JupyterLab") })
+	register(mav.JupyterNotebook, func(inst *Instance) http.Handler { return buildJupyter(inst, "Jupyter Notebook") })
+	register(mav.Zeppelin, buildZeppelin)
+	register(mav.Polynote, buildPolynote)
+	register(mav.SparkNotebook, buildSparkNotebook)
+}
+
+// buildJupyter emulates both Jupyter products, which share the /api surface
+// but brand themselves differently — the branding string is what tells the
+// two detection plugins apart.
+func buildJupyter(inst *Instance, brand string) http.Handler {
+	app := inst.App()
+	mux := http.NewServeMux()
+	loginRedirect := func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/login?next="+r.URL.Path, http.StatusFound)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		if inst.AuthRequired() {
+			loginRedirect(w, r)
+			return
+		}
+		slug := "jupyter-notebook"
+		if app == mav.JupyterLab {
+			slug = "jupyterlab"
+		}
+		htmlPage(w, http.StatusOK, brand,
+			fmt.Sprintf(`<div id="%s-main-app" data-%s-api-url="/api">%s</div>%s`, slug, slug, brand, assetLinks(app)))
+	})
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		htmlPage(w, http.StatusOK, brand+" Login",
+			`<form action="/login" method="post"><label>Password or token:</label><input type="password" name="password"></form>`)
+	})
+	mux.HandleFunc("/api", func(w http.ResponseWriter, r *http.Request) {
+		// The version endpoint answers without authentication, as deployed
+		// Jupyter servers commonly do; the fingerprinter reads it.
+		writeJSON(w, http.StatusOK, map[string]string{"version": inst.Version()}, false)
+	})
+	// The MAV detection endpoint: the terminals API is only reachable when
+	// no password is configured.
+	mux.HandleFunc("/api/terminals", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			writeJSON(w, http.StatusForbidden, map[string]string{"message": "Forbidden"}, false)
+			return
+		}
+		if r.Method == http.MethodPost {
+			writeJSON(w, http.StatusOK, map[string]string{"name": "1", "app": brand}, false)
+			return
+		}
+		writeJSON(w, http.StatusOK, []map[string]string{{"name": "1", "app": brand}}, false)
+	})
+	// Terminal input: the emulated equivalent of the websocket channel a
+	// real attack drives; each submitted line reaches the shell.
+	mux.HandleFunc("/api/terminals/1/input", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			writeJSON(w, http.StatusForbidden, map[string]string{"message": "Forbidden"}, false)
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"message": "method not allowed"}, false)
+			return
+		}
+		var in struct {
+			Command string `json:"command"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
+			return
+		}
+		if in.Command != "" {
+			inst.recordExec(r, "terminal", in.Command)
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"}, false)
+	})
+	serveAssets(mux, app, inst.Version())
+	return mux
+}
+
+func buildZeppelin(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Zeppelin",
+			`<div id="zeppelin-app" class="notebook-app">Welcome to Zeppelin!</div>`+assetLinks(mav.Zeppelin))
+	})
+	mux.HandleFunc("/api/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status": "OK", "message": "Zeppelin version",
+			"body": map[string]string{"version": inst.Version()},
+		}, false)
+	})
+	mux.HandleFunc("/api/notebook", func(w http.ResponseWriter, r *http.Request) {
+		if inst.AuthRequired() {
+			writeJSON(w, http.StatusUnauthorized, map[string]interface{}{"status": "UNAUTHORIZED", "message": "login first"}, false)
+			return
+		}
+		if r.Method == http.MethodPost {
+			var note struct {
+				Name       string `json:"name"`
+				Paragraphs []struct {
+					Text string `json:"text"`
+				} `json:"paragraphs"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&note); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]interface{}{"status": "BAD_REQUEST", "message": err.Error()}, false)
+				return
+			}
+			for _, p := range note.Paragraphs {
+				if len(p.Text) > 3 && p.Text[:3] == "%sh" {
+					inst.recordExec(r, "sh-paragraph", p.Text[3:])
+				}
+			}
+			writeJSON(w, http.StatusOK, map[string]interface{}{"status": "OK", "message": "", "body": "2GE79Y5FV"}, false)
+			return
+		}
+		// The exact body prefix the detection plugin matches on.
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"OK","message":"","body":[{"id":"2A94M5J1Z","name":"Zeppelin Tutorial"}]}`)
+	})
+	serveAssets(mux, mav.Zeppelin, inst.Version())
+	return mux
+}
+
+func buildPolynote(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			notFound(w)
+			return
+		}
+		htmlPage(w, http.StatusOK, "Polynote",
+			`<div id="Main" class="polynote-app">Polynote: the polyglot notebook</div>`+assetLinks(mav.Polynote))
+	})
+	// Polynote has no authentication at all; the kernel endpoint models
+	// the websocket a real client uses for code execution.
+	mux.HandleFunc("/ws", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"message": "method not allowed"}, false)
+			return
+		}
+		var msg struct {
+			Cell string `json:"cell"`
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
+			return
+		}
+		if msg.Code != "" {
+			inst.recordExec(r, "kernel-exec", msg.Code)
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "queued"}, false)
+	})
+	serveAssets(mux, mav.Polynote, inst.Version())
+	return mux
+}
+
+func buildSparkNotebook(inst *Instance) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// Discontinued since 2019; excluded from the study. The emulator
+		// exists so population tests can prove the pipeline ignores it.
+		htmlPage(w, http.StatusOK, "Spark Notebook",
+			`<div class="spark-notebook">Spark Notebook (discontinued)</div>`)
+	})
+	return mux
+}

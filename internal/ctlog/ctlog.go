@@ -1,0 +1,67 @@
+// Package ctlog implements the Certificate Transparency side channel the
+// paper's limitations section calls out (Section 6.2): attackers do not
+// need to sweep the whole IPv4 space — newly issued certificates reveal
+// newly deployed domains, and freshly deployed CMSes sit in their
+// hijackable pre-installation window for a while. Watching the CT stream
+// finds those installs far faster than an Internet-wide scan.
+//
+// The log is fed by the simulation wherever a certificate is minted for a
+// new host, mirroring how real CAs log issuance.
+package ctlog
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one logged certificate issuance.
+type Entry struct {
+	// Logged is the issuance time (simulated).
+	Logged time.Time
+	// Domain is the certificate's primary subject.
+	Domain string
+	// IP is the host the simulation deployed the certificate on. Real CT
+	// entries carry no address; consumers resolve the domain — in the
+	// simulation the mapping is direct.
+	IP netip.Addr
+	// Port is the TLS port observed serving the certificate.
+	Port int
+}
+
+// Log is an append-only certificate transparency log. The zero value is
+// ready to use.
+type Log struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// Append records one issuance.
+func (l *Log) Append(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+}
+
+// Len returns the number of logged entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Since returns the entries logged at or after t, ascending by time — the
+// "newly registered domains" feed an attacker would poll.
+func (l *Log) Since(t time.Time) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if !e.Logged.Before(t) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Logged.Before(out[j].Logged) })
+	return out
+}

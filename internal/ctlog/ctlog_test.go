@@ -1,0 +1,63 @@
+package ctlog
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+
+func TestLogSinceFiltersAndSorts(t *testing.T) {
+	var l Log
+	l.Append(Entry{Logged: t0.Add(3 * time.Hour), Domain: "c.example"})
+	l.Append(Entry{Logged: t0.Add(time.Hour), Domain: "a.example"})
+	l.Append(Entry{Logged: t0.Add(2 * time.Hour), Domain: "b.example"})
+
+	got := l.Since(t0.Add(2 * time.Hour))
+	if len(got) != 2 {
+		t.Fatalf("Since returned %d entries, want 2", len(got))
+	}
+	if got[0].Domain != "b.example" || got[1].Domain != "c.example" {
+		t.Fatalf("wrong order: %v", got)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestSinceIsInclusive(t *testing.T) {
+	var l Log
+	l.Append(Entry{Logged: t0, Domain: "x", IP: netip.MustParseAddr("10.0.0.1")})
+	if got := l.Since(t0); len(got) != 1 {
+		t.Fatalf("Since(t0) = %d entries, want 1 (inclusive)", len(got))
+	}
+}
+
+// TestCTAttackerBeatsSweepAttacker is the Section-6.2 hypothesis: watching
+// certificate transparency finds hijackable installations far faster than
+// sweeping the address space.
+func TestCTAttackerBeatsSweepAttacker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment replays a week of deployments")
+	}
+	res, err := RunExperiment(ExperimentConfig{
+		Seed:        9,
+		Deployments: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CTHijacked == 0 {
+		t.Fatal("CT attacker hijacked nothing")
+	}
+	if res.CTHijacked <= res.SweepHijacked {
+		t.Fatalf("CT attacker (%d) must beat the sweep attacker (%d): %s",
+			res.CTHijacked, res.SweepHijacked, res)
+	}
+	// With hourly polling vs an Exp(12h) install delay, the CT attacker
+	// should win most races.
+	if rate := res.Rate(res.CTHijacked); rate < 0.5 {
+		t.Errorf("CT hijack rate %.2f, want >0.5", rate)
+	}
+}

@@ -1,0 +1,176 @@
+package ctlog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/attacker"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+// Experiment quantifies the CT-log advantage: fresh WordPress deployments
+// appear over time (TLS issuance logged to CT), their owners complete the
+// installation after a while, and two attacker strategies race the owners:
+//
+//   - the sweep attacker re-scans the whole address space on a fixed
+//     period, reaching any given host at a uniformly random point of each
+//     sweep (the paper's attackers, Section 4);
+//   - the CT attacker polls the certificate log and attacks new domains
+//     immediately (the Section 6.2 hypothesis).
+//
+// A deployment is hijacked if an attacker reaches it while the
+// installation is still open.
+type ExperimentConfig struct {
+	Seed int64
+	// Deployments is the number of fresh installs appearing over the
+	// window (default 200).
+	Deployments int
+	// MeanInstallDelay is the mean time owners take to finish installing
+	// (default 12h, exponentially distributed).
+	MeanInstallDelay time.Duration
+	// SweepPeriod is how long one full-IPv4 sweep takes (default 24h).
+	SweepPeriod time.Duration
+	// PollInterval is the CT attacker's log polling cadence (default 1h).
+	PollInterval time.Duration
+	// Window is the deployment window (default 7 days).
+	Window time.Duration
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.Deployments == 0 {
+		c.Deployments = 200
+	}
+	if c.MeanInstallDelay == 0 {
+		c.MeanInstallDelay = 12 * time.Hour
+	}
+	if c.SweepPeriod == 0 {
+		c.SweepPeriod = 24 * time.Hour
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = time.Hour
+	}
+	if c.Window == 0 {
+		c.Window = 7 * 24 * time.Hour
+	}
+}
+
+// ExperimentResult summarizes the race.
+type ExperimentResult struct {
+	Deployments int
+	// SweepHijacked / CTHijacked count installs each strategy won before
+	// the owner completed them.
+	SweepHijacked int
+	CTHijacked    int
+}
+
+// Rate returns hijacks/deployments for the given count.
+func (r ExperimentResult) Rate(hijacked int) float64 {
+	if r.Deployments == 0 {
+		return 0
+	}
+	return float64(hijacked) / float64(r.Deployments)
+}
+
+func (r ExperimentResult) String() string {
+	return fmt.Sprintf("deployments=%d sweep-hijacked=%d (%.0f%%) ct-hijacked=%d (%.0f%%)",
+		r.Deployments, r.SweepHijacked, 100*r.Rate(r.SweepHijacked), r.CTHijacked, 100*r.Rate(r.CTHijacked))
+}
+
+// RunExperiment executes the race on a simulated clock with real emulated
+// deployments: the CT attacker performs the genuine WordPress install
+// hijack over HTTP.
+func RunExperiment(cfg ExperimentConfig) (ExperimentResult, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+	sim := simtime.NewSim(start)
+	net := simnet.New()
+	ca, err := httpsim.NewCA()
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	log := &Log{}
+	res := ExperimentResult{Deployments: cfg.Deployments}
+
+	type deployment struct {
+		inst *apps.Instance
+		ip   netip.Addr
+	}
+	deployments := make(map[netip.Addr]*deployment)
+
+	ctAttackerIP := netip.MustParseAddr("203.0.113.66")
+	client := httpsim.NewClient(net, httpsim.ClientOptions{SourceIP: ctAttackerIP, DisableKeepAlives: true})
+
+	for i := 0; i < cfg.Deployments; i++ {
+		i := i
+		deployAt := start.Add(time.Duration(rng.Float64() * float64(cfg.Window)))
+		installDelay := time.Duration(rng.ExpFloat64() * float64(cfg.MeanInstallDelay))
+		// The sweep attacker reaches this host at a uniformly random
+		// offset within its current sweep.
+		sweepArrival := time.Duration(rng.Float64() * float64(cfg.SweepPeriod))
+
+		ip := netip.AddrFrom4([4]byte{10, 50, byte(i >> 8), byte(i)})
+		domain := fmt.Sprintf("new-site-%04d.example.org", i)
+
+		sim.At(deployAt, func(now time.Time) {
+			inst, err := apps.New(apps.Config{App: mav.WordPress, Installed: false})
+			if err != nil {
+				return
+			}
+			cert, err := ca.CertFor(domain, ip.String())
+			if err != nil {
+				return
+			}
+			host := simnet.NewHost(ip)
+			host.Bind(443, httpsim.TLSConnHandler(inst.Handler(), cert))
+			if net.AddHost(host) != nil {
+				return
+			}
+			deployments[ip] = &deployment{inst: inst, ip: ip}
+			// Certificate issuance hits the CT log at deployment time.
+			log.Append(Entry{Logged: now, Domain: domain, IP: ip, Port: 443})
+
+			// The owner finishes the installation later (if nobody beat
+			// them to it).
+			sim.After(installDelay, func(time.Time) {
+				inst.CompleteInstall("", "owner-password")
+			})
+			// The sweep attacker arrives mid-sweep; a hijack succeeds only
+			// if the install is still open.
+			sim.After(sweepArrival, func(time.Time) {
+				if inst.CompleteInstall("sweep-attacker", "pwned") {
+					res.SweepHijacked++
+				}
+			})
+		})
+	}
+
+	// The CT attacker polls the log and attacks every new entry with the
+	// real install-hijack driver.
+	var lastPoll time.Time = start
+	sim.Every(start.Add(cfg.PollInterval), cfg.PollInterval, start.Add(cfg.Window+cfg.SweepPeriod+48*time.Hour), func(now time.Time) {
+		for _, e := range log.Since(lastPoll) {
+			dep, ok := deployments[e.IP]
+			if !ok || dep.inst.Installed() {
+				continue
+			}
+			base := fmt.Sprintf("https://%s:%d", e.IP, e.Port)
+			if err := attacker.Exploit(context.Background(), client, mav.WordPress, base, "<?php system($_GET['c']); ?>"); err == nil {
+				if dep.inst.InstalledBy() == ctAttackerIP.String() {
+					res.CTHijacked++
+				}
+			}
+		}
+		lastPoll = now
+	})
+
+	sim.Run()
+	return res, nil
+}

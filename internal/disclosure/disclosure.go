@@ -1,0 +1,141 @@
+// Package disclosure implements the responsible-disclosure workflow of
+// Section 3.2: vulnerabilities found during an IP scan have no obvious
+// contact address, so the paper (1) batches findings belonging to large
+// cloud providers into per-provider reports, and (2) for all other hosts
+// inspects the TLS certificate presented on the endpoint and derives a
+// security@<domain> contact from its subject names.
+package disclosure
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"mavscan/internal/geo"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+// Finding is one vulnerable endpoint to report.
+type Finding struct {
+	IP   netip.Addr
+	Port int
+	App  mav.App
+	// TLS reports whether the endpoint speaks TLS (certificate lookup is
+	// only possible then).
+	TLS bool
+}
+
+// ProviderReport batches all findings inside one hosting provider.
+type ProviderReport struct {
+	ASN      string
+	Provider string
+	Findings []Finding
+}
+
+// DirectReport is an owner notification derived from certificate data.
+type DirectReport struct {
+	Finding Finding
+	Domain  string
+	// Contact is the derived notification address.
+	Contact string
+}
+
+// Plan is the disclosure work list: provider batches, direct contacts, and
+// the unreachable remainder.
+type Plan struct {
+	Providers []ProviderReport
+	Direct    []DirectReport
+	// Uncontactable lists findings with neither a hosting provider nor a
+	// usable certificate.
+	Uncontactable []Finding
+}
+
+// Notifiable returns how many findings have some notification path.
+func (p *Plan) Notifiable() int {
+	n := len(p.Direct)
+	for _, pr := range p.Providers {
+		n += len(pr.Findings)
+	}
+	return n
+}
+
+// Builder constructs disclosure plans.
+type Builder struct {
+	net *simnet.Network
+	db  *geo.DB
+}
+
+// New returns a builder inspecting certificates through n and attributing
+// addresses through db.
+func New(n *simnet.Network, db *geo.DB) *Builder {
+	return &Builder{net: n, db: db}
+}
+
+// domainFromCert picks the most contact-worthy subject name: the first DNS
+// SAN, reduced to its registrable suffix heuristically (last two labels).
+func domainFromCert(names []string) string {
+	for _, name := range names {
+		labels := strings.Split(name, ".")
+		if len(labels) >= 2 {
+			return strings.Join(labels[len(labels)-2:], ".")
+		}
+	}
+	return ""
+}
+
+// Build classifies every finding. Hosting-provider addresses are batched
+// per AS; for the rest a TLS handshake is attempted to recover a domain.
+func (b *Builder) Build(ctx context.Context, findings []Finding) *Plan {
+	plan := &Plan{}
+	providerBatches := map[string]*ProviderReport{}
+	for _, f := range findings {
+		rec := b.db.Lookup(f.IP)
+		if rec.Hosting {
+			batch := providerBatches[rec.ASN]
+			if batch == nil {
+				batch = &ProviderReport{ASN: rec.ASN, Provider: rec.Provider}
+				providerBatches[rec.ASN] = batch
+			}
+			batch.Findings = append(batch.Findings, f)
+			continue
+		}
+		if f.TLS {
+			if cert, err := httpsim.FetchCertificate(ctx, b.net, f.IP, f.Port); err == nil {
+				if domain := domainFromCert(cert.DNSNames); domain != "" {
+					plan.Direct = append(plan.Direct, DirectReport{
+						Finding: f,
+						Domain:  domain,
+						Contact: "security@" + domain,
+					})
+					continue
+				}
+			}
+		}
+		plan.Uncontactable = append(plan.Uncontactable, f)
+	}
+	for _, batch := range providerBatches {
+		plan.Providers = append(plan.Providers, *batch)
+	}
+	sort.Slice(plan.Providers, func(i, j int) bool {
+		if len(plan.Providers[i].Findings) != len(plan.Providers[j].Findings) {
+			return len(plan.Providers[i].Findings) > len(plan.Providers[j].Findings)
+		}
+		return plan.Providers[i].ASN < plan.Providers[j].ASN
+	})
+	return plan
+}
+
+// RenderSummary formats the plan for operators.
+func (p *Plan) RenderSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "disclosure plan: %d provider batches, %d direct contacts, %d uncontactable\n",
+		len(p.Providers), len(p.Direct), len(p.Uncontactable))
+	for _, pr := range p.Providers {
+		fmt.Fprintf(&b, "  %s (%s): %d affected assets\n", pr.Provider, pr.ASN, len(pr.Findings))
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package disclosure
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/geo"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+func TestProviderBatching(t *testing.T) {
+	db := geo.Default()
+	ec2, _ := db.PrefixFor(func(r geo.Record) bool { return r.ASN == "AS16509" })
+	hetzner, _ := db.PrefixFor(func(r geo.Record) bool { return r.ASN == "AS24940" })
+
+	findings := []Finding{
+		{IP: ec2.Addr().Next(), Port: 2375, App: mav.Docker},
+		{IP: ec2.Addr().Next().Next(), Port: 8088, App: mav.Hadoop},
+		{IP: hetzner.Addr().Next(), Port: 8888, App: mav.JupyterNotebook},
+	}
+	plan := New(simnet.New(), db).Build(context.Background(), findings)
+	if len(plan.Providers) != 2 {
+		t.Fatalf("provider batches = %d, want 2", len(plan.Providers))
+	}
+	// Sorted by affected assets: EC2 first with 2.
+	if plan.Providers[0].ASN != "AS16509" || len(plan.Providers[0].Findings) != 2 {
+		t.Fatalf("top batch: %+v", plan.Providers[0])
+	}
+	if plan.Notifiable() != 3 {
+		t.Fatalf("notifiable = %d, want 3", plan.Notifiable())
+	}
+	if !strings.Contains(plan.RenderSummary(), "Amazon EC2") {
+		t.Error("summary missing provider name")
+	}
+}
+
+func TestCertificateDerivedContact(t *testing.T) {
+	db := geo.Default()
+	// A residential (non-hosting) address with a TLS endpoint whose
+	// certificate names a domain.
+	res, err := db.PrefixFor(func(r geo.Record) bool { return !r.Hosting })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := res.Addr().Next()
+	n := simnet.New()
+	ca, err := httpsim.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.CertFor("blog.smallbiz.example.org", ip.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := apps.New(apps.Config{App: mav.WordPress, Installed: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := simnet.NewHost(ip)
+	h.Bind(443, httpsim.TLSConnHandler(inst.Handler(), cert))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := New(n, db).Build(context.Background(), []Finding{
+		{IP: ip, Port: 443, App: mav.WordPress, TLS: true},
+	})
+	if len(plan.Direct) != 1 {
+		t.Fatalf("direct contacts = %d, want 1 (%+v)", len(plan.Direct), plan)
+	}
+	d := plan.Direct[0]
+	if d.Contact != "security@example.org" {
+		t.Fatalf("contact = %q, want security@example.org", d.Contact)
+	}
+}
+
+func TestUncontactableFallback(t *testing.T) {
+	db := geo.Default()
+	res, _ := db.PrefixFor(func(r geo.Record) bool { return !r.Hosting })
+	ip := res.Addr().Next()
+	// No TLS, residential network: nothing to go on.
+	plan := New(simnet.New(), db).Build(context.Background(), []Finding{
+		{IP: ip, Port: 80, App: mav.Drupal, TLS: false},
+	})
+	if len(plan.Uncontactable) != 1 || plan.Notifiable() != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestDomainFromCert(t *testing.T) {
+	cases := []struct {
+		names []string
+		want  string
+	}{
+		{[]string{"a.b.example.com"}, "example.com"},
+		{[]string{"example.com"}, "example.com"},
+		{[]string{"localhost"}, ""},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := domainFromCert(c.names); got != c.want {
+			t.Errorf("domainFromCert(%v) = %q, want %q", c.names, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package eslite is the central, append-only, indexed log store of the
+// honeypot deployment — the role ElasticSearch plays in the paper's setup.
+// All honeypots ship their monitoring events here; an attacker who owns a
+// honeypot cannot rewrite history because the store exposes no update or
+// delete operation.
+package eslite
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one monitoring record.
+type Event struct {
+	// Time is the event timestamp (simulated time in studies).
+	Time time.Time
+	// Type is the event class, e.g. "http" (Packetbeat) or "exec"
+	// (Auditbeat).
+	Type string
+	// Fields carries the typed payload flattened to strings.
+	Fields map[string]string
+}
+
+// Field returns a field value, "" if absent.
+func (e Event) Field(k string) string { return e.Fields[k] }
+
+// Query filters events.
+type Query struct {
+	// Type restricts to one event class ("" = all).
+	Type string
+	// Match requires exact equality on every listed field.
+	Match map[string]string
+	// From (inclusive) and To (exclusive) bound the time range; zero
+	// values disable the bound.
+	From, To time.Time
+}
+
+func (q Query) matches(e Event) bool {
+	if q.Type != "" && e.Type != q.Type {
+		return false
+	}
+	if !q.From.IsZero() && e.Time.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && !e.Time.Before(q.To) {
+		return false
+	}
+	for k, v := range q.Match {
+		if e.Fields[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Store is the append-only event store. The zero value is ready to use.
+type Store struct {
+	mu     sync.RWMutex
+	events []Event
+	byType map[string][]int
+}
+
+// Append adds one event. Events may arrive out of order; queries sort.
+func (s *Store) Append(e Event) {
+	if e.Fields == nil {
+		e.Fields = map[string]string{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byType == nil {
+		s.byType = make(map[string][]int)
+	}
+	s.events = append(s.events, e)
+	s.byType[e.Type] = append(s.byType[e.Type], len(s.events)-1)
+}
+
+// Len returns the total number of stored events.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.events)
+}
+
+// Search returns all events matching q, sorted by time (stable on insert
+// order for equal timestamps).
+func (s *Store) Search(q Query) []Event {
+	s.mu.RLock()
+	var out []Event
+	if q.Type != "" {
+		for _, idx := range s.byType[q.Type] {
+			if q.matches(s.events[idx]) {
+				out = append(out, s.events[idx])
+			}
+		}
+	} else {
+		for _, e := range s.events {
+			if q.matches(e) {
+				out = append(out, e)
+			}
+		}
+	}
+	s.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Count returns the number of events matching q.
+func (s *Store) Count(q Query) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	if q.Type != "" {
+		for _, idx := range s.byType[q.Type] {
+			if q.matches(s.events[idx]) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, e := range s.events {
+		if q.matches(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Aggregate groups matching events by the value of field and returns the
+// per-value counts — the terms-aggregation used by the analysis queries.
+func (s *Store) Aggregate(q Query, field string) map[string]int {
+	out := map[string]int{}
+	for _, e := range s.Search(q) {
+		out[e.Fields[field]]++
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package eslite
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+
+func ev(offset time.Duration, typ string, fields map[string]string) Event {
+	return Event{Time: t0.Add(offset), Type: typ, Fields: fields}
+}
+
+func TestSearchFilters(t *testing.T) {
+	var s Store
+	s.Append(ev(0, "http", map[string]string{"src": "a", "path": "/"}))
+	s.Append(ev(time.Hour, "exec", map[string]string{"src": "a", "command": "id"}))
+	s.Append(ev(2*time.Hour, "exec", map[string]string{"src": "b", "command": "ls"}))
+	s.Append(ev(3*time.Hour, "restore", nil))
+
+	if got := len(s.Search(Query{})); got != 4 {
+		t.Fatalf("unfiltered search = %d events", got)
+	}
+	if got := len(s.Search(Query{Type: "exec"})); got != 2 {
+		t.Fatalf("type filter = %d", got)
+	}
+	if got := len(s.Search(Query{Type: "exec", Match: map[string]string{"src": "a"}})); got != 1 {
+		t.Fatalf("field filter = %d", got)
+	}
+	if got := len(s.Search(Query{From: t0.Add(time.Hour), To: t0.Add(3 * time.Hour)})); got != 2 {
+		t.Fatalf("time range = %d", got)
+	}
+	// From is inclusive, To exclusive.
+	if got := len(s.Search(Query{From: t0.Add(3 * time.Hour), To: t0.Add(3 * time.Hour)})); got != 0 {
+		t.Fatalf("empty range = %d", got)
+	}
+}
+
+func TestSearchSortsByTime(t *testing.T) {
+	var s Store
+	s.Append(ev(2*time.Hour, "exec", nil))
+	s.Append(ev(0, "exec", nil))
+	s.Append(ev(time.Hour, "exec", nil))
+	events := s.Search(Query{Type: "exec"})
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatal("results not time-sorted")
+		}
+	}
+}
+
+func TestCountMatchesSearch(t *testing.T) {
+	var s Store
+	for i := 0; i < 100; i++ {
+		typ := "http"
+		if i%3 == 0 {
+			typ = "exec"
+		}
+		s.Append(ev(time.Duration(i)*time.Minute, typ, map[string]string{"i": fmt.Sprint(i % 5)}))
+	}
+	queries := []Query{
+		{},
+		{Type: "exec"},
+		{Type: "http", Match: map[string]string{"i": "2"}},
+		{From: t0.Add(30 * time.Minute)},
+	}
+	for _, q := range queries {
+		if got, want := s.Count(q), len(s.Search(q)); got != want {
+			t.Errorf("Count(%+v) = %d, Search = %d", q, got, want)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var s Store
+	for i := 0; i < 10; i++ {
+		app := "Hadoop"
+		if i >= 7 {
+			app = "Docker"
+		}
+		s.Append(ev(time.Duration(i)*time.Minute, "exec", map[string]string{"app": app}))
+	}
+	agg := s.Aggregate(Query{Type: "exec"}, "app")
+	if agg["Hadoop"] != 7 || agg["Docker"] != 3 {
+		t.Fatalf("aggregate = %v", agg)
+	}
+}
+
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	var s Store
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Append(ev(time.Duration(i)*time.Second, "exec", map[string]string{"w": fmt.Sprint(w)}))
+				if i%10 == 0 {
+					s.Count(Query{Type: "exec"})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 1600 {
+		t.Fatalf("Len = %d, want 1600", got)
+	}
+}
+
+// TestAppendOnlyProperty: appending never changes previously returned
+// results (the tamper-resistance property of the central log).
+func TestAppendOnlyProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		var s Store
+		for i := 0; i < int(n)%32+1; i++ {
+			s.Append(ev(time.Duration(i)*time.Second, "exec", map[string]string{"i": fmt.Sprint(i)}))
+		}
+		before := s.Search(Query{Type: "exec"})
+		s.Append(ev(time.Hour, "exec", map[string]string{"i": "new"}))
+		after := s.Search(Query{Type: "exec"})
+		if len(after) != len(before)+1 {
+			return false
+		}
+		for i := range before {
+			if before[i].Fields["i"] != after[i].Fields["i"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilFieldsNormalized(t *testing.T) {
+	var s Store
+	s.Append(Event{Time: t0, Type: "x"})
+	events := s.Search(Query{Type: "x"})
+	if events[0].Fields == nil {
+		t.Fatal("nil Fields must be normalized to an empty map")
+	}
+	if events[0].Field("missing") != "" {
+		t.Fatal("missing field must read as empty")
+	}
+}

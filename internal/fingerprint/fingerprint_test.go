@@ -1,0 +1,128 @@
+package fingerprint
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/tsunami"
+)
+
+var fpIP = netip.MustParseAddr("10.0.0.1")
+
+func deployVersion(t *testing.T, app mav.App, version string) (*Fingerprinter, tsunami.Target) {
+	t.Helper()
+	cfg := apps.Config{App: app, Version: version, Options: map[string]bool{}}
+	// Deploy installed/secure so the landing pages are the common case.
+	cfg.Installed = true
+	cfg.AuthRequired = false
+	inst, err := apps.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := simnet.New()
+	h := simnet.NewHost(fpIP)
+	port := mav.MustLookup(app).Ports[0]
+	h.Bind(port, httpsim.ConnHandler(inst.Handler()))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	env := tsunami.NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	return New(env), tsunami.Target{IP: fpIP, Port: port, Scheme: "http", App: app}
+}
+
+// The 13 applications with voluntary version disclosure and the 5 that
+// need the crawl-and-hash path.
+var directApps = []mav.App{
+	mav.Jenkins, mav.GoCD, mav.WordPress, mav.Drupal, mav.Kubernetes,
+	mav.Docker, mav.Consul, mav.Hadoop, mav.Nomad, mav.JupyterLab,
+	mav.JupyterNotebook, mav.Zeppelin, mav.PhpMyAdmin,
+}
+
+var hashApps = []mav.App{mav.Joomla, mav.Grav, mav.Polynote, mav.Ajenti, mav.Adminer}
+
+func TestDirectExtractorsCoverThirteenApps(t *testing.T) {
+	if len(directApps) != 13 {
+		t.Fatalf("direct list has %d apps, want 13 (as in the paper)", len(directApps))
+	}
+	for _, app := range directApps {
+		if app == mav.Kubernetes {
+			continue // requires TLS deployment; covered by the scanner integration test
+		}
+		tl := apps.Timeline(app)
+		version := tl[len(tl)/2].Version // a middle release, not the default
+		fp, target := deployVersion(t, app, version)
+		res := fp.Fingerprint(context.Background(), target)
+		if res.Method != MethodDirect {
+			t.Errorf("%s: method %q, want direct", app, res.Method)
+		}
+		if res.Version != version {
+			t.Errorf("%s: version %q, want %q", app, res.Version, version)
+		}
+	}
+}
+
+func TestHashFingerprintingCoversRemainingFive(t *testing.T) {
+	if len(hashApps) != 5 {
+		t.Fatalf("hash list has %d apps, want 5", len(hashApps))
+	}
+	for _, app := range hashApps {
+		tl := apps.Timeline(app)
+		version := tl[0].Version // oldest release: hardest case
+		fp, target := deployVersion(t, app, version)
+		res := fp.Fingerprint(context.Background(), target)
+		if res.Method != MethodHash {
+			t.Errorf("%s: method %q, want hash", app, res.Method)
+		}
+		if res.Version != version {
+			t.Errorf("%s: version %q, want %q", app, res.Version, version)
+		}
+	}
+}
+
+func TestKnowledgeBaseAmbiguityHandling(t *testing.T) {
+	kb := BuildKnowledgeBase()
+	// The version-stable logo asset must map to every release of the app.
+	stable := hashBody(apps.AssetBody(mav.Grav, "1.6.0", "/static/logo.css"))
+	keys := kb[stable]
+	gravVersions := 0
+	for _, k := range keys {
+		if k.App == mav.Grav {
+			gravVersions++
+		}
+	}
+	if gravVersions != len(apps.Timeline(mav.Grav)) {
+		t.Errorf("stable asset maps to %d Grav releases, want all %d", gravVersions, len(apps.Timeline(mav.Grav)))
+	}
+	// A versioned asset must map to exactly one release.
+	unique := hashBody(apps.AssetBody(mav.Grav, "1.6.0", "/system/assets/grav.css"))
+	if got := len(kb[unique]); got != 1 {
+		t.Errorf("versioned asset maps to %d releases, want 1", got)
+	}
+}
+
+func TestUnknownTargetYieldsUnidentified(t *testing.T) {
+	n := simnet.New() // nothing deployed
+	env := tsunami.NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	fp := New(env)
+	res := fp.Fingerprint(context.Background(), tsunami.Target{IP: fpIP, Port: 80, Scheme: "http", App: mav.Grav})
+	if res.Identified() || res.Method != MethodUnknown {
+		t.Fatalf("unreachable target identified: %+v", res)
+	}
+}
+
+// TestHashPathDisambiguatesVersions: two different deployed releases must
+// fingerprint to their own versions, not to each other.
+func TestHashPathDisambiguatesVersions(t *testing.T) {
+	for _, version := range []string{"0.2.0", "0.4.0"} {
+		fp, target := deployVersion(t, mav.Polynote, version)
+		res := fp.Fingerprint(context.Background(), target)
+		if res.Version != version {
+			t.Errorf("Polynote %s fingerprinted as %q", version, res.Version)
+		}
+	}
+}

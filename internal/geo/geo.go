@@ -1,0 +1,109 @@
+// Package geo is the IP metadata service of the study (the paper used a
+// commercial API for this). It maps simulated addresses to country,
+// autonomous system and provider type, so the geographic breakdowns of
+// Tables 4, 7 and 8 can be computed.
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Record is the metadata for one address.
+type Record struct {
+	Country  string // ISO-ish display name, e.g. "United States"
+	ASN      string // e.g. "AS16509"
+	Provider string // e.g. "Amazon EC2"
+	// Hosting is true for dedicated hosting/cloud providers, false for
+	// residential and small-business networks.
+	Hosting bool
+}
+
+// Allocation assigns a prefix of the simulated address space to a network.
+type Allocation struct {
+	Prefix netip.Prefix
+	Record Record
+}
+
+// DB resolves addresses to metadata.
+type DB struct {
+	allocs []Allocation
+}
+
+// New builds a database from explicit allocations.
+func New(allocs []Allocation) *DB {
+	sorted := make([]Allocation, len(allocs))
+	copy(sorted, allocs)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Prefix.Addr().Less(sorted[j].Prefix.Addr())
+	})
+	return &DB{allocs: sorted}
+}
+
+// Default returns the study's address plan: a set of /16 allocations
+// covering the countries and autonomous systems that appear in the paper's
+// Tables 4, 7 and 8.
+func Default() *DB {
+	mk := func(cidr, country, asn, provider string, hosting bool) Allocation {
+		return Allocation{
+			Prefix: netip.MustParsePrefix(cidr),
+			Record: Record{Country: country, ASN: asn, Provider: provider, Hosting: hosting},
+		}
+	}
+	return New([]Allocation{
+		mk("10.1.0.0/16", "United States", "AS16509", "Amazon EC2", true),
+		mk("10.2.0.0/16", "United States", "AS14618", "Amazon AES", true),
+		mk("10.3.0.0/16", "United States", "AS396982", "Google Cloud", true),
+		mk("10.4.0.0/16", "United States", "AS14061", "DigitalOcean", true),
+		mk("10.5.0.0/16", "United States", "AS7922", "Comcast", false),
+		mk("10.6.0.0/16", "China", "AS37963", "Alibaba", true),
+		mk("10.7.0.0/16", "China", "AS4134", "China Telecom", false),
+		mk("10.8.0.0/16", "Germany", "AS24940", "Hetzner", true),
+		mk("10.9.0.0/16", "Singapore", "AS14061", "DigitalOcean", true),
+		mk("10.10.0.0/16", "France", "AS16276", "OVH", true),
+		mk("10.11.0.0/16", "Netherlands", "AS211252", "Serverion BV", true),
+		mk("10.12.0.0/16", "Brazil", "AS268624", "Gamers Club", true),
+		mk("10.13.0.0/16", "Russia", "AS49505", "Selectel", true),
+		mk("10.14.0.0/16", "Moldova", "AS200019", "Alexhost", true),
+		mk("10.15.0.0/16", "United Kingdom", "AS20473", "Vultr UK", true),
+		mk("10.16.0.0/16", "Poland", "AS12824", "home.pl", true),
+		mk("10.17.0.0/16", "India", "AS9829", "BSNL", false),
+		mk("10.18.0.0/16", "Switzerland", "AS51395", "Softplus", true),
+		mk("10.19.0.0/16", "United States", "AS7018", "AT&T", false),
+		mk("10.20.0.0/16", "United States", "AS16509", "Amazon EC2", true),
+	})
+}
+
+// Prefixes returns all allocated prefixes, the default scan target list.
+func (db *DB) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, len(db.allocs))
+	for i, a := range db.allocs {
+		out[i] = a.Prefix
+	}
+	return out
+}
+
+// Allocations returns the allocation table (shared slice; do not modify).
+func (db *DB) Allocations() []Allocation { return db.allocs }
+
+// PrefixFor returns the first allocated prefix whose record matches the
+// given predicate; population generators use it to place hosts.
+func (db *DB) PrefixFor(match func(Record) bool) (netip.Prefix, error) {
+	for _, a := range db.allocs {
+		if match(a.Record) {
+			return a.Prefix, nil
+		}
+	}
+	return netip.Prefix{}, fmt.Errorf("geo: no allocation matches predicate")
+}
+
+// Lookup resolves ip. Unallocated addresses resolve to an "Unknown" record.
+func (db *DB) Lookup(ip netip.Addr) Record {
+	for _, a := range db.allocs {
+		if a.Prefix.Contains(ip) {
+			return a.Record
+		}
+	}
+	return Record{Country: "Unknown", ASN: "AS0", Provider: "Unknown"}
+}

@@ -1,0 +1,82 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestDefaultAllocationsCoverStudyNetworks(t *testing.T) {
+	db := Default()
+	// The paper's key ASes (Tables 4 and 8) must be allocatable.
+	for _, asn := range []string{
+		"AS16509", "AS37963", "AS14618", "AS14061", "AS396982", // Table 4
+		"AS211252", "AS268624", "AS200019", // Table 8
+	} {
+		if _, err := db.PrefixFor(func(r Record) bool { return r.ASN == asn }); err != nil {
+			t.Errorf("no allocation for %s", asn)
+		}
+	}
+	// And the key countries (Table 7).
+	for _, country := range []string{
+		"United States", "China", "Germany", "Singapore", "France",
+		"Netherlands", "Brazil", "Russia", "Moldova", "United Kingdom",
+		"Poland", "India", "Switzerland",
+	} {
+		if _, err := db.PrefixFor(func(r Record) bool { return r.Country == country }); err != nil {
+			t.Errorf("no allocation for %s", country)
+		}
+	}
+}
+
+func TestLookupResolvesInsideAllocations(t *testing.T) {
+	db := Default()
+	for _, a := range db.Allocations() {
+		// Probe the first, a middle and the last address of the prefix.
+		first := a.Prefix.Addr()
+		if got := db.Lookup(first); got != a.Record {
+			t.Errorf("Lookup(%s) = %+v, want %+v", first, got, a.Record)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	db := Default()
+	rec := db.Lookup(netip.MustParseAddr("192.0.2.1"))
+	if rec.Country != "Unknown" || rec.ASN != "AS0" {
+		t.Fatalf("unallocated address resolved to %+v", rec)
+	}
+}
+
+func TestPrefixesAreDisjoint(t *testing.T) {
+	db := Default()
+	prefixes := db.Prefixes()
+	for i := range prefixes {
+		for j := i + 1; j < len(prefixes); j++ {
+			if prefixes[i].Overlaps(prefixes[j]) {
+				t.Errorf("allocations %s and %s overlap", prefixes[i], prefixes[j])
+			}
+		}
+	}
+}
+
+func TestHostingFlagDistinguishesProviders(t *testing.T) {
+	db := Default()
+	hosting, residential := 0, 0
+	for _, a := range db.Allocations() {
+		if a.Record.Hosting {
+			hosting++
+		} else {
+			residential++
+		}
+	}
+	if hosting == 0 || residential == 0 {
+		t.Fatalf("address plan needs both hosting (%d) and residential (%d) networks", hosting, residential)
+	}
+}
+
+func TestPrefixForNoMatch(t *testing.T) {
+	db := Default()
+	if _, err := db.PrefixFor(func(r Record) bool { return r.ASN == "AS99999" }); err == nil {
+		t.Fatal("impossible predicate must error")
+	}
+}

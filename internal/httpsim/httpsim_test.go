@@ -1,0 +1,205 @@
+package httpsim
+
+import (
+	"context"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mavscan/internal/simnet"
+)
+
+var testIP = netip.MustParseAddr("10.0.0.1")
+
+func helloHandler(msg string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, msg)
+	})
+}
+
+func TestPlainHTTPOverSimnet(t *testing.T) {
+	n := simnet.New()
+	h := simnet.NewHost(testIP)
+	h.Bind(80, ConnHandler(helloHandler("hello")))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(n, ClientOptions{})
+	resp, err := client.Get("http://10.0.0.1:80/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestKeepAliveServesMultipleRequests(t *testing.T) {
+	n := simnet.New()
+	count := 0
+	h := simnet.NewHost(testIP)
+	h.Bind(80, ConnHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		count++
+		fmt.Fprintf(w, "%d", count)
+	})))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(n, ClientOptions{}) // keep-alives enabled
+	for i := 1; i <= 3; i++ {
+		resp, err := client.Get("http://10.0.0.1:80/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != fmt.Sprint(i) {
+			t.Fatalf("request %d: body %q", i, body)
+		}
+	}
+}
+
+func TestTLSHandshakeAndServe(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.CertFor("db.example.org", testIP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := simnet.New()
+	h := simnet.NewHost(testIP)
+	h.Bind(443, TLSConnHandler(helloHandler("secret"), cert))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(n, ClientOptions{})
+	resp, err := client.Get("https://10.0.0.1:443/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "secret" {
+		t.Fatalf("body = %q", body)
+	}
+	// Speaking plain HTTP to a TLS port must fail, not hang.
+	if _, err := client.Get("http://10.0.0.1:443/"); err == nil {
+		t.Fatal("plain HTTP to TLS port should fail")
+	}
+}
+
+func TestRedirectsFollowedWithCap(t *testing.T) {
+	n := simnet.New()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/hop1", http.StatusFound)
+	})
+	mux.HandleFunc("/hop1", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/hop2", http.StatusFound)
+	})
+	mux.HandleFunc("/hop2", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "done")
+	})
+	mux.HandleFunc("/loop", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/loop", http.StatusFound)
+	})
+	h := simnet.NewHost(testIP)
+	h.Bind(80, ConnHandler(mux))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(n, ClientOptions{MaxRedirects: 5})
+	resp, err := client.Get("http://10.0.0.1:80/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "done" {
+		t.Fatalf("redirect chain body = %q", body)
+	}
+	if _, err := client.Get("http://10.0.0.1:80/loop"); err == nil {
+		t.Fatal("redirect loop must be cut off")
+	}
+}
+
+func TestClientSourceIPReachesServer(t *testing.T) {
+	n := simnet.New()
+	var seen string
+	h := simnet.NewHost(testIP)
+	h.Bind(80, ConnHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.RemoteAddr
+	})))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("203.0.113.77")
+	client := NewClient(n, ClientOptions{SourceIP: src, DisableKeepAlives: true})
+	resp, err := client.Get("http://10.0.0.1:80/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if seen != "203.0.113.77:0" {
+		t.Fatalf("server saw RemoteAddr %q", seen)
+	}
+}
+
+func TestFetchCertificateExtractsNames(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.CertFor("contact.example.net", testIP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := simnet.New()
+	h := simnet.NewHost(testIP)
+	h.Bind(443, TLSConnHandler(helloHandler("x"), cert))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	leaf, err := FetchCertificate(ctx, n, testIP, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaf.DNSNames) != 1 || leaf.DNSNames[0] != "contact.example.net" {
+		t.Fatalf("DNSNames = %v", leaf.DNSNames)
+	}
+	// And the chain verifies against the CA pool.
+	if _, err := leaf.Verify(x509.VerifyOptions{Roots: ca.Pool(), DNSName: "contact.example.net"}); err != nil {
+		t.Fatalf("verification against CA failed: %v", err)
+	}
+}
+
+func TestCertCaching(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := ca.CertFor("a.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ca.CertFor("a.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c1.Certificate[0][0] != &c2.Certificate[0][0] {
+		t.Fatal("same names must return the cached certificate")
+	}
+	if _, err := ca.CertFor(); err == nil {
+		t.Fatal("CertFor() without names must fail")
+	}
+}

@@ -1,0 +1,247 @@
+// Package mav defines the vocabulary of the study: administrative web
+// endpoints (AWEs), missing authentication vulnerabilities (MAVs), the five
+// application categories, and the catalog of the 25 investigated
+// applications with the properties reported in Table 1 of the paper.
+package mav
+
+import "fmt"
+
+// Category is one of the five AWE categories from Section 2.1.
+type Category string
+
+// The five categories of administrative web endpoints.
+const (
+	CI  Category = "CI"  // continuous integration
+	CMS Category = "CMS" // content management systems
+	CM  Category = "CM"  // cluster management
+	NB  Category = "NB"  // notebooks
+	CP  Category = "CP"  // control panels
+)
+
+// Categories lists all categories in the order used by the paper's tables.
+func Categories() []Category { return []Category{CI, CMS, CM, NB, CP} }
+
+// Kind describes the flavor of sensitive functionality an AWE exposes when
+// its authentication is missing (the "Vuln" column of Table 1).
+type Kind string
+
+// The four MAV flavors from Section 2.
+const (
+	KindNone    Kind = ""        // not in scope: no MAV
+	KindSyscmd  Kind = "Syscmd"  // direct system command execution
+	KindAPI     Kind = "API"     // critical HTTP API wrapping system commands
+	KindSQL     Kind = "SQL"     // SQL command execution
+	KindInstall Kind = "Install" // unauthenticated installation (trust on first use)
+)
+
+// DefaultStatus captures the "Default" column of Tables 3 and 9: whether an
+// application ships with a MAV in its default configuration.
+type DefaultStatus string
+
+const (
+	// SecureByDefault means the default configuration requires
+	// authentication; the MAV requires an explicit misconfiguration.
+	SecureByDefault DefaultStatus = "secure"
+	// InsecureByDefault means a fresh default installation exposes the MAV.
+	InsecureByDefault DefaultStatus = "insecure"
+	// ChangedOverTime means the product was insecure by default in an older
+	// version and later changed its defaults (the dagger in the tables).
+	ChangedOverTime DefaultStatus = "changed"
+)
+
+// Symbol returns the glyph the paper uses for the status: a check mark for
+// secure, a cross for insecure, a dagger for changed over time.
+func (d DefaultStatus) Symbol() string {
+	switch d {
+	case SecureByDefault:
+		return "ok"
+	case InsecureByDefault:
+		return "X"
+	case ChangedOverTime:
+		return "+"
+	default:
+		return "?"
+	}
+}
+
+// App identifies one of the 25 investigated applications.
+type App string
+
+// The 25 investigated applications, five per category (Table 1).
+const (
+	// Continuous integration.
+	Gitlab  App = "Gitlab"
+	Drone   App = "Drone"
+	Jenkins App = "Jenkins"
+	Travis  App = "Travis"
+	GoCD    App = "GoCD"
+	// Content management systems.
+	Ghost     App = "Ghost"
+	WordPress App = "WordPress"
+	Grav      App = "Grav"
+	Joomla    App = "Joomla"
+	Drupal    App = "Drupal"
+	// Cluster management.
+	Kubernetes App = "Kubernetes"
+	Docker     App = "Docker"
+	Consul     App = "Consul"
+	Hadoop     App = "Hadoop"
+	Nomad      App = "Nomad"
+	// Notebooks.
+	JupyterLab      App = "J-Lab"
+	JupyterNotebook App = "J-Notebook"
+	Zeppelin        App = "Zeppelin"
+	Polynote        App = "Polynote"
+	SparkNotebook   App = "Spark NB"
+	// Control panels.
+	Ajenti     App = "Ajenti"
+	PhpMyAdmin App = "phpMyAdmin"
+	Adminer    App = "Adminer"
+	VestaCP    App = "VestaCP"
+	OmniDB     App = "OmniDB"
+)
+
+// Info is one row of Table 1 plus the operational data (default ports,
+// version markers) the scanning pipeline needs.
+type Info struct {
+	App      App
+	Category Category
+	// Stars is the GitHub star count (thousands) used for selection.
+	Stars int
+	// Kind is the flavor of the exposed sensitive functionality; KindNone
+	// marks the 7 products that are out of scope.
+	Kind Kind
+	// Default describes the default-configuration security posture. It is
+	// meaningful only for in-scope applications.
+	Default DefaultStatus
+	// DefaultChangedIn names the release (and year) that turned the default
+	// secure, for applications with Default == ChangedOverTime.
+	DefaultChangedIn string
+	// Warns reports whether the vendor warns about the insecurity (in docs,
+	// at download, or at startup). Only meaningful for in-scope apps.
+	Warns bool
+	// Ports are the default ports the application listens on; the scan's
+	// port list is the union of these plus 80 and 443.
+	Ports []int
+}
+
+// InScope reports whether the application is part of the 18-product MAV
+// study (Table 1 rows with a non-empty Vuln column).
+func (i Info) InScope() bool { return i.Kind != KindNone }
+
+// catalog is Table 1 verbatim. Order matters: it is the paper's row order.
+var catalog = []Info{
+	{App: Gitlab, Category: CI, Stars: 23},
+	{App: Drone, Category: CI, Stars: 23},
+	{App: Jenkins, Category: CI, Stars: 18, Kind: KindSyscmd, Default: ChangedOverTime, DefaultChangedIn: "2.0 (2016)", Ports: []int{8080}},
+	{App: Travis, Category: CI, Stars: 8},
+	{App: GoCD, Category: CI, Stars: 6, Kind: KindSyscmd, Default: InsecureByDefault, Warns: true, Ports: []int{8153}},
+
+	{App: Ghost, Category: CMS, Stars: 38},
+	{App: WordPress, Category: CMS, Stars: 15, Kind: KindInstall, Default: InsecureByDefault, Ports: []int{80, 443}},
+	{App: Grav, Category: CMS, Stars: 13, Kind: KindInstall, Default: InsecureByDefault, Ports: []int{80, 443}},
+	{App: Joomla, Category: CMS, Stars: 4, Kind: KindInstall, Default: ChangedOverTime, DefaultChangedIn: "3.7.4 (2017)", Ports: []int{80, 443}},
+	{App: Drupal, Category: CMS, Stars: 4, Kind: KindInstall, Default: InsecureByDefault, Ports: []int{80, 443}},
+
+	{App: Kubernetes, Category: CM, Stars: 78, Kind: KindAPI, Default: SecureByDefault, Ports: []int{6443}},
+	{App: Docker, Category: CM, Stars: 23, Kind: KindAPI, Default: InsecureByDefault, Ports: []int{2375}},
+	{App: Consul, Category: CM, Stars: 22, Kind: KindAPI, Default: SecureByDefault, Ports: []int{8500}},
+	{App: Hadoop, Category: CM, Stars: 12, Kind: KindAPI, Default: InsecureByDefault, Ports: []int{8088}},
+	{App: Nomad, Category: CM, Stars: 9, Kind: KindAPI, Default: InsecureByDefault, Warns: true, Ports: []int{4646}},
+
+	{App: JupyterLab, Category: NB, Stars: 11, Kind: KindSyscmd, Default: SecureByDefault, Ports: []int{8888}},
+	{App: JupyterNotebook, Category: NB, Stars: 8, Kind: KindSyscmd, Default: ChangedOverTime, DefaultChangedIn: "4.3 (2016)", Ports: []int{8888}},
+	{App: Zeppelin, Category: NB, Stars: 5, Kind: KindSyscmd, Default: InsecureByDefault, Ports: []int{8080}},
+	{App: Polynote, Category: NB, Stars: 4, Kind: KindSyscmd, Default: InsecureByDefault, Warns: true, Ports: []int{8192}},
+	{App: SparkNotebook, Category: NB, Stars: 3},
+
+	{App: Ajenti, Category: CP, Stars: 6, Kind: KindSyscmd, Default: SecureByDefault, Warns: true, Ports: []int{8000}},
+	{App: PhpMyAdmin, Category: CP, Stars: 6, Kind: KindSQL, Default: SecureByDefault, Ports: []int{80, 443}},
+	{App: Adminer, Category: CP, Stars: 5, Kind: KindSQL, Default: ChangedOverTime, DefaultChangedIn: "4.6.3 (2018)", Ports: []int{80, 443}},
+	{App: VestaCP, Category: CP, Stars: 3},
+	{App: OmniDB, Category: CP, Stars: 3},
+}
+
+var byApp = func() map[App]Info {
+	m := make(map[App]Info, len(catalog))
+	for _, info := range catalog {
+		m[info.App] = info
+	}
+	return m
+}()
+
+// Catalog returns all 25 investigated applications in Table 1 order. The
+// returned slice is a copy and may be modified by the caller.
+func Catalog() []Info {
+	out := make([]Info, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// InScopeApps returns the 18 applications with a MAV, in table order.
+func InScopeApps() []Info {
+	var out []Info
+	for _, info := range catalog {
+		if info.InScope() {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Lookup returns the catalog entry for app.
+func Lookup(app App) (Info, error) {
+	info, ok := byApp[app]
+	if !ok {
+		return Info{}, fmt.Errorf("mav: unknown application %q", app)
+	}
+	return info, nil
+}
+
+// MustLookup is Lookup for known-valid applications; it panics otherwise.
+func MustLookup(app App) Info {
+	info, err := Lookup(app)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+// ScanPorts returns the deduplicated, sorted union of 80, 443 and the
+// default ports of all in-scope applications — the 12 ports of Stage I.
+func ScanPorts() []int {
+	set := map[int]bool{80: true, 443: true}
+	for _, info := range catalog {
+		if !info.InScope() {
+			continue
+		}
+		for _, p := range info.Ports {
+			set[p] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	// Insertion sort: the list is tiny and we avoid importing sort for it.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Finding is a confirmed missing authentication vulnerability on a host.
+type Finding struct {
+	App  App
+	Kind Kind
+	// Port is the port the vulnerable endpoint was reached on.
+	Port int
+	// Details is a human-readable explanation from the detection plugin.
+	Details string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s (%s) on port %d: %s", f.App, f.Kind, f.Port, f.Details)
+}

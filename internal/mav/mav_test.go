@@ -1,0 +1,116 @@
+package mav
+
+import "testing"
+
+func TestCatalogShapeMatchesPaper(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 25 {
+		t.Fatalf("catalog has %d apps, want 25", len(cat))
+	}
+	perCat := map[Category]int{}
+	for _, info := range cat {
+		perCat[info.Category]++
+	}
+	for _, c := range Categories() {
+		if perCat[c] != 5 {
+			t.Errorf("category %s has %d apps, want 5", c, perCat[c])
+		}
+	}
+	if got := len(InScopeApps()); got != 18 {
+		t.Fatalf("in-scope apps = %d, want 18", got)
+	}
+}
+
+func TestTable1Breakdown(t *testing.T) {
+	// 9 insecure by default, 4 changed over time, 5 secure by default
+	// (misconfigurable); 7 Syscmd, 5 API, 2 SQL, 4 Install.
+	byDefault := map[DefaultStatus]int{}
+	byKind := map[Kind]int{}
+	for _, info := range InScopeApps() {
+		byDefault[info.Default]++
+		byKind[info.Kind]++
+	}
+	if byDefault[InsecureByDefault] != 9 {
+		t.Errorf("insecure by default = %d, want 9", byDefault[InsecureByDefault])
+	}
+	if byDefault[ChangedOverTime] != 4 {
+		t.Errorf("changed over time = %d, want 4", byDefault[ChangedOverTime])
+	}
+	if byDefault[SecureByDefault] != 5 {
+		t.Errorf("secure by default = %d, want 5", byDefault[SecureByDefault])
+	}
+	if byKind[KindSyscmd] != 7 || byKind[KindAPI] != 5 || byKind[KindSQL] != 2 || byKind[KindInstall] != 4 {
+		t.Errorf("kind breakdown = %v, want 7 Syscmd / 5 API / 2 SQL / 4 Install", byKind)
+	}
+}
+
+func TestScanPortsMatchPaper(t *testing.T) {
+	ports := ScanPorts()
+	want := []int{80, 443, 2375, 4646, 6443, 8000, 8080, 8088, 8153, 8192, 8500, 8888}
+	if len(ports) != len(want) {
+		t.Fatalf("ScanPorts = %v, want %v (the paper's 12 ports)", ports, want)
+	}
+	for i := range want {
+		if ports[i] != want[i] {
+			t.Fatalf("ScanPorts = %v, want %v", ports, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	info, err := Lookup(Docker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != KindAPI || info.Category != CM || info.Default != InsecureByDefault {
+		t.Fatalf("Docker row wrong: %+v", info)
+	}
+	if _, err := Lookup(App("NotAnApp")); err == nil {
+		t.Fatal("unknown app must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown app must panic")
+		}
+	}()
+	MustLookup(App("NotAnApp"))
+}
+
+func TestInScopeAppsHavePorts(t *testing.T) {
+	for _, info := range InScopeApps() {
+		if len(info.Ports) == 0 {
+			t.Errorf("%s: in scope but no default ports", info.App)
+		}
+	}
+}
+
+func TestDefaultStatusSymbols(t *testing.T) {
+	cases := map[DefaultStatus]string{
+		SecureByDefault:    "ok",
+		InsecureByDefault:  "X",
+		ChangedOverTime:    "+",
+		DefaultStatus("?"): "?",
+	}
+	for status, want := range cases {
+		if got := status.Symbol(); got != want {
+			t.Errorf("%q.Symbol() = %q, want %q", status, got, want)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{App: Hadoop, Kind: KindAPI, Port: 8088, Details: "open RM"}
+	want := "Hadoop (API) on port 8088: open RM"
+	if got := f.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCatalogReturnsCopy(t *testing.T) {
+	c1 := Catalog()
+	c1[0].Stars = 9999
+	c2 := Catalog()
+	if c2[0].Stars == 9999 {
+		t.Fatal("Catalog must return a defensive copy")
+	}
+}

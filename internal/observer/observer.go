@@ -1,0 +1,224 @@
+// Package observer implements the longevity study (RQ3, Figure 2): every
+// three hours over four weeks it re-checks each host found vulnerable by
+// the initial scan, classifying it as still vulnerable, fixed (reachable
+// and identifiable but no longer suffering from the MAV), or offline
+// (unreachable or firewalled). It also re-runs the version fingerprinter
+// to count hosts that updated during the window.
+package observer
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"mavscan/internal/fingerprint"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/tsunami"
+	"mavscan/internal/tsunami/plugins"
+)
+
+// State classifies a host at one observation tick.
+type State int
+
+// The three Figure-2 outcomes.
+const (
+	StateVulnerable State = iota
+	StateFixed
+	StateOffline
+)
+
+// Target is one vulnerable host under observation.
+type Target struct {
+	IP     netip.Addr
+	Port   int
+	Scheme string
+	App    mav.App
+	// ByDefault groups the target for Figure 2's right column.
+	ByDefault bool
+	// InitialVersion is the version fingerprinted by the original scan.
+	InitialVersion string
+}
+
+// Sample is the aggregate classification at one tick.
+type Sample struct {
+	T          time.Time
+	Vulnerable int
+	Fixed      int
+	Offline    int
+}
+
+// Total returns the number of observed hosts at the tick.
+func (s Sample) Total() int { return s.Vulnerable + s.Fixed + s.Offline }
+
+// Result accumulates the whole observation run.
+type Result struct {
+	Targets []Target
+	// Overall is the whole-population time series; ByApp and ByDefault
+	// split it the way Figure 2's two columns do.
+	Overall    []Sample
+	ByApp      map[mav.App][]Sample
+	ByCategory map[mav.Category][]Sample
+	ByDefault  map[bool][]Sample
+	// Updated counts targets whose fingerprinted version changed at least
+	// once during the observation window.
+	Updated int
+}
+
+// FinalSample returns the last overall sample.
+func (r *Result) FinalSample() Sample {
+	if len(r.Overall) == 0 {
+		return Sample{}
+	}
+	return r.Overall[len(r.Overall)-1]
+}
+
+// Observer re-scans vulnerable hosts on a simulated schedule.
+type Observer struct {
+	net    *simnet.Network
+	engine *tsunami.Engine
+	fp     *fingerprint.Fingerprinter
+	clock  *simtime.Sim
+	// FingerprintEvery runs the (crawl-heavy) version fingerprinter only
+	// on every n-th tick; the MAV re-check still runs on every tick.
+	// Default 8 (once a day at the 3-hour cadence).
+	FingerprintEvery int
+	// Workers parallelizes the per-tick target checks (default 16).
+	Workers int
+}
+
+// New builds an observer on the given network and clock.
+func New(n *simnet.Network, clock *simtime.Sim) *Observer {
+	client := httpsim.NewClient(n, httpsim.ClientOptions{
+		Timeout:           10 * time.Second,
+		DisableKeepAlives: true,
+	})
+	env := tsunami.NewEnv(client)
+	return &Observer{
+		net:    n,
+		engine: tsunami.NewEngine(plugins.NewRegistry(), client),
+		fp:     fingerprint.New(env),
+		clock:  clock,
+	}
+}
+
+// classify performs one check of one target.
+func (o *Observer) classify(t Target) State {
+	if err := o.net.ProbePort(t.IP, t.Port); err != nil {
+		return StateOffline
+	}
+	target := tsunami.Target{IP: t.IP, Port: t.Port, Scheme: t.Scheme, App: t.App}
+	if len(o.engine.Scan(context.Background(), target)) > 0 {
+		return StateVulnerable
+	}
+	return StateFixed
+}
+
+// Watch schedules an observation every interval for the given duration,
+// starting one interval after the current simulated time. The returned
+// Result fills in as the simulated clock advances; it is complete once the
+// clock has passed start+duration.
+func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Result {
+	res := &Result{
+		Targets:    targets,
+		ByApp:      map[mav.App][]Sample{},
+		ByCategory: map[mav.Category][]Sample{},
+		ByDefault:  map[bool][]Sample{},
+	}
+	lastVersion := make(map[netip.Addr]string, len(targets))
+	updated := make(map[netip.Addr]bool)
+	for _, t := range targets {
+		lastVersion[t.IP] = t.InitialVersion
+	}
+	fpEvery := o.FingerprintEvery
+	if fpEvery <= 0 {
+		fpEvery = 8
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	start := o.clock.Now()
+	tick := 0
+	o.clock.Every(start.Add(interval), interval, start.Add(duration+time.Second), func(now time.Time) {
+		tick++
+		runFP := tick%fpEvery == 0
+
+		states := make([]State, len(targets))
+		versions := make([]string, len(targets))
+		var wg sync.WaitGroup
+		idx := make(chan int, len(targets))
+		for i := range targets {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					t := targets[i]
+					states[i] = o.classify(t)
+					if runFP && states[i] != StateOffline && !updated[t.IP] {
+						fpRes := o.fp.Fingerprint(context.Background(), tsunami.Target{
+							IP: t.IP, Port: t.Port, Scheme: t.Scheme, App: t.App,
+						})
+						versions[i] = fpRes.Version
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		overall := Sample{T: now}
+		perApp := map[mav.App]*Sample{}
+		perCat := map[mav.Category]*Sample{}
+		perDefault := map[bool]*Sample{}
+		for i, t := range targets {
+			bump := func(s *Sample) {
+				switch states[i] {
+				case StateVulnerable:
+					s.Vulnerable++
+				case StateFixed:
+					s.Fixed++
+				default:
+					s.Offline++
+				}
+			}
+			bump(&overall)
+			if perApp[t.App] == nil {
+				perApp[t.App] = &Sample{T: now}
+			}
+			bump(perApp[t.App])
+			cat := mav.MustLookup(t.App).Category
+			if perCat[cat] == nil {
+				perCat[cat] = &Sample{T: now}
+			}
+			bump(perCat[cat])
+			if perDefault[t.ByDefault] == nil {
+				perDefault[t.ByDefault] = &Sample{T: now}
+			}
+			bump(perDefault[t.ByDefault])
+
+			// Version tracking for the update count (RQ3's 2.4%).
+			if v := versions[i]; v != "" && !updated[t.IP] && lastVersion[t.IP] != "" && v != lastVersion[t.IP] {
+				updated[t.IP] = true
+				res.Updated++
+			}
+		}
+		res.Overall = append(res.Overall, overall)
+		for app, s := range perApp {
+			res.ByApp[app] = append(res.ByApp[app], *s)
+		}
+		for cat, s := range perCat {
+			res.ByCategory[cat] = append(res.ByCategory[cat], *s)
+		}
+		for d, s := range perDefault {
+			res.ByDefault[d] = append(res.ByDefault[d], *s)
+		}
+	})
+	return res
+}

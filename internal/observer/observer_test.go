@@ -1,0 +1,125 @@
+package observer
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+var start = time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+
+// deployTarget builds one vulnerable Docker host plus its observer target.
+func deployTarget(t *testing.T, n *simnet.Network, ipStr string) (*apps.Instance, *simnet.Host, Target) {
+	t.Helper()
+	inst, err := apps.New(apps.Config{App: mav.Docker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := netip.MustParseAddr(ipStr)
+	h := simnet.NewHost(ip)
+	h.Bind(2375, httpsim.ConnHandler(inst.Handler()))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return inst, h, Target{
+		IP: ip, Port: 2375, Scheme: "http", App: mav.Docker,
+		ByDefault: true, InitialVersion: inst.Version(),
+	}
+}
+
+func TestWatchClassifiesThreeOutcomes(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+
+	instVuln, _, tVuln := deployTarget(t, n, "10.0.0.1")
+	instFix, _, tFix := deployTarget(t, n, "10.0.0.2")
+	_, hostOff, tOff := deployTarget(t, n, "10.0.0.3")
+	_ = instVuln
+
+	// After 5 hours one host is fixed and one goes offline.
+	sim.At(start.Add(5*time.Hour), func(time.Time) {
+		instFix.SetAuthRequired(true)
+		hostOff.SetOnline(false)
+	})
+
+	obs := New(n, sim)
+	obs.Workers = 2
+	res := obs.Watch([]Target{tVuln, tFix, tOff}, 3*time.Hour, 12*time.Hour)
+	sim.Run()
+
+	if len(res.Overall) != 4 {
+		t.Fatalf("%d samples, want 4 (3h,6h,9h,12h)", len(res.Overall))
+	}
+	first := res.Overall[0] // at 3h: everything still vulnerable
+	if first.Vulnerable != 3 || first.Fixed != 0 || first.Offline != 0 {
+		t.Fatalf("3h sample: %+v", first)
+	}
+	last := res.FinalSample()
+	if last.Vulnerable != 1 || last.Fixed != 1 || last.Offline != 1 {
+		t.Fatalf("final sample: %+v", last)
+	}
+	if len(res.ByApp[mav.Docker]) != 4 {
+		t.Fatalf("per-app series missing: %d", len(res.ByApp[mav.Docker]))
+	}
+	if len(res.ByDefault[true]) != 4 {
+		t.Fatalf("per-default series missing")
+	}
+}
+
+func TestFirewalledCountsAsOffline(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	_, host, target := deployTarget(t, n, "10.0.0.9")
+	host.SetFirewalled(true)
+	obs := New(n, sim)
+	res := obs.Watch([]Target{target}, time.Hour, time.Hour)
+	sim.Run()
+	if res.FinalSample().Offline != 1 {
+		t.Fatalf("firewalled host not classified offline: %+v", res.FinalSample())
+	}
+}
+
+func TestVersionUpdateDetected(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+
+	// Deploy an old Docker release, then "upgrade" it mid-window.
+	oldInst, err := apps.New(apps.Config{App: mav.Docker, Version: "19.03.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := netip.MustParseAddr("10.0.0.4")
+	h := simnet.NewHost(ip)
+	h.Bind(2375, httpsim.ConnHandler(oldInst.Handler()))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	target := Target{IP: ip, Port: 2375, Scheme: "http", App: mav.Docker, InitialVersion: "19.03.0"}
+
+	sim.At(start.Add(2*time.Hour), func(time.Time) {
+		newInst, err := apps.New(apps.Config{App: mav.Docker, Version: "20.10.6"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.Bind(2375, httpsim.ConnHandler(newInst.Handler()))
+	})
+
+	obs := New(n, sim)
+	obs.FingerprintEvery = 1 // fingerprint on every tick for the test
+	res := obs.Watch([]Target{target}, 3*time.Hour, 9*time.Hour)
+	sim.Run()
+	if res.Updated != 1 {
+		t.Fatalf("Updated = %d, want 1", res.Updated)
+	}
+	// Still vulnerable throughout: updating did not remediate.
+	if res.FinalSample().Vulnerable != 1 {
+		t.Fatalf("final: %+v", res.FinalSample())
+	}
+}

@@ -1,0 +1,199 @@
+package population
+
+import (
+	"math/rand"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/mav"
+	"mavscan/internal/simtime"
+)
+
+// Churn models how the vulnerable population evolves during the four-week
+// observation window (Figure 2): most hosts stay vulnerable, a large share
+// goes offline or gets firewalled, a tiny share gets fixed (mostly CMS
+// installations being completed), and a few hosts update their software
+// without fixing the MAV.
+//
+// The hazard curve is calibrated to the published numbers: ~10% of hosts
+// no longer vulnerable within the first six hours, roughly 5-10% decay per
+// week afterwards, 53% still vulnerable after four weeks, 3.2% fixed,
+// 43.2% offline/firewalled, 2.4% updated. Insecure-by-default hosts are
+// taken down faster on the first day; explicitly-modified hosts are a bit
+// more likely to be fixed than taken offline.
+type ChurnConfig struct {
+	Seed int64
+	// Start is the beginning of the observation window.
+	Start time.Time
+	// Duration defaults to four weeks.
+	Duration time.Duration
+}
+
+// deathCurve is the piecewise-linear CDF of "host stops being vulnerable"
+// over the four-week window, in (hour, cumulative fraction) points.
+var deathCurve = []struct {
+	hour float64
+	frac float64
+}{
+	{0, 0},
+	{6, 0.10},
+	{168, 0.20},
+	{336, 0.32},
+	{504, 0.40},
+	{672, 0.47},
+}
+
+// sampleDeathHour inverts the death curve for a uniform draw u in [0,1).
+// ok is false when the host survives the whole window.
+func sampleDeathHour(u float64) (float64, bool) {
+	last := deathCurve[len(deathCurve)-1]
+	if u >= last.frac {
+		return 0, false
+	}
+	for i := 1; i < len(deathCurve); i++ {
+		lo, hi := deathCurve[i-1], deathCurve[i]
+		if u < hi.frac {
+			span := hi.frac - lo.frac
+			t := (u - lo.frac) / span
+			return lo.hour + t*(hi.hour-lo.hour), true
+		}
+	}
+	return 0, false
+}
+
+// ScheduleChurn installs the lifecycle events for every vulnerable host of
+// the world onto the simulated clock. It returns the number of scheduled
+// fixes, offline events and updates (ground truth for tests).
+func ScheduleChurn(sim *simtime.Sim, w *World, cfg ChurnConfig) (fixes, offlines, updates int) {
+	if cfg.Duration == 0 {
+		cfg.Duration = 28 * 24 * time.Hour
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, spec := range w.VulnerableSpecs() {
+		spec := spec
+		info := mav.MustLookup(spec.App)
+
+		u := rng.Float64()
+		// Insecure-by-default hosts disappear faster on day one: shift
+		// their draw slightly toward death.
+		if spec.ByDefault {
+			u *= 0.93
+		}
+		// Notebooks stay vulnerable for much longer, CI decays fastest.
+		switch info.Category {
+		case mav.NB:
+			u = u*0.85 + 0.15*1.0
+		case mav.CI:
+			u *= 0.80
+		}
+		hour, dies := sampleDeathHour(u)
+		if dies {
+			at := cfg.Start.Add(time.Duration(hour * float64(time.Hour)))
+			// Deciding between "fixed" and "offline": fixes are rare
+			// overall (~7% of deaths) but dominate the CMS category, where
+			// completing the installation closes the MAV; explicitly
+			// modified deployments get fixed slightly more often.
+			pFix := 0.03
+			if info.Kind == mav.KindInstall {
+				pFix = 0.35
+			} else if !spec.ByDefault {
+				pFix = 0.06
+			}
+			if rng.Float64() < pFix {
+				fixes++
+				sim.At(at, func(time.Time) { fixSpec(spec) })
+			} else {
+				offlines++
+				host, ok := w.Net.Host(spec.IP)
+				if !ok {
+					continue
+				}
+				firewall := rng.Float64() < 0.5
+				sim.At(at, func(time.Time) {
+					if firewall {
+						host.SetFirewalled(true)
+					} else {
+						host.SetOnline(false)
+					}
+				})
+			}
+			continue
+		}
+		// Survivors: a small share updates the software version without
+		// remediating the MAV (2.4% of all vulnerable hosts).
+		if rng.Float64() < 0.075 { // ≈2.4% of all hosts after no-op upgrades
+			hour := rng.Float64() * cfg.Duration.Hours()
+			at := cfg.Start.Add(time.Duration(hour * float64(time.Hour)))
+			updates++
+			sim.At(at, func(time.Time) { upgradeSpec(w, spec) })
+		}
+	}
+	return fixes, offlines, updates
+}
+
+// fixSpec remediates the MAV in the application-appropriate way.
+func fixSpec(spec *HostSpec) {
+	switch spec.App {
+	case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
+		// The owner (or an attacker...) completes the installation.
+		spec.Instance.CompleteInstall("", "owner-password")
+	case mav.Consul:
+		spec.Instance.SetOption("enableScriptChecks", false)
+		spec.Instance.SetOption("enableRemoteScriptChecks", false)
+	case mav.Ajenti:
+		spec.Instance.SetOption("autologin", false)
+	case mav.PhpMyAdmin:
+		spec.Instance.SetOption("allowNoPassword", false)
+	case mav.Adminer:
+		spec.Instance.SetOption("emptyDBPassword", false)
+	default:
+		spec.Instance.SetAuthRequired(true)
+	}
+}
+
+// upgradeSpec replaces the instance with the latest release, keeping the
+// vulnerable configuration (updated but still exposed).
+func upgradeSpec(w *World, spec *HostSpec) {
+	latest := apps.LatestVersion(spec.App)
+	if latest == spec.Version {
+		return
+	}
+	// Adminer's and Joomla's MAVs disappear on upgrade (the new releases
+	// enforce the countermeasure); owners of those do not "update without
+	// fixing", so skip them.
+	if spec.App == mav.Adminer || spec.App == mav.Joomla {
+		return
+	}
+	cfg := apps.Config{
+		App:          spec.App,
+		Version:      latest,
+		Installed:    spec.Instance.Installed(),
+		AuthRequired: spec.Instance.AuthRequired(),
+		Options:      map[string]bool{},
+	}
+	for _, opt := range []string{"enableScriptChecks", "enableRemoteScriptChecks", "autologin", "allowNoPassword", "emptyDBPassword"} {
+		if spec.Instance.Option(opt) {
+			cfg.Options[opt] = true
+		}
+	}
+	inst, err := apps.New(cfg)
+	if err != nil {
+		return
+	}
+	host, ok := w.Net.Host(spec.IP)
+	if !ok {
+		return
+	}
+	// Rebind the port with the upgraded instance.
+	spec.Instance = inst
+	spec.Version = latest
+	if spec.TLS {
+		cert, err := w.CA.CertFor(spec.Domain, spec.IP.String())
+		if err != nil {
+			return
+		}
+		host.Bind(spec.Port, httpsimTLS(inst, cert))
+	} else {
+		host.Bind(spec.Port, httpsimPlain(inst))
+	}
+}

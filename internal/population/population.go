@@ -1,0 +1,547 @@
+// Package population generates the simulated internet the pipeline scans.
+//
+// The generator encodes the published marginals of the paper's measurement
+// (Table 3 per-application host and MAV counts, Table 4 geography, Figure 1
+// version-age structure, Table 2 background-port noise) as a *stratified
+// sample*: the large secure population is sampled at 1/HostScale, the small
+// vulnerable population at 1/VulnScale (default 1, i.e. fully
+// materialized). Benches multiply measured counts back by the strata scales
+// when comparing against the paper.
+package population
+
+import (
+	"crypto/tls"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/geo"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+// ScanDate is the paper's Internet-wide scan date (June 03, 2021); version
+// recency is sampled relative to it.
+var ScanDate = time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+
+// appTargets holds the paper's Table 3 numbers.
+type appTargets struct {
+	Hosts int // "# Hosts" column
+	MAVs  int // "# MAVs" column
+}
+
+// table3 reproduces Table 3 verbatim.
+var table3 = map[mav.App]appTargets{
+	mav.Jenkins:         {2440, 80},
+	mav.GoCD:            {587, 36},
+	mav.WordPress:       {1462625, 345},
+	mav.Grav:            {2617, 4},
+	mav.Joomla:          {50274, 16},
+	mav.Drupal:          {65414, 258},
+	mav.Kubernetes:      {706235, 495},
+	mav.Docker:          {893, 657},
+	mav.Consul:          {9447, 190},
+	mav.Hadoop:          {923, 556},
+	mav.Nomad:           {1231, 729},
+	mav.JupyterLab:      {1369, 53},
+	mav.JupyterNotebook: {9549, 313},
+	mav.Zeppelin:        {1033, 82},
+	mav.Polynote:        {8, 8},
+	mav.Ajenti:          {1292, 0},
+	mav.PhpMyAdmin:      {184968, 396},
+	mav.Adminer:         {6621, 3},
+}
+
+// Table3Targets returns the paper's Table 3 row for app.
+func Table3Targets(app mav.App) (hosts, mavs int) {
+	t := table3[app]
+	return t.Hosts, t.MAVs
+}
+
+// backgroundPorts holds Table 2's open-port counts for noise generation:
+// open ports, of which HTTP responders and HTTPS responders.
+var backgroundPorts = []struct {
+	Port              int
+	Open, HTTP, HTTPS int
+}{
+	{80, 56_800_000, 51_300_000, 0},
+	{443, 50_100_000, 0, 35_900_000},
+	{2375, 120_000, 11_000, 2_000},
+	{4646, 180_000, 24_000, 4_000},
+	{6443, 553_000, 304_000, 322_000},
+	{8000, 5_500_000, 1_600_000, 293_000},
+	{8080, 9_000_000, 7_600_000, 667_000},
+	{8088, 2_600_000, 857_000, 943_000},
+	{8153, 291_000, 171_000, 3_000},
+	{8192, 331_000, 175_000, 7_000},
+	{8500, 384_000, 62_000, 107_000},
+	{8888, 2_400_000, 1_800_000, 192_000},
+}
+
+// Config tunes the generator.
+type Config struct {
+	// Seed makes the world reproducible.
+	Seed int64
+	// HostScale divides the secure host counts of Table 3 (default 400).
+	HostScale int
+	// VulnScale divides the MAV counts of Table 3 (default 1: the full
+	// vulnerable population is materialized).
+	VulnScale int
+	// BackgroundScale divides Table 2's open-port counts for noise hosts
+	// (default 20000). Zero uses the default; negative disables noise.
+	BackgroundScale int
+	// WildcardScale divides the paper's 3.0M all-ports-open artifact hosts
+	// (default 20000). Negative disables them.
+	WildcardScale int
+	// Clock stamps command executions on the emulated instances.
+	Clock apps.Clock
+	// Exec receives executed commands (used when honeypots reuse the
+	// generator); may be nil.
+	Exec apps.ExecSink
+}
+
+func (c *Config) fill() {
+	if c.HostScale <= 0 {
+		c.HostScale = 400
+	}
+	if c.VulnScale <= 0 {
+		c.VulnScale = 1
+	}
+	if c.BackgroundScale == 0 {
+		c.BackgroundScale = 20000
+	}
+	if c.WildcardScale == 0 {
+		c.WildcardScale = 20000
+	}
+}
+
+// HostSpec is the ground truth for one generated host.
+type HostSpec struct {
+	IP       netip.Addr
+	App      mav.App // empty for background hosts
+	Port     int
+	TLS      bool
+	Domain   string // certificate subject for TLS hosts
+	Version  string
+	Instance *apps.Instance
+	// Vulnerable is the generated ground truth.
+	Vulnerable bool
+	// ByDefault is true when the vulnerability comes from shipping
+	// defaults, false when the owner explicitly misconfigured it.
+	ByDefault bool
+}
+
+// World is a generated simulated internet plus its ground truth.
+type World struct {
+	Net   *simnet.Network
+	Geo   *geo.DB
+	CA    *httpsim.CA
+	Specs []HostSpec
+	// Background counts generated noise hosts; Wildcard the artifact hosts.
+	Background int
+	Wildcard   int
+
+	cfg  Config
+	byIP map[netip.Addr]*HostSpec
+	// weights holds the per-app inverse sampling fractions of the two
+	// strata (Horvitz-Thompson design weights): how many real-population
+	// hosts each generated host represents.
+	weights map[mav.App]strataWeights
+}
+
+type strataWeights struct {
+	secure float64
+	vuln   float64
+}
+
+// Weights returns the design weights for app: how many full-population
+// hosts one generated secure (respectively vulnerable) host stands for.
+// Benches use them to undo the stratified sampling when comparing against
+// the paper's absolute numbers.
+func (w *World) Weights(app mav.App) (secure, vuln float64) {
+	sw := w.weights[app]
+	return sw.secure, sw.vuln
+}
+
+// HostScale returns the secure-population sampling divisor.
+func (w *World) HostScale() int { return w.cfg.HostScale }
+
+// VulnScale returns the vulnerable-population sampling divisor.
+func (w *World) VulnScale() int { return w.cfg.VulnScale }
+
+// SpecFor returns the ground truth for ip.
+func (w *World) SpecFor(ip netip.Addr) (*HostSpec, bool) {
+	s, ok := w.byIP[ip]
+	return s, ok
+}
+
+// VulnerableSpecs returns the specs generated vulnerable, in generation
+// order.
+func (w *World) VulnerableSpecs() []*HostSpec {
+	var out []*HostSpec
+	for i := range w.Specs {
+		if w.Specs[i].Vulnerable {
+			out = append(out, &w.Specs[i])
+		}
+	}
+	return out
+}
+
+// ipAllocator hands out unique addresses inside geo allocations.
+type ipAllocator struct {
+	rng  *rand.Rand
+	used map[netip.Addr]bool
+}
+
+func (a *ipAllocator) inPrefix(p netip.Prefix) netip.Addr {
+	size := uint32(1) << (32 - p.Bits())
+	base := p.Addr().As4()
+	baseV := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	for {
+		off := uint32(a.rng.Intn(int(size)))
+		v := baseV + off
+		ip := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		if !a.used[ip] {
+			a.used[ip] = true
+			return ip
+		}
+	}
+}
+
+// placement weights for vulnerable hosts, shaped after Table 4: the listed
+// providers carry the published counts; the remainder spreads across
+// residential and smaller networks (~36% non-hosting overall).
+type placeWeight struct {
+	asn     string
+	country string
+	weight  int
+}
+
+var vulnPlacement = []placeWeight{
+	{"AS16509", "United States", 913},
+	{"AS37963", "China", 542},
+	{"AS14618", "United States", 329},
+	{"AS14061", "United States", 150},
+	{"AS14061", "Singapore", 94},
+	{"AS396982", "United States", 221},
+	{"AS24940", "Germany", 172},
+	{"AS16276", "France", 96},
+	{"AS4134", "China", 458},
+	{"AS7922", "United States", 300},
+	{"AS7018", "United States", 191},
+	{"AS49505", "Russia", 180},
+	{"AS211252", "Netherlands", 120},
+	{"AS268624", "Brazil", 110},
+	{"AS20473", "United Kingdom", 90},
+	{"AS12824", "Poland", 80},
+	{"AS9829", "India", 75},
+	{"AS51395", "Switzerland", 60},
+	{"AS200019", "Moldova", 40},
+}
+
+func pickPlacement(rng *rand.Rand, db *geo.DB, weights []placeWeight) netip.Prefix {
+	total := 0
+	for _, w := range weights {
+		total += w.weight
+	}
+	n := rng.Intn(total)
+	for _, w := range weights {
+		n -= w.weight
+		if n < 0 {
+			p, err := db.PrefixFor(func(r geo.Record) bool {
+				return r.ASN == w.asn && r.Country == w.country
+			})
+			if err == nil {
+				return p
+			}
+		}
+	}
+	return db.Prefixes()[0]
+}
+
+// sampleVersion draws a release for a host following the paper's RQ2
+// age structure: ~65% of deployments within six months of the scan, ~25%
+// from the previous year, ~10% older. For vulnerable hosts of products
+// whose defaults changed over time, 80% run pre-cutover (insecure-default)
+// releases and 20% are explicitly misconfigured recent ones — Figure 1's
+// Jupyter Notebook pattern. Products that never changed their insecure
+// defaults keep the plain recency distribution, reproducing Hadoop's
+// evenly-spread vulnerable versions.
+func sampleVersion(rng *rand.Rand, app mav.App, vulnerable bool) string {
+	tl := apps.Timeline(app)
+	info := mav.MustLookup(app)
+	if vulnerable && info.Default == mav.ChangedOverTime && rng.Float64() < 0.8 {
+		// Pre-cutover releases only.
+		var old []apps.Release
+		for _, rel := range tl {
+			if apps.InsecureDefault(app, rel.Version) {
+				old = append(old, rel)
+			}
+		}
+		if len(old) > 0 {
+			return old[rng.Intn(len(old))].Version
+		}
+	}
+	// Per-category recency mix (RQ2): CMSes are the freshest (WordPress
+	// auto-updates; median May 2021), CI and CM follow (median January
+	// 2021), notebooks run much older code (median January 2020) and
+	// control panels are the most outdated (median September 2019).
+	recent, mid := 0.65, 0.25
+	switch info.Category {
+	case mav.CMS:
+		recent, mid = 0.80, 0.15
+	case mav.CI, mav.CM:
+		recent, mid = 0.70, 0.22
+	case mav.NB:
+		recent, mid = 0.40, 0.35
+	case mav.CP:
+		recent, mid = 0.25, 0.35
+	}
+	r := rng.Float64()
+	var pool []apps.Release
+	switch {
+	case r < recent:
+		pool = releasesBetween(tl, ScanDate.AddDate(0, -6, 0), ScanDate)
+	case r < recent+mid:
+		pool = releasesBetween(tl, ScanDate.AddDate(0, -18, 0), ScanDate.AddDate(0, -6, 0))
+	default:
+		pool = releasesBetween(tl, time.Time{}, ScanDate.AddDate(0, -18, 0))
+	}
+	if len(pool) == 0 {
+		pool = tl
+	}
+	return pool[rng.Intn(len(pool))].Version
+}
+
+func releasesBetween(tl []apps.Release, from, to time.Time) []apps.Release {
+	var out []apps.Release
+	for _, rel := range tl {
+		if (from.IsZero() || !rel.Date.Before(from)) && rel.Date.Before(to) {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// instanceConfig derives the emulator configuration realizing the chosen
+// ground truth (vulnerable or secure) for an application at a version.
+func instanceConfig(rng *rand.Rand, app mav.App, version string, vulnerable bool, cfg Config) (apps.Config, bool) {
+	c := apps.Config{App: app, Version: version, Clock: cfg.Clock, Exec: cfg.Exec, Options: map[string]bool{}}
+	byDefault := apps.InsecureDefault(app, version)
+	switch app {
+	case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
+		c.Installed = !vulnerable
+		c.AuthRequired = true
+	case mav.Consul:
+		if vulnerable {
+			// Script checks are never on by default.
+			if rng.Intn(2) == 0 {
+				c.Options["enableScriptChecks"] = true
+			} else {
+				c.Options["enableRemoteScriptChecks"] = true
+			}
+		}
+		byDefault = false
+	case mav.Ajenti:
+		c.Options["autologin"] = vulnerable
+		byDefault = false
+	case mav.PhpMyAdmin:
+		c.Options["allowNoPassword"] = vulnerable
+		byDefault = false
+	case mav.Adminer:
+		c.Options["emptyDBPassword"] = vulnerable
+		byDefault = byDefault && vulnerable
+	default:
+		c.AuthRequired = !vulnerable
+		byDefault = byDefault && vulnerable
+	}
+	return c, byDefault
+}
+
+// tlsLikelihood returns the probability that a deployment of app serves
+// TLS on its admin port, loosely shaped after Table 2's per-port protocol
+// ratios.
+func tlsLikelihood(app mav.App, port int) float64 {
+	switch {
+	case app == mav.Kubernetes:
+		return 1.0 // kube-apiserver is always TLS
+	case port == 443:
+		return 1.0
+	case port == 80:
+		return 0.0
+	case app == mav.Consul:
+		return 0.5
+	default:
+		return 0.1
+	}
+}
+
+// Generate builds the world.
+func Generate(cfg Config) (*World, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := geo.Default()
+	ca, err := httpsim.NewCA()
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Net:     simnet.New(),
+		Geo:     db,
+		CA:      ca,
+		cfg:     cfg,
+		byIP:    make(map[netip.Addr]*HostSpec),
+		weights: make(map[mav.App]strataWeights),
+	}
+	alloc := &ipAllocator{rng: rng, used: make(map[netip.Addr]bool)}
+
+	for _, info := range mav.InScopeApps() {
+		targets := table3[info.App]
+		nVuln := targets.MAVs / cfg.VulnScale
+		if targets.MAVs > 0 && nVuln == 0 {
+			nVuln = 1 // keep rare strata (Polynote, Adminer) represented
+		}
+		nSecure := (targets.Hosts - targets.MAVs) / cfg.HostScale
+		if nSecure == 0 && targets.Hosts > targets.MAVs {
+			nSecure = 1
+		}
+		sw := strataWeights{}
+		if nSecure > 0 {
+			sw.secure = float64(targets.Hosts-targets.MAVs) / float64(nSecure)
+		}
+		if nVuln > 0 {
+			sw.vuln = float64(targets.MAVs) / float64(nVuln)
+		}
+		w.weights[info.App] = sw
+		for i := 0; i < nVuln+nSecure; i++ {
+			vulnerable := i < nVuln
+			if err := w.addAppHost(rng, alloc, info, vulnerable); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.BackgroundScale > 0 {
+		w.addBackground(rng, alloc)
+	}
+	if cfg.WildcardScale > 0 {
+		n := 3_000_000 / cfg.WildcardScale
+		for i := 0; i < n; i++ {
+			ip := alloc.inPrefix(db.Prefixes()[rng.Intn(len(db.Prefixes()))])
+			h := simnet.NewHost(ip)
+			h.SetWildcardOpen(true)
+			if err := w.Net.AddHost(h); err != nil {
+				return nil, err
+			}
+			w.Wildcard++
+		}
+	}
+	return w, nil
+}
+
+// addAppHost generates, binds and records one application host.
+func (w *World) addAppHost(rng *rand.Rand, alloc *ipAllocator, info mav.Info, vulnerable bool) error {
+	version := sampleVersion(rng, info.App, vulnerable)
+	// Adminer's MAV needs a pre-4.6.3 release (empty passwords are refused
+	// outright after that), and Joomla's install hijack is defeated by the
+	// 3.7.4 ownership check — vulnerable hosts must run older releases.
+	if vulnerable && (info.App == mav.Adminer || info.App == mav.Joomla) && !apps.InsecureDefault(info.App, version) {
+		tl := apps.Timeline(info.App)
+		for i := len(tl) - 1; i >= 0; i-- {
+			if apps.InsecureDefault(info.App, tl[i].Version) {
+				version = tl[i].Version
+				break
+			}
+		}
+	}
+	instCfg, byDefault := instanceConfig(rng, info.App, version, vulnerable, w.cfg)
+	inst, err := apps.New(instCfg)
+	if err != nil {
+		return err
+	}
+	if inst.Vulnerable() != vulnerable {
+		return fmt.Errorf("population: %s@%s generated state mismatch (want vulnerable=%v)", info.App, version, vulnerable)
+	}
+	var prefix netip.Prefix
+	if vulnerable {
+		prefix = pickPlacement(rng, w.Geo, vulnPlacement)
+	} else {
+		prefix = w.Geo.Prefixes()[rng.Intn(len(w.Geo.Prefixes()))]
+	}
+	ip := alloc.inPrefix(prefix)
+	port := info.Ports[rng.Intn(len(info.Ports))]
+	useTLS := rng.Float64() < tlsLikelihood(info.App, port)
+	if port == 443 {
+		useTLS = true
+	}
+	spec := HostSpec{
+		IP: ip, App: info.App, Port: port, TLS: useTLS,
+		Version: version, Instance: inst,
+		Vulnerable: vulnerable, ByDefault: byDefault,
+	}
+	host := simnet.NewHost(ip)
+	if useTLS {
+		// Each deployment owns its own registrable domain so the
+		// disclosure workflow derives distinct security@ contacts.
+		spec.Domain = fmt.Sprintf("www.host-%04d.org", len(w.Specs))
+		cert, err := w.CA.CertFor(spec.Domain, ip.String())
+		if err != nil {
+			return err
+		}
+		host.Bind(port, httpsim.TLSConnHandler(inst.Handler(), cert))
+	} else {
+		host.Bind(port, httpsim.ConnHandler(inst.Handler()))
+	}
+	if err := w.Net.AddHost(host); err != nil {
+		return err
+	}
+	w.Specs = append(w.Specs, spec)
+	w.byIP[ip] = &w.Specs[len(w.Specs)-1]
+	return nil
+}
+
+// addBackground seeds non-AWE noise hosts following Table 2's port mix.
+func (w *World) addBackground(rng *rand.Rand, alloc *ipAllocator) {
+	kinds := apps.BackgroundKinds()
+	for _, bp := range backgroundPorts {
+		n := bp.Open / w.cfg.BackgroundScale
+		for i := 0; i < n; i++ {
+			ip := alloc.inPrefix(w.Geo.Prefixes()[rng.Intn(len(w.Geo.Prefixes()))])
+			h := simnet.NewHost(ip)
+			// Decide protocol per Table 2's response ratios; the rest of
+			// the open ports speak no HTTP at all (e.g. SSH banners).
+			r := rng.Intn(bp.Open / w.cfg.BackgroundScale)
+			httpN := bp.HTTP / w.cfg.BackgroundScale
+			httpsN := bp.HTTPS / w.cfg.BackgroundScale
+			handler := apps.Background(kinds[rng.Intn(len(kinds))])
+			switch {
+			case r < httpN:
+				h.Bind(bp.Port, httpsim.ConnHandler(handler))
+			case r < httpN+httpsN:
+				cert, err := w.CA.CertFor(ip.String())
+				if err == nil {
+					h.Bind(bp.Port, httpsim.TLSConnHandler(handler, cert))
+				}
+			default:
+				// A TCP service that is not HTTP: accept and close.
+				h.Bind(bp.Port, func(c net.Conn) { c.Close() })
+			}
+			if err := w.Net.AddHost(h); err == nil {
+				w.Background++
+			}
+		}
+	}
+}
+
+// httpsimPlain and httpsimTLS are small indirection helpers so churn can
+// rebind upgraded instances.
+func httpsimPlain(inst *apps.Instance) simnet.ConnHandler {
+	return httpsim.ConnHandler(inst.Handler())
+}
+
+func httpsimTLS(inst *apps.Instance, cert tls.Certificate) simnet.ConnHandler {
+	return httpsim.TLSConnHandler(inst.Handler(), cert)
+}

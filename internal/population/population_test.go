@@ -1,0 +1,252 @@
+package population
+
+import (
+	"testing"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/mav"
+	"mavscan/internal/simtime"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		HostScale:       40000,
+		VulnScale:       20,
+		BackgroundScale: 1000000,
+		WildcardScale:   1000000,
+	}
+}
+
+func TestGenerateGroundTruthConsistency(t *testing.T) {
+	w, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Specs {
+		spec := &w.Specs[i]
+		if spec.Instance.Vulnerable() != spec.Vulnerable {
+			t.Errorf("%s at %s: instance state disagrees with ground truth", spec.App, spec.IP)
+		}
+		if spec.Version != spec.Instance.Version() {
+			t.Errorf("%s: spec version %s vs instance %s", spec.App, spec.Version, spec.Instance.Version())
+		}
+		if _, ok := w.SpecFor(spec.IP); !ok {
+			t.Errorf("%s not indexed", spec.IP)
+		}
+		if _, ok := w.Net.Host(spec.IP); !ok {
+			t.Errorf("%s has no simnet host", spec.IP)
+		}
+	}
+}
+
+func TestGenerateStrataCounts(t *testing.T) {
+	w, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perApp := map[mav.App]struct{ vuln, secure int }{}
+	for _, spec := range w.Specs {
+		c := perApp[spec.App]
+		if spec.Vulnerable {
+			c.vuln++
+		} else {
+			c.secure++
+		}
+		perApp[spec.App] = c
+	}
+	for _, info := range mav.InScopeApps() {
+		hosts, mavs := Table3Targets(info.App)
+		want := mavs / 20
+		if mavs > 0 && want == 0 {
+			want = 1
+		}
+		if got := perApp[info.App].vuln; got != want {
+			t.Errorf("%s: %d vulnerable, want %d", info.App, got, want)
+		}
+		wantSecure := (hosts - mavs) / 40000
+		if wantSecure == 0 && hosts > mavs {
+			wantSecure = 1
+		}
+		if got := perApp[info.App].secure; got != wantSecure {
+			t.Errorf("%s: %d secure, want %d", info.App, got, wantSecure)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Specs) != len(w2.Specs) {
+		t.Fatalf("sizes differ: %d vs %d", len(w1.Specs), len(w2.Specs))
+	}
+	for i := range w1.Specs {
+		a, b := w1.Specs[i], w2.Specs[i]
+		if a.IP != b.IP || a.App != b.App || a.Version != b.Version || a.Vulnerable != b.Vulnerable {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestDesignWeightsInvertSampling(t *testing.T) {
+	w, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range mav.InScopeApps() {
+		hosts, mavs := Table3Targets(info.App)
+		sw, vw := w.Weights(info.App)
+		var nSecure, nVuln int
+		for _, spec := range w.Specs {
+			if spec.App != info.App {
+				continue
+			}
+			if spec.Vulnerable {
+				nVuln++
+			} else {
+				nSecure++
+			}
+		}
+		if est := float64(nSecure) * sw; nSecure > 0 && (est < float64(hosts-mavs)*0.99 || est > float64(hosts-mavs)*1.01) {
+			t.Errorf("%s: secure estimate %.0f, want %d", info.App, est, hosts-mavs)
+		}
+		if est := float64(nVuln) * vw; nVuln > 0 && (est < float64(mavs)*0.99 || est > float64(mavs)*1.01) {
+			t.Errorf("%s: vulnerable estimate %.0f, want %d", info.App, est, mavs)
+		}
+	}
+}
+
+func TestVulnerablePlacementFollowsTable4(t *testing.T) {
+	w, err := Generate(Config{Seed: 4, HostScale: 40000, VulnScale: 2, BackgroundScale: -1, WildcardScale: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosting, total := 0, 0
+	countries := map[string]int{}
+	for _, spec := range w.VulnerableSpecs() {
+		rec := w.Geo.Lookup(spec.IP)
+		countries[rec.Country]++
+		if rec.Hosting {
+			hosting++
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no vulnerable hosts")
+	}
+	frac := float64(hosting) / float64(total)
+	if frac < 0.5 || frac > 0.8 {
+		t.Errorf("hosting share %.2f, want ≈0.64", frac)
+	}
+	if countries["United States"] < countries["Germany"] {
+		t.Error("US must dominate Germany (Table 4)")
+	}
+	if countries["China"] < countries["France"] {
+		t.Error("China must dominate France (Table 4)")
+	}
+}
+
+func TestVersionSamplingRespectsVulnerabilityConstraints(t *testing.T) {
+	w, err := Generate(Config{Seed: 5, HostScale: 40000, VulnScale: 1, BackgroundScale: -1, WildcardScale: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldJNB, newJNB := 0, 0
+	for _, spec := range w.VulnerableSpecs() {
+		switch spec.App {
+		case mav.Adminer, mav.Joomla:
+			if !apps.InsecureDefault(spec.App, spec.Version) {
+				t.Errorf("vulnerable %s on safe release %s", spec.App, spec.Version)
+			}
+		case mav.JupyterNotebook:
+			if apps.InsecureDefault(spec.App, spec.Version) {
+				oldJNB++
+			} else {
+				newJNB++
+			}
+		}
+	}
+	// Figure 1: most vulnerable notebooks run pre-4.3 releases.
+	if oldJNB <= newJNB {
+		t.Errorf("vulnerable J-Notebook split old=%d new=%d, want old-dominated", oldJNB, newJNB)
+	}
+}
+
+func TestChurnTargetsFigure2(t *testing.T) {
+	w, err := Generate(Config{Seed: 6, HostScale: 40000, VulnScale: 4, BackgroundScale: -1, WildcardScale: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := ScanDate
+	sim := simtime.NewSim(start)
+	fixes, offlines, updates := ScheduleChurn(sim, w, ChurnConfig{Seed: 6, Start: start})
+	total := len(w.VulnerableSpecs())
+	deaths := fixes + offlines
+	// ~47% of hosts stop being vulnerable over the window; fixes are rare.
+	if frac := float64(deaths) / float64(total); frac < 0.30 || frac > 0.60 {
+		t.Errorf("death fraction %.2f, want ≈0.47", frac)
+	}
+	if fixes > deaths/3 {
+		t.Errorf("fixes = %d of %d deaths, want a small minority", fixes, deaths)
+	}
+	if updates == 0 {
+		t.Error("no version updates scheduled (paper: 2.4%)")
+	}
+	// Run the events; afterwards the ground truth must reflect them.
+	sim.Run()
+	stillVuln := 0
+	for _, spec := range w.VulnerableSpecs() {
+		host, _ := w.Net.Host(spec.IP)
+		if host.Online() && !host.Firewalled() && spec.Instance.Vulnerable() {
+			stillVuln++
+		}
+	}
+	if frac := float64(stillVuln) / float64(total); frac < 0.40 || frac > 0.70 {
+		t.Errorf("still-vulnerable fraction %.2f, want ≈0.53", frac)
+	}
+}
+
+func TestChurnUpgradeKeepsVulnerability(t *testing.T) {
+	w, err := Generate(Config{Seed: 8, HostScale: 40000, VulnScale: 2, BackgroundScale: -1, WildcardScale: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a vulnerable Hadoop spec and upgrade it manually.
+	for _, spec := range w.VulnerableSpecs() {
+		if spec.App != mav.Hadoop || spec.Version == apps.LatestVersion(mav.Hadoop) {
+			continue
+		}
+		upgradeSpec(w, spec)
+		if spec.Version != apps.LatestVersion(mav.Hadoop) {
+			t.Fatalf("upgrade did not change version: %s", spec.Version)
+		}
+		if !spec.Instance.Vulnerable() {
+			t.Fatal("upgrade must keep the misconfiguration (updated but still vulnerable)")
+		}
+		return
+	}
+	t.Skip("no upgradable Hadoop spec in this world")
+}
+
+func TestSampleDeathHourMonotone(t *testing.T) {
+	prev := -1.0
+	for _, u := range []float64{0.01, 0.05, 0.15, 0.25, 0.35, 0.46} {
+		h, ok := sampleDeathHour(u)
+		if !ok {
+			t.Fatalf("u=%v should die", u)
+		}
+		if h < prev {
+			t.Fatalf("death hour not monotone at u=%v", u)
+		}
+		prev = h
+	}
+	if _, ok := sampleDeathHour(0.5); ok {
+		t.Fatal("u=0.5 must survive (curve tops out at 0.47)")
+	}
+}

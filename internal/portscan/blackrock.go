@@ -1,0 +1,110 @@
+package portscan
+
+// blackRock is a format-preserving permutation over an arbitrary-size
+// integer range, modeled on masscan's BlackRock cipher. It lets the scanner
+// visit every address of the target space exactly once in a pseudorandom
+// order without materializing the shuffle — the property that spreads probe
+// load across /24 blocks instead of flooding one network (the paper's
+// ethical-scanning requirement).
+//
+// The construction is a generalized (possibly unbalanced) Feistel network
+// over the mixed radix pair a*b >= range, with cycle-walking to stay inside
+// the range.
+type blackRock struct {
+	rangeSize uint64
+	a, b      uint64
+	seed      uint64
+	rounds    int
+}
+
+// newBlackRock builds a permutation over [0, rangeSize).
+func newBlackRock(rangeSize, seed uint64) *blackRock {
+	if rangeSize == 0 {
+		return &blackRock{rangeSize: 0}
+	}
+	// Pick a and b around sqrt(rangeSize) with a*b >= rangeSize.
+	a := isqrt(rangeSize - 1)
+	if a < 1 {
+		a = 1
+	}
+	for a*a < rangeSize {
+		a++
+	}
+	b := a
+	for a*(b-1) >= rangeSize && b > 1 {
+		b--
+	}
+	return &blackRock{rangeSize: rangeSize, a: a, b: b, seed: seed, rounds: 4}
+}
+
+func isqrt(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	x := uint64(1) << ((bitsLen(n) + 1) / 2)
+	for {
+		y := (x + n/x) / 2
+		if y >= x {
+			return x
+		}
+		x = y
+	}
+}
+
+func bitsLen(n uint64) int {
+	l := 0
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// round is the Feistel round function: any pseudo-random function works;
+// this is a splitmix64-style mixer keyed by seed and round index.
+func (br *blackRock) round(r int, right uint64) uint64 {
+	z := right + br.seed + uint64(r)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// encryptOnce runs one pass of the unbalanced Feistel network.
+func (br *blackRock) encryptOnce(m uint64) uint64 {
+	left := m % br.a
+	right := m / br.a
+	for r := 0; r < br.rounds; r++ {
+		var tmp uint64
+		if r&1 == 0 {
+			tmp = (left + br.round(r, right)) % br.a
+		} else {
+			tmp = (left + br.round(r, right)) % br.b
+		}
+		left, right = right, tmp
+	}
+	// After an even number of rounds left is in [0,a) and right in [0,b),
+	// so a*right+left enumerates [0, a*b) without collisions.
+	return br.a*right + left
+}
+
+// Shuffle maps index m in [0, rangeSize) to a unique position in the same
+// range. Cycle-walking re-encrypts values that land outside the range
+// (possible because a*b may exceed rangeSize).
+func (br *blackRock) Shuffle(m uint64) uint64 {
+	if br.rangeSize == 0 {
+		return 0
+	}
+	c := br.encryptOnce(m)
+	for c >= br.rangeSize {
+		c = br.encryptOnce(c)
+	}
+	return c
+}
+
+// NewShuffler exposes the BlackRock permutation for benchmarking and for
+// callers that need the randomized-iteration primitive alone: it returns a
+// bijective map over [0, rangeSize).
+func NewShuffler(rangeSize, seed uint64) func(uint64) uint64 {
+	br := newBlackRock(rangeSize, seed)
+	return br.Shuffle
+}

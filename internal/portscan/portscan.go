@@ -1,0 +1,244 @@
+// Package portscan implements Stage I of the pipeline: a masscan-like
+// asynchronous port scanner.
+//
+// Like masscan, it visits the target address space in a pseudorandom order
+// produced by a format-preserving permutation (see blackrock.go), so probe
+// load is spread across /24 networks instead of sweeping them sequentially
+// — the ethical-scanning property described in Section 3.2. It supports
+// exclusion lists (the IANA reserved allocations), a global rate limit, and
+// a configurable worker pool standing in for the paper's 64-machine fleet.
+package portscan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Prober answers half-open probes. simnet.Network implements it; a real
+// deployment would back it with raw sockets.
+type Prober interface {
+	// ProbePort returns nil if (ip, port) completes a handshake, and an
+	// error classifying the failure otherwise.
+	ProbePort(ip netip.Addr, port int) error
+}
+
+// Result is one open port.
+type Result struct {
+	IP   netip.Addr
+	Port int
+}
+
+// Config parametrizes a scan.
+type Config struct {
+	// Targets are the prefixes to scan. Required.
+	Targets []netip.Prefix
+	// Exclude removes prefixes from the scan (IANA reserved ranges,
+	// opt-outs). Probes to excluded addresses are never sent.
+	Exclude []netip.Prefix
+	// Ports is the port list; the study's is mav.ScanPorts(). Required.
+	Ports []int
+	// Workers is the number of concurrent probe workers (default 64).
+	Workers int
+	// RatePerSec caps probes per second across all workers; 0 disables
+	// limiting (full simulation speed).
+	RatePerSec int
+	// Seed keys the address-space permutation.
+	Seed uint64
+	// Sequential disables the randomized permutation and scans addresses
+	// in linear order. It exists for the ablation benchmark showing the
+	// per-/24 burst behaviour randomization avoids.
+	Sequential bool
+}
+
+// Stats summarizes a finished scan.
+type Stats struct {
+	Probed   uint64
+	Open     uint64
+	Excluded uint64
+	Elapsed  time.Duration
+}
+
+// Scanner performs port scans against a Prober.
+type Scanner struct {
+	prober Prober
+}
+
+// New returns a scanner probing through p.
+func New(p Prober) *Scanner { return &Scanner{prober: p} }
+
+// space maps a flat index to an address across multiple prefixes.
+type space struct {
+	prefixes []netip.Prefix
+	cum      []uint64 // cumulative address counts; cum[i] = total before prefix i
+	total    uint64
+}
+
+func newSpace(prefixes []netip.Prefix) (*space, error) {
+	if len(prefixes) == 0 {
+		return nil, errors.New("portscan: no target prefixes")
+	}
+	s := &space{prefixes: prefixes, cum: make([]uint64, len(prefixes))}
+	for i, p := range prefixes {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("portscan: prefix %s is not IPv4", p)
+		}
+		s.cum[i] = s.total
+		s.total += uint64(1) << (32 - p.Bits())
+	}
+	return s, nil
+}
+
+// addr returns the idx-th address of the space.
+func (s *space) addr(idx uint64) netip.Addr {
+	// Binary search over the cumulative sizes.
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.cum[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	p := s.prefixes[lo]
+	off := uint32(idx - s.cum[lo])
+	base := p.Addr().As4()
+	v := (uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])) + off
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// limiter is a coarse token-bucket rate limiter shared by all workers.
+type limiter struct {
+	mu     sync.Mutex
+	rate   float64
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(ratePerSec int) *limiter {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	return &limiter{rate: float64(ratePerSec), tokens: float64(ratePerSec), last: time.Now()}
+}
+
+func (l *limiter) wait(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.rate {
+			l.tokens = l.rate
+		}
+		l.last = now
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := (1 - l.tokens) / l.rate
+		l.mu.Unlock()
+		select {
+		case <-time.After(time.Duration(need * float64(time.Second))):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Scan probes every (address, port) pair of the configured space, invoking
+// fn for each open port. fn is called from multiple goroutines and must be
+// safe for concurrent use.
+func (s *Scanner) Scan(ctx context.Context, cfg Config, fn func(Result)) (Stats, error) {
+	start := time.Now()
+	if len(cfg.Ports) == 0 {
+		return Stats{}, errors.New("portscan: no ports configured")
+	}
+	sp, err := newSpace(cfg.Targets)
+	if err != nil {
+		return Stats{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	total := sp.total * uint64(len(cfg.Ports))
+	br := newBlackRock(total, cfg.Seed)
+	lim := newLimiter(cfg.RatePerSec)
+
+	excluded := func(a netip.Addr) bool {
+		for _, p := range cfg.Exclude {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var stats Stats
+	var probed, open, excl atomic.Uint64
+	var wg sync.WaitGroup
+	var next atomic.Uint64
+	const chunk = 4096
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				base := next.Add(chunk) - chunk
+				if base >= total {
+					return
+				}
+				end := base + chunk
+				if end > total {
+					end = total
+				}
+				for i := base; i < end; i++ {
+					if ctx.Err() != nil {
+						errCh <- ctx.Err()
+						return
+					}
+					idx := i
+					if !cfg.Sequential {
+						idx = br.Shuffle(i)
+					}
+					addrIdx := idx / uint64(len(cfg.Ports))
+					port := cfg.Ports[idx%uint64(len(cfg.Ports))]
+					a := sp.addr(addrIdx)
+					if excluded(a) {
+						excl.Add(1)
+						continue
+					}
+					if err := lim.wait(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					probed.Add(1)
+					if s.prober.ProbePort(a, port) == nil {
+						open.Add(1)
+						fn(Result{IP: a, Port: port})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: time.Since(start)}
+			return stats, err
+		}
+	}
+	stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: time.Since(start)}
+	return stats, nil
+}

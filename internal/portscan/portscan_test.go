@@ -1,0 +1,263 @@
+package portscan
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mavscan/internal/simnet"
+)
+
+// TestBlackRockIsPermutation proves the Feistel construction visits every
+// index exactly once for a spread of awkward range sizes.
+func TestBlackRockIsPermutation(t *testing.T) {
+	for _, size := range []uint64{1, 2, 3, 7, 16, 100, 255, 256, 257, 1000, 4096, 65537} {
+		br := newBlackRock(size, 0xfeed)
+		seen := make(map[uint64]bool, size)
+		for i := uint64(0); i < size; i++ {
+			v := br.Shuffle(i)
+			if v >= size {
+				t.Fatalf("size %d: Shuffle(%d) = %d out of range", size, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("size %d: Shuffle(%d) = %d duplicated", size, i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestBlackRockPermutationProperty is the property-based variant: for random
+// (size, seed) pairs the shuffle must still be a bijection.
+func TestBlackRockPermutationProperty(t *testing.T) {
+	f := func(sizeRaw uint16, seed uint64) bool {
+		size := uint64(sizeRaw)%2000 + 1
+		br := newBlackRock(size, seed)
+		seen := make(map[uint64]bool, size)
+		for i := uint64(0); i < size; i++ {
+			v := br.Shuffle(i)
+			if v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlackRockSpreadsBlocks checks the operational property the shuffle
+// exists for: consecutive probe indices should not land in the same /24.
+func TestBlackRockSpreadsBlocks(t *testing.T) {
+	br := newBlackRock(1<<16, 42)
+	same := 0
+	prev := br.Shuffle(0)
+	for i := uint64(1); i < 4096; i++ {
+		v := br.Shuffle(i)
+		if v/256 == prev/256 {
+			same++
+		}
+		prev = v
+	}
+	// With 256 blocks of 256 addresses, ~1/256 of consecutive pairs should
+	// share a block by chance; allow a generous margin.
+	if same > 64 {
+		t.Fatalf("randomized order still bursts blocks: %d/4096 consecutive pairs in the same /24", same)
+	}
+}
+
+func TestScanFindsExactlyTheOpenPorts(t *testing.T) {
+	n := simnet.New()
+	want := map[Result]bool{
+		{netip.MustParseAddr("10.0.0.5"), 80}:     true,
+		{netip.MustParseAddr("10.0.1.9"), 443}:    true,
+		{netip.MustParseAddr("10.0.1.9"), 8080}:   true,
+		{netip.MustParseAddr("10.0.2.200"), 2375}: true,
+	}
+	hosts := map[netip.Addr]*simnet.Host{}
+	for res := range want {
+		h, ok := hosts[res.IP]
+		if !ok {
+			h = simnet.NewHost(res.IP)
+			hosts[res.IP] = h
+			if err := n.AddHost(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.Bind(res.Port, func(c net.Conn) { c.Close() })
+	}
+	cfg := Config{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")},
+		Ports:   []int{80, 443, 2375, 8080},
+		Workers: 8,
+		Seed:    7,
+	}
+	var mu sync.Mutex
+	got := map[Result]bool{}
+	stats, err := New(n).Scan(context.Background(), cfg, func(r Result) {
+		mu.Lock()
+		got[r] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d open ports, want %d: %v", len(got), len(want), got)
+	}
+	for r := range want {
+		if !got[r] {
+			t.Errorf("missing open port %v", r)
+		}
+	}
+	if stats.Probed != uint64(1<<16)*4 {
+		t.Errorf("probed %d, want %d", stats.Probed, uint64(1<<16)*4)
+	}
+}
+
+func TestScanHonorsExclusions(t *testing.T) {
+	n := simnet.New()
+	ip := netip.MustParseAddr("10.0.0.5")
+	h := simnet.NewHost(ip)
+	h.Bind(80, func(c net.Conn) { c.Close() })
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")},
+		Exclude: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/28")},
+		Ports:   []int{80},
+		Workers: 2,
+	}
+	var mu sync.Mutex
+	var results []Result
+	stats, err := New(n).Scan(context.Background(), cfg, func(r Result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("excluded address was probed: %v", results)
+	}
+	if stats.Excluded != 16 {
+		t.Errorf("excluded %d probes, want 16", stats.Excluded)
+	}
+}
+
+func TestScanCancellation(t *testing.T) {
+	n := simnet.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+		Ports:   []int{80},
+		Workers: 4,
+	}
+	_, err := New(n).Scan(ctx, cfg, func(Result) {})
+	if err == nil {
+		t.Fatal("cancelled scan must return an error")
+	}
+}
+
+func TestSpaceAddressing(t *testing.T) {
+	sp, err := newSpace([]netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/30"),
+		netip.MustParsePrefix("192.168.1.0/31"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.total != 6 {
+		t.Fatalf("total = %d, want 6", sp.total)
+	}
+	wants := []string{"10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3", "192.168.1.0", "192.168.1.1"}
+	for i, w := range wants {
+		if got := sp.addr(uint64(i)).String(); got != w {
+			t.Errorf("addr(%d) = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestIANAReservedList(t *testing.T) {
+	prefixes := IANAReserved()
+	// Spot-check the well-known members.
+	member := func(ip string) bool {
+		a := netip.MustParseAddr(ip)
+		for _, p := range prefixes {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ip := range []string{"127.0.0.1", "10.1.2.3", "192.168.1.1", "224.0.0.1", "240.0.0.1", "169.254.1.1"} {
+		if !member(ip) {
+			t.Errorf("%s should be reserved", ip)
+		}
+	}
+	for _, ip := range []string{"8.8.8.8", "1.1.1.1", "52.1.2.3"} {
+		if member(ip) {
+			t.Errorf("%s should be scannable", ip)
+		}
+	}
+	// Prefixes must be disjoint so the address count is exact.
+	for i := range prefixes {
+		for j := i + 1; j < len(prefixes); j++ {
+			if prefixes[i].Overlaps(prefixes[j]) {
+				t.Errorf("reserved prefixes %s and %s overlap", prefixes[i], prefixes[j])
+			}
+		}
+	}
+	// Excluding them leaves roughly 3.5B scannable addresses, as in the
+	// paper.
+	scannable := uint64(1)<<32 - ReservedAddressCount()
+	if scannable < 3_400_000_000 || scannable > 3_700_000_000 {
+		t.Errorf("scannable addresses = %d, want ≈3.5B", scannable)
+	}
+}
+
+// TestRateLimiterBoundsThroughput runs a limited scan and checks the probe
+// rate stayed near the configured cap.
+func TestRateLimiterBoundsThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps against a wall clock")
+	}
+	n := simnet.New()
+	cfg := Config{
+		Targets:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")},
+		Ports:      []int{80},
+		Workers:    8,
+		RatePerSec: 500,
+	}
+	stats, err := New(n).Scan(context.Background(), cfg, func(Result) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Probed != 256 {
+		t.Fatalf("probed %d, want 256", stats.Probed)
+	}
+	// 256 probes at 500/s should take at least ~0.4s even with the full
+	// initial bucket (which covers the first 500).
+	// With 256 < 500 the bucket absorbs everything; use a smaller rate.
+	cfg.RatePerSec = 100
+	start := time.Now()
+	if _, err := New(n).Scan(context.Background(), cfg, func(Result) {}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 256 probes, initial bucket 100 → ~156 waited probes at 100/s ≈ 1.5s.
+	if elapsed < private500ms {
+		t.Fatalf("rate-limited scan finished in %v, limiter not engaged", elapsed)
+	}
+}
+
+const private500ms = 500 * time.Millisecond

@@ -1,0 +1,51 @@
+package portscan
+
+import "net/netip"
+
+// IANAReserved returns the IANA special-purpose and reserved IPv4
+// allocations the paper excluded from its scan (multicast, private use,
+// loopback, link-local, documentation ranges, the former Class E space,
+// and so on). Removing them leaves roughly 3.5B scannable addresses.
+//
+// Note that the *simulated* internet deliberately lives inside 10.0.0.0/8;
+// a simulation run must therefore not pass this list as an exclusion. It
+// exists for the real-network deployment path and for the exclusion
+// accounting tests.
+func IANAReserved() []netip.Prefix {
+	cidrs := []string{
+		"0.0.0.0/8",       // "this network"
+		"10.0.0.0/8",      // private use
+		"100.64.0.0/10",   // shared address space (CGN)
+		"127.0.0.0/8",     // loopback
+		"169.254.0.0/16",  // link local
+		"172.16.0.0/12",   // private use
+		"192.0.0.0/24",    // IETF protocol assignments
+		"192.0.2.0/24",    // TEST-NET-1
+		"192.88.99.0/24",  // 6to4 relay anycast (deprecated)
+		"192.168.0.0/16",  // private use
+		"198.18.0.0/15",   // benchmarking
+		"198.51.100.0/24", // TEST-NET-2
+		"203.0.113.0/24",  // TEST-NET-3
+		"224.0.0.0/4",     // multicast
+		"240.0.0.0/4",     // reserved (former Class E)
+		// US Department of Defense allocations, excluded by the paper.
+		"6.0.0.0/8", "7.0.0.0/8", "11.0.0.0/8", "21.0.0.0/8", "22.0.0.0/8",
+		"26.0.0.0/8", "28.0.0.0/8", "29.0.0.0/8", "30.0.0.0/8", "33.0.0.0/8",
+		"55.0.0.0/8", "214.0.0.0/8", "215.0.0.0/8",
+	}
+	out := make([]netip.Prefix, len(cidrs))
+	for i, c := range cidrs {
+		out[i] = netip.MustParsePrefix(c)
+	}
+	return out
+}
+
+// ReservedAddressCount returns the number of IPv4 addresses covered by the
+// reserved list (prefixes are disjoint by construction).
+func ReservedAddressCount() uint64 {
+	var total uint64
+	for _, p := range IANAReserved() {
+		total += uint64(1) << (32 - p.Bits())
+	}
+	return total
+}

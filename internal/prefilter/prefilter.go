@@ -1,0 +1,109 @@
+// Package prefilter implements Stage II of the scanning pipeline.
+//
+// For every open port found by Stage I it checks whether the endpoint
+// speaks HTTP and/or HTTPS (port 80 is only probed as HTTP and port 443
+// only as HTTPS, as in the paper), follows redirects until a response body
+// is obtained, and matches the body against the hand-crafted signature set
+// identifying the 18 studied applications. Everything else is discarded so
+// the slower Stage III only sees relevant targets.
+package prefilter
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"time"
+
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+// maxBody bounds how much of a response body is read for matching.
+const maxBody = 512 << 10
+
+// Result describes one probed (ip, port) endpoint.
+type Result struct {
+	IP   netip.Addr
+	Port int
+	// HTTP and HTTPS report whether each protocol produced a response.
+	HTTP, HTTPS bool
+	// Apps are the applications whose signatures matched, in catalog
+	// order. Empty means the endpoint is out of scope.
+	Apps []mav.App
+	// Scheme is the scheme ("http" or "https") whose body produced the
+	// first match; Stage III reuses it.
+	Scheme string
+}
+
+// Relevant reports whether the endpoint warrants Stage-III scanning.
+func (r Result) Relevant() bool { return len(r.Apps) > 0 }
+
+// Prefilter probes endpoints through a simulated network.
+type Prefilter struct {
+	client *http.Client
+}
+
+// New returns a prefilter dialing through n.
+func New(n *simnet.Network) *Prefilter {
+	return &Prefilter{client: httpsim.NewClient(n, httpsim.ClientOptions{
+		Timeout:           10 * time.Second,
+		MaxRedirects:      5,
+		DisableKeepAlives: true,
+	})}
+}
+
+// NewWithClient returns a prefilter using a caller-supplied client (tests,
+// or a future real-network deployment).
+func NewWithClient(c *http.Client) *Prefilter { return &Prefilter{client: c} }
+
+// fetch retrieves scheme://ip:port/ following redirects and returns the
+// final body.
+func (p *Prefilter) fetch(ctx context.Context, scheme string, ip netip.Addr, port int) (string, error) {
+	url := fmt.Sprintf("%s://%s:%d/", scheme, ip, port)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("User-Agent", "mavscan-research-scanner/1.0 (+https://example.org/scan-optout)")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// Probe runs the Stage-II check for one open port.
+func (p *Prefilter) Probe(ctx context.Context, ip netip.Addr, port int) Result {
+	res := Result{IP: ip, Port: port}
+	trySchemes := []string{"http", "https"}
+	switch port {
+	case 80:
+		trySchemes = []string{"http"}
+	case 443:
+		trySchemes = []string{"https"}
+	}
+	for _, scheme := range trySchemes {
+		body, err := p.fetch(ctx, scheme, ip, port)
+		if err != nil {
+			continue
+		}
+		if scheme == "http" {
+			res.HTTP = true
+		} else {
+			res.HTTPS = true
+		}
+		if apps := MatchBody(body); len(apps) > 0 && res.Scheme == "" {
+			res.Apps = apps
+			res.Scheme = scheme
+		}
+	}
+	return res
+}

@@ -1,0 +1,201 @@
+package prefilter
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+func TestSignatureCountMatchesPaper(t *testing.T) {
+	sigs := Signatures()
+	if len(sigs) != 90 {
+		t.Fatalf("signature set has %d entries, want 90 (five per in-scope app)", len(sigs))
+	}
+	perApp := map[mav.App]int{}
+	for _, s := range sigs {
+		perApp[s.App]++
+	}
+	for _, info := range mav.InScopeApps() {
+		if perApp[info.App] != 5 {
+			t.Errorf("%s has %d signatures, want 5", info.App, perApp[info.App])
+		}
+	}
+}
+
+// landingBody renders an instance's landing page the way Stage II sees it.
+func landingBody(t *testing.T, cfg apps.Config) string {
+	t.Helper()
+	inst, err := apps.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "/"
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", path, nil)
+	req.RemoteAddr = "198.51.100.1:1"
+	inst.Handler().ServeHTTP(rec, req)
+	// Follow one local redirect, as the probe does.
+	for i := 0; i < 5 && rec.Code >= 300 && rec.Code < 400; i++ {
+		loc := rec.Header().Get("Location")
+		rec = httptest.NewRecorder()
+		req = httptest.NewRequest("GET", loc, nil)
+		req.RemoteAddr = "198.51.100.1:1"
+		inst.Handler().ServeHTTP(rec, req)
+	}
+	return rec.Body.String()
+}
+
+// TestEveryAppMatchesItsOwnSignatures: both the vulnerable and the secure
+// rendering of each in-scope application must be identified by Stage II.
+func TestEveryAppMatchesItsOwnSignatures(t *testing.T) {
+	for _, info := range mav.InScopeApps() {
+		for _, vulnerable := range []bool{true, false} {
+			cfg := apps.Config{App: info.App, Options: map[string]bool{}}
+			switch info.App {
+			case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
+				cfg.Installed = !vulnerable
+				if info.App == mav.Joomla && vulnerable {
+					cfg.Version = "3.6.0" // pre-countermeasure release
+				}
+			case mav.Consul:
+				cfg.Options["enableScriptChecks"] = vulnerable
+			case mav.Ajenti:
+				cfg.Options["autologin"] = vulnerable
+			case mav.PhpMyAdmin:
+				cfg.Options["allowNoPassword"] = vulnerable
+			case mav.Adminer:
+				cfg.Options["emptyDBPassword"] = vulnerable
+			default:
+				cfg.AuthRequired = !vulnerable
+			}
+			body := landingBody(t, cfg)
+			matched := MatchBody(body)
+			found := false
+			for _, app := range matched {
+				if app == info.App {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s (vulnerable=%v): landing page not matched; got %v", info.App, vulnerable, matched)
+			}
+		}
+	}
+}
+
+// TestBackgroundServicesDoNotMatch: Stage II must discard all non-AWE
+// noise.
+func TestBackgroundServicesDoNotMatch(t *testing.T) {
+	for _, kind := range apps.BackgroundKinds() {
+		rec := httptest.NewRecorder()
+		apps.Background(kind).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		if matched := MatchBody(rec.Body.String()); len(matched) != 0 {
+			t.Errorf("background %s matched %v", kind, matched)
+		}
+	}
+}
+
+// TestOutOfScopeAppsDoNotMatch: the 7 catalog apps without MAVs must not
+// trigger signatures either.
+func TestOutOfScopeAppsDoNotMatch(t *testing.T) {
+	for _, info := range mav.Catalog() {
+		if info.InScope() {
+			continue
+		}
+		body := landingBody(t, apps.Config{App: info.App})
+		if matched := MatchBody(body); len(matched) != 0 {
+			t.Errorf("out-of-scope %s matched %v", info.App, matched)
+		}
+	}
+}
+
+func deployOn(t *testing.T, n *simnet.Network, ip netip.Addr, port int, handler http.Handler, tls bool) {
+	t.Helper()
+	h := simnet.NewHost(ip)
+	if tls {
+		ca, err := httpsim.NewCA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := ca.CertFor(ip.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Bind(port, httpsim.TLSConnHandler(handler, cert))
+	} else {
+		h.Bind(port, httpsim.ConnHandler(handler))
+	}
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeProtocolSelection(t *testing.T) {
+	n := simnet.New()
+	inst, err := apps.New(apps.Config{App: mav.Docker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpIP := netip.MustParseAddr("10.0.0.1")
+	tlsIP := netip.MustParseAddr("10.0.0.2")
+	deployOn(t, n, httpIP, 2375, inst.Handler(), false)
+	deployOn(t, n, tlsIP, 2375, inst.Handler(), true)
+
+	p := New(n)
+	ctx := context.Background()
+
+	res := p.Probe(ctx, httpIP, 2375)
+	if !res.HTTP || res.HTTPS {
+		t.Errorf("plain host: HTTP=%v HTTPS=%v", res.HTTP, res.HTTPS)
+	}
+	if !res.Relevant() || res.Apps[0] != mav.Docker || res.Scheme != "http" {
+		t.Errorf("plain host result: %+v", res)
+	}
+
+	res = p.Probe(ctx, tlsIP, 2375)
+	if res.HTTP || !res.HTTPS {
+		t.Errorf("TLS host: HTTP=%v HTTPS=%v", res.HTTP, res.HTTPS)
+	}
+	if res.Scheme != "https" {
+		t.Errorf("TLS host scheme = %q", res.Scheme)
+	}
+}
+
+func TestProbePort80And443AreSingleProtocol(t *testing.T) {
+	n := simnet.New()
+	inst, err := apps.New(apps.Config{App: mav.WordPress, Installed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A TLS server on port 80: per methodology only HTTP is tried there,
+	// so the probe must come back empty rather than trying HTTPS.
+	ip := netip.MustParseAddr("10.0.0.9")
+	deployOn(t, n, ip, 80, inst.Handler(), true)
+	res := New(n).Probe(context.Background(), ip, 80)
+	if res.HTTP || res.HTTPS || res.Relevant() {
+		t.Errorf("TLS-on-80 should yield nothing: %+v", res)
+	}
+}
+
+func TestProbeFollowsRedirectToInstaller(t *testing.T) {
+	// An uninstalled WordPress redirects / to the installer; the probe
+	// must follow and still identify WordPress.
+	n := simnet.New()
+	inst, err := apps.New(apps.Config{App: mav.WordPress, Installed: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := netip.MustParseAddr("10.0.0.3")
+	deployOn(t, n, ip, 80, inst.Handler(), false)
+	res := New(n).Probe(context.Background(), ip, 80)
+	if !res.Relevant() || res.Apps[0] != mav.WordPress {
+		t.Fatalf("installer redirect not followed: %+v", res)
+	}
+}

@@ -1,0 +1,213 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/mav"
+	"mavscan/internal/observer"
+	"mavscan/internal/population"
+	"mavscan/internal/study"
+)
+
+// Results is the machine-readable aggregate of every experiment, intended
+// for downstream plotting and regression tracking. All fields are plain
+// data; nothing references live simulation objects.
+type Results struct {
+	// Meta records the sampling design of the run.
+	Meta struct {
+		HostScale int       `json:"host_scale"`
+		VulnScale int       `json:"vuln_scale"`
+		ScanDate  time.Time `json:"scan_date"`
+	} `json:"meta"`
+
+	Table2 []Table2Row `json:"table2,omitempty"`
+	Table3 []Table3Row `json:"table3,omitempty"`
+	Table4 struct {
+		Countries    map[string]int `json:"countries"`
+		ASes         map[string]int `json:"ases"`
+		HostingShare float64        `json:"hosting_share"`
+	} `json:"table4"`
+	Figure1 []Figure1Panel          `json:"figure1,omitempty"`
+	Figure2 []Figure2Point          `json:"figure2,omitempty"`
+	Table5  []Table5Row             `json:"table5,omitempty"`
+	Table6  []Table6Row             `json:"table6,omitempty"`
+	Table7  []analysis.CountryStats `json:"table7,omitempty"`
+	Table8  []analysis.ASStats      `json:"table8,omitempty"`
+	Figure4 []Figure4Row            `json:"figure4,omitempty"`
+	RQ7     struct {
+		Scanner1Detected int `json:"scanner1_detected"`
+		Scanner2Detected int `json:"scanner2_detected"`
+	} `json:"rq7"`
+	Purposes []analysis.PurposeStats `json:"purposes,omitempty"`
+}
+
+// Table2Row is one port row.
+type Table2Row struct {
+	Port  int `json:"port"`
+	Open  int `json:"open"`
+	HTTP  int `json:"http"`
+	HTTPS int `json:"https"`
+}
+
+// Table3Row is one prevalence row with both measured and design-weighted
+// values.
+type Table3Row struct {
+	App           mav.App `json:"app"`
+	Category      string  `json:"category"`
+	Hosts         int     `json:"hosts"`
+	MAVs          int     `json:"mavs"`
+	EstimatedRate float64 `json:"estimated_rate"`
+	PaperHosts    int     `json:"paper_hosts"`
+	PaperMAVs     int     `json:"paper_mavs"`
+}
+
+// Figure1Panel is one version-age histogram.
+type Figure1Panel struct {
+	App        string `json:"app"`
+	Secure     []int  `json:"secure"`
+	Vulnerable []int  `json:"vulnerable"`
+}
+
+// Figure2Point is one longevity sample.
+type Figure2Point struct {
+	Hours      float64 `json:"hours"`
+	Vulnerable int     `json:"vulnerable"`
+	Fixed      int     `json:"fixed"`
+	Offline    int     `json:"offline"`
+}
+
+// Table5Row is one attack-count row.
+type Table5Row struct {
+	App       mav.App `json:"app"`
+	Attacks   int     `json:"attacks"`
+	Unique    int     `json:"unique"`
+	UniqueIPs int     `json:"unique_ips"`
+}
+
+// Table6Row is one time-to-compromise row (hours).
+type Table6Row struct {
+	App            mav.App `json:"app"`
+	First          float64 `json:"first"`
+	AvgAll         float64 `json:"avg_all"`
+	ShortestUnique float64 `json:"shortest_unique"`
+	LongestUnique  float64 `json:"longest_unique"`
+	AvgUnique      float64 `json:"avg_unique"`
+}
+
+// Figure4Row is one multi-application attacker.
+type Figure4Row struct {
+	Attacks int       `json:"attacks"`
+	IPs     int       `json:"ips"`
+	Apps    []mav.App `json:"apps"`
+}
+
+// BuildResults assembles the JSON document. Any of the study arguments may
+// be nil; their sections are then omitted.
+func BuildResults(scan *study.ScanStudy, longevity *observer.Result, pots *study.HoneypotStudy, def *study.DefenderStudy) *Results {
+	res := &Results{}
+	res.Meta.ScanDate = population.ScanDate
+	res.Table4.Countries = map[string]int{}
+	res.Table4.ASes = map[string]int{}
+
+	if scan != nil {
+		res.Meta.HostScale = scan.World.HostScale()
+		res.Meta.VulnScale = scan.World.VulnScale()
+		for port, open := range scan.Report.OpenPorts {
+			res.Table2 = append(res.Table2, Table2Row{
+				Port: port, Open: open,
+				HTTP:  scan.Report.HTTPResponses[port],
+				HTTPS: scan.Report.HTTPSResponses[port],
+			})
+		}
+		hosts := scan.Report.HostsPerApp()
+		mavs := scan.Report.MAVsPerApp()
+		for _, info := range mav.InScopeApps() {
+			h, m := hosts[info.App], mavs[info.App]
+			ph, pm := population.Table3Targets(info.App)
+			sw, vw := scan.World.Weights(info.App)
+			rate := 0.0
+			if est := float64(h-m)*sw + float64(m)*vw; est > 0 {
+				rate = float64(m) * vw / est
+			}
+			res.Table3 = append(res.Table3, Table3Row{
+				App: info.App, Category: string(info.Category),
+				Hosts: h, MAVs: m, EstimatedRate: rate,
+				PaperHosts: ph, PaperMAVs: pm,
+			})
+		}
+		vuln := scan.Report.VulnerableObservations()
+		hosting := 0
+		for _, obs := range vuln {
+			rec := scan.World.Geo.Lookup(obs.IP)
+			res.Table4.Countries[rec.Country]++
+			res.Table4.ASes[rec.ASN]++
+			if rec.Hosting {
+				hosting++
+			}
+		}
+		if len(vuln) > 0 {
+			res.Table4.HostingShare = float64(hosting) / float64(len(vuln))
+		}
+		for _, panel := range analysis.Figure1(scan.Report.Apps, population.ScanDate, mav.JupyterNotebook, mav.Hadoop) {
+			name := "all"
+			if panel.App != "" {
+				name = string(panel.App)
+			}
+			res.Figure1 = append(res.Figure1, Figure1Panel{
+				App: name, Secure: panel.Secure[:], Vulnerable: panel.Vulnerable[:],
+			})
+		}
+	}
+
+	if longevity != nil && len(longevity.Overall) > 0 {
+		t0 := longevity.Overall[0].T
+		for _, s := range longevity.Overall {
+			res.Figure2 = append(res.Figure2, Figure2Point{
+				Hours: s.T.Sub(t0).Hours(), Vulnerable: s.Vulnerable, Fixed: s.Fixed, Offline: s.Offline,
+			})
+		}
+	}
+
+	if pots != nil {
+		rows, _, _, _ := analysis.Table5(pots.Attacks)
+		for _, r := range rows {
+			res.Table5 = append(res.Table5, Table5Row{App: r.App, Attacks: r.Attacks, Unique: r.Unique, UniqueIPs: r.UniqueIPs})
+		}
+		for _, s := range analysis.Table6(pots.Attacks, pots.Start) {
+			res.Table6 = append(res.Table6, Table6Row{
+				App: s.App, First: s.First, AvgAll: s.AvgAll,
+				ShortestUnique: s.ShortestUnique, LongestUnique: s.LongestUnique, AvgUnique: s.AvgUnique,
+			})
+		}
+		res.Table7 = analysis.Table7(pots.Attacks, pots.Geo)
+		res.Table8 = analysis.Table8(pots.Attacks, pots.Geo)
+		for _, c := range analysis.MultiAppAttackers(pots.Clusters) {
+			res.Figure4 = append(res.Figure4, Figure4Row{Attacks: c.Attacks, IPs: len(c.IPs), Apps: c.Apps})
+		}
+		res.Purposes = analysis.PurposeBreakdown(pots.Attacks)
+	}
+
+	if def != nil {
+		for _, f := range def.Scanner1 {
+			if f.Severity == "vulnerability" {
+				res.RQ7.Scanner1Detected++
+			}
+		}
+		for _, f := range def.Scanner2 {
+			if f.Severity == "vulnerability" {
+				res.RQ7.Scanner2Detected++
+			}
+		}
+	}
+	return res
+}
+
+// WriteJSON renders the results as indented JSON.
+func (r *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,413 @@
+// Package report renders the reproduced tables and figures as plain text,
+// with paper-reference columns where the paper published numbers. It is
+// shared by the cmd/ tools and the benchmark harness so both print the
+// same rows.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/attacker"
+	"mavscan/internal/mav"
+	"mavscan/internal/observer"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+	"mavscan/internal/study"
+)
+
+// table is a tiny column formatter.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// Table1 prints the manual-investigation summary from the catalog.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: investigated applications (catalog ground truth)")
+	t := &table{header: []string{"Type", "App", "Stars", "Vuln", "Default MAV", "Warn"}}
+	for _, info := range mav.Catalog() {
+		vuln, def, warn := "-", "-", "-"
+		if info.InScope() {
+			vuln = string(info.Kind)
+			switch info.Default {
+			case mav.InsecureByDefault:
+				def = "X"
+			case mav.SecureByDefault:
+				def = "ok"
+			case mav.ChangedOverTime:
+				def = "< " + info.DefaultChangedIn
+			}
+			switch {
+			case info.Warns:
+				warn = "yes"
+			case info.Default == mav.InsecureByDefault:
+				// The paper only grades warnings for products that ship
+				// insecure and do not warn about it.
+				warn = "no"
+			}
+		}
+		t.add(string(info.Category), string(info.App), fmt.Sprintf("%dk", info.Stars), vuln, def, warn)
+	}
+	t.render(w)
+}
+
+// Table2 prints open ports and protocol responses, next to the paper's
+// numbers scaled into the simulated universe.
+func Table2(w io.Writer, r *scanner.Report) {
+	fmt.Fprintln(w, "Table 2: open ports and HTTP(S) responses (measured)")
+	t := &table{header: []string{"Port", "# Open", "# HTTP", "# HTTPS"}}
+	var ports []int
+	for p := range r.OpenPorts {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	var totOpen, totHTTP, totHTTPS int
+	for _, p := range ports {
+		t.add(fmt.Sprint(p), fmt.Sprint(r.OpenPorts[p]), fmt.Sprint(r.HTTPResponses[p]), fmt.Sprint(r.HTTPSResponses[p]))
+		totOpen += r.OpenPorts[p]
+		totHTTP += r.HTTPResponses[p]
+		totHTTPS += r.HTTPSResponses[p]
+	}
+	t.add("Total", fmt.Sprint(totOpen), fmt.Sprint(totHTTP), fmt.Sprint(totHTTPS))
+	t.render(w)
+	fmt.Fprintf(w, "(excluded %d all-ports-open artifact hosts)\n", r.ArtifactHosts)
+}
+
+// Table3 prints per-application prevalence against the paper's counts.
+func Table3(w io.Writer, s *study.ScanStudy) {
+	fmt.Fprintln(w, "Table 3: prevalence of AWEs and their MAVs")
+	fmt.Fprintf(w, "(secure stratum sampled 1/%d, vulnerable stratum 1/%d; paper columns for reference)\n",
+		s.World.HostScale(), s.World.VulnScale())
+	t := &table{header: []string{"Type", "App", "# Hosts", "# MAVs", "MAV %", "Default", "Paper Hosts", "Paper MAVs"}}
+	hosts := s.Report.HostsPerApp()
+	mavs := s.Report.MAVsPerApp()
+	var totalHosts, totalMAVs int
+	for _, info := range mav.InScopeApps() {
+		h, m := hosts[info.App], mavs[info.App]
+		totalHosts += h
+		totalMAVs += m
+		ph, pm := population.Table3Targets(info.App)
+		rate := 0.0
+		// Undo the stratified sampling with the generator's design
+		// weights to estimate the full-population MAV rate.
+		sw, vw := s.World.Weights(info.App)
+		eh := float64(h-m)*sw + float64(m)*vw
+		if eh > 0 {
+			rate = 100 * float64(m) * vw / eh
+		}
+		t.add(string(info.Category), string(info.App), fmt.Sprint(h), fmt.Sprint(m),
+			fmt.Sprintf("%.1f%%", rate), info.Default.Symbol(), fmt.Sprint(ph), fmt.Sprint(pm))
+	}
+	t.add("", "Total", fmt.Sprint(totalHosts), fmt.Sprint(totalMAVs), "", "", "2507526", "4221")
+	t.render(w)
+}
+
+// Table4 prints the geography of the vulnerable hosts.
+func Table4(w io.Writer, s *study.ScanStudy, topN int) {
+	fmt.Fprintln(w, "Table 4: top countries and ASes hosting vulnerable applications")
+	countries := map[string]int{}
+	ases := map[string]int{}
+	asProvider := map[string]string{}
+	hosting := 0
+	vulnObs := s.Report.VulnerableObservations()
+	for _, obs := range vulnObs {
+		rec := s.World.Geo.Lookup(obs.IP)
+		countries[rec.Country]++
+		ases[rec.ASN]++
+		asProvider[rec.ASN] = rec.Provider
+		if rec.Hosting {
+			hosting++
+		}
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	top := func(m map[string]int) []kv {
+		var out []kv
+		for k, v := range m {
+			out = append(out, kv{k, v})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].v != out[j].v {
+				return out[i].v > out[j].v
+			}
+			return out[i].k < out[j].k
+		})
+		if len(out) > topN {
+			out = out[:topN]
+		}
+		return out
+	}
+	t := &table{header: []string{"Country", "Hosts", "|", "AS", "Provider", "Hosts"}}
+	tc, ta := top(countries), top(ases)
+	for i := 0; i < topN && (i < len(tc) || i < len(ta)); i++ {
+		var c, ch, a, ap, ah string
+		if i < len(tc) {
+			c, ch = tc[i].k, fmt.Sprint(tc[i].v)
+		}
+		if i < len(ta) {
+			a, ap, ah = ta[i].k, asProvider[ta[i].k], fmt.Sprint(ta[i].v)
+		}
+		t.add(c, ch, "|", a, ap, ah)
+	}
+	t.render(w)
+	if len(vulnObs) > 0 {
+		fmt.Fprintf(w, "hosting-provider share of vulnerable hosts: %.0f%% (paper: ~64%%)\n",
+			100*float64(hosting)/float64(len(vulnObs)))
+	}
+}
+
+// Figure1 prints the version-age histograms.
+func Figure1(w io.Writer, panels []analysis.VersionAgeHistogram) {
+	fmt.Fprintln(w, "Figure 1: release-date bins (old → new), secure vs vulnerable")
+	for _, p := range panels {
+		name := "All applications"
+		if p.App != "" {
+			name = string(p.App)
+		}
+		fmt.Fprintf(w, "%-16s secure:     %s\n", name, sparkRow(p.Secure[:]))
+		fmt.Fprintf(w, "%-16s vulnerable: %s\n", "", sparkRow(p.Vulnerable[:]))
+	}
+}
+
+func sparkRow(vals []int) string {
+	max := 1
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	marks := []rune(" .:-=+*#%@")
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		idx := v * (len(marks) - 1) / max
+		fmt.Fprintf(&b, "%c%-6d", marks[idx], v)
+	}
+	return b.String()
+}
+
+// Figure2 prints the longevity series (overall + by default group).
+func Figure2(w io.Writer, res *observer.Result) {
+	fmt.Fprintln(w, "Figure 2: longevity of detected MAVs (% of observed hosts)")
+	day := func(s observer.Sample) float64 { return s.T.Sub(res.Overall[0].T).Hours()/24 + 1 }
+	fmt.Fprintln(w, "day  vulnerable  fixed  offline   (overall)")
+	step := len(res.Overall) / 14
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.Overall); i += step {
+		s := res.Overall[i]
+		tot := float64(s.Total())
+		if tot == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%4.1f  %9.1f%%  %4.1f%%  %6.1f%%\n",
+			day(s), 100*float64(s.Vulnerable)/tot, 100*float64(s.Fixed)/tot, 100*float64(s.Offline)/tot)
+	}
+	final := res.FinalSample()
+	tot := float64(final.Total())
+	if tot > 0 {
+		fmt.Fprintf(w, "final: %.1f%% vulnerable (paper >50%%), %.1f%% fixed (paper 3.2%%), %.1f%% offline (paper 43.2%%), %d updated (paper 2.4%%)\n",
+			100*float64(final.Vulnerable)/tot, 100*float64(final.Fixed)/tot, 100*float64(final.Offline)/tot, res.Updated)
+	}
+	for _, byDef := range []bool{true, false} {
+		series := res.ByDefault[byDef]
+		if len(series) == 0 {
+			continue
+		}
+		last := series[len(series)-1]
+		lt := float64(last.Total())
+		label := "insecure-by-default"
+		if !byDef {
+			label = "explicitly modified"
+		}
+		if lt > 0 {
+			fmt.Fprintf(w, "%s group final: %.1f%% vulnerable, %.1f%% fixed, %.1f%% offline\n",
+				label, 100*float64(last.Vulnerable)/lt, 100*float64(last.Fixed)/lt, 100*float64(last.Offline)/lt)
+		}
+	}
+}
+
+// Table5 prints the attack distribution.
+func Table5(w io.Writer, attacks []analysis.Attack) {
+	fmt.Fprintln(w, "Table 5: attacks per application (paper in parentheses)")
+	rows, total, unique, ips := analysis.Table5(attacks)
+	t := &table{header: []string{"App", "# Attacks", "# Uniq. Attacks", "# Uniq. IPs"}}
+	for _, r := range rows {
+		paper := attacker.PaperAttackTotals[r.App]
+		t.add(string(r.App), fmt.Sprintf("%d (%d)", r.Attacks, paper), fmt.Sprint(r.Unique), fmt.Sprint(r.UniqueIPs))
+	}
+	t.add("Total", fmt.Sprintf("%d (2195)", total), fmt.Sprintf("%d (122)", unique), fmt.Sprintf("%d (160)", ips))
+	t.render(w)
+}
+
+// Table6 prints time-until-compromise statistics in hours.
+func Table6(w io.Writer, stats []analysis.TimeStats) {
+	fmt.Fprintln(w, "Table 6: time until compromise (hours)")
+	t := &table{header: []string{"App", "First", "Avg(all)", "Shortest(uniq)", "Longest(uniq)", "Avg(uniq)"}}
+	for _, s := range stats {
+		t.add(string(s.App),
+			fmt.Sprintf("%.1f", s.First),
+			fmt.Sprintf("%.1f", s.AvgAll),
+			fmt.Sprintf("%.1f", s.ShortestUnique),
+			fmt.Sprintf("%.1f", s.LongestUnique),
+			fmt.Sprintf("%.1f", s.AvgUnique))
+	}
+	t.render(w)
+}
+
+// Table7 prints attack source countries.
+func Table7(w io.Writer, rows []analysis.CountryStats, topN int) {
+	fmt.Fprintln(w, "Table 7: attack source countries")
+	t := &table{header: []string{"Country", "# Attacks", "# AS"}}
+	for i, r := range rows {
+		if i >= topN {
+			break
+		}
+		t.add(r.Country, fmt.Sprint(r.Attacks), fmt.Sprint(r.ASes))
+	}
+	t.render(w)
+}
+
+// Table8 prints attack source ASes.
+func Table8(w io.Writer, rows []analysis.ASStats, topN int) {
+	fmt.Fprintln(w, "Table 8: attack source autonomous systems")
+	t := &table{header: []string{"AS", "Provider", "# Attacks", "# Countries"}}
+	for i, r := range rows {
+		if i >= topN {
+			break
+		}
+		t.add(r.ASN, r.Provider, fmt.Sprint(r.Attacks), fmt.Sprint(r.Countries))
+	}
+	t.render(w)
+}
+
+// Figure3 prints the per-application attack timeline as day-binned counts.
+func Figure3(w io.Writer, points []analysis.TimelinePoint) {
+	fmt.Fprintln(w, "Figure 3: attack timeline (per day: total attacks, * marks days with new payloads)")
+	byApp := map[mav.App][28]int{}
+	newDays := map[mav.App][28]bool{}
+	for _, p := range points {
+		d := int(p.Hour / 24)
+		if d < 0 || d > 27 {
+			continue
+		}
+		counts := byApp[p.App]
+		counts[d]++
+		byApp[p.App] = counts
+		if p.New {
+			nd := newDays[p.App]
+			nd[d] = true
+			newDays[p.App] = nd
+		}
+	}
+	for _, info := range mav.InScopeApps() {
+		counts, ok := byApp[info.App]
+		if !ok {
+			continue
+		}
+		var b strings.Builder
+		for d := 0; d < 28; d++ {
+			switch {
+			case counts[d] == 0:
+				b.WriteString("  . ")
+			case newDays[info.App][d]:
+				fmt.Fprintf(&b, "%3d*", counts[d])
+			default:
+				fmt.Fprintf(&b, "%3d ", counts[d])
+			}
+		}
+		fmt.Fprintf(w, "%-12s %s\n", info.App, b.String())
+	}
+}
+
+// Figure4 prints the attacker-application bipartite graph.
+func Figure4(w io.Writer, clusters []analysis.AttackerCluster) {
+	fmt.Fprintln(w, "Figure 4: attackers targeting at least two applications")
+	t := &table{header: []string{"Attacker", "# Attacks", "# IPs", "Applications"}}
+	multi := analysis.MultiAppAttackers(clusters)
+	for i, c := range multi {
+		apps := make([]string, len(c.Apps))
+		for j, a := range c.Apps {
+			apps[j] = string(a)
+		}
+		t.add(fmt.Sprintf("attacker-%s", roman(i+1)), fmt.Sprint(c.Attacks), fmt.Sprint(len(c.IPs)), strings.Join(apps, " + "))
+	}
+	t.render(w)
+}
+
+func roman(n int) string {
+	numerals := []struct {
+		v int
+		s string
+	}{{10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"}}
+	var b strings.Builder
+	for _, num := range numerals {
+		for n >= num.v {
+			b.WriteString(num.s)
+			n -= num.v
+		}
+	}
+	return b.String()
+}
+
+// Table9 prints the joined summary.
+func Table9(w io.Writer, rows []study.SummaryRow) {
+	fmt.Fprintln(w, "Table 9: summary (scan + honeypot + defender studies)")
+	t := &table{header: []string{"Type", "App", "Default", "Vulnerable", "Attacks", "Defend"}}
+	for _, r := range rows {
+		defend := "X"
+		switch {
+		case r.S1 && r.S2:
+			defend = "S1&2"
+		case r.S1:
+			defend = "S1"
+		case r.S2:
+			defend = "S2"
+		}
+		t.add(string(r.Category), string(r.App), r.Default.Symbol(),
+			fmt.Sprintf("%d (%.1f%%)", r.Vulnerable, 100*r.VulnRate),
+			fmt.Sprint(r.Attacks), defend)
+	}
+	t.render(w)
+}

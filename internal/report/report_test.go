@@ -1,0 +1,177 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/geo"
+	"mavscan/internal/mav"
+	"mavscan/internal/observer"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+	"mavscan/internal/study"
+)
+
+func TestTable1RendersAllApps(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, info := range mav.Catalog() {
+		if !strings.Contains(out, string(info.App)) {
+			t.Errorf("Table 1 missing %s", info.App)
+		}
+	}
+	if !strings.Contains(out, "< 2.0 (2016)") {
+		t.Error("Jenkins default-change annotation missing")
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	rep := &scanner.Report{
+		OpenPorts:      map[int]int{80: 10, 443: 5},
+		HTTPResponses:  map[int]int{80: 9},
+		HTTPSResponses: map[int]int{443: 4},
+		ArtifactHosts:  2,
+	}
+	var buf bytes.Buffer
+	Table2(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"80", "443", "Total", "15", "excluded 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables5Through8AndFigures(t *testing.T) {
+	t0 := time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+	ip := netip.MustParseAddr("10.11.0.5")
+	attacks := analysis.Uniquify([]analysis.Attack{
+		{App: mav.Hadoop, Src: ip, Start: t0.Add(time.Hour), Payload: "p1"},
+		{App: mav.Hadoop, Src: ip, Start: t0.Add(2 * time.Hour), Payload: "p1"},
+		{App: mav.Docker, Src: ip, Start: t0.Add(3 * time.Hour), Payload: "p2"},
+	})
+	var buf bytes.Buffer
+	Table5(&buf, attacks)
+	if !strings.Contains(buf.String(), "Hadoop") || !strings.Contains(buf.String(), "2 (1921)") {
+		t.Errorf("Table 5 rendering:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	Table6(&buf, analysis.Table6(attacks, t0))
+	if !strings.Contains(buf.String(), "1.0") {
+		t.Errorf("Table 6 rendering:\n%s", buf.String())
+	}
+
+	geoDB := geo.Default()
+	buf.Reset()
+	Table7(&buf, analysis.Table7(attacks, geoDB), 10)
+	if !strings.Contains(buf.String(), "Netherlands") {
+		t.Errorf("Table 7 rendering:\n%s", buf.String())
+	}
+	buf.Reset()
+	Table8(&buf, analysis.Table8(attacks, geoDB), 5)
+	if !strings.Contains(buf.String(), "Serverion") {
+		t.Errorf("Table 8 rendering:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	Figure3(&buf, analysis.Figure3(attacks, t0))
+	if !strings.Contains(buf.String(), "Hadoop") {
+		t.Errorf("Figure 3 rendering:\n%s", buf.String())
+	}
+	buf.Reset()
+	Figure4(&buf, analysis.ClusterAttackers(attacks))
+	if !strings.Contains(buf.String(), "Docker + Hadoop") {
+		t.Errorf("Figure 4 rendering:\n%s", buf.String())
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	t0 := time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+	res := &observer.Result{
+		Overall: []observer.Sample{
+			{T: t0, Vulnerable: 10, Fixed: 0, Offline: 0},
+			{T: t0.Add(24 * time.Hour), Vulnerable: 8, Fixed: 1, Offline: 1},
+		},
+		ByApp:     map[mav.App][]observer.Sample{},
+		ByDefault: map[bool][]observer.Sample{true: {{T: t0, Vulnerable: 5}}},
+		Updated:   1,
+	}
+	var buf bytes.Buffer
+	Figure2(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "80.0%") || !strings.Contains(out, "final:") {
+		t.Errorf("Figure 2 rendering:\n%s", out)
+	}
+}
+
+func TestRomanNumerals(t *testing.T) {
+	cases := map[int]string{1: "I", 2: "II", 4: "IV", 9: "IX", 10: "X", 14: "XIV"}
+	for n, want := range cases {
+		if got := roman(n); got != want {
+			t.Errorf("roman(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+// TestTable3AndTable4OnRealScan renders the scan-derived tables from a tiny
+// real pipeline run.
+func TestTable3AndTable4OnRealScan(t *testing.T) {
+	scan, err := study.RunScan(context.Background(), study.ScanConfig{
+		Population: population.Config{
+			Seed: 1, HostScale: 100000, VulnScale: 40,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Table3(&buf, scan)
+	out := buf.String()
+	if !strings.Contains(out, "Docker") || !strings.Contains(out, "Paper MAVs") {
+		t.Errorf("Table 3 rendering:\n%s", out)
+	}
+	buf.Reset()
+	Table4(&buf, scan, 5)
+	if !strings.Contains(buf.String(), "hosting-provider share") {
+		t.Errorf("Table 4 rendering:\n%s", buf.String())
+	}
+}
+
+func TestJSONResultsRoundTrip(t *testing.T) {
+	hs, err := study.RunHoneypots(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := study.RunDefenders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := BuildResults(nil, nil, hs, def)
+	var buf bytes.Buffer
+	if err := results.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if _, ok := decoded["table5"]; !ok {
+		t.Error("table5 missing from JSON export")
+	}
+	rq7, ok := decoded["rq7"].(map[string]interface{})
+	if !ok || rq7["scanner1_detected"] != float64(5) || rq7["scanner2_detected"] != float64(3) {
+		t.Errorf("rq7 section wrong: %v", decoded["rq7"])
+	}
+	if _, ok := decoded["purposes"]; !ok {
+		t.Error("purposes missing from JSON export")
+	}
+}

@@ -1,0 +1,278 @@
+// Package scanner wires the paper's three-stage scanning methodology
+// (Section 3.1) into one pipeline:
+//
+//	Stage I   portscan   — which (ip, port) pairs are open,
+//	Stage II  prefilter  — which of those speak HTTP(S) and look like one
+//	                       of the 18 studied applications,
+//	Stage III tsunami    — which of those actually suffer from a MAV,
+//	          fingerprint — what version the application runs.
+//
+// Stage I streams batches into the later stages while the port scan is
+// still running, mirroring the paper's batch-wise processing that avoids
+// scanning hosts long after they were seen open.
+package scanner
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/fingerprint"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/portscan"
+	"mavscan/internal/prefilter"
+	"mavscan/internal/simnet"
+	"mavscan/internal/tsunami"
+	"mavscan/internal/tsunami/plugins"
+)
+
+// Options configure a pipeline run.
+type Options struct {
+	// Targets and Exclude define the address space (Stage I).
+	Targets []netip.Prefix
+	Exclude []netip.Prefix
+	// Ports defaults to mav.ScanPorts().
+	Ports []int
+	// PortWorkers is the Stage-I pool size (default 64); HTTPWorkers the
+	// Stage-II/III pool size (default 32).
+	PortWorkers int
+	HTTPWorkers int
+	// Seed keys the scan-order permutation.
+	Seed uint64
+	// SkipFingerprint disables the version fingerprinter.
+	SkipFingerprint bool
+	// RatePerSec caps Stage-I probes per second (0 = unlimited).
+	RatePerSec int
+}
+
+// PortObservation aggregates Stage I+II information for one (ip, port).
+type PortObservation struct {
+	IP          netip.Addr
+	Port        int
+	HTTP, HTTPS bool
+}
+
+// AppObservation is the per-(host, app) outcome of stages II/III.
+type AppObservation struct {
+	IP       netip.Addr
+	App      mav.App
+	Port     int
+	Scheme   string
+	Findings []mav.Finding
+	Version  string
+	Released time.Time
+	FPMethod fingerprint.Method
+}
+
+// Vulnerable reports whether Stage III confirmed a MAV.
+func (o AppObservation) Vulnerable() bool { return len(o.Findings) > 0 }
+
+// Report is the outcome of a full pipeline run.
+type Report struct {
+	// OpenPorts maps port number to the count of hosts with it open
+	// (wildcard-artifact hosts excluded, as in Table 2).
+	OpenPorts map[int]int
+	// HTTPResponses / HTTPSResponses count stage-II protocol responders
+	// per port.
+	HTTPResponses  map[int]int
+	HTTPSResponses map[int]int
+	// ArtifactHosts counts hosts excluded for having every scanned port
+	// open without any HTTP behind them.
+	ArtifactHosts int
+	// Apps holds one observation per (host, app), deduplicated across
+	// ports as in Table 3.
+	Apps []AppObservation
+	// Stats carries Stage-I statistics.
+	Stats portscan.Stats
+}
+
+// HostsPerApp counts distinct hosts running each application.
+func (r *Report) HostsPerApp() map[mav.App]int {
+	out := map[mav.App]int{}
+	for _, o := range r.Apps {
+		out[o.App]++
+	}
+	return out
+}
+
+// MAVsPerApp counts distinct vulnerable hosts per application.
+func (r *Report) MAVsPerApp() map[mav.App]int {
+	out := map[mav.App]int{}
+	for _, o := range r.Apps {
+		if o.Vulnerable() {
+			out[o.App]++
+		}
+	}
+	return out
+}
+
+// VulnerableObservations returns the confirmed-MAV observations.
+func (r *Report) VulnerableObservations() []AppObservation {
+	var out []AppObservation
+	for _, o := range r.Apps {
+		if o.Vulnerable() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Pipeline is a ready-to-run scanning pipeline over a simulated network.
+type Pipeline struct {
+	net    *simnet.Network
+	ports  *portscan.Scanner
+	pre    *prefilter.Prefilter
+	engine *tsunami.Engine
+	fp     *fingerprint.Fingerprinter
+}
+
+// New assembles the pipeline with all detection plugins installed.
+func New(n *simnet.Network) *Pipeline {
+	client := httpsim.NewClient(n, httpsim.ClientOptions{
+		Timeout:           10 * time.Second,
+		DisableKeepAlives: true,
+	})
+	env := tsunami.NewEnv(client)
+	return &Pipeline{
+		net:    n,
+		ports:  portscan.New(n),
+		pre:    prefilter.New(n),
+		engine: tsunami.NewEngine(plugins.NewRegistry(), client),
+		fp:     fingerprint.New(env),
+	}
+}
+
+// Run executes the full pipeline.
+func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
+	if len(opts.Ports) == 0 {
+		opts.Ports = mav.ScanPorts()
+	}
+	if opts.HTTPWorkers <= 0 {
+		opts.HTTPWorkers = 32
+	}
+
+	report := &Report{
+		OpenPorts:      map[int]int{},
+		HTTPResponses:  map[int]int{},
+		HTTPSResponses: map[int]int{},
+	}
+
+	// Stage II/III worker pool consuming Stage-I results as they stream.
+	type portHit struct {
+		ip   netip.Addr
+		port int
+	}
+	hits := make(chan portHit, 1024)
+
+	var mu sync.Mutex
+	type hostAgg struct {
+		openPorts map[int]bool
+		anyHTTP   bool
+		// apps maps app -> best observation so far (dedup across ports).
+		apps map[mav.App]*AppObservation
+	}
+	hosts := map[netip.Addr]*hostAgg{}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.HTTPWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for hit := range hits {
+				res := p.pre.Probe(ctx, hit.ip, hit.port)
+
+				mu.Lock()
+				agg := hosts[hit.ip]
+				if agg == nil {
+					agg = &hostAgg{openPorts: map[int]bool{}, apps: map[mav.App]*AppObservation{}}
+					hosts[hit.ip] = agg
+				}
+				agg.openPorts[hit.port] = true
+				if res.HTTP {
+					report.HTTPResponses[hit.port]++
+					agg.anyHTTP = true
+				}
+				if res.HTTPS {
+					report.HTTPSResponses[hit.port]++
+					agg.anyHTTP = true
+				}
+				// Deduplicate: first matching port per (host, app) wins.
+				var todo []tsunami.Target
+				for _, app := range res.Apps {
+					if _, seen := agg.apps[app]; seen {
+						continue
+					}
+					obs := &AppObservation{IP: hit.ip, App: app, Port: hit.port, Scheme: res.Scheme}
+					agg.apps[app] = obs
+					todo = append(todo, tsunami.Target{IP: hit.ip, Port: hit.port, Scheme: res.Scheme, App: app})
+				}
+				mu.Unlock()
+
+				for _, t := range todo {
+					findings := p.engine.Scan(ctx, t)
+					var fpRes fingerprint.Result
+					if !opts.SkipFingerprint {
+						fpRes = p.fp.Fingerprint(ctx, t)
+					}
+					mu.Lock()
+					obs := hosts[hit.ip].apps[t.App]
+					obs.Findings = findings
+					obs.Version = fpRes.Version
+					obs.FPMethod = fpRes.Method
+					if fpRes.Version != "" {
+						// Map the fingerprinted version to its public
+						// release date for the age analyses (Figure 1).
+						if rel, err := apps.ReleaseDate(t.App, fpRes.Version); err == nil {
+							obs.Released = rel
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	stats, scanErr := p.ports.Scan(ctx, portscan.Config{
+		Targets:    opts.Targets,
+		Exclude:    opts.Exclude,
+		Ports:      opts.Ports,
+		Workers:    opts.PortWorkers,
+		Seed:       opts.Seed,
+		RatePerSec: opts.RatePerSec,
+	}, func(r portscan.Result) {
+		hits <- portHit{ip: r.IP, port: r.Port}
+	})
+	close(hits)
+	wg.Wait()
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	report.Stats = stats
+
+	// Fold per-host aggregates into the report, excluding the
+	// all-ports-open artifact hosts (hosts where every scanned port was
+	// open yet nothing spoke HTTP) as the paper did for Table 2.
+	for _, agg := range hosts {
+		if len(agg.openPorts) == len(opts.Ports) && !agg.anyHTTP {
+			report.ArtifactHosts++
+			continue
+		}
+		for port := range agg.openPorts {
+			report.OpenPorts[port]++
+		}
+		for _, obs := range agg.apps {
+			report.Apps = append(report.Apps, *obs)
+		}
+	}
+	sort.Slice(report.Apps, func(i, j int) bool {
+		if report.Apps[i].App != report.Apps[j].App {
+			return report.Apps[i].App < report.Apps[j].App
+		}
+		return report.Apps[i].IP.Less(report.Apps[j].IP)
+	})
+	return report, nil
+}

@@ -1,0 +1,143 @@
+// Package secscan emulates the two commercial, industry-leading security
+// scanners of Section 5 (RQ7). Their identities are withheld by the paper;
+// what matters for the study is their *capability matrix*: which of the 18
+// MAVs each product can detect at all, and whether it reports them as a
+// vulnerability or merely as an informational finding.
+//
+// The emulated scanners perform real checks over the network (reusing the
+// corresponding detection logic) but only for the applications they have
+// checks for — a scanner without a Jupyter Lab plugin cannot flag a
+// Jupyter Lab honeypot no matter how vulnerable it is.
+package secscan
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/tsunami"
+	"mavscan/internal/tsunami/plugins"
+)
+
+// Severity is how a scanner reports a finding.
+type Severity string
+
+// Report severities.
+const (
+	// SeverityVulnerability is a proper vulnerability report.
+	SeverityVulnerability Severity = "vulnerability"
+	// SeverityInformational flags the product's presence without raising
+	// a vulnerability.
+	SeverityInformational Severity = "informational"
+)
+
+// Finding is one scanner report for one target.
+type Finding struct {
+	App      mav.App
+	Severity Severity
+}
+
+// Scanner is one emulated commercial product.
+type Scanner struct {
+	Name string
+	// ScanDuration is how long a full scan takes; the paper notes Scanner
+	// 2 needed several hours, long enough for honeypots to be compromised
+	// mid-scan.
+	ScanDuration time.Duration
+
+	caps   map[mav.App]Severity
+	engine *tsunami.Engine
+}
+
+// capabilities returns the applications the scanner has checks for.
+func (s *Scanner) Capabilities() map[mav.App]Severity {
+	out := make(map[mav.App]Severity, len(s.caps))
+	for k, v := range s.caps {
+		out[k] = v
+	}
+	return out
+}
+
+// newScanner wires a capability matrix to a detection engine restricted to
+// exactly those checks.
+func newScanner(name string, caps map[mav.App]Severity, dur time.Duration, client *http.Client) *Scanner {
+	registry := tsunami.NewRegistry()
+	full := plugins.NewRegistry()
+	for app := range caps {
+		for _, det := range full.DetectorsFor(app) {
+			registry.Register(det)
+		}
+	}
+	return &Scanner{
+		Name:         name,
+		ScanDuration: dur,
+		caps:         caps,
+		engine:       tsunami.NewEngine(registry, client),
+	}
+}
+
+// Scanner1 detects five of the eighteen MAVs: Consul, Docker, Jupyter
+// Notebook, WordPress and Hadoop — all but one of which were also actively
+// attacked in the wild.
+func Scanner1(client *http.Client) *Scanner {
+	return newScanner("Scanner 1", map[mav.App]Severity{
+		mav.Consul:          SeverityVulnerability,
+		mav.Docker:          SeverityVulnerability,
+		mav.JupyterNotebook: SeverityVulnerability,
+		mav.WordPress:       SeverityVulnerability,
+		mav.Hadoop:          SeverityVulnerability,
+	}, 45*time.Minute, client)
+}
+
+// Scanner2 detects three MAVs (Consul, Docker, Jenkins) and additionally
+// flags Joomla, phpMyAdmin, Kubernetes and Hadoop as informational
+// findings without raising a vulnerability.
+func Scanner2(client *http.Client) *Scanner {
+	return newScanner("Scanner 2", map[mav.App]Severity{
+		mav.Consul:     SeverityVulnerability,
+		mav.Docker:     SeverityVulnerability,
+		mav.Jenkins:    SeverityVulnerability,
+		mav.Joomla:     SeverityInformational,
+		mav.PhpMyAdmin: SeverityInformational,
+		mav.Kubernetes: SeverityInformational,
+		mav.Hadoop:     SeverityInformational,
+	}, 5*time.Hour, client)
+}
+
+// Scan runs the scanner against the targets and returns its findings. A
+// finding is produced when the scanner has a check for the target's
+// application and the check fires (for informational capabilities, mere
+// identification of the product suffices).
+func (s *Scanner) Scan(ctx context.Context, targets []tsunami.Target) []Finding {
+	var out []Finding
+	for _, t := range targets {
+		sev, ok := s.caps[t.App]
+		if !ok {
+			continue
+		}
+		switch sev {
+		case SeverityVulnerability:
+			if len(s.engine.Scan(ctx, t)) > 0 {
+				out = append(out, Finding{App: t.App, Severity: sev})
+			}
+		case SeverityInformational:
+			// Product identification only: the scanner sees the
+			// application but does not verify the MAV.
+			out = append(out, Finding{App: t.App, Severity: sev})
+		}
+	}
+	return out
+}
+
+// VulnerabilitiesDetected counts the distinct applications reported at
+// vulnerability severity.
+func VulnerabilitiesDetected(findings []Finding) int {
+	seen := map[mav.App]bool{}
+	for _, f := range findings {
+		if f.Severity == SeverityVulnerability {
+			seen[f.App] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,129 @@
+package secscan
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/eslite"
+	"mavscan/internal/honeypot"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/tsunami"
+
+	"time"
+)
+
+func deployFarm(t *testing.T) (*simnet.Network, []tsunami.Target) {
+	t.Helper()
+	net := simnet.New()
+	sim := simtime.NewSim(time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC))
+	farm := honeypot.NewFarm(net, sim, &eslite.Store{})
+	if err := farm.DeployAll(netip.MustParseAddr("10.40.0.10")); err != nil {
+		t.Fatal(err)
+	}
+	var targets []tsunami.Target
+	for _, pot := range farm.Honeypots() {
+		targets = append(targets, tsunami.Target{IP: pot.IP, Port: pot.Port, Scheme: "http", App: pot.App})
+	}
+	return net, targets
+}
+
+func TestScannerCapabilityMatrices(t *testing.T) {
+	s1 := Scanner1(nil)
+	s2 := Scanner2(nil)
+	if got := len(s1.Capabilities()); got != 5 {
+		t.Errorf("Scanner 1 has %d capabilities, want 5", got)
+	}
+	caps2 := s2.Capabilities()
+	vuln2, info2 := 0, 0
+	for _, sev := range caps2 {
+		if sev == SeverityVulnerability {
+			vuln2++
+		} else {
+			info2++
+		}
+	}
+	if vuln2 != 3 || info2 != 4 {
+		t.Errorf("Scanner 2 capabilities: %d vuln, %d informational; want 3 and 4", vuln2, info2)
+	}
+	// The overlap at vulnerability severity is Docker and Consul only.
+	overlap := 0
+	for app, sev := range s1.Capabilities() {
+		if sev == SeverityVulnerability && caps2[app] == SeverityVulnerability {
+			overlap++
+		}
+	}
+	if overlap != 2 {
+		t.Errorf("scanner overlap = %d, want 2 (Docker, Consul)", overlap)
+	}
+	if s2.ScanDuration <= s1.ScanDuration {
+		t.Error("Scanner 2 must be the slow one (the paper notes its multi-hour scans)")
+	}
+}
+
+func TestScannersAgainstFullFarm(t *testing.T) {
+	net, targets := deployFarm(t)
+	client := httpsim.NewClient(net, httpsim.ClientOptions{DisableKeepAlives: true})
+	ctx := context.Background()
+
+	f1 := Scanner1(client).Scan(ctx, targets)
+	if got := VulnerabilitiesDetected(f1); got != 5 {
+		t.Errorf("Scanner 1 detected %d, want 5", got)
+	}
+	f2 := Scanner2(client).Scan(ctx, targets)
+	if got := VulnerabilitiesDetected(f2); got != 3 {
+		t.Errorf("Scanner 2 detected %d, want 3", got)
+	}
+	// Scanner 2's informational findings are exactly Joomla, phpMyAdmin,
+	// Kubernetes and Hadoop.
+	info := map[mav.App]bool{}
+	for _, f := range f2 {
+		if f.Severity == SeverityInformational {
+			info[f.App] = true
+		}
+	}
+	for _, app := range []mav.App{mav.Joomla, mav.PhpMyAdmin, mav.Kubernetes, mav.Hadoop} {
+		if !info[app] {
+			t.Errorf("Scanner 2 missing informational finding for %s", app)
+		}
+	}
+	if len(info) != 4 {
+		t.Errorf("Scanner 2 informational findings: %v", info)
+	}
+}
+
+func TestScannerDoesNotFlagSecuredTargets(t *testing.T) {
+	// A secured Docker daemon must not be flagged even though the scanner
+	// has a Docker check — the checks are real, not capability lookups.
+	net := simnet.New()
+	ip := netip.MustParseAddr("10.40.1.1")
+	inst, target := deploySecureDocker(t, net, ip)
+	_ = inst
+	client := httpsim.NewClient(net, httpsim.ClientOptions{DisableKeepAlives: true})
+	findings := Scanner1(client).Scan(context.Background(), []tsunami.Target{target})
+	if len(findings) != 0 {
+		t.Fatalf("secured Docker flagged: %v", findings)
+	}
+}
+
+func deploySecureDocker(t *testing.T, net *simnet.Network, ip netip.Addr) (interface{}, tsunami.Target) {
+	t.Helper()
+	inst, err := newSecureDocker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := simnet.NewHost(ip)
+	h.Bind(2375, httpsim.ConnHandler(inst.Handler()))
+	if err := net.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return inst, tsunami.Target{IP: ip, Port: 2375, Scheme: "http", App: mav.Docker}
+}
+
+func newSecureDocker() (*apps.Instance, error) {
+	return apps.New(apps.Config{App: mav.Docker, AuthRequired: true})
+}

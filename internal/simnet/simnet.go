@@ -1,0 +1,331 @@
+// Package simnet implements an in-process simulated IPv4 internet.
+//
+// The paper scanned the live IPv4 address space; offline we substitute a
+// simulated address space populated with emulated application servers. The
+// simulation is deliberately low-level: dialing a host yields a real
+// net.Conn (one side of a net.Pipe) served by whatever connection handler
+// the host bound on that port, so real HTTP and real TLS flow over it and
+// every stage of the scanning pipeline runs unmodified.
+//
+// simnet models exactly the connect-scan semantics the study needs:
+//
+//   - open/closed/filtered ports (ProbePort, the Stage-I primitive),
+//   - hosts going offline or getting firewalled over time (the longevity
+//     study's "offline" outcome),
+//   - the "all ports appear open" network artifact the paper excluded
+//     (wildcard hosts that accept every SYN but speak no HTTP).
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Connection-level errors. They unwrap to net.ErrClosed-style sentinel
+// values so callers can classify failures the way a real scanner would.
+var (
+	// ErrConnRefused is returned when the host is online but nothing
+	// listens on the port (TCP RST).
+	ErrConnRefused = errors.New("simnet: connection refused")
+	// ErrHostUnreachable is returned when no host owns the address or the
+	// host is offline (SYN timeout).
+	ErrHostUnreachable = errors.New("simnet: host unreachable")
+	// ErrFiltered is returned when a firewall silently drops the probe.
+	ErrFiltered = errors.New("simnet: filtered")
+)
+
+// ConnHandler serves one accepted connection. Implementations must close
+// the connection before returning.
+type ConnHandler func(conn net.Conn)
+
+// service is one bound port on a host.
+type service struct {
+	handler ConnHandler
+}
+
+// Host is a single addressable machine in the simulated internet.
+type Host struct {
+	ip netip.Addr
+
+	mu         sync.RWMutex
+	ports      map[int]*service
+	online     bool
+	firewalled bool
+	// wildcardOpen marks hosts that answer every SYN (middleboxes); such
+	// ports accept a connection and then immediately close it without
+	// speaking any protocol.
+	wildcardOpen bool
+}
+
+// NewHost returns an online host with no bound ports.
+func NewHost(ip netip.Addr) *Host {
+	return &Host{ip: ip, ports: make(map[int]*service), online: true}
+}
+
+// IP returns the host's address.
+func (h *Host) IP() netip.Addr { return h.ip }
+
+// Bind installs handler as the service on port, replacing any previous
+// binding.
+func (h *Host) Bind(port int, handler ConnHandler) {
+	if handler == nil {
+		panic("simnet: Bind with nil handler")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ports[port] = &service{handler: handler}
+}
+
+// Unbind removes the service on port, if any.
+func (h *Host) Unbind(port int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.ports, port)
+}
+
+// Ports returns the currently bound ports in unspecified order.
+func (h *Host) Ports() []int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]int, 0, len(h.ports))
+	for p := range h.ports {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SetOnline marks the host reachable or unreachable (powered off).
+func (h *Host) SetOnline(v bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.online = v
+}
+
+// Online reports whether the host answers probes at all.
+func (h *Host) Online() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.online
+}
+
+// SetFirewalled silently drops all inbound probes when enabled. This models
+// the out-of-band provider firewall as well as owners firewalling a
+// previously exposed endpoint.
+func (h *Host) SetFirewalled(v bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.firewalled = v
+}
+
+// Firewalled reports whether inbound traffic is dropped.
+func (h *Host) Firewalled() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.firewalled
+}
+
+// SetWildcardOpen makes every port on the host accept connections without
+// serving a protocol, reproducing the 3.0M "always all ports open" artifact
+// hosts the paper excluded from Table 2.
+func (h *Host) SetWildcardOpen(v bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.wildcardOpen = v
+}
+
+// WildcardOpen reports whether the host answers every SYN.
+func (h *Host) WildcardOpen() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.wildcardOpen
+}
+
+// lookupService classifies a probe to (host, port).
+func (h *Host) lookupService(port int) (ConnHandler, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	switch {
+	case !h.online:
+		return nil, ErrHostUnreachable
+	case h.firewalled:
+		return nil, ErrFiltered
+	}
+	if svc, ok := h.ports[port]; ok {
+		return svc.handler, nil
+	}
+	if h.wildcardOpen {
+		// Accept, then hang up: a middlebox that completes the handshake
+		// for every port but runs no service behind it.
+		return func(conn net.Conn) { conn.Close() }, nil
+	}
+	return nil, ErrConnRefused
+}
+
+// Network is the simulated internet: a set of hosts addressable by IPv4
+// address. The zero value is not usable; construct with New.
+type Network struct {
+	mu    sync.RWMutex
+	hosts map[netip.Addr]*Host
+	// latency is added to every successful dial; zero by default so large
+	// scans run at full speed.
+	latency time.Duration
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{hosts: make(map[netip.Addr]*Host)}
+}
+
+// SetLatency sets a fixed per-connection setup latency (applied on Dial).
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// AddHost registers h. Adding a second host with the same address is an
+// error: the simulated space has one owner per IP.
+func (n *Network) AddHost(h *Host) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[h.ip]; dup {
+		return fmt.Errorf("simnet: duplicate host %s", h.ip)
+	}
+	n.hosts[h.ip] = h
+	return nil
+}
+
+// RemoveHost deletes the host at ip, if present.
+func (n *Network) RemoveHost(ip netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, ip)
+}
+
+// Host returns the host registered at ip.
+func (n *Network) Host(ip netip.Addr) (*Host, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[ip]
+	return h, ok
+}
+
+// NumHosts returns the number of registered hosts.
+func (n *Network) NumHosts() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.hosts)
+}
+
+// Hosts calls fn for every registered host until fn returns false. The
+// iteration order is unspecified. fn must not add or remove hosts.
+func (n *Network) Hosts(fn func(h *Host) bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, h := range n.hosts {
+		if !fn(h) {
+			return
+		}
+	}
+}
+
+// ProbePort performs a half-open (SYN) probe: it reports open without
+// exchanging any application data. This is the Stage-I (masscan) primitive.
+func (n *Network) ProbePort(ip netip.Addr, port int) error {
+	n.mu.RLock()
+	h, ok := n.hosts[ip]
+	n.mu.RUnlock()
+	if !ok {
+		return ErrHostUnreachable
+	}
+	_, err := h.lookupService(port)
+	return err
+}
+
+// Dial establishes a full connection to (ip, port), returning the client
+// side of the stream. The server side is handed to the bound ConnHandler on
+// its own goroutine. The server sees an unspecified source address; use
+// DialFrom when the source identity matters (honeypot monitoring records
+// attacker source IPs from it).
+func (n *Network) Dial(ctx context.Context, ip netip.Addr, port int) (net.Conn, error) {
+	return n.DialFrom(ctx, netip.AddrFrom4([4]byte{192, 0, 2, 1}), ip, port)
+}
+
+// DialFrom is Dial with an explicit source address, visible to the server
+// side as the connection's RemoteAddr.
+func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (net.Conn, error) {
+	n.mu.RLock()
+	h, ok := n.hosts[ip]
+	latency := n.latency
+	n.mu.RUnlock()
+	if !ok {
+		return nil, ErrHostUnreachable
+	}
+	handler, err := h.lookupService(port)
+	if err != nil {
+		return nil, err
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	client, server := net.Pipe()
+	// The server observes the caller's source address on an ephemeral
+	// port; the client observes the dialed destination.
+	go handler(&addrConn{Conn: server, remote: src, port: 0, local: ip, localPort: port})
+	return &addrConn{Conn: client, remote: ip, port: port, local: src, localPort: 0}, nil
+}
+
+// DialContext adapts Dial to the signature of net.Dialer.DialContext so the
+// network can be plugged into an http.Transport. Only "tcp" addresses of
+// the form "ip:port" are supported.
+func (n *Network) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if network != "tcp" && network != "tcp4" {
+		return nil, fmt.Errorf("simnet: unsupported network %q", network)
+	}
+	hostStr, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: bad address %q: %w", address, err)
+	}
+	ip, err := netip.ParseAddr(hostStr)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: bad host %q: %w", hostStr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 1 || port > 65535 {
+		return nil, fmt.Errorf("simnet: bad port %q", portStr)
+	}
+	return n.Dial(ctx, ip, port)
+}
+
+// addrConn decorates a pipe conn with meaningful endpoint addresses so HTTP
+// logs and monitoring see real identities.
+type addrConn struct {
+	net.Conn
+	remote    netip.Addr
+	port      int
+	local     netip.Addr
+	localPort int
+}
+
+// RemoteAddr returns the simulated peer address.
+func (c *addrConn) RemoteAddr() net.Addr {
+	return &net.TCPAddr{IP: c.remote.AsSlice(), Port: c.port}
+}
+
+// LocalAddr returns the simulated local address.
+func (c *addrConn) LocalAddr() net.Addr {
+	return &net.TCPAddr{IP: c.local.AsSlice(), Port: c.localPort}
+}

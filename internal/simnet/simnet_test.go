@@ -1,0 +1,263 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	ipA = netip.MustParseAddr("10.0.0.1")
+	ipB = netip.MustParseAddr("10.0.0.2")
+)
+
+func echoHandler(c net.Conn) {
+	defer c.Close()
+	io.Copy(c, c)
+}
+
+func TestProbePortSemantics(t *testing.T) {
+	n := New()
+	h := NewHost(ipA)
+	h.Bind(80, echoHandler)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.ProbePort(ipA, 80); err != nil {
+		t.Errorf("open port probed closed: %v", err)
+	}
+	if err := n.ProbePort(ipA, 81); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("closed port: got %v, want ErrConnRefused", err)
+	}
+	if err := n.ProbePort(ipB, 80); !errors.Is(err, ErrHostUnreachable) {
+		t.Errorf("unknown host: got %v, want ErrHostUnreachable", err)
+	}
+
+	h.SetFirewalled(true)
+	if err := n.ProbePort(ipA, 80); !errors.Is(err, ErrFiltered) {
+		t.Errorf("firewalled host: got %v, want ErrFiltered", err)
+	}
+	h.SetFirewalled(false)
+
+	h.SetOnline(false)
+	if err := n.ProbePort(ipA, 80); !errors.Is(err, ErrHostUnreachable) {
+		t.Errorf("offline host: got %v, want ErrHostUnreachable", err)
+	}
+}
+
+func TestWildcardHostAcceptsEverything(t *testing.T) {
+	n := New()
+	h := NewHost(ipA)
+	h.SetWildcardOpen(true)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, port := range []int{1, 80, 443, 65535} {
+		if err := n.ProbePort(ipA, port); err != nil {
+			t.Errorf("wildcard host refused port %d: %v", port, err)
+		}
+	}
+	// A full dial succeeds but the peer hangs up immediately.
+	conn, err := n.Dial(context.Background(), ipA, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("wildcard conn should deliver no data")
+	}
+}
+
+func TestDialDataFlow(t *testing.T) {
+	n := New()
+	h := NewHost(ipA)
+	h.Bind(7, echoHandler)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Dial(context.Background(), ipA, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("ping")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo mismatch: %q", buf)
+	}
+}
+
+func TestDialFromExposesSourceAddress(t *testing.T) {
+	n := New()
+	src := netip.MustParseAddr("198.51.100.99")
+	var mu sync.Mutex
+	var seen string
+	h := NewHost(ipA)
+	h.Bind(80, func(c net.Conn) {
+		mu.Lock()
+		seen = c.RemoteAddr().String()
+		mu.Unlock()
+		c.Close()
+	})
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.DialFrom(context.Background(), src, ipA, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The handler runs on its own goroutine; poll briefly.
+	deadline := time.Now().Add(time.Second)
+	for {
+		mu.Lock()
+		got := seen
+		mu.Unlock()
+		if got != "" {
+			if want := "198.51.100.99:0"; got != want {
+				t.Fatalf("server saw %q, want %q", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("handler never observed the connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDialContextAddressParsing(t *testing.T) {
+	n := New()
+	h := NewHost(ipA)
+	h.Bind(80, echoHandler)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		network, addr string
+		wantErr       bool
+	}{
+		{"tcp", "10.0.0.1:80", false},
+		{"tcp4", "10.0.0.1:80", false},
+		{"udp", "10.0.0.1:80", true},
+		{"tcp", "10.0.0.1", true},
+		{"tcp", "not-an-ip:80", true},
+		{"tcp", "10.0.0.1:0", true},
+		{"tcp", "10.0.0.1:99999", true},
+	}
+	for _, c := range cases {
+		conn, err := n.DialContext(context.Background(), c.network, c.addr)
+		if (err != nil) != c.wantErr {
+			t.Errorf("DialContext(%s, %s): err=%v, wantErr=%v", c.network, c.addr, err, c.wantErr)
+		}
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+func TestDialCancelledContext(t *testing.T) {
+	n := New()
+	n.SetLatency(50 * time.Millisecond)
+	h := NewHost(ipA)
+	h.Bind(80, echoHandler)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Dial(ctx, ipA, 80); err == nil {
+		t.Fatal("dial with cancelled context must fail")
+	}
+}
+
+func TestDuplicateHostRejected(t *testing.T) {
+	n := New()
+	if err := n.AddHost(NewHost(ipA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost(NewHost(ipA)); err == nil {
+		t.Fatal("duplicate address must be rejected")
+	}
+	n.RemoveHost(ipA)
+	if err := n.AddHost(NewHost(ipA)); err != nil {
+		t.Fatalf("re-adding after removal failed: %v", err)
+	}
+}
+
+func TestHostsIteration(t *testing.T) {
+	n := New()
+	for i := 1; i <= 5; i++ {
+		if err := n.AddHost(NewHost(netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.NumHosts() != 5 {
+		t.Fatalf("NumHosts = %d, want 5", n.NumHosts())
+	}
+	count := 0
+	n.Hosts(func(h *Host) bool {
+		count++
+		return count < 3 // early stop
+	})
+	if count != 3 {
+		t.Fatalf("early-stop iteration visited %d hosts, want 3", count)
+	}
+}
+
+func TestBindUnbindPorts(t *testing.T) {
+	h := NewHost(ipA)
+	h.Bind(80, echoHandler)
+	h.Bind(443, echoHandler)
+	if got := len(h.Ports()); got != 2 {
+		t.Fatalf("Ports() = %d entries, want 2", got)
+	}
+	h.Unbind(80)
+	if got := h.Ports(); len(got) != 1 || got[0] != 443 {
+		t.Fatalf("Ports() after Unbind = %v, want [443]", got)
+	}
+	// Rebinding replaces the handler without error.
+	h.Bind(443, func(c net.Conn) { c.Close() })
+}
+
+// TestProbeDialAgreementProperty: for arbitrary port states, ProbePort and
+// Dial must agree on reachability.
+func TestProbeDialAgreementProperty(t *testing.T) {
+	f := func(portRaw uint16, bound, online, firewalled bool) bool {
+		port := int(portRaw)%65535 + 1
+		n := New()
+		h := NewHost(ipA)
+		if bound {
+			h.Bind(port, echoHandler)
+		}
+		h.SetOnline(online)
+		h.SetFirewalled(firewalled)
+		if err := n.AddHost(h); err != nil {
+			return false
+		}
+		probeErr := n.ProbePort(ipA, port)
+		conn, dialErr := n.Dial(context.Background(), ipA, port)
+		if conn != nil {
+			conn.Close()
+		}
+		return (probeErr == nil) == (dialErr == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

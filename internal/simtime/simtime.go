@@ -1,0 +1,161 @@
+// Package simtime provides a simulated clock and a discrete event scheduler.
+//
+// The paper's longitudinal experiments (a four-week observer loop with
+// three-hour re-scans, and a four-week honeypot exposure) are replayed on a
+// simulated timeline so they run in milliseconds while preserving the exact
+// temporal structure of the study.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal clock dependency used throughout the code base. The
+// real implementation is the wall clock; tests and studies use *Sim.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the wall clock.
+type Wall struct{}
+
+// Now returns the current wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq int64 // tie-break so equal timestamps run in schedule order
+	fn  func(now time.Time)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a simulated clock with a discrete event queue. The zero value is
+// not usable; construct with NewSim.
+type Sim struct {
+	mu    sync.Mutex
+	now   time.Time
+	seq   int64
+	queue eventQueue
+}
+
+// NewSim returns a simulated clock starting at the given instant.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// At schedules fn to run when the simulated clock reaches t. Scheduling in
+// the past (or present) runs the callback at the next Advance/Run step.
+func (s *Sim) At(t time.Time, fn func(now time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Sim) After(d time.Duration, fn func(now time.Time)) {
+	s.At(s.Now().Add(d), fn)
+}
+
+// Every schedules fn at t0, t0+d, t0+2d, ... until (but not including) end.
+func (s *Sim) Every(t0 time.Time, d time.Duration, end time.Time, fn func(now time.Time)) {
+	if d <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive period %v", d))
+	}
+	for t := t0; t.Before(end); t = t.Add(d) {
+		s.At(t, fn)
+	}
+}
+
+// pop removes and returns the earliest pending event at or before limit.
+func (s *Sim) pop(limit time.Time) (*event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 || s.queue[0].at.After(limit) {
+		return nil, false
+	}
+	return heap.Pop(&s.queue).(*event), true
+}
+
+// Advance moves the clock forward by d, running every event that falls due,
+// in timestamp order. Callbacks may schedule further events; those are also
+// run if they fall within the window.
+func (s *Sim) Advance(d time.Duration) {
+	s.AdvanceTo(s.Now().Add(d))
+}
+
+// AdvanceTo moves the clock to t (which must not be in the past), running
+// all events due up to and including t.
+func (s *Sim) AdvanceTo(t time.Time) {
+	if t.Before(s.Now()) {
+		panic("simtime: AdvanceTo into the past")
+	}
+	for {
+		e, ok := s.pop(t)
+		if !ok {
+			break
+		}
+		s.mu.Lock()
+		if e.at.After(s.now) {
+			s.now = e.at
+		}
+		s.mu.Unlock()
+		e.fn(e.at)
+	}
+	s.mu.Lock()
+	s.now = t
+	s.mu.Unlock()
+}
+
+// Run drains the event queue completely, advancing the clock to each event's
+// timestamp. It returns the final simulated time.
+func (s *Sim) Run() time.Time {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			now := s.now
+			s.mu.Unlock()
+			return now
+		}
+		limit := s.queue[0].at
+		s.mu.Unlock()
+		s.AdvanceTo(limit)
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

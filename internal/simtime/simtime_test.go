@@ -1,0 +1,146 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAdvanceRunsDueEventsInOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	s.At(epoch.Add(2*time.Hour), func(time.Time) { order = append(order, 2) })
+	s.At(epoch.Add(1*time.Hour), func(time.Time) { order = append(order, 1) })
+	s.At(epoch.Add(3*time.Hour), func(time.Time) { order = append(order, 3) })
+	s.Advance(2 * time.Hour)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if got := s.Now(); !got.Equal(epoch.Add(2 * time.Hour)) {
+		t.Fatalf("Now = %v", got)
+	}
+	s.Run()
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("after Run order = %v", order)
+	}
+}
+
+func TestEqualTimestampsRunInScheduleOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	at := epoch.Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func(time.Time) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestCallbackMaySchedule(t *testing.T) {
+	s := NewSim(epoch)
+	var fired []string
+	s.After(time.Hour, func(now time.Time) {
+		fired = append(fired, "first")
+		s.After(30*time.Minute, func(time.Time) {
+			fired = append(fired, "nested")
+		})
+	})
+	// Advancing past both instants must run the nested event too.
+	s.Advance(2 * time.Hour)
+	if len(fired) != 2 || fired[1] != "nested" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestCallbackSeesEventTime(t *testing.T) {
+	s := NewSim(epoch)
+	var seen time.Time
+	target := epoch.Add(90 * time.Minute)
+	s.At(target, func(now time.Time) { seen = now })
+	s.Advance(3 * time.Hour)
+	if !seen.Equal(target) {
+		t.Fatalf("callback saw %v, want %v", seen, target)
+	}
+}
+
+func TestEverySchedulesPeriodically(t *testing.T) {
+	s := NewSim(epoch)
+	count := 0
+	s.Every(epoch.Add(time.Hour), time.Hour, epoch.Add(5*time.Hour), func(time.Time) { count++ })
+	if s.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4 (1h,2h,3h,4h)", s.Pending())
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	s := NewSim(epoch)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Every(epoch, 0, epoch.Add(time.Hour), func(time.Time) {})
+}
+
+func TestAdvanceToPastPanics(t *testing.T) {
+	s := NewSim(epoch)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AdvanceTo(epoch.Add(-time.Second))
+}
+
+func TestRunReturnsFinalTime(t *testing.T) {
+	s := NewSim(epoch)
+	last := epoch.Add(17 * time.Hour)
+	s.At(epoch.Add(3*time.Hour), func(time.Time) {})
+	s.At(last, func(time.Time) {})
+	if got := s.Run(); !got.Equal(last) {
+		t.Fatalf("Run returned %v, want %v", got, last)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", s.Pending())
+	}
+}
+
+// TestEventOrderProperty: however events are scheduled, execution is
+// sorted by timestamp.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := NewSim(epoch)
+		var fired []time.Time
+		for _, off := range offsets {
+			at := epoch.Add(time.Duration(off) * time.Second)
+			s.At(at, func(now time.Time) { fired = append(fired, now) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package study
+
+import (
+	"context"
+	"testing"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/mav"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+)
+
+// shapeScan runs one moderately sized scan shared by the shape tests.
+func shapeScan(t *testing.T) *ScanStudy {
+	t.Helper()
+	scan, err := RunScan(context.Background(), ScanConfig{
+		Population: population.Config{
+			Seed: 9, HostScale: 8000, VulnScale: 8,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+		Scan: scanner.Options{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scan
+}
+
+// TestShapeTop5AppsDominateFindings verifies the paper's claim that the
+// five most common AWEs are responsible for over 98% of all Stage-II
+// findings.
+func TestShapeTop5AppsDominateFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scan study")
+	}
+	scan := shapeScan(t)
+	hosts := scan.Report.HostsPerApp()
+	// Estimate full-population host counts with the design weights.
+	type appCount struct {
+		app mav.App
+		est float64
+	}
+	var counts []appCount
+	var total float64
+	mavs := scan.Report.MAVsPerApp()
+	for app, n := range hosts {
+		sw, vw := scan.World.Weights(app)
+		m := mavs[app]
+		est := float64(n-m)*sw + float64(m)*vw
+		counts = append(counts, appCount{app, est})
+		total += est
+	}
+	// Top five by estimated prevalence.
+	for i := 0; i < len(counts); i++ {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j].est > counts[i].est {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	var top5 float64
+	for i := 0; i < 5 && i < len(counts); i++ {
+		top5 += counts[i].est
+	}
+	if share := top5 / total; share < 0.97 {
+		t.Errorf("top-5 AWEs carry %.3f of findings, want >0.97 (paper: 98%%)", share)
+	}
+	// And WordPress alone is over half.
+	if counts[0].app != mav.WordPress {
+		t.Errorf("most prevalent AWE is %s, want WordPress", counts[0].app)
+	}
+	if counts[0].est/total < 0.5 {
+		t.Errorf("WordPress carries %.2f, want >0.5", counts[0].est/total)
+	}
+}
+
+// TestShapeCMInsecureDefaultsDriveMAVRates: all products with ≥5% MAV rate
+// (excluding the short-lived CMS installs) are insecure by default —
+// the paper's "defaults are important" insight.
+func TestShapeCMInsecureDefaultsDriveMAVRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scan study")
+	}
+	scan := shapeScan(t)
+	hosts := scan.Report.HostsPerApp()
+	mavs := scan.Report.MAVsPerApp()
+	for _, info := range mav.InScopeApps() {
+		h, m := hosts[info.App], mavs[info.App]
+		if h == 0 {
+			continue
+		}
+		sw, vw := scan.World.Weights(info.App)
+		est := float64(h-m)*sw + float64(m)*vw
+		if est == 0 {
+			continue
+		}
+		rate := float64(m) * vw / est
+		if rate >= 0.05 && info.Kind != mav.KindInstall {
+			if info.Default != mav.InsecureByDefault {
+				t.Errorf("%s has MAV rate %.1f%% but is not insecure by default", info.App, 100*rate)
+			}
+		}
+	}
+}
+
+// TestShapeJupyterNotebookOldVersionsDominate: Figure 1's headline — the
+// small share of very old Jupyter Notebook instances carries ~80% of its
+// vulnerable population.
+func TestShapeJupyterNotebookOldVersionsDominate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scan study")
+	}
+	scan := shapeScan(t)
+	var oldVuln, vuln int
+	for _, obs := range scan.Report.Apps {
+		if obs.App != mav.JupyterNotebook || !obs.Vulnerable() || obs.Released.IsZero() {
+			continue
+		}
+		vuln++
+		if obs.Released.Before(population.ScanDate.AddDate(-3, 0, 0)) {
+			oldVuln++
+		}
+	}
+	if vuln == 0 {
+		t.Fatal("no vulnerable Jupyter Notebooks observed")
+	}
+	if frac := float64(oldVuln) / float64(vuln); frac < 0.6 {
+		t.Errorf("old releases carry %.2f of vulnerable notebooks, want ≥0.6 (paper ~0.8)", frac)
+	}
+}
+
+// TestShapeRQ2CategoryFreshness: CMSes are the most up to date category,
+// control panels the most outdated (RQ2's medians).
+func TestShapeRQ2CategoryFreshness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scan study")
+	}
+	scan := shapeScan(t)
+	cmsMedian, ok1 := analysis.MedianReleaseDate(analysis.FilterByCategory(scan.Report.Apps, mav.CMS))
+	cpMedian, ok2 := analysis.MedianReleaseDate(analysis.FilterByCategory(scan.Report.Apps, mav.CP))
+	if !ok1 || !ok2 {
+		t.Fatal("missing category medians")
+	}
+	if !cmsMedian.After(cpMedian) {
+		t.Errorf("CMS median %v should be newer than CP median %v", cmsMedian, cpMedian)
+	}
+	r, _, _ := analysis.RecencyShares(scan.Report.Apps, population.ScanDate)
+	if r < 0.5 {
+		t.Errorf("recent share %.2f, want ≥0.5 (paper ~0.65)", r)
+	}
+}
+
+// TestShapeArtifactHostsExcluded: the all-ports-open middleboxes must be
+// recognized and kept out of the report.
+func TestShapeArtifactHostsExcluded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scan study")
+	}
+	scan, err := RunScan(context.Background(), ScanConfig{
+		Population: population.Config{
+			Seed: 10, HostScale: 100000, VulnScale: 100,
+			BackgroundScale: -1, WildcardScale: 100000, // ~30 artifact hosts
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Report.ArtifactHosts == 0 {
+		t.Fatal("no artifact hosts recognized")
+	}
+	if scan.Report.ArtifactHosts != scan.World.Wildcard {
+		t.Errorf("excluded %d artifact hosts, world has %d", scan.Report.ArtifactHosts, scan.World.Wildcard)
+	}
+}

@@ -1,0 +1,254 @@
+// Package study drives the paper's experiments end to end and exposes
+// their results in the shape of the published tables and figures. Each
+// experiment builds only on public observations (scan results, fingerprint
+// versions, honeypot monitoring) — ground truth from the population
+// generator is used exclusively by tests.
+package study
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/apps"
+	"mavscan/internal/attacker"
+	"mavscan/internal/eslite"
+	"mavscan/internal/geo"
+	"mavscan/internal/honeypot"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/observer"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+	"mavscan/internal/secscan"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/tsunami"
+)
+
+// ScanStudy is the Section-3 experiment: the Internet-wide scan.
+type ScanStudy struct {
+	World  *population.World
+	Report *scanner.Report
+}
+
+// ScanConfig bundles the generation and scan parameters.
+type ScanConfig struct {
+	Population population.Config
+	Scan       scanner.Options
+}
+
+// RunScan generates a world and runs the full three-stage pipeline on it.
+func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
+	world, err := population.Generate(cfg.Population)
+	if err != nil {
+		return nil, fmt.Errorf("study: generating world: %w", err)
+	}
+	if len(cfg.Scan.Targets) == 0 {
+		cfg.Scan.Targets = world.Geo.Prefixes()
+	}
+	report, err := scanner.New(world.Net).Run(ctx, cfg.Scan)
+	if err != nil {
+		return nil, fmt.Errorf("study: scanning: %w", err)
+	}
+	return &ScanStudy{World: world, Report: report}, nil
+}
+
+// ObserverTargets derives the longevity-study targets from the scan
+// report's confirmed MAVs. The by-default grouping uses only public
+// information: the fingerprinted version and the product's default
+// history.
+func (s *ScanStudy) ObserverTargets() []observer.Target {
+	var out []observer.Target
+	for _, obs := range s.Report.VulnerableObservations() {
+		out = append(out, observer.Target{
+			IP:             obs.IP,
+			Port:           obs.Port,
+			Scheme:         obs.Scheme,
+			App:            obs.App,
+			ByDefault:      obs.Version != "" && apps.InsecureDefault(obs.App, obs.Version),
+			InitialVersion: obs.Version,
+		})
+	}
+	return out
+}
+
+// LongevityConfig tunes the four-week observation (Figure 2).
+type LongevityConfig struct {
+	Seed     int64
+	Interval time.Duration // default 3h
+	Duration time.Duration // default 4 weeks
+	// FingerprintEvery controls the version re-check cadence in ticks.
+	FingerprintEvery int
+}
+
+// RunLongevity schedules the churn model and the observer on a simulated
+// clock and runs the four weeks to completion.
+func RunLongevity(s *ScanStudy, cfg LongevityConfig) *observer.Result {
+	if cfg.Interval == 0 {
+		cfg.Interval = 3 * time.Hour
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 28 * 24 * time.Hour
+	}
+	start := population.ScanDate
+	sim := simtime.NewSim(start)
+	population.ScheduleChurn(sim, s.World, population.ChurnConfig{
+		Seed:     cfg.Seed,
+		Start:    start,
+		Duration: cfg.Duration,
+	})
+	obs := observer.New(s.World.Net, sim)
+	obs.FingerprintEvery = cfg.FingerprintEvery
+	result := obs.Watch(s.ObserverTargets(), cfg.Interval, cfg.Duration)
+	sim.Run()
+	return result
+}
+
+// HoneypotStudy is the Section-4 experiment: 18 honeypots exposed for four
+// weeks to the modeled attacker population.
+type HoneypotStudy struct {
+	Start    time.Time
+	Net      *simnet.Network
+	Geo      *geo.DB
+	Farm     *honeypot.Farm
+	Store    *eslite.Store
+	Plan     *attacker.Plan
+	Executor *attacker.Executor
+	// Attacks are the sessionized, uniquified attacks recovered from the
+	// monitoring stream.
+	Attacks []analysis.Attack
+	// Clusters are the inferred attackers.
+	Clusters []analysis.AttackerCluster
+}
+
+// HoneypotStart is the paper's honeypot exposure date (June 09, 2021).
+var HoneypotStart = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
+
+// RunHoneypots deploys the farm, replays the attacker plan over the
+// simulated four weeks, and analyzes the resulting monitoring stream.
+func RunHoneypots(seed int64) (*HoneypotStudy, error) {
+	sim := simtime.NewSim(HoneypotStart)
+	net := simnet.New()
+	store := &eslite.Store{}
+	db := geo.Default()
+
+	farm := honeypot.NewFarm(net, sim, store)
+	if err := farm.DeployAll(netip.MustParseAddr("10.30.0.10")); err != nil {
+		return nil, err
+	}
+	farm.StartTicker(15*time.Minute, HoneypotStart.Add(attacker.StudyDuration))
+
+	targets := attacker.TargetMap{}
+	for _, pot := range farm.Honeypots() {
+		targets[pot.App] = struct {
+			IP   netip.Addr
+			Port int
+		}{pot.IP, pot.Port}
+	}
+
+	plan := attacker.BuildPlan(db, HoneypotStart, seed)
+	exec := &attacker.Executor{Net: net, Clock: sim, Targets: targets}
+	exec.Schedule(plan)
+	sim.Run()
+
+	attacks := analysis.Uniquify(analysis.Sessionize(store))
+	clusters := analysis.ClusterAttackers(attacks)
+	return &HoneypotStudy{
+		Start:    HoneypotStart,
+		Net:      net,
+		Geo:      db,
+		Farm:     farm,
+		Store:    store,
+		Plan:     plan,
+		Executor: exec,
+		Attacks:  attacks,
+		Clusters: clusters,
+	}, nil
+}
+
+// DefenderStudy is the Section-5 experiment (RQ7).
+type DefenderStudy struct {
+	Scanner1 []secscan.Finding
+	Scanner2 []secscan.Finding
+}
+
+// RunDefenders points both commercial scanners at a fresh honeypot farm
+// and collects their findings.
+func RunDefenders() (*DefenderStudy, error) {
+	sim := simtime.NewSim(HoneypotStart)
+	net := simnet.New()
+	store := &eslite.Store{}
+	farm := honeypot.NewFarm(net, sim, store)
+	if err := farm.DeployAll(netip.MustParseAddr("10.40.0.10")); err != nil {
+		return nil, err
+	}
+	var targets []tsunami.Target
+	for _, pot := range farm.Honeypots() {
+		targets = append(targets, tsunami.Target{
+			IP: pot.IP, Port: pot.Port, Scheme: "http", App: pot.App,
+		})
+	}
+	client := httpsim.NewClient(net, httpsim.ClientOptions{DisableKeepAlives: true})
+	s1 := secscan.Scanner1(client)
+	s2 := secscan.Scanner2(client)
+	ctx := context.Background()
+	return &DefenderStudy{
+		Scanner1: s1.Scan(ctx, targets),
+		Scanner2: s2.Scan(ctx, targets),
+	}, nil
+}
+
+// SummaryRow is one row of Table 9, joining all experiments.
+type SummaryRow struct {
+	App        mav.App
+	Category   mav.Category
+	Default    mav.DefaultStatus
+	Vulnerable int     // scan MAV count
+	VulnRate   float64 // of exposed hosts
+	Attacks    int
+	S1, S2     bool // detected as a vulnerability by each scanner
+}
+
+// Table9 joins the scan, honeypot and defender studies.
+func Table9(scan *ScanStudy, pots *HoneypotStudy, def *DefenderStudy) []SummaryRow {
+	hosts := scan.Report.HostsPerApp()
+	mavs := scan.Report.MAVsPerApp()
+	attacksPerApp := map[mav.App]int{}
+	for _, a := range pots.Attacks {
+		attacksPerApp[a.App]++
+	}
+	detected := func(findings []secscan.Finding, app mav.App) bool {
+		for _, f := range findings {
+			if f.App == app && f.Severity == secscan.SeverityVulnerability {
+				return true
+			}
+		}
+		return false
+	}
+	var rows []SummaryRow
+	for _, info := range mav.InScopeApps() {
+		row := SummaryRow{
+			App:        info.App,
+			Category:   info.Category,
+			Default:    info.Default,
+			Vulnerable: mavs[info.App],
+			Attacks:    attacksPerApp[info.App],
+			S1:         detected(def.Scanner1, info.App),
+			S2:         detected(def.Scanner2, info.App),
+		}
+		// Undo the stratified sampling with the generator's design weights
+		// so the rate matches the full-population view of Table 3.
+		if h := hosts[info.App]; h > 0 {
+			m := mavs[info.App]
+			sw, vw := scan.World.Weights(info.App)
+			if est := float64(h-m)*sw + float64(m)*vw; est > 0 {
+				row.VulnRate = float64(m) * vw / est
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

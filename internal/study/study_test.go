@@ -1,0 +1,193 @@
+package study
+
+import (
+	"context"
+	"testing"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/attacker"
+	"mavscan/internal/mav"
+	"mavscan/internal/population"
+	"mavscan/internal/secscan"
+)
+
+// TestHoneypotStudyReproducesTable5 replays the attacker model and checks
+// the monitoring-derived attack counts against the paper's Table 5. Small
+// deviations are possible (an attack can be swallowed by a honeypot that
+// is mid-restore), so counts must be within 2% of the calibration.
+func TestHoneypotStudyReproducesTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("honeypot study replays 2k attacks")
+	}
+	hs, err := RunHoneypots(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, total, totalUnique, totalIPs := analysis.Table5(hs.Attacks)
+	perApp := map[mav.App]analysis.AppAttackStats{}
+	for _, r := range rows {
+		perApp[r.App] = r
+	}
+	for app, want := range attacker.PaperAttackTotals {
+		got := perApp[app].Attacks
+		lo := want - want/20 - 2
+		hi := want + want/20 + 2
+		if got < lo || got > hi {
+			t.Errorf("%s: %d attacks, want ≈%d", app, got, want)
+		}
+	}
+	if total < 2100 || total > 2300 {
+		t.Errorf("total attacks %d, want ≈2195", total)
+	}
+	if totalUnique < 100 || totalUnique > 160 {
+		t.Errorf("unique attacks %d, want ≈122", totalUnique)
+	}
+	if totalIPs < 120 || totalIPs > 200 {
+		t.Errorf("unique IPs %d, want ≈160", totalIPs)
+	}
+	// Only the 7 applications of Table 5 may appear — control panels and
+	// the rest must stay unattacked.
+	for _, r := range rows {
+		if _, ok := attacker.PaperAttackTotals[r.App]; !ok {
+			t.Errorf("unexpected attacks on %s", r.App)
+		}
+	}
+
+	// RQ6 concentration: few attackers carry most attacks.
+	top5 := analysis.TopShare(hs.Clusters, 5)
+	if top5 < 0.55 || top5 > 0.80 {
+		t.Errorf("top-5 attacker share %.2f, want ≈0.67", top5)
+	}
+	top10 := analysis.TopShare(hs.Clusters, 10)
+	if top10 < 0.75 || top10 > 0.92 {
+		t.Errorf("top-10 attacker share %.2f, want ≈0.84", top10)
+	}
+	// Figure 4: several attackers target at least two applications.
+	multi := analysis.MultiAppAttackers(hs.Clusters)
+	if len(multi) < 5 {
+		t.Errorf("only %d multi-app attackers, want ≥5", len(multi))
+	}
+
+	// Table 6 first-compromise ordering: Hadoop first, within the hour.
+	t6 := analysis.Table6(hs.Attacks, hs.Start)
+	firsts := map[mav.App]float64{}
+	for _, row := range t6 {
+		firsts[row.App] = row.First
+	}
+	if f := firsts[mav.Hadoop]; f > 1.0 {
+		t.Errorf("Hadoop first compromise at %.1fh, want <1h", f)
+	}
+	if firsts[mav.WordPress] > 4 {
+		t.Errorf("WordPress first compromise at %.1fh, want ≈2.8h", firsts[mav.WordPress])
+	}
+	if firsts[mav.Grav] < 300 {
+		t.Errorf("Grav first compromise at %.1fh, want ≈355h", firsts[mav.Grav])
+	}
+
+	// The farm must have restored honeypots (miners detected, CMS
+	// re-armed).
+	restores := 0
+	for _, pot := range hs.Farm.Honeypots() {
+		restores += pot.Restores()
+	}
+	if restores == 0 {
+		t.Error("no snapshot restores recorded")
+	}
+
+	// RQ4 purposes: cryptojacking (including Kinsing) dominates, and the
+	// vigilante shows up on Jupyter Lab.
+	if share := analysis.CryptojackingShare(hs.Attacks); share < 0.5 {
+		t.Errorf("cryptojacking share %.2f, want dominant", share)
+	}
+	vigilanteSeen := false
+	for _, a := range hs.Attacks {
+		if a.App == mav.JupyterLab && analysis.ClassifyAttack(a) == analysis.PurposeVigilante {
+			vigilanteSeen = true
+		}
+	}
+	if !vigilanteSeen {
+		t.Error("vigilante shutdowns on Jupyter Lab not observed")
+	}
+}
+
+// TestDefenderStudyMatchesSection5 checks the two scanners' coverage.
+func TestDefenderStudyMatchesSection5(t *testing.T) {
+	def, err := RunDefenders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := secscan.VulnerabilitiesDetected(def.Scanner1); got != 5 {
+		t.Errorf("Scanner 1 detected %d vulnerabilities, want 5", got)
+	}
+	if got := secscan.VulnerabilitiesDetected(def.Scanner2); got != 3 {
+		t.Errorf("Scanner 2 detected %d vulnerabilities, want 3", got)
+	}
+	info := 0
+	for _, f := range def.Scanner2 {
+		if f.Severity == secscan.SeverityInformational {
+			info++
+		}
+	}
+	if info != 4 {
+		t.Errorf("Scanner 2 informational findings = %d, want 4 (Joomla, phpMyAdmin, Kubernetes, Hadoop)", info)
+	}
+}
+
+// TestLongevityStudyShape runs a coarse longevity observation on a small
+// world and checks the Figure-2 shape: monotone-ish decay with >50% still
+// vulnerable at the end, and few fixes.
+func TestLongevityStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("longevity study is slow")
+	}
+	scan, err := RunScan(context.Background(), ScanConfig{
+		Population: population.Config{
+			Seed:            3,
+			HostScale:       40000,
+			VulnScale:       10,
+			BackgroundScale: -1,
+			WildcardScale:   -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunLongevity(scan, LongevityConfig{
+		Seed:     3,
+		Interval: 12 * 3600e9, // 12h ticks keep the test fast
+	})
+	if len(res.Overall) < 50 {
+		t.Fatalf("expected ≈56 samples, got %d", len(res.Overall))
+	}
+	final := res.FinalSample()
+	total := final.Total()
+	if total == 0 {
+		t.Fatal("no targets observed")
+	}
+	vulnFrac := float64(final.Vulnerable) / float64(total)
+	if vulnFrac < 0.40 || vulnFrac > 0.70 {
+		t.Errorf("final vulnerable fraction %.2f, want ≈0.53", vulnFrac)
+	}
+	fixedFrac := float64(final.Fixed) / float64(total)
+	if fixedFrac > 0.12 {
+		t.Errorf("final fixed fraction %.2f, want small (≈0.03)", fixedFrac)
+	}
+	// Early decay: ~10% no longer vulnerable within the first six hours
+	// — at 12h ticks, the first sample should already show some loss.
+	first := res.Overall[0]
+	if first.Vulnerable == first.Total() {
+		t.Error("no early decay observed in the first sample")
+	}
+
+	// Notebooks stay vulnerable for much longer than CI overall.
+	nb := res.ByCategory[mav.NB]
+	ci := res.ByCategory[mav.CI]
+	if len(nb) > 0 && len(ci) > 0 {
+		nbLast, ciLast := nb[len(nb)-1], ci[len(ci)-1]
+		nbFrac := float64(nbLast.Vulnerable) / float64(nbLast.Total())
+		ciFrac := float64(ciLast.Vulnerable) / float64(ciLast.Total())
+		if nbFrac <= ciFrac {
+			t.Errorf("notebooks %.2f should outlast CI %.2f", nbFrac, ciFrac)
+		}
+	}
+}

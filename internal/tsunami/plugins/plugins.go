@@ -1,0 +1,185 @@
+// Package plugins contains the 18 MAV detection plugins, implementing the
+// verification steps of Appendix A (Table 10) of the paper. Unless noted
+// otherwise a MAV is reported only if *all* steps of a plugin succeed.
+package plugins
+
+import (
+	"context"
+	"strings"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/tsunami"
+)
+
+// base provides the Detector boilerplate.
+type base struct {
+	app  mav.App
+	name string
+}
+
+func (b base) App() mav.App { return b.app }
+func (b base) Name() string { return b.name }
+
+// finding builds the positive result for a plugin.
+func finding(t tsunami.Target, app mav.App, details string) *mav.Finding {
+	info := mav.MustLookup(app)
+	return &mav.Finding{App: app, Kind: info.Kind, Port: t.Port, Details: details}
+}
+
+// RegisterAll installs all 18 detection plugins into r.
+func RegisterAll(r *tsunami.Registry) {
+	r.Register(Jenkins{base{mav.Jenkins, "JenkinsOpenNewJob"}})
+	r.Register(GoCD{base{mav.GoCD, "GoCDOpenDashboard"}})
+	r.Register(WordPress{base{mav.WordPress, "WordPressInstallOpen"}})
+	r.Register(Grav{base{mav.Grav, "GravNoUserAccounts"}})
+	r.Register(Joomla{base{mav.Joomla, "JoomlaWebInstaller"}})
+	r.Register(Drupal{base{mav.Drupal, "DrupalInstallOpen"}})
+	r.Register(Kubernetes{base{mav.Kubernetes, "KubernetesOpenAPI"}})
+	r.Register(Docker{base{mav.Docker, "DockerExposedAPI"}})
+	r.Register(Consul{base{mav.Consul, "ConsulScriptChecks"}})
+	r.Register(Hadoop{base{mav.Hadoop, "HadoopYarnRM"}})
+	r.Register(Nomad{base{mav.Nomad, "NomadOpenJobs"}})
+	r.Register(JupyterLab{base{mav.JupyterLab, "JupyterLabTerminals"}})
+	r.Register(JupyterNotebook{base{mav.JupyterNotebook, "JupyterNotebookTerminals"}})
+	r.Register(Zeppelin{base{mav.Zeppelin, "ZeppelinNotebookAPI"}})
+	r.Register(Polynote{base{mav.Polynote, "PolynoteExposed"}})
+	r.Register(Ajenti{base{mav.Ajenti, "AjentiAutologin"}})
+	r.Register(PhpMyAdmin{base{mav.PhpMyAdmin, "PhpMyAdminNoPassword"}})
+	r.Register(Adminer{base{mav.Adminer, "AdminerEmptyPassword"}})
+}
+
+// NewRegistry returns a registry with all plugins installed.
+func NewRegistry() *tsunami.Registry {
+	r := tsunami.NewRegistry()
+	RegisterAll(r)
+	return r
+}
+
+// Jenkins: (1) visit /view/all/newJob, (2) body contains 'Jenkins' and is
+// valid HTML, (3) element form#createItem exists.
+type Jenkins struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Jenkins) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/view/all/newJob")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "Jenkins") || !tsunami.ValidHTML(resp.Body) {
+		return nil, nil
+	}
+	if !tsunami.HasElementWithID(resp.Body, "form", "createItem") {
+		return nil, nil
+	}
+	return finding(t, p.app, "new-job form reachable without authentication"), nil
+}
+
+// GoCD: visit /go/home and match one of four known dashboard string pairs.
+type GoCD struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p GoCD) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/go/home")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, nil
+	}
+	pairs := [][2]string{
+		{"Create a pipeline - Go", "pipelines-page"},
+		{"Add Pipeline", "admin_pipelines"},
+		{"Dashboard - Go", "/go/admin/pipelines/"},
+		{"Pipelines - Go", "/go/admin/pipelines"},
+	}
+	for _, pair := range pairs {
+		if strings.Contains(resp.Body, pair[0]) && strings.Contains(resp.Body, pair[1]) {
+			return finding(t, p.app, "pipeline dashboard reachable without authentication"), nil
+		}
+	}
+	return nil, nil
+}
+
+// WordPress: (1) visit /wp-admin/install.php?step=1, (2) body contains
+// 'WordPress' and is valid HTML, (3) elements form#setup and input#pass1
+// exist.
+type WordPress struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p WordPress) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/wp-admin/install.php?step=1")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "WordPress") || !tsunami.ValidHTML(resp.Body) {
+		return nil, nil
+	}
+	if !tsunami.HasElementWithID(resp.Body, "form", "setup") || !tsunami.HasElementWithID(resp.Body, "input", "pass1") {
+		return nil, nil
+	}
+	return finding(t, p.app, "installation wizard served publicly (install hijack possible)"), nil
+}
+
+// Grav: (1) visit / and look for the fresh-admin markers; (2) fall back to
+// /admin and look for the no-user-accounts markers.
+type Grav struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Grav) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/")
+	if err == nil && resp.Status == 200 &&
+		strings.Contains(resp.Body, "The Admin plugin has been installed") &&
+		strings.Contains(resp.Body, "Create User") {
+		return finding(t, p.app, "admin plugin installed with no user accounts"), nil
+	}
+	resp, err = env.Get(ctx, t, "/admin")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == 200 &&
+		strings.Contains(resp.Body, "No user accounts found") &&
+		strings.Contains(resp.Body, "create one") {
+		return finding(t, p.app, "admin account creation open to anyone"), nil
+	}
+	return nil, nil
+}
+
+// Joomla: visit /installation/index.php and look for installer markers.
+type Joomla struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Joomla) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/installation/index.php")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, nil
+	}
+	if strings.Contains(resp.Body, "Joomla! Web Installer") ||
+		strings.Contains(resp.Body, "Enter the name of your Joomla! site") {
+		return finding(t, p.app, "web installer served publicly (install hijack possible)"), nil
+	}
+	return nil, nil
+}
+
+// Drupal: (1) visit the install wizard, (2) remove all whitespace (element
+// spacing differs across versions), (3) look for the active set-up-database
+// step.
+type Drupal struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Drupal) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/core/install.php?langcode=en&profile=standard&continue=1")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, nil
+	}
+	flat := tsunami.StripWhitespace(resp.Body)
+	if strings.Contains(flat, `<liclass="is-active">Setupdatabase`) {
+		return finding(t, p.app, "installation wizard served publicly (install hijack possible)"), nil
+	}
+	return nil, nil
+}

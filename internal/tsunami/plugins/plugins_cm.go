@@ -1,0 +1,169 @@
+package plugins
+
+import (
+	"context"
+	"strings"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/tsunami"
+)
+
+// Kubernetes: (1) / contains 'certificates.k8s.io' and 'healthz/ping',
+// (2) /api/v1/pods, whitespace-stripped, contains '"phase":"Running"',
+// (3) the pod list parses as JSON with a non-empty items array.
+type Kubernetes struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Kubernetes) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	root, err := env.Get(ctx, t, "/")
+	if err != nil {
+		return nil, err
+	}
+	if root.Status != 200 ||
+		!strings.Contains(root.Body, "certificates.k8s.io") ||
+		!strings.Contains(root.Body, "healthz/ping") {
+		return nil, nil
+	}
+	pods, err := env.Get(ctx, t, "/api/v1/pods")
+	if err != nil {
+		return nil, err
+	}
+	if pods.Status != 200 {
+		return nil, nil
+	}
+	flat := tsunami.StripWhitespace(pods.Body)
+	if !strings.Contains(flat, `"phase":"Running"`) {
+		return nil, nil
+	}
+	v, ok := tsunami.ParseJSON(pods.Body)
+	if !ok {
+		return nil, nil
+	}
+	items, ok := tsunami.JSONField(v, "items")
+	if !ok {
+		return nil, nil
+	}
+	list, ok := items.([]interface{})
+	if !ok || len(list) == 0 {
+		return nil, nil
+	}
+	return finding(t, p.app, "API server allows anonymous access to running pods"), nil
+}
+
+// Docker: (1) / answers with the daemon's JSON 404, (2) /version lowercased
+// contains 'minapiversion' and 'kernelversion'.
+type Docker struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Docker) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	root, err := env.Get(ctx, t, "/")
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(root.Body, `{"message":"page not found"}`) {
+		return nil, nil
+	}
+	ver, err := env.Get(ctx, t, "/version")
+	if err != nil {
+		return nil, err
+	}
+	low := strings.ToLower(ver.Body)
+	if ver.Status != 200 || !strings.Contains(low, "minapiversion") || !strings.Contains(low, "kernelversion") {
+		return nil, nil
+	}
+	return finding(t, p.app, "daemon API exposed without authentication"), nil
+}
+
+// Consul: (1) /v1/agent/self is valid JSON, (2) it carries a DebugConfig,
+// (3) at least one of the script-check options is enabled.
+type Consul struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Consul) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/v1/agent/self")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, nil
+	}
+	v, ok := tsunami.ParseJSON(resp.Body)
+	if !ok {
+		return nil, nil
+	}
+	dbg, ok := tsunami.JSONField(v, "DebugConfig")
+	if !ok {
+		return nil, nil
+	}
+	local, _ := tsunami.JSONField(dbg, "EnableScriptChecks")
+	remote, _ := tsunami.JSONField(dbg, "EnableRemoteScriptChecks")
+	if local == true || remote == true {
+		return finding(t, p.app, "agent executes script checks registered over the open API"), nil
+	}
+	return nil, nil
+}
+
+// Hadoop: (1) /cluster/cluster lowercased contains 'hadoop',
+// 'resourcemanager' and 'logged in as: dr.who', (2) the new-application
+// endpoint answers valid JSON containing an application-id.
+type Hadoop struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Hadoop) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	page, err := env.Get(ctx, t, "/cluster/cluster")
+	if err != nil {
+		return nil, err
+	}
+	low := strings.ToLower(page.Body)
+	if page.Status != 200 ||
+		!strings.Contains(low, "hadoop") ||
+		!strings.Contains(low, "resourcemanager") ||
+		!strings.Contains(low, "logged in as: dr.who") {
+		return nil, nil
+	}
+	app, err := env.Get(ctx, t, "/ws/v1/cluster/apps/new-application")
+	if err != nil {
+		return nil, err
+	}
+	v, ok := tsunami.ParseJSON(app.Body)
+	if app.Status != 200 || !ok {
+		return nil, nil
+	}
+	if _, ok := tsunami.JSONField(v, "application-id"); !ok {
+		return nil, nil
+	}
+	return finding(t, p.app, "YARN ResourceManager accepts unauthenticated application submission"), nil
+}
+
+// Nomad: the paper's step list is "visit /v1/jobs, check for
+// '<title>Nomad</title>'". Our emulated agent keeps API (JSON) and UI
+// (HTML) surfaces separate, so the equivalent two-step check is: /v1/jobs
+// must answer 200 with a JSON array (ACLs disabled), and the UI must
+// identify itself with the Nomad title.
+type Nomad struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Nomad) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	jobs, err := env.Get(ctx, t, "/v1/jobs")
+	if err != nil {
+		return nil, err
+	}
+	if jobs.Status != 200 {
+		return nil, nil
+	}
+	v, ok := tsunami.ParseJSON(jobs.Body)
+	if !ok {
+		return nil, nil
+	}
+	if _, isArray := v.([]interface{}); !isArray {
+		return nil, nil
+	}
+	ui, err := env.Get(ctx, t, "/ui/")
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(ui.Body, "<title>Nomad</title>") {
+		return nil, nil
+	}
+	return finding(t, p.app, "job API reachable without ACL token"), nil
+}

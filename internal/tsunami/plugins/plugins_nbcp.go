@@ -1,0 +1,129 @@
+package plugins
+
+import (
+	"context"
+	"strings"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/tsunami"
+)
+
+// jupyterDetect implements the shared Jupyter check: /api/terminals must
+// answer without authentication and carry the product's brand marker.
+func jupyterDetect(ctx context.Context, env *tsunami.Env, t tsunami.Target, app mav.App, brand, details string) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/api/terminals")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, brand) {
+		return nil, nil
+	}
+	return finding(t, app, details), nil
+}
+
+// JupyterLab: /api/terminals answers and contains 'JupyterLab'.
+type JupyterLab struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p JupyterLab) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	return jupyterDetect(ctx, env, t, p.app, "JupyterLab", "terminal API reachable without password")
+}
+
+// JupyterNotebook: /api/terminals answers and contains 'Jupyter Notebook'.
+type JupyterNotebook struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p JupyterNotebook) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	return jupyterDetect(ctx, env, t, p.app, "Jupyter Notebook", "terminal API reachable without password")
+}
+
+// Zeppelin: /api/notebook answers with the OK status prefix.
+type Zeppelin struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Zeppelin) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/api/notebook")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, `{"status":"OK",`) {
+		return nil, nil
+	}
+	return finding(t, p.app, "notebook API reachable without authentication"), nil
+}
+
+// Polynote: the landing page identifies an (always unauthenticated)
+// Polynote server.
+type Polynote struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Polynote) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "<title>Polynote</title>") {
+		return nil, nil
+	}
+	return finding(t, p.app, "Polynote has no authentication mechanism; exposure is the vulnerability"), nil
+}
+
+// Ajenti: /view/ carries the logged-in UI bootstrap markers only when
+// --autologin is enabled.
+type Ajenti struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Ajenti) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	resp, err := env.Get(ctx, t, "/view/")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 ||
+		!strings.Contains(resp.Body, `customization.plugins.core.title || 'Ajenti'`) ||
+		!strings.Contains(resp.Body, "ajentiPlatformUnmapped") {
+		return nil, nil
+	}
+	return finding(t, p.app, "panel auto-logs visitors in as the OS account"), nil
+}
+
+// PhpMyAdmin: the logged-in main page (collation selector plus
+// documentation link) is served without credentials; falls back to the
+// /phpmyadmin prefix.
+type PhpMyAdmin struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p PhpMyAdmin) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	for _, path := range []string{"/", "/phpmyadmin"} {
+		resp, err := env.Get(ctx, t, path)
+		if err != nil {
+			continue
+		}
+		if resp.Status == 200 &&
+			strings.Contains(resp.Body, "Server connection collation") &&
+			strings.Contains(resp.Body, "phpMyAdmin documentation") {
+			return finding(t, p.app, "main panel served without credentials (AllowNoPassword)"), nil
+		}
+	}
+	return nil, nil
+}
+
+// Adminer: /adminer.php?username=root logs straight in on vulnerable
+// versions; falls back to the /adminer/ prefix. (Table 10 lists this row
+// under a duplicated "Ajenti" label — an obvious typo for Adminer.)
+type Adminer struct{ base }
+
+// Detect implements tsunami.Detector.
+func (p Adminer) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
+	for _, path := range []string{"/adminer.php?username=root", "/adminer/adminer.php?username=root"} {
+		resp, err := env.Get(ctx, t, path)
+		if err != nil {
+			continue
+		}
+		if resp.Status == 200 &&
+			strings.Contains(resp.Body, "through PHP extension") &&
+			strings.Contains(resp.Body, "Logged as") {
+			return finding(t, p.app, "database login succeeds with an empty password"), nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,249 @@
+package plugins
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"testing"
+
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+	"mavscan/internal/tsunami"
+)
+
+var pluginIP = netip.MustParseAddr("10.0.0.1")
+
+// serve deploys a synthetic handler and returns an env + target for app.
+func serve(t *testing.T, app mav.App, port int, h http.Handler) (*tsunami.Env, tsunami.Target) {
+	t.Helper()
+	n := simnet.New()
+	host := simnet.NewHost(pluginIP)
+	host.Bind(port, httpsim.ConnHandler(h))
+	if err := n.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	env := tsunami.NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	return env, tsunami.Target{IP: pluginIP, Port: port, Scheme: "http", App: app}
+}
+
+func pluginFor(t *testing.T, app mav.App) tsunami.Detector {
+	t.Helper()
+	dets := NewRegistry().DetectorsFor(app)
+	if len(dets) != 1 {
+		t.Fatalf("%s has %d plugins, want 1", app, len(dets))
+	}
+	return dets[0]
+}
+
+func TestRegistryCoversAll18(t *testing.T) {
+	r := NewRegistry()
+	for _, info := range mav.InScopeApps() {
+		if len(r.DetectorsFor(info.App)) != 1 {
+			t.Errorf("%s: expected exactly one plugin", info.App)
+		}
+	}
+	if got := len(r.Apps()); got != 18 {
+		t.Fatalf("registry covers %d apps, want 18", got)
+	}
+}
+
+// TestJenkinsRequiresAllSteps: a page mentioning Jenkins without the
+// create-item form must not be flagged (step 3 of Table 10).
+func TestJenkinsRequiresAllSteps(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/view/all/newJob", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<!DOCTYPE html><html><body>Jenkins says login required</body></html>`)
+	})
+	env, target := serve(t, mav.Jenkins, 8080, mux)
+	f, err := pluginFor(t, mav.Jenkins).Detect(context.Background(), env, target)
+	if err != nil || f != nil {
+		t.Fatalf("login page flagged: f=%v err=%v", f, err)
+	}
+}
+
+// TestJenkinsRejectsNonHTML: the valid-HTML step must hold.
+func TestJenkinsRejectsNonHTML(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/view/all/newJob", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `Jenkins form id="createItem"`) // not an HTML document
+	})
+	env, target := serve(t, mav.Jenkins, 8080, mux)
+	f, _ := pluginFor(t, mav.Jenkins).Detect(context.Background(), env, target)
+	if f != nil {
+		t.Fatal("non-HTML body flagged")
+	}
+}
+
+// TestDockerRequiresBothEndpoints: the JSON 404 alone is not enough.
+func TestDockerRequiresBothEndpoints(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(404)
+		fmt.Fprint(w, `{"message":"page not found"}`)
+	})
+	// /version denied (e.g. authz plugin in place).
+	env, target := serve(t, mav.Docker, 2375, mux)
+	f, _ := pluginFor(t, mav.Docker).Detect(context.Background(), env, target)
+	if f != nil {
+		t.Fatal("daemon with denied /version flagged")
+	}
+}
+
+// TestKubernetesRequiresRunningPods: an empty pod list is not proof of
+// usable anonymous access (step 3).
+func TestKubernetesRequiresRunningPods(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"paths": ["/apis/certificates.k8s.io", "/healthz/ping"]}`)
+	})
+	mux.HandleFunc("/api/v1/pods", func(w http.ResponseWriter, r *http.Request) {
+		// Mentions the phrase but has no items.
+		fmt.Fprint(w, `{"kind":"PodList","note":"\"phase\":\"Running\"","items":[]}`)
+	})
+	env, target := serve(t, mav.Kubernetes, 6443, mux)
+	f, _ := pluginFor(t, mav.Kubernetes).Detect(context.Background(), env, target)
+	if f != nil {
+		t.Fatal("empty pod list flagged")
+	}
+}
+
+// TestConsulScriptCheckGate: DebugConfig present but both options false
+// must not be flagged; either option true must be.
+func TestConsulScriptCheckGate(t *testing.T) {
+	for _, tc := range []struct {
+		local, remote bool
+		want          bool
+	}{
+		{false, false, false},
+		{true, false, true},
+		{false, true, true},
+		{true, true, true},
+	} {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/agent/self", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"DebugConfig":{"EnableScriptChecks":%v,"EnableRemoteScriptChecks":%v}}`, tc.local, tc.remote)
+		})
+		env, target := serve(t, mav.Consul, 8500, mux)
+		f, _ := pluginFor(t, mav.Consul).Detect(context.Background(), env, target)
+		if (f != nil) != tc.want {
+			t.Errorf("local=%v remote=%v: flagged=%v, want %v", tc.local, tc.remote, f != nil, tc.want)
+		}
+	}
+}
+
+// TestDrupalWhitespaceInsensitive: element spacing varies across versions;
+// the plugin must match through it.
+func TestDrupalWhitespaceInsensitive(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/core/install.php", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<li \n class=\"is-active\"> Set \t up \n database </li>")
+	})
+	env, target := serve(t, mav.Drupal, 80, mux)
+	f, _ := pluginFor(t, mav.Drupal).Detect(context.Background(), env, target)
+	// The whitespace INSIDE the attribute region differs from the
+	// canonical form; stripping everything yields
+	// `<liclass="is-active">Setupdatabase` which must match.
+	if f == nil {
+		t.Fatal("whitespace variant not detected")
+	}
+}
+
+// TestPhpMyAdminFallbackPath: the /phpmyadmin prefix must be tried when /
+// does not match.
+func TestPhpMyAdminFallbackPath(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "some other site")
+	})
+	mux.HandleFunc("/phpmyadmin", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `Server connection collation ... <a>phpMyAdmin documentation</a>`)
+	})
+	env, target := serve(t, mav.PhpMyAdmin, 80, mux)
+	f, _ := pluginFor(t, mav.PhpMyAdmin).Detect(context.Background(), env, target)
+	if f == nil {
+		t.Fatal("fallback path not tried")
+	}
+}
+
+// TestAdminerFallbackPath mirrors the /adminer/ prefix fallback.
+func TestAdminerFallbackPath(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/adminer/adminer.php", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "MySQL through PHP extension — Logged as: root")
+	})
+	env, target := serve(t, mav.Adminer, 80, mux)
+	f, _ := pluginFor(t, mav.Adminer).Detect(context.Background(), env, target)
+	if f == nil {
+		t.Fatal("adminer fallback path not tried")
+	}
+}
+
+// TestGravFallbackToAdmin: when / is a normal site the plugin must still
+// check /admin for the account-creation page.
+func TestGravFallbackToAdmin(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "a blog")
+	})
+	mux.HandleFunc("/admin", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `No user accounts found, please <a>create one</a>`)
+	})
+	env, target := serve(t, mav.Grav, 80, mux)
+	f, _ := pluginFor(t, mav.Grav).Detect(context.Background(), env, target)
+	if f == nil {
+		t.Fatal("admin fallback not tried")
+	}
+}
+
+// TestGoCDMatchesAnyKnownPair: older GoCD versions use different dashboard
+// markers; any of the four pairs must fire.
+func TestGoCDMatchesAnyKnownPair(t *testing.T) {
+	pairs := [][2]string{
+		{"Create a pipeline - Go", "pipelines-page"},
+		{"Add Pipeline", "admin_pipelines"},
+		{"Dashboard - Go", "/go/admin/pipelines/"},
+		{"Pipelines - Go", "/go/admin/pipelines"},
+	}
+	for i, pair := range pairs {
+		pair := pair
+		mux := http.NewServeMux()
+		mux.HandleFunc("/go/home", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "<html>%s %s</html>", pair[0], pair[1])
+		})
+		env, target := serve(t, mav.GoCD, 8153, mux)
+		f, _ := pluginFor(t, mav.GoCD).Detect(context.Background(), env, target)
+		if f == nil {
+			t.Errorf("pair %d (%q) not detected", i, pair[0])
+		}
+	}
+}
+
+// TestFindingCarriesKindAndPort: findings must be self-describing.
+func TestFindingCarriesKindAndPort(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/terminals", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[{"name":"1","app":"JupyterLab"}]`)
+	})
+	env, target := serve(t, mav.JupyterLab, 8888, mux)
+	f, err := pluginFor(t, mav.JupyterLab).Detect(context.Background(), env, target)
+	if err != nil || f == nil {
+		t.Fatalf("not detected: %v %v", f, err)
+	}
+	if f.Kind != mav.KindSyscmd || f.Port != 8888 || f.App != mav.JupyterLab {
+		t.Fatalf("finding incomplete: %+v", f)
+	}
+}
+
+// TestUnreachableTargetIsError: transport failures must surface as errors,
+// not as "not vulnerable" findings at the plugin level.
+func TestUnreachableTargetIsError(t *testing.T) {
+	n := simnet.New() // empty network
+	env := tsunami.NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	target := tsunami.Target{IP: pluginIP, Port: 2375, Scheme: "http", App: mav.Docker}
+	f, err := pluginFor(t, mav.Docker).Detect(context.Background(), env, target)
+	if err == nil || f != nil {
+		t.Fatalf("unreachable target: f=%v err=%v", f, err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package tsunami implements Stage III of the pipeline: a plugin-based
+// network security scanner modeled on the Tsunami scanner the paper
+// open-sourced. Each missing-authentication vulnerability is verified by a
+// dedicated detection plugin (Appendix A, Table 10).
+//
+// The engine enforces the study's ethics constraint at the API level:
+// plugins interact with targets exclusively through Env, which can only
+// issue non-state-changing GET requests.
+package tsunami
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"mavscan/internal/mav"
+)
+
+// Target is one endpoint to verify, as classified by the prefilter.
+type Target struct {
+	IP     netip.Addr
+	Port   int
+	Scheme string // "http" or "https"
+	App    mav.App
+}
+
+// URL renders the base URL of the target.
+func (t Target) URL() string { return fmt.Sprintf("%s://%s:%d", t.Scheme, t.IP, t.Port) }
+
+// Env is the restricted view of the network a plugin gets. All access goes
+// through GET; there is deliberately no method for POST/PUT/DELETE.
+type Env struct {
+	client *http.Client
+}
+
+// NewEnv wraps an HTTP client for plugin use.
+func NewEnv(client *http.Client) *Env { return &Env{client: client} }
+
+// maxBody caps how much of a response body a plugin may read.
+const maxBody = 512 << 10
+
+// Response is a fetched page, pre-read for convenience.
+type Response struct {
+	Status int
+	Body   string
+	Header http.Header
+}
+
+// Get fetches path (which must start with "/") from the target using a
+// non-state-changing GET request.
+func (e *Env) Get(ctx context.Context, t Target, path string) (*Response, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("tsunami: path %q must be absolute", path)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.URL()+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", "TsunamiSecurityScanner")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: resp.StatusCode, Body: string(body), Header: resp.Header}, nil
+}
+
+// Detector is one MAV verification plugin.
+type Detector interface {
+	// App names the application the plugin covers; the engine routes
+	// prefilter matches to it.
+	App() mav.App
+	// Name identifies the plugin in findings and logs.
+	Name() string
+	// Detect returns a non-nil finding if the target suffers from the
+	// MAV, nil if it does not, and an error only for transport failures.
+	Detect(ctx context.Context, env *Env, t Target) (*mav.Finding, error)
+}
+
+// Registry holds the installed detection plugins.
+type Registry struct {
+	mu        sync.RWMutex
+	detectors map[mav.App][]Detector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{detectors: make(map[mav.App][]Detector)}
+}
+
+// Register installs d.
+func (r *Registry) Register(d Detector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.detectors[d.App()] = append(r.detectors[d.App()], d)
+}
+
+// DetectorsFor returns the plugins covering app.
+func (r *Registry) DetectorsFor(app mav.App) []Detector {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.detectors[app]
+}
+
+// Apps lists the applications with at least one plugin, sorted by name.
+func (r *Registry) Apps() []mav.App {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]mav.App, 0, len(r.detectors))
+	for app := range r.detectors {
+		out = append(out, app)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Engine runs detection plugins against targets.
+type Engine struct {
+	registry *Registry
+	env      *Env
+}
+
+// NewEngine builds an engine using the given plugin registry and client.
+func NewEngine(registry *Registry, client *http.Client) *Engine {
+	return &Engine{registry: registry, env: NewEnv(client)}
+}
+
+// Scan runs every plugin registered for the target's application and
+// returns the confirmed findings. Transport errors from individual plugins
+// are swallowed (an unreachable endpoint is simply not vulnerable *now*),
+// matching the scanning pipeline's semantics.
+func (e *Engine) Scan(ctx context.Context, t Target) []mav.Finding {
+	var findings []mav.Finding
+	for _, det := range e.registry.DetectorsFor(t.App) {
+		f, err := det.Detect(ctx, e.env, t)
+		if err != nil || f == nil {
+			continue
+		}
+		findings = append(findings, *f)
+	}
+	return findings
+}
+
+// --- Matching helpers shared by the plugins ---
+
+// ValidHTML reports whether body looks like an HTML document, the "is
+// valid HTML" step of several plugins.
+func ValidHTML(body string) bool {
+	low := strings.ToLower(body)
+	return strings.Contains(low, "<!doctype html") || strings.Contains(low, "<html")
+}
+
+// HasElementWithID reports whether body contains an HTML element of the
+// given tag carrying id="id" (the 'form#createItem'-style checks).
+func HasElementWithID(body, tag, id string) bool {
+	re := regexp.MustCompile(`(?is)<` + regexp.QuoteMeta(tag) + `\b[^>]*\bid="` + regexp.QuoteMeta(id) + `"`)
+	return re.MatchString(body)
+}
+
+// StripWhitespace removes all whitespace from s; several plugins normalize
+// bodies this way because element spacing differs across versions.
+func StripWhitespace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ParseJSON decodes body into a generic value, reporting ok=false for
+// invalid JSON.
+func ParseJSON(body string) (interface{}, bool) {
+	var v interface{}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// JSONField walks a decoded JSON object along the given keys.
+func JSONField(v interface{}, keys ...string) (interface{}, bool) {
+	cur := v
+	for _, k := range keys {
+		obj, ok := cur.(map[string]interface{})
+		if !ok {
+			return nil, false
+		}
+		cur, ok = obj[k]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}

@@ -1,0 +1,154 @@
+package tsunami
+
+import (
+	"context"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/simnet"
+)
+
+func TestValidHTML(t *testing.T) {
+	cases := []struct {
+		body string
+		want bool
+	}{
+		{"<!DOCTYPE html><html></html>", true},
+		{"<HTML><body></body></HTML>", true},
+		{`{"json": true}`, false},
+		{"plain text", false},
+	}
+	for _, c := range cases {
+		if got := ValidHTML(c.body); got != c.want {
+			t.Errorf("ValidHTML(%q) = %v, want %v", c.body, got, c.want)
+		}
+	}
+}
+
+func TestHasElementWithID(t *testing.T) {
+	body := `<html><body>
+<form class="x" id="createItem" action="/createItem">
+<INPUT type="password" ID="pass1">
+</body></html>`
+	if !HasElementWithID(body, "form", "createItem") {
+		t.Error("form#createItem not found")
+	}
+	if !HasElementWithID(body, "input", "pass1") {
+		t.Error("case-insensitive input#pass1 not found")
+	}
+	if HasElementWithID(body, "div", "createItem") {
+		t.Error("wrong tag matched")
+	}
+	if HasElementWithID(body, "form", "create") {
+		t.Error("id prefix must not match")
+	}
+}
+
+func TestStripWhitespace(t *testing.T) {
+	in := "<li class=\"is-active\">Set up\n\tdatabase</li>\r\n"
+	want := `<liclass="is-active">Setupdatabase</li>`
+	if got := StripWhitespace(in); got != want {
+		t.Fatalf("StripWhitespace = %q, want %q", got, want)
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	v, ok := ParseJSON(`{"a": {"b": {"c": 42}}, "arr": [1,2]}`)
+	if !ok {
+		t.Fatal("valid JSON rejected")
+	}
+	c, ok := JSONField(v, "a", "b", "c")
+	if !ok || c != float64(42) {
+		t.Fatalf("JSONField = %v, %v", c, ok)
+	}
+	if _, ok := JSONField(v, "a", "missing"); ok {
+		t.Error("missing key reported present")
+	}
+	if _, ok := JSONField(v, "arr", "b"); ok {
+		t.Error("walking into an array must fail")
+	}
+	if _, ok := ParseJSON("not json"); ok {
+		t.Error("invalid JSON accepted")
+	}
+}
+
+// fakeDetector flags everything it is routed.
+type fakeDetector struct {
+	app   mav.App
+	calls int
+}
+
+func (d *fakeDetector) App() mav.App { return d.app }
+func (d *fakeDetector) Name() string { return "fake" }
+func (d *fakeDetector) Detect(ctx context.Context, env *Env, target Target) (*mav.Finding, error) {
+	d.calls++
+	return &mav.Finding{App: d.app, Port: target.Port}, nil
+}
+
+func TestRegistryRouting(t *testing.T) {
+	r := NewRegistry()
+	dDocker := &fakeDetector{app: mav.Docker}
+	dHadoop := &fakeDetector{app: mav.Hadoop}
+	r.Register(dDocker)
+	r.Register(dHadoop)
+
+	if got := len(r.DetectorsFor(mav.Docker)); got != 1 {
+		t.Fatalf("DetectorsFor(Docker) = %d", got)
+	}
+	if got := len(r.DetectorsFor(mav.Jenkins)); got != 0 {
+		t.Fatalf("DetectorsFor(Jenkins) = %d", got)
+	}
+	apps := r.Apps()
+	if len(apps) != 2 {
+		t.Fatalf("Apps() = %v", apps)
+	}
+
+	engine := NewEngine(r, http.DefaultClient)
+	findings := engine.Scan(context.Background(), Target{App: mav.Docker, Port: 2375})
+	if len(findings) != 1 || dDocker.calls != 1 || dHadoop.calls != 0 {
+		t.Fatalf("engine routed wrong: findings=%d docker=%d hadoop=%d", len(findings), dDocker.calls, dHadoop.calls)
+	}
+}
+
+func TestEnvGetIsGETOnlyAndAbsolute(t *testing.T) {
+	n := simnet.New()
+	ip := netip.MustParseAddr("10.0.0.1")
+	var method string
+	h := simnet.NewHost(ip)
+	h.Bind(80, httpsim.ConnHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		method = r.Method
+		w.Header().Set("X-Probe", "1")
+		w.Write([]byte(strings.Repeat("x", 16)))
+	})))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	target := Target{IP: ip, Port: 80, Scheme: "http"}
+
+	resp, err := env.Get(context.Background(), target, "/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != http.MethodGet {
+		t.Fatalf("env issued %s, the ethics constraint requires GET", method)
+	}
+	if resp.Status != 200 || resp.Header.Get("X-Probe") != "1" || len(resp.Body) != 16 {
+		t.Fatalf("response not captured: %+v", resp)
+	}
+
+	if _, err := env.Get(context.Background(), target, "relative"); err == nil {
+		t.Fatal("relative paths must be rejected")
+	}
+}
+
+func TestTargetURL(t *testing.T) {
+	target := Target{IP: netip.MustParseAddr("10.1.2.3"), Port: 8443, Scheme: "https", App: mav.Kubernetes}
+	if got := target.URL(); got != "https://10.1.2.3:8443" {
+		t.Fatalf("URL() = %q", got)
+	}
+}

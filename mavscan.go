@@ -1,0 +1,262 @@
+// Package mavscan is a reproduction of "No Keys to the Kingdom Required: A
+// Comprehensive Investigation of Missing Authentication Vulnerabilities in
+// the Wild" (IMC 2022).
+//
+// It provides, as a library:
+//
+//   - the paper's three-stage Internet scanning pipeline (masscan-style
+//     port scanner → signature prefilter → Tsunami-style MAV detection
+//     plugins) plus the version fingerprinter,
+//   - a simulated IPv4 internet populated with emulators of the 25
+//     investigated applications, on which the pipeline runs end to end
+//     over real HTTP/TLS,
+//   - the honeypot farm with Packetbeat/Auditbeat-style monitoring and an
+//     attacker-population model replaying the observed attack landscape,
+//   - the longevity observer, the commercial-scanner emulations, and the
+//     analysis code computing every table and figure of the paper.
+//
+// The fastest way in is the study API:
+//
+//	scan, err := mavscan.RunScan(ctx, mavscan.ScanConfig{
+//		Population: mavscan.PopulationConfig{Seed: 1, HostScale: 4000, VulnScale: 8},
+//	})
+//	...
+//	pots, err := mavscan.RunHoneypots(7)
+//
+// Lower-level building blocks (simnet, emulators, the plugin engine) are
+// re-exported below for custom experiments; see the examples/ directory.
+package mavscan
+
+import (
+	"context"
+	"crypto/tls"
+	"net/http"
+	"net/netip"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/apps"
+	"mavscan/internal/attacker"
+	"mavscan/internal/ctlog"
+	"mavscan/internal/disclosure"
+	"mavscan/internal/eslite"
+	"mavscan/internal/fingerprint"
+	"mavscan/internal/geo"
+	"mavscan/internal/honeypot"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/observer"
+	"mavscan/internal/population"
+	"mavscan/internal/prefilter"
+	"mavscan/internal/scanner"
+	"mavscan/internal/secscan"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/study"
+	"mavscan/internal/tsunami"
+	"mavscan/internal/tsunami/plugins"
+)
+
+// Vocabulary: applications, categories, MAV kinds (internal/mav).
+type (
+	// App identifies one of the 25 investigated applications.
+	App = mav.App
+	// Category is one of the five AWE categories (CI, CMS, CM, NB, CP).
+	Category = mav.Category
+	// AppInfo is one catalog row of Table 1.
+	AppInfo = mav.Info
+	// Finding is a confirmed missing-authentication vulnerability.
+	Finding = mav.Finding
+)
+
+// Catalog returns the 25 investigated applications (Table 1).
+func Catalog() []AppInfo { return mav.Catalog() }
+
+// InScopeApps returns the 18 applications with a MAV.
+func InScopeApps() []AppInfo { return mav.InScopeApps() }
+
+// ScanPorts returns the 12 ports of Stage I.
+func ScanPorts() []int { return mav.ScanPorts() }
+
+// Simulated internet substrate (internal/simnet, internal/httpsim).
+type (
+	// Network is the simulated IPv4 internet.
+	Network = simnet.Network
+	// Host is one addressable machine in it.
+	Host = simnet.Host
+	// CA mints in-memory certificates for simulated HTTPS hosts.
+	CA = httpsim.CA
+	// SimClock is the simulated clock with a discrete event queue.
+	SimClock = simtime.Sim
+)
+
+// NewNetwork returns an empty simulated internet.
+func NewNetwork() *Network { return simnet.New() }
+
+// NewHost returns an online host with no bound ports.
+func NewHost(ip netip.Addr) *Host { return simnet.NewHost(ip) }
+
+// ServeHTTP returns a connection handler serving h as plain HTTP, for
+// binding onto a Host port.
+func ServeHTTP(h http.Handler) simnet.ConnHandler { return httpsim.ConnHandler(h) }
+
+// ServeHTTPS returns a connection handler performing a real TLS handshake
+// with cert before serving h.
+func ServeHTTPS(h http.Handler, cert tls.Certificate) simnet.ConnHandler {
+	return httpsim.TLSConnHandler(h, cert)
+}
+
+// NewCA creates an in-memory certificate authority.
+func NewCA() (*CA, error) { return httpsim.NewCA() }
+
+// NewHTTPClient returns an HTTP client dialing through the simulated
+// network (TLS verification disabled, as scanners do).
+func NewHTTPClient(n *Network) *http.Client {
+	return httpsim.NewClient(n, httpsim.ClientOptions{})
+}
+
+// Application emulators (internal/apps).
+type (
+	// AppConfig configures one emulated application instance.
+	AppConfig = apps.Config
+	// AppInstance is a running emulated application.
+	AppInstance = apps.Instance
+)
+
+// NewApp builds an emulated application instance.
+func NewApp(cfg AppConfig) (*AppInstance, error) { return apps.New(cfg) }
+
+// The scanning pipeline (internal/scanner and friends).
+type (
+	// Pipeline is the three-stage scanning pipeline.
+	Pipeline = scanner.Pipeline
+	// ScanOptions configure a pipeline run.
+	ScanOptions = scanner.Options
+	// ScanReport is a pipeline outcome.
+	ScanReport = scanner.Report
+	// AppObservation is one per-(host, application) scan result.
+	AppObservation = scanner.AppObservation
+	// PrefilterResult is a Stage-II probe outcome.
+	PrefilterResult = prefilter.Result
+	// Detector is a Stage-III MAV detection plugin.
+	Detector = tsunami.Detector
+	// DetectorRegistry holds detection plugins.
+	DetectorRegistry = tsunami.Registry
+	// FingerprintResult is a version-fingerprinting outcome.
+	FingerprintResult = fingerprint.Result
+)
+
+// NewPipeline assembles the full pipeline over a simulated network.
+func NewPipeline(n *Network) *Pipeline { return scanner.New(n) }
+
+// NewDetectorRegistry returns a registry with all 18 plugins installed.
+func NewDetectorRegistry() *DetectorRegistry { return plugins.NewRegistry() }
+
+// World generation (internal/population, internal/geo).
+type (
+	// PopulationConfig tunes the world generator.
+	PopulationConfig = population.Config
+	// World is a generated simulated internet plus ground truth.
+	World = population.World
+	// GeoDB resolves addresses to country/AS metadata.
+	GeoDB = geo.DB
+)
+
+// GenerateWorld builds a simulated internet following the paper's
+// published population marginals.
+func GenerateWorld(cfg PopulationConfig) (*World, error) { return population.Generate(cfg) }
+
+// DefaultGeoDB returns the study's address plan.
+func DefaultGeoDB() *GeoDB { return geo.Default() }
+
+// Honeypots and attackers (internal/honeypot, internal/attacker,
+// internal/eslite).
+type (
+	// HoneypotFarm manages the 18-honeypot deployment.
+	HoneypotFarm = honeypot.Farm
+	// EventStore is the central append-only monitoring store.
+	EventStore = eslite.Store
+	// AttackPlan is a four-week attack schedule.
+	AttackPlan = attacker.Plan
+	// Attack is one sessionized attack recovered from monitoring.
+	Attack = analysis.Attack
+	// AttackerCluster is one inferred attacker (RQ6).
+	AttackerCluster = analysis.AttackerCluster
+)
+
+// Studies: the paper's experiments end to end (internal/study).
+type (
+	// ScanConfig bundles world generation and scan parameters.
+	ScanConfig = study.ScanConfig
+	// ScanStudy is the Section-3 experiment result.
+	ScanStudy = study.ScanStudy
+	// LongevityConfig tunes the four-week observation.
+	LongevityConfig = study.LongevityConfig
+	// LongevityResult is the Figure-2 dataset.
+	LongevityResult = observer.Result
+	// HoneypotStudy is the Section-4 experiment result.
+	HoneypotStudy = study.HoneypotStudy
+	// DefenderStudy is the Section-5 experiment result.
+	DefenderStudy = study.DefenderStudy
+	// SummaryRow is one row of Table 9.
+	SummaryRow = study.SummaryRow
+)
+
+// RunScan generates a world and runs the full pipeline on it (Tables 2-4,
+// Figure 1).
+func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
+	return study.RunScan(ctx, cfg)
+}
+
+// RunLongevity replays the four-week observation of the scan's vulnerable
+// hosts (Figure 2).
+func RunLongevity(s *ScanStudy, cfg LongevityConfig) *LongevityResult {
+	return study.RunLongevity(s, cfg)
+}
+
+// RunHoneypots deploys the 18 honeypots and replays the attacker model
+// (Tables 5-8, Figures 3-4).
+func RunHoneypots(seed int64) (*HoneypotStudy, error) { return study.RunHoneypots(seed) }
+
+// RunDefenders points the two emulated commercial scanners at a fresh
+// honeypot farm (RQ7).
+func RunDefenders() (*DefenderStudy, error) { return study.RunDefenders() }
+
+// Table9 joins the three studies into the paper's summary table.
+func Table9(scan *ScanStudy, pots *HoneypotStudy, def *DefenderStudy) []SummaryRow {
+	return study.Table9(scan, pots, def)
+}
+
+// Scanner emulations (internal/secscan).
+type (
+	// CommercialScanner is one emulated industry scanner.
+	CommercialScanner = secscan.Scanner
+	// ScannerFinding is one of its reports.
+	ScannerFinding = secscan.Finding
+)
+
+// Responsible disclosure (internal/disclosure) and the CT-log extension
+// (internal/ctlog).
+type (
+	// DisclosureFinding is one vulnerable endpoint to report to its
+	// owner or hosting provider.
+	DisclosureFinding = disclosure.Finding
+	// DisclosurePlan batches notifications per provider and derives
+	// direct contacts from TLS certificates.
+	DisclosurePlan = disclosure.Plan
+	// CTLog is the simulated certificate-transparency log.
+	CTLog = ctlog.Log
+	// CTExperimentConfig tunes the CT-vs-sweep attacker race.
+	CTExperimentConfig = ctlog.ExperimentConfig
+)
+
+// NewDisclosureBuilder constructs disclosure plans over a simulated
+// network and address plan.
+func NewDisclosureBuilder(n *Network, db *GeoDB) *disclosure.Builder {
+	return disclosure.New(n, db)
+}
+
+// RunCTExperiment runs the Section-6.2 extension: a CT-log-watching
+// attacker racing a full-sweep attacker for fresh installations.
+func RunCTExperiment(cfg CTExperimentConfig) (ctlog.ExperimentResult, error) {
+	return ctlog.RunExperiment(cfg)
+}

@@ -1,0 +1,113 @@
+package mavscan_test
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"mavscan"
+)
+
+// ExampleNewPipeline shows the minimal end-to-end flow: deploy an emulated
+// vulnerable application, scan it, read the finding.
+func ExampleNewPipeline() {
+	net := mavscan.NewNetwork()
+	inst, _ := mavscan.NewApp(mavscan.AppConfig{App: "Docker"})
+	host := mavscan.NewHost(netip.MustParseAddr("10.0.0.3"))
+	host.Bind(2375, mavscan.ServeHTTP(inst.Handler()))
+	_ = net.AddHost(host)
+
+	report, _ := mavscan.NewPipeline(net).Run(context.Background(), mavscan.ScanOptions{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/29")},
+	})
+	for _, obs := range report.Apps {
+		fmt.Println(obs.App, obs.Version, "vulnerable:", obs.Vulnerable())
+	}
+	// Output: Docker 20.10.6 vulnerable: true
+}
+
+func TestPublicCatalogAccessors(t *testing.T) {
+	if got := len(mavscan.Catalog()); got != 25 {
+		t.Fatalf("Catalog() = %d apps", got)
+	}
+	if got := len(mavscan.InScopeApps()); got != 18 {
+		t.Fatalf("InScopeApps() = %d apps", got)
+	}
+	if got := len(mavscan.ScanPorts()); got != 12 {
+		t.Fatalf("ScanPorts() = %d ports", got)
+	}
+}
+
+func TestPublicHTTPSPath(t *testing.T) {
+	net := mavscan.NewNetwork()
+	ca, err := mavscan.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := mavscan.NewApp(mavscan.AppConfig{App: "Kubernetes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := netip.MustParseAddr("10.0.0.5")
+	cert, err := ca.CertFor("kube.example.org", ip.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := mavscan.NewHost(ip)
+	host.Bind(6443, mavscan.ServeHTTPS(inst.Handler(), cert))
+	if err := net.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	client := mavscan.NewHTTPClient(net)
+	resp, err := client.Get("https://10.0.0.5:6443/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("kube /version over TLS: %d", resp.StatusCode)
+	}
+}
+
+func TestPublicStudyFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small scan study")
+	}
+	scan, err := mavscan.RunScan(context.Background(), mavscan.ScanConfig{
+		Population: mavscan.PopulationConfig{
+			Seed: 2, HostScale: 100000, VulnScale: 40,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Report.VulnerableObservations()) == 0 {
+		t.Fatal("scan found nothing")
+	}
+	// The disclosure extension consumes the scan output directly.
+	var findings []mavscan.DisclosureFinding
+	for _, obs := range scan.Report.VulnerableObservations() {
+		findings = append(findings, mavscan.DisclosureFinding{
+			IP: obs.IP, Port: obs.Port, App: obs.App, TLS: obs.Scheme == "https",
+		})
+	}
+	plan := mavscan.NewDisclosureBuilder(scan.World.Net, scan.World.Geo).Build(context.Background(), findings)
+	if plan.Notifiable() == 0 {
+		t.Fatal("no notifiable findings")
+	}
+}
+
+func TestPublicCTExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a week of deployments")
+	}
+	res, err := mavscan.RunCTExperiment(mavscan.CTExperimentConfig{Seed: 4, Deployments: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CTHijacked == 0 {
+		t.Fatal("CT attacker idle")
+	}
+}
