@@ -67,6 +67,9 @@ var (
 // BenchmarkTable3Prevalence).
 func sharedScan(b *testing.B) *study.ScanStudy {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full scan study is slow; skipped in -short mode")
+	}
 	scanOnce.Do(func() {
 		s, err := study.RunScan(context.Background(), benchScanConfig())
 		if err != nil {
@@ -82,6 +85,9 @@ func sharedScan(b *testing.B) *study.ScanStudy {
 
 func sharedPots(b *testing.B) *study.HoneypotStudy {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("honeypot study is slow; skipped in -short mode")
+	}
 	potsOnce.Do(func() {
 		hs, err := study.RunHoneypots(7)
 		if err != nil {
@@ -324,6 +330,9 @@ func BenchmarkAblationPrefilterOff(b *testing.B) {
 }
 
 func benchPrefilterAblation(b *testing.B, usePrefilter bool) {
+	if testing.Short() {
+		b.Skip("400k-host ablation world is slow; skipped in -short mode")
+	}
 	world, err := population.Generate(population.Config{
 		Seed: 1, HostScale: 8000, VulnScale: 8,
 		BackgroundScale: 400000, WildcardScale: -1,

@@ -1,0 +1,116 @@
+// Command mavlint runs mavscan's repo-specific static-analysis suite.
+//
+// The suite enforces the invariants the paper's methodology depends on —
+// GET-only detection probes, simulated-clock determinism, network
+// hermeticity, bounded goroutines, and no dropped scan errors. See
+// internal/lint for the analyzers and DESIGN.md for the mapping to paper
+// constraints.
+//
+// Usage:
+//
+//	mavlint [-rules list] [./... | <module-dir>]
+//
+// With "./..." (or no argument) the module containing the working
+// directory is analyzed. A directory argument holding a go.mod is
+// analyzed as its own module root, which is how the checked-in violation
+// fixtures under internal/lint/testdata are exercised.
+//
+// Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mavscan/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mavlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "print the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "mavlint:", err)
+		return 2
+	}
+
+	root, err := resolveRoot(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "mavlint:", err)
+		return 2
+	}
+
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "mavlint:", err)
+		return 2
+	}
+
+	findings := lint.RunSuite(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "mavlint: %d violation(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -rules flag to a suite subset.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	if rules == "" {
+		return lint.Analyzers(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// resolveRoot maps the package-pattern argument to a module root: an
+// explicit directory containing go.mod wins; otherwise ("./..." or
+// nothing) the module enclosing the working directory is used.
+func resolveRoot(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("at most one package pattern expected, got %d", len(args))
+	}
+	if len(args) == 1 && args[0] != "./..." {
+		dir := filepath.Clean(args[0])
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		return "", fmt.Errorf("argument %q is neither ./... nor a module directory", args[0])
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	return lint.FindModuleRoot(wd)
+}

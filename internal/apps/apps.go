@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mavscan/internal/mav"
+	"mavscan/internal/simtime"
 )
 
 // ExecSink receives every system command an emulated application executes
@@ -102,7 +103,7 @@ func New(cfg Config) (*Instance, error) {
 		cfg.Options = map[string]bool{}
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = wallClock{}
+		cfg.Clock = simtime.Wall{}
 	}
 	if info.Kind != mav.KindInstall {
 		cfg.Installed = true
@@ -115,10 +116,6 @@ func New(cfg Config) (*Instance, error) {
 	inst.handler = build(inst)
 	return inst, nil
 }
-
-type wallClock struct{}
-
-func (wallClock) Now() time.Time { return time.Now() }
 
 // builders maps each application to its handler constructor. Each category
 // file registers its emulators here via register.

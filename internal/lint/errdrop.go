@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdropScope lists the scan-pipeline packages where a silently dropped
+// error can corrupt study results (a probe failure misread as "not
+// vulnerable", a fingerprint parse failure misread as "no version").
+// Simulation scaffolding and report rendering stay out of scope.
+var errdropScope = []string{
+	"mavscan/internal/portscan",
+	"mavscan/internal/prefilter",
+	"mavscan/internal/fingerprint",
+	"mavscan/internal/tsunami",
+	"mavscan/internal/scanner",
+	"mavscan/internal/observer",
+	"mavscan/internal/secscan",
+}
+
+// AnalyzerErrDrop flags error values assigned to the blank identifier in
+// scan-pipeline packages.
+var AnalyzerErrDrop = &Analyzer{
+	Name:  "errdrop",
+	Doc:   "scan-pipeline code must not assign error returns to _",
+	Paper: "probe failures must be classified, not discarded (§3.2 measurement validity)",
+	Run:   runErrDrop,
+}
+
+func runErrDrop(pkg *Package) []Finding {
+	if !pathUnderAny(pkg.Path, errdropScope) {
+		return nil
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				ident, ok := lhs.(*ast.Ident)
+				if !ok || ident.Name != "_" {
+					continue
+				}
+				t := rhsType(pkg, assign, i)
+				if t != nil && types.Implements(t, errIface) {
+					out = append(out, Finding{
+						Pos:  pkg.position(ident),
+						Rule: "errdrop",
+						Msg:  "error result assigned to _; classify or propagate scan-pipeline failures",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rhsType resolves the type of the i-th assigned value, unpacking the
+// tuple of a single multi-value call on the right-hand side.
+func rhsType(pkg *Package, assign *ast.AssignStmt, i int) types.Type {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		tv, ok := pkg.Info.Types[assign.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			return nil
+		}
+		return tuple.At(i).Type()
+	}
+	if i >= len(assign.Rhs) {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[assign.Rhs[i]]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}

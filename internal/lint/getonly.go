@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// getonlyScope lists the detection-path packages restricted to
+// non-state-changing requests. The paper's ethics rules (§3.1, Appendix A)
+// allow MAV detection to issue only GET requests against live hosts, so
+// everything that builds probes for the scanning pipeline is in scope.
+var getonlyScope = []string{
+	"mavscan/internal/tsunami/plugins",
+	"mavscan/internal/prefilter",
+	"mavscan/internal/fingerprint",
+}
+
+// getonlyAllowed documents the packages where state-changing requests are
+// the point and therefore deliberately NOT in scope: the attacker emulation
+// replays real exploitation traffic against honeypot instances we own, and
+// the honeypot/apps layers *serve* such requests rather than sending them.
+var getonlyAllowed = []string{
+	"mavscan/internal/attacker",
+	"mavscan/internal/honeypot",
+	"mavscan/internal/apps",
+}
+
+// getonlySafeMethods are the request methods detection probes may use.
+var getonlySafeMethods = map[string]bool{
+	"GET":     true,
+	"HEAD":    true,
+	"OPTIONS": true,
+}
+
+// AnalyzerGetOnly flags construction of state-changing HTTP requests in
+// the detection-path packages.
+var AnalyzerGetOnly = &Analyzer{
+	Name:  "getonly",
+	Doc:   "detection-path packages must only construct non-state-changing HTTP requests",
+	Paper: "§3.1 / Appendix A: MAV detection is restricted to GET requests",
+	Run:   runGetOnly,
+}
+
+func runGetOnly(pkg *Package) []Finding {
+	if !pathUnderAny(pkg.Path, getonlyScope) || pathUnderAny(pkg.Path, getonlyAllowed) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pkg.Info.Uses[e.Sel]
+				if objectFromPkg(obj, "net/http", "MethodPost", "MethodPut", "MethodDelete", "MethodPatch") {
+					out = append(out, Finding{
+						Pos:  pkg.position(e),
+						Rule: "getonly",
+						Msg:  fmt.Sprintf("reference to http.%s in detection-path package (scan probes must be GET-only)", obj.Name()),
+					})
+				}
+				// Both the package helpers (http.Post) and the client
+				// methods (client.Post) build state-changing requests;
+				// only same-named struct fields (Request.PostForm) pass.
+				if _, isFunc := obj.(*types.Func); isFunc && objectFromPkg(obj, "net/http", "Post", "PostForm") {
+					out = append(out, Finding{
+						Pos:  pkg.position(e),
+						Rule: "getonly",
+						Msg:  fmt.Sprintf("call to %s constructs a state-changing request (scan probes must be GET-only)", obj.Name()),
+					})
+				}
+			case *ast.CallExpr:
+				if f := requestMethodArg(pkg, e); f != nil {
+					out = append(out, *f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// requestMethodArg inspects http.NewRequest / http.NewRequestWithContext
+// calls whose method argument is a compile-time string that is not a safe
+// method. Methods named via the http.Method* constants are caught by the
+// selector check instead.
+func requestMethodArg(pkg *Package, call *ast.CallExpr) *Finding {
+	obj := usedObject(pkg.Info, call.Fun)
+	var methodIdx int
+	switch {
+	case objectFromPkg(obj, "net/http", "NewRequest"):
+		methodIdx = 0
+	case objectFromPkg(obj, "net/http", "NewRequestWithContext"):
+		methodIdx = 1
+	default:
+		return nil
+	}
+	if len(call.Args) <= methodIdx {
+		return nil
+	}
+	arg := call.Args[methodIdx]
+	// An http.Method* constant as the argument is already reported by the
+	// selector check; don't double-count it.
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if obj := pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			return nil
+		}
+	}
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	method := constant.StringVal(tv.Value)
+	if getonlySafeMethods[method] {
+		return nil
+	}
+	return &Finding{
+		Pos:  pkg.position(arg),
+		Rule: "getonly",
+		Msg:  fmt.Sprintf("request built with method %q in detection-path package (scan probes must be GET-only)", method),
+	}
+}

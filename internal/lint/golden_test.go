@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadModuleGolden loads the checked-in violation fixtures as their own
+// module and compares the full suite output against the golden file. The
+// fixtures double as the end-to-end demonstration required of mavlint:
+// `go run ./cmd/mavlint ./internal/lint/testdata/badmodule` exits non-zero
+// with exactly these diagnostics.
+func TestBadModuleGolden(t *testing.T) {
+	root := filepath.Join("testdata", "badmodule")
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	findings := RunSuite(pkgs, Analyzers())
+	var lines []string
+	for _, f := range findings {
+		lines = append(lines, filepath.ToSlash(f.String()))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	goldenPath := filepath.Join("testdata", "badmodule.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("suite output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+
+	// Every rule must be represented: the fixtures are the regression net
+	// for the whole suite, not just for whichever analyzer last changed.
+	for _, a := range Analyzers() {
+		if !strings.Contains(got, "["+a.Name+"]") {
+			t.Errorf("fixture module triggers no %q finding", a.Name)
+		}
+	}
+}
+
+// TestBadModulePerRule runs each analyzer alone over the fixture module and
+// checks it reports findings only for its own rule, in its own fixture
+// package.
+func TestBadModulePerRule(t *testing.T) {
+	pkgs, err := LoadModule(filepath.Join("testdata", "badmodule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			findings := RunSuite(pkgs, []*Analyzer{a})
+			if len(findings) == 0 {
+				t.Fatalf("analyzer %q found nothing in the fixture module", a.Name)
+			}
+			for _, f := range findings {
+				if f.Rule != a.Name {
+					t.Errorf("analyzer %q produced finding for rule %q", a.Name, f.Rule)
+				}
+			}
+		})
+	}
+}

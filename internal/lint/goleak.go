@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGoLeak flags `go func(){...}()` literals whose body shows no
+// evidence of a lifecycle tie: no sync.WaitGroup bookkeeping, no channel
+// operation that a collector can drain, and no context cancellation
+// check. Such goroutines outlive the scan that spawned them, which breaks
+// both determinism (work races the simulated clock) and the race
+// detector's ability to bound a test run.
+var AnalyzerGoLeak = &Analyzer{
+	Name:  "goleak",
+	Doc:   "goroutine literals must be tied to a WaitGroup, channel, or context cancellation",
+	Paper: "bounded concurrency keeps the replayed experiments deterministic",
+	Run:   runGoLeak,
+}
+
+func runGoLeak(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := stmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				// `go name(...)` delegates lifecycle to the named
+				// function; the rule targets inline literals.
+				return true
+			}
+			if !goroutineTied(pkg, lit) {
+				out = append(out, Finding{
+					Pos:  pkg.position(stmt),
+					Rule: "goleak",
+					Msg:  "goroutine literal has no WaitGroup, channel, or context tie; it can leak past the scan",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineTied reports whether the goroutine body contains at least one
+// recognised lifecycle anchor.
+func goroutineTied(pkg *Package, lit *ast.FuncLit) bool {
+	tied := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			// Sending on a channel: a collector on the other side
+			// observes completion.
+			tied = true
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				tied = true
+			}
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if ident, ok := e.Fun.(*ast.Ident); ok && ident.Name == "close" {
+				if obj := pkg.Info.Uses[ident]; obj != nil && obj.Pkg() == nil {
+					tied = true // builtin close(ch)
+				}
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				obj := pkg.Info.Uses[sel.Sel]
+				if isWaitGroupMethod(obj) || isContextMethod(obj) {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isWaitGroupMethod reports whether obj is sync.WaitGroup.Done/Add/Wait.
+func isWaitGroupMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Done", "Add", "Wait":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// isContextMethod reports whether obj is a method of context.Context
+// (Done, Err, Deadline, Value) — checking any of them inside the body
+// counts as a cancellation tie.
+func isContextMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}

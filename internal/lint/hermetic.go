@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// hermeticExempt lists the packages that implement the simulated network
+// and therefore legitimately touch net primitives (simnet builds the
+// in-process internet out of net.Pipe; httpsim adapts it to net/http).
+var hermeticExempt = []string{
+	"mavscan/internal/simnet",
+	"mavscan/internal/httpsim",
+}
+
+// hermeticNetBanned are the net-package entry points that would open real
+// sockets. Address parsing and net.Conn plumbing remain allowed — only
+// functions that reach the host network stack are banned.
+var hermeticNetBanned = []string{
+	"Dial", "DialTimeout", "DialIP", "DialTCP", "DialUDP", "DialUnix",
+	"Listen", "ListenIP", "ListenTCP", "ListenUDP", "ListenPacket",
+	"ListenUnix", "FileConn", "FileListener",
+}
+
+// hermeticHTTPBanned are the net/http globals and helpers that carry an
+// implicit real-network transport. Scanning code must route every request
+// through a client whose transport dials simnet.
+var hermeticHTTPBanned = []string{
+	"DefaultClient", "DefaultTransport", "Get", "Head", "Post", "PostForm",
+}
+
+// AnalyzerHermetic flags real-network access outside the simulation layer.
+var AnalyzerHermetic = &Analyzer{
+	Name:  "hermetic",
+	Doc:   "only simnet/httpsim may touch net dialers/listeners or net/http defaults",
+	Paper: "offline reproduction must never probe the live IPv4 space (§3.1 ethics)",
+	Run:   runHermetic,
+}
+
+func runHermetic(pkg *Package) []Finding {
+	if !pathIsOrUnder(pkg.Path, "mavscan/internal") || pathUnderAny(pkg.Path, hermeticExempt) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if !packageLevel(obj) {
+				return true
+			}
+			switch {
+			case objectFromPkg(obj, "net", hermeticNetBanned...):
+				out = append(out, Finding{
+					Pos:  pkg.position(sel),
+					Rule: "hermetic",
+					Msg:  fmt.Sprintf("net.%s opens a real socket; all traffic must flow through simnet", obj.Name()),
+				})
+			case objectFromPkg(obj, "net", "Dialer"):
+				out = append(out, Finding{
+					Pos:  pkg.position(sel),
+					Rule: "hermetic",
+					Msg:  "net.Dialer reaches the host network stack; dial through simnet instead",
+				})
+			case objectFromPkg(obj, "net/http", hermeticHTTPBanned...):
+				out = append(out, Finding{
+					Pos:  pkg.position(sel),
+					Rule: "hermetic",
+					Msg:  fmt.Sprintf("http.%s uses the real-network default transport; inject a simnet-backed client", obj.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

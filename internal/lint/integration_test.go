@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepositoryIsClean runs the full suite over the real module and
+// requires zero findings — the invariant every merged tree must hold.
+// This is the in-process twin of `go run ./cmd/mavlint ./...`.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; loader lost part of the module", len(pkgs), root)
+	}
+	findings := RunSuite(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

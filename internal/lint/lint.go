@@ -1,0 +1,166 @@
+// Package lint is mavscan's in-repo static-analysis engine.
+//
+// The paper's methodology imposes invariants that ordinary Go tooling
+// cannot check: MAV detection probes must be non-state-changing GET
+// requests (§3.1, Appendix A), the longitudinal experiments must replay
+// deterministically on the simulated clock, and the simulation must never
+// reach the real network. Each invariant is encoded as an Analyzer over
+// the type-checked AST of every package in the module; cmd/mavlint runs
+// the suite and fails the build on any violation, so scale-up refactors
+// cannot silently break the study's safety or reproducibility rules.
+//
+// The engine is deliberately dependency-free: it uses only go/parser,
+// go/ast, go/types and go/importer from the standard library.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: [rule] message"
+// diagnostic format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Package is one loaded, type-checked package presented to analyzers.
+type Package struct {
+	// Path is the import path, e.g. "mavscan/internal/portscan".
+	Path string
+	// Fset positions the ASTs in Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources of the package.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries identifier resolution and expression types.
+	Info *types.Info
+}
+
+// Analyzer is a single named rule.
+type Analyzer struct {
+	// Name is the rule identifier printed inside [brackets].
+	Name string
+	// Doc is a one-line description shown by mavlint -rules.
+	Doc string
+	// Paper names the paper constraint the rule encodes.
+	Paper string
+	// Run inspects one package and returns its violations.
+	Run func(pkg *Package) []Finding
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerGetOnly,
+		AnalyzerSimClock,
+		AnalyzerHermetic,
+		AnalyzerGoLeak,
+		AnalyzerErrDrop,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunSuite applies every analyzer to every package and returns the
+// findings sorted by file, line, then rule.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// pathIsOrUnder reports whether path equals prefix or is a package below
+// it (segment-aware, so "a/bc" is not under "a/b").
+func pathIsOrUnder(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// pathUnderAny reports whether path is or sits under any of the prefixes.
+func pathUnderAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pathIsOrUnder(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// usedObject resolves an identifier or selector to the object it refers
+// to, or nil.
+func usedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// objectFromPkg reports whether obj is declared in the package with the
+// given import path and has one of the given names.
+func objectFromPkg(obj types.Object, pkgPath string, names ...string) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// packageLevel reports whether obj is a package-level function, variable,
+// or constant — as opposed to a method or struct field that merely shares
+// a name with one (time.Time.After vs time.After, http.Header.Get vs
+// http.Get).
+func packageLevel(obj types.Object) bool {
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		return ok && sig.Recv() == nil
+	case *types.Var:
+		return !o.IsField()
+	}
+	return true
+}
+
+// position returns the token.Position of a node within pkg.
+func (pkg *Package) position(n ast.Node) token.Position {
+	return pkg.Fset.Position(n.Pos())
+}

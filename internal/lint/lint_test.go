@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// analyzerCase is one fixture source checked by one analyzer.
+type analyzerCase struct {
+	name       string
+	importPath string
+	src        string
+	// want lists the expected findings as "line:rule", in order.
+	want []string
+}
+
+// runCase loads src as an in-memory package and returns the analyzer's
+// findings formatted "line:rule".
+func runCase(t *testing.T, a *Analyzer, c analyzerCase) []string {
+	t.Helper()
+	pkg, err := LoadSource(c.importPath, map[string]string{"fixture.go": c.src})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	var got []string
+	for _, f := range a.Run(pkg) {
+		got = append(got, fmt.Sprintf("%d:%s", f.Pos.Line, f.Rule))
+	}
+	return got
+}
+
+func checkCases(t *testing.T, a *Analyzer, cases []analyzerCase) {
+	t.Helper()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := runCase(t, a, c)
+			if fmt.Sprint(got) != fmt.Sprint(c.want) {
+				t.Errorf("findings = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestGetOnly(t *testing.T) {
+	const postProbe = `package p
+import "net/http"
+func Probe(c *http.Client) {
+	req, _ := http.NewRequest(http.MethodPost, "http://x/install", nil)
+	c.Do(req)
+}
+`
+	checkCases(t, AnalyzerGetOnly, []analyzerCase{
+		{
+			name:       "post constant in detection path",
+			importPath: "mavscan/internal/prefilter",
+			src:        postProbe,
+			want:       []string{"4:getonly"},
+		},
+		{
+			name:       "same code allowed in attacker emulation",
+			importPath: "mavscan/internal/attacker",
+			src:        postProbe,
+			want:       nil,
+		},
+		{
+			name:       "string-literal method",
+			importPath: "mavscan/internal/fingerprint",
+			src: `package p
+import "net/http"
+func Probe() { http.NewRequest("PUT", "http://x", nil) }
+`,
+			want: []string{"3:getonly"},
+		},
+		{
+			name:       "client.Post helper",
+			importPath: "mavscan/internal/tsunami/plugins",
+			src: `package p
+import "net/http"
+func Probe(c *http.Client) { c.Post("http://x", "text/plain", nil) }
+`,
+			want: []string{"3:getonly"},
+		},
+		{
+			name:       "GET probe is clean",
+			importPath: "mavscan/internal/prefilter",
+			src: `package p
+import "net/http"
+func Probe(c *http.Client) {
+	req, _ := http.NewRequest(http.MethodGet, "http://x/login", nil)
+	c.Do(req)
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "PostForm struct field is not a request",
+			importPath: "mavscan/internal/prefilter",
+			src: `package p
+import "net/http"
+func Inspect(r *http.Request) int { return len(r.PostForm) }
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestSimClock(t *testing.T) {
+	checkCases(t, AnalyzerSimClock, []analyzerCase{
+		{
+			name:       "time.Now in internal package",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+import "time"
+func Stamp() time.Time { return time.Now() }
+`,
+			want: []string{"3:simclock"},
+		},
+		{
+			name:       "time.Sleep and time.Since",
+			importPath: "mavscan/internal/portscan",
+			src: `package p
+import "time"
+func Pace(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+`,
+			want: []string{"4:simclock", "5:simclock"},
+		},
+		{
+			name:       "simtime itself is exempt",
+			importPath: "mavscan/internal/simtime",
+			src: `package p
+import "time"
+func Now() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+		{
+			name:       "time.Time.After method is not the ambient clock",
+			importPath: "mavscan/internal/population",
+			src: `package p
+import "time"
+func Later(a, b time.Time) bool { return a.After(b) }
+`,
+			want: nil,
+		},
+		{
+			name:       "cmd packages are out of scope",
+			importPath: "mavscan/cmd/mavscan",
+			src: `package main
+import "time"
+func stamp() time.Time { return time.Now() }
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestHermetic(t *testing.T) {
+	const dialSrc = `package p
+import "net"
+func Open(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+`
+	checkCases(t, AnalyzerHermetic, []analyzerCase{
+		{
+			name:       "net.Dial in pipeline code",
+			importPath: "mavscan/internal/tsunami",
+			src:        dialSrc,
+			want:       []string{"3:hermetic"},
+		},
+		{
+			name:       "simnet is exempt",
+			importPath: "mavscan/internal/simnet",
+			src:        dialSrc,
+			want:       nil,
+		},
+		{
+			name:       "http.DefaultClient and net.Listen",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+import (
+	"net"
+	"net/http"
+)
+func Serve(addr string) {
+	http.DefaultClient.Get("http://" + addr)
+	net.Listen("tcp", addr)
+}
+`,
+			want: []string{"7:hermetic", "8:hermetic"},
+		},
+		{
+			name:       "injected client and header access are clean",
+			importPath: "mavscan/internal/prefilter",
+			src: `package p
+import "net/http"
+func Probe(c *http.Client, u string) (string, error) {
+	resp, err := c.Get(u)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	return resp.Header.Get("Server"), nil
+}
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestGoLeak(t *testing.T) {
+	checkCases(t, AnalyzerGoLeak, []analyzerCase{
+		{
+			name:       "untied goroutine",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+func Spawn(work func()) {
+	go func() {
+		work()
+	}()
+}
+`,
+			want: []string{"3:goleak"},
+		},
+		{
+			name:       "waitgroup tie",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+import "sync"
+func Spawn(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "channel send tie",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+func Spawn() <-chan int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "context cancellation tie",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+import "context"
+func Spawn(ctx context.Context, work func()) {
+	go func() {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "named function delegates lifecycle",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+func worker() {}
+func Spawn() { go worker() }
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestErrDrop(t *testing.T) {
+	checkCases(t, AnalyzerErrDrop, []analyzerCase{
+		{
+			name:       "dropped error from multi-return",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+import "strconv"
+func Parse(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+`,
+			want: []string{"4:errdrop"},
+		},
+		{
+			name:       "dropped single error value",
+			importPath: "mavscan/internal/tsunami",
+			src: `package p
+import "errors"
+func fail() error { return errors.New("x") }
+func Run() { _ = fail() }
+`,
+			want: []string{"4:errdrop"},
+		},
+		{
+			name:       "comma-ok is not an error",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+func Lookup(m map[string]int, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "non-pipeline package is out of scope",
+			importPath: "mavscan/internal/report",
+			src: `package p
+import "strconv"
+func Parse(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of unknown rule should be nil")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	pkg, err := LoadSource("mavscan/internal/portscan", map[string]string{"fixture.go": `package p
+import "time"
+var T = time.Now()
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := AnalyzerSimClock.Run(pkg)
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1", len(fs))
+	}
+	want := "fixture.go:3: [simclock] direct call of time.Now breaks simulated-time determinism (inject a simtime.Clock)"
+	if fs[0].String() != want {
+		t.Errorf("String() = %q, want %q", fs[0].String(), want)
+	}
+}

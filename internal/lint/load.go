@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses and type-checks every package of the Go module rooted
+// at root (the directory containing go.mod). Test files (_test.go),
+// testdata trees, hidden directories, and nested modules are skipped, the
+// same set of sources `go build ./...` would compile.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(modPath, root)
+	dirs, err := ld.discover()
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, imp := range dirs {
+		p, err := ld.load(imp)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadSource type-checks a single in-memory package for analyzer tests.
+// files maps file names to source text; importPath controls which
+// path-scoped rules apply. Imports must be resolvable by the compiler's
+// default importer (i.e. standard library only).
+func LoadSource(importPath string, files map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return typeCheck(importPath, fset, parsed, importer.Default())
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// loader loads module-local packages from source, delegating all other
+// imports (the standard library) to the compiler's export-data importer.
+type loader struct {
+	module  string
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // import path -> loaded (nil while empty dir)
+	loading map[string]bool     // cycle detection
+}
+
+func newLoader(module, root string) *loader {
+	return &loader{
+		module:  module,
+		root:    root,
+		fset:    token.NewFileSet(),
+		std:     importer.Default(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// discover walks the module tree and returns the import path of every
+// directory holding at least one non-test Go file.
+func (ld *loader) discover() ([]string, error) {
+	var out []string
+	err := filepath.Walk(ld.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != ld.root {
+			if strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata" || base == "vendor" {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		files, err := ld.sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			out = append(out, ld.importPathFor(path))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (ld *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.module
+	}
+	return ld.module + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor maps an import path back to its directory.
+func (ld *loader) dirFor(importPath string) string {
+	if importPath == ld.module {
+		return ld.root
+	}
+	rel := strings.TrimPrefix(importPath, ld.module+"/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// sourceFiles lists the non-test .go files of a directory.
+func (ld *loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer so module-internal dependencies resolve
+// through the loader itself during type checking.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one module-local package (memoized).
+func (ld *loader) load(importPath string) (*Package, error) {
+	if p, ok := ld.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	files, err := ld.sourceFiles(ld.dirFor(importPath))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	if len(files) == 0 {
+		ld.pkgs[importPath] = nil
+		return nil, nil
+	}
+	var parsed []*ast.File
+	for _, file := range files {
+		f, err := parser.ParseFile(ld.fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	p, err := typeCheck(importPath, ld.fset, parsed, ld)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[importPath] = p
+	return p, nil
+}
+
+// typeCheck runs go/types over parsed files and assembles a *Package.
+func typeCheck(importPath string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// simclockExempt lists the packages allowed to read the wall clock:
+// simtime owns the Clock abstraction and hosts the only wall-clock
+// implementations.
+var simclockExempt = []string{
+	"mavscan/internal/simtime",
+}
+
+// simclockBanned are the time-package functions that break determinism
+// when called directly: experiments replayed on the simulated timeline
+// (the 3-hour observer loop, the 4-week honeypot exposure) must obtain
+// time exclusively through an injected simtime.Clock.
+var simclockBanned = []string{
+	"Now", "Sleep", "After", "AfterFunc", "Tick", "NewTicker", "NewTimer",
+	"Since", "Until",
+}
+
+// AnalyzerSimClock flags direct wall-clock access in internal packages.
+var AnalyzerSimClock = &Analyzer{
+	Name:  "simclock",
+	Doc:   "internal packages must use an injected simtime clock, never time.Now/Sleep/After directly",
+	Paper: "deterministic replay of the longitudinal re-scan schedule (§4)",
+	Run:   runSimClock,
+}
+
+func runSimClock(pkg *Package) []Finding {
+	if !pathIsOrUnder(pkg.Path, "mavscan/internal") || pathUnderAny(pkg.Path, simclockExempt) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if objectFromPkg(obj, "time", simclockBanned...) && packageLevel(obj) {
+				out = append(out, Finding{
+					Pos:  pkg.position(sel),
+					Rule: "simclock",
+					Msg:  fmt.Sprintf("direct call of time.%s breaks simulated-time determinism (inject a simtime.Clock)", obj.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

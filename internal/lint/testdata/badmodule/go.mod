@@ -1,0 +1,3 @@
+module mavscan
+
+go 1.22

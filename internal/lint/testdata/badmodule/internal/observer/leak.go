@@ -1,0 +1,12 @@
+// Package observer is a fixture violating the goleak rule: it spawns a
+// goroutine with no WaitGroup, channel, or context tie.
+package observer
+
+// BadSpawn leaks an untracked goroutine.
+func BadSpawn(work func(int)) {
+	go func() { // violation: nothing bounds this goroutine's lifetime
+		for i := 0; i < 1000; i++ {
+			work(i)
+		}
+	}()
+}

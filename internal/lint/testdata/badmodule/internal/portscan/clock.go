@@ -1,0 +1,12 @@
+// Package portscan is a fixture violating the simclock rule: it reads
+// the ambient wall clock instead of an injected simtime.Clock.
+package portscan
+
+import "time"
+
+// BadPace demonstrates direct wall-clock access.
+func BadPace() time.Duration {
+	start := time.Now() // violation: time.Now
+	time.Sleep(time.Millisecond)
+	return time.Since(start) // violation: time.Since
+}

@@ -1,0 +1,37 @@
+// Package prefilter is a fixture violating the getonly rule: it builds
+// state-changing HTTP requests inside a detection-path package.
+package prefilter
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// BadProbe demonstrates every getonly violation shape.
+func BadProbe(ctx context.Context, client *http.Client, base string) error {
+	// Violation: http.Method* constant reference.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/install", strings.NewReader("step=1"))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+
+	// Violation: string-literal non-GET method.
+	del, err := http.NewRequest("DELETE", base+"/v1/agent", nil)
+	if err != nil {
+		return err
+	}
+	_ = del
+
+	// Violation: client.Post helper.
+	resp2, err := client.Post(base+"/api", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	return resp2.Body.Close()
+}

@@ -1,0 +1,22 @@
+// Package scanner is a fixture violating the hermetic rule: it reaches
+// the real network instead of dialing through simnet.
+package scanner
+
+import (
+	"net"
+	"net/http"
+)
+
+// BadDial demonstrates real-socket access from pipeline code.
+func BadDial(addr string) error {
+	conn, err := net.Dial("tcp", addr) // violation: real socket
+	if err != nil {
+		return err
+	}
+	conn.Close()
+	resp, err := http.DefaultClient.Get("http://" + addr) // violation: default transport
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

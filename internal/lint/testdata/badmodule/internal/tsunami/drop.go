@@ -1,0 +1,19 @@
+// Package tsunami is a fixture violating the errdrop rule: it assigns
+// error returns to the blank identifier in scan-pipeline code.
+package tsunami
+
+import "strconv"
+
+// BadParse silently discards parse failures.
+func BadParse(raw string) int {
+	n, _ := strconv.Atoi(raw) // violation: error result dropped
+	_ = checkVersion(raw)     // violation: error value dropped
+	return n
+}
+
+func checkVersion(v string) error {
+	if v == "" {
+		return strconv.ErrSyntax
+	}
+	return nil
+}

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mavscan/internal/simtime"
 )
 
 // Prober answers half-open probes. simnet.Network implements it; a real
@@ -66,10 +68,17 @@ type Stats struct {
 // Scanner performs port scans against a Prober.
 type Scanner struct {
 	prober Prober
+	clock  simtime.Sleeper
 }
 
-// New returns a scanner probing through p.
-func New(p Prober) *Scanner { return &Scanner{prober: p} }
+// New returns a scanner probing through p, paced by the wall clock.
+func New(p Prober) *Scanner { return NewWithClock(p, simtime.Wall{}) }
+
+// NewWithClock returns a scanner whose rate limiter and elapsed-time
+// accounting use the given clock instead of the wall clock.
+func NewWithClock(p Prober, clock simtime.Sleeper) *Scanner {
+	return &Scanner{prober: p, clock: clock}
+}
 
 // space maps a flat index to an address across multiple prefixes.
 type space struct {
@@ -115,16 +124,17 @@ func (s *space) addr(idx uint64) netip.Addr {
 // limiter is a coarse token-bucket rate limiter shared by all workers.
 type limiter struct {
 	mu     sync.Mutex
+	clock  simtime.Sleeper
 	rate   float64
 	tokens float64
 	last   time.Time
 }
 
-func newLimiter(ratePerSec int) *limiter {
+func newLimiter(ratePerSec int, clock simtime.Sleeper) *limiter {
 	if ratePerSec <= 0 {
 		return nil
 	}
-	return &limiter{rate: float64(ratePerSec), tokens: float64(ratePerSec), last: time.Now()}
+	return &limiter{clock: clock, rate: float64(ratePerSec), tokens: float64(ratePerSec), last: clock.Now()}
 }
 
 func (l *limiter) wait(ctx context.Context) error {
@@ -133,7 +143,7 @@ func (l *limiter) wait(ctx context.Context) error {
 	}
 	for {
 		l.mu.Lock()
-		now := time.Now()
+		now := l.clock.Now()
 		l.tokens += now.Sub(l.last).Seconds() * l.rate
 		if l.tokens > l.rate {
 			l.tokens = l.rate
@@ -147,7 +157,7 @@ func (l *limiter) wait(ctx context.Context) error {
 		need := (1 - l.tokens) / l.rate
 		l.mu.Unlock()
 		select {
-		case <-time.After(time.Duration(need * float64(time.Second))):
+		case <-l.clock.After(time.Duration(need * float64(time.Second))):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -158,7 +168,7 @@ func (l *limiter) wait(ctx context.Context) error {
 // fn for each open port. fn is called from multiple goroutines and must be
 // safe for concurrent use.
 func (s *Scanner) Scan(ctx context.Context, cfg Config, fn func(Result)) (Stats, error) {
-	start := time.Now()
+	start := s.clock.Now()
 	if len(cfg.Ports) == 0 {
 		return Stats{}, errors.New("portscan: no ports configured")
 	}
@@ -172,7 +182,7 @@ func (s *Scanner) Scan(ctx context.Context, cfg Config, fn func(Result)) (Stats,
 	}
 	total := sp.total * uint64(len(cfg.Ports))
 	br := newBlackRock(total, cfg.Seed)
-	lim := newLimiter(cfg.RatePerSec)
+	lim := newLimiter(cfg.RatePerSec, s.clock)
 
 	excluded := func(a netip.Addr) bool {
 		for _, p := range cfg.Exclude {
@@ -235,10 +245,10 @@ func (s *Scanner) Scan(ctx context.Context, cfg Config, fn func(Result)) (Stats,
 	close(errCh)
 	for err := range errCh {
 		if err != nil {
-			stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: time.Since(start)}
+			stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: s.clock.Now().Sub(start)}
 			return stats, err
 		}
 	}
-	stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: time.Since(start)}
+	stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: s.clock.Now().Sub(start)}
 	return stats, nil
 }

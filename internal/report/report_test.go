@@ -124,6 +124,9 @@ func TestRomanNumerals(t *testing.T) {
 // TestTable3AndTable4OnRealScan renders the scan-derived tables from a tiny
 // real pipeline run.
 func TestTable3AndTable4OnRealScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-host scan run is slow; skipped in -short mode")
+	}
 	scan, err := study.RunScan(context.Background(), study.ScanConfig{
 		Population: population.Config{
 			Seed: 1, HostScale: 100000, VulnScale: 40,

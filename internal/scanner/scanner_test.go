@@ -249,6 +249,9 @@ func TestPipelineFalsePositiveResistance(t *testing.T) {
 // TestPipelineSecureHostsNotFlagged runs the whole pipeline over a world
 // with zero vulnerable hosts and demands zero findings.
 func TestPipelineSecureHostsNotFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-host pipeline run is slow; skipped in -short mode")
+	}
 	world, err := population.Generate(population.Config{
 		Seed: 11, HostScale: 20000, VulnScale: -1,
 		BackgroundScale: -1, WildcardScale: -1,

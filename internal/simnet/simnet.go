@@ -25,6 +25,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"mavscan/internal/simtime"
 )
 
 // Connection-level errors. They unwrap to net.ErrClosed-style sentinel
@@ -175,11 +177,21 @@ type Network struct {
 	// latency is added to every successful dial; zero by default so large
 	// scans run at full speed.
 	latency time.Duration
+	// clock paces the latency wait; tests may inject a fake Sleeper so
+	// latency runs never block in real time.
+	clock simtime.Sleeper
 }
 
 // New returns an empty network.
 func New() *Network {
-	return &Network{hosts: make(map[netip.Addr]*Host)}
+	return &Network{hosts: make(map[netip.Addr]*Host), clock: simtime.Wall{}}
+}
+
+// SetClock replaces the sleeper used to pace per-dial latency.
+func (n *Network) SetClock(clock simtime.Sleeper) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = clock
 }
 
 // SetLatency sets a fixed per-connection setup latency (applied on Dial).
@@ -263,6 +275,7 @@ func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (n
 	n.mu.RLock()
 	h, ok := n.hosts[ip]
 	latency := n.latency
+	clock := n.clock
 	n.mu.RUnlock()
 	if !ok {
 		return nil, ErrHostUnreachable
@@ -273,7 +286,7 @@ func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (n
 	}
 	if latency > 0 {
 		select {
-		case <-time.After(latency):
+		case <-clock.After(latency):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -19,11 +19,30 @@ type Clock interface {
 	Now() time.Time
 }
 
-// Wall is the wall clock.
+// Sleeper extends Clock with real-goroutine waiting. It is the injection
+// point for code that must pace itself in wall time (rate limiters,
+// simulated link latency): production uses Wall, tests substitute an
+// instant fake so paced paths stay fast and deterministic.
+//
+// *Sim intentionally does not implement Sleeper — simulated experiments
+// advance time through the event queue, never by blocking a goroutine.
+type Sleeper interface {
+	Clock
+	// After returns a channel that delivers the current time once d has
+	// elapsed, like time.After.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Wall is the wall clock. It is the only place in the code base allowed
+// to touch the time package's ambient clock (enforced by the simclock
+// lint rule).
 type Wall struct{}
 
 // Now returns the current wall-clock time.
 func (Wall) Now() time.Time { return time.Now() }
+
+// After waits in real time, like time.After.
+func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
 // event is one scheduled callback.
 type event struct {

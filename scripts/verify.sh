@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# verify.sh — the gate every change must pass before merge.
+#
+# Runs the build, go vet, the repo's own static-analysis suite (mavlint,
+# see internal/lint), the short test suite, and the short suite under the
+# race detector. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> mavlint (paper safety/determinism invariants)"
+go run ./cmd/mavlint ./...
+
+echo "==> go test -short"
+go test -short ./...
+
+echo "==> go test -short -race"
+go test -short -race ./...
+
+echo "verify.sh: all checks passed"
