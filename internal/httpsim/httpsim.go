@@ -20,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
@@ -212,9 +213,9 @@ func NewClient(n *simnet.Network, opts ClientOptions) *http.Client {
 			if err != nil {
 				return nil, fmt.Errorf("httpsim: bad host %q: %w", host, err)
 			}
-			var port int
-			if _, err := fmt.Sscanf(portStr, "%d", &port); err != nil {
-				return nil, fmt.Errorf("httpsim: bad port %q: %w", portStr, err)
+			port, err := strconv.Atoi(portStr)
+			if err != nil || port < 1 || port > 65535 {
+				return nil, fmt.Errorf("httpsim: bad port %q", portStr)
 			}
 			return n.DialFrom(ctx, opts.SourceIP, ip, port)
 		}

@@ -153,6 +153,30 @@ func TestClientSourceIPReachesServer(t *testing.T) {
 	}
 }
 
+func TestClientSourceIPDialRejectsBadPorts(t *testing.T) {
+	n := simnet.New()
+	h := simnet.NewHost(testIP)
+	h.Bind(80, ConnHandler(helloHandler("hello")))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("203.0.113.77")
+	client := NewClient(n, ClientOptions{SourceIP: src, DisableKeepAlives: true})
+	dial := client.Transport.(*http.Transport).DialContext
+	// fmt.Sscanf("%d") would have accepted the trailing garbage in "80x";
+	// the dial path must validate ports exactly like simnet.DialContext.
+	for _, port := range []string{"80x", "0", "65536", "-1", ""} {
+		if _, err := dial(context.Background(), "tcp", "10.0.0.1:"+port); err == nil {
+			t.Errorf("dial with port %q should fail", port)
+		}
+	}
+	c, err := dial(context.Background(), "tcp", "10.0.0.1:80")
+	if err != nil {
+		t.Fatalf("dial with valid port: %v", err)
+	}
+	c.Close()
+}
+
 func TestFetchCertificateExtractsNames(t *testing.T) {
 	ca, err := NewCA()
 	if err != nil {

@@ -1,0 +1,222 @@
+// Package iprange provides normalized IPv4 address-range sets with the set
+// algebra the scanning pipeline needs: union-on-construction, subtraction,
+// intersection, membership, and — the property the Stage-I hot loop is built
+// on — a flat index→address mapping over the whole set.
+//
+// A Set is an immutable, sorted, merged (disjoint, non-adjacent) sequence of
+// inclusive ranges. Because the ranges are normalized once at construction,
+// the scanner can subtract its exclusion list from its target list up front
+// and then iterate a dense index space [0, NumAddresses()) that contains no
+// excluded address at all: the per-probe exclusion check of the previous
+// design disappears from the inner loop entirely.
+package iprange
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Range is an inclusive span of IPv4 addresses, [Start, Last], in host byte
+// order. Inclusive bounds make the full space [0, 0xffffffff] representable
+// without overflow.
+type Range struct {
+	Start, Last uint32
+}
+
+// size returns the number of addresses in r (up to 2^32, hence uint64).
+func (r Range) size() uint64 { return uint64(r.Last-r.Start) + 1 }
+
+// Set is a normalized set of IPv4 addresses. The zero value is the empty
+// set. Sets are immutable after construction and safe for concurrent use.
+type Set struct {
+	ranges []Range
+	// cum[i] is the number of addresses in ranges[0:i]; cum has
+	// len(ranges)+1 entries, with cum[len(ranges)] == total.
+	cum   []uint64
+	total uint64
+}
+
+// build finalizes a set from an already-normalized range slice.
+func build(ranges []Range) *Set {
+	s := &Set{ranges: ranges, cum: make([]uint64, len(ranges)+1)}
+	for i, r := range ranges {
+		s.cum[i] = s.total
+		s.total += r.size()
+	}
+	s.cum[len(ranges)] = s.total
+	return s
+}
+
+// FromPrefixes constructs the union of the given IPv4 prefixes. Overlapping
+// and adjacent prefixes are merged, so every address is counted exactly
+// once. An empty or nil slice yields the empty set; a non-IPv4 prefix is an
+// error.
+func FromPrefixes(prefixes []netip.Prefix) (*Set, error) {
+	raw := make([]Range, 0, len(prefixes))
+	for _, p := range prefixes {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("iprange: prefix %s is not IPv4", p)
+		}
+		b := p.Addr().As4()
+		start := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		// Mask off host bits so ("10.0.0.7/24") behaves like its canonical
+		// network address, matching netip.Prefix.Contains semantics.
+		var mask uint32
+		if p.Bits() > 0 {
+			mask = ^uint32(0) << (32 - p.Bits())
+		}
+		start &= mask
+		last := start | ^mask
+		raw = append(raw, Range{Start: start, Last: last})
+	}
+	return FromRanges(raw), nil
+}
+
+// FromRanges constructs a set from arbitrary (possibly overlapping,
+// unsorted) inclusive ranges.
+func FromRanges(raw []Range) *Set {
+	if len(raw) == 0 {
+		return build(nil)
+	}
+	sorted := make([]Range, len(raw))
+	copy(sorted, raw)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	merged := sorted[:1]
+	for _, r := range sorted[1:] {
+		top := &merged[len(merged)-1]
+		// Merge overlapping and exactly-adjacent ranges. The Last+1 probe is
+		// guarded so the top of the address space cannot overflow.
+		if r.Start <= top.Last || (top.Last != ^uint32(0) && r.Start == top.Last+1) {
+			if r.Last > top.Last {
+				top.Last = r.Last
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return build(merged)
+}
+
+// NumAddresses returns the number of addresses in the set.
+func (s *Set) NumAddresses() uint64 { return s.total }
+
+// NumRanges returns the number of disjoint ranges after normalization.
+func (s *Set) NumRanges() int { return len(s.ranges) }
+
+// Empty reports whether the set contains no addresses.
+func (s *Set) Empty() bool { return s.total == 0 }
+
+// Ranges returns the normalized ranges in ascending order. The slice is
+// shared; callers must not modify it.
+func (s *Set) Ranges() []Range { return s.ranges }
+
+// Contains reports whether ip is a member. Non-IPv4 addresses are never
+// members.
+func (s *Set) Contains(ip netip.Addr) bool {
+	if !ip.Is4() {
+		return false
+	}
+	b := ip.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	// Find the first range with Start > v, then check its predecessor.
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].Start > v })
+	return i > 0 && v <= s.ranges[i-1].Last
+}
+
+// Subtract returns s minus o.
+func (s *Set) Subtract(o *Set) *Set {
+	if s.total == 0 || o == nil || o.total == 0 {
+		return s
+	}
+	var out []Range
+	j := 0
+	for _, r := range s.ranges {
+		lo := r.Start
+		consumed := false
+		// Skip subtrahend ranges entirely below r.
+		for j < len(o.ranges) && o.ranges[j].Last < lo {
+			j++
+		}
+		for k := j; k < len(o.ranges) && o.ranges[k].Start <= r.Last; k++ {
+			cut := o.ranges[k]
+			if cut.Start > lo {
+				out = append(out, Range{Start: lo, Last: cut.Start - 1})
+			}
+			if cut.Last >= r.Last {
+				consumed = true
+				break
+			}
+			// cut.Last < r.Last <= ^uint32(0), so the +1 cannot overflow.
+			lo = cut.Last + 1
+		}
+		if !consumed {
+			out = append(out, Range{Start: lo, Last: r.Last})
+		}
+	}
+	return build(out)
+}
+
+// Intersect returns the addresses present in both s and o.
+func (s *Set) Intersect(o *Set) *Set {
+	if s.total == 0 || o == nil || o.total == 0 {
+		return build(nil)
+	}
+	var out []Range
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(o.ranges) {
+		a, b := s.ranges[i], o.ranges[j]
+		lo, hi := max32(a.Start, b.Start), min32(a.Last, b.Last)
+		if lo <= hi {
+			out = append(out, Range{Start: lo, Last: hi})
+		}
+		if a.Last < b.Last {
+			i++
+		} else {
+			j++
+		}
+	}
+	return build(out)
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Cursor remembers the range a previous flat-index lookup landed in, so
+// consecutive or near-consecutive lookups skip the binary search. Each
+// goroutine iterating a set should hold its own Cursor; the zero value is
+// ready to use.
+type Cursor int
+
+// Addr returns the idx-th address of the set in ascending order. idx must be
+// in [0, NumAddresses()).
+func (s *Set) Addr(idx uint64) netip.Addr {
+	var cur Cursor
+	return s.AddrAt(idx, &cur)
+}
+
+// AddrAt is Addr with a caller-held Cursor. When successive indices fall in
+// the same range — the common case for chunked iteration, where a worker's
+// indices are clustered — the lookup is a bounds check instead of a binary
+// search over the cumulative sizes.
+func (s *Set) AddrAt(idx uint64, cur *Cursor) netip.Addr {
+	i := int(*cur)
+	if i < 0 || i >= len(s.ranges) || idx < s.cum[i] || idx >= s.cum[i+1] {
+		// sort.Search over cum: first range whose end-cumulative exceeds idx.
+		i = sort.Search(len(s.ranges), func(k int) bool { return s.cum[k+1] > idx })
+		*cur = Cursor(i)
+	}
+	v := s.ranges[i].Start + uint32(idx-s.cum[i])
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

@@ -1,0 +1,263 @@
+package iprange
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustSet(t *testing.T, cidrs ...string) *Set {
+	t.Helper()
+	prefixes := make([]netip.Prefix, len(cidrs))
+	for i, c := range cidrs {
+		prefixes[i] = netip.MustParsePrefix(c)
+	}
+	s, err := FromPrefixes(prefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFromPrefixesMergesOverlappingAndAdjacent(t *testing.T) {
+	cases := []struct {
+		name       string
+		cidrs      []string
+		wantRanges int
+		wantAddrs  uint64
+	}{
+		{"disjoint", []string{"10.0.0.0/24", "10.2.0.0/24"}, 2, 512},
+		{"adjacent", []string{"10.0.0.0/24", "10.0.1.0/24"}, 1, 512},
+		{"overlapping", []string{"10.0.0.0/23", "10.0.1.0/24"}, 1, 512},
+		{"nested", []string{"10.0.0.0/16", "10.0.4.0/24"}, 1, 1 << 16},
+		{"duplicate", []string{"10.0.0.0/24", "10.0.0.0/24"}, 1, 256},
+		{"chain collapses", []string{"10.0.2.0/24", "10.0.0.0/24", "10.0.1.0/24"}, 1, 768},
+		{"host bits masked", []string{"10.0.0.77/24"}, 1, 256},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := mustSet(t, c.cidrs...)
+			if s.NumRanges() != c.wantRanges {
+				t.Errorf("NumRanges = %d, want %d (%v)", s.NumRanges(), c.wantRanges, s.Ranges())
+			}
+			if s.NumAddresses() != c.wantAddrs {
+				t.Errorf("NumAddresses = %d, want %d", s.NumAddresses(), c.wantAddrs)
+			}
+		})
+	}
+}
+
+func TestFromPrefixesRejectsIPv6(t *testing.T) {
+	_, err := FromPrefixes([]netip.Prefix{netip.MustParsePrefix("2001:db8::/64")})
+	if err == nil {
+		t.Fatal("IPv6 prefix must be rejected")
+	}
+}
+
+func TestSubtractExcludeFullyCoversTarget(t *testing.T) {
+	targets := mustSet(t, "10.0.4.0/24")
+	exclude := mustSet(t, "10.0.0.0/16")
+	got := targets.Subtract(exclude)
+	if !got.Empty() {
+		t.Fatalf("exclude covering the whole target must yield the empty set, got %v", got.Ranges())
+	}
+	if got.NumAddresses() != 0 {
+		t.Fatalf("NumAddresses = %d, want 0", got.NumAddresses())
+	}
+}
+
+func TestSubtractExcludeStraddlesTwoTargets(t *testing.T) {
+	// Two adjacent /25 targets expressed as separate prefixes would merge;
+	// use genuinely disjoint targets with an exclusion spanning the tail of
+	// the first and the head of the second.
+	targets := mustSet(t, "10.0.0.0/24", "10.0.2.0/24")
+	exclude := mustSet(t, "10.0.0.128/25", "10.0.2.0/25")
+	got := targets.Subtract(exclude)
+	if got.NumRanges() != 2 {
+		t.Fatalf("NumRanges = %d, want 2 (%v)", got.NumRanges(), got.Ranges())
+	}
+	if got.NumAddresses() != 256 {
+		t.Fatalf("NumAddresses = %d, want 256", got.NumAddresses())
+	}
+	for _, ip := range []string{"10.0.0.0", "10.0.0.127", "10.0.2.128", "10.0.2.255"} {
+		if !got.Contains(netip.MustParseAddr(ip)) {
+			t.Errorf("%s should survive the subtraction", ip)
+		}
+	}
+	for _, ip := range []string{"10.0.0.128", "10.0.0.255", "10.0.2.0", "10.0.2.127", "10.0.1.1"} {
+		if got.Contains(netip.MustParseAddr(ip)) {
+			t.Errorf("%s should be excluded", ip)
+		}
+	}
+}
+
+func TestSubtractMiddleSplitsRange(t *testing.T) {
+	targets := mustSet(t, "10.0.0.0/24")
+	exclude := mustSet(t, "10.0.0.64/26")
+	got := targets.Subtract(exclude)
+	if got.NumRanges() != 2 || got.NumAddresses() != 192 {
+		t.Fatalf("got %d ranges / %d addrs, want 2 / 192: %v", got.NumRanges(), got.NumAddresses(), got.Ranges())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := mustSet(t, "10.0.0.0/24", "10.0.2.0/24")
+	b := mustSet(t, "10.0.0.128/25", "10.0.1.0/24", "10.0.2.0/26")
+	got := a.Intersect(b)
+	if got.NumAddresses() != 128+64 {
+		t.Fatalf("NumAddresses = %d, want 192: %v", got.NumAddresses(), got.Ranges())
+	}
+}
+
+func TestFlatIndexAddressing(t *testing.T) {
+	s := mustSet(t, "10.0.0.0/30", "192.168.1.0/31")
+	if s.NumAddresses() != 6 {
+		t.Fatalf("NumAddresses = %d, want 6", s.NumAddresses())
+	}
+	wants := []string{"10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3", "192.168.1.0", "192.168.1.1"}
+	var cur Cursor
+	for i, w := range wants {
+		if got := s.AddrAt(uint64(i), &cur).String(); got != w {
+			t.Errorf("AddrAt(%d) = %s, want %s", i, got, w)
+		}
+	}
+	// Random-access pattern with a stale cursor must agree with Addr.
+	for _, idx := range []uint64{5, 0, 4, 2, 5, 1} {
+		if got, want := s.AddrAt(idx, &cur), s.Addr(idx); got != want {
+			t.Errorf("AddrAt(%d) = %s, want %s", idx, got, want)
+		}
+	}
+}
+
+func TestFullSpaceRepresentable(t *testing.T) {
+	s := mustSet(t, "0.0.0.0/0")
+	if s.NumAddresses() != 1<<32 {
+		t.Fatalf("NumAddresses = %d, want 2^32", s.NumAddresses())
+	}
+	if got := s.Addr(1<<32 - 1).String(); got != "255.255.255.255" {
+		t.Fatalf("last address = %s", got)
+	}
+	if !s.Subtract(s).Empty() {
+		t.Fatal("full space minus itself must be empty")
+	}
+}
+
+// randomPrefixes draws n prefixes inside 10.0.0.0/8 with lengths in
+// [16, 30], the shapes the scanner actually sees.
+func randomPrefixes(rng *rand.Rand, n int) []netip.Prefix {
+	out := make([]netip.Prefix, n)
+	for i := range out {
+		bits := 16 + rng.Intn(15)
+		v := uint32(10)<<24 | uint32(rng.Intn(1<<16))<<8 | uint32(rng.Intn(256))
+		mask := ^uint32(0) << (32 - bits)
+		v &= mask
+		addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		out[i] = netip.PrefixFrom(addr, bits)
+	}
+	return out
+}
+
+// TestSubtractMatchesPerProbeContains cross-checks iprange membership of
+// (targets − exclude) against the old per-probe reference implementation: a
+// linear prefix.Contains scan over both lists, for random prefix sets and
+// random probe addresses.
+func TestSubtractMatchesPerProbeContains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		targets := randomPrefixes(rng, 1+rng.Intn(6))
+		exclude := randomPrefixes(rng, rng.Intn(6))
+
+		tset, err := FromPrefixes(targets)
+		if err != nil {
+			return false
+		}
+		eset, err := FromPrefixes(exclude)
+		if err != nil {
+			return false
+		}
+		space := tset.Subtract(eset)
+
+		reference := func(a netip.Addr) bool {
+			inTarget := false
+			for _, p := range targets {
+				if p.Contains(a) {
+					inTarget = true
+					break
+				}
+			}
+			if !inTarget {
+				return false
+			}
+			for _, p := range exclude {
+				if p.Contains(a) {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Probe random addresses, plus every range boundary and its
+		// neighbors (the off-by-one hotspots).
+		probes := make([]netip.Addr, 0, 256)
+		for i := 0; i < 128; i++ {
+			v := uint32(10)<<24 | uint32(rng.Intn(1<<24))
+			probes = append(probes, netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}))
+		}
+		for _, r := range space.Ranges() {
+			for _, v := range []uint32{r.Start, r.Start - 1, r.Last, r.Last + 1} {
+				probes = append(probes, netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}))
+			}
+		}
+		for _, a := range probes {
+			if space.Contains(a) != reference(a) {
+				t.Logf("seed %d: membership mismatch at %s: iprange=%v reference=%v",
+					seed, a, space.Contains(a), reference(a))
+				return false
+			}
+		}
+
+		// The flat index mapping must enumerate exactly the member
+		// addresses, in ascending order, with the cursor agreeing with
+		// cold lookups.
+		if space.NumAddresses() > 0 && space.NumAddresses() < 1<<14 {
+			var cur Cursor
+			prev := netip.Addr{}
+			for i := uint64(0); i < space.NumAddresses(); i++ {
+				a := space.AddrAt(i, &cur)
+				if !reference(a) {
+					t.Logf("seed %d: index %d yields non-member %s", seed, i, a)
+					return false
+				}
+				if prev.IsValid() && !prev.Less(a) {
+					t.Logf("seed %d: indices not ascending at %d (%s after %s)", seed, i, a, prev)
+					return false
+				}
+				prev = a
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectMatchesSubtract(t *testing.T) {
+	// |A ∩ B| + |A − B| == |A| for random sets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := FromPrefixes(randomPrefixes(rng, 1+rng.Intn(6)))
+		if err != nil {
+			return false
+		}
+		b, err := FromPrefixes(randomPrefixes(rng, 1+rng.Intn(6)))
+		if err != nil {
+			return false
+		}
+		return a.Intersect(b).NumAddresses()+a.Subtract(b).NumAddresses() == a.NumAddresses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

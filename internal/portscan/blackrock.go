@@ -15,6 +15,20 @@ type blackRock struct {
 	a, b      uint64
 	seed      uint64
 	rounds    int
+	// rk holds one precomputed key per round, derived from the seed with a
+	// strong mixer at construction time so the per-probe round function can
+	// be a single multiply.
+	rk [8]uint64
+	// fastRounds enables the division-free round path: the PRF output is
+	// truncated to 32 bits and reduced mod a/b with reciprocal multiplies
+	// (exact because a, b < 2^31 at IPv4 scale). The Feistel structure is
+	// a bijection for any round function, so the fast and slow paths are
+	// each valid permutations; they differ only in which one.
+	fastRounds bool
+	aDiv, bDiv fastDivisor
+	// fastA additionally replaces the two hardware divides of the initial
+	// left/right split, exact over the whole cycle-walk domain [0, a*b).
+	fastA bool
 }
 
 // newBlackRock builds a permutation over [0, rangeSize).
@@ -34,7 +48,19 @@ func newBlackRock(rangeSize, seed uint64) *blackRock {
 	for a*(b-1) >= rangeSize && b > 1 {
 		b--
 	}
-	return &blackRock{rangeSize: rangeSize, a: a, b: b, seed: seed, rounds: 4}
+	br := &blackRock{rangeSize: rangeSize, a: a, b: b, seed: seed, rounds: 4}
+	for r := range br.rk {
+		br.rk[r] = splitmix64(seed + uint64(r)*0x9e3779b97f4a7c15)
+	}
+	br.aDiv = newFastDivisor(a)
+	br.bDiv = newFastDivisor(b)
+	// Round inputs are truncated to 32 bits, so the reciprocals must be
+	// exact for numerators up to 2^32 (this also implies a, b < 2^31).
+	br.fastRounds = br.aDiv.usable(1<<32) && br.bDiv.usable(1<<32)
+	// Cycle-walking feeds values up to a*b-1 back through encryptOnce, so
+	// the split reciprocal must be exact over [0, a*b).
+	br.fastA = br.aDiv.usable(a * b)
+	return br
 }
 
 func isqrt(n uint64) uint64 {
@@ -60,27 +86,64 @@ func bitsLen(n uint64) int {
 	return l
 }
 
-// round is the Feistel round function: any pseudo-random function works;
-// this is a splitmix64-style mixer keyed by seed and round index.
-func (br *blackRock) round(r int, right uint64) uint64 {
-	z := right + br.seed + uint64(r)*0x9e3779b97f4a7c15
+// splitmix64 is the finalizing mixer used to derive round keys.
+func splitmix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
+// round is the Feistel round function: any pseudo-random function yields a
+// valid permutation, so the hot path spends exactly one multiply — a
+// murmur-style finalizer step keyed by a precomputed per-round key. Four
+// such rounds spread consecutive indices across the space well enough for
+// the /24-burst property (see TestBlackRockSpreadsBlocks).
+func (br *blackRock) round(r int, right uint64) uint64 {
+	z := (right ^ br.rk[r]) * 0xff51afd7ed558ccd
+	return z ^ (z >> 33)
+}
+
 // encryptOnce runs one pass of the unbalanced Feistel network.
 func (br *blackRock) encryptOnce(m uint64) uint64 {
-	left := m % br.a
-	right := m / br.a
-	for r := 0; r < br.rounds; r++ {
-		var tmp uint64
-		if r&1 == 0 {
-			tmp = (left + br.round(r, right)) % br.a
-		} else {
-			tmp = (left + br.round(r, right)) % br.b
+	var left, right uint64
+	if br.fastA {
+		right = br.aDiv.div(m)
+		left = m - right*br.a
+	} else {
+		left = m % br.a
+		right = m / br.a
+	}
+	if br.fastRounds {
+		// Division-free rounds: truncate the PRF to 32 bits, reduce it
+		// mod a/b with a reciprocal multiply, and fold the modular
+		// addition into a compare-subtract (left < mod and f < mod, so
+		// one subtraction suffices and nothing can overflow).
+		for r := 0; r < br.rounds; r++ {
+			f := uint64(uint32(br.round(r, right)))
+			var mod uint64
+			if r&1 == 0 {
+				mod = br.a
+				f -= br.aDiv.div(f) * mod
+			} else {
+				mod = br.b
+				f -= br.bDiv.div(f) * mod
+			}
+			tmp := left + f
+			if tmp >= mod {
+				tmp -= mod
+			}
+			left, right = right, tmp
 		}
-		left, right = right, tmp
+	} else {
+		for r := 0; r < br.rounds; r++ {
+			var tmp uint64
+			if r&1 == 0 {
+				tmp = (left + br.round(r, right)) % br.a
+			} else {
+				tmp = (left + br.round(r, right)) % br.b
+			}
+			left, right = right, tmp
+		}
 	}
 	// After an even number of rounds left is in [0,a) and right in [0,b),
 	// so a*right+left enumerates [0, a*b) without collisions.

@@ -7,17 +7,25 @@
 // — the ethical-scanning property described in Section 3.2. It supports
 // exclusion lists (the IANA reserved allocations), a global rate limit, and
 // a configurable worker pool standing in for the paper's 64-machine fleet.
+//
+// The scan space is precomputed: the exclusion list is subtracted from the
+// target list once, up front (internal/iprange), so the probe loop iterates
+// a dense index space that contains no excluded address and never performs a
+// per-probe exclusion check.
 package portscan
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"net/netip"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"net/netip"
+
+	"mavscan/internal/iprange"
 	"mavscan/internal/simtime"
 )
 
@@ -37,10 +45,12 @@ type Result struct {
 
 // Config parametrizes a scan.
 type Config struct {
-	// Targets are the prefixes to scan. Required.
+	// Targets are the prefixes to scan. Required. Overlapping or adjacent
+	// prefixes are merged, so every address is visited exactly once.
 	Targets []netip.Prefix
 	// Exclude removes prefixes from the scan (IANA reserved ranges,
-	// opt-outs). Probes to excluded addresses are never sent.
+	// opt-outs). Probes to excluded addresses are never sent: the scan
+	// space is Targets minus Exclude, computed before the first probe.
 	Exclude []netip.Prefix
 	// Ports is the port list; the study's is mav.ScanPorts(). Required.
 	Ports []int
@@ -59,8 +69,13 @@ type Config struct {
 
 // Stats summarizes a finished scan.
 type Stats struct {
-	Probed   uint64
-	Open     uint64
+	Probed uint64
+	Open   uint64
+	// Excluded counts the (address, port) pairs removed from the scan by
+	// the exclusion list: |Targets ∩ Exclude| × len(Ports). It is computed
+	// arithmetically from the precomputed scan space rather than counted
+	// per skipped probe — excluded pairs are never visited at all — so it
+	// reports the full exclusion size even if the scan is cancelled early.
 	Excluded uint64
 	Elapsed  time.Duration
 }
@@ -80,47 +95,6 @@ func NewWithClock(p Prober, clock simtime.Sleeper) *Scanner {
 	return &Scanner{prober: p, clock: clock}
 }
 
-// space maps a flat index to an address across multiple prefixes.
-type space struct {
-	prefixes []netip.Prefix
-	cum      []uint64 // cumulative address counts; cum[i] = total before prefix i
-	total    uint64
-}
-
-func newSpace(prefixes []netip.Prefix) (*space, error) {
-	if len(prefixes) == 0 {
-		return nil, errors.New("portscan: no target prefixes")
-	}
-	s := &space{prefixes: prefixes, cum: make([]uint64, len(prefixes))}
-	for i, p := range prefixes {
-		if !p.Addr().Is4() {
-			return nil, fmt.Errorf("portscan: prefix %s is not IPv4", p)
-		}
-		s.cum[i] = s.total
-		s.total += uint64(1) << (32 - p.Bits())
-	}
-	return s, nil
-}
-
-// addr returns the idx-th address of the space.
-func (s *space) addr(idx uint64) netip.Addr {
-	// Binary search over the cumulative sizes.
-	lo, hi := 0, len(s.cum)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if s.cum[mid] <= idx {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	p := s.prefixes[lo]
-	off := uint32(idx - s.cum[lo])
-	base := p.Addr().As4()
-	v := (uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])) + off
-	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
-}
-
 // limiter is a coarse token-bucket rate limiter shared by all workers.
 type limiter struct {
 	mu     sync.Mutex
@@ -138,9 +112,6 @@ func newLimiter(ratePerSec int, clock simtime.Sleeper) *limiter {
 }
 
 func (l *limiter) wait(ctx context.Context) error {
-	if l == nil {
-		return nil
-	}
 	for {
 		l.mu.Lock()
 		now := l.clock.Now()
@@ -164,46 +135,136 @@ func (l *limiter) wait(ctx context.Context) error {
 	}
 }
 
+// fastDivisor divides by a fixed d with a multiply instead of a hardware
+// divide (Granlund–Montgomery/Lemire reciprocal). The quotient hi(M·n) with
+// M = ⌊2^64/d⌋+1 is exact for every n with n·d < 2^64; callers must check
+// usable() for their maximum numerator.
+type fastDivisor struct {
+	m uint64 // ⌊2^64/d⌋ + 1
+	d uint64
+}
+
+func newFastDivisor(d uint64) fastDivisor {
+	return fastDivisor{m: ^uint64(0)/d + 1, d: d}
+}
+
+// usable reports whether quotients are exact for all n < nMax. d == 1 is
+// excluded: its reciprocal (2^64) does not fit a word — and a hardware
+// divide by one costs nothing to begin with.
+func (f fastDivisor) usable(nMax uint64) bool {
+	return f.d > 1 && bits.Len64(nMax)+bits.Len64(f.d) <= 64
+}
+
+func (f fastDivisor) div(n uint64) uint64 {
+	hi, _ := bits.Mul64(f.m, n)
+	return hi
+}
+
+// chunk is the unit of work a worker claims from the shared index counter.
+// Context cancellation is observed at chunk granularity: the probe loop
+// body itself performs no per-probe checks.
+const chunk = 4096
+
+// batchCap is the flush threshold for per-worker result buffers.
+const batchCap = 256
+
 // Scan probes every (address, port) pair of the configured space, invoking
 // fn for each open port. fn is called from multiple goroutines and must be
 // safe for concurrent use.
 func (s *Scanner) Scan(ctx context.Context, cfg Config, fn func(Result)) (Stats, error) {
+	return s.scan(ctx, cfg, func(batch []Result) {
+		for _, r := range batch {
+			fn(r)
+		}
+	})
+}
+
+// ScanBatches is Scan with slice-granularity delivery: each worker buffers
+// its open-port results locally and hands them to fn in batches (at most
+// batchCap results each), so consumers synchronize per batch instead of per
+// probe. fn is called from multiple goroutines, must be safe for concurrent
+// use, and receives ownership of the slice.
+func (s *Scanner) ScanBatches(ctx context.Context, cfg Config, fn func([]Result)) (Stats, error) {
+	return s.scan(ctx, cfg, fn)
+}
+
+func (s *Scanner) scan(ctx context.Context, cfg Config, fn func([]Result)) (Stats, error) {
 	start := s.clock.Now()
 	if len(cfg.Ports) == 0 {
 		return Stats{}, errors.New("portscan: no ports configured")
 	}
-	sp, err := newSpace(cfg.Targets)
-	if err != nil {
-		return Stats{}, err
+	if len(cfg.Targets) == 0 {
+		return Stats{}, errors.New("portscan: no target prefixes")
 	}
+	targets, err := iprange.FromPrefixes(cfg.Targets)
+	if err != nil {
+		return Stats{}, fmt.Errorf("portscan: targets: %w", err)
+	}
+	exclude, err := iprange.FromPrefixes(cfg.Exclude)
+	if err != nil {
+		return Stats{}, fmt.Errorf("portscan: exclude: %w", err)
+	}
+	// Subtract the exclusions once; the probe loop below never checks them.
+	space := targets.Subtract(exclude)
+	nports := uint64(len(cfg.Ports))
+	excludedPairs := (targets.NumAddresses() - space.NumAddresses()) * nports
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 64
 	}
-	total := sp.total * uint64(len(cfg.Ports))
+	total := space.NumAddresses() * nports
 	br := newBlackRock(total, cfg.Seed)
 	lim := newLimiter(cfg.RatePerSec, s.clock)
 
-	excluded := func(a netip.Addr) bool {
-		for _, p := range cfg.Exclude {
-			if p.Contains(a) {
-				return true
-			}
-		}
-		return false
+	// The index→(address, port) split divides by the port count millions of
+	// times; use the reciprocal form when the range permits (it always does
+	// for IPv4 spaces with small port lists).
+	portDiv := newFastDivisor(nports)
+	fastPorts := portDiv.usable(total)
+
+	var probed, open atomic.Uint64
+	var next atomic.Uint64
+
+	// Error handling: the first failure (deterministically the first one
+	// recorded, not whichever channel entry happens to range first) wins,
+	// and raises a stop flag that halts every worker at its next chunk
+	// boundary.
+	var stop atomic.Bool
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
 	}
 
-	var stats Stats
-	var probed, open, excl atomic.Uint64
 	var wg sync.WaitGroup
-	var next atomic.Uint64
-	const chunk = 4096
-	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var nProbed, nOpen uint64
+			defer func() {
+				probed.Add(nProbed)
+				open.Add(nOpen)
+			}()
+			var batch []Result
+			defer func() {
+				if len(batch) > 0 {
+					fn(batch)
+				}
+			}()
+			var cur iprange.Cursor
 			for {
+				// Cancellation and failure are observed per chunk; once the
+				// context is cancelled no further probe bodies run.
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				base := next.Add(chunk) - chunk
 				if base >= total {
 					return
@@ -213,42 +274,46 @@ func (s *Scanner) Scan(ctx context.Context, cfg Config, fn func(Result)) (Stats,
 					end = total
 				}
 				for i := base; i < end; i++ {
-					if ctx.Err() != nil {
-						errCh <- ctx.Err()
-						return
-					}
 					idx := i
 					if !cfg.Sequential {
 						idx = br.Shuffle(i)
 					}
-					addrIdx := idx / uint64(len(cfg.Ports))
-					port := cfg.Ports[idx%uint64(len(cfg.Ports))]
-					a := sp.addr(addrIdx)
-					if excluded(a) {
-						excl.Add(1)
-						continue
+					var addrIdx uint64
+					if fastPorts {
+						addrIdx = portDiv.div(idx)
+					} else {
+						addrIdx = idx / nports
 					}
-					if err := lim.wait(ctx); err != nil {
-						errCh <- err
-						return
+					port := cfg.Ports[idx-addrIdx*nports]
+					a := space.AddrAt(addrIdx, &cur)
+					if lim != nil {
+						if err := lim.wait(ctx); err != nil {
+							fail(err)
+							return
+						}
 					}
-					probed.Add(1)
+					nProbed++
 					if s.prober.ProbePort(a, port) == nil {
-						open.Add(1)
-						fn(Result{IP: a, Port: port})
+						nOpen++
+						if batch == nil {
+							batch = make([]Result, 0, batchCap)
+						}
+						batch = append(batch, Result{IP: a, Port: port})
+						if len(batch) == batchCap {
+							fn(batch)
+							batch = nil
+						}
 					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: s.clock.Now().Sub(start)}
-			return stats, err
-		}
+	stats := Stats{
+		Probed:   probed.Load(),
+		Open:     open.Load(),
+		Excluded: excludedPairs,
+		Elapsed:  s.clock.Now().Sub(start),
 	}
-	stats = Stats{Probed: probed.Load(), Open: open.Load(), Excluded: excl.Load(), Elapsed: s.clock.Now().Sub(start)}
-	return stats, nil
+	return stats, firstErr
 }

@@ -168,22 +168,137 @@ func TestScanCancellation(t *testing.T) {
 	}
 }
 
+// TestSpaceAddressing checks the flat-index→address mapping end to end: a
+// sequential single-worker scan must visit exactly the target addresses in
+// ascending order across disjoint prefixes.
 func TestSpaceAddressing(t *testing.T) {
-	sp, err := newSpace([]netip.Prefix{
-		netip.MustParsePrefix("10.0.0.0/30"),
-		netip.MustParsePrefix("192.168.1.0/31"),
+	var mu sync.Mutex
+	var order []netip.Addr
+	recorder := proberFunc(func(ip netip.Addr, port int) error {
+		mu.Lock()
+		order = append(order, ip)
+		mu.Unlock()
+		return simnet.ErrHostUnreachable
+	})
+	stats, err := New(recorder).Scan(context.Background(), Config{
+		Targets: []netip.Prefix{
+			netip.MustParsePrefix("192.168.1.0/31"),
+			netip.MustParsePrefix("10.0.0.0/30"),
+		},
+		Ports:      []int{80},
+		Workers:    1,
+		Sequential: true,
+	}, func(Result) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Probed != 6 {
+		t.Fatalf("probed = %d, want 6", stats.Probed)
+	}
+	wants := []string{"10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3", "192.168.1.0", "192.168.1.1"}
+	for i, w := range wants {
+		if order[i].String() != w {
+			t.Errorf("probe %d hit %s, want %s", i, order[i], w)
+		}
+	}
+}
+
+// proberFunc adapts a function to the Prober interface.
+type proberFunc func(ip netip.Addr, port int) error
+
+func (f proberFunc) ProbePort(ip netip.Addr, port int) error { return f(ip, port) }
+
+// TestScanExcludeStraddlingTargets: an exclusion overlapping only part of
+// the target space must remove exactly the overlap, and Stats.Excluded must
+// report overlap-addresses × ports.
+func TestScanExcludeStraddlingTargets(t *testing.T) {
+	n := simnet.New()
+	ip := netip.MustParseAddr("10.0.2.200")
+	h := simnet.NewHost(ip)
+	h.Bind(80, func(c net.Conn) { c.Close() })
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Targets: []netip.Prefix{
+			netip.MustParsePrefix("10.0.0.0/24"),
+			netip.MustParsePrefix("10.0.2.0/24"),
+		},
+		// Straddles the tail of the first target, all of a gap that is not
+		// in the target space, and the head of the second target.
+		Exclude: []netip.Prefix{netip.MustParsePrefix("10.0.0.128/23")}, // canonicalizes to 10.0.0.0/23
+		Ports:   []int{80, 443},
+		Workers: 4,
+	}
+	// 10.0.0.128/23 masks to 10.0.0.0/23 which covers the whole first /24
+	// plus 10.0.1.0/24 (not a target). Overlap with targets = 256 addrs.
+	var mu sync.Mutex
+	var results []Result
+	stats, err := New(n).Scan(context.Background(), cfg, func(r Result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sp.total != 6 {
-		t.Fatalf("total = %d, want 6", sp.total)
+	if stats.Excluded != 256*2 {
+		t.Errorf("Excluded = %d, want 512", stats.Excluded)
 	}
-	wants := []string{"10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3", "192.168.1.0", "192.168.1.1"}
-	for i, w := range wants {
-		if got := sp.addr(uint64(i)).String(); got != w {
-			t.Errorf("addr(%d) = %s, want %s", i, got, w)
+	if stats.Probed != 256*2 {
+		t.Errorf("Probed = %d, want 512", stats.Probed)
+	}
+	if len(results) != 1 || results[0].IP != ip {
+		t.Errorf("results = %v, want the one open host", results)
+	}
+}
+
+// TestScanBatchesDeliversEveryResult: the batched API must deliver exactly
+// the open set, across multiple flushes.
+func TestScanBatchesDeliversEveryResult(t *testing.T) {
+	n := simnet.New()
+	want := map[Result]bool{}
+	for i := 0; i < 600; i++ { // > 2×batchCap so full and partial flushes both happen
+		ip := netip.AddrFrom4([4]byte{10, 0, byte(i / 256), byte(i % 256)})
+		h := simnet.NewHost(ip)
+		h.Bind(80, func(c net.Conn) { c.Close() })
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
 		}
+		want[Result{IP: ip, Port: 80}] = true
+	}
+	var mu sync.Mutex
+	got := map[Result]bool{}
+	batches := 0
+	stats, err := New(n).ScanBatches(context.Background(), Config{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/22")},
+		Ports:   []int{80},
+		Workers: 2,
+		Seed:    3,
+	}, func(rs []Result) {
+		mu.Lock()
+		batches++
+		for _, r := range rs {
+			got[r] = true
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d (in %d batches)", len(got), len(want), batches)
+	}
+	for r := range want {
+		if !got[r] {
+			t.Errorf("missing %v", r)
+		}
+	}
+	if stats.Open != uint64(len(want)) {
+		t.Errorf("Open = %d, want %d", stats.Open, len(want))
+	}
+	if batches < 2 {
+		t.Errorf("expected multiple batch flushes, got %d", batches)
 	}
 }
 

@@ -1,0 +1,130 @@
+package scanner
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/prefilter"
+	"mavscan/internal/tsunami"
+)
+
+// hostAgg accumulates per-host pipeline state across stages.
+type hostAgg struct {
+	openPorts map[int]bool
+	anyHTTP   bool
+	// apps maps app -> best observation so far (dedup across ports).
+	apps map[mav.App]*AppObservation
+}
+
+// aggShards is the aggregator fan-out. Keyed by the low address byte so
+// hosts inside one scanned prefix spread across every shard.
+const aggShards = 64
+
+type aggShard struct {
+	mu    sync.Mutex
+	hosts map[netip.Addr]*hostAgg
+	// Per-port protocol-responder counters, merged into the report at fold
+	// time so Stage-II workers never contend on one global counter map.
+	httpResponses  map[int]int
+	httpsResponses map[int]int
+}
+
+// aggregator collects pipeline observations contention-free: state is
+// sharded by host address, so the HTTP worker pool synchronizes on
+// per-shard mutexes instead of a single pipeline-wide lock.
+type aggregator struct {
+	shards [aggShards]aggShard
+}
+
+func newAggregator() *aggregator {
+	a := &aggregator{}
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.hosts = make(map[netip.Addr]*hostAgg)
+		sh.httpResponses = make(map[int]int)
+		sh.httpsResponses = make(map[int]int)
+	}
+	return a
+}
+
+func (a *aggregator) shardFor(ip netip.Addr) *aggShard {
+	b := ip.As4()
+	return &a.shards[int(b[3])&(aggShards-1)]
+}
+
+// observe records one open port and its Stage-II prefilter outcome, and
+// returns the Stage-III targets this observation newly created (the first
+// matching port per (host, app) wins, deduplicating across ports).
+func (a *aggregator) observe(ip netip.Addr, port int, res prefilter.Result) []tsunami.Target {
+	sh := a.shardFor(ip)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	agg := sh.hosts[ip]
+	if agg == nil {
+		agg = &hostAgg{openPorts: map[int]bool{}, apps: map[mav.App]*AppObservation{}}
+		sh.hosts[ip] = agg
+	}
+	agg.openPorts[port] = true
+	if res.HTTP {
+		sh.httpResponses[port]++
+		agg.anyHTTP = true
+	}
+	if res.HTTPS {
+		sh.httpsResponses[port]++
+		agg.anyHTTP = true
+	}
+	var todo []tsunami.Target
+	for _, app := range res.Apps {
+		if _, seen := agg.apps[app]; seen {
+			continue
+		}
+		agg.apps[app] = &AppObservation{IP: ip, App: app, Port: port, Scheme: res.Scheme}
+		todo = append(todo, tsunami.Target{IP: ip, Port: port, Scheme: res.Scheme, App: app})
+	}
+	return todo
+}
+
+// update applies fn to the observation for (ip, app) under the owning
+// shard's lock. The observation must exist (created by observe).
+func (a *aggregator) update(ip netip.Addr, app mav.App, fn func(*AppObservation)) {
+	sh := a.shardFor(ip)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.hosts[ip].apps[app])
+}
+
+// fold merges every shard into the report, excluding the all-ports-open
+// artifact hosts (hosts where every scanned port was open yet nothing spoke
+// HTTP) as the paper did for Table 2. It must only be called after all
+// workers have finished.
+func (a *aggregator) fold(report *Report, nPorts int) {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		for port, c := range sh.httpResponses {
+			report.HTTPResponses[port] += c
+		}
+		for port, c := range sh.httpsResponses {
+			report.HTTPSResponses[port] += c
+		}
+		for _, agg := range sh.hosts {
+			if len(agg.openPorts) == nPorts && !agg.anyHTTP {
+				report.ArtifactHosts++
+				continue
+			}
+			for port := range agg.openPorts {
+				report.OpenPorts[port]++
+			}
+			for _, obs := range agg.apps {
+				report.Apps = append(report.Apps, *obs)
+			}
+		}
+	}
+	sort.Slice(report.Apps, func(i, j int) bool {
+		if report.Apps[i].App != report.Apps[j].App {
+			return report.Apps[i].App < report.Apps[j].App
+		}
+		return report.Apps[i].IP.Less(report.Apps[j].IP)
+	})
+}

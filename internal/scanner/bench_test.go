@@ -1,0 +1,45 @@
+package scanner
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"testing"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/prefilter"
+)
+
+// BenchmarkScannerAggregation measures the aggregation hot path fed by the
+// Stage-II worker pool: concurrent observe calls recording open ports,
+// protocol responders, and first-seen app observations. The aggregator is
+// sharded by host address, so parallel workers should rarely collide on a
+// mutex.
+func BenchmarkScannerAggregation(b *testing.B) {
+	// 4096 distinct hosts, each repeatedly observed on a handful of ports —
+	// the shape of a scan where hosts answer on several ports.
+	addrs := make([]netip.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+	}
+	ports := []int{80, 443, 8080, 8443}
+	results := []prefilter.Result{
+		{},
+		{HTTP: true},
+		{HTTP: true, HTTPS: true},
+		{HTTP: true, Apps: []mav.App{mav.Jenkins}, Scheme: "http"},
+	}
+	agg := newAggregator()
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			ip := addrs[i&4095]
+			agg.observe(ip, ports[i&3], results[(i>>2)&3])
+		}
+	})
+	b.StopTimer()
+	report := &Report{OpenPorts: map[int]int{}, HTTPResponses: map[int]int{}, HTTPSResponses: map[int]int{}}
+	agg.fold(report, len(ports))
+}

@@ -15,7 +15,6 @@ package scanner
 import (
 	"context"
 	"net/netip"
-	"sort"
 	"sync"
 	"time"
 
@@ -161,90 +160,55 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 		HTTPSResponses: map[int]int{},
 	}
 
-	// Stage II/III worker pool consuming Stage-I results as they stream.
-	type portHit struct {
-		ip   netip.Addr
-		port int
-	}
-	hits := make(chan portHit, 1024)
-
-	var mu sync.Mutex
-	type hostAgg struct {
-		openPorts map[int]bool
-		anyHTTP   bool
-		// apps maps app -> best observation so far (dedup across ports).
-		apps map[mav.App]*AppObservation
-	}
-	hosts := map[netip.Addr]*hostAgg{}
+	// Stage II/III worker pool consuming Stage-I results while the port
+	// scan is still running. The handoff is batch-granular: Stage-I workers
+	// flush open ports in slices, so channel synchronization is paid once
+	// per batch instead of once per open port.
+	hits := make(chan []portscan.Result, 64)
+	agg := newAggregator()
 
 	var wg sync.WaitGroup
 	for w := 0; w < opts.HTTPWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for hit := range hits {
-				res := p.pre.Probe(ctx, hit.ip, hit.port)
-
-				mu.Lock()
-				agg := hosts[hit.ip]
-				if agg == nil {
-					agg = &hostAgg{openPorts: map[int]bool{}, apps: map[mav.App]*AppObservation{}}
-					hosts[hit.ip] = agg
-				}
-				agg.openPorts[hit.port] = true
-				if res.HTTP {
-					report.HTTPResponses[hit.port]++
-					agg.anyHTTP = true
-				}
-				if res.HTTPS {
-					report.HTTPSResponses[hit.port]++
-					agg.anyHTTP = true
-				}
-				// Deduplicate: first matching port per (host, app) wins.
-				var todo []tsunami.Target
-				for _, app := range res.Apps {
-					if _, seen := agg.apps[app]; seen {
-						continue
-					}
-					obs := &AppObservation{IP: hit.ip, App: app, Port: hit.port, Scheme: res.Scheme}
-					agg.apps[app] = obs
-					todo = append(todo, tsunami.Target{IP: hit.ip, Port: hit.port, Scheme: res.Scheme, App: app})
-				}
-				mu.Unlock()
-
-				for _, t := range todo {
-					findings := p.engine.Scan(ctx, t)
-					var fpRes fingerprint.Result
-					if !opts.SkipFingerprint {
-						fpRes = p.fp.Fingerprint(ctx, t)
-					}
-					mu.Lock()
-					obs := hosts[hit.ip].apps[t.App]
-					obs.Findings = findings
-					obs.Version = fpRes.Version
-					obs.FPMethod = fpRes.Method
-					if fpRes.Version != "" {
-						// Map the fingerprinted version to its public
-						// release date for the age analyses (Figure 1).
-						if rel, err := apps.ReleaseDate(t.App, fpRes.Version); err == nil {
-							obs.Released = rel
+			for batch := range hits {
+				for _, hit := range batch {
+					res := p.pre.Probe(ctx, hit.IP, hit.Port)
+					todo := agg.observe(hit.IP, hit.Port, res)
+					for _, t := range todo {
+						findings := p.engine.Scan(ctx, t)
+						var fpRes fingerprint.Result
+						if !opts.SkipFingerprint {
+							fpRes = p.fp.Fingerprint(ctx, t)
 						}
+						agg.update(t.IP, t.App, func(obs *AppObservation) {
+							obs.Findings = findings
+							obs.Version = fpRes.Version
+							obs.FPMethod = fpRes.Method
+							if fpRes.Version != "" {
+								// Map the fingerprinted version to its public
+								// release date for the age analyses (Figure 1).
+								if rel, err := apps.ReleaseDate(t.App, fpRes.Version); err == nil {
+									obs.Released = rel
+								}
+							}
+						})
 					}
-					mu.Unlock()
 				}
 			}
 		}()
 	}
 
-	stats, scanErr := p.ports.Scan(ctx, portscan.Config{
+	stats, scanErr := p.ports.ScanBatches(ctx, portscan.Config{
 		Targets:    opts.Targets,
 		Exclude:    opts.Exclude,
 		Ports:      opts.Ports,
 		Workers:    opts.PortWorkers,
 		Seed:       opts.Seed,
 		RatePerSec: opts.RatePerSec,
-	}, func(r portscan.Result) {
-		hits <- portHit{ip: r.IP, port: r.Port}
+	}, func(batch []portscan.Result) {
+		hits <- batch
 	})
 	close(hits)
 	wg.Wait()
@@ -253,26 +217,6 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	report.Stats = stats
 
-	// Fold per-host aggregates into the report, excluding the
-	// all-ports-open artifact hosts (hosts where every scanned port was
-	// open yet nothing spoke HTTP) as the paper did for Table 2.
-	for _, agg := range hosts {
-		if len(agg.openPorts) == len(opts.Ports) && !agg.anyHTTP {
-			report.ArtifactHosts++
-			continue
-		}
-		for port := range agg.openPorts {
-			report.OpenPorts[port]++
-		}
-		for _, obs := range agg.apps {
-			report.Apps = append(report.Apps, *obs)
-		}
-	}
-	sort.Slice(report.Apps, func(i, j int) bool {
-		if report.Apps[i].App != report.Apps[j].App {
-			return report.Apps[i].App < report.Apps[j].App
-		}
-		return report.Apps[i].IP.Less(report.Apps[j].IP)
-	})
+	agg.fold(report, len(opts.Ports))
 	return report, nil
 }

@@ -14,6 +14,14 @@
 //     study's "offline" outcome),
 //   - the "all ports appear open" network artifact the paper excluded
 //     (wildcard hosts that accept every SYN but speak no HTTP).
+//
+// The host table is a two-level atomic page table sharded by the top two
+// address bytes (one shard per /16) with a cache-dense presence bitmap in
+// front, and per-host state is published through atomic copy-on-write
+// snapshots, so the Stage-I probe workers and the Stage-II/III HTTP
+// workers never serialize on a lock: a probe costs a couple of atomic
+// loads and an array index — no hashing, no locked bus operations, no
+// allocations.
 package simnet
 
 import (
@@ -24,6 +32,7 @@ import (
 	"net/netip"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mavscan/internal/simtime"
@@ -46,32 +55,67 @@ var (
 // the connection before returning.
 type ConnHandler func(conn net.Conn)
 
-// service is one bound port on a host.
-type service struct {
-	handler ConnHandler
+// wildcardHandler is the service every port of a wildcard-open host
+// resolves to: a middlebox that completes the handshake and immediately
+// hangs up without speaking any protocol. It lives at package level so
+// wildcard probes and dials never allocate a closure.
+func wildcardHandler(conn net.Conn) { conn.Close() }
+
+// hostState is one immutable snapshot of a host's externally visible
+// state. Mutators publish a fresh snapshot; readers load it with a single
+// atomic operation and take no locks.
+type hostState struct {
+	ports        map[int]ConnHandler
+	online       bool
+	firewalled   bool
+	wildcardOpen bool
 }
 
 // Host is a single addressable machine in the simulated internet.
 type Host struct {
-	ip netip.Addr
+	ip  netip.Addr
+	key uint32 // ip as a big-endian word; page-table key
 
-	mu         sync.RWMutex
-	ports      map[int]*service
-	online     bool
-	firewalled bool
-	// wildcardOpen marks hosts that answer every SYN (middleboxes); such
-	// ports accept a connection and then immediately close it without
-	// speaking any protocol.
-	wildcardOpen bool
+	mu    sync.Mutex // serializes mutators; readers go through state
+	state atomic.Pointer[hostState]
 }
 
 // NewHost returns an online host with no bound ports.
 func NewHost(ip netip.Addr) *Host {
-	return &Host{ip: ip, ports: make(map[int]*service), online: true}
+	h := &Host{ip: ip}
+	if k, ok := addrKey(ip); ok {
+		h.key = k
+	}
+	st := &hostState{ports: map[int]ConnHandler{}, online: true}
+	h.state.Store(st)
+	return h
 }
 
 // IP returns the host's address.
 func (h *Host) IP() netip.Addr { return h.ip }
+
+// mutate publishes a new state snapshot derived from the current one. When
+// clonePorts is set the port table is deep-copied first so the previous
+// snapshot stays immutable for concurrent readers.
+func (h *Host) mutate(clonePorts bool, f func(*hostState)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.state.Load()
+	next := &hostState{
+		ports:        old.ports,
+		online:       old.online,
+		firewalled:   old.firewalled,
+		wildcardOpen: old.wildcardOpen,
+	}
+	if clonePorts {
+		next.ports = make(map[int]ConnHandler, len(old.ports)+1)
+		for p, svc := range old.ports {
+			next.ports[p] = svc
+		}
+	}
+	f(next)
+	h.state.Store(next)
+}
 
 // Bind installs handler as the service on port, replacing any previous
 // binding.
@@ -79,24 +123,19 @@ func (h *Host) Bind(port int, handler ConnHandler) {
 	if handler == nil {
 		panic("simnet: Bind with nil handler")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.ports[port] = &service{handler: handler}
+	h.mutate(true, func(st *hostState) { st.ports[port] = handler })
 }
 
 // Unbind removes the service on port, if any.
 func (h *Host) Unbind(port int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	delete(h.ports, port)
+	h.mutate(true, func(st *hostState) { delete(st.ports, port) })
 }
 
 // Ports returns the currently bound ports in unspecified order.
 func (h *Host) Ports() []int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	out := make([]int, 0, len(h.ports))
-	for p := range h.ports {
+	st := h.state.Load()
+	out := make([]int, 0, len(st.ports))
+	for p := range st.ports {
 		out = append(out, p)
 	}
 	return out
@@ -104,155 +143,246 @@ func (h *Host) Ports() []int {
 
 // SetOnline marks the host reachable or unreachable (powered off).
 func (h *Host) SetOnline(v bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.online = v
+	h.mutate(false, func(st *hostState) { st.online = v })
 }
 
 // Online reports whether the host answers probes at all.
-func (h *Host) Online() bool {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.online
-}
+func (h *Host) Online() bool { return h.state.Load().online }
 
 // SetFirewalled silently drops all inbound probes when enabled. This models
 // the out-of-band provider firewall as well as owners firewalling a
 // previously exposed endpoint.
 func (h *Host) SetFirewalled(v bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.firewalled = v
+	h.mutate(false, func(st *hostState) { st.firewalled = v })
 }
 
 // Firewalled reports whether inbound traffic is dropped.
-func (h *Host) Firewalled() bool {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.firewalled
-}
+func (h *Host) Firewalled() bool { return h.state.Load().firewalled }
 
 // SetWildcardOpen makes every port on the host accept connections without
 // serving a protocol, reproducing the 3.0M "always all ports open" artifact
 // hosts the paper excluded from Table 2.
 func (h *Host) SetWildcardOpen(v bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.wildcardOpen = v
+	h.mutate(false, func(st *hostState) { st.wildcardOpen = v })
 }
 
 // WildcardOpen reports whether the host answers every SYN.
-func (h *Host) WildcardOpen() bool {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.wildcardOpen
-}
+func (h *Host) WildcardOpen() bool { return h.state.Load().wildcardOpen }
 
 // lookupService classifies a probe to (host, port).
 func (h *Host) lookupService(port int) (ConnHandler, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	st := h.state.Load()
 	switch {
-	case !h.online:
+	case !st.online:
 		return nil, ErrHostUnreachable
-	case h.firewalled:
+	case st.firewalled:
 		return nil, ErrFiltered
 	}
-	if svc, ok := h.ports[port]; ok {
-		return svc.handler, nil
+	if handler, ok := st.ports[port]; ok {
+		return handler, nil
 	}
-	if h.wildcardOpen {
-		// Accept, then hang up: a middlebox that completes the handshake
-		// for every port but runs no service behind it.
-		return func(conn net.Conn) { conn.Close() }, nil
+	if st.wildcardOpen {
+		return wildcardHandler, nil
 	}
 	return nil, ErrConnRefused
 }
 
+// addrKey flattens an IPv4 (or IPv4-mapped) address into a map key.
+func addrKey(ip netip.Addr) (uint32, bool) {
+	if !ip.Is4() && !ip.Is4In6() {
+		return 0, false
+	}
+	b := ip.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), true
+}
+
+// The host table is a two-level page table over the 32-bit address space:
+// the top two address bytes select a lazily allocated page (so the table is
+// sharded 65536 ways, one shard per /16), and the low two bytes index a
+// slot inside it. Every slot is an atomic pointer, so lookups are two
+// atomic loads and an array index — no hashing, no locks, no locked bus
+// operations — and concurrent registration is a slot CAS. A miss in an
+// unpopulated /16 costs a single nil check.
+const pageBits = 16
+
+type hostPage [1 << pageBits]atomic.Pointer[Host]
+
+// Presence bitmap. Alongside each host page the network keeps one bit per
+// address recording whether a host is registered there. Scans probe vastly
+// more empty addresses than live ones — the simulated space is sparse like
+// the real IPv4 internet — and the bitmap answers those misses with a
+// single atomic load against a structure 256× denser than the pointer
+// pages (8 KiB per /16), so the miss path stays in L1/L2 cache instead of
+// chasing cold pointers. Only probes to present addresses take the exact
+// per-host path.
+type presencePage [1 << (pageBits - 5)]atomic.Uint32
+
 // Network is the simulated internet: a set of hosts addressable by IPv4
 // address. The zero value is not usable; construct with New.
 type Network struct {
-	mu    sync.RWMutex
-	hosts map[netip.Addr]*Host
-	// latency is added to every successful dial; zero by default so large
-	// scans run at full speed.
-	latency time.Duration
+	pages  [1 << (32 - pageBits)]atomic.Pointer[hostPage]
+	bits   [1 << (32 - pageBits)]atomic.Pointer[presencePage]
+	nhosts atomic.Int64
+	// latency (nanoseconds) is added to every successful dial; zero by
+	// default so large scans run at full speed.
+	latency atomic.Int64
 	// clock paces the latency wait; tests may inject a fake Sleeper so
 	// latency runs never block in real time.
-	clock simtime.Sleeper
+	clock atomic.Pointer[simtime.Sleeper]
 }
 
 // New returns an empty network.
 func New() *Network {
-	return &Network{hosts: make(map[netip.Addr]*Host), clock: simtime.Wall{}}
+	n := &Network{}
+	wall := simtime.Sleeper(simtime.Wall{})
+	n.clock.Store(&wall)
+	return n
 }
 
 // SetClock replaces the sleeper used to pace per-dial latency.
 func (n *Network) SetClock(clock simtime.Sleeper) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.clock = clock
+	n.clock.Store(&clock)
 }
 
 // SetLatency sets a fixed per-connection setup latency (applied on Dial).
 func (n *Network) SetLatency(d time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.latency = d
+	n.latency.Store(int64(d))
 }
 
-// AddHost registers h. Adding a second host with the same address is an
-// error: the simulated space has one owner per IP.
-func (n *Network) AddHost(h *Host) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, dup := n.hosts[h.ip]; dup {
-		return fmt.Errorf("simnet: duplicate host %s", h.ip)
+// page returns the page owning key k, allocating it (and its presence
+// sibling) when create is set.
+func (n *Network) page(k uint32, create bool) *hostPage {
+	slot := &n.pages[k>>pageBits]
+	pg := slot.Load()
+	if pg == nil && create {
+		// Publish the presence page first so a probe racing AddHost never
+		// sees a host page without its bitmap sibling.
+		n.bits[k>>pageBits].CompareAndSwap(nil, new(presencePage))
+		fresh := new(hostPage)
+		if slot.CompareAndSwap(nil, fresh) {
+			return fresh
+		}
+		pg = slot.Load()
 	}
-	n.hosts[h.ip] = h
-	return nil
+	return pg
 }
 
-// RemoveHost deletes the host at ip, if present.
-func (n *Network) RemoveHost(ip netip.Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.hosts, ip)
-}
-
-// Host returns the host registered at ip.
-func (n *Network) Host(ip netip.Addr) (*Host, bool) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	h, ok := n.hosts[ip]
-	return h, ok
-}
-
-// NumHosts returns the number of registered hosts.
-func (n *Network) NumHosts() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.hosts)
-}
-
-// Hosts calls fn for every registered host until fn returns false. The
-// iteration order is unspecified. fn must not add or remove hosts.
-func (n *Network) Hosts(fn func(h *Host) bool) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	for _, h := range n.hosts {
-		if !fn(h) {
+// setPresent flips the presence bit for key k. The owning page always
+// exists by the time a host is attached.
+func (n *Network) setPresent(k uint32, on bool) {
+	bp := n.bits[k>>pageBits].Load()
+	if bp == nil {
+		return
+	}
+	w := &bp[(k&(1<<pageBits-1))>>5]
+	bit := uint32(1) << (k & 31)
+	for {
+		old := w.Load()
+		next := old | bit
+		if !on {
+			next = old &^ bit
+		}
+		if old == next || w.CompareAndSwap(old, next) {
 			return
 		}
 	}
 }
 
+// AddHost registers h. Adding a second host with the same address is an
+// error: the simulated space has one owner per IP. The simulated internet
+// is IPv4-only; non-IPv4 hosts are rejected.
+func (n *Network) AddHost(h *Host) error {
+	k, ok := addrKey(h.ip)
+	if !ok {
+		return fmt.Errorf("simnet: host %s is not IPv4", h.ip)
+	}
+	pg := n.page(k, true)
+	if !pg[k&(1<<pageBits-1)].CompareAndSwap(nil, h) {
+		return fmt.Errorf("simnet: duplicate host %s", h.ip)
+	}
+	// The bit is published after the slot, so a probe that observes the
+	// bit always finds the host.
+	n.setPresent(k, true)
+	n.nhosts.Add(1)
+	return nil
+}
+
+// RemoveHost deletes the host at ip, if present.
+func (n *Network) RemoveHost(ip netip.Addr) {
+	k, ok := addrKey(ip)
+	if !ok {
+		return
+	}
+	pg := n.page(k, false)
+	if pg == nil {
+		return
+	}
+	n.setPresent(k, false)
+	if old := pg[k&(1<<pageBits-1)].Swap(nil); old != nil {
+		n.nhosts.Add(-1)
+	}
+}
+
+// lookup resolves ip to a registered host.
+func (n *Network) lookup(ip netip.Addr) (*Host, bool) {
+	k, ok := addrKey(ip)
+	if !ok {
+		return nil, false
+	}
+	pg := n.pages[k>>pageBits].Load()
+	if pg == nil {
+		return nil, false
+	}
+	h := pg[k&(1<<pageBits-1)].Load()
+	return h, h != nil
+}
+
+// Host returns the host registered at ip.
+func (n *Network) Host(ip netip.Addr) (*Host, bool) {
+	return n.lookup(ip)
+}
+
+// NumHosts returns the number of registered hosts.
+func (n *Network) NumHosts() int {
+	return int(n.nhosts.Load())
+}
+
+// Hosts calls fn for every registered host until fn returns false. The
+// iteration order is unspecified. fn must not add or remove hosts.
+func (n *Network) Hosts(fn func(h *Host) bool) {
+	for i := range n.pages {
+		pg := n.pages[i].Load()
+		if pg == nil {
+			continue
+		}
+		for j := range pg {
+			if h := pg[j].Load(); h != nil {
+				if !fn(h) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // ProbePort performs a half-open (SYN) probe: it reports open without
-// exchanging any application data. This is the Stage-I (masscan) primitive.
+// exchanging any application data. This is the Stage-I (masscan)
+// primitive, and the hottest call in the pipeline: probes to empty
+// addresses — the overwhelming majority of a sparse scan — are answered
+// from the presence bitmap with a single atomic load.
 func (n *Network) ProbePort(ip netip.Addr, port int) error {
-	n.mu.RLock()
-	h, ok := n.hosts[ip]
-	n.mu.RUnlock()
+	k, ok := addrKey(ip)
+	if !ok {
+		return ErrHostUnreachable
+	}
+	bp := n.bits[k>>pageBits].Load()
+	if bp == nil {
+		return ErrHostUnreachable
+	}
+	if bp[(k&(1<<pageBits-1))>>5].Load()&(1<<(k&31)) == 0 {
+		return ErrHostUnreachable
+	}
+	h, ok := n.lookup(ip)
 	if !ok {
 		return ErrHostUnreachable
 	}
@@ -272,11 +402,7 @@ func (n *Network) Dial(ctx context.Context, ip netip.Addr, port int) (net.Conn, 
 // DialFrom is Dial with an explicit source address, visible to the server
 // side as the connection's RemoteAddr.
 func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (net.Conn, error) {
-	n.mu.RLock()
-	h, ok := n.hosts[ip]
-	latency := n.latency
-	clock := n.clock
-	n.mu.RUnlock()
+	h, ok := n.lookup(ip)
 	if !ok {
 		return nil, ErrHostUnreachable
 	}
@@ -284,7 +410,8 @@ func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (n
 	if err != nil {
 		return nil, err
 	}
-	if latency > 0 {
+	if latency := time.Duration(n.latency.Load()); latency > 0 {
+		clock := *n.clock.Load()
 		select {
 		case <-clock.After(latency):
 		case <-ctx.Done():

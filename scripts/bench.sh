@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance benchmark suite and update BENCH_pr2.json.
+#
+# Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
+# iteration is a full simulated internet scan, so only a few iterations
+# each) plus the hot-path micro benchmarks, all with -benchmem, and folds
+# the results into a JSON file of the shape
+#
+#   {"baseline": {name: {ns_per_op, bytes_per_op, allocs_per_op}}, "after": {...}}
+#
+# The "baseline" section is written once (first run on a tree) and then
+# preserved; every subsequent run refreshes "after", so the file always
+# carries before/after evidence for the current PR. Table benchmarks are
+# run $TABLE_RUNS times (default 3) and the median ns/op is kept: the
+# container-grade CPUs this runs on are noisy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr2.json}"
+TABLE_RUNS="${TABLE_RUNS:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP.json"' EXIT
+
+echo "==> table benchmarks (${TABLE_RUNS} runs, -benchtime=3x)"
+for _ in $(seq "$TABLE_RUNS"); do
+	go test -run '^$' -bench 'BenchmarkTable2OpenPorts$|BenchmarkTable3Prevalence$' \
+		-benchtime=3x -benchmem . >>"$TMP"
+done
+
+echo "==> micro benchmarks (default benchtime)"
+go test -run '^$' -bench 'BenchmarkBlackRockShuffle$|BenchmarkSimnetDial$' -benchmem . >>"$TMP"
+go test -run '^$' -bench . -benchmem ./internal/portscan/ >>"$TMP"
+go test -run '^$' -bench . -benchmem ./internal/simnet/ >>"$TMP"
+go test -run '^$' -bench . -benchmem ./internal/scanner/ >>"$TMP"
+
+# Parse `go test -bench` output. A benchmark that logs prints its name on
+# one line and the measurements on the next, so carry the name forward.
+awk '
+/^Benchmark/ {
+	pending = $1
+	if ($0 ~ /ns\/op/) { emit(pending, $0); pending = "" }
+	next
+}
+pending != "" && /ns\/op/ { emit(pending, $0); pending = "" }
+function emit(name, line,    f, n, i, ns, b, a) {
+	n = split(line, f)
+	ns = 0; b = 0; a = 0
+	for (i = 2; i <= n; i++) {
+		if (f[i] == "ns/op")     ns = f[i-1]
+		if (f[i] == "B/op")      b  = f[i-1]
+		if (f[i] == "allocs/op") a  = f[i-1]
+	}
+	print name, ns, b, a
+}
+' "$TMP" |
+	jq -Rn '
+		[inputs | split(" ") | {
+			name: .[0],
+			ns: (.[1] | tonumber),
+			b: (.[2] | tonumber),
+			a: (.[3] | tonumber)
+		}]
+		| group_by(.name)
+		| map({
+			key: .[0].name,
+			value: {
+				ns_per_op: (sort_by(.ns) | .[(length - 1) / 2 | floor].ns),
+				bytes_per_op: .[0].b,
+				allocs_per_op: .[0].a
+			}
+		})
+		| from_entries
+	' >"$TMP.json"
+
+if [ -f "$OUT" ] && jq -e '.baseline' "$OUT" >/dev/null 2>&1; then
+	jq --slurpfile fresh "$TMP.json" '.after = $fresh[0]' "$OUT" >"$OUT.tmp"
+	mv "$OUT.tmp" "$OUT"
+else
+	jq -n --slurpfile fresh "$TMP.json" '{baseline: $fresh[0], after: $fresh[0]}' >"$OUT"
+fi
+
+echo "bench.sh: wrote $OUT"
