@@ -35,7 +35,9 @@ import (
 	"mavscan/internal/scanner"
 	"mavscan/internal/secscan"
 	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
 	"mavscan/internal/study"
+	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 	"mavscan/internal/tsunami/plugins"
 )
@@ -124,6 +126,17 @@ func BenchmarkTable1ManualInvestigation(b *testing.B) {
 // BenchmarkTable2OpenPorts times stages I+II over the generated world and
 // prints the per-port open/HTTP/HTTPS counts.
 func BenchmarkTable2OpenPorts(b *testing.B) {
+	benchTable2(b, false)
+}
+
+// BenchmarkTable2OpenPortsTelemetry is the same scan with the metrics
+// registry attached — the pair quantifies the telemetry-on overhead of the
+// Stage-I hot path.
+func BenchmarkTable2OpenPortsTelemetry(b *testing.B) {
+	benchTable2(b, true)
+}
+
+func benchTable2(b *testing.B, instrumented bool) {
 	cfg := benchScanConfig()
 	world, err := population.Generate(cfg.Population)
 	if err != nil {
@@ -134,7 +147,11 @@ func BenchmarkTable2OpenPorts(b *testing.B) {
 		opts := cfg.Scan
 		opts.Targets = world.Geo.Prefixes()
 		opts.SkipFingerprint = true
-		rep, err := scanner.New(world.Net).Run(context.Background(), opts)
+		pipe := scanner.New(world.Net)
+		if instrumented {
+			pipe.Instrument(telemetry.New(simtime.Wall{}))
+		}
+		rep, err := pipe.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,6 +162,17 @@ func BenchmarkTable2OpenPorts(b *testing.B) {
 // BenchmarkTable3Prevalence times the full three-stage pipeline (including
 // fingerprinting) — the paper's headline measurement.
 func BenchmarkTable3Prevalence(b *testing.B) {
+	benchTable3(b, false)
+}
+
+// BenchmarkTable3PrevalenceTelemetry runs the same pipeline fully
+// instrumented: stage counters, per-plugin latency histograms, and the
+// span tree.
+func BenchmarkTable3PrevalenceTelemetry(b *testing.B) {
+	benchTable3(b, true)
+}
+
+func benchTable3(b *testing.B, instrumented bool) {
 	cfg := benchScanConfig()
 	world, err := population.Generate(cfg.Population)
 	if err != nil {
@@ -154,7 +182,11 @@ func BenchmarkTable3Prevalence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := cfg.Scan
 		opts.Targets = world.Geo.Prefixes()
-		rep, err := scanner.New(world.Net).Run(context.Background(), opts)
+		pipe := scanner.New(world.Net)
+		if instrumented {
+			pipe.Instrument(telemetry.New(simtime.Wall{}))
+		}
+		rep, err := pipe.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,7 +13,9 @@ import (
 
 	"mavscan/internal/population"
 	"mavscan/internal/report"
+	"mavscan/internal/simtime"
 	"mavscan/internal/study"
+	"mavscan/internal/telemetry"
 )
 
 func main() {
@@ -24,8 +26,35 @@ func main() {
 		hostScale = flag.Int("host-scale", 20000, "divisor for the secure host counts")
 		vulnScale = flag.Int("vuln-scale", 8, "divisor for the MAV counts")
 		interval  = flag.Duration("interval", 3*time.Hour, "observation cadence (paper: 3h)")
+		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after Figure 2")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	var done chan struct{}
+	if *metrics {
+		reg = telemetry.New(simtime.Wall{})
+		done = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(200 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-done:
+					fmt.Fprintf(os.Stderr, "\r%80s\r", "")
+					return
+				case <-ticker.C:
+					fmt.Fprintf(os.Stderr,
+						"\rticks=%d vulnerable=%d fixed=%d offline=%d updated=%d",
+						reg.CounterValue("mavscan_observer_ticks_total"),
+						reg.GaugeValue(`mavscan_observer_current{state="vulnerable"}`),
+						reg.GaugeValue(`mavscan_observer_current{state="fixed"}`),
+						reg.GaugeValue(`mavscan_observer_current{state="offline"}`),
+						reg.CounterValue("mavscan_observer_updates_total"))
+				}
+			}
+		}()
+	}
 
 	fmt.Println("generating world and running the initial scan...")
 	scan, err := study.RunScan(context.Background(), study.ScanConfig{
@@ -36,6 +65,7 @@ func main() {
 			BackgroundScale: -1,
 			WildcardScale:   -1,
 		},
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -43,6 +73,19 @@ func main() {
 	targets := scan.ObserverTargets()
 	fmt.Printf("observing %d vulnerable hosts every %v for four simulated weeks...\n\n", len(targets), *interval)
 
-	res := study.RunLongevity(scan, study.LongevityConfig{Seed: *seed, Interval: *interval})
+	res := study.RunLongevity(scan, study.LongevityConfig{
+		Seed: *seed, Interval: *interval, Telemetry: reg,
+	})
+	if done != nil {
+		close(done)
+	}
 	report.Figure2(os.Stdout, res)
+
+	if reg != nil {
+		fmt.Println()
+		fmt.Println("=== Telemetry snapshot ===")
+		if err := reg.WriteProm(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

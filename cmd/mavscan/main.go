@@ -8,14 +8,41 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"mavscan/internal/analysis"
 	"mavscan/internal/mav"
 	"mavscan/internal/population"
 	"mavscan/internal/report"
 	"mavscan/internal/scanner"
+	"mavscan/internal/simtime"
 	"mavscan/internal/study"
+	"mavscan/internal/telemetry"
 )
+
+// progressLoop prints a live progress line to stderr every interval until
+// done is closed. It reads only snapshot accessors, so it never contends
+// with the scan's hot path.
+func progressLoop(reg *telemetry.Registry, interval time.Duration, done <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			fmt.Fprintf(os.Stderr, "\r%80s\r", "")
+			return
+		case <-ticker.C:
+			fmt.Fprintf(os.Stderr,
+				"\rprobes=%d open=%d prefilter=%d matched=%d findings=%d queue=%d",
+				reg.CounterValue("mavscan_portscan_probes_total"),
+				reg.CounterValue("mavscan_portscan_open_total"),
+				reg.CounterValue("mavscan_prefilter_probes_total"),
+				reg.CounterValue("mavscan_prefilter_matched_endpoints_total"),
+				reg.CounterValue("mavscan_tsunami_findings_total"),
+				reg.GaugeValue("mavscan_scanner_queue_depth"))
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -26,8 +53,17 @@ func main() {
 		vulnScale = flag.Int("vuln-scale", 4, "divisor for the MAV counts of Table 3")
 		bgScale   = flag.Int("background-scale", 100000, "divisor for Table 2 background noise (negative disables)")
 		workers   = flag.Int("workers", 64, "stage-I probe workers")
+		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	var done chan struct{}
+	if *metrics {
+		reg = telemetry.New(simtime.Wall{})
+		done = make(chan struct{})
+		go progressLoop(reg, 200*time.Millisecond, done)
+	}
 
 	fmt.Println("generating simulated IPv4 internet...")
 	scan, err := study.RunScan(context.Background(), study.ScanConfig{
@@ -42,7 +78,11 @@ func main() {
 			PortWorkers: *workers,
 			Seed:        uint64(*seed),
 		},
+		Telemetry: reg,
 	})
+	if done != nil {
+		close(done)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,4 +100,12 @@ func main() {
 	fmt.Fprintln(w)
 	panels := analysis.Figure1(scan.Report.Apps, population.ScanDate, mav.JupyterNotebook, mav.Hadoop)
 	report.Figure1(w, panels)
+
+	if reg != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Telemetry snapshot ===")
+		if err := reg.WriteProm(w); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mavscan/internal/telemetry"
 )
 
 // Event is one monitoring record.
@@ -59,13 +61,41 @@ type Store struct {
 	mu     sync.RWMutex
 	events []Event
 	byType map[string][]int
+
+	// Telemetry handles; nil handles no-op, so the zero-value Store stays
+	// ready to use without instrumentation.
+	telEvents *telemetry.Counter
+	telSize   *telemetry.Gauge
+}
+
+// Instrument registers the store's ingestion metrics with reg (nil = off).
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.telEvents = reg.Counter("mavscan_eslite_events_total")
+	s.telSize = reg.Gauge("mavscan_eslite_store_size")
+	s.telSize.Set(int64(len(s.events)))
+}
+
+// cloneFields returns an independent copy of fields (never nil). The store
+// copies on both ingest and query so that neither a shipper mutating its
+// map after Append nor a reader mutating a result can corrupt the
+// append-only history.
+func cloneFields(fields map[string]string) map[string]string {
+	out := make(map[string]string, len(fields))
+	for k, v := range fields {
+		out[k] = v
+	}
+	return out
 }
 
 // Append adds one event. Events may arrive out of order; queries sort.
+// The event's Fields map is copied, so the caller may reuse it.
 func (s *Store) Append(e Event) {
-	if e.Fields == nil {
-		e.Fields = map[string]string{}
-	}
+	e.Fields = cloneFields(e.Fields)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.byType == nil {
@@ -73,6 +103,8 @@ func (s *Store) Append(e Event) {
 	}
 	s.events = append(s.events, e)
 	s.byType[e.Type] = append(s.byType[e.Type], len(s.events)-1)
+	s.telEvents.Inc()
+	s.telSize.Set(int64(len(s.events)))
 }
 
 // Len returns the total number of stored events.
@@ -82,47 +114,43 @@ func (s *Store) Len() int {
 	return len(s.events)
 }
 
-// Search returns all events matching q, sorted by time (stable on insert
-// order for equal timestamps).
-func (s *Store) Search(q Query) []Event {
+// scan calls fn for every stored event matching q, under the read lock and
+// without copying. Read-only internal helper backing the query methods.
+func (s *Store) scan(q Query, fn func(Event)) {
 	s.mu.RLock()
-	var out []Event
+	defer s.mu.RUnlock()
 	if q.Type != "" {
 		for _, idx := range s.byType[q.Type] {
 			if q.matches(s.events[idx]) {
-				out = append(out, s.events[idx])
+				fn(s.events[idx])
 			}
 		}
-	} else {
-		for _, e := range s.events {
-			if q.matches(e) {
-				out = append(out, e)
-			}
+		return
+	}
+	for _, e := range s.events {
+		if q.matches(e) {
+			fn(e)
 		}
 	}
-	s.mu.RUnlock()
+}
+
+// Search returns all events matching q, sorted by time (stable on insert
+// order for equal timestamps). Each result carries its own copy of Fields;
+// mutating it does not affect the store.
+func (s *Store) Search(q Query) []Event {
+	var out []Event
+	s.scan(q, func(e Event) {
+		e.Fields = cloneFields(e.Fields)
+		out = append(out, e)
+	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
 	return out
 }
 
 // Count returns the number of events matching q.
 func (s *Store) Count(q Query) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	if q.Type != "" {
-		for _, idx := range s.byType[q.Type] {
-			if q.matches(s.events[idx]) {
-				n++
-			}
-		}
-		return n
-	}
-	for _, e := range s.events {
-		if q.matches(e) {
-			n++
-		}
-	}
+	s.scan(q, func(Event) { n++ })
 	return n
 }
 
@@ -130,8 +158,6 @@ func (s *Store) Count(q Query) int {
 // per-value counts — the terms-aggregation used by the analysis queries.
 func (s *Store) Aggregate(q Query, field string) map[string]int {
 	out := map[string]int{}
-	for _, e := range s.Search(q) {
-		out[e.Fields[field]]++
-	}
+	s.scan(q, func(e Event) { out[e.Fields[field]]++ })
 	return out
 }

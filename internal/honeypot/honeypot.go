@@ -21,6 +21,7 @@ import (
 	"mavscan/internal/mav"
 	"mavscan/internal/simnet"
 	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
 )
 
 // Honeypot is one deployed vulnerable application.
@@ -63,6 +64,23 @@ type Farm struct {
 	// derived from usage patterns observed before exposure, as in the
 	// paper.
 	CPUThreshold float64
+
+	// Telemetry handles; nil handles no-op.
+	telDeployed *telemetry.Gauge
+	telRestores *telemetry.Counter
+	telTicks    *telemetry.Counter
+}
+
+// Instrument registers the farm's monitoring metrics with reg (nil = off).
+func (f *Farm) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	f.telDeployed = reg.Gauge("mavscan_honeypot_deployed")
+	f.telRestores = reg.Counter("mavscan_honeypot_restores_total")
+	f.telTicks = reg.Counter("mavscan_honeypot_ticks_total")
+	f.telDeployed.Set(int64(len(f.pots)))
+	f.Store.Instrument(reg)
 }
 
 // NewFarm builds an empty farm on the given network and clock.
@@ -159,6 +177,7 @@ func (f *Farm) Deploy(app mav.App, ip netip.Addr) (*Honeypot, error) {
 
 	f.pots = append(f.pots, pot)
 	f.byIP[ip] = pot
+	f.telDeployed.Set(int64(len(f.pots)))
 	return pot, nil
 }
 
@@ -210,6 +229,7 @@ func (f *Farm) restore(pot *Honeypot) {
 	pot.Instance.Restore(pot.snapshot)
 	pot.cpuLoad = 0
 	pot.restores++
+	f.telRestores.Inc()
 	f.Store.Append(eslite.Event{
 		Time: f.Clock.Now(),
 		Type: "restore",
@@ -226,6 +246,7 @@ func (f *Farm) restore(pot *Honeypot) {
 // consumed (a hijacked CMS installation is restored so the next attacker
 // sees the initial state).
 func (f *Farm) Tick() {
+	f.telTicks.Inc()
 	for _, pot := range f.pots {
 		switch {
 		case pot.cpuLoad > f.CPUThreshold:

@@ -24,3 +24,21 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+// TestTelemetryStaysInScope pins the telemetry package inside the scope
+// of the determinism and hermeticity rules: a future exemption would let
+// wall-clock reads or real-network pushes creep into the metrics layer
+// unnoticed. The badmodule fixture proves the rules actually fire on a
+// telemetry package; this proves the real one is not exempted.
+func TestTelemetryStaysInScope(t *testing.T) {
+	const pkg = "mavscan/internal/telemetry"
+	if !pathIsOrUnder(pkg, "mavscan/internal") {
+		t.Fatalf("%s not under mavscan/internal", pkg)
+	}
+	if pathUnderAny(pkg, simclockExempt) {
+		t.Errorf("%s exempt from simclock; metric timestamps must come from an injected clock", pkg)
+	}
+	if pathUnderAny(pkg, hermeticExempt) {
+		t.Errorf("%s exempt from hermetic; exposition must stay pull-based", pkg)
+	}
+}

@@ -1,0 +1,25 @@
+// Package telemetry is a fixture violating three rules at once, pinning
+// down that the metrics layer itself is covered by the suite: it stamps
+// samples from the ambient wall clock (simclock), pushes them over the
+// real network (hermetic), and does so from an untracked background
+// goroutine (goleak).
+package telemetry
+
+import (
+	"net/http"
+	"time"
+)
+
+// BadFlusher pushes metrics in the background forever.
+func BadFlusher(url string) {
+	go func() { // violation: nothing bounds this goroutine's lifetime
+		for {
+			stamp := time.Now() // violation: time.Now
+			resp, err := http.Get(url + "?t=" + stamp.String()) // violation: real network via http.Get
+			if err != nil {
+				continue
+			}
+			resp.Body.Close()
+		}
+	}()
+}

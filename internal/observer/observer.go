@@ -17,6 +17,7 @@ import (
 	"mavscan/internal/mav"
 	"mavscan/internal/simnet"
 	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 	"mavscan/internal/tsunami/plugins"
 )
@@ -30,6 +31,19 @@ const (
 	StateFixed
 	StateOffline
 )
+
+// String returns the Figure-2 label of the state, also used as the metric
+// label value.
+func (s State) String() string {
+	switch s {
+	case StateVulnerable:
+		return "vulnerable"
+	case StateFixed:
+		return "fixed"
+	default:
+		return "offline"
+	}
+}
 
 // Target is one vulnerable host under observation.
 type Target struct {
@@ -88,6 +102,54 @@ type Observer struct {
 	FingerprintEvery int
 	// Workers parallelizes the per-tick target checks (default 16).
 	Workers int
+	tel     *obsTelemetry
+}
+
+// obsTelemetry carries the longevity-study handles. Per-state check
+// counters accumulate the Figure-2 classification totals across ticks;
+// transition counters record every state change between consecutive ticks
+// of the same target; the gauges mirror the latest tick's sample.
+type obsTelemetry struct {
+	reg         *telemetry.Registry
+	ticks       *telemetry.Counter
+	tickDur     *telemetry.Histogram
+	updates     *telemetry.Counter
+	checks      map[State]*telemetry.Counter
+	transitions map[[2]State]*telemetry.Counter
+	current     map[State]*telemetry.Gauge
+}
+
+// Instrument registers the longevity-study metrics with reg (nil = off).
+// Call before Watch.
+func (o *Observer) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	states := []State{StateVulnerable, StateFixed, StateOffline}
+	tel := &obsTelemetry{
+		reg:         reg,
+		ticks:       reg.Counter("mavscan_observer_ticks_total"),
+		tickDur:     reg.Histogram("mavscan_observer_tick_seconds", nil),
+		updates:     reg.Counter("mavscan_observer_updates_total"),
+		checks:      make(map[State]*telemetry.Counter, len(states)),
+		transitions: make(map[[2]State]*telemetry.Counter, len(states)*len(states)),
+		current:     make(map[State]*telemetry.Gauge, len(states)),
+	}
+	for _, s := range states {
+		tel.checks[s] = reg.Counter(
+			telemetry.Labeled("mavscan_observer_checks_total", "state", s.String()))
+		tel.current[s] = reg.Gauge(
+			telemetry.Labeled("mavscan_observer_current", "state", s.String()))
+		for _, to := range states {
+			if to == s {
+				continue
+			}
+			tel.transitions[[2]State{s, to}] = reg.Counter(
+				telemetry.Labeled("mavscan_observer_transitions_total",
+					"from", s.String(), "to", to.String()))
+		}
+	}
+	o.tel = tel
 }
 
 // New builds an observer on the given network and clock.
@@ -141,11 +203,22 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 	if workers <= 0 {
 		workers = 16
 	}
+	// Every target enters observation in the vulnerable state: the initial
+	// scan put it on the list. Transition counters key off this baseline.
+	prev := make([]State, len(targets))
+	for i := range prev {
+		prev[i] = StateVulnerable
+	}
 	start := o.clock.Now()
 	tick := 0
 	o.clock.Every(start.Add(interval), interval, start.Add(duration+time.Second), func(now time.Time) {
 		tick++
 		runFP := tick%fpEvery == 0
+		tel := o.tel
+		var tickStart time.Time
+		if tel != nil {
+			tickStart = tel.reg.Now()
+		}
 
 		states := make([]State, len(targets))
 		versions := make([]string, len(targets))
@@ -207,8 +280,25 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 			if v := versions[i]; v != "" && !updated[t.IP] && lastVersion[t.IP] != "" && v != lastVersion[t.IP] {
 				updated[t.IP] = true
 				res.Updated++
+				if tel != nil {
+					tel.updates.Inc()
+				}
 			}
 		}
+		if tel != nil {
+			tel.ticks.Inc()
+			for i := range targets {
+				tel.checks[states[i]].Inc()
+				if states[i] != prev[i] {
+					tel.transitions[[2]State{prev[i], states[i]}].Inc()
+				}
+			}
+			tel.current[StateVulnerable].Set(int64(overall.Vulnerable))
+			tel.current[StateFixed].Set(int64(overall.Fixed))
+			tel.current[StateOffline].Set(int64(overall.Offline))
+			tel.tickDur.ObserveDuration(tel.reg.Now().Sub(tickStart))
+		}
+		copy(prev, states)
 		res.Overall = append(res.Overall, overall)
 		for app, s := range perApp {
 			res.ByApp[app] = append(res.ByApp[app], *s)

@@ -1,0 +1,103 @@
+package observer
+
+import (
+	"testing"
+	"time"
+
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// TestTelemetryTracksStateTransitions walks one host through the full
+// Figure-2 lifecycle — vulnerable, then fixed, then offline — over
+// simulated ticks and checks that the exported counters reproduce the
+// classification: per-state check totals sum to ticks x targets, and each
+// lifecycle edge is counted exactly once.
+func TestTelemetryTracksStateTransitions(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	inst, host, target := deployTarget(t, n, "10.0.0.7")
+
+	// Tick cadence 3h over 18h = 6 ticks. The host is vulnerable at ticks
+	// 1-2, fixed at ticks 3-4 and offline at ticks 5-6.
+	sim.At(start.Add(7*time.Hour), func(time.Time) { inst.SetAuthRequired(true) })
+	sim.At(start.Add(13*time.Hour), func(time.Time) { host.SetOnline(false) })
+
+	reg := telemetry.New(sim)
+	obs := New(n, sim)
+	obs.Workers = 1
+	obs.Instrument(reg)
+	res := obs.Watch([]Target{target}, 3*time.Hour, 18*time.Hour)
+	sim.Run()
+
+	if got := reg.CounterValue("mavscan_observer_ticks_total"); got != 6 {
+		t.Fatalf("ticks_total = %d, want 6", got)
+	}
+
+	// Per-state check counts mirror the Figure-2 samples tick by tick.
+	wantChecks := map[string]uint64{"vulnerable": 2, "fixed": 2, "offline": 2}
+	var sampleSums Sample
+	for _, s := range res.Overall {
+		sampleSums.Vulnerable += s.Vulnerable
+		sampleSums.Fixed += s.Fixed
+		sampleSums.Offline += s.Offline
+	}
+	gotChecks := map[string]uint64{
+		"vulnerable": reg.CounterValue(telemetry.Labeled("mavscan_observer_checks_total", "state", "vulnerable")),
+		"fixed":      reg.CounterValue(telemetry.Labeled("mavscan_observer_checks_total", "state", "fixed")),
+		"offline":    reg.CounterValue(telemetry.Labeled("mavscan_observer_checks_total", "state", "offline")),
+	}
+	for state, want := range wantChecks {
+		if gotChecks[state] != want {
+			t.Errorf("checks_total{state=%q} = %d, want %d", state, gotChecks[state], want)
+		}
+	}
+	if gotChecks["vulnerable"] != uint64(sampleSums.Vulnerable) ||
+		gotChecks["fixed"] != uint64(sampleSums.Fixed) ||
+		gotChecks["offline"] != uint64(sampleSums.Offline) {
+		t.Errorf("counters diverge from Figure-2 samples: counters %v, samples %+v", gotChecks, sampleSums)
+	}
+	if total := reg.CounterFamilyTotal("mavscan_observer_checks_total"); total != 6*1 {
+		t.Errorf("total checks = %d, want ticks x targets = 6", total)
+	}
+
+	// Exactly one vulnerable->fixed and one fixed->offline edge; nothing
+	// else.
+	edge := func(from, to string) uint64 {
+		return reg.CounterValue(telemetry.Labeled("mavscan_observer_transitions_total", "from", from, "to", to))
+	}
+	if got := edge("vulnerable", "fixed"); got != 1 {
+		t.Errorf("vulnerable->fixed = %d, want 1", got)
+	}
+	if got := edge("fixed", "offline"); got != 1 {
+		t.Errorf("fixed->offline = %d, want 1", got)
+	}
+	if total := reg.CounterFamilyTotal("mavscan_observer_transitions_total"); total != 2 {
+		t.Errorf("total transitions = %d, want 2", total)
+	}
+
+	// The current-state gauges hold the final tick's sample.
+	final := res.FinalSample()
+	for state, want := range map[string]int{
+		"vulnerable": final.Vulnerable, "fixed": final.Fixed, "offline": final.Offline,
+	} {
+		if got := reg.GaugeValue(telemetry.Labeled("mavscan_observer_current", "state", state)); got != int64(want) {
+			t.Errorf("current{state=%q} = %d, want %d", state, got, want)
+		}
+	}
+}
+
+// TestTelemetryOffIsInert re-runs a watch without Instrument and checks
+// nothing panics and no metrics appear — the nil-handle no-op contract.
+func TestTelemetryOffIsInert(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	_, _, target := deployTarget(t, n, "10.0.0.8")
+	obs := New(n, sim)
+	res := obs.Watch([]Target{target}, 3*time.Hour, 6*time.Hour)
+	sim.Run()
+	if len(res.Overall) != 2 {
+		t.Fatalf("%d samples, want 2", len(res.Overall))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
 )
 
 // nopProber answers every probe closed without any shared state.
@@ -55,6 +56,17 @@ func BenchmarkProbeExcluded(b *testing.B) {
 // BenchmarkScanThroughput is the raw per-probe cost of the hot loop with no
 // exclusions: permutation, index split, address mapping, and probe dispatch.
 func BenchmarkScanThroughput(b *testing.B) {
+	benchScanThroughput(b, false)
+}
+
+// BenchmarkScanThroughputTelemetry is the same hot loop with the metrics
+// registry attached. Counters are flushed once per chunk, so the per-probe
+// delta against BenchmarkScanThroughput is the telemetry-on overhead.
+func BenchmarkScanThroughputTelemetry(b *testing.B) {
+	benchScanThroughput(b, true)
+}
+
+func benchScanThroughput(b *testing.B, instrumented bool) {
 	cfg := Config{
 		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/20")},
 		Ports:   []int{80, 443, 8080, 8443},
@@ -62,6 +74,9 @@ func BenchmarkScanThroughput(b *testing.B) {
 		Seed:    42,
 	}
 	s := NewWithClock(nopProber{}, simtime.Wall{})
+	if instrumented {
+		s.Instrument(telemetry.New(simtime.Wall{}))
+	}
 	ctx := context.Background()
 	var probed atomic.Uint64
 	b.ReportAllocs()

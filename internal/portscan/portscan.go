@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 
 	"mavscan/internal/iprange"
 	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
 )
 
 // Prober answers half-open probes. simnet.Network implements it; a real
@@ -84,6 +86,20 @@ type Stats struct {
 type Scanner struct {
 	prober Prober
 	clock  simtime.Sleeper
+	tel    *scanTelemetry
+}
+
+// scanTelemetry holds the pre-resolved Stage-I metric handles. Handles
+// are created once at Instrument time; the probe loop only ever touches
+// lock-free counters, and only at chunk/batch granularity.
+type scanTelemetry struct {
+	scans        *telemetry.Counter // scans started
+	probes       *telemetry.Counter // probes actually sent
+	open         *telemetry.Counter // open (ip, port) pairs found
+	excluded     *telemetry.Counter // pairs removed by the exclusion list
+	rateWaits    *telemetry.Counter // times the token bucket made a worker wait
+	batches      *telemetry.Counter // result batches handed to the consumer
+	batchResults *telemetry.Counter // open ports delivered across all batches
 }
 
 // New returns a scanner probing through p, paced by the wall clock.
@@ -95,6 +111,24 @@ func NewWithClock(p Prober, clock simtime.Sleeper) *Scanner {
 	return &Scanner{prober: p, clock: clock}
 }
 
+// Instrument registers the scanner's Stage-I metrics with reg. A nil
+// registry leaves the scanner uninstrumented (the default): the hot loop
+// then performs no telemetry work at all beyond one nil check per chunk.
+func (s *Scanner) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	s.tel = &scanTelemetry{
+		scans:        reg.Counter("mavscan_portscan_scans_total"),
+		probes:       reg.Counter("mavscan_portscan_probes_total"),
+		open:         reg.Counter("mavscan_portscan_open_total"),
+		excluded:     reg.Counter("mavscan_portscan_excluded_total"),
+		rateWaits:    reg.Counter("mavscan_portscan_rate_waits_total"),
+		batches:      reg.Counter("mavscan_portscan_batches_total"),
+		batchResults: reg.Counter("mavscan_portscan_batch_results_total"),
+	}
+}
+
 // limiter is a coarse token-bucket rate limiter shared by all workers.
 type limiter struct {
 	mu     sync.Mutex
@@ -102,13 +136,17 @@ type limiter struct {
 	rate   float64
 	tokens float64
 	last   time.Time
+	// waits counts the times a worker had to sleep for a token; nil when
+	// telemetry is off. Waits are rare by construction (the bucket refills
+	// at the probe rate), so one counter add per sleep is free.
+	waits *telemetry.Counter
 }
 
-func newLimiter(ratePerSec int, clock simtime.Sleeper) *limiter {
+func newLimiter(ratePerSec int, clock simtime.Sleeper, waits *telemetry.Counter) *limiter {
 	if ratePerSec <= 0 {
 		return nil
 	}
-	return &limiter{clock: clock, rate: float64(ratePerSec), tokens: float64(ratePerSec), last: clock.Now()}
+	return &limiter{clock: clock, rate: float64(ratePerSec), tokens: float64(ratePerSec), last: clock.Now(), waits: waits}
 }
 
 func (l *limiter) wait(ctx context.Context) error {
@@ -127,6 +165,7 @@ func (l *limiter) wait(ctx context.Context) error {
 		}
 		need := (1 - l.tokens) / l.rate
 		l.mu.Unlock()
+		l.waits.Inc()
 		select {
 		case <-l.clock.After(time.Duration(need * float64(time.Second))):
 		case <-ctx.Done():
@@ -209,13 +248,32 @@ func (s *Scanner) scan(ctx context.Context, cfg Config, fn func([]Result)) (Stat
 	nports := uint64(len(cfg.Ports))
 	excludedPairs := (targets.NumAddresses() - space.NumAddresses()) * nports
 
+	tel := s.tel
+	if tel != nil {
+		tel.scans.Inc()
+		// Excluded pairs are arithmetic, not visited, so the counter moves
+		// once per scan: probes_total + excluded_total always equals the
+		// full |Targets| × |Ports| pair space once the scan completes.
+		tel.excluded.Add(excludedPairs)
+		inner := fn
+		fn = func(batch []Result) {
+			tel.batches.Inc()
+			tel.batchResults.Add(uint64(len(batch)))
+			inner(batch)
+		}
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 64
 	}
 	total := space.NumAddresses() * nports
 	br := newBlackRock(total, cfg.Seed)
-	lim := newLimiter(cfg.RatePerSec, s.clock)
+	var waits *telemetry.Counter
+	if tel != nil {
+		waits = tel.rateWaits
+	}
+	lim := newLimiter(cfg.RatePerSec, s.clock, waits)
 
 	// The index→(address, port) split divides by the port count millions of
 	// times; use the reciprocal form when the range permits (it always does
@@ -243,69 +301,16 @@ func (s *Scanner) scan(ctx context.Context, cfg Config, fn func([]Result)) (Stat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var nProbed, nOpen uint64
-			defer func() {
-				probed.Add(nProbed)
-				open.Add(nOpen)
-			}()
-			var batch []Result
-			defer func() {
-				if len(batch) > 0 {
-					fn(batch)
-				}
-			}()
-			var cur iprange.Cursor
-			for {
-				// Cancellation and failure are observed per chunk; once the
-				// context is cancelled no further probe bodies run.
-				if stop.Load() {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				base := next.Add(chunk) - chunk
-				if base >= total {
-					return
-				}
-				end := base + chunk
-				if end > total {
-					end = total
-				}
-				for i := base; i < end; i++ {
-					idx := i
-					if !cfg.Sequential {
-						idx = br.Shuffle(i)
-					}
-					var addrIdx uint64
-					if fastPorts {
-						addrIdx = portDiv.div(idx)
-					} else {
-						addrIdx = idx / nports
-					}
-					port := cfg.Ports[idx-addrIdx*nports]
-					a := space.AddrAt(addrIdx, &cur)
-					if lim != nil {
-						if err := lim.wait(ctx); err != nil {
-							fail(err)
-							return
-						}
-					}
-					nProbed++
-					if s.prober.ProbePort(a, port) == nil {
-						nOpen++
-						if batch == nil {
-							batch = make([]Result, 0, batchCap)
-						}
-						batch = append(batch, Result{IP: a, Port: port})
-						if len(batch) == batchCap {
-							fn(batch)
-							batch = nil
-						}
-					}
-				}
-			}
+			// Label the worker for CPU profiles: `go tool pprof -tags`
+			// attributes hot-loop samples to the Stage-I pool.
+			pprof.Do(ctx, pprof.Labels("mavscan_pool", "stage1.portscan"), func(ctx context.Context) {
+				s.worker(ctx, cfg, workerState{
+					space: space, br: br, lim: lim, fn: fn,
+					total: total, nports: nports, portDiv: portDiv, fastPorts: fastPorts,
+					next: &next, probed: &probed, open: &open,
+					stop: &stop, fail: fail,
+				})
+			})
 		}()
 	}
 	wg.Wait()
@@ -316,4 +321,102 @@ func (s *Scanner) scan(ctx context.Context, cfg Config, fn func([]Result)) (Stat
 		Elapsed:  s.clock.Now().Sub(start),
 	}
 	return stats, firstErr
+}
+
+// workerState bundles the shared scan state one probe worker operates on.
+type workerState struct {
+	space     *iprange.Set
+	br        *blackRock
+	lim       *limiter
+	fn        func([]Result)
+	total     uint64
+	nports    uint64
+	portDiv   fastDivisor
+	fastPorts bool
+	next      *atomic.Uint64
+	probed    *atomic.Uint64
+	open      *atomic.Uint64
+	stop      *atomic.Bool
+	fail      func(error)
+}
+
+// worker is the Stage-I probe loop: claim a chunk of the permuted index
+// space, probe it, flush open ports in batches. Telemetry counters are
+// flushed at chunk granularity so the per-probe body stays counter-free.
+func (s *Scanner) worker(ctx context.Context, cfg Config, st workerState) {
+	tel := s.tel
+	var nProbed, nOpen uint64
+	var flushedProbed, flushedOpen uint64
+	flushTel := func() {
+		if tel == nil {
+			return
+		}
+		tel.probes.Add(nProbed - flushedProbed)
+		tel.open.Add(nOpen - flushedOpen)
+		flushedProbed, flushedOpen = nProbed, nOpen
+	}
+	defer func() {
+		flushTel()
+		st.probed.Add(nProbed)
+		st.open.Add(nOpen)
+	}()
+	var batch []Result
+	defer func() {
+		if len(batch) > 0 {
+			st.fn(batch)
+		}
+	}()
+	var cur iprange.Cursor
+	for {
+		// Cancellation and failure are observed per chunk; once the
+		// context is cancelled no further probe bodies run.
+		if st.stop.Load() {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			st.fail(err)
+			return
+		}
+		base := st.next.Add(chunk) - chunk
+		if base >= st.total {
+			return
+		}
+		end := base + chunk
+		if end > st.total {
+			end = st.total
+		}
+		for i := base; i < end; i++ {
+			idx := i
+			if !cfg.Sequential {
+				idx = st.br.Shuffle(i)
+			}
+			var addrIdx uint64
+			if st.fastPorts {
+				addrIdx = st.portDiv.div(idx)
+			} else {
+				addrIdx = idx / st.nports
+			}
+			port := cfg.Ports[idx-addrIdx*st.nports]
+			a := st.space.AddrAt(addrIdx, &cur)
+			if st.lim != nil {
+				if err := st.lim.wait(ctx); err != nil {
+					st.fail(err)
+					return
+				}
+			}
+			nProbed++
+			if s.prober.ProbePort(a, port) == nil {
+				nOpen++
+				if batch == nil {
+					batch = make([]Result, 0, batchCap)
+				}
+				batch = append(batch, Result{IP: a, Port: port})
+				if len(batch) == batchCap {
+					st.fn(batch)
+					batch = nil
+				}
+			}
+		}
+		flushTel()
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
 	"mavscan/internal/simnet"
+	"mavscan/internal/telemetry"
 )
 
 // maxBody bounds how much of a response body is read for matching.
@@ -44,6 +45,42 @@ func (r Result) Relevant() bool { return len(r.Apps) > 0 }
 // Prefilter probes endpoints through a simulated network.
 type Prefilter struct {
 	client *http.Client
+	tel    *preTelemetry
+}
+
+// preTelemetry carries the Stage-II funnel handles: how many open ports
+// were probed, how many spoke each protocol, and how many matched which
+// application signature. Per-app handles are pre-resolved over the full
+// catalog so the probe path never formats a metric name.
+type preTelemetry struct {
+	probes      *telemetry.Counter
+	httpResp    *telemetry.Counter
+	httpsResp   *telemetry.Counter
+	responders  *telemetry.Counter
+	matched     *telemetry.Counter
+	fetchErrors *telemetry.Counter
+	perApp      map[mav.App]*telemetry.Counter
+}
+
+// Instrument registers the Stage-II funnel metrics with reg (nil = off).
+func (p *Prefilter) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	perApp := make(map[mav.App]*telemetry.Counter)
+	for _, info := range mav.Catalog() {
+		perApp[info.App] = reg.Counter(
+			telemetry.Labeled("mavscan_prefilter_matches_total", "app", string(info.App)))
+	}
+	p.tel = &preTelemetry{
+		probes:      reg.Counter("mavscan_prefilter_probes_total"),
+		httpResp:    reg.Counter("mavscan_prefilter_http_total"),
+		httpsResp:   reg.Counter("mavscan_prefilter_https_total"),
+		responders:  reg.Counter("mavscan_prefilter_responders_total"),
+		matched:     reg.Counter("mavscan_prefilter_matched_endpoints_total"),
+		fetchErrors: reg.Counter("mavscan_prefilter_fetch_errors_total"),
+		perApp:      perApp,
+	}
 }
 
 // New returns a prefilter dialing through n.
@@ -93,6 +130,9 @@ func (p *Prefilter) Probe(ctx context.Context, ip netip.Addr, port int) Result {
 	for _, scheme := range trySchemes {
 		body, err := p.fetch(ctx, scheme, ip, port)
 		if err != nil {
+			if p.tel != nil {
+				p.tel.fetchErrors.Inc()
+			}
 			continue
 		}
 		if scheme == "http" {
@@ -103,6 +143,24 @@ func (p *Prefilter) Probe(ctx context.Context, ip netip.Addr, port int) Result {
 		if apps := MatchBody(body); len(apps) > 0 && res.Scheme == "" {
 			res.Apps = apps
 			res.Scheme = scheme
+		}
+	}
+	if tel := p.tel; tel != nil {
+		tel.probes.Inc()
+		if res.HTTP {
+			tel.httpResp.Inc()
+		}
+		if res.HTTPS {
+			tel.httpsResp.Inc()
+		}
+		if res.HTTP || res.HTTPS {
+			tel.responders.Inc()
+		}
+		if len(res.Apps) > 0 {
+			tel.matched.Inc()
+			for _, app := range res.Apps {
+				tel.perApp[app].Inc()
+			}
 		}
 	}
 	return res

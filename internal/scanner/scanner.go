@@ -15,6 +15,7 @@ package scanner
 import (
 	"context"
 	"net/netip"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"mavscan/internal/portscan"
 	"mavscan/internal/prefilter"
 	"mavscan/internal/simnet"
+	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 	"mavscan/internal/tsunami/plugins"
 )
@@ -127,6 +129,8 @@ type Pipeline struct {
 	pre    *prefilter.Prefilter
 	engine *tsunami.Engine
 	fp     *fingerprint.Fingerprinter
+	reg    *telemetry.Registry
+	queue  *telemetry.Gauge
 }
 
 // New assembles the pipeline with all detection plugins installed.
@@ -145,6 +149,21 @@ func New(n *simnet.Network) *Pipeline {
 	}
 }
 
+// Instrument registers metrics and spans for the whole pipeline with reg
+// (nil = off), fanning out to every stage's own Instrument method. Call
+// before Run.
+func (p *Pipeline) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	p.reg = reg
+	p.queue = reg.Gauge("mavscan_scanner_queue_depth")
+	p.ports.Instrument(reg)
+	p.pre.Instrument(reg)
+	p.engine.Instrument(reg)
+	p.fp.Instrument(reg)
+}
+
 // Run executes the full pipeline.
 func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 	if len(opts.Ports) == 0 {
@@ -160,6 +179,12 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 		HTTPSResponses: map[int]int{},
 	}
 
+	// Root span covering the whole run; stage spans hang off it so the
+	// snapshot shows how long Stage I overlapped the Stage-II/III drain.
+	pipeSpan := p.reg.StartSpan("pipeline.run")
+	stage1Span := pipeSpan.Child("stage1.portscan")
+	stage23Span := pipeSpan.Child("stage23.workers")
+
 	// Stage II/III worker pool consuming Stage-I results while the port
 	// scan is still running. The handoff is batch-granular: Stage-I workers
 	// flush open ports in slices, so channel synchronization is paid once
@@ -172,31 +197,34 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for batch := range hits {
-				for _, hit := range batch {
-					res := p.pre.Probe(ctx, hit.IP, hit.Port)
-					todo := agg.observe(hit.IP, hit.Port, res)
-					for _, t := range todo {
-						findings := p.engine.Scan(ctx, t)
-						var fpRes fingerprint.Result
-						if !opts.SkipFingerprint {
-							fpRes = p.fp.Fingerprint(ctx, t)
-						}
-						agg.update(t.IP, t.App, func(obs *AppObservation) {
-							obs.Findings = findings
-							obs.Version = fpRes.Version
-							obs.FPMethod = fpRes.Method
-							if fpRes.Version != "" {
-								// Map the fingerprinted version to its public
-								// release date for the age analyses (Figure 1).
-								if rel, err := apps.ReleaseDate(t.App, fpRes.Version); err == nil {
-									obs.Released = rel
-								}
+			pprof.Do(ctx, pprof.Labels("mavscan_pool", "stage23.http"), func(ctx context.Context) {
+				for batch := range hits {
+					p.queue.Sub(1)
+					for _, hit := range batch {
+						res := p.pre.Probe(ctx, hit.IP, hit.Port)
+						todo := agg.observe(hit.IP, hit.Port, res)
+						for _, t := range todo {
+							findings := p.engine.Scan(ctx, t)
+							var fpRes fingerprint.Result
+							if !opts.SkipFingerprint {
+								fpRes = p.fp.Fingerprint(ctx, t)
 							}
-						})
+							agg.update(t.IP, t.App, func(obs *AppObservation) {
+								obs.Findings = findings
+								obs.Version = fpRes.Version
+								obs.FPMethod = fpRes.Method
+								if fpRes.Version != "" {
+									// Map the fingerprinted version to its public
+									// release date for the age analyses (Figure 1).
+									if rel, err := apps.ReleaseDate(t.App, fpRes.Version); err == nil {
+										obs.Released = rel
+									}
+								}
+							})
+						}
 					}
 				}
-			}
+			})
 		}()
 	}
 
@@ -208,10 +236,14 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 		Seed:       opts.Seed,
 		RatePerSec: opts.RatePerSec,
 	}, func(batch []portscan.Result) {
+		p.queue.Add(1)
 		hits <- batch
 	})
+	stage1Span.End()
 	close(hits)
 	wg.Wait()
+	stage23Span.End()
+	pipeSpan.End()
 	if scanErr != nil {
 		return nil, scanErr
 	}

@@ -1,0 +1,128 @@
+package scanner
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// TestPipelineTelemetryReconciles runs an instrumented pipeline and checks
+// that the exported counters reconcile with the report and with each
+// other: every (ip, port) pair is either probed or excluded, and the
+// funnel from open ports down to findings is monotone non-increasing.
+func TestPipelineTelemetryReconciles(t *testing.T) {
+	n, vulnIP, _ := deployPair(t, mav.Jenkins)
+	reg := telemetry.New(simtime.NewSim(time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)))
+
+	pipe := New(n)
+	pipe.Instrument(reg)
+	report, err := pipe.Run(context.Background(), Options{
+		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/27")},
+		Exclude: []netip.Prefix{netip.MustParsePrefix("10.0.0.16/28")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probes := reg.CounterValue("mavscan_portscan_probes_total")
+	excluded := reg.CounterValue("mavscan_portscan_excluded_total")
+	open := reg.CounterValue("mavscan_portscan_open_total")
+
+	// Conservation: the scanned space splits exactly into sent and
+	// excluded probes.
+	space := uint64(32) * uint64(len(mav.ScanPorts()))
+	if probes+excluded != space {
+		t.Errorf("probes(%d) + excluded(%d) != |targets|x|ports| (%d)", probes, excluded, space)
+	}
+	if excluded != uint64(16)*uint64(len(mav.ScanPorts())) {
+		t.Errorf("excluded = %d, want 16 x %d", excluded, len(mav.ScanPorts()))
+	}
+
+	// The counters must agree with the report's Stats.
+	if probes != report.Stats.Probed {
+		t.Errorf("probes_total = %d, Stats.Probed = %d", probes, report.Stats.Probed)
+	}
+	if open != report.Stats.Open {
+		t.Errorf("open_total = %d, Stats.Open = %d", open, report.Stats.Open)
+	}
+
+	// Funnel: open ports >= prefilter probes (== here: every open port is
+	// probed) >= responders >= matched endpoints >= Stage-III targets, and
+	// findings never exceed targets.
+	preProbes := reg.CounterValue("mavscan_prefilter_probes_total")
+	responders := reg.CounterValue("mavscan_prefilter_responders_total")
+	matched := reg.CounterValue("mavscan_prefilter_matched_endpoints_total")
+	targets := reg.CounterValue("mavscan_tsunami_targets_total")
+	findings := reg.CounterValue("mavscan_tsunami_findings_total")
+	if preProbes != open {
+		t.Errorf("prefilter probed %d endpoints, portscan reported %d open", preProbes, open)
+	}
+	for _, step := range []struct {
+		name string
+		hi   uint64
+		lo   uint64
+	}{
+		{"probes >= responders", preProbes, responders},
+		{"responders >= matched", responders, matched},
+		{"matched >= targets", matched, targets},
+		{"targets >= findings", targets, findings},
+	} {
+		if step.hi < step.lo {
+			t.Errorf("funnel not monotone: %s violated (%d < %d)", step.name, step.hi, step.lo)
+		}
+	}
+	if findings == 0 {
+		t.Error("instrumented scan found no MAV on the vulnerable host")
+	}
+
+	// Per-app matches must sum to at least the matched-endpoint count
+	// (an endpoint can match several app signatures).
+	if perApp := reg.CounterFamilyTotal("mavscan_prefilter_matches_total"); perApp < matched {
+		t.Errorf("per-app matches (%d) < matched endpoints (%d)", perApp, matched)
+	}
+
+	// Fingerprinting runs once per Stage-III target.
+	if fp := reg.CounterFamilyTotal("mavscan_fingerprint_total"); fp != targets {
+		t.Errorf("fingerprint runs (%d) != stage-III targets (%d)", fp, targets)
+	}
+
+	// The span tree must contain the pipeline root with both stage
+	// children attached to it.
+	spans, dropped := reg.Spans()
+	if dropped != 0 {
+		t.Errorf("span log dropped %d spans", dropped)
+	}
+	byName := map[string]telemetry.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["pipeline.run"]
+	if !ok {
+		t.Fatalf("missing pipeline.run span (have %v)", byName)
+	}
+	for _, child := range []string{"stage1.portscan", "stage23.workers"} {
+		s, ok := byName[child]
+		if !ok {
+			t.Fatalf("missing %s span", child)
+		}
+		if s.Parent != root.ID {
+			t.Errorf("%s parent = %d, want root %d", child, s.Parent, root.ID)
+		}
+	}
+
+	// Report observed something: the vulnerable host must be in Apps.
+	found := false
+	for _, obs := range report.Apps {
+		if obs.IP == vulnIP {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("vulnerable host missing from report")
+	}
+}

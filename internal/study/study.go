@@ -25,6 +25,7 @@ import (
 	"mavscan/internal/secscan"
 	"mavscan/internal/simnet"
 	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 )
 
@@ -38,6 +39,8 @@ type ScanStudy struct {
 type ScanConfig struct {
 	Population population.Config
 	Scan       scanner.Options
+	// Telemetry, when non-nil, instruments the whole pipeline.
+	Telemetry *telemetry.Registry
 }
 
 // RunScan generates a world and runs the full three-stage pipeline on it.
@@ -49,7 +52,9 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	if len(cfg.Scan.Targets) == 0 {
 		cfg.Scan.Targets = world.Geo.Prefixes()
 	}
-	report, err := scanner.New(world.Net).Run(ctx, cfg.Scan)
+	pipe := scanner.New(world.Net)
+	pipe.Instrument(cfg.Telemetry)
+	report, err := pipe.Run(ctx, cfg.Scan)
 	if err != nil {
 		return nil, fmt.Errorf("study: scanning: %w", err)
 	}
@@ -82,6 +87,8 @@ type LongevityConfig struct {
 	Duration time.Duration // default 4 weeks
 	// FingerprintEvery controls the version re-check cadence in ticks.
 	FingerprintEvery int
+	// Telemetry, when non-nil, instruments the observer.
+	Telemetry *telemetry.Registry
 }
 
 // RunLongevity schedules the churn model and the observer on a simulated
@@ -102,6 +109,7 @@ func RunLongevity(s *ScanStudy, cfg LongevityConfig) *observer.Result {
 	})
 	obs := observer.New(s.World.Net, sim)
 	obs.FingerprintEvery = cfg.FingerprintEvery
+	obs.Instrument(cfg.Telemetry)
 	result := obs.Watch(s.ObserverTargets(), cfg.Interval, cfg.Duration)
 	sim.Run()
 	return result

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+// BenchmarkCounterAdd is the single-goroutine cost of one counter update.
+func BenchmarkCounterAdd(b *testing.B) {
+	reg := New(simtime.Wall{})
+	c := reg.Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterAddParallel is the contended case the striping exists
+// for: every worker of a scan pool incrementing one shared counter.
+func BenchmarkCounterAddParallel(b *testing.B) {
+	reg := New(simtime.Wall{})
+	c := reg.Counter("bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkCounterAddDisabled is the telemetry-off cost: a nil handle.
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures one latency observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := New(simtime.Wall{})
+	h := reg.Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(37 * time.Microsecond)
+	}
+}
+
+// BenchmarkHistogramObserveParallel is the contended histogram case.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	reg := New(simtime.Wall{})
+	h := reg.Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(3.7e-5)
+		}
+	})
+}
+
+// BenchmarkSpan measures a full start/end span pair under the wall clock.
+func BenchmarkSpan(b *testing.B) {
+	reg := New(simtime.Wall{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.StartSpan("bench").End()
+		if i%maxSpans == maxSpans-1 {
+			b.StopTimer()
+			reg.mu.Lock()
+			reg.spans.records = reg.spans.records[:0]
+			reg.mu.Unlock()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Labeled renders a Prometheus-style series name: base plus label pairs,
+// e.g. Labeled("x_total", "state", "fixed") == `x_total{state="fixed"}`.
+// Pairs are key, value, key, value, ...; an odd tail is ignored. Label
+// values are escaped per the exposition format.
+func Labeled(base string, pairs ...string) string {
+	if len(pairs) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitSeries splits a registered name into its family (metric name
+// proper) and the label block, without braces ("" if unlabeled).
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels merges two label blocks into one brace-wrapped suffix.
+func joinLabels(blocks ...string) string {
+	var parts []string
+	for _, b := range blocks {
+		if b != "" {
+			parts = append(parts, b)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes every metric in the Prometheus text exposition format,
+// families sorted lexically and series sorted within each family. A nil
+// registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h.snapshot()
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	writeFamilies(&b, "counter", sortedKeys(counters), func(name string) {
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name])
+	})
+	writeFamilies(&b, "gauge", sortedKeys(gauges), func(name string) {
+		fmt.Fprintf(&b, "%s %d\n", name, gauges[name])
+	})
+	writeFamilies(&b, "histogram", sortedKeys(hists), func(name string) {
+		fam, labels := splitSeries(name)
+		s := hists[name]
+		var cum uint64
+		for i, c := range s.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = formatFloat(s.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, joinLabels(labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", fam, joinLabels(labels), formatFloat(s.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, joinLabels(labels), s.Count)
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeFamilies emits one # TYPE header per family, then the family's
+// series via emit, preserving the sorted order of names.
+func writeFamilies(b *strings.Builder, typ string, names []string, emit func(name string)) {
+	lastFam := ""
+	for _, name := range names {
+		fam, _ := splitSeries(name)
+		if fam != lastFam {
+			fmt.Fprintf(b, "# TYPE %s %s\n", fam, typ)
+			lastFam = fam
+		}
+		emit(name)
+	}
+}
+
+// Snapshot is the JSON-friendly frozen state of a registry.
+type Snapshot struct {
+	Counters     map[string]uint64            `json:"counters,omitempty"`
+	Gauges       map[string]int64             `json:"gauges,omitempty"`
+	Histograms   map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans        []SpanRecord                 `json:"spans,omitempty"`
+	SpansDropped uint64                       `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot freezes the registry. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	s.Spans = append([]SpanRecord(nil), r.spans.records...)
+	s.SpansDropped = r.spans.dropped
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// CounterValue returns the value of the named counter series, 0 if the
+// series does not exist. Snapshot-style accessor for tests and progress
+// displays that did not keep the handle.
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// GaugeValue returns the value of the named gauge series, 0 if absent.
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	return g.Value()
+}
+
+// CounterFamilyTotal sums every counter series of the given family: the
+// all-labels total of e.g. mavscan_tsunami_verdicts_total.
+func (r *Registry) CounterFamilyTotal(family string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum uint64
+	for name, c := range r.counters {
+		if fam, _ := splitSeries(name); fam == family {
+			sum += c.Value()
+		}
+	}
+	return sum
+}

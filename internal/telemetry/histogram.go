@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets, in seconds. They span the
+// simulated network's sub-millisecond dials up to multi-second pipeline
+// stages, mirroring the range LZR-style scan funnels report.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histShard is one stripe of a histogram: a bucket-count vector plus the
+// running sum and count. Shards are allocated separately so concurrent
+// writers mostly touch distinct cache lines.
+type histShard struct {
+	counts  []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	sumBits atomic.Uint64   // math.Float64bits of the shard's sum
+	count   atomic.Uint64
+}
+
+// Histogram is a fixed-bucket, lock-free striped histogram. Bucket bounds
+// are upper bounds in ascending order; an implicit +Inf bucket catches the
+// tail. The nil *Histogram is a valid disabled instance.
+type Histogram struct {
+	name   string
+	bounds []float64
+	shards [numStripes]*histShard
+}
+
+func newHistogram(name string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, bounds: append([]float64(nil), bounds...)}
+	for i := range h.shards {
+		h.shards[i] = &histShard{counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return h
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (nil bounds = DefBuckets). Later
+// calls return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		h = newHistogram(name, bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are small (≤ ~20) and the loop is branch-
+	// predictable, beating a binary search at this size.
+	b := len(h.bounds)
+	for i, ub := range h.bounds {
+		if v <= ub {
+			b = i
+			break
+		}
+	}
+	sh := h.shards[stripeIdx()]
+	sh.counts[b].Add(1)
+	sh.count.Add(1)
+	for {
+		old := sh.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if sh.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Name returns the full series name the histogram was registered under.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf bucket. Counts are per-bucket (not cumulative).
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// snapshot folds every shard into one HistogramSnapshot.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for _, sh := range h.shards {
+		for i := range sh.counts {
+			s.Counts[i] += sh.counts[i].Load()
+		}
+		s.Sum += math.Float64frombits(sh.sumBits.Load())
+		s.Count += sh.count.Load()
+	}
+	return s
+}
+
+// Value returns the total observation count.
+func (h *Histogram) Value() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for _, sh := range h.shards {
+		n += sh.count.Load()
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import "time"
+
+// maxSpans bounds the per-registry span log. Spans are coarse (one per
+// pipeline stage, observer tick, or run — never per probe), so the cap is
+// generous; overflow is counted, not silently dropped.
+const maxSpans = 4096
+
+// SpanRecord is one completed span as it appears in snapshots. IDs are
+// registry-local and dense; Parent is 0 for root spans.
+type SpanRecord struct {
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// Duration returns the span's recorded length.
+func (s SpanRecord) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// spanLog is the bounded completed-span store.
+type spanLog struct {
+	records []SpanRecord
+	dropped uint64
+}
+
+// Span is one in-flight trace region. Spans read time exclusively from
+// their registry's injected clock, so a trace recorded under *simtime.Sim
+// is bit-for-bit deterministic. The nil *Span (from a disabled registry)
+// no-ops everywhere, including Child.
+type Span struct {
+	reg    *Registry
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+}
+
+// StartSpan opens a root span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, id: r.spanSeq.Add(1), start: r.clock.Now()}
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		reg:    s.reg,
+		name:   name,
+		id:     s.reg.spanSeq.Add(1),
+		parent: s.id,
+		start:  s.reg.clock.Now(),
+	}
+}
+
+// End closes the span and appends it to the registry's span log. Calling
+// End on a nil span is a no-op; calling it twice records twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    s.reg.clock.Now(),
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if len(s.reg.spans.records) >= maxSpans {
+		s.reg.spans.dropped++
+		return
+	}
+	s.reg.spans.records = append(s.reg.spans.records, rec)
+}
+
+// Spans returns a copy of the completed-span log in completion order,
+// plus the number of spans dropped to the cap.
+func (r *Registry) Spans() ([]SpanRecord, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans.records...), r.spans.dropped
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+// runSpanScript replays the same span structure against a fresh Sim clock
+// and returns the recorded log.
+func runSpanScript() []SpanRecord {
+	sim := simtime.NewSim(t0)
+	reg := New(sim)
+	root := reg.StartSpan("pipeline.run")
+	sim.Advance(time.Second)
+	s1 := root.Child("stage1.portscan")
+	sim.Advance(3 * time.Second)
+	s1.End()
+	s23 := root.Child("stage23.workers")
+	sim.Advance(2 * time.Second)
+	s23.End()
+	root.End()
+	spans, _ := reg.Spans()
+	return spans
+}
+
+// TestSpansDeterministicUnderSim is the simclock guarantee: two identical
+// runs on simulated clocks record identical traces, byte for byte.
+func TestSpansDeterministicUnderSim(t *testing.T) {
+	a, b := runSpanScript(), runSpanScript()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replayed traces differ:\n%v\n%v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("%d spans recorded, want 3", len(a))
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	spans := runSpanScript()
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["pipeline.run"]
+	if !ok || root.Parent != 0 {
+		t.Fatalf("root span malformed: %+v", root)
+	}
+	for _, child := range []string{"stage1.portscan", "stage23.workers"} {
+		c, ok := byName[child]
+		if !ok {
+			t.Fatalf("missing child span %s", child)
+		}
+		if c.Parent != root.ID {
+			t.Errorf("%s parent = %d, want root %d", child, c.Parent, root.ID)
+		}
+	}
+	if d := byName["stage1.portscan"].Duration(); d != 3*time.Second {
+		t.Errorf("stage1 duration = %v, want 3s", d)
+	}
+	if d := root.Duration(); d != 6*time.Second {
+		t.Errorf("root duration = %v, want 6s", d)
+	}
+}
+
+func TestSpanLogBounded(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	for i := 0; i < maxSpans+10; i++ {
+		reg.StartSpan("s").End()
+	}
+	spans, dropped := reg.Spans()
+	if len(spans) != maxSpans {
+		t.Fatalf("log holds %d spans, want cap %d", len(spans), maxSpans)
+	}
+	if dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", dropped)
+	}
+	if reg.Snapshot().SpansDropped != 10 {
+		t.Fatalf("snapshot dropped = %d", reg.Snapshot().SpansDropped)
+	}
+}

@@ -1,0 +1,236 @@
+// Package telemetry is mavscan's metrics and tracing layer: the runtime
+// instrument that makes the three-stage pipeline, the observer loop, and
+// the honeypot farm visible while they run. It follows the two design
+// rules the rest of the code base already obeys:
+//
+//   - Determinism. Every timestamp comes from an injected simtime.Clock,
+//     never from the ambient wall clock, so spans recorded under a
+//     *simtime.Sim replay identically and the simclock lint rule holds.
+//     The package spawns no goroutines: exposition is pull-based
+//     (WriteProm / Snapshot), so there is no background flusher to leak
+//     or to race the simulated clock.
+//
+//   - Hot-path safety. Counters and histograms are lock-free and striped
+//     64 ways (the same fan-out as internal/scanner's sharded
+//     aggregation), so concurrent probe workers never contend on one
+//     cache line. A nil *Registry is a valid, fully disabled instance:
+//     every method on it — and on the nil metric handles it hands out —
+//     is an immediate no-op, so an uninstrumented scan pays one nil
+//     check per flush, not per probe.
+//
+// Metric names follow the Prometheus convention
+// (mavscan_<subsystem>_<what>_<unit>); series labels are carried in the
+// name itself via Labeled, e.g.
+//
+//	reg.Counter(telemetry.Labeled("mavscan_observer_checks_total", "state", "fixed"))
+//
+// The package is dependency-free: stdlib plus internal/simtime only.
+package telemetry
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+// numStripes is the fan-out of every striped metric. 64 matches the
+// scanner's aggregation shards and the default Stage-I worker count: with
+// at most ~64 concurrent writers, two goroutines rarely share a stripe.
+const numStripes = 64
+
+// stripe is one padded counter cell. The padding spaces adjacent stripes
+// a cache line apart so concurrent Adds never false-share.
+type stripe struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// stripeIdx picks the stripe for the calling goroutine. The standard
+// library exposes no goroutine or P identity, so the index is drawn from
+// math/rand/v2's top-level generator, which Go 1.22 backs with a
+// per-thread state: concurrent callers on different OS threads draw from
+// different sources without synchronizing, and land on different cache
+// lines with high probability — which is all striping needs. Counters are
+// order- and placement-independent sums, so randomized placement cannot
+// change any exposed value.
+func stripeIdx() int {
+	return int(rand.Uint64() & (numStripes - 1))
+}
+
+// Counter is a monotonically increasing, lock-free striped counter. The
+// nil *Counter is a valid disabled instance.
+type Counter struct {
+	name    string
+	stripes [numStripes]stripe
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.stripes[stripeIdx()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Name returns the full series name the counter was registered under.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a lock-free instantaneous value. Delta-style updates (Add/Sub,
+// e.g. queue depth) are striped like counters; Set collapses the gauge to
+// one absolute value and is meant for sampled quantities (store size,
+// channel length) written from one site at a time. Mixing concurrent Set
+// and Add is safe (all accesses are atomic) but a reader may transiently
+// observe a partially collapsed sum.
+type Gauge struct {
+	name    string
+	stripes [numStripes]stripe
+}
+
+// Add moves the gauge by delta (negative deltas via two's complement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || delta == 0 {
+		return
+	}
+	g.stripes[stripeIdx()].v.Add(uint64(delta))
+}
+
+// Sub decrements the gauge by delta.
+func (g *Gauge) Sub(delta int64) { g.Add(-delta) }
+
+// Set overwrites the gauge with an absolute value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.stripes[0].v.Store(uint64(v))
+	for i := 1; i < numStripes; i++ {
+		g.stripes[i].v.Store(0)
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range g.stripes {
+		sum += g.stripes[i].v.Load()
+	}
+	return int64(sum)
+}
+
+// Name returns the full series name the gauge was registered under.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Registry is the root of one telemetry instance: a namespace of metrics,
+// a span log, and the injected clock every timestamp is read from. A nil
+// *Registry is the disabled instance — every method no-ops and every
+// metric constructor returns a nil handle whose methods also no-op.
+type Registry struct {
+	clock simtime.Clock
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	spans      spanLog
+	spanSeq    atomic.Uint64
+}
+
+// New returns an enabled registry reading time from clock. Pass
+// simtime.Wall{} for production runs and a *simtime.Sim for deterministic
+// replays; clock must be non-nil.
+func New(clock simtime.Clock) *Registry {
+	if clock == nil {
+		panic("telemetry: nil clock")
+	}
+	return &Registry{
+		clock:      clock,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Now reads the registry's injected clock (zero time when disabled).
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.clock.Now()
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Handles are stable: call sites should resolve them once, outside
+// hot loops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// sortedKeys returns the keys of m in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

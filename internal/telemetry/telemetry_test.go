@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+var t0 = time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	c := reg.Counter("mavscan_test_total")
+	const workers, perWorker = 32, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterHandleStable(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	a := reg.Counter("x_total")
+	b := reg.Counter("x_total")
+	if a != b {
+		t.Fatal("same name returned distinct counter handles")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared handle sees %d, want 3", b.Value())
+	}
+}
+
+func TestGaugeAddSubSet(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	g := reg.Gauge("depth")
+	g.Add(10)
+	g.Sub(4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("after Add/Sub: %d, want 6", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("after Set: %d, want 42", got)
+	}
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("after negative Add: %d, want 40", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{2, 1, 1, 1} // ≤0.01 ×2 (0.01 inclusive), ≤0.1, ≤1, +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if want := 0.005 + 0.01 + 0.05 + 0.5 + 5; math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var reg *Registry
+	if reg.Enabled() {
+		t.Fatal("nil registry claims enabled")
+	}
+	c := reg.Counter("c")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter recorded")
+	}
+	g := reg.Gauge("g")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge recorded")
+	}
+	h := reg.Histogram("h", nil)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Value() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	sp := reg.StartSpan("root")
+	sp.Child("child").End()
+	sp.End()
+	if spans, _ := reg.Spans(); spans != nil {
+		t.Fatal("nil registry recorded spans")
+	}
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil WriteProm: %q, %v", b.String(), err)
+	}
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatal("nil snapshot non-empty")
+	}
+	if !reg.Now().IsZero() {
+		t.Fatal("nil Now non-zero")
+	}
+	if reg.CounterValue("c") != 0 || reg.GaugeValue("g") != 0 || reg.CounterFamilyTotal("c") != 0 {
+		t.Fatal("nil accessor non-zero")
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("x_total", "state", "fixed"); got != `x_total{state="fixed"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("x_total", "a", "1", "b", "2"); got != `x_total{a="1",b="2"}` {
+		t.Fatalf("Labeled two pairs = %q", got)
+	}
+	if got := Labeled("x_total"); got != "x_total" {
+		t.Fatalf("Labeled bare = %q", got)
+	}
+	if got := Labeled("x", "k", `va"l\ue`); got != `x{k="va\"l\\ue"}` {
+		t.Fatalf("Labeled escaped = %q", got)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	reg.Counter(Labeled("mavscan_checks_total", "state", "fixed")).Add(2)
+	reg.Counter(Labeled("mavscan_checks_total", "state", "offline")).Add(1)
+	reg.Counter("mavscan_probes_total").Add(7)
+	reg.Gauge("mavscan_queue_depth").Set(3)
+	reg.Histogram("mavscan_tick_seconds", []float64{0.5, 1}).Observe(0.7)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mavscan_checks_total counter\n",
+		"mavscan_checks_total{state=\"fixed\"} 2\n",
+		"mavscan_checks_total{state=\"offline\"} 1\n",
+		"# TYPE mavscan_probes_total counter\n",
+		"mavscan_probes_total 7\n",
+		"# TYPE mavscan_queue_depth gauge\n",
+		"mavscan_queue_depth 3\n",
+		"# TYPE mavscan_tick_seconds histogram\n",
+		"mavscan_tick_seconds_bucket{le=\"0.5\"} 0\n",
+		"mavscan_tick_seconds_bucket{le=\"1\"} 1\n",
+		"mavscan_tick_seconds_bucket{le=\"+Inf\"} 1\n",
+		"mavscan_tick_seconds_sum 0.7\n",
+		"mavscan_tick_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, not per series.
+	if n := strings.Count(out, "# TYPE mavscan_checks_total counter"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}
+
+func TestCounterFamilyTotal(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	reg.Counter(Labeled("v_total", "k", "a")).Add(2)
+	reg.Counter(Labeled("v_total", "k", "b")).Add(3)
+	reg.Counter("other_total").Add(10)
+	if got := reg.CounterFamilyTotal("v_total"); got != 5 {
+		t.Fatalf("family total = %d, want 5", got)
+	}
+}

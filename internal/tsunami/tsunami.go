@@ -19,8 +19,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mavscan/internal/mav"
+	"mavscan/internal/telemetry"
 )
 
 // Target is one endpoint to verify, as classified by the prefilter.
@@ -129,6 +131,24 @@ func (r *Registry) Apps() []mav.App {
 type Engine struct {
 	registry *Registry
 	env      *Env
+	tel      *engineTelemetry
+}
+
+// engineTelemetry carries the Stage-III handles: a per-plugin latency
+// histogram and verdict counters, plus engine-wide target/finding totals.
+// Timestamps come from the telemetry registry's injected clock, so plugin
+// latencies recorded under a simulated clock stay deterministic.
+type engineTelemetry struct {
+	reg      *telemetry.Registry
+	targets  *telemetry.Counter
+	findings *telemetry.Counter
+	plugins  map[string]*pluginTelemetry
+}
+
+// pluginTelemetry is one detector's handle set, keyed by plugin name.
+type pluginTelemetry struct {
+	latency *telemetry.Histogram
+	verdict map[string]*telemetry.Counter // finding | clean | error
 }
 
 // NewEngine builds an engine using the given plugin registry and client.
@@ -136,14 +156,70 @@ func NewEngine(registry *Registry, client *http.Client) *Engine {
 	return &Engine{registry: registry, env: NewEnv(client)}
 }
 
+// Instrument registers per-plugin metrics with reg (nil = off). Handles
+// are resolved for every currently registered detector; plugins installed
+// afterwards run uninstrumented.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	tel := &engineTelemetry{
+		reg:      reg,
+		targets:  reg.Counter("mavscan_tsunami_targets_total"),
+		findings: reg.Counter("mavscan_tsunami_findings_total"),
+		plugins:  make(map[string]*pluginTelemetry),
+	}
+	for _, app := range e.registry.Apps() {
+		for _, det := range e.registry.DetectorsFor(app) {
+			name := det.Name()
+			verdict := make(map[string]*telemetry.Counter, 3)
+			for _, v := range []string{"finding", "clean", "error"} {
+				verdict[v] = reg.Counter(
+					telemetry.Labeled("mavscan_tsunami_verdicts_total", "plugin", name, "verdict", v))
+			}
+			tel.plugins[name] = &pluginTelemetry{
+				latency: reg.Histogram(
+					telemetry.Labeled("mavscan_tsunami_detect_seconds", "plugin", name), nil),
+				verdict: verdict,
+			}
+		}
+	}
+	e.tel = tel
+}
+
 // Scan runs every plugin registered for the target's application and
 // returns the confirmed findings. Transport errors from individual plugins
 // are swallowed (an unreachable endpoint is simply not vulnerable *now*),
-// matching the scanning pipeline's semantics.
+// matching the scanning pipeline's semantics — but when telemetry is on
+// they are counted per plugin, so swallowed failures remain auditable.
 func (e *Engine) Scan(ctx context.Context, t Target) []mav.Finding {
+	tel := e.tel
+	if tel != nil {
+		tel.targets.Inc()
+	}
 	var findings []mav.Finding
 	for _, det := range e.registry.DetectorsFor(t.App) {
+		var start time.Time
+		if tel != nil {
+			start = tel.reg.Now()
+		}
 		f, err := det.Detect(ctx, e.env, t)
+		if tel != nil {
+			if pt := tel.plugins[det.Name()]; pt != nil {
+				pt.latency.ObserveDuration(tel.reg.Now().Sub(start))
+				switch {
+				case err != nil:
+					pt.verdict["error"].Inc()
+				case f == nil:
+					pt.verdict["clean"].Inc()
+				default:
+					pt.verdict["finding"].Inc()
+				}
+			}
+			if err == nil && f != nil {
+				tel.findings.Inc()
+			}
+		}
 		if err != nil || f == nil {
 			continue
 		}

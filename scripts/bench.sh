@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance benchmark suite and update BENCH_pr2.json.
+# bench.sh — run the performance benchmark suite and update BENCH_pr3.json.
 #
 # Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
 # iteration is a full simulated internet scan, so only a few iterations
@@ -16,14 +16,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr2.json}"
+OUT="${1:-BENCH_pr3.json}"
 TABLE_RUNS="${TABLE_RUNS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$TMP.json"' EXIT
 
 echo "==> table benchmarks (${TABLE_RUNS} runs, -benchtime=3x)"
 for _ in $(seq "$TABLE_RUNS"); do
-	go test -run '^$' -bench 'BenchmarkTable2OpenPorts$|BenchmarkTable3Prevalence$' \
+	go test -run '^$' -bench 'BenchmarkTable2OpenPorts(Telemetry)?$|BenchmarkTable3Prevalence(Telemetry)?$' \
 		-benchtime=3x -benchmem . >>"$TMP"
 done
 
@@ -32,6 +32,7 @@ go test -run '^$' -bench 'BenchmarkBlackRockShuffle$|BenchmarkSimnetDial$' -benc
 go test -run '^$' -bench . -benchmem ./internal/portscan/ >>"$TMP"
 go test -run '^$' -bench . -benchmem ./internal/simnet/ >>"$TMP"
 go test -run '^$' -bench . -benchmem ./internal/scanner/ >>"$TMP"
+go test -run '^$' -bench . -benchmem ./internal/telemetry/ >>"$TMP"
 
 # Parse `go test -bench` output. A benchmark that logs prints its name on
 # one line and the measurements on the next, so carry the name forward.
