@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	mavlint [-rules list] [./... | <module-dir>]
+//	mavlint [-rules list] [-pkg list] [./... | <module-dir>]
 //
 // With "./..." (or no argument) the module containing the working
 // directory is analyzed. A directory argument holding a go.mod is
@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("mavlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	pkgFilter := fs.String("pkg", "", "comma-separated import-path suffixes restricting which packages are analyzed (default: all)")
 	list := fs.Bool("list", false, "print the available rules and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,6 +67,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	if *pkgFilter != "" {
+		pkgs, err = filterPackages(pkgs, *pkgFilter)
+		if err != nil {
+			fmt.Fprintln(stderr, "mavlint:", err)
+			return 2
+		}
+	}
+
 	findings := lint.RunSuite(pkgs, analyzers)
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)
@@ -90,6 +99,31 @@ func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
 			return nil, fmt.Errorf("unknown rule %q", name)
 		}
 		out = append(out, a)
+	}
+	return out, nil
+}
+
+// filterPackages keeps the packages whose import path equals, or ends
+// with "/" plus, one of the comma-separated patterns. A pattern matching
+// nothing is an error — a CI step silently analyzing zero packages would
+// report success forever.
+func filterPackages(pkgs []*lint.Package, filter string) ([]*lint.Package, error) {
+	var out []*lint.Package
+	for _, pat := range strings.Split(filter, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		matched := false
+		for _, p := range pkgs {
+			if p.Path == pat || strings.HasSuffix(p.Path, "/"+pat) {
+				out = append(out, p)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("-pkg pattern %q matches no package", pat)
+		}
 	}
 	return out, nil
 }

@@ -11,8 +11,10 @@ import (
 	"os"
 	"time"
 
+	"mavscan/internal/faults"
 	"mavscan/internal/population"
 	"mavscan/internal/report"
+	"mavscan/internal/resilience"
 	"mavscan/internal/simtime"
 	"mavscan/internal/study"
 	"mavscan/internal/telemetry"
@@ -27,8 +29,20 @@ func main() {
 		vulnScale = flag.Int("vuln-scale", 8, "divisor for the MAV counts")
 		interval  = flag.Duration("interval", 3*time.Hour, "observation cadence (paper: 3h)")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after Figure 2")
+		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,burst-every=6h,burst-len=20m,burst-rate=0.5]")
+		retries   = flag.Int("retries", 3, "max attempts per check when -faults is set (1 disables retries)")
+		offAfter  = flag.Int("offline-after", 1, "consecutive failed ticks before a target is reported offline (1 = the paper's single-miss rule)")
 	)
 	flag.Parse()
+
+	faultCfg, err := faults.ParseFlag(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var policy resilience.Policy
+	if faultCfg.Enabled() && *retries > 1 {
+		policy = resilience.Policy{MaxAttempts: *retries, JitterSeed: uint64(faultCfg.Seed)}
+	}
 
 	var reg *telemetry.Registry
 	var done chan struct{}
@@ -57,6 +71,8 @@ func main() {
 	}
 
 	fmt.Println("generating world and running the initial scan...")
+	// The initial scan runs fault-free: faults model the weather of the
+	// four-week observation window, not the (already completed) scan.
 	scan, err := study.RunScan(context.Background(), study.ScanConfig{
 		Population: population.Config{
 			Seed:            *seed,
@@ -74,7 +90,12 @@ func main() {
 	fmt.Printf("observing %d vulnerable hosts every %v for four simulated weeks...\n\n", len(targets), *interval)
 
 	res := study.RunLongevity(scan, study.LongevityConfig{
-		Seed: *seed, Interval: *interval, Telemetry: reg,
+		Seed:         *seed,
+		Interval:     *interval,
+		Faults:       faultCfg,
+		Resilience:   policy,
+		OfflineAfter: *offAfter,
+		Telemetry:    reg,
 	})
 	if done != nil {
 		close(done)

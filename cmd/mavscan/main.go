@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"mavscan/internal/analysis"
+	"mavscan/internal/faults"
 	"mavscan/internal/mav"
 	"mavscan/internal/population"
 	"mavscan/internal/report"
+	"mavscan/internal/resilience"
 	"mavscan/internal/scanner"
 	"mavscan/internal/simtime"
 	"mavscan/internal/study"
@@ -54,8 +56,19 @@ func main() {
 		bgScale   = flag.Int("background-scale", 100000, "divisor for Table 2 background noise (negative disables)")
 		workers   = flag.Int("workers", 64, "stage-I probe workers")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
+		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx]")
+		retries   = flag.Int("retries", 3, "max attempts per HTTP-stage request when -faults is set (1 disables retries)")
 	)
 	flag.Parse()
+
+	faultCfg, err := faults.ParseFlag(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var policy resilience.Policy
+	if faultCfg.Enabled() && *retries > 1 {
+		policy = resilience.Policy{MaxAttempts: *retries, JitterSeed: uint64(faultCfg.Seed)}
+	}
 
 	var reg *telemetry.Registry
 	var done chan struct{}
@@ -78,7 +91,9 @@ func main() {
 			PortWorkers: *workers,
 			Seed:        uint64(*seed),
 		},
-		Telemetry: reg,
+		Faults:     faultCfg,
+		Resilience: policy,
+		Telemetry:  reg,
 	})
 	if done != nil {
 		close(done)

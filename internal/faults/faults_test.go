@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+var (
+	ipA   = netip.MustParseAddr("10.0.0.1")
+	start = time.Date(2021, 4, 2, 0, 0, 0, 0, time.UTC)
+)
+
+// drive records the fault decision sequence a plan makes over a grid of
+// endpoints and repeated attempts.
+func drive(p *Plan, attempts int) []simnet.Fault {
+	var out []simnet.Fault
+	for i := 0; i < 8; i++ {
+		ip := netip.AddrFrom4([4]byte{10, 0, 1, byte(i)})
+		for _, port := range []int{80, 443, 2375} {
+			for a := 0; a < attempts; a++ {
+				out = append(out, p.DialFault(ip, port))
+			}
+		}
+	}
+	return out
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 42, Rate: 0.3}
+	a := drive(NewPlan(cfg, nil), 4)
+	b := drive(NewPlan(cfg, nil), 4)
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identically seeded plans: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] != (simnet.Fault{}) {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("rate 0.3 over 96 draws injected nothing; the draw is broken")
+	}
+
+	c := drive(NewPlan(Config{Seed: 43, Rate: 0.3}, nil), 4)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestRetriesSeeFreshDraws(t *testing.T) {
+	// The decision is keyed on the attempt ordinal: with rate 0.5 an
+	// endpoint must not fail (or succeed) on every one of many attempts.
+	p := NewPlan(Config{Seed: 7, Rate: 0.5}, nil)
+	faulted, clean := 0, 0
+	for a := 0; a < 64; a++ {
+		if p.DialFault(ipA, 80) == (simnet.Fault{}) {
+			clean++
+		} else {
+			faulted++
+		}
+	}
+	if faulted == 0 || clean == 0 {
+		t.Fatalf("64 attempts on one endpoint: %d faulted, %d clean; retries see no fresh draws", faulted, clean)
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	if drive(NewPlan(Config{Seed: 1, Rate: 0}, nil), 2)[0] != (simnet.Fault{}) {
+		t.Fatal("rate 0 injected a fault")
+	}
+	for i, f := range drive(NewPlan(Config{Seed: 1, Rate: 1}, nil), 2) {
+		if f == (simnet.Fault{}) {
+			t.Fatalf("rate 1 skipped draw %d", i)
+		}
+	}
+}
+
+func TestProbeFaultSemantics(t *testing.T) {
+	// Only handshake-level kinds break a SYN probe.
+	probe := NewPlan(Config{Seed: 3, Rate: 1, Kinds: []Kind{SynTimeout}}, nil)
+	if err := probe.ProbeFault(ipA, 80); !errors.Is(err, simnet.ErrHostUnreachable) {
+		t.Fatalf("syn timeout on probe: got %v, want ErrHostUnreachable", err)
+	}
+	probe = NewPlan(Config{Seed: 3, Rate: 1, Kinds: []Kind{Reset}}, nil)
+	if err := probe.ProbeFault(ipA, 80); !errors.Is(err, simnet.ErrConnRefused) {
+		t.Fatalf("reset on probe: got %v, want ErrConnRefused", err)
+	}
+	probe = NewPlan(Config{Seed: 3, Rate: 1, Kinds: []Kind{HTTP5xx, Truncate}}, nil)
+	if err := probe.ProbeFault(ipA, 80); err != nil {
+		t.Fatalf("response-level kinds must not break the handshake: %v", err)
+	}
+}
+
+func TestAllKindsDrawn(t *testing.T) {
+	p := NewPlan(Config{Seed: 5, Rate: 1}, nil)
+	seen := map[string]bool{}
+	for _, f := range drive(p, 8) {
+		switch {
+		case errors.Is(f.Err, simnet.ErrHostUnreachable):
+			seen["syn"] = true
+		case errors.Is(f.Err, simnet.ErrConnRefused):
+			seen["reset"] = true
+		case f.Latency > 0:
+			seen["latency"] = true
+		case f.Status != 0:
+			seen["5xx"] = true
+		case f.Truncate > 0:
+			seen["trunc"] = true
+		}
+	}
+	if len(seen) != int(numKinds) {
+		t.Fatalf("rate 1 over 192 draws produced kinds %v, want all %d", seen, numKinds)
+	}
+}
+
+func TestBurstWindows(t *testing.T) {
+	sim := simtime.NewSim(start)
+	cfg := Config{
+		Seed: 9, Rate: 0,
+		BurstEvery: 6 * time.Hour, BurstLen: time.Hour, BurstRate: 1,
+	}
+	p := NewPlan(cfg, sim)
+	if f := p.DialFault(ipA, 80); f == (simnet.Fault{}) {
+		t.Fatal("inside the burst window (t=0) the burst rate must apply")
+	}
+	sim.AdvanceTo(start.Add(3 * time.Hour))
+	if f := p.DialFault(ipA, 80); f != (simnet.Fault{}) {
+		t.Fatalf("outside the burst window the base rate (0) must apply, got %+v", f)
+	}
+	sim.AdvanceTo(start.Add(6*time.Hour + 30*time.Minute))
+	if f := p.DialFault(ipA, 80); f == (simnet.Fault{}) {
+		t.Fatal("the burst window must recur every BurstEvery")
+	}
+
+	// Without a clock, bursts are inert: the base rate (0) always applies.
+	inert := NewPlan(cfg, nil)
+	if f := inert.DialFault(ipA, 80); f != (simnet.Fault{}) {
+		t.Fatalf("clock-less plan must disable bursts, got %+v", f)
+	}
+}
+
+func TestParseFlag(t *testing.T) {
+	cfg, err := ParseFlag("seed=7,rate=0.02,burst-every=6h,burst-len=20m,burst-rate=0.5,latency=50ms,trunc=32,kinds=syn+5xx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, Rate: 0.02,
+		BurstEvery: 6 * time.Hour, BurstLen: 20 * time.Minute, BurstRate: 0.5,
+		Latency: 50 * time.Millisecond, TruncateAfter: 32,
+		Kinds: []Kind{SynTimeout, HTTP5xx},
+	}
+	if cfg.Seed != want.Seed || cfg.Rate != want.Rate || cfg.BurstEvery != want.BurstEvery ||
+		cfg.BurstLen != want.BurstLen || cfg.BurstRate != want.BurstRate ||
+		cfg.Latency != want.Latency || cfg.TruncateAfter != want.TruncateAfter ||
+		len(cfg.Kinds) != 2 || cfg.Kinds[0] != SynTimeout || cfg.Kinds[1] != HTTP5xx {
+		t.Fatalf("ParseFlag = %+v, want %+v", cfg, want)
+	}
+
+	if cfg, err := ParseFlag(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty flag: cfg=%+v err=%v, want disabled and nil", cfg, err)
+	}
+	for _, bad := range []string{
+		"rate",            // not key=value
+		"rate=2",          // out of range
+		"rate=-0.1",       // out of range
+		"bogus=1",         // unknown key
+		"kinds=teapot",    // unknown kind
+		"seed=notanumber", // parse failure
+		"rate=0.1,burst-every=1h,burst-rate=0.5", // burst window without length
+	} {
+		if _, err := ParseFlag(bad); err == nil {
+			t.Errorf("ParseFlag(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestPlanTelemetry(t *testing.T) {
+	reg := telemetry.New(simtime.Wall{})
+	p := NewPlan(Config{Seed: 2, Rate: 1, Kinds: []Kind{Reset}}, nil)
+	p.Instrument(reg)
+	for i := 0; i < 5; i++ {
+		p.DialFault(ipA, 80)
+	}
+	if got := reg.CounterValue("mavscan_faults_attempts_total"); got != 5 {
+		t.Errorf("attempts counter = %d, want 5", got)
+	}
+	if got := reg.CounterValue(`mavscan_faults_injected_total{kind="reset"}`); got != 5 {
+		t.Errorf("injected{reset} counter = %d, want 5", got)
+	}
+}

@@ -15,11 +15,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"regexp"
+	"sort"
 	"strings"
 	"time"
 
 	"mavscan/internal/apps"
 	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
 	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 )
@@ -122,6 +124,9 @@ func New(env *tsunami.Env) *Fingerprinter {
 func NewWithKnowledgeBase(env *tsunami.Env, kb KnowledgeBase) *Fingerprinter {
 	return &Fingerprinter{env: env, kb: kb}
 }
+
+// SetRetrier installs retry/backoff on the fingerprinter's network access.
+func (f *Fingerprinter) SetRetrier(r *resilience.Retrier) { f.env.SetRetrier(r) }
 
 // Fingerprint determines the version of the application at t, trying the
 // direct path first and falling back to crawl-and-hash.
@@ -255,17 +260,25 @@ func (f *Fingerprinter) crawlHash(ctx context.Context, t tsunami.Target) string 
 	if err != nil {
 		return ""
 	}
-	paths := map[string]bool{}
+	seen := map[string]bool{}
 	for _, m := range reLinks.FindAllStringSubmatch(root.Body, 32) {
-		paths[m[1]] = true
+		seen[m[1]] = true
 	}
 	// Also try the release's known asset paths directly: landing pages of
 	// half-installed applications do not always link every asset.
 	for _, p := range apps.AssetPaths(t.App) {
-		paths[p] = true
+		seen[p] = true
 	}
+	// Crawl in sorted order: under fault injection the draw consumed by
+	// each request depends on request order, so map-order iteration would
+	// make the outcome vary run to run.
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
 	var candidates map[assetKey]bool
-	for path := range paths {
+	for _, path := range paths {
 		resp, err := f.env.Get(ctx, t, path)
 		if err != nil || resp.Status != 200 {
 			continue

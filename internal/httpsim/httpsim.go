@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
 )
 
@@ -190,6 +191,10 @@ type ClientOptions struct {
 	// DisableKeepAlives forces one connection per request, the behaviour of
 	// scan tooling that touches millions of distinct hosts.
 	DisableKeepAlives bool
+	// Retrier, when non-nil, wraps the transport so bodyless requests are
+	// retried on transport errors and transient 5xx responses under the
+	// retrier's policy (see internal/resilience).
+	Retrier *resilience.Retrier
 }
 
 // NewClient returns an *http.Client whose connections are dialed through
@@ -231,11 +236,19 @@ func NewClient(n *simnet.Network, opts ClientOptions) *http.Client {
 		MaxIdleConnsPerHost: 2,
 	}
 	maxRedirects := opts.MaxRedirects
+	var rt http.RoundTripper = transport
+	if opts.Retrier != nil {
+		rt = opts.Retrier.RoundTripper(transport)
+	}
 	return &http.Client{
-		Transport: transport,
+		Transport: rt,
 		Timeout:   opts.Timeout,
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
-			if len(via) >= maxRedirects {
+			// via holds the requests already issued: following the k-th
+			// redirect is checked with len(via) == k, so the cap must use a
+			// strict comparison — ">=" would stop one hop short of the
+			// advertised maximum.
+			if len(via) > maxRedirects {
 				return fmt.Errorf("httpsim: stopped after %d redirects", maxRedirects)
 			}
 			return nil

@@ -1,0 +1,74 @@
+package httpsim
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mavscan/internal/simnet"
+)
+
+// chainHost binds a host serving a redirect chain of exactly hops
+// redirects: / → /hop1 → ... → /hopN, with the final page answering
+// "done".
+func chainHost(t *testing.T, n *simnet.Network, hops int) {
+	t.Helper()
+	mux := http.NewServeMux()
+	for i := 0; i < hops; i++ {
+		from := "/"
+		if i > 0 {
+			from = fmt.Sprintf("/hop%d", i)
+		}
+		to := fmt.Sprintf("/hop%d", i+1)
+		mux.HandleFunc(from, func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, to, http.StatusFound)
+		})
+	}
+	final := "/"
+	if hops > 0 {
+		final = fmt.Sprintf("/hop%d", hops)
+	}
+	mux.HandleFunc(final, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "done")
+	})
+	h := simnet.NewHost(testIP)
+	h.Bind(80, ConnHandler(mux))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxRedirectsBoundary pins the cap's boundary semantics: a chain of
+// exactly MaxRedirects hops succeeds, one more hop fails with the
+// "stopped after N redirects" error.
+func TestMaxRedirectsBoundary(t *testing.T) {
+	const maxHops = 3
+
+	atCap := simnet.New()
+	chainHost(t, atCap, maxHops)
+	client := NewClient(atCap, ClientOptions{MaxRedirects: maxHops})
+	resp, err := client.Get("http://10.0.0.1:80/")
+	if err != nil {
+		t.Fatalf("chain of exactly MaxRedirects=%d hops must succeed: %v", maxHops, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "done" {
+		t.Fatalf("chain body = %q, want %q", body, "done")
+	}
+
+	overCap := simnet.New()
+	chainHost(t, overCap, maxHops+1)
+	client = NewClient(overCap, ClientOptions{MaxRedirects: maxHops})
+	resp, err = client.Get("http://10.0.0.1:80/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("chain of MaxRedirects+1 = %d hops must fail", maxHops+1)
+	}
+	want := fmt.Sprintf("stopped after %d redirects", maxHops)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}

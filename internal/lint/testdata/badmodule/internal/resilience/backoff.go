@@ -1,0 +1,21 @@
+// Package resilience is a fixture violating the simclock rule: a retry
+// loop that backs off with real time.Sleep calls instead of waiting on an
+// injected simtime.Sleeper, which would stall a simulated study and break
+// run-to-run determinism.
+package resilience
+
+import "time"
+
+// BadBackoff retries fn with wall-clock sleeps between attempts.
+func BadBackoff(fn func() error) error {
+	delay := 10 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		time.Sleep(delay) // violation: wall-clock backoff
+		delay *= 2
+	}
+	return err
+}

@@ -1,0 +1,206 @@
+package observer
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/faults"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+// deployVersioned binds a Docker instance at a specific version on an
+// arbitrary port of host h and returns its observer target.
+func deployVersioned(t *testing.T, h *simnet.Host, port int, version string) Target {
+	t.Helper()
+	inst, err := apps.New(apps.Config{App: mav.Docker, Version: version})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Bind(port, httpsim.ConnHandler(inst.Handler()))
+	return Target{
+		IP: h.IP(), Port: port, Scheme: "http", App: mav.Docker,
+		InitialVersion: version,
+	}
+}
+
+// TestSharedIPDistinctPorts is the regression test for the version-tracking
+// key: two targets on one IP (different ports) must keep independent
+// version state. Keyed by bare IP, the two entries collide: the colliding
+// initial versions register a phantom update on the first fingerprint, and
+// the real upgrade later is swallowed by the already-set updated flag.
+func TestSharedIPDistinctPorts(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	h := simnet.NewHost(netip.MustParseAddr("10.0.0.5"))
+	tA := deployVersioned(t, h, 2375, "19.03.0")
+	tB := deployVersioned(t, h, 2376, "20.10.0")
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upgrade only the port-2376 deployment mid-window.
+	sim.At(start.Add(4*time.Hour), func(time.Time) {
+		inst, err := apps.New(apps.Config{App: mav.Docker, Version: "20.10.6"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.Bind(2376, httpsim.ConnHandler(inst.Handler()))
+	})
+
+	obs := New(n, sim)
+	obs.FingerprintEvery = 1
+	res := obs.Watch([]Target{tA, tB}, 3*time.Hour, 9*time.Hour)
+	sim.Run()
+
+	if res.Updated != 1 {
+		t.Fatalf("Updated = %d, want exactly 1 (only the port-2376 target upgraded)", res.Updated)
+	}
+	if got := res.FinalSample(); got.Vulnerable != 2 {
+		t.Fatalf("final sample %+v, want both targets still vulnerable", got)
+	}
+}
+
+// TestWatchTicksLandOnWindowEnd pins the schedule: duration/interval ticks,
+// the first one interval after the start and the last one exactly on
+// start+duration (no fudge, no missing endpoint tick).
+func TestWatchTicksLandOnWindowEnd(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	_, _, target := deployTarget(t, n, "10.0.0.6")
+	obs := New(n, sim)
+	res := obs.Watch([]Target{target}, 3*time.Hour, 12*time.Hour)
+	sim.Run()
+	if len(res.Overall) != 4 {
+		t.Fatalf("%d ticks, want duration/interval = 4", len(res.Overall))
+	}
+	if got, want := res.Overall[0].T, start.Add(3*time.Hour); !got.Equal(want) {
+		t.Errorf("first tick at %v, want %v", got, want)
+	}
+	if got, want := res.FinalSample().T, start.Add(12*time.Hour); !got.Equal(want) {
+		t.Errorf("last tick at %v, want the window end %v", got, want)
+	}
+}
+
+// flapWatch runs one target through a window where the host is offline
+// only around the 2h tick, with the given offline-confirmation threshold.
+func flapWatch(t *testing.T, offlineAfter int) *Result {
+	t.Helper()
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	_, host, target := deployTarget(t, n, "10.0.0.7")
+	sim.At(start.Add(90*time.Minute), func(time.Time) { host.SetOnline(false) })
+	sim.At(start.Add(150*time.Minute), func(time.Time) { host.SetOnline(true) })
+	obs := New(n, sim)
+	obs.OfflineAfter = offlineAfter
+	res := obs.Watch([]Target{target}, time.Hour, 4*time.Hour)
+	sim.Run()
+	return res
+}
+
+func TestOfflineRequiresConsecutiveMisses(t *testing.T) {
+	// Default single-miss rule: the one missed tick shows up as offline.
+	res := flapWatch(t, 1)
+	if res.Overall[1].Offline != 1 {
+		t.Fatalf("OfflineAfter=1: flap tick %+v, want it reported offline", res.Overall[1])
+	}
+
+	// With a two-miss threshold the isolated blip is absorbed: the target
+	// keeps its last reachable classification throughout.
+	res = flapWatch(t, 2)
+	for i, s := range res.Overall {
+		if s.Vulnerable != 1 || s.Offline != 0 {
+			t.Fatalf("OfflineAfter=2: tick %d = %+v, want the blip absorbed", i, s)
+		}
+	}
+}
+
+func TestPersistentOfflineConfirmedAfterK(t *testing.T) {
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	_, host, target := deployTarget(t, n, "10.0.0.8")
+	sim.At(start.Add(90*time.Minute), func(time.Time) { host.SetOnline(false) })
+	obs := New(n, sim)
+	obs.OfflineAfter = 2
+	res := obs.Watch([]Target{target}, time.Hour, 4*time.Hour)
+	sim.Run()
+	wantOffline := []int{0, 0, 1, 1} // miss at 2h is grace, confirmed at 3h
+	for i, s := range res.Overall {
+		if s.Offline != wantOffline[i] {
+			t.Fatalf("tick %d = %+v, want Offline=%d (grace then confirm)", i, s, wantOffline[i])
+		}
+	}
+}
+
+// faultedWatch runs three vulnerable targets through a 30-hour window
+// (10 ticks) with the given fault plan and resilience policy.
+func faultedWatch(t *testing.T, cfg faults.Config, policy resilience.Policy, offlineAfter int) *Result {
+	t.Helper()
+	n := simnet.New()
+	sim := simtime.NewSim(start)
+	targets := make([]Target, 0, 3)
+	for _, ip := range []string{"10.0.1.1", "10.0.1.2", "10.0.1.3"} {
+		_, _, tgt := deployTarget(t, n, ip)
+		targets = append(targets, tgt)
+	}
+	if cfg.Enabled() {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		n.SetFaults(faults.NewPlan(cfg, sim))
+		// Injected latency must burn simulated attention, not wall time.
+		n.SetClock(simtime.Immediate(sim))
+	}
+	obs := New(n, sim)
+	obs.Resilience = policy
+	obs.OfflineAfter = offlineAfter
+	res := obs.Watch(targets, 3*time.Hour, 30*time.Hour)
+	sim.Run()
+	return res
+}
+
+// TestFaultsBelowBudgetPreserveSeries is the headline resilience property:
+// with transient faults injected at a rate the retry policy can absorb, the
+// Figure-2 Overall series is byte-identical to a fault-free run — and the
+// faulted run itself is reproducible from its seed.
+func TestFaultsBelowBudgetPreserveSeries(t *testing.T) {
+	policy := resilience.Policy{MaxAttempts: 4, JitterSeed: 1}
+	clean := faultedWatch(t, faults.Config{}, policy, 2)
+
+	cfg := faults.Config{Seed: 42, Rate: 0.2}
+	faulted := faultedWatch(t, cfg, policy, 2)
+	if !reflect.DeepEqual(faulted.Overall, clean.Overall) {
+		t.Fatalf("faults below the retry budget changed the series:\nfaulted: %+v\nclean:   %+v",
+			faulted.Overall, clean.Overall)
+	}
+
+	again := faultedWatch(t, cfg, policy, 2)
+	if !reflect.DeepEqual(again.Overall, faulted.Overall) {
+		t.Fatalf("same fault seed produced a different series:\nfirst:  %+v\nsecond: %+v",
+			faulted.Overall, again.Overall)
+	}
+}
+
+// TestFaultsAboveBudgetFlipOffline is the counterpart: faults the budget
+// cannot absorb (every probe attempt drops) flip targets offline — but only
+// after OfflineAfter consecutive missed ticks.
+func TestFaultsAboveBudgetFlipOffline(t *testing.T) {
+	cfg := faults.Config{Seed: 42, Rate: 1, Kinds: []faults.Kind{faults.SynTimeout}}
+	res := faultedWatch(t, cfg, resilience.Policy{MaxAttempts: 4, JitterSeed: 1}, 2)
+	if first := res.Overall[0]; first.Vulnerable != 3 || first.Offline != 0 {
+		t.Fatalf("first missed tick %+v, want grace to hold the last-good state", first)
+	}
+	if second := res.Overall[1]; second.Offline != 3 {
+		t.Fatalf("second missed tick %+v, want all targets confirmed offline", second)
+	}
+	if final := res.FinalSample(); final.Offline != 3 {
+		t.Fatalf("final sample %+v, want all targets offline", final)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mavscan/internal/fingerprint"
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
 	"mavscan/internal/simtime"
 	"mavscan/internal/telemetry"
@@ -102,7 +103,29 @@ type Observer struct {
 	FingerprintEvery int
 	// Workers parallelizes the per-tick target checks (default 16).
 	Workers int
-	tel     *obsTelemetry
+	// Resilience, when enabled, retries each probe and HTTP request under
+	// the policy (backoff waits run on an immediate sleeper — simulated
+	// time does not pass during a tick), and bounds every per-target check
+	// with a context derived from the policy's budget so a hung host
+	// cannot stall the tick. Set before Watch.
+	Resilience resilience.Policy
+	// OfflineAfter is how many consecutive failed ticks a target needs
+	// before it is reported offline; until then it keeps its last
+	// reachable classification. Default 1 — the paper's original
+	// single-miss rule. Raise it when transient faults are in play: one
+	// blip at the wrong moment otherwise pollutes the Figure-2 series
+	// forever.
+	OfflineAfter int
+	retr         *resilience.Retrier
+	tel          *obsTelemetry
+}
+
+// targetKey identifies a target under observation. Both the IP and the
+// port matter: two applications on one host are distinct targets, so
+// keying per-target state by bare IP would collide them.
+type targetKey struct {
+	ip   netip.Addr
+	port int
 }
 
 // obsTelemetry carries the longevity-study handles. Per-state check
@@ -167,22 +190,28 @@ func New(n *simnet.Network, clock *simtime.Sim) *Observer {
 	}
 }
 
-// classify performs one check of one target.
-func (o *Observer) classify(t Target) State {
-	if err := o.net.ProbePort(t.IP, t.Port); err != nil {
+// classify performs one check of one target. The probe retries under the
+// resilience policy (a nil retrier probes once), so a transient SYN drop
+// does not read as the host having gone offline.
+func (o *Observer) classify(ctx context.Context, t Target) State {
+	err := o.retr.Do(ctx, func(context.Context) error {
+		return o.net.ProbePort(t.IP, t.Port)
+	})
+	if err != nil {
 		return StateOffline
 	}
 	target := tsunami.Target{IP: t.IP, Port: t.Port, Scheme: t.Scheme, App: t.App}
-	if len(o.engine.Scan(context.Background(), target)) > 0 {
+	if len(o.engine.Scan(ctx, target)) > 0 {
 		return StateVulnerable
 	}
 	return StateFixed
 }
 
 // Watch schedules an observation every interval for the given duration,
-// starting one interval after the current simulated time. The returned
-// Result fills in as the simulated clock advances; it is complete once the
-// clock has passed start+duration.
+// starting one interval after the current simulated time: exactly
+// duration/interval ticks, the last one landing on start+duration. The
+// returned Result fills in as the simulated clock advances; it is complete
+// once the clock has passed start+duration.
 func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Result {
 	res := &Result{
 		Targets:    targets,
@@ -190,10 +219,13 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 		ByCategory: map[mav.Category][]Sample{},
 		ByDefault:  map[bool][]Sample{},
 	}
-	lastVersion := make(map[netip.Addr]string, len(targets))
-	updated := make(map[netip.Addr]bool)
+	// Per-target version/update state is keyed by (IP, port): two targets
+	// sharing an address (different applications on different ports) are
+	// independent and must not suppress each other's fingerprints.
+	lastVersion := make(map[targetKey]string, len(targets))
+	updated := make(map[targetKey]bool)
 	for _, t := range targets {
-		lastVersion[t.IP] = t.InitialVersion
+		lastVersion[targetKey{t.IP, t.Port}] = t.InitialVersion
 	}
 	fpEvery := o.FingerprintEvery
 	if fpEvery <= 0 {
@@ -203,15 +235,36 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 	if workers <= 0 {
 		workers = 16
 	}
+	offlineAfter := o.OfflineAfter
+	if offlineAfter <= 0 {
+		offlineAfter = 1
+	}
+	if o.retr == nil && o.Resilience.Enabled() {
+		// Backoff waits run on an immediate sleeper: within a tick the
+		// simulated clock stands still, so the retry loop must not block a
+		// real goroutine on it. The nominal delays still land in telemetry.
+		o.retr = resilience.New(o.Resilience, simtime.Immediate(o.clock))
+		if o.tel != nil {
+			o.retr.Instrument(o.tel.reg, "observer")
+		}
+		o.engine.SetRetrier(o.retr)
+		o.fp.SetRetrier(o.retr)
+	}
 	// Every target enters observation in the vulnerable state: the initial
 	// scan put it on the list. Transition counters key off this baseline.
+	// grace counts consecutive failed checks; a target is only reported
+	// offline once grace reaches offlineAfter, and until then it keeps its
+	// last reachable classification (lastGood).
 	prev := make([]State, len(targets))
+	lastGood := make([]State, len(targets))
+	grace := make([]int, len(targets))
 	for i := range prev {
 		prev[i] = StateVulnerable
+		lastGood[i] = StateVulnerable
 	}
 	start := o.clock.Now()
 	tick := 0
-	o.clock.Every(start.Add(interval), interval, start.Add(duration+time.Second), func(now time.Time) {
+	o.clock.EveryN(start.Add(interval), interval, int(duration/interval), func(now time.Time) {
 		tick++
 		runFP := tick%fpEvery == 0
 		tel := o.tel
@@ -234,13 +287,32 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 				defer wg.Done()
 				for i := range idx {
 					t := targets[i]
-					states[i] = o.classify(t)
-					if runFP && states[i] != StateOffline && !updated[t.IP] {
-						fpRes := o.fp.Fingerprint(context.Background(), tsunami.Target{
+					// Each check runs under a context derived from the
+					// resilience budget, so one hung simulated host cannot
+					// stall the whole tick.
+					ctx, cancel := o.retr.Context(context.Background())
+					raw := o.classify(ctx, t)
+					if raw == StateOffline {
+						grace[i]++
+						if grace[i] < offlineAfter {
+							// Not yet confirmed offline: keep the last
+							// reachable classification.
+							states[i] = lastGood[i]
+						} else {
+							states[i] = StateOffline
+						}
+					} else {
+						grace[i] = 0
+						lastGood[i] = raw
+						states[i] = raw
+					}
+					if runFP && raw != StateOffline && !updated[targetKey{t.IP, t.Port}] {
+						fpRes := o.fp.Fingerprint(ctx, tsunami.Target{
 							IP: t.IP, Port: t.Port, Scheme: t.Scheme, App: t.App,
 						})
 						versions[i] = fpRes.Version
 					}
+					cancel()
 				}
 			}()
 		}
@@ -277,8 +349,9 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 			bump(perDefault[t.ByDefault])
 
 			// Version tracking for the update count (RQ3's 2.4%).
-			if v := versions[i]; v != "" && !updated[t.IP] && lastVersion[t.IP] != "" && v != lastVersion[t.IP] {
-				updated[t.IP] = true
+			k := targetKey{t.IP, t.Port}
+			if v := versions[i]; v != "" && !updated[k] && lastVersion[k] != "" && v != lastVersion[k] {
+				updated[k] = true
 				res.Updated++
 				if tel != nil {
 					tel.updates.Inc()

@@ -18,6 +18,7 @@ import (
 
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
 	"mavscan/internal/telemetry"
 )
@@ -45,8 +46,15 @@ func (r Result) Relevant() bool { return len(r.Apps) > 0 }
 // Prefilter probes endpoints through a simulated network.
 type Prefilter struct {
 	client *http.Client
+	retr   *resilience.Retrier
 	tel    *preTelemetry
 }
+
+// SetRetrier installs retry/backoff on the prefilter's fetches: transport
+// errors, body-read errors and transient 5xx responses are retried under
+// the retrier's policy. A nil retrier (the default) keeps single-attempt
+// semantics.
+func (p *Prefilter) SetRetrier(r *resilience.Retrier) { p.retr = r }
 
 // preTelemetry carries the Stage-II funnel handles: how many open ports
 // were probed, how many spoke each protocol, and how many matched which
@@ -97,24 +105,59 @@ func New(n *simnet.Network) *Prefilter {
 func NewWithClient(c *http.Client) *Prefilter { return &Prefilter{client: c} }
 
 // fetch retrieves scheme://ip:port/ following redirects and returns the
-// final body.
+// final body, retrying transient failures when a retrier is installed.
 func (p *Prefilter) fetch(ctx context.Context, scheme string, ip netip.Addr, port int) (string, error) {
+	if p.retr == nil {
+		body, _, err := p.fetchOnce(ctx, scheme, ip, port)
+		return body, err
+	}
+	// A 5xx is retried like a transport error. When failures persist past
+	// the attempt budget, the last 5xx body is surfaced only if every
+	// attempt got a real HTTP answer: a persistently degraded server is
+	// still a protocol responder, and signature matching never depended on
+	// the status code. But if any attempt failed at the connection level,
+	// the error wins — otherwise a single transient 5xx (injected or not)
+	// would promote an endpoint that cannot complete a clean exchange
+	// (say, a TLS-only service probed over plain HTTP) into an HTTP
+	// responder it never was.
+	var body string
+	var fetched, connErr bool
+	err := p.retr.Do(ctx, func(ctx context.Context) error {
+		b, status, err := p.fetchOnce(ctx, scheme, ip, port)
+		if err != nil {
+			connErr = true
+			return err
+		}
+		body, fetched = b, true
+		if status >= 500 {
+			return fmt.Errorf("prefilter: transient server status %d", status)
+		}
+		return nil
+	})
+	if err == nil || (fetched && !connErr) {
+		return body, nil
+	}
+	return "", err
+}
+
+// fetchOnce is a single fetch attempt.
+func (p *Prefilter) fetchOnce(ctx context.Context, scheme string, ip netip.Addr, port int) (string, int, error) {
 	url := fmt.Sprintf("%s://%s:%d/", scheme, ip, port)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	req.Header.Set("User-Agent", "mavscan-research-scanner/1.0 (+https://example.org/scan-optout)")
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 	if err != nil {
-		return "", err
+		return "", resp.StatusCode, err
 	}
-	return string(body), nil
+	return string(body), resp.StatusCode, nil
 }
 
 // Probe runs the Stage-II check for one open port.

@@ -1,0 +1,281 @@
+// Package resilience implements deterministic retry with exponential
+// backoff for the scanning pipeline.
+//
+// The paper's pipeline (like the masscan/Tsunami tooling it models) issues
+// one attempt per network operation; a single transient failure — the kind
+// internal/faults injects and real Internet measurement constantly hits —
+// then flips a classification. This package wraps those operations in a
+// bounded retry loop: a Policy fixes the attempt budget, the backoff curve
+// and the deadlines, and a Retrier executes it against an injected
+// simtime.Sleeper so simulated studies never block a real goroutine
+// (simtime.Immediate) while wall-clock deployments honestly wait
+// (simtime.Wall).
+//
+// Everything is deterministic: the backoff jitter comes from a seeded hash
+// of the retry ordinal, not from a global RNG or the clock, so the same
+// policy produces the same wait sequence on every run — a requirement for
+// the byte-identical-report guarantee the fault-injection experiments make.
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// Policy bounds a retry loop. The zero value disables retries (a single
+// attempt, no deadlines) so existing call sites keep their exact behavior.
+type Policy struct {
+	// MaxAttempts is the total attempt budget; values below 2 mean a
+	// single attempt.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms);
+	// each further retry multiplies it by Multiplier (default 2) up to
+	// MaxDelay (default 5s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// JitterSeed seeds the deterministic jitter: each backoff is drawn
+	// from [delay/2, delay) by a hash of (seed, retry ordinal).
+	JitterSeed uint64
+	// AttemptTimeout bounds each attempt (default none).
+	AttemptTimeout time.Duration
+	// Budget bounds the whole operation including backoff waits (default
+	// 30s once retries are enabled). Do derives its context deadline from
+	// it, and the observer derives each per-check context from it so a
+	// hung simulated host cannot stall a tick.
+	Budget time.Duration
+}
+
+// Enabled reports whether the policy retries at all.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// WithDefaults fills the unset knobs of an enabled policy.
+func (p Policy) WithDefaults() Policy {
+	if !p.Enabled() {
+		return p
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Budget <= 0 {
+		p.Budget = 30 * time.Second
+	}
+	return p
+}
+
+// splitmix64 is the SplitMix64 finalizer, the code base's standard cheap
+// deterministic mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Delay returns the backoff before the retry-th retry (1-based):
+// exponential growth capped at MaxDelay, with deterministic jitter drawing
+// the result from [d/2, d).
+func (p Policy) Delay(retry int) time.Duration {
+	p = p.WithDefaults()
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d = time.Duration(float64(d) * p.Multiplier)
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if d <= 1 {
+		return d
+	}
+	h := splitmix64(p.JitterSeed ^ splitmix64(uint64(retry)))
+	half := d / 2
+	return half + time.Duration(h%uint64(half))
+}
+
+// Retrier executes operations under a Policy, waiting on an injected
+// Sleeper. A nil *Retrier is valid and runs the operation exactly once —
+// call sites need no conditional wiring.
+type Retrier struct {
+	policy Policy
+	clock  simtime.Sleeper
+	tel    *retrierTelemetry
+}
+
+type retrierTelemetry struct {
+	attempts *telemetry.Counter
+	retries  *telemetry.Counter
+	giveups  *telemetry.Counter
+	wait     *telemetry.Histogram
+}
+
+// New builds a Retrier. A nil clock defaults to an immediate sleeper over
+// the wall clock: backoff delays are still computed and recorded, but the
+// waits complete instantly — the right semantics for simulated studies,
+// where only the simulated timeline may pass time.
+func New(policy Policy, clock simtime.Sleeper) *Retrier {
+	if clock == nil {
+		clock = simtime.Immediate(simtime.Wall{})
+	}
+	return &Retrier{policy: policy.WithDefaults(), clock: clock}
+}
+
+// Policy returns the retrier's normalized policy (zero for nil).
+func (r *Retrier) Policy() Policy {
+	if r == nil {
+		return Policy{}
+	}
+	return r.policy
+}
+
+// Instrument registers the retry metrics for one pipeline stage with reg
+// (nil registry or nil retrier = off).
+func (r *Retrier) Instrument(reg *telemetry.Registry, stage string) {
+	if r == nil || !reg.Enabled() {
+		return
+	}
+	r.tel = &retrierTelemetry{
+		attempts: reg.Counter(telemetry.Labeled("mavscan_resilience_attempts_total", "stage", stage)),
+		retries:  reg.Counter(telemetry.Labeled("mavscan_resilience_retries_total", "stage", stage)),
+		giveups:  reg.Counter(telemetry.Labeled("mavscan_resilience_giveups_total", "stage", stage)),
+		wait: reg.Histogram(
+			telemetry.Labeled("mavscan_resilience_backoff_wait_seconds", "stage", stage), nil),
+	}
+}
+
+// Context derives a per-operation context from the policy's overall
+// budget. The cancel func must be called; with no budget it is a no-op.
+func (r *Retrier) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if b := r.Policy().Budget; b > 0 {
+		return context.WithTimeout(parent, b)
+	}
+	return parent, func() {}
+}
+
+// Do runs fn under the retry policy: up to MaxAttempts attempts, separated
+// by jittered exponential backoff, each bounded by AttemptTimeout and all
+// of it by Budget. It returns nil on the first success, otherwise the last
+// attempt's error. On a nil retrier fn runs exactly once with the caller's
+// context.
+func (r *Retrier) Do(ctx context.Context, fn func(context.Context) error) error {
+	if r == nil || !r.policy.Enabled() {
+		return fn(ctx)
+	}
+	if b := r.policy.Budget; b > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b)
+		defer cancel()
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if r.tel != nil {
+			r.tel.attempts.Inc()
+		}
+		if err = r.attempt(ctx, fn); err == nil {
+			return nil
+		}
+		if attempt >= r.policy.MaxAttempts || ctx.Err() != nil {
+			break
+		}
+		d := r.policy.Delay(attempt)
+		if r.tel != nil {
+			r.tel.retries.Inc()
+			r.tel.wait.Observe(d.Seconds())
+		}
+		select {
+		case <-r.clock.After(d):
+		case <-ctx.Done():
+			if r.tel != nil {
+				r.tel.giveups.Inc()
+			}
+			return err
+		}
+	}
+	if r.tel != nil {
+		r.tel.giveups.Inc()
+	}
+	return err
+}
+
+// attempt isolates the per-attempt timeout so its cancel runs as soon as
+// the attempt returns.
+func (r *Retrier) attempt(ctx context.Context, fn func(context.Context) error) error {
+	if t := r.policy.AttemptTimeout; t > 0 {
+		actx, cancel := context.WithTimeout(ctx, t)
+		defer cancel()
+		return fn(actx)
+	}
+	return fn(ctx)
+}
+
+// RoundTripper wraps base so bodyless requests (the pipeline issues only
+// GETs) are retried on transport errors and 5xx responses under the
+// retrier's policy. Requests with a body pass through untouched — replaying
+// them is not generally safe. Per-attempt and overall deadlines are left to
+// the client's own Timeout: the response body outlives RoundTrip, so the
+// wrapper must not attach a context it would cancel on return. A nil
+// retrier (or a disabled policy) returns base unchanged.
+func (r *Retrier) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if r == nil || !r.policy.Enabled() {
+		return base
+	}
+	return &retryTransport{base: base, r: r}
+}
+
+type retryTransport struct {
+	base http.RoundTripper
+	r    *Retrier
+}
+
+func (t *retryTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body != nil && req.Body != http.NoBody {
+		return t.base.RoundTrip(req)
+	}
+	p := t.r.policy
+	tel := t.r.tel
+	var resp *http.Response
+	var err error
+	for attempt := 1; ; attempt++ {
+		if tel != nil {
+			tel.attempts.Inc()
+		}
+		resp, err = t.base.RoundTrip(req)
+		retryable := err != nil || resp.StatusCode >= 500
+		if !retryable || attempt >= p.MaxAttempts || req.Context().Err() != nil {
+			if retryable && tel != nil {
+				tel.giveups.Inc()
+			}
+			break
+		}
+		if resp != nil {
+			// This 5xx triggers a retry; its body will never be read.
+			resp.Body.Close()
+			resp = nil
+		}
+		d := p.Delay(attempt)
+		if tel != nil {
+			tel.retries.Inc()
+			tel.wait.Observe(d.Seconds())
+		}
+		select {
+		case <-t.r.clock.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if resp != nil {
+		// Success, or attempts exhausted on a persistent 5xx: surface the
+		// last response either way — callers inspect the status code.
+		return resp, nil
+	}
+	return nil, err
+}

@@ -1,0 +1,265 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+var errBoom = errors.New("boom")
+
+// instant is an Immediate sleeper over the wall clock: waits complete
+// without real delay, keeping the tests fast.
+var instant = simtime.Immediate(simtime.Wall{})
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	r := New(Policy{MaxAttempts: 4}, instant)
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success on attempt 3", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+func TestDoGivesUpAfterMaxAttempts(t *testing.T) {
+	r := New(Policy{MaxAttempts: 3}, instant)
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Do = %v, want the last attempt's error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want MaxAttempts = 3", calls)
+	}
+}
+
+func TestNilRetrierRunsOnce(t *testing.T) {
+	var r *Retrier
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || calls != 1 {
+		t.Fatalf("nil retrier: err=%v calls=%d, want single pass-through attempt", err, calls)
+	}
+	ctx, cancel := r.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("nil retrier must not attach a deadline")
+	}
+}
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	p := Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, JitterSeed: 11}
+	for retry := 1; retry <= 7; retry++ {
+		d1, d2 := p.Delay(retry), p.Delay(retry)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) nondeterministic: %v vs %v", retry, d1, d2)
+		}
+		// Nominal backoff for this retry, capped.
+		nominal := 100 * time.Millisecond
+		for i := 1; i < retry && nominal < 2*time.Second; i++ {
+			nominal *= 2
+		}
+		if nominal > 2*time.Second {
+			nominal = 2 * time.Second
+		}
+		if d1 < nominal/2 || d1 >= nominal {
+			t.Errorf("Delay(%d) = %v outside jitter range [%v, %v)", retry, d1, nominal/2, nominal)
+		}
+	}
+	other := Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, JitterSeed: 12}
+	if p.Delay(3) == other.Delay(3) {
+		t.Error("different jitter seeds produced the same delay")
+	}
+}
+
+func TestAttemptTimeoutAppliesPerAttempt(t *testing.T) {
+	r := New(Policy{MaxAttempts: 2, AttemptTimeout: 10 * time.Millisecond}, instant)
+	deadlines := 0
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want deadline exceeded", err)
+	}
+	if deadlines != 2 {
+		t.Fatalf("%d attempts saw a deadline, want 2", deadlines)
+	}
+}
+
+func TestBudgetBoundsTheWholeOperation(t *testing.T) {
+	// Unlimited attempts but a tiny budget: the loop must stop once the
+	// budget context expires rather than burn all attempts.
+	r := New(Policy{MaxAttempts: 1 << 20, Budget: 20 * time.Millisecond, BaseDelay: time.Nanosecond, MaxDelay: time.Nanosecond}, instant)
+	start := time.Now()
+	err := r.Do(context.Background(), func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return errBoom
+		}
+	})
+	if err == nil {
+		t.Fatal("Do succeeded, want budget exhaustion")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget failed to bound the loop (%v elapsed)", elapsed)
+	}
+}
+
+func TestContextDerivesBudgetDeadline(t *testing.T) {
+	r := New(Policy{MaxAttempts: 3, Budget: time.Minute}, instant)
+	ctx, cancel := r.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("Context must carry the policy budget as a deadline")
+	}
+}
+
+func TestDoTelemetry(t *testing.T) {
+	reg := telemetry.New(simtime.Wall{})
+	r := New(Policy{MaxAttempts: 3}, instant)
+	r.Instrument(reg, "observer")
+	calls := 0
+	if err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 2 {
+			return errBoom
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Do(context.Background(), func(context.Context) error { return errBoom })
+	if got := reg.CounterValue(`mavscan_resilience_attempts_total{stage="observer"}`); got != 5 {
+		t.Errorf("attempts = %d, want 5 (2 + 3)", got)
+	}
+	if got := reg.CounterValue(`mavscan_resilience_retries_total{stage="observer"}`); got != 3 {
+		t.Errorf("retries = %d, want 3 (1 + 2)", got)
+	}
+	if got := reg.CounterValue(`mavscan_resilience_giveups_total{stage="observer"}`); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+}
+
+// flakyTransport fails n times (with a transport error or a 5xx) before
+// succeeding.
+type flakyTransport struct {
+	failures int
+	status   int // 0 = transport error, else respond with this status first
+	calls    int
+}
+
+func (f *flakyTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		if f.status == 0 {
+			return nil, errBoom
+		}
+		return respond(f.status), nil
+	}
+	return respond(200), nil
+}
+
+func respond(status int) *http.Response {
+	return &http.Response{
+		StatusCode: status,
+		Body:       io.NopCloser(strings.NewReader(fmt.Sprintf("status %d", status))),
+	}
+}
+
+func TestRoundTripperRetriesTransportErrors(t *testing.T) {
+	ft := &flakyTransport{failures: 2}
+	rt := New(Policy{MaxAttempts: 3}, instant).RoundTripper(ft)
+	req, _ := http.NewRequest(http.MethodGet, "http://10.0.0.1/", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip = %v, want success on attempt 3", err)
+	}
+	resp.Body.Close()
+	if ft.calls != 3 || resp.StatusCode != 200 {
+		t.Fatalf("calls=%d status=%d, want 3 calls ending in 200", ft.calls, resp.StatusCode)
+	}
+}
+
+func TestRoundTripperRetries5xx(t *testing.T) {
+	ft := &flakyTransport{failures: 1, status: 503}
+	rt := New(Policy{MaxAttempts: 2}, instant).RoundTripper(ft)
+	req, _ := http.NewRequest(http.MethodGet, "http://10.0.0.1/", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want the retried 200", resp.StatusCode)
+	}
+}
+
+func TestRoundTripperSurfacesPersistent5xx(t *testing.T) {
+	ft := &flakyTransport{failures: 99, status: 503}
+	rt := New(Policy{MaxAttempts: 2}, instant).RoundTripper(ft)
+	req, _ := http.NewRequest(http.MethodGet, "http://10.0.0.1/", nil)
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip = %v, want the last 5xx response surfaced", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 || ft.calls != 2 {
+		t.Fatalf("status=%d calls=%d, want 503 after exactly 2 attempts", resp.StatusCode, ft.calls)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "status 503" {
+		t.Fatalf("surfaced body %q must still be readable", body)
+	}
+}
+
+func TestRoundTripperPassesThroughBodies(t *testing.T) {
+	ft := &flakyTransport{failures: 99}
+	rt := New(Policy{MaxAttempts: 5}, instant).RoundTripper(ft)
+	req, _ := http.NewRequest(http.MethodPost, "http://10.0.0.1/", strings.NewReader("data"))
+	if _, err := rt.RoundTrip(req); err == nil {
+		t.Fatal("want the transport error passed through")
+	}
+	if ft.calls != 1 {
+		t.Fatalf("request with a body retried %d times; must not be replayed", ft.calls)
+	}
+}
+
+func TestDisabledPolicyReturnsBaseTransport(t *testing.T) {
+	ft := &flakyTransport{}
+	if rt := New(Policy{}, instant).RoundTripper(ft); rt != http.RoundTripper(ft) {
+		t.Fatal("disabled policy must return the base transport unchanged")
+	}
+	var nilR *Retrier
+	if rt := nilR.RoundTripper(ft); rt != http.RoundTripper(ft) {
+		t.Fatal("nil retrier must return the base transport unchanged")
+	}
+}

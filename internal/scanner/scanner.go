@@ -25,7 +25,9 @@ import (
 	"mavscan/internal/mav"
 	"mavscan/internal/portscan"
 	"mavscan/internal/prefilter"
+	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
 	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 	"mavscan/internal/tsunami/plugins"
@@ -131,6 +133,27 @@ type Pipeline struct {
 	fp     *fingerprint.Fingerprinter
 	reg    *telemetry.Registry
 	queue  *telemetry.Gauge
+	// Per-stage retriers; nil when no resilience policy is installed.
+	retrPre, retrScan, retrFP *resilience.Retrier
+}
+
+// SetResilience installs a retry/backoff policy on the HTTP stages
+// (prefilter, tsunami, fingerprint); Stage I keeps masscan's shoot-once
+// semantics — the observer, not the port scan, is where missed SYNs
+// matter. A nil clock defaults to an immediate sleeper: backoff delays are
+// computed and recorded but waits complete instantly, the right semantics
+// for simulated studies. Call before Instrument so the retriers' metrics
+// register.
+func (p *Pipeline) SetResilience(policy resilience.Policy, clock simtime.Sleeper) {
+	if !policy.Enabled() {
+		return
+	}
+	p.retrPre = resilience.New(policy, clock)
+	p.retrScan = resilience.New(policy, clock)
+	p.retrFP = resilience.New(policy, clock)
+	p.pre.SetRetrier(p.retrPre)
+	p.engine.SetRetrier(p.retrScan)
+	p.fp.SetRetrier(p.retrFP)
 }
 
 // New assembles the pipeline with all detection plugins installed.
@@ -162,6 +185,9 @@ func (p *Pipeline) Instrument(reg *telemetry.Registry) {
 	p.pre.Instrument(reg)
 	p.engine.Instrument(reg)
 	p.fp.Instrument(reg)
+	p.retrPre.Instrument(reg, "prefilter")
+	p.retrScan.Instrument(reg, "tsunami")
+	p.retrFP.Instrument(reg, "fingerprint")
 }
 
 // Run executes the full pipeline.

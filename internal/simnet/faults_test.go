@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubInjector is a scriptable FaultInjector for hook tests.
+type stubInjector struct {
+	probeErr error
+	fault    Fault
+}
+
+func (s *stubInjector) ProbeFault(netip.Addr, int) error { return s.probeErr }
+func (s *stubInjector) DialFault(netip.Addr, int) Fault  { return s.fault }
+
+func faultNet(t *testing.T, handler ConnHandler) *Network {
+	t.Helper()
+	n := New()
+	h := NewHost(ipA)
+	h.Bind(80, handler)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestProbeFaultOverlaysHealthyPort(t *testing.T) {
+	n := faultNet(t, echoHandler)
+	n.SetFaults(&stubInjector{probeErr: ErrHostUnreachable})
+	if err := n.ProbePort(ipA, 80); !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("probe fault: got %v, want ErrHostUnreachable", err)
+	}
+	// The injector is only consulted for ports that would have succeeded:
+	// a closed port keeps its genuine error.
+	if err := n.ProbePort(ipA, 81); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("closed port: got %v, want the genuine ErrConnRefused", err)
+	}
+	n.SetFaults(nil)
+	if err := n.ProbePort(ipA, 80); err != nil {
+		t.Fatalf("after removing the injector: %v", err)
+	}
+}
+
+func TestDialFaultError(t *testing.T) {
+	n := faultNet(t, echoHandler)
+	n.SetFaults(&stubInjector{fault: Fault{Err: ErrConnRefused}})
+	if _, err := n.Dial(context.Background(), ipA, 80); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("dial fault: got %v, want ErrConnRefused", err)
+	}
+}
+
+func TestDialFaultStatusBlip(t *testing.T) {
+	n := faultNet(t, func(c net.Conn) {
+		defer c.Close()
+		t.Error("a 5xx blip must not reach the bound handler")
+	})
+	n.SetFaults(&stubInjector{fault: Fault{Status: 503}})
+	conn, err := n.Dial(context.Background(), ipA, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(reply), "HTTP/1.1 503 ") {
+		t.Fatalf("blip reply %q, want an HTTP/1.1 503 status line", reply)
+	}
+}
+
+func TestDialFaultTruncatesResponse(t *testing.T) {
+	payload := strings.Repeat("x", 1024)
+	n := faultNet(t, func(c net.Conn) {
+		defer c.Close()
+		io.WriteString(c, payload)
+	})
+	n.SetFaults(&stubInjector{fault: Fault{Truncate: 10}})
+	conn, err := n.Dial(context.Background(), ipA, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, _ := io.ReadAll(conn)
+	if len(got) > 10 {
+		t.Fatalf("read %d bytes through a Truncate=10 fault", len(got))
+	}
+}
+
+func TestDialFaultLatencyWaitsOnClock(t *testing.T) {
+	n := faultNet(t, echoHandler)
+	waited := make(chan time.Duration, 1)
+	n.SetClock(recordingSleeper{waited})
+	n.SetFaults(&stubInjector{fault: Fault{Latency: 25 * time.Millisecond}})
+	conn, err := n.Dial(context.Background(), ipA, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case d := <-waited:
+		if d != 25*time.Millisecond {
+			t.Fatalf("dial waited %v, want the injected 25ms", d)
+		}
+	default:
+		t.Fatal("latency fault did not wait on the network clock")
+	}
+}
+
+// recordingSleeper completes waits instantly while recording the duration.
+type recordingSleeper struct{ waits chan time.Duration }
+
+func (recordingSleeper) Now() time.Time { return time.Time{} }
+func (r recordingSleeper) After(d time.Duration) <-chan time.Time {
+	select {
+	case r.waits <- d:
+	default:
+	}
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch
+}

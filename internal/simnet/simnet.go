@@ -25,6 +25,7 @@
 package simnet
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -229,6 +230,56 @@ type Network struct {
 	// clock paces the latency wait; tests may inject a fake Sleeper so
 	// latency runs never block in real time.
 	clock atomic.Pointer[simtime.Sleeper]
+	// faults, when set, is consulted on every probe and dial that would
+	// otherwise succeed, so a fault plan can overlay transient failures on
+	// the healthy topology (see internal/faults).
+	faults atomic.Pointer[FaultInjector]
+}
+
+// Fault describes one transient failure to apply to a dial that would
+// otherwise succeed. The zero value means "no fault". Err aborts the dial
+// outright (SYN timeout → ErrHostUnreachable, reset → ErrConnRefused);
+// the other fields degrade the connection instead: Latency adds one-off
+// connection-setup delay, Status swaps the bound handler for one answering
+// every request with that HTTP status, and Truncate cuts the server's
+// response stream after that many bytes.
+type Fault struct {
+	Err      error
+	Latency  time.Duration
+	Status   int
+	Truncate int
+}
+
+// FaultInjector decides, per (address, port) attempt, whether to inject a
+// transient failure. The network consults it only after the target has been
+// found healthy, so injected faults are always transient overlays — never
+// confused with genuinely dead or firewalled hosts. Implementations must be
+// safe for concurrent use; internal/faults provides the deterministic
+// seeded one.
+type FaultInjector interface {
+	// ProbeFault returns a non-nil error to fail a ProbePort that would
+	// have succeeded.
+	ProbeFault(ip netip.Addr, port int) error
+	// DialFault returns the fault to apply to a dial that would have
+	// succeeded; the zero Fault leaves the dial untouched.
+	DialFault(ip netip.Addr, port int) Fault
+}
+
+// SetFaults installs (or, with nil, removes) the network's fault injector.
+func (n *Network) SetFaults(inj FaultInjector) {
+	if inj == nil {
+		n.faults.Store(nil)
+		return
+	}
+	n.faults.Store(&inj)
+}
+
+func (n *Network) injector() FaultInjector {
+	p := n.faults.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // New returns an empty network.
@@ -386,8 +437,13 @@ func (n *Network) ProbePort(ip netip.Addr, port int) error {
 	if !ok {
 		return ErrHostUnreachable
 	}
-	_, err := h.lookupService(port)
-	return err
+	if _, err := h.lookupService(port); err != nil {
+		return err
+	}
+	if inj := n.injector(); inj != nil {
+		return inj.ProbeFault(ip, port)
+	}
+	return nil
 }
 
 // Dial establishes a full connection to (ip, port), returning the client
@@ -410,7 +466,14 @@ func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (n
 	if err != nil {
 		return nil, err
 	}
-	if latency := time.Duration(n.latency.Load()); latency > 0 {
+	var fault Fault
+	if inj := n.injector(); inj != nil {
+		fault = inj.DialFault(ip, port)
+		if fault.Err != nil {
+			return nil, fault.Err
+		}
+	}
+	if latency := time.Duration(n.latency.Load()) + fault.Latency; latency > 0 {
 		clock := *n.clock.Load()
 		select {
 		case <-clock.After(latency):
@@ -421,11 +484,71 @@ func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (n
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if fault.Status != 0 {
+		handler = statusBlipHandler(fault.Status)
+	}
 	client, server := net.Pipe()
 	// The server observes the caller's source address on an ephemeral
 	// port; the client observes the dialed destination.
-	go handler(&addrConn{Conn: server, remote: src, port: 0, local: ip, localPort: port})
+	var serverConn net.Conn = &addrConn{Conn: server, remote: src, port: 0, local: ip, localPort: port}
+	if fault.Truncate > 0 {
+		serverConn = &truncatedConn{Conn: serverConn, remaining: fault.Truncate}
+	}
+	go handler(serverConn)
 	return &addrConn{Conn: client, remote: ip, port: port, local: src, localPort: 0}, nil
+}
+
+// statusBlipHandler answers one exchange with an empty response carrying
+// the given status code — the shape of a transient 5xx blip from a healthy
+// server. Both ends of a net.Pipe are synchronous, so the handler must read
+// the client's opening bytes before answering (or the client's own write
+// would never complete), but it must only keep reading when those bytes are
+// a cleartext HTTP head: a TLS ClientHello has no request head, and waiting
+// for one would deadlock the dialer mid-handshake. A TLS client instead
+// gets the plaintext blip, fails the handshake, and surfaces a transport
+// error — still a transient, retryable fault.
+func statusBlipHandler(status int) ConnHandler {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		n, err := conn.Read(buf)
+		head := append([]byte(nil), buf[:n]...)
+		for err == nil && n > 0 && head[0] >= 'A' && head[0] <= 'Z' &&
+			!bytes.Contains(head, []byte("\r\n\r\n")) {
+			n, err = conn.Read(buf)
+			head = append(head, buf[:n]...)
+		}
+		fmt.Fprintf(conn, "HTTP/1.1 %d Transient Fault\r\nContent-Length: 0\r\nConnection: close\r\n\r\n", status)
+	}
+}
+
+// truncatedConn cuts the server's response stream after a byte budget: the
+// connection behaves normally until the budget is spent, then every write
+// reports a reset. Reads (the request direction) are unaffected.
+type truncatedConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int
+}
+
+func (c *truncatedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	budget := c.remaining
+	if budget > len(p) {
+		budget = len(p)
+	}
+	c.remaining -= budget
+	c.mu.Unlock()
+	if budget == 0 {
+		c.Conn.Close()
+		return 0, ErrConnRefused
+	}
+	n, err := c.Conn.Write(p[:budget])
+	if err == nil && n < len(p) {
+		c.Conn.Close()
+		err = ErrConnRefused
+	}
+	return n, err
 }
 
 // DialContext adapts Dial to the signature of net.Dialer.DialContext so the

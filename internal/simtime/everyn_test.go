@@ -1,0 +1,65 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2021, 4, 2, 0, 0, 0, 0, time.UTC)
+
+func TestEveryNSchedulesExactTickCount(t *testing.T) {
+	s := NewSim(t0)
+	var fired []time.Time
+	interval := 3 * time.Hour
+	duration := 12 * time.Hour
+	n := int(duration / interval)
+	s.EveryN(t0.Add(interval), interval, n, func(now time.Time) {
+		fired = append(fired, now)
+	})
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("%d ticks, want exactly duration/interval = 4", len(fired))
+	}
+	if got, want := fired[0], t0.Add(3*time.Hour); !got.Equal(want) {
+		t.Errorf("first tick at %v, want %v", got, want)
+	}
+	if got, want := fired[3], t0.Add(duration); !got.Equal(want) {
+		t.Errorf("last tick at %v, want %v (landing on the window end)", got, want)
+	}
+}
+
+func TestEveryNZeroTicks(t *testing.T) {
+	s := NewSim(t0)
+	s.EveryN(t0.Add(time.Hour), time.Hour, 0, func(time.Time) {
+		t.Error("no tick should fire for n=0")
+	})
+	s.Run()
+}
+
+// TestEveryExcludesEndpoint pins the behavior EveryN exists to avoid: an
+// exclusive end bound drops a last tick landing exactly on the window end.
+func TestEveryExcludesEndpoint(t *testing.T) {
+	s := NewSim(t0)
+	fired := 0
+	s.Every(t0.Add(time.Hour), time.Hour, t0.Add(4*time.Hour), func(time.Time) { fired++ })
+	s.Run()
+	if fired != 3 {
+		t.Fatalf("Every fired %d ticks, want 3 (end-exclusive)", fired)
+	}
+}
+
+func TestImmediateSleeperDeliversInstantly(t *testing.T) {
+	s := NewSim(t0)
+	sl := Immediate(s)
+	select {
+	case got := <-sl.After(time.Hour):
+		if !got.Equal(t0) {
+			t.Errorf("After delivered %v, want the clock's current time %v", got, t0)
+		}
+	default:
+		t.Fatal("Immediate.After must be ready without blocking")
+	}
+	if !sl.Now().Equal(t0) {
+		t.Errorf("Now = %v, want %v", sl.Now(), t0)
+	}
+}

@@ -44,6 +44,22 @@ func (Wall) Now() time.Time { return time.Now() }
 // After waits in real time, like time.After.
 func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
+// Immediate returns a Sleeper that reads Now from clock but whose After
+// channels are already fired: a receive completes instantly, carrying the
+// clock's current time. It makes wait-shaped code (backoff loops, pacing)
+// run at full speed under the simulated clock — the wait durations remain
+// observable (e.g. recorded in telemetry) while no goroutine ever blocks,
+// which would deadlock a discrete-event Sim timeline.
+func Immediate(clock Clock) Sleeper { return immediate{clock} }
+
+type immediate struct{ Clock }
+
+func (i immediate) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- i.Now()
+	return ch
+}
+
 // event is one scheduled callback.
 type event struct {
 	at  time.Time
@@ -107,12 +123,30 @@ func (s *Sim) After(d time.Duration, fn func(now time.Time)) {
 }
 
 // Every schedules fn at t0, t0+d, t0+2d, ... until (but not including) end.
+// When the last desired tick falls exactly on the window end, the exclusive
+// bound drops it; use EveryN to schedule by tick count instead of padding
+// end with a fudge term.
 func (s *Sim) Every(t0 time.Time, d time.Duration, end time.Time, fn func(now time.Time)) {
 	if d <= 0 {
 		panic(fmt.Sprintf("simtime: non-positive period %v", d))
 	}
 	for t := t0; t.Before(end); t = t.Add(d) {
 		s.At(t, fn)
+	}
+}
+
+// EveryN schedules fn at exactly n instants: t0, t0+d, ..., t0+(n-1)d.
+// It is the tick-count form of Every for callers that know how many ticks
+// they want (an observation window of duration D at cadence d has exactly
+// D/d ticks), avoiding the off-by-one hazards of an exclusive end bound.
+func (s *Sim) EveryN(t0 time.Time, d time.Duration, n int, fn func(now time.Time)) {
+	if d <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive period %v", d))
+	}
+	t := t0
+	for i := 0; i < n; i++ {
+		s.At(t, fn)
+		t = t.Add(d)
 	}
 }
 

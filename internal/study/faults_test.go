@@ -1,0 +1,112 @@
+package study
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/population"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+)
+
+// runFaultScan runs the standard small scan world under the given fault
+// plan and retry policy. The injected latency is forced down to a
+// nanosecond because the scan study runs on the wall clock.
+func runFaultScan(t *testing.T, f faults.Config, p resilience.Policy) *ScanStudy {
+	t.Helper()
+	if f.Enabled() {
+		f.Latency = time.Nanosecond
+	}
+	scan, err := RunScan(context.Background(), ScanConfig{
+		Population: population.Config{
+			Seed: 9, HostScale: 8000, VulnScale: 8,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+		Scan:       scanner.Options{Seed: 9},
+		Faults:     f,
+		Resilience: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan.Report.Stats.Elapsed = 0 // wall-clock noise, not part of the result
+	return scan
+}
+
+// TestScanReportDeterministicUnderFaults is the scan half of the
+// reproducibility acceptance: the same fault seed yields a byte-identical
+// report across runs.
+func TestScanReportDeterministicUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two scan studies")
+	}
+	f := faults.Config{Seed: 11, Rate: 0.1}
+	p := resilience.Policy{MaxAttempts: 3, JitterSeed: 2}
+	a := runFaultScan(t, f, p)
+	b := runFaultScan(t, f, p)
+	if !reflect.DeepEqual(a.Report, b.Report) {
+		t.Fatal("same fault seed produced different scan reports")
+	}
+}
+
+// TestScanFaultsBelowBudgetMatchCleanReport checks the absorption property
+// end to end: response-level faults at a rate the per-stage retries can
+// absorb leave the report identical to a fault-free scan. Handshake-level
+// kinds are excluded — Stage I deliberately keeps the paper's shoot-once
+// SYN semantics, so a dropped or late SYN answer (syn, reset, and latency
+// faults alike) is a legitimate deterministic result change rather than
+// noise to hide.
+func TestScanFaultsBelowBudgetMatchCleanReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two scan studies")
+	}
+	clean := runFaultScan(t, faults.Config{}, resilience.Policy{})
+	faulted := runFaultScan(t,
+		faults.Config{Seed: 11, Rate: 0.05, Kinds: []faults.Kind{faults.HTTP5xx, faults.Truncate}},
+		resilience.Policy{MaxAttempts: 6, JitterSeed: 2})
+	if !reflect.DeepEqual(faulted.Report, clean.Report) {
+		t.Fatal("faults below the retry budget changed the scan report")
+	}
+}
+
+// runFaultLongevity runs a fresh scan + longevity pass. The scan must be
+// fresh per call: churn mutates the world in place, so reusing a ScanStudy
+// across longevity runs would observe different populations.
+func runFaultLongevity(t *testing.T) *observerResult {
+	t.Helper()
+	scan := runFaultScan(t, faults.Config{}, resilience.Policy{})
+	res := RunLongevity(scan, LongevityConfig{
+		Seed:     3,
+		Interval: 12 * time.Hour,
+		Faults: faults.Config{
+			Seed: 13, Rate: 0.05, Latency: time.Nanosecond,
+			BurstEvery: 48 * time.Hour, BurstLen: 3 * time.Hour, BurstRate: 0.9,
+		},
+		Resilience:   resilience.Policy{MaxAttempts: 3, JitterSeed: 3},
+		OfflineAfter: 2,
+	})
+	return &observerResult{Overall: res.Overall, Updated: res.Updated}
+}
+
+// observerResult is the comparable slice of a longevity result.
+type observerResult struct {
+	Overall interface{}
+	Updated int
+}
+
+// TestLongevityFigure2DeterministicUnderFaults is the Figure-2 half of the
+// reproducibility acceptance: same fault seed (with burst windows riding
+// the simulated clock) ⇒ identical series across full scan+observe runs.
+func TestLongevityFigure2DeterministicUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two scan+longevity studies")
+	}
+	a := runFaultLongevity(t)
+	b := runFaultLongevity(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same fault seed produced different Figure-2 series")
+	}
+}

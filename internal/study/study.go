@@ -15,12 +15,14 @@ import (
 	"mavscan/internal/apps"
 	"mavscan/internal/attacker"
 	"mavscan/internal/eslite"
+	"mavscan/internal/faults"
 	"mavscan/internal/geo"
 	"mavscan/internal/honeypot"
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
 	"mavscan/internal/observer"
 	"mavscan/internal/population"
+	"mavscan/internal/resilience"
 	"mavscan/internal/scanner"
 	"mavscan/internal/secscan"
 	"mavscan/internal/simnet"
@@ -39,12 +41,22 @@ type ScanStudy struct {
 type ScanConfig struct {
 	Population population.Config
 	Scan       scanner.Options
+	// Faults injects deterministic transient failures into the simulated
+	// network (zero value = off). The one-shot scan has no meaningful
+	// timeline, so burst windows are inert here; see LongevityConfig.
+	Faults faults.Config
+	// Resilience retries the HTTP stages under the given policy (zero
+	// value = single attempts, the paper's original semantics).
+	Resilience resilience.Policy
 	// Telemetry, when non-nil, instruments the whole pipeline.
 	Telemetry *telemetry.Registry
 }
 
 // RunScan generates a world and runs the full three-stage pipeline on it.
 func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	world, err := population.Generate(cfg.Population)
 	if err != nil {
 		return nil, fmt.Errorf("study: generating world: %w", err)
@@ -52,7 +64,13 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	if len(cfg.Scan.Targets) == 0 {
 		cfg.Scan.Targets = world.Geo.Prefixes()
 	}
+	if cfg.Faults.Enabled() {
+		plan := faults.NewPlan(cfg.Faults, nil)
+		plan.Instrument(cfg.Telemetry)
+		world.Net.SetFaults(plan)
+	}
 	pipe := scanner.New(world.Net)
+	pipe.SetResilience(cfg.Resilience, nil)
 	pipe.Instrument(cfg.Telemetry)
 	report, err := pipe.Run(ctx, cfg.Scan)
 	if err != nil {
@@ -87,6 +105,15 @@ type LongevityConfig struct {
 	Duration time.Duration // default 4 weeks
 	// FingerprintEvery controls the version re-check cadence in ticks.
 	FingerprintEvery int
+	// Faults injects deterministic transient failures; burst windows run
+	// off the study's simulated clock, so they land on the same ticks in
+	// every run with the same seed.
+	Faults faults.Config
+	// Resilience retries each observer check under the given policy.
+	Resilience resilience.Policy
+	// OfflineAfter is the consecutive-failed-ticks threshold before a
+	// target is reported offline (default 1, the paper's single-miss rule).
+	OfflineAfter int
 	// Telemetry, when non-nil, instruments the observer.
 	Telemetry *telemetry.Registry
 }
@@ -107,8 +134,17 @@ func RunLongevity(s *ScanStudy, cfg LongevityConfig) *observer.Result {
 		Start:    start,
 		Duration: cfg.Duration,
 	})
+	if cfg.Faults.Enabled() {
+		plan := faults.NewPlan(cfg.Faults, sim)
+		plan.Instrument(cfg.Telemetry)
+		s.World.Net.SetFaults(plan)
+	} else {
+		s.World.Net.SetFaults(nil)
+	}
 	obs := observer.New(s.World.Net, sim)
 	obs.FingerprintEvery = cfg.FingerprintEvery
+	obs.Resilience = cfg.Resilience
+	obs.OfflineAfter = cfg.OfflineAfter
 	obs.Instrument(cfg.Telemetry)
 	result := obs.Watch(s.ObserverTargets(), cfg.Interval, cfg.Duration)
 	sim.Run()

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
 	"mavscan/internal/telemetry"
 )
 
@@ -40,10 +41,17 @@ func (t Target) URL() string { return fmt.Sprintf("%s://%s:%d", t.Scheme, t.IP, 
 // through GET; there is deliberately no method for POST/PUT/DELETE.
 type Env struct {
 	client *http.Client
+	retr   *resilience.Retrier
 }
 
 // NewEnv wraps an HTTP client for plugin use.
 func NewEnv(client *http.Client) *Env { return &Env{client: client} }
+
+// SetRetrier installs retry/backoff on every Get issued through the env:
+// transport errors, body-read errors and transient 5xx responses are
+// retried under the retrier's policy. A nil retrier keeps single-attempt
+// semantics.
+func (e *Env) SetRetrier(r *resilience.Retrier) { e.retr = r }
 
 // maxBody caps how much of a response body a plugin may read.
 const maxBody = 512 << 10
@@ -56,11 +64,41 @@ type Response struct {
 }
 
 // Get fetches path (which must start with "/") from the target using a
-// non-state-changing GET request.
+// non-state-changing GET request. With a retrier installed, transient
+// failures are retried; a 5xx that persists past the attempt budget is
+// still returned as a Response — plugins inspect status codes themselves —
+// but only when every attempt got a real HTTP answer. If any attempt
+// failed at the connection level, the error wins, so a transient 5xx can
+// never stand in for an endpoint that cannot complete a clean exchange.
 func (e *Env) Get(ctx context.Context, t Target, path string) (*Response, error) {
 	if !strings.HasPrefix(path, "/") {
 		return nil, fmt.Errorf("tsunami: path %q must be absolute", path)
 	}
+	if e.retr == nil {
+		return e.getOnce(ctx, t, path)
+	}
+	var last *Response
+	var connErr bool
+	err := e.retr.Do(ctx, func(ctx context.Context) error {
+		resp, err := e.getOnce(ctx, t, path)
+		if err != nil {
+			connErr = true
+			return err
+		}
+		last = resp
+		if resp.Status >= 500 {
+			return fmt.Errorf("tsunami: transient server status %d", resp.Status)
+		}
+		return nil
+	})
+	if err == nil || (last != nil && !connErr) {
+		return last, nil
+	}
+	return nil, err
+}
+
+// getOnce is a single fetch attempt.
+func (e *Env) getOnce(ctx context.Context, t Target, path string) (*Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.URL()+path, nil)
 	if err != nil {
 		return nil, err
@@ -155,6 +193,9 @@ type pluginTelemetry struct {
 func NewEngine(registry *Registry, client *http.Client) *Engine {
 	return &Engine{registry: registry, env: NewEnv(client)}
 }
+
+// SetRetrier installs retry/backoff on the engine's plugin environment.
+func (e *Engine) SetRetrier(r *resilience.Retrier) { e.env.SetRetrier(r) }
 
 // Instrument registers per-plugin metrics with reg (nil = off). Handles
 // are resolved for every currently registered detector; plugins installed

@@ -16,6 +16,12 @@ go vet ./...
 echo "==> mavlint (paper safety/determinism invariants)"
 go run ./cmd/mavlint ./...
 
+# The resilience layer is where a wall-clock wait would be most tempting
+# and most damaging (a time.Sleep backoff stalls simulated studies), so
+# gate it explicitly even though the full-module run above covers it.
+echo "==> mavlint (faults/resilience clock discipline and hermeticity)"
+go run ./cmd/mavlint -rules simclock,hermetic,goleak -pkg internal/faults,internal/resilience ./...
+
 echo "==> go test -short"
 go test -short ./...
 
