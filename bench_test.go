@@ -91,7 +91,7 @@ func sharedPots(b *testing.B) *study.HoneypotStudy {
 		b.Skip("honeypot study is slow; skipped in -short mode")
 	}
 	potsOnce.Do(func() {
-		hs, err := study.RunHoneypots(7)
+		hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: 7})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,10 +147,11 @@ func benchTable2(b *testing.B, instrumented bool) {
 		opts := cfg.Scan
 		opts.Targets = world.Geo.Prefixes()
 		opts.SkipFingerprint = true
-		pipe := scanner.New(world.Net)
+		var popts []scanner.Option
 		if instrumented {
-			pipe.Instrument(telemetry.New(simtime.Wall{}))
+			popts = append(popts, scanner.WithTelemetry(telemetry.New(simtime.Wall{})))
 		}
+		pipe := scanner.New(world.Net, popts...)
 		rep, err := pipe.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
@@ -182,10 +183,11 @@ func benchTable3(b *testing.B, instrumented bool) {
 	for i := 0; i < b.N; i++ {
 		opts := cfg.Scan
 		opts.Targets = world.Geo.Prefixes()
-		pipe := scanner.New(world.Net)
+		var popts []scanner.Option
 		if instrumented {
-			pipe.Instrument(telemetry.New(simtime.Wall{}))
+			popts = append(popts, scanner.WithTelemetry(telemetry.New(simtime.Wall{})))
 		}
+		pipe := scanner.New(world.Net, popts...)
 		rep, err := pipe.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
@@ -243,7 +245,10 @@ func BenchmarkFigure2Longevity(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res := study.RunLongevity(scan, study.LongevityConfig{Seed: 1, Interval: 6 * 3600e9})
+		res, err := study.RunLongevity(context.Background(), study.LongevityConfig{Scan: scan, Seed: 1, Interval: 6 * 3600e9})
+		if err != nil {
+			b.Fatal(err)
+		}
 		printOnce(i, func() { report.Figure2(os.Stdout, res) })
 	}
 }
@@ -252,7 +257,7 @@ func BenchmarkFigure2Longevity(b *testing.B) {
 // simulated weeks of attacks, sessionization.
 func BenchmarkTable5Attacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		hs, err := study.RunHoneypots(7)
+		hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: 7})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -319,7 +324,7 @@ func BenchmarkFigure4AttackerGraph(b *testing.B) {
 // against a fresh honeypot farm.
 func BenchmarkRQ7DefenderAwareness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		def, err := study.RunDefenders()
+		def, err := study.RunDefenders(context.Background(), study.DefenderConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -335,7 +340,7 @@ func BenchmarkRQ7DefenderAwareness(b *testing.B) {
 func BenchmarkTable9Summary(b *testing.B) {
 	scan := sharedScan(b)
 	hs := sharedPots(b)
-	def, err := study.RunDefenders()
+	def, err := study.RunDefenders(context.Background(), study.DefenderConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -89,7 +89,8 @@ func main() {
 	targets := scan.ObserverTargets()
 	fmt.Printf("observing %d vulnerable hosts every %v for four simulated weeks...\n\n", len(targets), *interval)
 
-	res := study.RunLongevity(scan, study.LongevityConfig{
+	res, err := study.RunLongevity(context.Background(), study.LongevityConfig{
+		Scan:         scan,
 		Seed:         *seed,
 		Interval:     *interval,
 		Faults:       faultCfg,
@@ -97,6 +98,9 @@ func main() {
 		OfflineAfter: *offAfter,
 		Telemetry:    reg,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if done != nil {
 		close(done)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,7 +22,7 @@ func main() {
 	flag.Parse()
 
 	fmt.Println("deploying 18 honeypots and replaying four weeks of attacks...")
-	hs, err := study.RunHoneypots(*seed)
+	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,13 +66,16 @@ func main() {
 
 	// --- Section 3.3 RQ3: longevity ---
 	fmt.Fprintln(w, "== longevity study ==")
-	res := study.RunLongevity(scan, study.LongevityConfig{Seed: *seed, Interval: *interval})
+	res, err := study.RunLongevity(context.Background(), study.LongevityConfig{Scan: scan, Seed: *seed, Interval: *interval})
+	if err != nil {
+		log.Fatal(err)
+	}
 	report.Figure2(w, res)
 	fmt.Fprintln(w)
 
 	// --- Section 4: attacker awareness ---
 	fmt.Fprintln(w, "== honeypot study ==")
-	hs, err := study.RunHoneypots(*seed)
+	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func main() {
 
 	// --- Section 5: defender awareness ---
 	fmt.Fprintln(w, "== defender study ==")
-	def, err := study.RunDefenders()
+	def, err := study.RunDefenders(context.Background(), study.DefenderConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

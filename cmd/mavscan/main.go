@@ -13,6 +13,7 @@ import (
 	"mavscan/internal/analysis"
 	"mavscan/internal/faults"
 	"mavscan/internal/mav"
+	"mavscan/internal/orchestrator"
 	"mavscan/internal/population"
 	"mavscan/internal/report"
 	"mavscan/internal/resilience"
@@ -56,10 +57,17 @@ func main() {
 		bgScale   = flag.Int("background-scale", 100000, "divisor for Table 2 background noise (negative disables)")
 		workers   = flag.Int("workers", 64, "stage-I probe workers")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
-		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx]")
+		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx,crash=0.3]")
 		retries   = flag.Int("retries", 3, "max attempts per HTTP-stage request when -faults is set (1 disables retries)")
+		shards    = flag.Int("shards", 1, "run the scan sharded across this many pipelines")
+		ckptPath  = flag.String("checkpoint", "", "journal per-shard progress to this file (JSONL), enabling -resume")
+		resume    = flag.Bool("resume", false, "resume from the -checkpoint journal, skipping completed segments")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "checkpoint granularity in addresses per segment (0 = one segment per shard)")
 	)
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	faultCfg, err := faults.ParseFlag(*faultSpec)
 	if err != nil {
@@ -78,6 +86,16 @@ func main() {
 		go progressLoop(reg, 200*time.Millisecond, done)
 	}
 
+	var ckpt orchestrator.Checkpoint
+	if *ckptPath != "" {
+		store, err := orchestrator.OpenFileStore(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		ckpt = orchestrator.Checkpoint{Store: store, Every: *ckptEvery, Resume: *resume}
+	}
+
 	fmt.Println("generating simulated IPv4 internet...")
 	scan, err := study.RunScan(context.Background(), study.ScanConfig{
 		Population: population.Config{
@@ -91,6 +109,8 @@ func main() {
 			PortWorkers: *workers,
 			Seed:        uint64(*seed),
 		},
+		Shards:     *shards,
+		Checkpoint: ckpt,
 		Faults:     faultCfg,
 		Resilience: policy,
 		Telemetry:  reg,

@@ -17,6 +17,7 @@ import (
 	"mavscan/internal/geo"
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
 	"mavscan/internal/simtime"
 )
@@ -179,6 +180,10 @@ type Executor struct {
 	// Failed records attacks whose exploitation did not complete (e.g. a
 	// CMS already hijacked and not yet restored).
 	Failed []Attack
+	// Resilience, when enabled, retries each attack's HTTP requests under
+	// the given policy — modeling attackers that persist through transient
+	// network failures instead of giving up on the first dropped request.
+	Resilience resilience.Policy
 }
 
 // Schedule enqueues every attack of the plan on the simulated clock. Run
@@ -196,6 +201,10 @@ func (e *Executor) Schedule(plan *Plan) {
 				Timeout:           30 * time.Second,
 				DisableKeepAlives: true,
 			})
+			if e.Resilience.Enabled() {
+				retr := resilience.New(e.Resilience, nil)
+				client.Transport = retr.RoundTripper(client.Transport)
+			}
 			base := "http://" + target.IP.String() + ":" + itoa(target.Port)
 			err := Exploit(context.Background(), client, atk.App, base, atk.Payload.Command())
 			if err != nil {

@@ -110,17 +110,28 @@ type Config struct {
 	// TruncateAfter is the response byte budget of Truncate faults
 	// (default 64).
 	TruncateAfter int
+	// WorkerCrashRate is the probability that an orchestrated shard worker
+	// crashes while executing one checkpoint segment (consulted by
+	// internal/orchestrator via Plan.WorkerCrash, not by simnet). Crash
+	// draws ride an independent hash chain keyed on (seed, shard, segment,
+	// attempt), so enabling them never perturbs the per-endpoint fault
+	// sequence — scan results stay byte-identical whether or not workers
+	// crash, which is what makes the kill/resume acceptance deterministic.
+	WorkerCrashRate float64
 }
 
 // Enabled reports whether the config injects anything at all.
 func (c Config) Enabled() bool {
-	return c.Rate > 0 || (c.BurstEvery > 0 && c.BurstRate > 0)
+	return c.Rate > 0 || (c.BurstEvery > 0 && c.BurstRate > 0) || c.WorkerCrashRate > 0
 }
 
 // Validate checks rates and windows for sanity.
 func (c Config) Validate() error {
 	if c.Rate < 0 || c.Rate > 1 {
 		return fmt.Errorf("faults: rate %v outside [0, 1]", c.Rate)
+	}
+	if c.WorkerCrashRate < 0 || c.WorkerCrashRate > 1 {
+		return fmt.Errorf("faults: crash rate %v outside [0, 1]", c.WorkerCrashRate)
 	}
 	if c.BurstRate < 0 || c.BurstRate > 1 {
 		return fmt.Errorf("faults: burst-rate %v outside [0, 1]", c.BurstRate)
@@ -134,7 +145,7 @@ func (c Config) Validate() error {
 // ParseFlag parses the -faults flag syntax:
 //
 //	seed=7,rate=0.02[,burst-every=6h,burst-len=20m,burst-rate=0.5]
-//	      [,latency=50ms][,trunc=64][,kinds=syn+reset+5xx]
+//	      [,latency=50ms][,trunc=64][,kinds=syn+reset+5xx][,crash=0.3]
 //
 // The empty string yields a disabled Config.
 func ParseFlag(s string) (Config, error) {
@@ -163,6 +174,8 @@ func ParseFlag(s string) (Config, error) {
 			c.Latency, err = time.ParseDuration(val)
 		case "trunc":
 			c.TruncateAfter, err = strconv.Atoi(val)
+		case "crash":
+			c.WorkerCrashRate, err = strconv.ParseFloat(val, 64)
 		case "kinds":
 			for _, name := range strings.Split(val, "+") {
 				var k Kind
@@ -312,6 +325,24 @@ func (p *Plan) decide(ip netip.Addr, port int) (Kind, bool) {
 		p.tel.injected[kind].Inc()
 	}
 	return kind, true
+}
+
+// WorkerCrash draws whether the attempt-th execution (1-based) of the
+// given checkpoint segment crashes its shard worker. The chain is
+// independent of the per-endpoint draws and stateless (no shared attempt
+// counter): the same (seed, shard, segment, attempt) always crashes or
+// always survives, so a resumed orchestrator replays the exact crash
+// schedule an uninterrupted run would have seen.
+func (p *Plan) WorkerCrash(shard, segment, attempt int) bool {
+	r := p.cfg.WorkerCrashRate
+	if r <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(p.cfg.Seed) ^ 0xc4ceb9fe1a85ec53)
+	h = splitmix64(h ^ uint64(uint32(shard)))
+	h = splitmix64(h ^ uint64(uint32(segment)))
+	h = splitmix64(h ^ uint64(uint32(attempt)))
+	return float64(h>>11)/(1<<53) < r
 }
 
 // ProbeFault implements simnet.FaultInjector for SYN probes. Only faults

@@ -202,3 +202,68 @@ func TestPlanTelemetry(t *testing.T) {
 		t.Errorf("injected{reset} counter = %d, want 5", got)
 	}
 }
+
+// TestWorkerCrashDeterministicAndIndependent pins the crash schedule's two
+// contract points: the same (seed, shard, segment, attempt) always draws
+// the same verdict, and enabling crashes never perturbs the endpoint-level
+// fault sequence (they hash on independent chains).
+func TestWorkerCrashDeterministicAndIndependent(t *testing.T) {
+	a := NewPlan(Config{Seed: 11, WorkerCrashRate: 0.5}, nil)
+	b := NewPlan(Config{Seed: 11, WorkerCrashRate: 0.5}, nil)
+	var crashes, runs int
+	for shard := 0; shard < 4; shard++ {
+		for seg := 0; seg < 8; seg++ {
+			for attempt := 1; attempt <= 3; attempt++ {
+				runs++
+				va, vb := a.WorkerCrash(shard, seg, attempt), b.WorkerCrash(shard, seg, attempt)
+				if va != vb {
+					t.Fatalf("WorkerCrash(%d,%d,%d) not deterministic", shard, seg, attempt)
+				}
+				if va {
+					crashes++
+				}
+			}
+		}
+	}
+	if crashes == 0 || crashes == runs {
+		t.Errorf("crash rate 0.5 drew %d/%d crashes", crashes, runs)
+	}
+
+	// Endpoint draws must be byte-identical with and without a crash rate.
+	endpoints := NewPlan(Config{Seed: 11, Rate: 0.5, Kinds: []Kind{Reset}}, nil)
+	withCrash := NewPlan(Config{Seed: 11, Rate: 0.5, Kinds: []Kind{Reset}, WorkerCrashRate: 0.9}, nil)
+	for port := 80; port < 120; port++ {
+		f1 := endpoints.DialFault(ipA, port)
+		f2 := withCrash.DialFault(ipA, port)
+		if f1 != f2 {
+			t.Fatalf("port %d: crash rate changed endpoint draw (%v vs %v)", port, f1, f2)
+		}
+	}
+
+	if NewPlan(Config{Seed: 11}, nil).WorkerCrash(0, 0, 1) {
+		t.Error("zero crash rate drew a crash")
+	}
+	if !(Config{WorkerCrashRate: 0.1}).Enabled() {
+		t.Error("crash-only config reports disabled")
+	}
+	if err := (Config{WorkerCrashRate: 1.5}).Validate(); err == nil {
+		t.Error("crash rate 1.5 validated")
+	}
+}
+
+// TestParseFlagCrash covers the crash= key of the -faults flag.
+func TestParseFlagCrash(t *testing.T) {
+	cfg, err := ParseFlag("seed=3,crash=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WorkerCrashRate != 0.25 || cfg.Seed != 3 {
+		t.Fatalf("ParseFlag crash: %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Error("crash-only spec not enabled")
+	}
+	if _, err := ParseFlag("crash=nope"); err == nil {
+		t.Error("ParseFlag accepted crash=nope")
+	}
+}

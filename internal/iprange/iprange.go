@@ -193,6 +193,40 @@ func min32(a, b uint32) uint32 {
 	return b
 }
 
+// Slice returns the subset of s covering the flat-index window [lo, hi):
+// the addresses Addr(lo) … Addr(hi-1). Because a Set's flat index space is
+// dense and ordered, contiguous index windows partition the set exactly —
+// this is the shard-extraction primitive the scan orchestrator is built
+// on: the coordinator splits [0, NumAddresses()) into K windows and hands
+// each shard a self-contained Set that preserves the global ordering.
+// hi is clamped to NumAddresses(); an empty window yields the empty set.
+func (s *Set) Slice(lo, hi uint64) *Set {
+	if hi > s.total {
+		hi = s.total
+	}
+	if lo >= hi {
+		return build(nil)
+	}
+	// First range whose end-cumulative exceeds lo, i.e. the range holding
+	// index lo.
+	i := sort.Search(len(s.ranges), func(k int) bool { return s.cum[k+1] > lo })
+	var out []Range
+	for ; i < len(s.ranges) && s.cum[i] < hi; i++ {
+		r := s.ranges[i]
+		start, last := r.Start, r.Last
+		if lo > s.cum[i] {
+			start = r.Start + uint32(lo-s.cum[i])
+		}
+		if hi < s.cum[i+1] {
+			last = r.Start + uint32(hi-s.cum[i]-1)
+		}
+		out = append(out, Range{Start: start, Last: last})
+	}
+	// Sub-ranges of normalized (disjoint, non-adjacent) ranges stay
+	// normalized, so build needs no re-merge.
+	return build(out)
+}
+
 // Cursor remembers the range a previous flat-index lookup landed in, so
 // consecutive or near-consecutive lookups skip the binary search. Each
 // goroutine iterating a set should hold its own Cursor; the zero value is

@@ -261,3 +261,71 @@ func TestIntersectMatchesSubtract(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSliceWindowMatchesAddr(t *testing.T) {
+	// Every address of Slice(lo, hi) equals the corresponding Addr(lo+i) of
+	// the parent set, for random sets and random windows.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := FromPrefixes(randomPrefixes(rng, 1+rng.Intn(6)))
+		if err != nil || s.Empty() {
+			return err == nil
+		}
+		n := s.NumAddresses()
+		lo := uint64(rng.Int63n(int64(n)))
+		hi := lo + uint64(rng.Int63n(int64(n-lo)+1))
+		sub := s.Slice(lo, hi)
+		if sub.NumAddresses() != hi-lo {
+			return false
+		}
+		var cur, subCur Cursor
+		for i := uint64(0); i < hi-lo; i++ {
+			if sub.AddrAt(i, &subCur) != s.AddrAt(lo+i, &cur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlicePartitionCoversSet(t *testing.T) {
+	// Contiguous windows partition the set: K slices concatenated visit
+	// exactly the parent's addresses, in order.
+	s, err := FromPrefixes([]netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/28"),
+		netip.MustParsePrefix("10.0.1.0/30"),
+		netip.MustParsePrefix("192.168.0.0/29"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.NumAddresses()
+	const k = 5
+	var idx uint64
+	for i := 0; i < k; i++ {
+		lo, hi := uint64(i)*n/k, uint64(i+1)*n/k
+		sub := s.Slice(lo, hi)
+		if got := sub.NumAddresses(); got != hi-lo {
+			t.Fatalf("slice %d: %d addresses, want %d", i, got, hi-lo)
+		}
+		for j := uint64(0); j < sub.NumAddresses(); j++ {
+			if got, want := sub.Addr(j), s.Addr(idx); got != want {
+				t.Fatalf("slice %d index %d: %v, want %v", i, j, got, want)
+			}
+			idx++
+		}
+	}
+	if idx != n {
+		t.Fatalf("partition visited %d of %d addresses", idx, n)
+	}
+	// Degenerate windows.
+	if !s.Slice(3, 3).Empty() {
+		t.Fatal("empty window not empty")
+	}
+	if got := s.Slice(0, n+100).NumAddresses(); got != n {
+		t.Fatalf("over-clamped slice has %d addresses, want %d", got, n)
+	}
+}

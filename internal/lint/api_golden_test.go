@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current root package")
+
+// TestRootAPIGolden diffs the exported surface of the root mavscan package
+// against the checked-in manifest. The root package is the repo's public
+// contract — examples and downstream experiments compile against it — so
+// any breaking change (removed or re-signatured export) must show up in
+// review as a diff of testdata/api.golden, regenerated with:
+//
+//	go test ./internal/lint -run RootAPIGolden -update
+func TestRootAPIGolden(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rootPkg *Package
+	for _, p := range pkgs {
+		if p.Path == "mavscan" {
+			rootPkg = p
+		}
+	}
+	if rootPkg == nil {
+		t.Fatal("module root package mavscan not loaded")
+	}
+
+	manifest := apiManifest(rootPkg.Types)
+	goldenPath := filepath.Join("testdata", "api.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(manifest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", goldenPath, strings.Count(manifest, "\n"))
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing API manifest (run with -update to generate): %v", err)
+	}
+	if manifest == string(golden) {
+		return
+	}
+	// Report the first differing lines so a breaking change is readable
+	// without a manual diff.
+	got, want := strings.Split(manifest, "\n"), strings.Split(string(golden), "\n")
+	for i := 0; i < len(got) || i < len(want); i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("root API surface changed at manifest line %d:\n  have: %s\n  want: %s\n\nIf the change is intentional, regenerate with: go test ./internal/lint -run RootAPIGolden -update",
+				i+1, g, w)
+		}
+	}
+	t.Fatal("root API surface changed (length mismatch); regenerate with -update if intentional")
+}
+
+// apiManifest renders one sorted line per exported object of pkg. Types
+// are printed through a qualifier that strips the module prefix, so the
+// manifest is stable under repository relocation.
+func apiManifest(pkg *types.Package) string {
+	qual := func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return strings.TrimPrefix(other.Path(), "mavscan/internal/")
+	}
+	scope := pkg.Scope()
+	var lines []string
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.TypeName:
+			if obj.IsAlias() {
+				lines = append(lines, fmt.Sprintf("type %s = %s", name, types.TypeString(obj.Type(), qual)))
+			} else {
+				lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(obj.Type().Underlying(), qual)))
+			}
+		case *types.Func:
+			lines = append(lines, fmt.Sprintf("func %s%s", name, strings.TrimPrefix(types.TypeString(obj.Type(), qual), "func")))
+		case *types.Var:
+			lines = append(lines, fmt.Sprintf("var %s %s", name, types.TypeString(obj.Type(), qual)))
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s", name, types.TypeString(obj.Type(), qual)))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,58 @@
+package orchestrator
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mavscan/internal/scanner"
+)
+
+// benchRun executes one orchestrated scan of the standard bench world.
+// The world is regenerated per iteration outside the timer, so iterations
+// measure the scan, not the generator.
+func benchRun(b *testing.B, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		world := testWorld(b)
+		opts := testOptions(world)
+		opts.SkipFingerprint = true
+		b.StartTimer()
+		rep, err := Run(context.Background(), Config{
+			Net:    world.Net,
+			Scan:   opts,
+			Shards: shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("shards=%d probed=%d open=%d apps=%d", shards, rep.Stats.Probed, rep.Stats.Open, len(rep.Apps))
+		}
+	}
+}
+
+// BenchmarkScanThroughput compares the monolithic pipeline against the
+// sharded orchestrator at 1, 4 and 16 shards over the same world and
+// seed — the PR's performance acceptance (sharded >= monolithic).
+func BenchmarkScanThroughput(b *testing.B) {
+	b.Run("monolithic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			world := testWorld(b)
+			opts := testOptions(world)
+			opts.SkipFingerprint = true
+			pipe := scanner.New(world.Net)
+			b.StartTimer()
+			if _, err := pipe.Run(context.Background(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchRun(b, shards) })
+	}
+}

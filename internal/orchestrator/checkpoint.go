@@ -1,0 +1,243 @@
+package orchestrator
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"mavscan/internal/eslite"
+	"mavscan/internal/simtime"
+)
+
+// Record kinds. A journal stream holds one plan record (the configuration
+// fingerprint, appended before the first segment) followed by one segment
+// record per completed segment.
+const (
+	recordPlan    = "plan"
+	recordSegment = "segment"
+)
+
+// Record is one checkpoint-journal entry. Segment records are appended
+// only when a segment has fully completed — a segment is the atomic unit
+// of progress, so a crash mid-segment loses at most that segment's work
+// and resume re-runs it from scratch (which is exactly what keeps the
+// per-endpoint fault draws identical to an uninterrupted run).
+type Record struct {
+	// RunID names the journal stream this record belongs to.
+	RunID string `json:"run_id"`
+	// Kind is recordPlan or recordSegment.
+	Kind string `json:"kind"`
+	// Shard and Segment identify the completed segment (segment records).
+	Shard   int `json:"shard"`
+	Segment int `json:"segment"`
+	// Watermark is the end-exclusive global flat address index the segment
+	// covers: every address below it within the segment's window has been
+	// fully scanned on every port.
+	Watermark uint64 `json:"watermark"`
+	// Payload is the plan fingerprint (plan records) or the JSON-encoded
+	// partial report delta (segment records).
+	Payload []byte `json:"payload"`
+}
+
+// Store is a pluggable append-only checkpoint journal. Append must be
+// durable by the time it returns (to the extent the backing medium
+// allows) and safe for concurrent use; Replay streams the records of one
+// run in append order.
+type Store interface {
+	Append(rec Record) error
+	Replay(runID string, fn func(Record) error) error
+}
+
+// MemStore is an in-memory Store, for tests and single-process resume.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewMemStore returns an empty in-memory checkpoint store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(rec Record) error {
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+// Replay implements Store.
+func (s *MemStore) Replay(runID string, fn func(Record) error) error {
+	s.mu.Lock()
+	recs := make([]Record, len(s.recs))
+	copy(recs, s.recs)
+	s.mu.Unlock()
+	for _, rec := range recs {
+		if rec.RunID != runID {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of journaled records (all runs). Tests use it to
+// cancel a run at a precise checkpoint boundary.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// checkpointEventType is the eslite event class checkpoint records use.
+const checkpointEventType = "orchestrator.checkpoint"
+
+// ESLiteStore journals checkpoints into an eslite event store, so an
+// existing monitoring deployment can double as the scan's progress
+// journal. The append-only discipline matches: eslite exposes no update
+// or delete, and Search is stable on insert order for equal timestamps,
+// so replay order is append order.
+type ESLiteStore struct {
+	// Events is the backing store. Required.
+	Events *eslite.Store
+	// Clock, when non-nil, stamps each record's event time (simulated time
+	// in studies). A nil clock leaves timestamps zero, which keeps replay
+	// order purely insert-ordered.
+	Clock simtime.Clock
+}
+
+// NewESLiteStore journals checkpoints into events (clock may be nil).
+func NewESLiteStore(events *eslite.Store, clock simtime.Clock) *ESLiteStore {
+	return &ESLiteStore{Events: events, Clock: clock}
+}
+
+// Append implements Store.
+func (s *ESLiteStore) Append(rec Record) error {
+	e := eslite.Event{
+		Type: checkpointEventType,
+		Fields: map[string]string{
+			"run":       rec.RunID,
+			"kind":      rec.Kind,
+			"shard":     strconv.Itoa(rec.Shard),
+			"segment":   strconv.Itoa(rec.Segment),
+			"watermark": strconv.FormatUint(rec.Watermark, 10),
+			"payload":   string(rec.Payload),
+		},
+	}
+	if s.Clock != nil {
+		e.Time = s.Clock.Now()
+	}
+	s.Events.Append(e)
+	return nil
+}
+
+// Replay implements Store.
+func (s *ESLiteStore) Replay(runID string, fn func(Record) error) error {
+	for _, e := range s.Events.Search(eslite.Query{
+		Type:  checkpointEventType,
+		Match: map[string]string{"run": runID},
+	}) {
+		shard, err := strconv.Atoi(e.Field("shard"))
+		if err != nil {
+			return fmt.Errorf("orchestrator: corrupt checkpoint event: %w", err)
+		}
+		segment, err := strconv.Atoi(e.Field("segment"))
+		if err != nil {
+			return fmt.Errorf("orchestrator: corrupt checkpoint event: %w", err)
+		}
+		watermark, err := strconv.ParseUint(e.Field("watermark"), 10, 64)
+		if err != nil {
+			return fmt.Errorf("orchestrator: corrupt checkpoint event: %w", err)
+		}
+		rec := Record{
+			RunID:     runID,
+			Kind:      e.Field("kind"),
+			Shard:     shard,
+			Segment:   segment,
+			Watermark: watermark,
+			Payload:   []byte(e.Field("payload")),
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FileStore is a JSONL-on-disk Store: one JSON record per line, appended
+// and fsynced per checkpoint. It is what cmd/mavscan -checkpoint uses, so
+// a killed process can resume across restarts.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenFileStore opens (creating if needed) the journal at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: opening checkpoint journal: %w", err)
+	}
+	return &FileStore{f: f, path: path}, nil
+}
+
+// Append implements Store. Each record is written as one line and synced:
+// checkpoints are segment-granular, so the fsync cost is amortized over
+// thousands of probes.
+func (s *FileStore) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Replay implements Store. It reads through a separate handle, so replay
+// during an active journal sees a consistent prefix.
+func (s *FileStore) Replay(runID string, fn func(Record) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("orchestrator: corrupt checkpoint line: %w", err)
+		}
+		if rec.RunID != runID {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Close releases the journal file handle.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,553 @@
+// Package orchestrator coordinates sharded scan-pipeline runs with
+// checkpoint/resume semantics — the operational model real Internet-wide
+// scans use (the paper's Stage I spanned ~3.5B addresses on 12 ports,
+// sharded across 64 machines and restarted on failure).
+//
+// The coordinator partitions the precomputed scan space (targets minus
+// exclusions, internal/iprange) into K contiguous flat-index shards, and
+// each shard into checkpoint segments. One scanner.Pipeline runs per
+// shard; a bounded worker pool executes segments with work-stealing, so a
+// straggler shard's remaining segments are drained by idle workers.
+// Every completed segment is journaled (watermark + partial report) to a
+// pluggable append-only Store; a killed run resumes by replaying the
+// journal, skipping completed segments and re-running the rest from
+// scratch.
+//
+// Determinism is the load-bearing property: a scan report is additive
+// over (address, port) endpoints, each endpoint lives in exactly one
+// segment (segments split addresses, never ports, so per-host artifact
+// detection stays segment-local), and each endpoint's request sequence —
+// and hence its seeded fault draws — is fixed regardless of when its
+// segment runs. Merging per-segment reports therefore reproduces the
+// monolithic report byte for byte, for any shard count, any scheduling,
+// and any interrupt/resume history with the same seed.
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/iprange"
+	"mavscan/internal/mav"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// Checkpoint configures progress journaling.
+type Checkpoint struct {
+	// Store receives one record per completed segment; nil disables
+	// checkpointing (segmentation then defaults to one segment per shard).
+	Store Store
+	// RunID names the journal stream (default "scan"), so one store can
+	// carry several runs.
+	RunID string
+	// Every is the checkpoint granularity in addresses per segment
+	// (default: one segment per shard). Smaller segments lose less work on
+	// a kill and steal at a finer grain, at more journal appends.
+	Every uint64
+	// Resume replays the journal before scanning and skips the segments it
+	// records as complete. The journal's plan fingerprint must match the
+	// current configuration; resuming a different scan is an error.
+	Resume bool
+}
+
+// ErrWorkerCrash is the injected shard-worker failure (faults.Config.
+// WorkerCrashRate). It surfaces when the crash schedule outlasts the
+// retry budget.
+var ErrWorkerCrash = errors.New("orchestrator: injected worker crash")
+
+// Config parametrizes an orchestrated scan.
+type Config struct {
+	// Net is the network the per-shard pipelines probe. Required.
+	Net *simnet.Network
+	// Scan carries the pipeline options. Targets are required; Space must
+	// be unset (the orchestrator owns the space partition).
+	Scan scanner.Options
+	// Shards is the number of flat-index shards (default 1).
+	Shards int
+	// Parallelism bounds the concurrent shard workers (default
+	// min(Shards, GOMAXPROCS)). Scheduling never affects the report.
+	Parallelism int
+	// Checkpoint configures journaling and resume.
+	Checkpoint Checkpoint
+	// Telemetry, when non-nil, instruments the coordinator (per-shard span
+	// tree, watermark gauges, steal/resume/crash counters) and every
+	// pipeline stage.
+	Telemetry *telemetry.Registry
+	// Resilience applies at two levels: per-pipeline HTTP-stage retries
+	// (as in the monolithic path) and segment re-runs after injected
+	// worker crashes. Context cancellation is never retried.
+	Resilience resilience.Policy
+	// Faults, when non-nil, supplies the worker-crash schedule
+	// (Plan.WorkerCrash). Endpoint-level injection rides the network's
+	// installed injector, not this field.
+	Faults *faults.Plan
+	// Clock provides elapsed-time accounting (default the wall clock).
+	Clock simtime.Clock
+}
+
+// segment is one atomic unit of scan work: a contiguous flat-index address
+// window of one shard, scanned on every port.
+type segment struct {
+	shard   int
+	ordinal int // global segment index, shard-major
+	lo, hi  uint64
+	seed    uint64
+}
+
+// orch is the per-run coordinator state.
+type orch struct {
+	cfg   Config
+	space *iprange.Set
+	opts  scanner.Options
+	pipes []*scanner.Pipeline
+	retr  *resilience.Retrier
+	tel   *orchTelemetry
+
+	mu        sync.Mutex
+	queues    [][]segment // pending, per shard
+	remaining []int       // unfinished segments per shard (incl. running)
+	parts     map[int]*scanner.Report
+	attempts  map[int]int // per-ordinal execution attempts (crash draws)
+
+	shardSpans []*telemetry.Span
+}
+
+type orchTelemetry struct {
+	segments   *telemetry.Counter
+	steals     *telemetry.Counter
+	resumes    *telemetry.Counter
+	crashes    *telemetry.Counter
+	watermarks []*telemetry.Gauge
+}
+
+// Run executes the orchestrated scan and returns the merged report.
+func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simtime.Wall{}
+	}
+	start := clock.Now()
+
+	opts := cfg.Scan
+	if opts.Space != nil {
+		return nil, errors.New("orchestrator: Scan.Space is owned by the orchestrator; set Targets/Exclude")
+	}
+	if len(opts.Targets) == 0 {
+		return nil, errors.New("orchestrator: no target prefixes")
+	}
+	if len(opts.Ports) == 0 {
+		opts.Ports = mav.ScanPorts()
+	}
+	targets, err := iprange.FromPrefixes(opts.Targets)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: targets: %w", err)
+	}
+	exclude, err := iprange.FromPrefixes(opts.Exclude)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: exclude: %w", err)
+	}
+	space := targets.Subtract(exclude)
+	nports := uint64(len(opts.Ports))
+	excludedPairs := (targets.NumAddresses() - space.NumAddresses()) * nports
+
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	o := &orch{
+		cfg:       cfg,
+		space:     space,
+		opts:      opts,
+		queues:    make([][]segment, shards),
+		remaining: make([]int, shards),
+		parts:     map[int]*scanner.Report{},
+		attempts:  map[int]int{},
+	}
+	segs := o.partition(shards)
+	fingerprint := planFingerprint(space, opts, shards, cfg.Checkpoint.Every)
+
+	if reg := cfg.Telemetry; reg.Enabled() {
+		o.tel = &orchTelemetry{
+			segments:   reg.Counter("mavscan_orchestrator_segments_total"),
+			steals:     reg.Counter("mavscan_orchestrator_steals_total"),
+			resumes:    reg.Counter("mavscan_orchestrator_resumed_segments_total"),
+			crashes:    reg.Counter("mavscan_orchestrator_worker_crashes_total"),
+			watermarks: make([]*telemetry.Gauge, shards),
+		}
+		for i := range o.tel.watermarks {
+			o.tel.watermarks[i] = reg.Gauge(telemetry.Labeled(
+				"mavscan_orchestrator_shard_watermark", "shard", strconv.Itoa(i)))
+		}
+	}
+
+	if err := o.resume(fingerprint, segs); err != nil {
+		return nil, err
+	}
+
+	if cfg.Resilience.Enabled() {
+		o.retr = resilience.New(cfg.Resilience, nil)
+		o.retr.Instrument(cfg.Telemetry, "orchestrator")
+	}
+	o.pipes = make([]*scanner.Pipeline, shards)
+	for i := range o.pipes {
+		o.pipes[i] = scanner.New(cfg.Net,
+			scanner.WithResilience(cfg.Resilience),
+			scanner.WithTelemetry(cfg.Telemetry),
+			scanner.WithShardPlan(scanner.ShardPlan{Shard: i, Shards: shards}))
+	}
+
+	rootSpan := cfg.Telemetry.StartSpan("orchestrator.run")
+	o.shardSpans = make([]*telemetry.Span, shards)
+	for i := range o.shardSpans {
+		if o.remaining[i] > 0 {
+			o.shardSpans[i] = rootSpan.Child(fmt.Sprintf("shard.%02d", i))
+		}
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = shards
+		if p := runtime.GOMAXPROCS(0); p < workers {
+			workers = p
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if runCtx.Err() != nil {
+					fail(runCtx.Err())
+					return
+				}
+				seg, ok, stolen := o.next(w, workers)
+				if !ok {
+					return
+				}
+				if stolen && o.tel != nil {
+					o.tel.steals.Inc()
+				}
+				if err := o.runSegment(runCtx, seg); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rootSpan.End()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	report := o.merge(len(segs))
+	report.Stats.Excluded = excludedPairs
+	report.Stats.Elapsed = clock.Now().Sub(start)
+	return report, nil
+}
+
+// partition splits the scan space into shards and checkpoint segments.
+// Shard i covers the flat-index address window [i*N/K, (i+1)*N/K); each
+// shard is cut into Checkpoint.Every-address segments. Segments contain
+// whole hosts across all ports, so artifact-host detection and per-
+// endpoint fault sequences stay segment-local.
+func (o *orch) partition(shards int) []segment {
+	n := o.space.NumAddresses()
+	size := o.cfg.Checkpoint.Every
+	var segs []segment
+	for i := 0; i < shards; i++ {
+		lo, hi := uint64(i)*n/uint64(shards), uint64(i+1)*n/uint64(shards)
+		step := size
+		if step == 0 {
+			step = hi - lo
+		}
+		for s := lo; s < hi; s += step {
+			e := s + step
+			if e > hi {
+				e = hi
+			}
+			seg := segment{shard: i, ordinal: len(segs), lo: s, hi: e, seed: o.segmentSeed(len(segs), s, e, n)}
+			segs = append(segs, seg)
+			o.queues[i] = append(o.queues[i], seg)
+			o.remaining[i]++
+		}
+	}
+	return segs
+}
+
+// segmentSeed derives the per-segment shuffle seed. When the segment is
+// the whole space (shards=1, no checkpoint granularity), the base seed is
+// used unchanged, so the orchestrated probe order is identical to the
+// monolithic pipeline's — not just the merged report.
+func (o *orch) segmentSeed(ordinal int, lo, hi, n uint64) uint64 {
+	if lo == 0 && hi == n {
+		return o.opts.Seed
+	}
+	x := o.opts.Seed ^ (uint64(ordinal)+1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// resume replays the checkpoint journal (if resuming), removes completed
+// segments from the queues, and ensures the stream opens with a plan
+// record carrying the configuration fingerprint.
+func (o *orch) resume(fingerprint []byte, segs []segment) error {
+	ck := o.cfg.Checkpoint
+	if ck.Store == nil {
+		if ck.Resume {
+			return errors.New("orchestrator: Resume requires a checkpoint store")
+		}
+		return nil
+	}
+	runID := ck.RunID
+	if runID == "" {
+		runID = "scan"
+	}
+	havePlan := false
+	if ck.Resume {
+		err := ck.Store.Replay(runID, func(rec Record) error {
+			switch rec.Kind {
+			case recordPlan:
+				if !bytes.Equal(rec.Payload, fingerprint) {
+					return fmt.Errorf("orchestrator: journal %q belongs to a different scan configuration", runID)
+				}
+				havePlan = true
+			case recordSegment:
+				if rec.Segment < 0 || rec.Segment >= len(segs) {
+					return fmt.Errorf("orchestrator: journal %q references unknown segment %d", runID, rec.Segment)
+				}
+				if _, dup := o.parts[rec.Segment]; dup {
+					return nil // idempotent re-append, keep first
+				}
+				part := &scanner.Report{}
+				if err := decodeDelta(rec.Payload, part); err != nil {
+					return fmt.Errorf("orchestrator: journal %q segment %d: %w", runID, rec.Segment, err)
+				}
+				o.parts[rec.Segment] = part
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if !havePlan {
+		if err := ck.Store.Append(Record{RunID: runID, Kind: recordPlan, Payload: fingerprint}); err != nil {
+			return err
+		}
+	}
+	if len(o.parts) == 0 {
+		return nil
+	}
+	// Drop the journaled segments from the work queues.
+	for i := range o.queues {
+		q := o.queues[i][:0]
+		for _, seg := range o.queues[i] {
+			if _, done := o.parts[seg.ordinal]; done {
+				o.remaining[i]--
+				if o.tel != nil {
+					o.tel.resumes.Inc()
+					o.tel.watermarks[i].Add(int64(seg.hi - seg.lo))
+				}
+				continue
+			}
+			q = append(q, seg)
+		}
+		o.queues[i] = q
+	}
+	return nil
+}
+
+// next hands worker w its next segment. Workers own the shards congruent
+// to their index; an idle worker steals from the back of the richest
+// foreign queue, so stragglers shed their tail segments first.
+func (o *orch) next(w, workers int) (segment, bool, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := w; i < len(o.queues); i += workers {
+		if len(o.queues[i]) > 0 {
+			seg := o.queues[i][0]
+			o.queues[i] = o.queues[i][1:]
+			return seg, true, false
+		}
+	}
+	best, bestLen := -1, 0
+	for i, q := range o.queues {
+		if len(q) > bestLen {
+			best, bestLen = i, len(q)
+		}
+	}
+	if best < 0 {
+		return segment{}, false, false
+	}
+	q := o.queues[best]
+	seg := q[len(q)-1]
+	o.queues[best] = q[:len(q)-1]
+	return seg, true, true
+}
+
+// runSegment executes one segment through its shard's pipeline — retrying
+// under the resilience policy when the fault plan crashes the worker —
+// journals the completed delta, and accounts progress.
+func (o *orch) runSegment(ctx context.Context, seg segment) error {
+	span := o.shardSpans[seg.shard].Child(fmt.Sprintf("segment.%03d", seg.ordinal))
+	defer span.End()
+
+	opts := o.opts
+	opts.Space = o.space.Slice(seg.lo, seg.hi)
+	opts.Targets, opts.Exclude = nil, nil
+	opts.Seed = seg.seed
+
+	var part *scanner.Report
+	err := o.retr.Do(ctx, func(ctx context.Context) error {
+		// The crash is drawn before the pipeline starts: it models a worker
+		// lost before its segment journals. Drawing pre-run keeps the
+		// network's per-endpoint fault counters untouched by crashed
+		// attempts, preserving byte-identity across retries and resumes.
+		o.mu.Lock()
+		o.attempts[seg.ordinal]++
+		attempt := o.attempts[seg.ordinal]
+		o.mu.Unlock()
+		if o.cfg.Faults != nil && o.cfg.Faults.WorkerCrash(seg.shard, seg.ordinal, attempt) {
+			if o.tel != nil {
+				o.tel.crashes.Inc()
+			}
+			return fmt.Errorf("%w (shard %d segment %d attempt %d)",
+				ErrWorkerCrash, seg.shard, seg.ordinal, attempt)
+		}
+		rep, err := o.pipes[seg.shard].Run(ctx, opts)
+		if err != nil {
+			return err
+		}
+		// A cancellation that lands mid-segment doesn't abort the pipeline
+		// with an error — HTTP-stage probes just start failing, which would
+		// silently misclassify the remaining endpoints. A segment is only
+		// complete if the context was still live when its run finished.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		part = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if store := o.cfg.Checkpoint.Store; store != nil {
+		runID := o.cfg.Checkpoint.RunID
+		if runID == "" {
+			runID = "scan"
+		}
+		payload, err := encodeDelta(part)
+		if err != nil {
+			return err
+		}
+		if err := store.Append(Record{
+			RunID: runID, Kind: recordSegment,
+			Shard: seg.shard, Segment: seg.ordinal,
+			Watermark: seg.hi, Payload: payload,
+		}); err != nil {
+			return fmt.Errorf("orchestrator: journaling segment %d: %w", seg.ordinal, err)
+		}
+	}
+
+	o.mu.Lock()
+	o.parts[seg.ordinal] = part
+	o.remaining[seg.shard]--
+	done := o.remaining[seg.shard] == 0
+	o.mu.Unlock()
+	if o.tel != nil {
+		o.tel.segments.Inc()
+		o.tel.watermarks[seg.shard].Add(int64(seg.hi - seg.lo))
+	}
+	if done {
+		o.shardSpans[seg.shard].End()
+	}
+	return nil
+}
+
+// merge folds the per-segment reports into one, reproducing exactly what
+// the monolithic pipeline would have emitted: counters are additive over
+// endpoints, (host, app) observations are disjoint across segments, and
+// the final Apps ordering matches the aggregator's fold (App, then IP).
+func (o *orch) merge(nSegs int) *scanner.Report {
+	out := &scanner.Report{
+		OpenPorts:      map[int]int{},
+		HTTPResponses:  map[int]int{},
+		HTTPSResponses: map[int]int{},
+	}
+	for ordinal := 0; ordinal < nSegs; ordinal++ {
+		part := o.parts[ordinal]
+		for port, c := range part.OpenPorts {
+			out.OpenPorts[port] += c
+		}
+		for port, c := range part.HTTPResponses {
+			out.HTTPResponses[port] += c
+		}
+		for port, c := range part.HTTPSResponses {
+			out.HTTPSResponses[port] += c
+		}
+		out.ArtifactHosts += part.ArtifactHosts
+		out.Apps = append(out.Apps, part.Apps...)
+		out.Stats.Probed += part.Stats.Probed
+		out.Stats.Open += part.Stats.Open
+	}
+	sort.Slice(out.Apps, func(i, j int) bool {
+		if out.Apps[i].App != out.Apps[j].App {
+			return out.Apps[i].App < out.Apps[j].App
+		}
+		return out.Apps[i].IP.Less(out.Apps[j].IP)
+	})
+	return out
+}
+
+// planFingerprint hashes everything that determines the partition and the
+// per-segment results, so a journal can refuse to resume under a changed
+// configuration.
+func planFingerprint(space *iprange.Set, opts scanner.Options, shards int, every uint64) []byte {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1 seed=%d shards=%d every=%d skipfp=%v n=%d ports=%v",
+		opts.Seed, shards, every, opts.SkipFingerprint, space.NumAddresses(), opts.Ports)
+	for _, r := range space.Ranges() {
+		fmt.Fprintf(h, " %d-%d", r.Start, r.Last)
+	}
+	return []byte(fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// encodeDelta serializes a segment's partial report for the journal.
+func encodeDelta(part *scanner.Report) ([]byte, error) {
+	return json.Marshal(part)
+}
+
+// decodeDelta is the inverse of encodeDelta. JSON round-trips every field
+// the merge reads (counter maps, observation slice, stats) canonically —
+// time.Time marshals to RFC 3339 with nanoseconds — so a resumed merge is
+// byte-identical to an uninterrupted one.
+func decodeDelta(payload []byte, part *scanner.Report) error {
+	return json.Unmarshal(payload, part)
+}

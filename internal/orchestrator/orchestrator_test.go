@@ -1,0 +1,407 @@
+package orchestrator
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/netip"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/eslite"
+	"mavscan/internal/faults"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/iprange"
+	"mavscan/internal/population"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// testWorld generates the standard small scan world. A fresh world per run
+// keeps the identity tests honest: nothing can leak between the compared
+// runs, and generation is deterministic, so two worlds from the same seed
+// are indistinguishable to the scanner.
+func testWorld(tb testing.TB) *population.World {
+	tb.Helper()
+	world, err := population.Generate(population.Config{
+		Seed: 9, HostScale: 8000, VulnScale: 8,
+		BackgroundScale: -1, WildcardScale: -1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return world
+}
+
+func testOptions(world *population.World) scanner.Options {
+	return scanner.Options{Targets: world.Geo.Prefixes(), Seed: 9}
+}
+
+// monolithicJSON runs the unsharded pipeline on a fresh world and returns
+// the canonical JSON encoding of its report.
+func monolithicJSON(tb testing.TB) []byte {
+	tb.Helper()
+	world := testWorld(tb)
+	rep, err := scanner.New(world.Net).Run(context.Background(), testOptions(world))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return reportJSON(tb, rep)
+}
+
+// reportJSON canonicalizes a report for byte-level comparison. Elapsed is
+// wall-clock noise, not part of the result; everything else must match
+// byte for byte (JSON map keys are emitted in sorted order, and time.Time
+// round-trips canonically, so equal reports encode equally).
+func reportJSON(tb testing.TB, rep *scanner.Report) []byte {
+	tb.Helper()
+	cp := *rep
+	cp.Stats.Elapsed = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedMatchesMonolithic is the headline acceptance: for the same
+// seed, the merged sharded report is byte-identical to the monolithic one
+// for shards in {1, 4, 16}.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full scans")
+	}
+	want := monolithicJSON(t)
+	for _, shards := range []int{1, 4, 16} {
+		world := testWorld(t)
+		rep, err := Run(context.Background(), Config{
+			Net:         world.Net,
+			Scan:        testOptions(world),
+			Shards:      shards,
+			Parallelism: 4,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := reportJSON(t, rep); string(got) != string(want) {
+			t.Errorf("shards=%d: merged report differs from monolithic", shards)
+		}
+	}
+}
+
+// cancelStore cancels a context after a fixed number of completed-segment
+// appends, simulating a coordinator killed at a checkpoint boundary.
+type cancelStore struct {
+	Store
+	mu     sync.Mutex
+	after  int
+	cancel context.CancelFunc
+}
+
+func (s *cancelStore) Append(rec Record) error {
+	if err := s.Store.Append(rec); err != nil {
+		return err
+	}
+	if rec.Kind != recordSegment {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.after--
+	if s.after == 0 {
+		s.cancel()
+	}
+	return nil
+}
+
+// TestResumeAfterCheckpointBoundaryKill kills the orchestrator right after
+// its 1st, 3rd and 7th segment checkpoint, resumes each from the journal,
+// and requires the final merged report to be byte-identical to an
+// uninterrupted same-seed run.
+func TestResumeAfterCheckpointBoundaryKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full scans")
+	}
+	want := monolithicJSON(t)
+	for _, after := range []int{1, 3, 7} {
+		mem := NewMemStore()
+		ctx, cancel := context.WithCancel(context.Background())
+		store := &cancelStore{Store: mem, after: after, cancel: cancel}
+		world := testWorld(t)
+		cfg := Config{
+			Net:         world.Net,
+			Scan:        testOptions(world),
+			Shards:      4,
+			Parallelism: 2,
+			Checkpoint:  Checkpoint{Store: store, Every: spaceSize(t, world)/12 + 1},
+		}
+		if _, err := Run(ctx, cfg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: killed run returned %v, want context.Canceled", after, err)
+		}
+		cancel()
+		if mem.Len() <= after { // plan record + >= after segment records
+			t.Fatalf("after=%d: journal holds only %d records", after, mem.Len())
+		}
+
+		reg := telemetry.New(simtime.NewSim(time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)))
+		world = testWorld(t)
+		cfg.Net = world.Net
+		cfg.Scan = testOptions(world)
+		cfg.Checkpoint = Checkpoint{Store: mem, Every: cfg.Checkpoint.Every, Resume: true}
+		cfg.Telemetry = reg
+		rep, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("after=%d: resume: %v", after, err)
+		}
+		if got := reportJSON(t, rep); string(got) != string(want) {
+			t.Errorf("after=%d: resumed report differs from uninterrupted run", after)
+		}
+		if resumed := reg.CounterValue("mavscan_orchestrator_resumed_segments_total"); resumed < uint64(after) {
+			t.Errorf("after=%d: resumed only %d segments from the journal", after, resumed)
+		}
+	}
+}
+
+func spaceSize(tb testing.TB, world *population.World) uint64 {
+	tb.Helper()
+	set, err := iprange.FromPrefixes(world.Geo.Prefixes())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return set.NumAddresses()
+}
+
+// TestWorkerCrashAbsorbedByRetries injects shard-worker crashes at a rate
+// the segment-level retries can absorb: the run completes, counts its
+// crashes, and still produces the byte-identical report — crashed attempts
+// must never leak into endpoint state.
+func TestWorkerCrashAbsorbedByRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full scans")
+	}
+	want := monolithicJSON(t)
+	reg := telemetry.New(simtime.NewSim(time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)))
+	world := testWorld(t)
+	rep, err := Run(context.Background(), Config{
+		Net:        world.Net,
+		Scan:       testOptions(world),
+		Shards:     4,
+		Checkpoint: Checkpoint{Store: NewMemStore(), Every: spaceSize(t, world)/12 + 1},
+		Faults:     faults.NewPlan(faults.Config{Seed: 5, WorkerCrashRate: 0.5}, nil),
+		Resilience: resilience.Policy{MaxAttempts: 8, JitterSeed: 5},
+		Telemetry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); string(got) != string(want) {
+		t.Error("report under absorbed worker crashes differs from clean run")
+	}
+	if crashes := reg.CounterValue("mavscan_orchestrator_worker_crashes_total"); crashes == 0 {
+		t.Error("crash rate 0.5 produced no worker crashes")
+	}
+}
+
+// TestResumeAfterMidShardCrash kills the run mid-shard through the fault
+// plan (crashes without retry budget), then resumes from the journal with
+// injection disabled and requires byte-identity.
+func TestResumeAfterMidShardCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full scans")
+	}
+	want := monolithicJSON(t)
+	mem := NewMemStore()
+	world := testWorld(t)
+	every := spaceSize(t, world)/12 + 1
+	cfg := Config{
+		Net:        world.Net,
+		Scan:       testOptions(world),
+		Shards:     4,
+		Checkpoint: Checkpoint{Store: mem, Every: every},
+		Faults:     faults.NewPlan(faults.Config{Seed: 5, WorkerCrashRate: 0.4}, nil),
+	}
+	if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrWorkerCrash) {
+		t.Fatalf("crash-without-retries run returned %v, want ErrWorkerCrash", err)
+	}
+
+	world = testWorld(t)
+	rep, err := Run(context.Background(), Config{
+		Net:        world.Net,
+		Scan:       testOptions(world),
+		Shards:     4,
+		Checkpoint: Checkpoint{Store: mem, Every: every, Resume: true},
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := reportJSON(t, rep); string(got) != string(want) {
+		t.Error("report resumed after mid-shard crash differs from uninterrupted run")
+	}
+}
+
+// TestResumeRejectsChangedPlan: a journal written under one configuration
+// must refuse to seed a resume under another.
+func TestResumeRejectsChangedPlan(t *testing.T) {
+	n, targets := smokeNet(t)
+	mem := NewMemStore()
+	cfg := Config{
+		Net:        n,
+		Scan:       scanner.Options{Targets: targets, Seed: 3},
+		Shards:     2,
+		Checkpoint: Checkpoint{Store: mem},
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	cfg.Checkpoint.Resume = true
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("resume with a different shard count did not fail")
+	}
+}
+
+// TestConfigValidation covers the orchestrator's rejection paths.
+func TestConfigValidation(t *testing.T) {
+	n, targets := smokeNet(t)
+	if _, err := Run(context.Background(), Config{Net: n}); err == nil {
+		t.Error("no targets: expected error")
+	}
+	if _, err := Run(context.Background(), Config{
+		Net:  n,
+		Scan: scanner.Options{Space: &iprange.Set{}, Targets: targets},
+	}); err == nil {
+		t.Error("preset Scan.Space: expected error")
+	}
+	if _, err := Run(context.Background(), Config{
+		Net:        n,
+		Scan:       scanner.Options{Targets: targets},
+		Checkpoint: Checkpoint{Resume: true},
+	}); err == nil {
+		t.Error("Resume without Store: expected error")
+	}
+}
+
+// smokeNet hand-builds a tiny network with one vulnerable Docker daemon,
+// an idiom small enough for -short runs.
+func smokeNet(tb testing.TB) (*simnet.Network, []netip.Prefix) {
+	tb.Helper()
+	n := simnet.New()
+	inst, err := apps.New(apps.Config{App: "Docker"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	host := simnet.NewHost(netip.MustParseAddr("10.0.0.3"))
+	host.Bind(2375, httpsim.ConnHandler(inst.Handler()))
+	if err := n.AddHost(host); err != nil {
+		tb.Fatal(err)
+	}
+	return n, []netip.Prefix{netip.MustParsePrefix("10.0.0.0/28")}
+}
+
+// TestOrchestratorSmoke is the -short end-to-end check: a sharded,
+// checkpointed scan over a hand-built /28 produces the same report as the
+// monolithic pipeline over an identically built network, and the journal
+// carries one record per segment plus the plan.
+func TestOrchestratorSmoke(t *testing.T) {
+	n, targets := smokeNet(t)
+	monoRep, err := scanner.New(n).Run(context.Background(), scanner.Options{Targets: targets, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, monoRep)
+
+	n, targets = smokeNet(t)
+	mem := NewMemStore()
+	reg := telemetry.New(simtime.NewSim(time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)))
+	rep, err := Run(context.Background(), Config{
+		Net:        n,
+		Scan:       scanner.Options{Targets: targets, Seed: 3},
+		Shards:     2,
+		Checkpoint: Checkpoint{Store: mem, Every: 4},
+		Telemetry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); string(got) != string(want) {
+		t.Errorf("sharded smoke report differs from monolithic:\n got %s\nwant %s", got, want)
+	}
+	// /28 = 16 addresses, 2 shards x 8 addresses, Every=4 -> 4 segments.
+	if mem.Len() != 1+4 {
+		t.Errorf("journal holds %d records, want plan + 4 segments", mem.Len())
+	}
+	if segs := reg.CounterValue("mavscan_orchestrator_segments_total"); segs != 4 {
+		t.Errorf("segments_total = %d, want 4", segs)
+	}
+	if wm := reg.GaugeValue(`mavscan_orchestrator_shard_watermark{shard="0"}`) +
+		reg.GaugeValue(`mavscan_orchestrator_shard_watermark{shard="1"}`); wm != 16 {
+		t.Errorf("summed shard watermarks = %d, want 16 addresses", wm)
+	}
+}
+
+// TestFileStoreResumesAcrossReopen exercises the on-disk journal the CLI
+// uses: write through one handle, reopen, and replay.
+func TestFileStoreResumesAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	st, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{RunID: "scan", Kind: recordPlan, Payload: []byte("fp")},
+		{RunID: "other", Kind: recordSegment, Segment: 9},
+		{RunID: "scan", Kind: recordSegment, Shard: 1, Segment: 2, Watermark: 64, Payload: []byte(`{"x":1}`)},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got []Record
+	if err := st.Replay("scan", func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != recordPlan || got[1].Segment != 2 || got[1].Watermark != 64 {
+		t.Fatalf("replayed %+v", got)
+	}
+}
+
+// TestESLiteStoreRoundTrip checks the event-store-backed journal filters
+// by run and preserves append order and payloads.
+func TestESLiteStoreRoundTrip(t *testing.T) {
+	st := NewESLiteStore(&eslite.Store{}, nil)
+	for i := 0; i < 3; i++ {
+		if err := st.Append(Record{RunID: "scan", Kind: recordSegment, Segment: i, Payload: []byte{byte('a' + i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Append(Record{RunID: "other", Kind: recordSegment, Segment: 99}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := st.Replay("scan", func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.Segment != i || string(r.Payload) != string([]byte{byte('a' + i)}) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Config struct {
 	// opt-outs). Probes to excluded addresses are never sent: the scan
 	// space is Targets minus Exclude, computed before the first probe.
 	Exclude []netip.Prefix
+	// Space, when non-nil, is a precomputed scan space that overrides
+	// Targets and Exclude entirely. The orchestrator uses it to hand each
+	// shard its flat-index window of the already-subtracted global space;
+	// Stats.Excluded is then 0, because exclusions were accounted once by
+	// whoever built the space.
+	Space *iprange.Set
 	// Ports is the port list; the study's is mav.ScanPorts(). Required.
 	Ports []int
 	// Workers is the number of concurrent probe workers (default 64).
@@ -232,21 +238,26 @@ func (s *Scanner) scan(ctx context.Context, cfg Config, fn func([]Result)) (Stat
 	if len(cfg.Ports) == 0 {
 		return Stats{}, errors.New("portscan: no ports configured")
 	}
-	if len(cfg.Targets) == 0 {
-		return Stats{}, errors.New("portscan: no target prefixes")
-	}
-	targets, err := iprange.FromPrefixes(cfg.Targets)
-	if err != nil {
-		return Stats{}, fmt.Errorf("portscan: targets: %w", err)
-	}
-	exclude, err := iprange.FromPrefixes(cfg.Exclude)
-	if err != nil {
-		return Stats{}, fmt.Errorf("portscan: exclude: %w", err)
-	}
-	// Subtract the exclusions once; the probe loop below never checks them.
-	space := targets.Subtract(exclude)
 	nports := uint64(len(cfg.Ports))
-	excludedPairs := (targets.NumAddresses() - space.NumAddresses()) * nports
+	space := cfg.Space
+	var excludedPairs uint64
+	if space == nil {
+		if len(cfg.Targets) == 0 {
+			return Stats{}, errors.New("portscan: no target prefixes")
+		}
+		targets, err := iprange.FromPrefixes(cfg.Targets)
+		if err != nil {
+			return Stats{}, fmt.Errorf("portscan: targets: %w", err)
+		}
+		exclude, err := iprange.FromPrefixes(cfg.Exclude)
+		if err != nil {
+			return Stats{}, fmt.Errorf("portscan: exclude: %w", err)
+		}
+		// Subtract the exclusions once; the probe loop below never checks
+		// them.
+		space = targets.Subtract(exclude)
+		excludedPairs = (targets.NumAddresses() - space.NumAddresses()) * nports
+	}
 
 	tel := s.tel
 	if tel != nil {

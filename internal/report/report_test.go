@@ -150,11 +150,11 @@ func TestTable3AndTable4OnRealScan(t *testing.T) {
 }
 
 func TestJSONResultsRoundTrip(t *testing.T) {
-	hs, err := study.RunHoneypots(7)
+	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	def, err := study.RunDefenders()
+	def, err := study.RunDefenders(context.Background(), study.DefenderConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

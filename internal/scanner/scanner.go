@@ -14,6 +14,7 @@ package scanner
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"runtime/pprof"
 	"sync"
@@ -22,12 +23,12 @@ import (
 	"mavscan/internal/apps"
 	"mavscan/internal/fingerprint"
 	"mavscan/internal/httpsim"
+	"mavscan/internal/iprange"
 	"mavscan/internal/mav"
 	"mavscan/internal/portscan"
 	"mavscan/internal/prefilter"
 	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
-	"mavscan/internal/simtime"
 	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 	"mavscan/internal/tsunami/plugins"
@@ -38,6 +39,10 @@ type Options struct {
 	// Targets and Exclude define the address space (Stage I).
 	Targets []netip.Prefix
 	Exclude []netip.Prefix
+	// Space, when non-nil, overrides Targets and Exclude with a precomputed
+	// scan space (see portscan.Config.Space). The orchestrator uses it to
+	// run one pipeline per flat-index shard of the global space.
+	Space *iprange.Set
 	// Ports defaults to mav.ScanPorts().
 	Ports []int
 	// PortWorkers is the Stage-I pool size (default 64); HTTPWorkers the
@@ -125,6 +130,8 @@ func (r *Report) VulnerableObservations() []AppObservation {
 }
 
 // Pipeline is a ready-to-run scanning pipeline over a simulated network.
+// Its configuration is fixed at construction: see New and the With*
+// options.
 type Pipeline struct {
 	net    *simnet.Network
 	ports  *portscan.Scanner
@@ -133,61 +140,109 @@ type Pipeline struct {
 	fp     *fingerprint.Fingerprinter
 	reg    *telemetry.Registry
 	queue  *telemetry.Gauge
+	shard  ShardPlan
 	// Per-stage retriers; nil when no resilience policy is installed.
 	retrPre, retrScan, retrFP *resilience.Retrier
 }
 
-// SetResilience installs a retry/backoff policy on the HTTP stages
-// (prefilter, tsunami, fingerprint); Stage I keeps masscan's shoot-once
-// semantics — the observer, not the port scan, is where missed SYNs
-// matter. A nil clock defaults to an immediate sleeper: backoff delays are
-// computed and recorded but waits complete instantly, the right semantics
-// for simulated studies. Call before Instrument so the retriers' metrics
-// register.
-func (p *Pipeline) SetResilience(policy resilience.Policy, clock simtime.Sleeper) {
-	if !policy.Enabled() {
-		return
-	}
-	p.retrPre = resilience.New(policy, clock)
-	p.retrScan = resilience.New(policy, clock)
-	p.retrFP = resilience.New(policy, clock)
-	p.pre.SetRetrier(p.retrPre)
-	p.engine.SetRetrier(p.retrScan)
-	p.fp.SetRetrier(p.retrFP)
+// ShardPlan identifies a pipeline's slot in an orchestrated sharded scan.
+// The zero value means unsharded. It is declared here rather than in the
+// orchestrator so the pipeline can label its telemetry per shard without
+// an import cycle.
+type ShardPlan struct {
+	// Shard is the 0-based shard index.
+	Shard int
+	// Shards is the total shard count; 0 or 1 means unsharded.
+	Shards int
 }
 
-// New assembles the pipeline with all detection plugins installed.
-func New(n *simnet.Network) *Pipeline {
+// settings collects what the functional options configure before the
+// pipeline is assembled, removing the ordering hazards of the former
+// mutator API (SetResilience had to precede Instrument).
+type settings struct {
+	policy resilience.Policy
+	reg    *telemetry.Registry
+	shard  ShardPlan
+}
+
+// Option configures a Pipeline at construction time.
+type Option func(*settings)
+
+// WithResilience installs a retry/backoff policy on the HTTP stages
+// (prefilter, tsunami, fingerprint); Stage I keeps masscan's shoot-once
+// semantics — the observer, not the port scan, is where missed SYNs
+// matter. Backoff delays are computed and recorded but waits complete
+// instantly (an immediate sleeper), the right semantics for simulated
+// studies, where only the simulated timeline may pass time. A disabled
+// policy (zero value) is a no-op, so the option can be passed
+// unconditionally.
+func WithResilience(policy resilience.Policy) Option {
+	return func(s *settings) { s.policy = policy }
+}
+
+// WithTelemetry registers metrics and spans for the whole pipeline with
+// reg, fanning out to every stage's own Instrument method. A nil registry
+// is a no-op, so the option can be passed unconditionally.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *settings) { s.reg = reg }
+}
+
+// WithShardPlan marks the pipeline as one shard of an orchestrated scan:
+// its root span is prefixed "shardNN." so the span tree attributes stage
+// timings per shard.
+func WithShardPlan(plan ShardPlan) Option {
+	return func(s *settings) { s.shard = plan }
+}
+
+// New assembles the pipeline with all detection plugins installed,
+// configured by the given options.
+func New(n *simnet.Network, opts ...Option) *Pipeline {
+	var cfg settings
+	for _, o := range opts {
+		o(&cfg)
+	}
 	client := httpsim.NewClient(n, httpsim.ClientOptions{
 		Timeout:           10 * time.Second,
 		DisableKeepAlives: true,
 	})
 	env := tsunami.NewEnv(client)
-	return &Pipeline{
+	p := &Pipeline{
 		net:    n,
 		ports:  portscan.New(n),
 		pre:    prefilter.New(n),
 		engine: tsunami.NewEngine(plugins.NewRegistry(), client),
 		fp:     fingerprint.New(env),
+		shard:  cfg.shard,
 	}
+	if cfg.policy.Enabled() {
+		p.retrPre = resilience.New(cfg.policy, nil)
+		p.retrScan = resilience.New(cfg.policy, nil)
+		p.retrFP = resilience.New(cfg.policy, nil)
+		p.pre.SetRetrier(p.retrPre)
+		p.engine.SetRetrier(p.retrScan)
+		p.fp.SetRetrier(p.retrFP)
+	}
+	if cfg.reg.Enabled() {
+		p.reg = cfg.reg
+		p.queue = cfg.reg.Gauge("mavscan_scanner_queue_depth")
+		p.ports.Instrument(cfg.reg)
+		p.pre.Instrument(cfg.reg)
+		p.engine.Instrument(cfg.reg)
+		p.fp.Instrument(cfg.reg)
+		p.retrPre.Instrument(cfg.reg, "prefilter")
+		p.retrScan.Instrument(cfg.reg, "tsunami")
+		p.retrFP.Instrument(cfg.reg, "fingerprint")
+	}
+	return p
 }
 
-// Instrument registers metrics and spans for the whole pipeline with reg
-// (nil = off), fanning out to every stage's own Instrument method. Call
-// before Run.
-func (p *Pipeline) Instrument(reg *telemetry.Registry) {
-	if !reg.Enabled() {
-		return
+// spanName prefixes base with the pipeline's shard slot, so orchestrated
+// runs produce one attributable span tree per shard.
+func (p *Pipeline) spanName(base string) string {
+	if p.shard.Shards > 1 {
+		return fmt.Sprintf("shard%02d.%s", p.shard.Shard, base)
 	}
-	p.reg = reg
-	p.queue = reg.Gauge("mavscan_scanner_queue_depth")
-	p.ports.Instrument(reg)
-	p.pre.Instrument(reg)
-	p.engine.Instrument(reg)
-	p.fp.Instrument(reg)
-	p.retrPre.Instrument(reg, "prefilter")
-	p.retrScan.Instrument(reg, "tsunami")
-	p.retrFP.Instrument(reg, "fingerprint")
+	return base
 }
 
 // Run executes the full pipeline.
@@ -207,7 +262,7 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 
 	// Root span covering the whole run; stage spans hang off it so the
 	// snapshot shows how long Stage I overlapped the Stage-II/III drain.
-	pipeSpan := p.reg.StartSpan("pipeline.run")
+	pipeSpan := p.reg.StartSpan(p.spanName("pipeline.run"))
 	stage1Span := pipeSpan.Child("stage1.portscan")
 	stage23Span := pipeSpan.Child("stage23.workers")
 
@@ -257,6 +312,7 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 	stats, scanErr := p.ports.ScanBatches(ctx, portscan.Config{
 		Targets:    opts.Targets,
 		Exclude:    opts.Exclude,
+		Space:      opts.Space,
 		Ports:      opts.Ports,
 		Workers:    opts.PortWorkers,
 		Seed:       opts.Seed,

@@ -19,8 +19,7 @@ func TestPipelineTelemetryReconciles(t *testing.T) {
 	n, vulnIP, _ := deployPair(t, mav.Jenkins)
 	reg := telemetry.New(simtime.NewSim(time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)))
 
-	pipe := New(n)
-	pipe.Instrument(reg)
+	pipe := New(n, WithTelemetry(reg))
 	report, err := pipe.Run(context.Background(), Options{
 		Targets: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/27")},
 		Exclude: []netip.Prefix{netip.MustParsePrefix("10.0.0.16/28")},

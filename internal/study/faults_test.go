@@ -78,7 +78,8 @@ func TestScanFaultsBelowBudgetMatchCleanReport(t *testing.T) {
 func runFaultLongevity(t *testing.T) *observerResult {
 	t.Helper()
 	scan := runFaultScan(t, faults.Config{}, resilience.Policy{})
-	res := RunLongevity(scan, LongevityConfig{
+	res, err := RunLongevity(context.Background(), LongevityConfig{
+		Scan:     scan,
 		Seed:     3,
 		Interval: 12 * time.Hour,
 		Faults: faults.Config{
@@ -88,6 +89,9 @@ func runFaultLongevity(t *testing.T) *observerResult {
 		Resilience:   resilience.Policy{MaxAttempts: 3, JitterSeed: 3},
 		OfflineAfter: 2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &observerResult{Overall: res.Overall, Updated: res.Updated}
 }
 

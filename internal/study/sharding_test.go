@@ -1,0 +1,53 @@
+package study
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+)
+
+// TestShardedStudyMatchesMonolithic checks the unified entry point: the
+// same ScanConfig routed through the sharded orchestrator (Shards > 1 and
+// a checkpoint store) produces a byte-identical report to the monolithic
+// path.
+func TestShardedStudyMatchesMonolithic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two scan studies")
+	}
+	base := ScanConfig{
+		Population: population.Config{
+			Seed: 9, HostScale: 8000, VulnScale: 8,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+		Scan: scanner.Options{Seed: 9},
+	}
+	mono, err := RunScan(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := base
+	sharded.Shards = 3
+	sharded.Checkpoint = orchestrator.Checkpoint{Store: orchestrator.NewMemStore()}
+	shard, err := RunScan(context.Background(), sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canon := func(rep *scanner.Report) string {
+		cp := *rep
+		cp.Stats.Elapsed = 0
+		b, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if canon(mono.Report) != canon(shard.Report) {
+		t.Error("sharded study report differs from monolithic study report")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
 	"mavscan/internal/observer"
+	"mavscan/internal/orchestrator"
 	"mavscan/internal/population"
 	"mavscan/internal/resilience"
 	"mavscan/internal/scanner"
@@ -41,18 +42,38 @@ type ScanStudy struct {
 type ScanConfig struct {
 	Population population.Config
 	Scan       scanner.Options
+	// Shards, when > 1, routes the scan through the sharded orchestrator
+	// (internal/orchestrator): the address space is partitioned into Shards
+	// flat-index windows scanned by independent pipelines and merged into
+	// the same report the monolithic path produces. Parallelism bounds the
+	// concurrent shard workers (0 = min(Shards, GOMAXPROCS)).
+	Shards      int
+	Parallelism int
+	// Checkpoint journals per-shard progress and enables resume; setting a
+	// Store also routes through the orchestrator even with Shards <= 1.
+	Checkpoint orchestrator.Checkpoint
 	// Faults injects deterministic transient failures into the simulated
 	// network (zero value = off). The one-shot scan has no meaningful
 	// timeline, so burst windows are inert here; see LongevityConfig.
+	// WorkerCrashRate additionally crashes orchestrated shard workers.
 	Faults faults.Config
 	// Resilience retries the HTTP stages under the given policy (zero
-	// value = single attempts, the paper's original semantics).
+	// value = single attempts, the paper's original semantics). Under the
+	// orchestrator it also governs segment re-runs after worker crashes.
 	Resilience resilience.Policy
 	// Telemetry, when non-nil, instruments the whole pipeline.
 	Telemetry *telemetry.Registry
 }
 
-// RunScan generates a world and runs the full three-stage pipeline on it.
+// orchestrated reports whether the scan should run through the sharded
+// orchestrator rather than a single monolithic pipeline.
+func (cfg *ScanConfig) orchestrated() bool {
+	return cfg.Shards > 1 || cfg.Checkpoint.Store != nil
+}
+
+// RunScan generates a world and runs the full three-stage pipeline on it,
+// monolithically or sharded (see ScanConfig.Shards). Both paths emit
+// byte-identical reports for the same seed.
 func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
@@ -64,15 +85,30 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	if len(cfg.Scan.Targets) == 0 {
 		cfg.Scan.Targets = world.Geo.Prefixes()
 	}
+	var plan *faults.Plan
 	if cfg.Faults.Enabled() {
-		plan := faults.NewPlan(cfg.Faults, nil)
+		plan = faults.NewPlan(cfg.Faults, nil)
 		plan.Instrument(cfg.Telemetry)
 		world.Net.SetFaults(plan)
 	}
-	pipe := scanner.New(world.Net)
-	pipe.SetResilience(cfg.Resilience, nil)
-	pipe.Instrument(cfg.Telemetry)
-	report, err := pipe.Run(ctx, cfg.Scan)
+	var report *scanner.Report
+	if cfg.orchestrated() {
+		report, err = orchestrator.Run(ctx, orchestrator.Config{
+			Net:         world.Net,
+			Scan:        cfg.Scan,
+			Shards:      cfg.Shards,
+			Parallelism: cfg.Parallelism,
+			Checkpoint:  cfg.Checkpoint,
+			Telemetry:   cfg.Telemetry,
+			Resilience:  cfg.Resilience,
+			Faults:      plan,
+		})
+	} else {
+		pipe := scanner.New(world.Net,
+			scanner.WithResilience(cfg.Resilience),
+			scanner.WithTelemetry(cfg.Telemetry))
+		report, err = pipe.Run(ctx, cfg.Scan)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("study: scanning: %w", err)
 	}
@@ -100,7 +136,10 @@ func (s *ScanStudy) ObserverTargets() []observer.Target {
 
 // LongevityConfig tunes the four-week observation (Figure 2).
 type LongevityConfig struct {
-	Seed     int64
+	// Scan is the completed scan study whose confirmed MAVs the observer
+	// watches. Required.
+	Scan *ScanStudy
+	Seed int64
 	Interval time.Duration // default 3h
 	Duration time.Duration // default 4 weeks
 	// FingerprintEvery controls the version re-check cadence in ticks.
@@ -120,7 +159,17 @@ type LongevityConfig struct {
 
 // RunLongevity schedules the churn model and the observer on a simulated
 // clock and runs the four weeks to completion.
-func RunLongevity(s *ScanStudy, cfg LongevityConfig) *observer.Result {
+func RunLongevity(ctx context.Context, cfg LongevityConfig) (*observer.Result, error) {
+	if cfg.Scan == nil {
+		return nil, fmt.Errorf("study: LongevityConfig.Scan is required")
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := cfg.Scan
 	if cfg.Interval == 0 {
 		cfg.Interval = 3 * time.Hour
 	}
@@ -148,7 +197,7 @@ func RunLongevity(s *ScanStudy, cfg LongevityConfig) *observer.Result {
 	obs.Instrument(cfg.Telemetry)
 	result := obs.Watch(s.ObserverTargets(), cfg.Interval, cfg.Duration)
 	sim.Run()
-	return result
+	return result, nil
 }
 
 // HoneypotStudy is the Section-4 experiment: 18 honeypots exposed for four
@@ -171,15 +220,43 @@ type HoneypotStudy struct {
 // HoneypotStart is the paper's honeypot exposure date (June 09, 2021).
 var HoneypotStart = time.Date(2021, 6, 9, 0, 0, 0, 0, time.UTC)
 
+// HoneypotConfig parametrizes the honeypot study.
+type HoneypotConfig struct {
+	// Seed keys the attacker-population plan.
+	Seed int64
+	// Faults injects deterministic transient failures into the honeypot
+	// network; bursts run off the study's simulated clock.
+	Faults faults.Config
+	// Resilience makes the modeled attackers retry their exploit requests
+	// under the given policy.
+	Resilience resilience.Policy
+	// Telemetry, when non-nil, instruments the farm, the monitoring store
+	// and the fault plan.
+	Telemetry *telemetry.Registry
+}
+
 // RunHoneypots deploys the farm, replays the attacker plan over the
 // simulated four weeks, and analyzes the resulting monitoring stream.
-func RunHoneypots(seed int64) (*HoneypotStudy, error) {
+func RunHoneypots(ctx context.Context, cfg HoneypotConfig) (*HoneypotStudy, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sim := simtime.NewSim(HoneypotStart)
 	net := simnet.New()
 	store := &eslite.Store{}
 	db := geo.Default()
+	if cfg.Faults.Enabled() {
+		plan := faults.NewPlan(cfg.Faults, sim)
+		plan.Instrument(cfg.Telemetry)
+		net.SetFaults(plan)
+	}
+	store.Instrument(cfg.Telemetry)
 
 	farm := honeypot.NewFarm(net, sim, store)
+	farm.Instrument(cfg.Telemetry)
 	if err := farm.DeployAll(netip.MustParseAddr("10.30.0.10")); err != nil {
 		return nil, err
 	}
@@ -193,8 +270,8 @@ func RunHoneypots(seed int64) (*HoneypotStudy, error) {
 		}{pot.IP, pot.Port}
 	}
 
-	plan := attacker.BuildPlan(db, HoneypotStart, seed)
-	exec := &attacker.Executor{Net: net, Clock: sim, Targets: targets}
+	plan := attacker.BuildPlan(db, HoneypotStart, cfg.Seed)
+	exec := &attacker.Executor{Net: net, Clock: sim, Targets: targets, Resilience: cfg.Resilience}
 	exec.Schedule(plan)
 	sim.Run()
 
@@ -219,13 +296,36 @@ type DefenderStudy struct {
 	Scanner2 []secscan.Finding
 }
 
+// DefenderConfig parametrizes the defender study.
+type DefenderConfig struct {
+	// Faults injects deterministic transient failures into the scanned
+	// honeypot network.
+	Faults faults.Config
+	// Resilience makes the commercial scanners retry their probes under
+	// the given policy.
+	Resilience resilience.Policy
+	// Telemetry, when non-nil, instruments the farm, the monitoring store
+	// and the fault plan.
+	Telemetry *telemetry.Registry
+}
+
 // RunDefenders points both commercial scanners at a fresh honeypot farm
 // and collects their findings.
-func RunDefenders() (*DefenderStudy, error) {
+func RunDefenders(ctx context.Context, cfg DefenderConfig) (*DefenderStudy, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	sim := simtime.NewSim(HoneypotStart)
 	net := simnet.New()
 	store := &eslite.Store{}
+	if cfg.Faults.Enabled() {
+		plan := faults.NewPlan(cfg.Faults, sim)
+		plan.Instrument(cfg.Telemetry)
+		net.SetFaults(plan)
+	}
+	store.Instrument(cfg.Telemetry)
 	farm := honeypot.NewFarm(net, sim, store)
+	farm.Instrument(cfg.Telemetry)
 	if err := farm.DeployAll(netip.MustParseAddr("10.40.0.10")); err != nil {
 		return nil, err
 	}
@@ -236,9 +336,13 @@ func RunDefenders() (*DefenderStudy, error) {
 		})
 	}
 	client := httpsim.NewClient(net, httpsim.ClientOptions{DisableKeepAlives: true})
+	if cfg.Resilience.Enabled() {
+		retr := resilience.New(cfg.Resilience, nil)
+		retr.Instrument(cfg.Telemetry, "secscan")
+		client.Transport = retr.RoundTripper(client.Transport)
+	}
 	s1 := secscan.Scanner1(client)
 	s2 := secscan.Scanner2(client)
-	ctx := context.Background()
 	return &DefenderStudy{
 		Scanner1: s1.Scan(ctx, targets),
 		Scanner2: s2.Scan(ctx, targets),

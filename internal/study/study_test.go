@@ -19,7 +19,7 @@ func TestHoneypotStudyReproducesTable5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("honeypot study replays 2k attacks")
 	}
-	hs, err := RunHoneypots(7)
+	hs, err := RunHoneypots(context.Background(), HoneypotConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestHoneypotStudyReproducesTable5(t *testing.T) {
 
 // TestDefenderStudyMatchesSection5 checks the two scanners' coverage.
 func TestDefenderStudyMatchesSection5(t *testing.T) {
-	def, err := RunDefenders()
+	def, err := RunDefenders(context.Background(), DefenderConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,10 +152,14 @@ func TestLongevityStudyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RunLongevity(scan, LongevityConfig{
+	res, err := RunLongevity(context.Background(), LongevityConfig{
+		Scan:     scan,
 		Seed:     3,
 		Interval: 12 * 3600e9, // 12h ticks keep the test fast
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Overall) < 50 {
 		t.Fatalf("expected ≈56 samples, got %d", len(res.Overall))
 	}

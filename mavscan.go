@@ -39,19 +39,23 @@ import (
 	"mavscan/internal/ctlog"
 	"mavscan/internal/disclosure"
 	"mavscan/internal/eslite"
+	"mavscan/internal/faults"
 	"mavscan/internal/fingerprint"
 	"mavscan/internal/geo"
 	"mavscan/internal/honeypot"
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
 	"mavscan/internal/observer"
+	"mavscan/internal/orchestrator"
 	"mavscan/internal/population"
+	"mavscan/internal/resilience"
 	"mavscan/internal/prefilter"
 	"mavscan/internal/scanner"
 	"mavscan/internal/secscan"
 	"mavscan/internal/simnet"
 	"mavscan/internal/simtime"
 	"mavscan/internal/study"
+	"mavscan/internal/telemetry"
 	"mavscan/internal/tsunami"
 	"mavscan/internal/tsunami/plugins"
 )
@@ -143,10 +147,69 @@ type (
 	DetectorRegistry = tsunami.Registry
 	// FingerprintResult is a version-fingerprinting outcome.
 	FingerprintResult = fingerprint.Result
+	// PipelineOption configures a Pipeline at construction (see
+	// WithResilience, WithTelemetry, WithShardPlan).
+	PipelineOption = scanner.Option
+	// ShardPlan identifies a pipeline's slot in a sharded scan.
+	ShardPlan = scanner.ShardPlan
 )
 
 // NewPipeline assembles the full pipeline over a simulated network.
-func NewPipeline(n *Network) *Pipeline { return scanner.New(n) }
+func NewPipeline(n *Network, opts ...PipelineOption) *Pipeline { return scanner.New(n, opts...) }
+
+// WithResilience installs a retry policy on the pipeline's HTTP stages.
+func WithResilience(policy ResiliencePolicy) PipelineOption { return scanner.WithResilience(policy) }
+
+// WithTelemetry instruments every pipeline stage with reg.
+func WithTelemetry(reg *TelemetryRegistry) PipelineOption { return scanner.WithTelemetry(reg) }
+
+// WithShardPlan marks the pipeline as one shard of an orchestrated scan.
+func WithShardPlan(plan ShardPlan) PipelineOption { return scanner.WithShardPlan(plan) }
+
+// Cross-cutting infrastructure: fault injection, retries, telemetry
+// (internal/faults, internal/resilience, internal/telemetry).
+type (
+	// FaultsConfig parametrizes deterministic fault injection.
+	FaultsConfig = faults.Config
+	// ResiliencePolicy is a retry/backoff policy.
+	ResiliencePolicy = resilience.Policy
+	// TelemetryRegistry collects metrics and spans.
+	TelemetryRegistry = telemetry.Registry
+)
+
+// NewTelemetry returns a metrics-and-spans registry on the given clock
+// (nil clock = wall time).
+func NewTelemetry(clock simtime.Clock) *TelemetryRegistry { return telemetry.New(clock) }
+
+// Sharded orchestration with checkpoint/resume (internal/orchestrator).
+type (
+	// Checkpoint configures scan-progress journaling and resume.
+	Checkpoint = orchestrator.Checkpoint
+	// CheckpointStore is a pluggable append-only progress journal.
+	CheckpointStore = orchestrator.Store
+	// CheckpointRecord is one journal entry.
+	CheckpointRecord = orchestrator.Record
+	// MemCheckpointStore is the in-memory journal.
+	MemCheckpointStore = orchestrator.MemStore
+	// FileCheckpointStore is the JSONL-on-disk journal (survives restarts).
+	FileCheckpointStore = orchestrator.FileStore
+	// ESLiteCheckpointStore journals into an eslite event store.
+	ESLiteCheckpointStore = orchestrator.ESLiteStore
+)
+
+// NewMemCheckpointStore returns an empty in-memory checkpoint journal.
+func NewMemCheckpointStore() *MemCheckpointStore { return orchestrator.NewMemStore() }
+
+// OpenFileCheckpointStore opens (creating if needed) the journal at path.
+func OpenFileCheckpointStore(path string) (*FileCheckpointStore, error) {
+	return orchestrator.OpenFileStore(path)
+}
+
+// NewESLiteCheckpointStore journals checkpoints into an eslite event store
+// (clock may be nil).
+func NewESLiteCheckpointStore(events *EventStore, clock simtime.Clock) *ESLiteCheckpointStore {
+	return orchestrator.NewESLiteStore(events, clock)
+}
 
 // NewDetectorRegistry returns a registry with all 18 plugins installed.
 func NewDetectorRegistry() *DetectorRegistry { return plugins.NewRegistry() }
@@ -193,8 +256,12 @@ type (
 	LongevityConfig = study.LongevityConfig
 	// LongevityResult is the Figure-2 dataset.
 	LongevityResult = observer.Result
+	// HoneypotConfig parametrizes the honeypot study.
+	HoneypotConfig = study.HoneypotConfig
 	// HoneypotStudy is the Section-4 experiment result.
 	HoneypotStudy = study.HoneypotStudy
+	// DefenderConfig parametrizes the defender study.
+	DefenderConfig = study.DefenderConfig
 	// DefenderStudy is the Section-5 experiment result.
 	DefenderStudy = study.DefenderStudy
 	// SummaryRow is one row of Table 9.
@@ -202,24 +269,60 @@ type (
 )
 
 // RunScan generates a world and runs the full pipeline on it (Tables 2-4,
-// Figure 1).
+// Figure 1). With ScanConfig.Shards > 1 or a Checkpoint store the scan
+// runs sharded with resume support and emits the identical report.
 func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	return study.RunScan(ctx, cfg)
 }
 
-// RunLongevity replays the four-week observation of the scan's vulnerable
-// hosts (Figure 2).
-func RunLongevity(s *ScanStudy, cfg LongevityConfig) *LongevityResult {
-	return study.RunLongevity(s, cfg)
+// RunLongevityStudy replays the four-week observation of the scan's
+// vulnerable hosts (Figure 2).
+func RunLongevityStudy(ctx context.Context, cfg LongevityConfig) (*LongevityResult, error) {
+	return study.RunLongevity(ctx, cfg)
 }
 
-// RunHoneypots deploys the 18 honeypots and replays the attacker model
-// (Tables 5-8, Figures 3-4).
-func RunHoneypots(seed int64) (*HoneypotStudy, error) { return study.RunHoneypots(seed) }
+// RunHoneypotStudy deploys the 18 honeypots and replays the attacker
+// model (Tables 5-8, Figures 3-4).
+func RunHoneypotStudy(ctx context.Context, cfg HoneypotConfig) (*HoneypotStudy, error) {
+	return study.RunHoneypots(ctx, cfg)
+}
+
+// RunDefenderStudy points the two emulated commercial scanners at a fresh
+// honeypot farm (RQ7).
+func RunDefenderStudy(ctx context.Context, cfg DefenderConfig) (*DefenderStudy, error) {
+	return study.RunDefenders(ctx, cfg)
+}
+
+// RunLongevity replays the four-week observation of the scan's vulnerable
+// hosts.
+//
+// Deprecated: use RunLongevityStudy, which takes a context and reports
+// configuration errors instead of panicking on a nil study.
+func RunLongevity(s *ScanStudy, cfg LongevityConfig) *LongevityResult {
+	cfg.Scan = s
+	result, err := study.RunLongevity(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return result
+}
+
+// RunHoneypots deploys the 18 honeypots and replays the attacker model.
+//
+// Deprecated: use RunHoneypotStudy, whose HoneypotConfig also carries
+// fault-injection, resilience and telemetry settings.
+func RunHoneypots(seed int64) (*HoneypotStudy, error) {
+	return study.RunHoneypots(context.Background(), HoneypotConfig{Seed: seed})
+}
 
 // RunDefenders points the two emulated commercial scanners at a fresh
-// honeypot farm (RQ7).
-func RunDefenders() (*DefenderStudy, error) { return study.RunDefenders() }
+// honeypot farm.
+//
+// Deprecated: use RunDefenderStudy, whose DefenderConfig also carries
+// fault-injection, resilience and telemetry settings.
+func RunDefenders() (*DefenderStudy, error) {
+	return study.RunDefenders(context.Background(), DefenderConfig{})
+}
 
 // Table9 joins the three studies into the paper's summary table.
 func Table9(scan *ScanStudy, pots *HoneypotStudy, def *DefenderStudy) []SummaryRow {

@@ -20,7 +20,10 @@ go run ./cmd/mavlint ./...
 # and most damaging (a time.Sleep backoff stalls simulated studies), so
 # gate it explicitly even though the full-module run above covers it.
 echo "==> mavlint (faults/resilience clock discipline and hermeticity)"
-go run ./cmd/mavlint -rules simclock,hermetic,goleak -pkg internal/faults,internal/resilience ./...
+go run ./cmd/mavlint -rules simclock,hermetic,goleak -pkg internal/faults,internal/resilience,internal/orchestrator ./...
+
+echo "==> orchestrator smoke (sharded run + kill/resume)"
+go test -short -run 'TestOrchestratorSmoke|TestResumeRejectsChangedPlan|TestFileStoreResumesAcrossReopen' -v ./internal/orchestrator/ | tail -n 2
 
 echo "==> go test -short"
 go test -short ./...
