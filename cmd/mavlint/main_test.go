@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule is the checked-in violation corpus, addressed relative to
+// this package's directory.
+const fixtureModule = "../../internal/lint/testdata/badmodule"
+
+// runMavlint invokes run() capturing both streams.
+func runMavlint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// TestFormatRoundTrip pins that -format json carries exactly the findings
+// of the default text format: same count, and every (file, line, rule)
+// triple of the text output appears in the JSON document.
+func TestFormatRoundTrip(t *testing.T) {
+	codeText, textOut, _ := runMavlint(t, fixtureModule)
+	if codeText != 1 {
+		t.Fatalf("text run exit = %d, want 1", codeText)
+	}
+	codeJSON, jsonOut, _ := runMavlint(t, "-format", "json", fixtureModule)
+	if codeJSON != 1 {
+		t.Fatalf("json run exit = %d, want 1", codeJSON)
+	}
+
+	var parsed []jsonFinding
+	if err := json.Unmarshal([]byte(jsonOut), &parsed); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, jsonOut)
+	}
+
+	textLines := strings.Split(strings.TrimSpace(textOut), "\n")
+	if len(parsed) != len(textLines) {
+		t.Fatalf("json has %d findings, text has %d", len(parsed), len(textLines))
+	}
+
+	// Index the JSON findings by their text rendering prefix.
+	got := map[string]bool{}
+	for _, f := range parsed {
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("incomplete json finding: %+v", f)
+		}
+		got[fmt.Sprintf("%s:%d: [%s]", f.File, f.Line, f.Rule)] = true
+	}
+	for _, line := range textLines {
+		// Text positions are relative to the invocation; reduce both sides
+		// to the module-internal path before comparing.
+		idx := strings.LastIndex(line, "internal/")
+		end := strings.Index(line, "]")
+		if idx < 0 || end < 0 {
+			t.Fatalf("unparseable text line %q", line)
+		}
+		if !got[line[idx:end+1]] {
+			t.Errorf("text finding %q missing from json output", line[idx:end+1])
+		}
+	}
+}
+
+// TestFormatJSONCleanRun pins that a clean module yields an empty JSON
+// array, not null — consumers should never need a null guard.
+func TestFormatJSONCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module clean\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clean.go"), "package clean\n")
+	code, out, stderr := runMavlint(t, "-format", "json", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean json output = %q, want []", out)
+	}
+}
+
+// TestBaselineWorkflow exercises the suppression round trip: write a
+// baseline from the fixture module's findings, then re-run against it and
+// require a clean exit; then shrink the baseline and require the removed
+// entry to resurface.
+func TestBaselineWorkflow(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+
+	code, _, stderr := runMavlint(t, "-baseline", base, "-write-baseline", fixtureModule)
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d (stderr: %s)", code, stderr)
+	}
+
+	code, out, _ := runMavlint(t, "-baseline", base, fixtureModule)
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("baselined run exit = %d out = %q; want clean", code, out)
+	}
+
+	// Drop one entry: exactly that finding must come back.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var kept []string
+	removed := ""
+	for _, l := range lines {
+		if removed == "" && strings.Contains(l, "[boundedread]") {
+			removed = l
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if removed == "" {
+		t.Fatal("baseline holds no boundedread entry to remove")
+	}
+	writeFile(t, base, strings.Join(kept, "\n")+"\n")
+
+	code, out, _ = runMavlint(t, "-baseline", base, fixtureModule)
+	if code != 1 {
+		t.Fatalf("exit = %d after removing a baseline entry, want 1", code)
+	}
+	if !strings.Contains(out, "[boundedread]") {
+		t.Errorf("removed finding did not resurface; output:\n%s", out)
+	}
+}
+
+// TestBaselineMissingFileFails pins that a typoed baseline path is a hard
+// error, not an empty suppression set.
+func TestBaselineMissingFileFails(t *testing.T) {
+	code, _, _ := runMavlint(t, "-baseline", filepath.Join(t.TempDir(), "nope"), fixtureModule)
+	if code != 2 {
+		t.Errorf("exit = %d with missing baseline file, want 2", code)
+	}
+}
+
+// TestRepoBaselineIsEmpty keeps the checked-in baseline honest: the repo
+// is clean under the full suite, so every entry would be stale.
+func TestRepoBaselineIsEmpty(t *testing.T) {
+	known, err := readBaseline("../../lint.baseline")
+	if err != nil {
+		t.Fatalf("reading checked-in baseline: %v", err)
+	}
+	for k := range known {
+		t.Errorf("stale baseline entry: %s", k)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	code, _, stderr := runMavlint(t, "-format", "xml", fixtureModule)
+	if code != 2 || !strings.Contains(stderr, "unknown -format") {
+		t.Errorf("exit = %d stderr = %q, want usage error", code, stderr)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

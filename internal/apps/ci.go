@@ -1,7 +1,6 @@
 package apps
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -200,7 +199,7 @@ func buildGoCD(inst *Instance) http.Handler {
 				} `json:"stages"`
 			} `json:"pipeline"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		if err := decodeJSON(w, r, &body); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
 			return
 		}

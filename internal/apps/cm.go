@@ -1,7 +1,6 @@
 package apps
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -99,7 +98,7 @@ func buildKubernetes(inst *Instance) http.Handler {
 				} `json:"containers"`
 			} `json:"spec"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&pod); err != nil {
+		if err := decodeJSON(w, r, &pod); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
 			return
 		}
@@ -165,7 +164,7 @@ func buildDocker(inst *Instance) http.Handler {
 			Image string   `json:"Image"`
 			Cmd   []string `json:"Cmd"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		if err := decodeJSON(w, r, &spec); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
 			return
 		}
@@ -240,7 +239,7 @@ func buildConsul(inst *Instance) http.Handler {
 			Name string   `json:"Name"`
 			Args []string `json:"Args"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&check); err != nil {
+		if err := decodeJSON(w, r, &check); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()}, false)
 			return
 		}
@@ -321,7 +320,7 @@ func buildHadoop(inst *Instance) http.Handler {
 				} `json:"commands"`
 			} `json:"am-container-spec"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		if err := decodeJSON(w, r, &sub); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
 			return
 		}
@@ -388,7 +387,7 @@ func buildNomad(inst *Instance) http.Handler {
 					} `json:"TaskGroups"`
 				} `json:"Job"`
 			}
-			if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+			if err := decodeJSON(w, r, &sub); err != nil {
 				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()}, false)
 				return
 			}

@@ -30,6 +30,19 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}, indent bool) {
 	_ = enc.Encode(v)
 }
 
+// maxJSONBody caps request bodies decoded by the simulated applications.
+// Real deployments cap them too; more importantly the cap keeps a hostile
+// peer (honeypot traffic replays arbitrary attacker payloads through these
+// handlers) from holding an unbounded decode open.
+const maxJSONBody = 1 << 20 // 1 MiB
+
+// decodeJSON decodes a JSON request body through an explicit size bound.
+// Every handler must use this instead of json.NewDecoder(r.Body) directly;
+// the boundedread analyzer enforces it.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(v)
+}
+
 // assetLink renders a <link> or <script> tag for a static asset so the
 // fingerprinting crawler can discover it from the landing page.
 func assetLink(path string) string {

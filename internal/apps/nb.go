@@ -1,7 +1,6 @@
 package apps
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -81,7 +80,7 @@ func buildJupyter(inst *Instance, brand string) http.Handler {
 		var in struct {
 			Command string `json:"command"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		if err := decodeJSON(w, r, &in); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
 			return
 		}
@@ -122,7 +121,7 @@ func buildZeppelin(inst *Instance) http.Handler {
 					Text string `json:"text"`
 				} `json:"paragraphs"`
 			}
-			if err := json.NewDecoder(r.Body).Decode(&note); err != nil {
+			if err := decodeJSON(w, r, &note); err != nil {
 				writeJSON(w, http.StatusBadRequest, map[string]interface{}{"status": "BAD_REQUEST", "message": err.Error()}, false)
 				return
 			}
@@ -163,7 +162,7 @@ func buildPolynote(inst *Instance) http.Handler {
 			Cell string `json:"cell"`
 			Code string `json:"code"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		if err := decodeJSON(w, r, &msg); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"message": err.Error()}, false)
 			return
 		}

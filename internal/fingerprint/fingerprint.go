@@ -279,6 +279,9 @@ func (f *Fingerprinter) crawlHash(ctx context.Context, t tsunami.Target) string 
 	sort.Strings(paths)
 	var candidates map[assetKey]bool
 	for _, path := range paths {
+		if ctx.Err() != nil {
+			return "" // canceled mid-crawl: no identification, not a partial one
+		}
 		resp, err := f.env.Get(ctx, t, path)
 		if err != nil || resp.Status != 200 {
 			continue

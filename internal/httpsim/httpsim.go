@@ -51,12 +51,19 @@ func (l *oneShotListener) Addr() net.Addr {
 	return &net.TCPAddr{IP: net.IPv4zero, Port: 0}
 }
 
+// maxHeaderBytes caps request headers on simulated servers and response
+// headers on the scanning client. A header bomb from either side of the
+// wire must fail the one exchange, not grow the process ("Never Trust
+// Your Victim" hardening).
+const maxHeaderBytes = 256 << 10 // 256 KiB
+
 // ConnHandler returns a simnet connection handler that serves h as plain
 // HTTP, with keep-alive support, on every accepted connection.
 func ConnHandler(h http.Handler) simnet.ConnHandler {
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    maxHeaderBytes,
 	}
 	return func(conn net.Conn) {
 		// Serve returns once the listener is drained; the connection's own
@@ -72,6 +79,7 @@ func TLSConnHandler(h http.Handler, cert tls.Certificate) simnet.ConnHandler {
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    maxHeaderBytes,
 	}
 	return func(conn net.Conn) {
 		tconn := tls.Server(conn, cfg)
@@ -234,6 +242,9 @@ func NewClient(n *simnet.Network, opts ClientOptions) *http.Client {
 		// host is rarely useful, keep the pool small.
 		MaxIdleConns:        64,
 		MaxIdleConnsPerHost: 2,
+		// A probed endpoint controls its response headers; cap them so a
+		// header bomb fails the request instead of exhausting the scanner.
+		MaxResponseHeaderBytes: maxHeaderBytes,
 	}
 	maxRedirects := opts.MaxRedirects
 	var rt http.RoundTripper = transport

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"testing"
+)
+
+// loadRealModule loads the enclosing repository once per benchmark, so
+// the timed loop measures analysis alone (analyzer wall-time per rule is
+// what bench.sh records in BENCH_pr6.json).
+func loadRealModule(b *testing.B) []*Package {
+	b.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatalf("FindModuleRoot: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		b.Fatalf("LoadModule: %v", err)
+	}
+	return pkgs
+}
+
+// BenchmarkAnalyzer times each rule alone over the real module.
+func BenchmarkAnalyzer(b *testing.B) {
+	pkgs := loadRealModule(b)
+	for _, a := range Analyzers() {
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunSuite(pkgs, []*Analyzer{a})
+			}
+		})
+	}
+}
+
+// BenchmarkSuite times the full eight-rule pass over pre-loaded packages
+// — the cost CI pays on top of type-checking for every push.
+func BenchmarkSuite(b *testing.B) {
+	pkgs := loadRealModule(b)
+	analyzers := Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSuite(pkgs, analyzers)
+	}
+}
+
+// BenchmarkSuiteLoadAndRun times the end-to-end mavlint invocation: parse
+// and type-check the module, then run every rule. This is the number the
+// "suite stays under ~10s" budget constrains.
+func BenchmarkSuiteLoadAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		RunSuite(pkgs, Analyzers())
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// boundedreadExempt lists the packages allowed to consume network readers
+// without a bound: simnet is the simulated-victim fabric (it *is* the
+// peer), and the analysis engine itself holds no sockets.
+var boundedreadExempt = []string{
+	"mavscan/internal/simnet",
+	"mavscan/internal/lint",
+}
+
+// AnalyzerBoundedRead flags consumption of a network-derived reader that
+// does not flow through an explicit size bound. A scanner that io.ReadAlls
+// whatever a probed endpoint sends can be memory-exhausted by a single
+// hostile victim; every read path must pass io.LimitReader,
+// http.MaxBytesReader, or an in-memory buffer first.
+var AnalyzerBoundedRead = &Analyzer{
+	Name:  "boundedread",
+	Doc:   "network readers must be consumed through an explicit size bound",
+	Paper: "probed endpoints are untrusted; unbounded reads let a victim exhaust the scanner (adversarial-endpoints hardening)",
+	Run:   runBoundedRead,
+}
+
+func runBoundedRead(pkg *Package) []Finding {
+	if pathUnderAny(pkg.Path, boundedreadExempt) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, boundedReadFunc(pkg, fn.Body)...)
+		}
+	}
+	return out
+}
+
+// boundedReadFunc walks one function body with a fresh lattice and reports
+// every unbounded consumption point.
+func boundedReadFunc(pkg *Package, body *ast.BlockStmt) []Finding {
+	fl := newFuncFlow(pkg)
+	var out []Finding
+	fl.walk(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if msg := unboundedConsumption(fl, call, stack); msg != "" {
+			out = append(out, Finding{Pos: pkg.position(call), Rule: "boundedread", Msg: msg})
+		}
+	})
+	return out
+}
+
+// unboundedConsumption reports why call consumes a network reader without
+// a bound, or "" if it does not.
+func unboundedConsumption(fl *funcFlow, call *ast.CallExpr, stack []ast.Node) string {
+	arg := func(i int) ast.Expr {
+		if i < len(call.Args) {
+			return call.Args[i]
+		}
+		return nil
+	}
+	obj := usedObject(fl.pkg.Info, call.Fun)
+	if obj != nil && packageLevel(obj) {
+		switch {
+		case objectFromPkg(obj, "io", "ReadAll"):
+			if fl.classify(arg(0)) == valNetReader {
+				return "io.ReadAll of an unbounded network reader; wrap it in io.LimitReader"
+			}
+		case objectFromPkg(obj, "io", "Copy", "CopyBuffer"):
+			if fl.classify(arg(1)) == valNetReader {
+				return fmt.Sprintf("io.%s from an unbounded network reader; wrap the source in io.LimitReader", obj.Name())
+			}
+		case objectFromPkg(obj, "bufio", "NewScanner"):
+			if fl.classify(arg(0)) == valNetReader {
+				return "bufio.Scanner over an unbounded network reader; scan an io.LimitReader instead"
+			}
+		case objectFromPkg(obj, "encoding/json", "NewDecoder"),
+			objectFromPkg(obj, "encoding/xml", "NewDecoder"):
+			if fl.classify(arg(0)) == valNetReader {
+				return fmt.Sprintf("%s.NewDecoder on an unbounded network body; decode from http.MaxBytesReader or io.LimitReader", obj.Pkg().Name())
+			}
+		}
+	}
+	// A raw x.Read(buf) fills one bounded buffer, but inside a loop it
+	// consumes the stream indefinitely under the peer's control.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Read" && len(call.Args) == 1 {
+		if insideLoop(stack) && fl.classify(sel.X) == valNetReader {
+			return "raw Read loop over an unbounded network reader; bound it with io.LimitReader"
+		}
+	}
+	return ""
+}
+
+// insideLoop reports whether the ancestor stack contains a for/range.
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

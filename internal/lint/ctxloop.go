@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxloopScope lists the packages whose loops issue cancellable work:
+// probes, detector runs, fingerprint crawls, retries. Simulation plumbing
+// and report rendering carry no contexts worth checking.
+var ctxloopScope = []string{
+	"mavscan/internal/portscan",
+	"mavscan/internal/prefilter",
+	"mavscan/internal/tsunami",
+	"mavscan/internal/fingerprint",
+	"mavscan/internal/scanner",
+	"mavscan/internal/observer",
+	"mavscan/internal/secscan",
+	"mavscan/internal/orchestrator",
+	"mavscan/internal/attacker",
+	"mavscan/internal/resilience",
+}
+
+// AnalyzerCtxLoop flags loops that pass a context created *outside* the
+// loop into per-iteration work without ever consulting it for
+// cancellation. Such a loop keeps probing after the scan is canceled; the
+// orchestrator's never-journal-a-half-scanned-segment rule assumes every
+// worker stops between probes, not after draining its whole backlog.
+//
+// A loop is clean if its per-iteration cone (nested function literals
+// excluded — they run later, if ever) contains a select statement, a
+// ctx.Err()/ctx.Done() call, or a comparison against context.Canceled /
+// context.DeadlineExceeded. Contexts manufactured inside the loop body are
+// fresh per iteration and exempt.
+var AnalyzerCtxLoop = &Analyzer{
+	Name:  "ctxloop",
+	Doc:   "probe/retry loops must check ctx cancellation every iteration",
+	Paper: "a canceled scan must stop between probes so no half-scanned segment is ever journaled (checkpoint soundness)",
+	Run:   runCtxLoop,
+}
+
+func runCtxLoop(pkg *Package) []Finding {
+	if !pathUnderAny(pkg.Path, ctxloopScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if f, bad := ctxLoopFinding(pkg, n); bad {
+					out = append(out, f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ctxLoopFinding inspects one loop's per-iteration cone.
+func ctxLoopFinding(pkg *Package, loop ast.Node) (Finding, bool) {
+	works := false
+	checked := false
+	coneInspect(loop, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			checked = true
+		case *ast.SelectorExpr:
+			if obj := pkg.Info.Uses[n.Sel]; objectFromPkg(obj, "context", "Canceled", "DeadlineExceeded") {
+				checked = true
+			}
+		case *ast.CallExpr:
+			if isCancelCheck(pkg, n) {
+				checked = true
+				return
+			}
+			if !works && callCarriesOuterCtx(pkg, n, loop) {
+				works = true
+			}
+		}
+	})
+	if !works || checked {
+		return Finding{}, false
+	}
+	return Finding{
+		Pos:  pkg.position(loop),
+		Rule: "ctxloop",
+		Msg:  "loop passes an outer context into per-iteration work without a ctx.Err()/select cancellation check",
+	}, true
+}
+
+// isCancelCheck reports whether call is ctx.Err() or ctx.Done() on a
+// context-typed receiver.
+func isCancelCheck(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// callCarriesOuterCtx reports whether call performs work under a context
+// that already existed when the loop began.
+func callCarriesOuterCtx(pkg *Package, call *ast.CallExpr, loop ast.Node) bool {
+	// Calls into package context manufacture or inspect contexts; they
+	// are not probe work.
+	if obj := usedObject(pkg.Info, call.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+		return false
+	}
+	for _, arg := range call.Args {
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if ctxOutlivesLoop(pkg, arg, loop) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxOutlivesLoop reports whether the context argument refers to a value
+// declared before the loop (parameter or earlier local). Contexts built
+// inside the loop body — including context.Background() calls — are fresh
+// per iteration.
+func ctxOutlivesLoop(pkg *Package, arg ast.Expr, loop ast.Node) bool {
+	switch e := arg.(type) {
+	case *ast.ParenExpr:
+		return ctxOutlivesLoop(pkg, e.X, loop)
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		return obj != nil && (obj.Pos() < loop.Pos() || obj.Pos() > loop.End())
+	case *ast.SelectorExpr:
+		return true // a context stored on a struct predates the loop
+	}
+	return false
+}

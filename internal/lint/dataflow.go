@@ -1,0 +1,332 @@
+package lint
+
+// dataflow.go is the shared facts layer under the resource-safety
+// analyzers (boundedread, mapdet, ctxloop). It provides a per-function,
+// flow-sensitive value classification over a three-point lattice —
+// unknown, network reader, bounded — plus the AST walking and type
+// helpers the analyzers query.
+//
+// Soundness trade-offs, deliberately accepted to stay within go/ast +
+// go/types:
+//
+//   - Intra-function only. No call summaries: a helper that wraps its
+//     argument in io.LimitReader is opaque, so its callers classify the
+//     result as unknown (a false negative, never a false positive).
+//   - One level of field sensitivity. Lattice keys are (object) for plain
+//     identifiers and (object, field) for single selectors, which is
+//     exactly enough for `resp.Body = http.MaxBytesReader(w, resp.Body, n)`
+//     to re-classify the field as bounded.
+//   - No aliasing through interfaces. A net.Conn stored into an io.Reader
+//     variable loses its network-reader classification; conversely a
+//     value is never classified by what an interface *might* hold.
+//   - Statement order approximates control flow. Assignments are applied
+//     in source order during the walk, so a bound installed after the
+//     consuming read does not retroactively launder it.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// flowVal is one point of the value lattice.
+type flowVal int
+
+const (
+	// valUnknown is the bottom: nothing is known about the value.
+	valUnknown flowVal = iota
+	// valNetReader marks a reader whose length the remote peer controls.
+	valNetReader
+	// valBounded marks a reader with an explicit size ceiling or one
+	// backed by an already-materialized in-memory buffer.
+	valBounded
+)
+
+// flowKey addresses one tracked value: a variable, or one of its fields.
+type flowKey struct {
+	obj   types.Object
+	field string // "" for the object itself
+}
+
+// funcFlow is the lattice state of one function body mid-walk.
+type funcFlow struct {
+	pkg  *Package
+	vals map[flowKey]flowVal
+}
+
+func newFuncFlow(pkg *Package) *funcFlow {
+	return &funcFlow{pkg: pkg, vals: map[flowKey]flowVal{}}
+}
+
+// walk traverses body in source order, applying assignment transfer
+// functions as they are reached, and calls visit for every node with the
+// ancestor stack current at that point (outermost first).
+func (fl *funcFlow) walk(body *ast.BlockStmt, visit func(n ast.Node, stack []ast.Node)) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			fl.assign(a)
+		}
+		visit(n, stack)
+	})
+}
+
+// assign is the transfer function: each 1:1 assignment re-classifies its
+// left-hand side. Multi-value unpackings (conn, err := dial(...)) are
+// skipped; connection-typed results still classify by their static type.
+func (fl *funcFlow) assign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		key, ok := fl.lvalKeyOf(lhs)
+		if !ok {
+			continue
+		}
+		fl.vals[key] = fl.classify(a.Rhs[i])
+	}
+}
+
+// lvalKeyOf maps an assignable expression to its lattice key.
+func (fl *funcFlow) lvalKeyOf(e ast.Expr) (flowKey, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := identObj(fl.pkg, e); obj != nil {
+			return flowKey{obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		if base, ok := e.X.(*ast.Ident); ok {
+			if obj := identObj(fl.pkg, base); obj != nil {
+				return flowKey{obj: obj, field: e.Sel.Name}, true
+			}
+		}
+	}
+	return flowKey{}, false
+}
+
+// classify resolves an expression to its lattice value at the current
+// point of the walk.
+func (fl *funcFlow) classify(e ast.Expr) flowVal {
+	switch e := e.(type) {
+	case nil:
+		return valUnknown
+	case *ast.ParenExpr:
+		return fl.classify(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fl.classify(e.X)
+		}
+	case *ast.TypeAssertExpr:
+		if e.Type != nil {
+			return fl.classify(e.X)
+		}
+	case *ast.Ident:
+		if obj := identObj(fl.pkg, e); obj != nil {
+			if v, ok := fl.vals[flowKey{obj: obj}]; ok {
+				return v
+			}
+			return classifyType(obj.Type())
+		}
+	case *ast.SelectorExpr:
+		if base, ok := e.X.(*ast.Ident); ok {
+			if obj := identObj(fl.pkg, base); obj != nil {
+				if v, ok := fl.vals[flowKey{obj: obj, field: e.Sel.Name}]; ok {
+					return v
+				}
+			}
+		}
+		if fl.isHTTPBody(e) {
+			return valNetReader
+		}
+	case *ast.CallExpr:
+		return fl.classifyCall(e)
+	}
+	if tv, ok := fl.pkg.Info.Types[e]; ok {
+		return classifyType(tv.Type)
+	}
+	return valUnknown
+}
+
+// isHTTPBody reports whether sel reads the Body field of an http.Request
+// or http.Response — the canonical peer-controlled reader.
+func (fl *funcFlow) isHTTPBody(sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Body" {
+		return false
+	}
+	s, ok := fl.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	obj := s.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// flowSourcePkgs are the simulation-boundary packages: any io.Reader or
+// connection handed out by them carries peer-controlled bytes.
+var flowSourcePkgs = []string{
+	"mavscan/internal/simnet",
+	"mavscan/internal/httpsim",
+}
+
+// classifyCall classifies the result of a call: explicit bounders, wrappers
+// that preserve their argument's classification, and simulation-boundary
+// sources.
+func (fl *funcFlow) classifyCall(call *ast.CallExpr) flowVal {
+	obj := usedObject(fl.pkg.Info, call.Fun)
+	if obj != nil && packageLevel(obj) {
+		switch {
+		case objectFromPkg(obj, "io", "LimitReader"),
+			objectFromPkg(obj, "net/http", "MaxBytesReader"),
+			objectFromPkg(obj, "bytes", "NewReader", "NewBuffer", "NewBufferString"),
+			objectFromPkg(obj, "strings", "NewReader"):
+			return valBounded
+		case objectFromPkg(obj, "io", "NopCloser"),
+			objectFromPkg(obj, "bufio", "NewReader", "NewReaderSize"):
+			if len(call.Args) > 0 {
+				return fl.classify(call.Args[0])
+			}
+		case objectFromPkg(obj, "crypto/tls", "Client", "Server"):
+			return valNetReader
+		}
+	}
+	if obj != nil && obj.Pkg() != nil && pathUnderAny(obj.Pkg().Path(), flowSourcePkgs) {
+		if tv, ok := fl.pkg.Info.Types[ast.Expr(call)]; ok && isNetReaderType(tv.Type) {
+			return valNetReader
+		}
+	}
+	return valUnknown
+}
+
+// classifyType classifies a value by its static type alone.
+func classifyType(t types.Type) flowVal {
+	switch {
+	case t == nil:
+		return valUnknown
+	case isNetReaderType(t):
+		return valNetReader
+	case isBoundedType(t):
+		return valBounded
+	}
+	return valUnknown
+}
+
+// isNetReaderType reports whether t is a network connection. The duck test
+// (Read + RemoteAddr) matches net.Conn, *tls.Conn and every simnet conn
+// without needing a handle on package net's type object.
+func isNetReaderType(t types.Type) bool {
+	return t != nil && hasMethod(t, "Read") && hasMethod(t, "RemoteAddr")
+}
+
+// isBoundedType reports whether t reads from an already-materialized,
+// fixed-size buffer or carries an explicit limit.
+func isBoundedType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "bytes.Reader", "bytes.Buffer", "strings.Reader",
+		"io.LimitedReader", "io.SectionReader":
+		return true
+	}
+	return false
+}
+
+// hasMethod reports whether t's (addressable) method set exports name.
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// --- shared AST helpers ---
+
+// walkStack traverses root in source order, calling visit for every node
+// with its ancestor stack (outermost first; root itself gets an empty
+// stack).
+func walkStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// coneInspect visits the nodes of root that execute on every pass through
+// it, skipping nested function literals (whose bodies run later, if ever).
+func coneInspect(root ast.Node, visit func(n ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// identObj resolves an identifier to its object via Uses or Defs.
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// isMapType reports whether t ranges as a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// lvalPath renders an identifier or selector chain as a stable key
+// ("<base-object>.Field.Sub"), resolving the base identifier to its object
+// so shadowed names do not collide. ok is false for any other shape.
+func lvalPath(pkg *Package, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lvalPath(pkg, e.X)
+	case *ast.Ident:
+		obj := identObj(pkg, e)
+		if obj == nil {
+			return "", false
+		}
+		return objKey(obj), true
+	case *ast.SelectorExpr:
+		base, ok := lvalPath(pkg, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// objKey is a process-stable identity string for a types.Object: the
+// declaration position uniquely identifies it within one FileSet.
+func objKey(obj types.Object) string {
+	return obj.Name() + "#" + strconv.Itoa(int(obj.Pos()))
+}

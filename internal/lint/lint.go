@@ -69,6 +69,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerHermetic,
 		AnalyzerGoLeak,
 		AnalyzerErrDrop,
+		AnalyzerBoundedRead,
+		AnalyzerMapDet,
+		AnalyzerCtxLoop,
 	}
 }
 

@@ -332,6 +332,397 @@ func Parse(s string) int {
 	})
 }
 
+func TestBoundedRead(t *testing.T) {
+	checkCases(t, AnalyzerBoundedRead, []analyzerCase{
+		{
+			name:       "ReadAll of a response body",
+			importPath: "mavscan/internal/fingerprint",
+			src: `package p
+import (
+	"io"
+	"net/http"
+)
+func Slurp(resp *http.Response) ([]byte, error) { return io.ReadAll(resp.Body) }
+`,
+			want: []string{"6:boundedread"},
+		},
+		{
+			name:       "LimitReader wrap is clean",
+			importPath: "mavscan/internal/fingerprint",
+			src: `package p
+import (
+	"io"
+	"net/http"
+)
+func Slurp(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "MaxBytesReader reassignment re-classifies the field",
+			importPath: "mavscan/internal/apps",
+			src: `package p
+import (
+	"io"
+	"net/http"
+)
+func Handle(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	return io.ReadAll(r.Body)
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "bound installed after the read does not launder it",
+			importPath: "mavscan/internal/apps",
+			src: `package p
+import (
+	"io"
+	"net/http"
+)
+func Handle(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	b, err := io.ReadAll(r.Body)
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	return b, err
+}
+`,
+			want: []string{"7:boundedread"},
+		},
+		{
+			name:       "NopCloser propagates the classification",
+			importPath: "mavscan/internal/tsunami",
+			src: `package p
+import (
+	"io"
+	"net/http"
+)
+func Slurp(resp *http.Response) ([]byte, error) {
+	rc := io.NopCloser(resp.Body)
+	return io.ReadAll(rc)
+}
+`,
+			want: []string{"8:boundedread"},
+		},
+		{
+			name:       "copy source matters, destination does not",
+			importPath: "mavscan/internal/attacker",
+			src: `package p
+import (
+	"io"
+	"net"
+	"strings"
+)
+func Send(conn net.Conn) { io.Copy(conn, strings.NewReader("GET / HTTP/1.0")) }
+func Recv(conn net.Conn) { io.Copy(io.Discard, conn) }
+`,
+			want: []string{"8:boundedread"},
+		},
+		{
+			name:       "raw Read outside a loop fills one buffer",
+			importPath: "mavscan/internal/attacker",
+			src: `package p
+import "net"
+func Peek(conn net.Conn) ([]byte, error) {
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	return buf[:n], err
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "raw Read loop drains under peer control",
+			importPath: "mavscan/internal/attacker",
+			src: `package p
+import "net"
+func Drain(conn net.Conn) {
+	buf := make([]byte, 512)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+`,
+			want: []string{"6:boundedread"},
+		},
+		{
+			name:       "simnet is exempt",
+			importPath: "mavscan/internal/simnet",
+			src: `package p
+import (
+	"io"
+	"net/http"
+)
+func Slurp(resp *http.Response) ([]byte, error) { return io.ReadAll(resp.Body) }
+`,
+			want: nil,
+		},
+		{
+			name:       "in-memory readers are bounded by type",
+			importPath: "mavscan/internal/report",
+			src: `package p
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+)
+func Render(b *bytes.Buffer) ([]byte, error) {
+	bufio.NewScanner(strings.NewReader("x")).Scan()
+	return io.ReadAll(b)
+}
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestMapDet(t *testing.T) {
+	checkCases(t, AnalyzerMapDet, []analyzerCase{
+		{
+			name:       "append in map order without sort",
+			importPath: "mavscan/internal/report",
+			src: `package p
+func Rows(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: []string{"5:mapdet"},
+		},
+		{
+			name:       "append then sort is clean",
+			importPath: "mavscan/internal/report",
+			src: `package p
+import "sort"
+func Rows(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "selector-target append then sort is clean",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+import "sort"
+type Report struct{ Apps []string }
+func Fill(r *Report, m map[string]bool) {
+	for k := range m {
+		r.Apps = append(r.Apps, k)
+	}
+	sort.Strings(r.Apps)
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "loop-local accumulator is rebuilt per iteration",
+			importPath: "mavscan/internal/analysis",
+			src: `package p
+func Clusters(m map[int][]string) int {
+	total := 0
+	for _, members := range m {
+		var row []string
+		for _, v := range members {
+			row = append(row, v)
+		}
+		total += len(row)
+	}
+	return total
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "per-key bucket indexed by the loop key is clean",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+func Group(src map[string]int, dst map[string][]int) {
+	for k, v := range src {
+		dst[k] = append(dst[k], v)
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "bucket keyed by anything else accumulates map order",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+func Flatten(src map[string]int, dst map[string][]int) {
+	for _, v := range src {
+		dst["all"] = append(dst["all"], v)
+	}
+}
+`,
+			want: []string{"4:mapdet"},
+		},
+		{
+			name:       "stream write during map iteration",
+			importPath: "mavscan/internal/orchestrator",
+			src: `package p
+import (
+	"fmt"
+	"io"
+)
+func Journal(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+`,
+			want: []string{"8:mapdet"},
+		},
+		{
+			name:       "slice iteration is ordered already",
+			importPath: "mavscan/internal/report",
+			src: `package p
+func Rows(in []string) []string {
+	var out []string
+	for _, v := range in {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+	})
+}
+
+func TestCtxLoop(t *testing.T) {
+	const probeIface = `type Prober interface {
+	Probe(ctx context.Context, addr string) error
+}
+`
+	checkCases(t, AnalyzerCtxLoop, []analyzerCase{
+		{
+			name:       "outer ctx without a check",
+			importPath: "mavscan/internal/tsunami",
+			src: `package p
+import "context"
+` + probeIface + `func Sweep(ctx context.Context, p Prober, addrs []string) {
+	for _, a := range addrs {
+		p.Probe(ctx, a)
+	}
+}
+`,
+			want: []string{"7:ctxloop"},
+		},
+		{
+			name:       "ctx.Err check is clean",
+			importPath: "mavscan/internal/tsunami",
+			src: `package p
+import "context"
+` + probeIface + `func Sweep(ctx context.Context, p Prober, addrs []string) error {
+	for _, a := range addrs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.Probe(ctx, a)
+	}
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "select on ctx.Done is clean",
+			importPath: "mavscan/internal/scanner",
+			src: `package p
+import "context"
+` + probeIface + `func Sweep(ctx context.Context, p Prober, addrs []string) {
+	for _, a := range addrs {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		p.Probe(ctx, a)
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "context.Canceled comparison is a check",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+import (
+	"context"
+	"errors"
+)
+` + probeIface + `func Sweep(ctx context.Context, p Prober, addrs []string) error {
+	for _, a := range addrs {
+		if err := p.Probe(ctx, a); errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "ctx manufactured inside the loop is fresh",
+			importPath: "mavscan/internal/observer",
+			src: `package p
+import "context"
+` + probeIface + `func Sweep(p Prober, addrs []string) {
+	for _, a := range addrs {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.Probe(ctx, a)
+		cancel()
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "closures defer the work past the loop",
+			importPath: "mavscan/internal/attacker",
+			src: `package p
+import "context"
+` + probeIface + `func Plan(ctx context.Context, p Prober, addrs []string) []func() error {
+	var fns []func() error
+	for _, a := range addrs {
+		a := a
+		fns = append(fns, func() error { return p.Probe(ctx, a) })
+	}
+	return fns
+}
+`,
+			want: nil,
+		},
+		{
+			name:       "non-pipeline package is out of scope",
+			importPath: "mavscan/internal/report",
+			src: `package p
+import "context"
+` + probeIface + `func Sweep(ctx context.Context, p Prober, addrs []string) {
+	for _, a := range addrs {
+		p.Probe(ctx, a)
+	}
+}
+`,
+			want: nil,
+		},
+	})
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range Analyzers() {
 		if ByName(a.Name) != a {

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// AnalyzerMapDet flags map iterations whose iterates reach an
+// order-sensitive sink — report rows appended to a slice, bytes written to
+// a stream or journal — without an intervening sort. Go randomizes map
+// iteration order per run, so any such path silently breaks the
+// byte-identical-report invariant the same-seed acceptance tests pin.
+//
+// Recognized-clean shapes: appending to a slice that the same function
+// later passes to sort.* / slices.Sort*, and per-key writes indexed by the
+// loop variable (m2[k] = ..., grouped[k] = append(grouped[k], v)), which
+// are order-insensitive.
+var AnalyzerMapDet = &Analyzer{
+	Name:  "mapdet",
+	Doc:   "map iteration feeding an order-sensitive sink must be sorted first",
+	Paper: "same-seed runs must emit byte-identical reports and journals (reproducibility invariant, §3)",
+	Run:   runMapDet,
+}
+
+func runMapDet(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		sorted := sortTargets(pkg, file)
+		walkStack(file, func(n ast.Node, stack []ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, tok := pkg.Info.Types[rng.X]
+			if !tok || !isMapType(tv.Type) {
+				return
+			}
+			out = append(out, mapRangeSinks(pkg, rng, sorted[enclosingFunc(stack)])...)
+		})
+	}
+	return dedupFindings(out)
+}
+
+// dedupFindings drops findings repeated at the same position — a sink
+// inside two nested map ranges is one defect, not two.
+func dedupFindings(in []Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, f := range in {
+		k := f.Pos.Filename + ":" + strconv.Itoa(f.Pos.Line) + ":" + strconv.Itoa(f.Pos.Column)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// sortTargets collects, per enclosing function, the lvalue paths the
+// function passes to a sorting call — these appends are deterministic no
+// matter what order they were made in.
+func sortTargets(pkg *Package, file *ast.File) map[ast.Node]map[string]bool {
+	out := map[ast.Node]map[string]bool{}
+	walkStack(file, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return
+		}
+		obj := usedObject(pkg.Info, call.Fun)
+		if obj == nil || !packageLevel(obj) {
+			return
+		}
+		isSort := objectFromPkg(obj, "sort",
+			"Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s") ||
+			objectFromPkg(obj, "slices", "Sort", "SortFunc", "SortStableFunc")
+		if !isSort {
+			return
+		}
+		key, ok := lvalPath(pkg, call.Args[0])
+		if !ok {
+			return
+		}
+		fn := enclosingFunc(stack)
+		if out[fn] == nil {
+			out[fn] = map[string]bool{}
+		}
+		out[fn][key] = true
+	})
+	return out
+}
+
+// enclosingFunc returns the innermost function node on the stack (FuncDecl
+// or FuncLit), or nil at file scope.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// mapRangeSinks scans one map-range body for order-sensitive sinks.
+func mapRangeSinks(pkg *Package, rng *ast.RangeStmt, sorted map[string]bool) []Finding {
+	loopVars := rangeVarObjs(pkg, rng)
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: pkg.position(n), Rule: "mapdet", Msg: msg})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAppendSink(pkg, rng, n, loopVars, sorted, report)
+		case *ast.CallExpr:
+			checkWriteSink(pkg, n, report)
+		}
+		return true
+	})
+	return out
+}
+
+// rangeVarObjs resolves the key and value variables of a range statement.
+func rangeVarObjs(pkg *Package, rng *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := identObj(pkg, id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkAppendSink flags `x = append(x, ...)` inside a map range unless the
+// target is indexed by the loop variable (per-key bucketing), declared
+// inside the loop body itself (its contents are rebuilt per iteration, so
+// map order cannot reach them), or sorted afterwards by the enclosing
+// function.
+func checkAppendSink(pkg *Package, rng *ast.RangeStmt, a *ast.AssignStmt, loopVars map[types.Object]bool, sorted map[string]bool, report func(ast.Node, string)) {
+	if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(pkg, call) {
+		return
+	}
+	if idx, ok := a.Lhs[0].(*ast.IndexExpr); ok {
+		if id, iok := idx.Index.(*ast.Ident); iok && loopVars[identObj(pkg, id)] {
+			return // grouped under the iteration key itself: order-free
+		}
+		report(a, "append into a keyed bucket during map iteration; bucket contents grow in random map order — iterate sorted keys")
+		return
+	}
+	if baseDeclaredIn(pkg, a.Lhs[0], rng) {
+		return // loop-local accumulator: fully rebuilt each iteration
+	}
+	key, ok := lvalPath(pkg, a.Lhs[0])
+	if ok && sorted[key] {
+		return
+	}
+	report(a, "rows appended in map-iteration order; sort the keys first, or sort the slice before it is emitted")
+}
+
+// baseDeclaredIn reports whether the base identifier of lhs resolves to an
+// object declared inside node's source range.
+func baseDeclaredIn(pkg *Package, lhs ast.Expr, node ast.Node) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		case *ast.SelectorExpr:
+			lhs = e.X
+			continue
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.Ident:
+			obj := identObj(pkg, e)
+			return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+		default:
+			return false
+		}
+	}
+}
+
+// checkWriteSink flags calls that emit bytes to a stream, journal, or
+// encoder from inside a map range: the output order is the map order.
+func checkWriteSink(pkg *Package, call *ast.CallExpr, report func(ast.Node, string)) {
+	obj := usedObject(pkg.Info, call.Fun)
+	if obj != nil && packageLevel(obj) && objectFromPkg(obj, "fmt", "Fprint", "Fprintf", "Fprintln") {
+		report(call, "stream written during map iteration; output order is randomized — iterate sorted keys")
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || obj == nil || packageLevel(obj) {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Append":
+		report(call, sel.Sel.Name+" called during map iteration; emission order is randomized — iterate sorted keys")
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,46 @@
+// Package attacker is a fixture violating the boundedread rule: it
+// consumes peer-controlled readers without a size bound.
+package attacker
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+)
+
+// Slurp demonstrates every unbounded-consumption shape boundedread flags.
+func Slurp(resp *http.Response, conn net.Conn) []byte {
+	// Violation: io.ReadAll of a response body.
+	body, _ := io.ReadAll(resp.Body)
+
+	// Violation: io.Copy whose source is a network connection.
+	io.Copy(io.Discard, conn)
+
+	// Violation: bufio.Scanner over a network connection.
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		body = append(body, sc.Bytes()...)
+	}
+
+	// Violation: json decoder fed directly from the body.
+	var v map[string]interface{}
+	json.NewDecoder(resp.Body).Decode(&v)
+
+	// Violation: raw Read loop draining the connection.
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			break
+		}
+		body = append(body, buf[:n]...)
+	}
+	return body
+}
+
+// Capped is the clean counterpart: every read flows through a bound.
+func Capped(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}

@@ -1,0 +1,31 @@
+// Package orchestrator is a fixture violating the ctxloop rule: it keeps
+// issuing probe work after the surrounding scan has been canceled.
+package orchestrator
+
+import "context"
+
+// Prober issues one cancellable probe.
+type Prober interface {
+	Probe(ctx context.Context, addr string) error
+}
+
+// Sweep drains its whole backlog even after ctx is canceled. (Violation:
+// the loop passes the outer ctx into per-iteration work but never checks
+// it.)
+func Sweep(ctx context.Context, p Prober, addrs []string) {
+	for _, a := range addrs {
+		p.Probe(ctx, a)
+	}
+}
+
+// Checked is the clean counterpart: it observes cancellation between
+// probes.
+func Checked(ctx context.Context, p Prober, addrs []string) error {
+	for _, a := range addrs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.Probe(ctx, a)
+	}
+	return nil
+}

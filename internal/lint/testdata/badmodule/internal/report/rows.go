@@ -1,0 +1,45 @@
+// Package report is a fixture violating the mapdet rule: it lets random
+// map-iteration order reach report rows and output streams.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Rows appends one row per map entry without ever sorting the result.
+func Rows(counts map[string]int) []string {
+	var out []string
+	for k, v := range counts {
+		// Violation: rows materialize in map order.
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Emit streams entries straight out of the map.
+func Emit(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		// Violation: emission order is the map order.
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// Bucket grows a shared bucket keyed by a constant, not the loop key.
+func Bucket(src map[string]int, dst map[string][]int) {
+	for _, v := range src {
+		// Violation: one bucket accumulates in map order.
+		dst["all"] = append(dst["all"], v)
+	}
+}
+
+// Sorted is the clean counterpart: collect, then sort before use.
+func Sorted(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

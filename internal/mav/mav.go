@@ -4,7 +4,10 @@
 // applications with the properties reported in Table 1 of the paper.
 package mav
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Category is one of the five AWE categories from Section 2.1.
 type Category string
@@ -223,12 +226,7 @@ func ScanPorts() []int {
 	for p := range set {
 		out = append(out, p)
 	}
-	// Insertion sort: the list is tiny and we avoid importing sort for it.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 

@@ -397,6 +397,15 @@ func (s *Scanner) worker(ctx context.Context, cfg Config, st workerState) {
 			end = st.total
 		}
 		for i := base; i < end; i++ {
+			// Sub-chunk cancellation check: the rate-limited path aborts
+			// inside lim.wait, but an unlimited scan would otherwise run a
+			// full chunk of probes after cancellation.
+			if i&1023 == 1023 {
+				if err := ctx.Err(); err != nil {
+					st.fail(err)
+					return
+				}
+			}
 			idx := i
 			if !cfg.Sequential {
 				idx = st.br.Shuffle(i)

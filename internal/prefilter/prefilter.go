@@ -171,6 +171,9 @@ func (p *Prefilter) Probe(ctx context.Context, ip netip.Addr, port int) Result {
 		trySchemes = []string{"https"}
 	}
 	for _, scheme := range trySchemes {
+		if ctx.Err() != nil {
+			break // canceled: report only what was already observed
+		}
 		body, err := p.fetch(ctx, scheme, ip, port)
 		if err != nil {
 			if p.tel != nil {

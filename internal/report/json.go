@@ -3,6 +3,7 @@ package report
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"time"
 
 	"mavscan/internal/analysis"
@@ -115,9 +116,14 @@ func BuildResults(scan *study.ScanStudy, longevity *observer.Result, pots *study
 	if scan != nil {
 		res.Meta.HostScale = scan.World.HostScale()
 		res.Meta.VulnScale = scan.World.VulnScale()
-		for port, open := range scan.Report.OpenPorts {
+		ports := make([]int, 0, len(scan.Report.OpenPorts))
+		for port := range scan.Report.OpenPorts {
+			ports = append(ports, port)
+		}
+		sort.Ints(ports)
+		for _, port := range ports {
 			res.Table2 = append(res.Table2, Table2Row{
-				Port: port, Open: open,
+				Port: port, Open: scan.Report.OpenPorts[port],
 				HTTP:  scan.Report.HTTPResponses[port],
 				HTTPS: scan.Report.HTTPSResponses[port],
 			})

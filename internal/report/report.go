@@ -138,6 +138,34 @@ func Table3(w io.Writer, s *study.ScanStudy) {
 	t.render(w)
 }
 
+// kv is one ranked row of a top-N table.
+type kv struct {
+	k string
+	v int
+}
+
+// topCounts ranks a counter map for display: count descending, then key
+// ascending. The tie-break is load-bearing — map keys are unique, so the
+// (count, key) order is total and the ranking is deterministic even
+// though the map itself iterates in random order. A regression test pins
+// this across repeated runs.
+func topCounts(m map[string]int, topN int) []kv {
+	var out []kv
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].k < out[j].k
+	})
+	if len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
 // Table4 prints the geography of the vulnerable hosts.
 func Table4(w io.Writer, s *study.ScanStudy, topN int) {
 	fmt.Fprintln(w, "Table 4: top countries and ASes hosting vulnerable applications")
@@ -155,28 +183,8 @@ func Table4(w io.Writer, s *study.ScanStudy, topN int) {
 			hosting++
 		}
 	}
-	type kv struct {
-		k string
-		v int
-	}
-	top := func(m map[string]int) []kv {
-		var out []kv
-		for k, v := range m {
-			out = append(out, kv{k, v})
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].v != out[j].v {
-				return out[i].v > out[j].v
-			}
-			return out[i].k < out[j].k
-		})
-		if len(out) > topN {
-			out = out[:topN]
-		}
-		return out
-	}
 	t := &table{header: []string{"Country", "Hosts", "|", "AS", "Provider", "Hosts"}}
-	tc, ta := top(countries), top(ases)
+	tc, ta := topCounts(countries, topN), topCounts(ases, topN)
 	for i := 0; i < topN && (i < len(tc) || i < len(ta)); i++ {
 		var c, ch, a, ap, ah string
 		if i < len(tc) {

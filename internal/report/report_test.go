@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/netip"
 	"strings"
 	"testing"
@@ -146,6 +147,35 @@ func TestTable3AndTable4OnRealScan(t *testing.T) {
 	Table4(&buf, scan, 5)
 	if !strings.Contains(buf.String(), "hosting-provider share") {
 		t.Errorf("Table 4 rendering:\n%s", buf.String())
+	}
+}
+
+// TestTopCountsTieBreakStable pins Table 4's ranking order: count
+// descending, then key ascending on ties. Because map keys are unique the
+// comparator is a total order, so the output must be byte-identical no
+// matter which order Go's randomized map hashing (the GODEBUG=randmaphash
+// default) yields the entries — 100 runs over a tie-heavy map catch any
+// regression to a partial order, where sort.Slice's instability would
+// leak map order into the report.
+func TestTopCountsTieBreakStable(t *testing.T) {
+	counts := map[string]int{}
+	// Four count classes, heavily tied, with keys deliberately inserted
+	// out of lexical order.
+	for i, k := range []string{"US", "DE", "CN", "FR", "RU", "BR", "IN", "GB", "NL", "JP", "KR", "AU"} {
+		counts[k] = []int{7, 3, 7, 3, 7, 1, 3, 7, 1, 3, 1, 7}[i]
+	}
+	want := []kv{
+		{"AU", 7}, {"CN", 7}, {"GB", 7}, {"RU", 7}, {"US", 7},
+		{"DE", 3}, {"FR", 3}, {"IN", 3}, {"JP", 3},
+	}
+	first := topCounts(counts, 9)
+	if fmt.Sprint(first) != fmt.Sprint(want) {
+		t.Fatalf("tie-break order changed:\n got %v\nwant %v", first, want)
+	}
+	for run := 1; run < 100; run++ {
+		if got := topCounts(counts, 9); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("run %d ranked differently:\n got %v\nwant %v", run, got, first)
+		}
 	}
 }
 

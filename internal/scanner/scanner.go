@@ -282,9 +282,17 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 				for batch := range hits {
 					p.queue.Sub(1)
 					for _, hit := range batch {
+						// Canceled: keep draining batches so Stage-I
+						// flushers never block, but probe nothing more.
+						if ctx.Err() != nil {
+							break
+						}
 						res := p.pre.Probe(ctx, hit.IP, hit.Port)
 						todo := agg.observe(hit.IP, hit.Port, res)
 						for _, t := range todo {
+							if ctx.Err() != nil {
+								break
+							}
 							findings := p.engine.Scan(ctx, t)
 							var fpRes fingerprint.Result
 							if !opts.SkipFingerprint {

@@ -112,6 +112,9 @@ func Scanner2(client *http.Client) *Scanner {
 func (s *Scanner) Scan(ctx context.Context, targets []tsunami.Target) []Finding {
 	var out []Finding
 	for _, t := range targets {
+		if ctx.Err() != nil {
+			break // canceled: stop between targets
+		}
 		sev, ok := s.caps[t.App]
 		if !ok {
 			continue

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -132,13 +133,14 @@ func (h *Host) Unbind(port int) {
 	h.mutate(true, func(st *hostState) { delete(st.ports, port) })
 }
 
-// Ports returns the currently bound ports in unspecified order.
+// Ports returns the currently bound ports in ascending order.
 func (h *Host) Ports() []int {
 	st := h.state.Load()
 	out := make([]int, 0, len(st.ports))
 	for p := range st.ports {
 		out = append(out, p)
 	}
+	sort.Ints(out)
 	return out
 }
 

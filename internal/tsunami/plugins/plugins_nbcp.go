@@ -94,6 +94,9 @@ type PhpMyAdmin struct{ base }
 // Detect implements tsunami.Detector.
 func (p PhpMyAdmin) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
 	for _, path := range []string{"/", "/phpmyadmin"} {
+		if err := ctx.Err(); err != nil {
+			return nil, err // canceled is not "not vulnerable"
+		}
 		resp, err := env.Get(ctx, t, path)
 		if err != nil {
 			continue
@@ -115,6 +118,9 @@ type Adminer struct{ base }
 // Detect implements tsunami.Detector.
 func (p Adminer) Detect(ctx context.Context, env *tsunami.Env, t tsunami.Target) (*mav.Finding, error) {
 	for _, path := range []string{"/adminer.php?username=root", "/adminer/adminer.php?username=root"} {
+		if err := ctx.Err(); err != nil {
+			return nil, err // canceled is not "not vulnerable"
+		}
 		resp, err := env.Get(ctx, t, path)
 		if err != nil {
 			continue

@@ -240,6 +240,9 @@ func (e *Engine) Scan(ctx context.Context, t Target) []mav.Finding {
 	}
 	var findings []mav.Finding
 	for _, det := range e.registry.DetectorsFor(t.App) {
+		if ctx.Err() != nil {
+			break // canceled: stop between plugins, return what is confirmed
+		}
 		var start time.Time
 		if tel != nil {
 			start = tel.reg.Now()

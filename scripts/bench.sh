@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance benchmark suite and update BENCH_pr5.json.
+# bench.sh — run the performance benchmark suite and update BENCH_pr6.json.
 #
 # Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
 # iteration is a full simulated internet scan, so only a few iterations
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr5.json}"
+OUT="${1:-BENCH_pr6.json}"
 TABLE_RUNS="${TABLE_RUNS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$TMP.json"' EXIT
@@ -36,6 +36,9 @@ go test -run '^$' -bench . -benchmem ./internal/telemetry/ >>"$TMP"
 
 echo "==> orchestrator shard sweep (-benchtime=1x: one iteration is a full scan)"
 go test -run '^$' -bench 'BenchmarkScanThroughput' -benchtime=1x -benchmem ./internal/orchestrator/ >>"$TMP"
+
+echo "==> mavlint analyzer wall-time (per rule + full suite)"
+go test -run '^$' -bench 'BenchmarkAnalyzer|BenchmarkSuite' -benchmem ./internal/lint/ >>"$TMP"
 
 # Parse `go test -bench` output. A benchmark that logs prints its name on
 # one line and the measurements on the next, so carry the name forward.

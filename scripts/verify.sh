@@ -13,14 +13,14 @@ go build ./...
 echo "==> go vet"
 go vet ./...
 
-echo "==> mavlint (paper safety/determinism invariants)"
-go run ./cmd/mavlint ./...
+echo "==> mavlint (all eight rules, full module, baseline diff)"
+go run ./cmd/mavlint -baseline lint.baseline ./...
 
-# The resilience layer is where a wall-clock wait would be most tempting
-# and most damaging (a time.Sleep backoff stalls simulated studies), so
-# gate it explicitly even though the full-module run above covers it.
-echo "==> mavlint (faults/resilience clock discipline and hermeticity)"
-go run ./cmd/mavlint -rules simclock,hermetic,goleak -pkg internal/faults,internal/resilience,internal/orchestrator ./...
+echo "==> mavlint -format json (machine-readable findings for CI)"
+go run ./cmd/mavlint -format json ./... >mavlint-findings.json || {
+	cat mavlint-findings.json
+	exit 1
+}
 
 echo "==> orchestrator smoke (sharded run + kill/resume)"
 go test -short -run 'TestOrchestratorSmoke|TestResumeRejectsChangedPlan|TestFileStoreResumesAcrossReopen' -v ./internal/orchestrator/ | tail -n 2
