@@ -55,6 +55,9 @@ func main() {
 		hostScale = flag.Int("host-scale", 2000, "divisor for the secure host counts of Table 3")
 		vulnScale = flag.Int("vuln-scale", 4, "divisor for the MAV counts of Table 3")
 		bgScale   = flag.Int("background-scale", 100000, "divisor for Table 2 background noise (negative disables)")
+		popScale  = flag.Int("pop-scale", 1, "multiply every population target and widen the address plan this many times (implies -lazy for scales > 1 unless -lazy=false is forced)")
+		lazy      = flag.Bool("lazy", false, "derive hosts on first probe instead of materializing the world up front")
+		cacheSize = flag.Int("cache-hosts", 0, "resident host bound for -lazy worlds (0 = default 131072)")
 		workers   = flag.Int("workers", 64, "stage-I probe workers")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
 		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx,crash=0.3]")
@@ -67,6 +70,19 @@ func main() {
 	flag.Parse()
 	if *resume && *ckptPath == "" {
 		log.Fatal("-resume requires -checkpoint")
+	}
+	if *popScale > 1 && !*lazy {
+		// An eager 100× world means tens of millions of up-front hosts;
+		// unless the user explicitly forced eager mode, scale lazily.
+		forced := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "lazy" {
+				forced = true
+			}
+		})
+		if !forced {
+			*lazy = true
+		}
 	}
 
 	faultCfg, err := faults.ParseFlag(*faultSpec)
@@ -104,6 +120,9 @@ func main() {
 			VulnScale:       *vulnScale,
 			BackgroundScale: *bgScale,
 			WildcardScale:   *bgScale,
+			PopScale:        *popScale,
+			Lazy:            *lazy,
+			CacheHosts:      *cacheSize,
 		},
 		Scan: scanner.Options{
 			PortWorkers: *workers,
@@ -121,8 +140,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scanned %d probes in %v; %d open ports, %d hosts in world\n\n",
-		scan.Report.Stats.Probed, scan.Report.Stats.Elapsed, scan.Report.Stats.Open, scan.World.Net.NumHosts())
+	fmt.Printf("scanned %d probes in %v; %d open ports, %d hosts in world (%d materialized)\n\n",
+		scan.Report.Stats.Probed, scan.Report.Stats.Elapsed, scan.Report.Stats.Open,
+		scan.World.TotalHosts(), scan.World.MaterializedHosts())
 
 	w := os.Stdout
 	report.Table1(w)

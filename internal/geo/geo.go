@@ -41,38 +41,73 @@ func New(allocs []Allocation) *DB {
 	return &DB{allocs: sorted}
 }
 
+// defaultNetworks lists the networks of the study's address plan — the
+// countries and autonomous systems that appear in the paper's Tables 4, 7
+// and 8 — in allocation order. Default and Scaled assign them prefixes of
+// different widths.
+var defaultNetworks = []Record{
+	{Country: "United States", ASN: "AS16509", Provider: "Amazon EC2", Hosting: true},
+	{Country: "United States", ASN: "AS14618", Provider: "Amazon AES", Hosting: true},
+	{Country: "United States", ASN: "AS396982", Provider: "Google Cloud", Hosting: true},
+	{Country: "United States", ASN: "AS14061", Provider: "DigitalOcean", Hosting: true},
+	{Country: "United States", ASN: "AS7922", Provider: "Comcast", Hosting: false},
+	{Country: "China", ASN: "AS37963", Provider: "Alibaba", Hosting: true},
+	{Country: "China", ASN: "AS4134", Provider: "China Telecom", Hosting: false},
+	{Country: "Germany", ASN: "AS24940", Provider: "Hetzner", Hosting: true},
+	{Country: "Singapore", ASN: "AS14061", Provider: "DigitalOcean", Hosting: true},
+	{Country: "France", ASN: "AS16276", Provider: "OVH", Hosting: true},
+	{Country: "Netherlands", ASN: "AS211252", Provider: "Serverion BV", Hosting: true},
+	{Country: "Brazil", ASN: "AS268624", Provider: "Gamers Club", Hosting: true},
+	{Country: "Russia", ASN: "AS49505", Provider: "Selectel", Hosting: true},
+	{Country: "Moldova", ASN: "AS200019", Provider: "Alexhost", Hosting: true},
+	{Country: "United Kingdom", ASN: "AS20473", Provider: "Vultr UK", Hosting: true},
+	{Country: "Poland", ASN: "AS12824", Provider: "home.pl", Hosting: true},
+	{Country: "India", ASN: "AS9829", Provider: "BSNL", Hosting: false},
+	{Country: "Switzerland", ASN: "AS51395", Provider: "Softplus", Hosting: true},
+	{Country: "United States", ASN: "AS7018", Provider: "AT&T", Hosting: false},
+	{Country: "United States", ASN: "AS16509", Provider: "Amazon EC2", Hosting: true},
+}
+
 // Default returns the study's address plan: a set of /16 allocations
-// covering the countries and autonomous systems that appear in the paper's
-// Tables 4, 7 and 8.
+// covering the networks of defaultNetworks, allocation i at 10.(i+1).0.0/16.
 func Default() *DB {
-	mk := func(cidr, country, asn, provider string, hosting bool) Allocation {
-		return Allocation{
-			Prefix: netip.MustParsePrefix(cidr),
-			Record: Record{Country: country, ASN: asn, Provider: provider, Hosting: hosting},
+	allocs := make([]Allocation, len(defaultNetworks))
+	for i, rec := range defaultNetworks {
+		allocs[i] = Allocation{
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 16),
+			Record: rec,
 		}
 	}
-	return New([]Allocation{
-		mk("10.1.0.0/16", "United States", "AS16509", "Amazon EC2", true),
-		mk("10.2.0.0/16", "United States", "AS14618", "Amazon AES", true),
-		mk("10.3.0.0/16", "United States", "AS396982", "Google Cloud", true),
-		mk("10.4.0.0/16", "United States", "AS14061", "DigitalOcean", true),
-		mk("10.5.0.0/16", "United States", "AS7922", "Comcast", false),
-		mk("10.6.0.0/16", "China", "AS37963", "Alibaba", true),
-		mk("10.7.0.0/16", "China", "AS4134", "China Telecom", false),
-		mk("10.8.0.0/16", "Germany", "AS24940", "Hetzner", true),
-		mk("10.9.0.0/16", "Singapore", "AS14061", "DigitalOcean", true),
-		mk("10.10.0.0/16", "France", "AS16276", "OVH", true),
-		mk("10.11.0.0/16", "Netherlands", "AS211252", "Serverion BV", true),
-		mk("10.12.0.0/16", "Brazil", "AS268624", "Gamers Club", true),
-		mk("10.13.0.0/16", "Russia", "AS49505", "Selectel", true),
-		mk("10.14.0.0/16", "Moldova", "AS200019", "Alexhost", true),
-		mk("10.15.0.0/16", "United Kingdom", "AS20473", "Vultr UK", true),
-		mk("10.16.0.0/16", "Poland", "AS12824", "home.pl", true),
-		mk("10.17.0.0/16", "India", "AS9829", "BSNL", false),
-		mk("10.18.0.0/16", "Switzerland", "AS51395", "Softplus", true),
-		mk("10.19.0.0/16", "United States", "AS7018", "AT&T", false),
-		mk("10.20.0.0/16", "United States", "AS16509", "Amazon EC2", true),
-	})
+	return New(allocs)
+}
+
+// MaxScaleBits is the widest supported Scaled plan: 2^11 = 2048× the
+// Default address space (the 21st aligned /5 block would not fit below
+// 2^32).
+const MaxScaleBits = 11
+
+// Scaled returns the Default plan widened 2^extra times: the same networks
+// in the same order, each allocation a /(16-extra) instead of a /16, so the
+// simulated internet can grow toward real-IPv4 scale while keeping host
+// density and the Table-4 placement distribution constant. extra must be in
+// [0, MaxScaleBits]; Scaled(0) is Default (including its historical 10.x
+// bases). Wider allocations need power-of-two-aligned bases, so allocation
+// i sits at address (i+1) << (16+extra).
+func Scaled(extra int) (*DB, error) {
+	if extra < 0 || extra > MaxScaleBits {
+		return nil, fmt.Errorf("geo: scale bits %d out of range [0, %d]", extra, MaxScaleBits)
+	}
+	if extra == 0 {
+		return Default(), nil
+	}
+	bits := 16 - extra
+	allocs := make([]Allocation, len(defaultNetworks))
+	for i, rec := range defaultNetworks {
+		base := uint32(i+1) << (16 + extra)
+		addr := netip.AddrFrom4([4]byte{byte(base >> 24), byte(base >> 16), byte(base >> 8), byte(base)})
+		allocs[i] = Allocation{Prefix: netip.PrefixFrom(addr, bits), Record: rec}
+	}
+	return New(allocs), nil
 }
 
 // Prefixes returns all allocated prefixes, the default scan target list.

@@ -254,3 +254,73 @@ func (s *Set) AddrAt(idx uint64, cur *Cursor) netip.Addr {
 	v := s.ranges[i].Start + uint32(idx-s.cum[i])
 	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
 }
+
+// Index is the inverse of Addr: it maps a member address back to its flat
+// index, so shard plans, checkpoint watermarks, and the lazy population's
+// occupancy lookups can address billions of positions arithmetically —
+// never by enumerating the space. The second return is false when ip is
+// not in the set (or not IPv4).
+func (s *Set) Index(ip netip.Addr) (uint64, bool) {
+	var cur Cursor
+	return s.IndexAt(ip, &cur)
+}
+
+// IndexAt is Index with a caller-held Cursor, amortizing the binary search
+// for clustered lookups the same way AddrAt does.
+func (s *Set) IndexAt(ip netip.Addr, cur *Cursor) (uint64, bool) {
+	if !ip.Is4() {
+		return 0, false
+	}
+	b := ip.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	i := int(*cur)
+	if i < 0 || i >= len(s.ranges) || v < s.ranges[i].Start || v > s.ranges[i].Last {
+		// First range starting beyond v; its predecessor is the candidate.
+		i = sort.Search(len(s.ranges), func(k int) bool { return s.ranges[k].Start > v }) - 1
+		if i < 0 || v > s.ranges[i].Last {
+			return 0, false
+		}
+		*cur = Cursor(i)
+	}
+	return s.cum[i] + uint64(v-s.ranges[i].Start), true
+}
+
+// Buckets partitions a flat index space [0, Total()) into consecutive
+// variable-size buckets and answers both directions — bucket b starts at
+// Start(b), and Find maps a global index to its (bucket, offset) pair by
+// binary search. It is the occupancy-index building block the lazy
+// population generator composes three ways: allocation → per-stratum slot
+// spans, stratum → per-allocation quota spans, and the global stratum
+// table itself.
+type Buckets struct {
+	cum []uint64
+}
+
+// NewBuckets builds the partition from per-bucket sizes.
+func NewBuckets(sizes []uint64) Buckets {
+	cum := make([]uint64, len(sizes)+1)
+	for i, n := range sizes {
+		cum[i+1] = cum[i] + n
+	}
+	return Buckets{cum: cum}
+}
+
+// Total returns the size of the partitioned index space.
+func (b Buckets) Total() uint64 { return b.cum[len(b.cum)-1] }
+
+// Len returns the number of buckets.
+func (b Buckets) Len() int { return len(b.cum) - 1 }
+
+// Start returns the global index where bucket i begins.
+func (b Buckets) Start(i int) uint64 { return b.cum[i] }
+
+// Size returns the number of indices in bucket i.
+func (b Buckets) Size(i int) uint64 { return b.cum[i+1] - b.cum[i] }
+
+// Find maps a global index in [0, Total()) to its bucket and the offset
+// inside that bucket. Empty buckets are never returned.
+func (b Buckets) Find(idx uint64) (bucket int, off uint64) {
+	// First boundary strictly above idx; its predecessor's bucket owns idx.
+	i := sort.Search(len(b.cum)-1, func(k int) bool { return b.cum[k+1] > idx })
+	return i, idx - b.cum[i]
+}

@@ -329,3 +329,61 @@ func TestSlicePartitionCoversSet(t *testing.T) {
 		t.Fatalf("over-clamped slice has %d addresses, want %d", got, n)
 	}
 }
+
+func TestIndexInvertsAddr(t *testing.T) {
+	s := mustSet(t, "10.0.0.0/24", "10.2.0.0/23", "192.168.1.0/28")
+	var cur Cursor
+	for i := uint64(0); i < s.NumAddresses(); i++ {
+		ip := s.Addr(i)
+		got, ok := s.IndexAt(ip, &cur)
+		if !ok || got != i {
+			t.Fatalf("Index(Addr(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	// Non-members and non-IPv4 addresses are rejected.
+	for _, bad := range []string{"10.0.1.0", "10.1.255.255", "10.2.2.0", "9.255.255.255", "::1"} {
+		if _, ok := s.Index(netip.MustParseAddr(bad)); ok {
+			t.Fatalf("Index(%s) claims membership", bad)
+		}
+	}
+}
+
+func TestIndexMatchesContainsProperty(t *testing.T) {
+	s := mustSet(t, "10.0.0.0/22", "10.8.0.0/21", "172.16.0.0/24")
+	f := func(raw uint32) bool {
+		// Bias draws into the neighborhood of the set so hits happen.
+		v := 10<<24 | raw%(1<<24)
+		ip := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		idx, ok := s.Index(ip)
+		if ok != s.Contains(ip) {
+			return false
+		}
+		return !ok || s.Addr(idx) == ip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketsFindInvertsStart(t *testing.T) {
+	b := NewBuckets([]uint64{3, 0, 5, 1, 0, 7})
+	if b.Total() != 16 || b.Len() != 6 {
+		t.Fatalf("total %d len %d", b.Total(), b.Len())
+	}
+	for i := uint64(0); i < b.Total(); i++ {
+		bucket, off := b.Find(i)
+		if b.Size(bucket) == 0 {
+			t.Fatalf("index %d resolved to empty bucket %d", i, bucket)
+		}
+		if b.Start(bucket)+off != i {
+			t.Fatalf("index %d: bucket %d off %d does not recompose", i, bucket, off)
+		}
+	}
+	// Explicit spot checks across the empty buckets.
+	if bucket, off := b.Find(3); bucket != 2 || off != 0 {
+		t.Fatalf("Find(3) = (%d, %d), want (2, 0)", bucket, off)
+	}
+	if bucket, off := b.Find(9); bucket != 5 || off != 0 {
+		t.Fatalf("Find(9) = (%d, %d), want (5, 0)", bucket, off)
+	}
+}

@@ -1,0 +1,45 @@
+// Package population is a fixture violating the mapdet rule with the shape
+// the lazy world generator must avoid: a map-backed host cache whose
+// eviction and persistence paths let random map-iteration order reach
+// order-sensitive sinks. A real lazy cache must evict from an explicit
+// deterministic queue (FIFO of first materialization), never by walking
+// the map.
+package population
+
+import (
+	"fmt"
+	"io"
+)
+
+type entry struct {
+	spec string
+	hits int
+}
+
+// cache is a lazy materialization table keyed by address.
+type cache struct {
+	entries map[uint32]*entry
+	journal []string
+}
+
+// evict drops entries until the cache is back under cap, picking victims
+// in map order.
+func (c *cache) evict(cap int) {
+	for key, e := range c.entries {
+		if len(c.entries) <= cap {
+			break
+		}
+		delete(c.entries, key)
+		// Violation: the eviction journal records victims in random
+		// map-iteration order, so two same-seed runs journal differently.
+		c.journal = append(c.journal, fmt.Sprintf("evict %d (%s)", key, e.spec))
+	}
+}
+
+// snapshot persists the resident set straight out of the map.
+func (c *cache) snapshot(w io.Writer) {
+	for key, e := range c.entries {
+		// Violation: the snapshot stream is written in map order.
+		fmt.Fprintf(w, "%d %s %d\n", key, e.spec, e.hits)
+	}
+}

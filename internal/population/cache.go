@@ -1,0 +1,136 @@
+package population
+
+import (
+	"sync"
+
+	"mavscan/internal/simnet"
+)
+
+// hostCache is the bounded materialization table of the lazy world: the only
+// population state whose size grows with probing rather than with the layout.
+// It is sharded 64 ways by a splitmix64 hash of the address so concurrent
+// scan workers rarely contend on one lock, and each shard evicts in FIFO
+// order of first materialization — a deterministic policy, so two runs that
+// probe the same address sequence hold exactly the same resident set at
+// every point, which keeps lazy scans reproducible even under eviction.
+//
+// Entries can be pinned: pinned hosts (the churn-mutation targets returned
+// by VulnerableSpecs) are never evicted, because churn mutates their
+// in-memory state and a rebuilt copy would forget the mutation. Pinned
+// entries may push a shard past its nominal cap; everything else stays
+// bounded by cap.
+type hostCache struct {
+	shardCap int
+	shards   [cacheShards]cacheShard
+}
+
+const cacheShards = 64
+
+type cacheEntry struct {
+	host   *simnet.Host
+	spec   *HostSpec
+	pinned bool
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint32]*cacheEntry
+	// order is the FIFO eviction queue of unpinned keys; head indexes the
+	// oldest live element (popped entries are not shifted, the slice is
+	// compacted when the dead prefix grows large).
+	order []uint32
+	head  int
+	// pinned counts pinned entries; they extend the shard's bound so pins
+	// never force out the whole unpinned working set.
+	pinned int
+}
+
+// newHostCache builds a cache holding about capHosts hosts across all
+// shards (pinned entries excluded from the budget).
+func newHostCache(capHosts int) *hostCache {
+	perShard := capHosts / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	return &hostCache{shardCap: perShard}
+}
+
+func (c *hostCache) shardFor(key uint32) *cacheShard {
+	return &c.shards[splitmix64(uint64(key))&(cacheShards-1)]
+}
+
+// getOrCreate returns the entry for key, materializing it with build on
+// first use. build runs under the shard lock, so concurrent probes of the
+// same address observe one materialization and share one *simnet.Host —
+// the identity guarantee simnet.Resolver requires.
+func (c *hostCache) getOrCreate(key uint32, build func() (*simnet.Host, *HostSpec, error), pin bool) (*cacheEntry, error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.entries == nil {
+		sh.entries = make(map[uint32]*cacheEntry)
+	}
+	if e, ok := sh.entries[key]; ok {
+		if pin && !e.pinned {
+			e.pinned = true // promotion leaves a stale queue slot; evict skips it
+			sh.pinned++
+		}
+		return e, nil
+	}
+	host, spec, err := build()
+	if err != nil {
+		return nil, err
+	}
+	e := &cacheEntry{host: host, spec: spec, pinned: pin}
+	sh.entries[key] = e
+	if pin {
+		sh.pinned++
+	} else {
+		sh.order = append(sh.order, key)
+	}
+	sh.evictLocked(c.shardCap)
+	return e, nil
+}
+
+// evictLocked pops FIFO queue heads until the shard is back under its bound
+// (the nominal cap plus the pinned population). Keys whose entries were
+// pinned after enqueueing are skipped — their stale queue slot is simply
+// consumed; pinned entries never return to the queue.
+func (sh *cacheShard) evictLocked(nominal int) {
+	bound := nominal + sh.pinned
+	for len(sh.entries) > bound && sh.head < len(sh.order) {
+		key := sh.order[sh.head]
+		sh.head++
+		if e, ok := sh.entries[key]; ok && !e.pinned {
+			delete(sh.entries, key)
+		}
+	}
+	// Compact the consumed prefix once it dominates the queue.
+	if sh.head > 1024 && sh.head*2 > len(sh.order) {
+		sh.order = append(sh.order[:0], sh.order[sh.head:]...)
+		sh.head = 0
+	}
+}
+
+// len returns the number of resident entries (for stats and tests).
+func (c *hostCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// drop removes key if resident and unpinned — a test hook for exercising
+// re-materialization determinism.
+func (c *hostCache) drop(key uint32) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok && !e.pinned {
+		delete(sh.entries, key)
+	}
+}

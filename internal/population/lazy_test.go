@@ -1,0 +1,223 @@
+package population
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+// fingerprint flattens the identity-bearing fields of a spec; two hosts
+// with equal fingerprints were derived identically.
+func fingerprint(s *HostSpec) string {
+	return fmt.Sprintf("%s|%s|%d|%v|%s|%s|%v|%v",
+		s.IP, s.App, s.Port, s.TLS, s.Domain, s.Version, s.Vulnerable, s.ByDefault)
+}
+
+// TestLazyMatchesEagerGoldenFingerprint is the tentpole contract: the host
+// at an address is a pure function of (seed, address), so deriving it
+// lazily on demand and deriving it in the eager generation walk must agree
+// on every field — app, port, TLS, domain, version, stratum.
+func TestLazyMatchesEagerGoldenFingerprint(t *testing.T) {
+	cfg := smallConfig(21)
+	eager, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := cfg
+	lcfg.Lazy = true
+	lazy, err := Generate(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Net.NumHosts() != 0 {
+		t.Fatalf("lazy world pre-registered %d hosts; setup must be O(strata)", lazy.Net.NumHosts())
+	}
+	if lazy.TotalHosts() != eager.TotalHosts() {
+		t.Fatalf("population totals differ: lazy %d, eager %d", lazy.TotalHosts(), eager.TotalHosts())
+	}
+	if len(eager.Specs) == 0 {
+		t.Fatal("eager world generated no app hosts")
+	}
+	// Every eager app host, probed lazily, must re-derive identically.
+	for i := range eager.Specs {
+		es := &eager.Specs[i]
+		ls, ok := lazy.SpecFor(es.IP)
+		if !ok {
+			t.Fatalf("lazy world has no host at %s", es.IP)
+		}
+		if fingerprint(es) != fingerprint(ls) {
+			t.Fatalf("spec mismatch at %s:\n eager %s\n lazy  %s", es.IP, fingerprint(es), fingerprint(ls))
+		}
+	}
+	// And addresses empty in the eager world must be empty lazily: sample
+	// around every occupied address.
+	misses := 0
+	for i := range eager.Specs {
+		probe := eager.Specs[i].IP.Next()
+		if _, ok := eager.SpecFor(probe); ok {
+			continue
+		}
+		if _, registered := eager.Net.Host(probe); registered {
+			continue // background or wildcard host, occupied in both worlds
+		}
+		if _, ok := lazy.SpecFor(probe); ok {
+			t.Fatalf("lazy world materialized a spec at empty address %s", probe)
+		}
+		misses++
+	}
+	if misses == 0 {
+		t.Fatal("sampled no empty addresses; test lost its negative half")
+	}
+}
+
+// TestLazyVulnerableSpecsMatchEager checks the pinned lazy vulnerable set
+// against the eager generation-order one — churn consumes this sequence,
+// so order matters, not just membership.
+func TestLazyVulnerableSpecsMatchEager(t *testing.T) {
+	cfg := smallConfig(22)
+	eager, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := cfg
+	lcfg.Lazy = true
+	lazy, err := Generate(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, lv := eager.VulnerableSpecs(), lazy.VulnerableSpecs()
+	if len(ev) != len(lv) {
+		t.Fatalf("vulnerable counts differ: eager %d, lazy %d", len(ev), len(lv))
+	}
+	for i := range ev {
+		if fingerprint(ev[i]) != fingerprint(lv[i]) {
+			t.Fatalf("vulnerable spec %d differs:\n eager %s\n lazy  %s", i, fingerprint(ev[i]), fingerprint(lv[i]))
+		}
+	}
+}
+
+// TestLazyEvictionDeterminism probes far more addresses than the cache
+// holds, forcing eviction, then re-probes everything: a re-materialized
+// host must carry the same derivation as its first life, and the cache
+// must stay within its bound (plus pins) throughout.
+func TestLazyEvictionDeterminism(t *testing.T) {
+	cfg := smallConfig(23)
+	cfg.Lazy = true
+	cfg.CacheHosts = 64 // 1 per shard: maximal churn
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pass: collect each app host's fingerprint via the layout walk.
+	l := w.layout
+	first := map[netip.Addr]string{}
+	for s := range l.strata {
+		if l.strata[s].kind != kindApp {
+			continue
+		}
+		for idx := uint64(0); idx < l.strata[s].count; idx++ {
+			ip := l.addrOf(s, idx)
+			spec, ok := w.SpecFor(ip)
+			if !ok {
+				t.Fatalf("no spec at %s", ip)
+			}
+			first[ip] = fingerprint(spec)
+		}
+	}
+	if len(first) <= cfg.CacheHosts {
+		t.Fatalf("only %d app hosts; too few to exercise eviction at cap %d", len(first), cfg.CacheHosts)
+	}
+	pinned := len(w.VulnerableSpecs())
+	if got, bound := w.MaterializedHosts(), cfg.CacheHosts+pinned; got > bound {
+		t.Fatalf("cache holds %d hosts, bound is %d (%d cap + %d pinned)", got, bound, cfg.CacheHosts, pinned)
+	}
+	// Second pass: every re-materialization must reproduce the first life.
+	for ip, want := range first {
+		spec, ok := w.SpecFor(ip)
+		if !ok {
+			t.Fatalf("host at %s vanished after eviction", ip)
+		}
+		if got := fingerprint(spec); got != want {
+			t.Fatalf("re-materialization of %s diverged:\n first  %s\n second %s", ip, want, got)
+		}
+	}
+	// Pinned entries must have survived the churn of both passes.
+	for _, spec := range w.VulnerableSpecs() {
+		key := ipKey(spec.IP)
+		sh := w.cache.shardFor(key)
+		sh.mu.Lock()
+		e, ok := sh.entries[key]
+		sh.mu.Unlock()
+		if !ok || !e.pinned {
+			t.Fatalf("vulnerable host %s not pinned in cache", spec.IP)
+		}
+		if e.spec != spec {
+			t.Fatalf("vulnerable host %s was rebuilt; churn mutations would be lost", spec.IP)
+		}
+	}
+}
+
+// TestLazyDropRebuildsIdentically exercises the explicit eviction hook:
+// dropping a cached host and re-deriving it must yield an identical spec
+// and an identically-behaving simnet host.
+func TestLazyDropRebuildsIdentically(t *testing.T) {
+	cfg := smallConfig(24)
+	cfg.Lazy = true
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := -1
+	for s := range w.layout.strata {
+		if w.layout.strata[s].kind == kindApp && w.layout.strata[s].count > 0 {
+			st = s
+			break
+		}
+	}
+	if st < 0 {
+		t.Fatal("no populated app stratum")
+	}
+	ip := w.layout.addrOf(st, 0)
+	before, ok := w.SpecFor(ip)
+	if !ok {
+		t.Fatalf("no spec at %s", ip)
+	}
+	fp := fingerprint(before)
+	w.cache.drop(ipKey(ip))
+	after, ok := w.SpecFor(ip)
+	if !ok {
+		t.Fatalf("no spec at %s after drop", ip)
+	}
+	if before == after {
+		t.Fatal("drop did not evict; identical pointer returned")
+	}
+	if got := fingerprint(after); got != fp {
+		t.Fatalf("rebuilt spec differs:\n first  %s\n second %s", fp, got)
+	}
+}
+
+// TestLazyWorldProbesLikeEager drives the simnet dial path end to end: a
+// TCP connection to a lazily-derived host must reach a live service.
+func TestLazyWorldProbesLikeEager(t *testing.T) {
+	cfg := smallConfig(25)
+	cfg.Lazy = true
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := w.VulnerableSpecs()
+	if len(specs) == 0 {
+		t.Fatal("no vulnerable hosts")
+	}
+	spec := specs[0]
+	if err := w.Net.ProbePort(spec.IP, spec.Port); err != nil {
+		t.Fatalf("probe of %s:%d failed: %v", spec.IP, spec.Port, err)
+	}
+	host, ok := w.Net.Host(spec.IP)
+	if !ok {
+		t.Fatalf("Net.Host(%s) missed after probe", spec.IP)
+	}
+	if host.IP() != spec.IP {
+		t.Fatalf("resolved host has address %s, want %s", host.IP(), spec.IP)
+	}
+}

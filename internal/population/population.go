@@ -13,8 +13,8 @@ import (
 	"crypto/tls"
 	"fmt"
 	"math/rand"
-	"net"
 	"net/netip"
+	"sync"
 	"time"
 
 	"mavscan/internal/apps"
@@ -97,6 +97,21 @@ type Config struct {
 	// WildcardScale divides the paper's 3.0M all-ports-open artifact hosts
 	// (default 20000). Negative disables them.
 	WildcardScale int
+	// PopScale multiplies every population target (default 1): the Table-3,
+	// Table-2 and wildcard numerators all grow PopScale-fold and the
+	// address plan widens to match (geo.Scaled), so PopScale 1000 simulates
+	// an internet three orders of magnitude beyond the paper's. Values
+	// above 2^geo.MaxScaleBits exceed the address plan and fail Generate.
+	PopScale int
+	// Lazy derives hosts on first probe instead of materializing the world
+	// up front: world setup is O(strata) and memory is bounded by
+	// CacheHosts, which is what makes PopScale ≫ 1 feasible. Same seed,
+	// same hosts — the lazy and eager worlds are the same pure function of
+	// (Seed, address).
+	Lazy bool
+	// CacheHosts bounds the lazy world's resident host count (default
+	// 131072). Ignored when Lazy is false.
+	CacheHosts int
 	// Clock stamps command executions on the emulated instances.
 	Clock apps.Clock
 	// Exec receives executed commands (used when honeypots reuse the
@@ -117,6 +132,12 @@ func (c *Config) fill() {
 	if c.WildcardScale == 0 {
 		c.WildcardScale = 20000
 	}
+	if c.PopScale <= 0 {
+		c.PopScale = 1
+	}
+	if c.CacheHosts <= 0 {
+		c.CacheHosts = 131072
+	}
 }
 
 // HostSpec is the ground truth for one generated host.
@@ -136,21 +157,39 @@ type HostSpec struct {
 }
 
 // World is a generated simulated internet plus its ground truth.
+//
+// In eager mode (the historical behavior) every host exists up front and
+// Specs holds the full app-host ground truth. In lazy mode (Config.Lazy)
+// the world is the pure function layout.build of (Seed, address): hosts
+// materialize on first probe into a bounded cache, Specs stays empty, and
+// SpecFor/VulnerableSpecs derive ground truth on demand — identically to
+// what the eager walk would have produced, because both modes call the
+// same derivation with the same per-address RNG seed.
 type World struct {
-	Net   *simnet.Network
-	Geo   *geo.DB
-	CA    *httpsim.CA
+	Net *simnet.Network
+	Geo *geo.DB
+	CA  *httpsim.CA
+	// Specs is the eager app-host ground truth, in generation order. Empty
+	// in lazy mode — use SpecFor and VulnerableSpecs, which work in both.
 	Specs []HostSpec
 	// Background counts generated noise hosts; Wildcard the artifact hosts.
 	Background int
 	Wildcard   int
 
-	cfg  Config
-	byIP map[netip.Addr]*HostSpec
+	cfg    Config
+	layout *layout
+	byIP   map[netip.Addr]*HostSpec
 	// weights holds the per-app inverse sampling fractions of the two
 	// strata (Horvitz-Thompson design weights): how many real-population
 	// hosts each generated host represents.
 	weights map[mav.App]strataWeights
+
+	// Lazy-mode state: the bounded materialization cache and the memoized
+	// pinned vulnerable set.
+	cache     *hostCache
+	vulnOnce  sync.Once
+	vulnSpecs []*HostSpec
+	vulnErr   error
 }
 
 type strataWeights struct {
@@ -173,43 +212,108 @@ func (w *World) HostScale() int { return w.cfg.HostScale }
 // VulnScale returns the vulnerable-population sampling divisor.
 func (w *World) VulnScale() int { return w.cfg.VulnScale }
 
-// SpecFor returns the ground truth for ip.
+// SpecFor returns the ground truth for ip. In lazy mode it materializes
+// the host on demand (and caches it), so callers can ask about any address
+// without a prior probe.
 func (w *World) SpecFor(ip netip.Addr) (*HostSpec, bool) {
+	if w.cfg.Lazy {
+		e := w.materialize(ip, false)
+		if e == nil || e.spec == nil {
+			return nil, false
+		}
+		return e.spec, true
+	}
 	s, ok := w.byIP[ip]
 	return s, ok
 }
 
 // VulnerableSpecs returns the specs generated vulnerable, in generation
-// order.
+// order. In lazy mode the vulnerable strata are materialized (once) and
+// pinned in the cache: churn mutates these hosts in place, so they must
+// survive eviction. The vulnerable population is tiny relative to the
+// world — it is the part the paper's follow-up experiments track
+// individually — so pinning it does not breach the memory budget in any
+// interesting way.
 func (w *World) VulnerableSpecs() []*HostSpec {
-	var out []*HostSpec
-	for i := range w.Specs {
-		if w.Specs[i].Vulnerable {
-			out = append(out, &w.Specs[i])
+	if !w.cfg.Lazy {
+		var out []*HostSpec
+		for i := range w.Specs {
+			if w.Specs[i].Vulnerable {
+				out = append(out, &w.Specs[i])
+			}
 		}
+		return out
 	}
-	return out
+	w.vulnOnce.Do(func() {
+		l := w.layout
+		for s := range l.strata {
+			st := &l.strata[s]
+			if st.kind != kindApp || !st.vulnerable {
+				continue
+			}
+			for idx := uint64(0); idx < st.count; idx++ {
+				e := w.materialize(l.addrOf(s, idx), true)
+				if e == nil {
+					continue
+				}
+				w.vulnSpecs = append(w.vulnSpecs, e.spec)
+			}
+		}
+	})
+	return w.vulnSpecs
 }
 
-// ipAllocator hands out unique addresses inside geo allocations.
-type ipAllocator struct {
-	rng  *rand.Rand
-	used map[netip.Addr]bool
+// TotalHosts returns the number of live addresses in the world, whether or
+// not they are materialized: app hosts + background noise + wildcard
+// artifacts.
+func (w *World) TotalHosts() uint64 {
+	if w.layout != nil {
+		return w.layout.appHosts + w.layout.background + w.layout.wildcard
+	}
+	return uint64(w.Net.NumHosts())
 }
 
-func (a *ipAllocator) inPrefix(p netip.Prefix) netip.Addr {
-	size := uint32(1) << (32 - p.Bits())
-	base := p.Addr().As4()
-	baseV := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
-	for {
-		off := uint32(a.rng.Intn(int(size)))
-		v := baseV + off
-		ip := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
-		if !a.used[ip] {
-			a.used[ip] = true
-			return ip
-		}
+// MaterializedHosts returns how many hosts currently exist in memory: the
+// cache population in lazy mode, the full network otherwise.
+func (w *World) MaterializedHosts() int {
+	if w.cfg.Lazy {
+		return w.cache.len()
 	}
+	return w.Net.NumHosts()
+}
+
+// materialize derives the host at ip if the layout places one there,
+// returning the cached entry (nil for empty addresses).
+func (w *World) materialize(ip netip.Addr, pin bool) *cacheEntry {
+	s, idx, ok := w.layout.locate(ip)
+	if !ok {
+		return nil
+	}
+	e, err := w.cache.getOrCreate(ipKey(ip), func() (*simnet.Host, *HostSpec, error) {
+		return w.layout.build(s, idx, ip)
+	}, pin)
+	if err != nil {
+		// build can only fail on an internally inconsistent app catalog
+		// (a version the emulator cannot realize in the requested state).
+		// The eager generator surfaces the same error from Generate; the
+		// lazy world has no error channel on the probe path, and silently
+		// dropping the host would make lazy and eager worlds diverge — so
+		// this is a programming error worth stopping for.
+		panic(fmt.Sprintf("population: lazy materialization of %s failed: %v", ip, err))
+	}
+	return e
+}
+
+// lazyResolver adapts the world's materialization to simnet's page-table
+// miss path.
+type lazyResolver struct{ w *World }
+
+func (r *lazyResolver) Resolve(ip netip.Addr) *simnet.Host {
+	e := r.w.materialize(ip, false)
+	if e == nil {
+		return nil
+	}
+	return e.host
 }
 
 // placement weights for vulnerable hosts, shaped after Table 4: the listed
@@ -241,26 +345,6 @@ var vulnPlacement = []placeWeight{
 	{"AS9829", "India", 75},
 	{"AS51395", "Switzerland", 60},
 	{"AS200019", "Moldova", 40},
-}
-
-func pickPlacement(rng *rand.Rand, db *geo.DB, weights []placeWeight) netip.Prefix {
-	total := 0
-	for _, w := range weights {
-		total += w.weight
-	}
-	n := rng.Intn(total)
-	for _, w := range weights {
-		n -= w.weight
-		if n < 0 {
-			p, err := db.PrefixFor(func(r geo.Record) bool {
-				return r.ASN == w.asn && r.Country == w.country
-			})
-			if err == nil {
-				return p
-			}
-		}
-	}
-	return db.Prefixes()[0]
 }
 
 // sampleVersion draws a release for a host following the paper's RQ2
@@ -380,160 +464,64 @@ func tlsLikelihood(app mav.App, port int) float64 {
 	}
 }
 
-// Generate builds the world.
+// Generate builds the world. Setup work is O(strata): the layout — stratum
+// counts, per-allocation quotas, and the address permutations — is all the
+// state either mode needs. Eager mode then walks every (stratum, index)
+// pair through the same layout.build the lazy resolver uses, so the two
+// modes are observationally identical for a given seed; lazy mode instead
+// installs a simnet.Resolver and returns immediately, deferring every host
+// to its first probe.
 func Generate(cfg Config) (*World, error) {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	db := geo.Default()
+	db, err := scaledGeo(cfg.PopScale)
+	if err != nil {
+		return nil, err
+	}
 	ca, err := httpsim.NewCA()
 	if err != nil {
 		return nil, err
 	}
+	l, err := newLayout(cfg, db, ca)
+	if err != nil {
+		return nil, err
+	}
 	w := &World{
-		Net:     simnet.New(),
-		Geo:     db,
-		CA:      ca,
-		cfg:     cfg,
-		byIP:    make(map[netip.Addr]*HostSpec),
-		weights: make(map[mav.App]strataWeights),
+		Net:        simnet.New(),
+		Geo:        db,
+		CA:         ca,
+		cfg:        cfg,
+		layout:     l,
+		weights:    l.weights,
+		Background: int(l.background),
+		Wildcard:   int(l.wildcard),
 	}
-	alloc := &ipAllocator{rng: rng, used: make(map[netip.Addr]bool)}
-
-	for _, info := range mav.InScopeApps() {
-		targets := table3[info.App]
-		nVuln := targets.MAVs / cfg.VulnScale
-		if targets.MAVs > 0 && nVuln == 0 {
-			nVuln = 1 // keep rare strata (Polynote, Adminer) represented
-		}
-		nSecure := (targets.Hosts - targets.MAVs) / cfg.HostScale
-		if nSecure == 0 && targets.Hosts > targets.MAVs {
-			nSecure = 1
-		}
-		sw := strataWeights{}
-		if nSecure > 0 {
-			sw.secure = float64(targets.Hosts-targets.MAVs) / float64(nSecure)
-		}
-		if nVuln > 0 {
-			sw.vuln = float64(targets.MAVs) / float64(nVuln)
-		}
-		w.weights[info.App] = sw
-		for i := 0; i < nVuln+nSecure; i++ {
-			vulnerable := i < nVuln
-			if err := w.addAppHost(rng, alloc, info, vulnerable); err != nil {
+	if cfg.Lazy {
+		w.cache = newHostCache(cfg.CacheHosts)
+		w.Net.SetResolver(&lazyResolver{w: w})
+		return w, nil
+	}
+	// Eager walk. Specs is preallocated to its exact final size so the
+	// byIP pointers into it stay valid as it fills.
+	w.Specs = make([]HostSpec, 0, l.appHosts)
+	w.byIP = make(map[netip.Addr]*HostSpec, l.appHosts)
+	for s := range l.strata {
+		st := &l.strata[s]
+		for idx := uint64(0); idx < st.count; idx++ {
+			ip := l.addrOf(s, idx)
+			host, spec, err := l.build(s, idx, ip)
+			if err != nil {
 				return nil, err
 			}
-		}
-	}
-	if cfg.BackgroundScale > 0 {
-		w.addBackground(rng, alloc)
-	}
-	if cfg.WildcardScale > 0 {
-		n := 3_000_000 / cfg.WildcardScale
-		for i := 0; i < n; i++ {
-			ip := alloc.inPrefix(db.Prefixes()[rng.Intn(len(db.Prefixes()))])
-			h := simnet.NewHost(ip)
-			h.SetWildcardOpen(true)
-			if err := w.Net.AddHost(h); err != nil {
+			if err := w.Net.AddHost(host); err != nil {
 				return nil, err
 			}
-			w.Wildcard++
+			if spec != nil {
+				w.Specs = append(w.Specs, *spec)
+				w.byIP[ip] = &w.Specs[len(w.Specs)-1]
+			}
 		}
 	}
 	return w, nil
-}
-
-// addAppHost generates, binds and records one application host.
-func (w *World) addAppHost(rng *rand.Rand, alloc *ipAllocator, info mav.Info, vulnerable bool) error {
-	version := sampleVersion(rng, info.App, vulnerable)
-	// Adminer's MAV needs a pre-4.6.3 release (empty passwords are refused
-	// outright after that), and Joomla's install hijack is defeated by the
-	// 3.7.4 ownership check — vulnerable hosts must run older releases.
-	if vulnerable && (info.App == mav.Adminer || info.App == mav.Joomla) && !apps.InsecureDefault(info.App, version) {
-		tl := apps.Timeline(info.App)
-		for i := len(tl) - 1; i >= 0; i-- {
-			if apps.InsecureDefault(info.App, tl[i].Version) {
-				version = tl[i].Version
-				break
-			}
-		}
-	}
-	instCfg, byDefault := instanceConfig(rng, info.App, version, vulnerable, w.cfg)
-	inst, err := apps.New(instCfg)
-	if err != nil {
-		return err
-	}
-	if inst.Vulnerable() != vulnerable {
-		return fmt.Errorf("population: %s@%s generated state mismatch (want vulnerable=%v)", info.App, version, vulnerable)
-	}
-	var prefix netip.Prefix
-	if vulnerable {
-		prefix = pickPlacement(rng, w.Geo, vulnPlacement)
-	} else {
-		prefix = w.Geo.Prefixes()[rng.Intn(len(w.Geo.Prefixes()))]
-	}
-	ip := alloc.inPrefix(prefix)
-	port := info.Ports[rng.Intn(len(info.Ports))]
-	useTLS := rng.Float64() < tlsLikelihood(info.App, port)
-	if port == 443 {
-		useTLS = true
-	}
-	spec := HostSpec{
-		IP: ip, App: info.App, Port: port, TLS: useTLS,
-		Version: version, Instance: inst,
-		Vulnerable: vulnerable, ByDefault: byDefault,
-	}
-	host := simnet.NewHost(ip)
-	if useTLS {
-		// Each deployment owns its own registrable domain so the
-		// disclosure workflow derives distinct security@ contacts.
-		spec.Domain = fmt.Sprintf("www.host-%04d.org", len(w.Specs))
-		cert, err := w.CA.CertFor(spec.Domain, ip.String())
-		if err != nil {
-			return err
-		}
-		host.Bind(port, httpsim.TLSConnHandler(inst.Handler(), cert))
-	} else {
-		host.Bind(port, httpsim.ConnHandler(inst.Handler()))
-	}
-	if err := w.Net.AddHost(host); err != nil {
-		return err
-	}
-	w.Specs = append(w.Specs, spec)
-	w.byIP[ip] = &w.Specs[len(w.Specs)-1]
-	return nil
-}
-
-// addBackground seeds non-AWE noise hosts following Table 2's port mix.
-func (w *World) addBackground(rng *rand.Rand, alloc *ipAllocator) {
-	kinds := apps.BackgroundKinds()
-	for _, bp := range backgroundPorts {
-		n := bp.Open / w.cfg.BackgroundScale
-		for i := 0; i < n; i++ {
-			ip := alloc.inPrefix(w.Geo.Prefixes()[rng.Intn(len(w.Geo.Prefixes()))])
-			h := simnet.NewHost(ip)
-			// Decide protocol per Table 2's response ratios; the rest of
-			// the open ports speak no HTTP at all (e.g. SSH banners).
-			r := rng.Intn(bp.Open / w.cfg.BackgroundScale)
-			httpN := bp.HTTP / w.cfg.BackgroundScale
-			httpsN := bp.HTTPS / w.cfg.BackgroundScale
-			handler := apps.Background(kinds[rng.Intn(len(kinds))])
-			switch {
-			case r < httpN:
-				h.Bind(bp.Port, httpsim.ConnHandler(handler))
-			case r < httpN+httpsN:
-				cert, err := w.CA.CertFor(ip.String())
-				if err == nil {
-					h.Bind(bp.Port, httpsim.TLSConnHandler(handler, cert))
-				}
-			default:
-				// A TCP service that is not HTTP: accept and close.
-				h.Bind(bp.Port, func(c net.Conn) { c.Close() })
-			}
-			if err := w.Net.AddHost(h); err == nil {
-				w.Background++
-			}
-		}
-	}
 }
 
 // httpsimPlain and httpsimTLS are small indirection helpers so churn can

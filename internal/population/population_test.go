@@ -57,19 +57,82 @@ func TestGenerateStrataCounts(t *testing.T) {
 	}
 	for _, info := range mav.InScopeApps() {
 		hosts, mavs := Table3Targets(info.App)
-		want := mavs / 20
+		// Stratum sizes round half up against Table 3 so small strata land
+		// on the nearest integer of their share instead of truncating.
+		want := roundHalfUp(mavs, 20)
 		if mavs > 0 && want == 0 {
 			want = 1
 		}
 		if got := perApp[info.App].vuln; got != want {
 			t.Errorf("%s: %d vulnerable, want %d", info.App, got, want)
 		}
-		wantSecure := (hosts - mavs) / 40000
+		wantSecure := roundHalfUp(hosts-mavs, 40000)
 		if wantSecure == 0 && hosts > mavs {
 			wantSecure = 1
 		}
 		if got := perApp[info.App].secure; got != wantSecure {
 			t.Errorf("%s: %d secure, want %d", info.App, got, wantSecure)
+		}
+	}
+}
+
+// TestStrataRoundingHalfUp pins the per-app stratum sizes at the scale
+// divisors the paper-replication studies actually run, guarding the
+// rounding convention: floor-then-bump undercounted every stratum whose
+// fractional share was ≥ .5 (e.g. GoCD's 36 MAVs at VulnScale 20 must
+// yield 2 hosts, not 1).
+func TestStrataRoundingHalfUp(t *testing.T) {
+	for _, scale := range []int{1, 10, 100} {
+		cfg := Config{
+			Seed: 11, HostScale: scale * 4000, VulnScale: scale,
+			BackgroundScale: -1, WildcardScale: -1,
+		}
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perApp := map[mav.App]struct{ vuln, secure int }{}
+		for _, spec := range w.Specs {
+			c := perApp[spec.App]
+			if spec.Vulnerable {
+				c.vuln++
+			} else {
+				c.secure++
+			}
+			perApp[spec.App] = c
+		}
+		for _, info := range mav.InScopeApps() {
+			hosts, mavs := Table3Targets(info.App)
+			wantVuln := roundHalfUp(mavs, cfg.VulnScale)
+			if mavs > 0 && wantVuln == 0 {
+				wantVuln = 1
+			}
+			wantSecure := roundHalfUp(hosts-mavs, cfg.HostScale)
+			if wantSecure == 0 && hosts > mavs {
+				wantSecure = 1
+			}
+			got := perApp[info.App]
+			if got.vuln != wantVuln || got.secure != wantSecure {
+				t.Errorf("scale %d, %s: got (%d vuln, %d secure), want (%d, %d)",
+					scale, info.App, got.vuln, got.secure, wantVuln, wantSecure)
+			}
+		}
+	}
+}
+
+// Spot-check the convention itself at the divisors of the regression grid.
+func TestRoundHalfUp(t *testing.T) {
+	cases := []struct{ n, d, want int }{
+		{36, 20, 2},   // GoCD MAVs at VulnScale 20: .8 rounds up
+		{345, 100, 3}, // WordPress MAVs at VulnScale 100: .45 rounds down
+		{50, 100, 1},  // exactly half rounds up
+		{49, 100, 0},
+		{0, 7, 0},
+		{2440, 1, 2440}, // identity at scale 1
+	}
+	for _, c := range cases {
+		if got := roundHalfUp(c.n, c.d); got != c.want {
+			t.Errorf("roundHalfUp(%d, %d) = %d, want %d", c.n, c.d, got, c.want)
 		}
 	}
 }

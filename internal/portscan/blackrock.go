@@ -164,6 +164,65 @@ func (br *blackRock) Shuffle(m uint64) uint64 {
 	return c
 }
 
+// decryptOnce inverts one pass of the Feistel network. Each forward round
+// replaces (L, R) with (R, (L + F(r, R)) mod m_r), so the inverse recovers
+// the pre-round pair as (R' - F(r, L') mod m_r, L'), running the rounds in
+// reverse. The round function must be reduced exactly the way encryptOnce
+// reduced it — the fast (reciprocal, 32-bit-truncated) and slow (full-width
+// modulo) paths realize *different* permutations, so the decryptor mirrors
+// the same path selection.
+func (br *blackRock) decryptOnce(c uint64) uint64 {
+	var left, right uint64
+	if br.fastA {
+		right = br.aDiv.div(c)
+		left = c - right*br.a
+	} else {
+		left = c % br.a
+		right = c / br.a
+	}
+	for r := br.rounds - 1; r >= 0; r-- {
+		var mod, f uint64
+		if r&1 == 0 {
+			mod = br.a
+		} else {
+			mod = br.b
+		}
+		if br.fastRounds {
+			f = uint64(uint32(br.round(r, left)))
+			if r&1 == 0 {
+				f -= br.aDiv.div(f) * mod
+			} else {
+				f -= br.bDiv.div(f) * mod
+			}
+		} else {
+			f = br.round(r, left) % mod
+		}
+		var tmp uint64
+		if right >= f {
+			tmp = right - f
+		} else {
+			tmp = right + mod - f
+		}
+		left, right = tmp, left
+	}
+	return br.a*right + left
+}
+
+// Unshuffle is the inverse of Shuffle: Unshuffle(Shuffle(m)) == m for every
+// m in [0, rangeSize). Cycle-walking inverts the same way it encrypts —
+// encryptOnce is a bijection over [0, a*b), so walking the orbit backwards
+// from an in-range position reaches the unique in-range preimage.
+func (br *blackRock) Unshuffle(c uint64) uint64 {
+	if br.rangeSize == 0 {
+		return 0
+	}
+	m := br.decryptOnce(c)
+	for m >= br.rangeSize {
+		m = br.decryptOnce(m)
+	}
+	return m
+}
+
 // NewShuffler exposes the BlackRock permutation for benchmarking and for
 // callers that need the randomized-iteration primitive alone: it returns a
 // bijective map over [0, rangeSize).
@@ -171,3 +230,25 @@ func NewShuffler(rangeSize, seed uint64) func(uint64) uint64 {
 	br := newBlackRock(rangeSize, seed)
 	return br.Shuffle
 }
+
+// Permutation is the exported two-way view of the BlackRock cipher: a
+// seeded bijection over [0, N) with both directions in O(1) and no state
+// proportional to N. The lazy population generator is built on it — the
+// forward direction scatters the i-th occupied slot of an allocation across
+// the allocation's address block, and the inverse answers "which slot, if
+// any, is this probed address?" without enumerating the block.
+type Permutation struct {
+	br *blackRock
+}
+
+// NewPermutation builds a permutation over [0, rangeSize) keyed by seed.
+func NewPermutation(rangeSize, seed uint64) Permutation {
+	return Permutation{br: newBlackRock(rangeSize, seed)}
+}
+
+// Forward maps index m in [0, rangeSize) to its shuffled position.
+func (p Permutation) Forward(m uint64) uint64 { return p.br.Shuffle(m) }
+
+// Inverse maps a shuffled position back to its index:
+// Inverse(Forward(m)) == m.
+func (p Permutation) Inverse(c uint64) uint64 { return p.br.Unshuffle(c) }

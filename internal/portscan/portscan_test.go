@@ -52,6 +52,52 @@ func TestBlackRockPermutationProperty(t *testing.T) {
 	}
 }
 
+// TestBlackRockUnshuffleInverts proves Unshuffle is the exact inverse of
+// Shuffle across awkward range sizes, covering both the fast (reciprocal)
+// and slow (full-width modulo) round paths and the cycle-walking loop.
+func TestBlackRockUnshuffleInverts(t *testing.T) {
+	for _, size := range []uint64{1, 2, 3, 7, 16, 100, 255, 256, 257, 1000, 4096, 65537} {
+		br := newBlackRock(size, 0xfeed)
+		for i := uint64(0); i < size; i++ {
+			c := br.Shuffle(i)
+			if got := br.Unshuffle(c); got != i {
+				t.Fatalf("size %d: Unshuffle(Shuffle(%d)) = %d", size, i, got)
+			}
+		}
+	}
+}
+
+// TestBlackRockUnshuffleInvertsProperty is the property-based variant over
+// random (size, seed) pairs, sampling large ranges where exhaustion is too
+// slow.
+func TestBlackRockUnshuffleInvertsProperty(t *testing.T) {
+	f := func(sizeRaw uint32, seed uint64) bool {
+		size := uint64(sizeRaw)%(1<<22) + 1
+		br := newBlackRock(size, seed)
+		step := size/997 + 1
+		for i := uint64(0); i < size; i += step {
+			if br.Unshuffle(br.Shuffle(i)) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermutationExportedRoundTrip exercises the exported two-way API the
+// lazy population generator consumes.
+func TestPermutationExportedRoundTrip(t *testing.T) {
+	p := NewPermutation(65536, 99)
+	for i := uint64(0); i < 65536; i++ {
+		if got := p.Inverse(p.Forward(i)); got != i {
+			t.Fatalf("Inverse(Forward(%d)) = %d", i, got)
+		}
+	}
+}
+
 // TestBlackRockSpreadsBlocks checks the operational property the shuffle
 // exists for: consecutive probe indices should not land in the same /24.
 func TestBlackRockSpreadsBlocks(t *testing.T) {

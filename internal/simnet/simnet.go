@@ -236,6 +236,47 @@ type Network struct {
 	// otherwise succeed, so a fault plan can overlay transient failures on
 	// the healthy topology (see internal/faults).
 	faults atomic.Pointer[FaultInjector]
+	// resolver, when set, is consulted on the page table's miss path: an
+	// address with no registered host is materialized on demand (see
+	// Resolver). Hits on registered hosts never touch it.
+	resolver atomic.Pointer[Resolver]
+}
+
+// Resolver materializes hosts on demand. When a probe, dial, or Host lookup
+// misses the page table, the network asks the resolver before declaring the
+// address unreachable; a nil result means the address is genuinely empty.
+// This is the hook the lazy population generator hangs the simulated world
+// on: host state becomes a function of the address, computed on first
+// probe, instead of a table populated up front.
+//
+// Implementations must be safe for concurrent use, must return the same
+// *Host for concurrent lookups of the same live address, and — for
+// deterministic studies — must derive host state purely from the address
+// (so that evicting and re-materializing a host reproduces it exactly).
+// Resolved hosts are NOT registered in the page table: the resolver owns
+// their lifetime (typically a bounded cache), keeping the network's memory
+// independent of the simulated population size. NumHosts, Hosts, and
+// RemoveHost therefore see only explicitly registered hosts.
+type Resolver interface {
+	Resolve(ip netip.Addr) *Host
+}
+
+// SetResolver installs (or, with nil, removes) the miss-path resolver.
+func (n *Network) SetResolver(r Resolver) {
+	if r == nil {
+		n.resolver.Store(nil)
+		return
+	}
+	n.resolver.Store(&r)
+}
+
+// resolve asks the installed resolver, if any, for the host at ip.
+func (n *Network) resolve(ip netip.Addr) *Host {
+	p := n.resolver.Load()
+	if p == nil {
+		return nil
+	}
+	return (*p).Resolve(ip)
 }
 
 // Fault describes one transient failure to apply to a dial that would
@@ -390,9 +431,17 @@ func (n *Network) lookup(ip netip.Addr) (*Host, bool) {
 	return h, h != nil
 }
 
-// Host returns the host registered at ip.
+// Host returns the host at ip: a registered one, or — when a resolver is
+// installed — a lazily materialized one. Use Hosts to see only registered
+// hosts.
 func (n *Network) Host(ip netip.Addr) (*Host, bool) {
-	return n.lookup(ip)
+	if h, ok := n.lookup(ip); ok {
+		return h, true
+	}
+	if h := n.resolve(ip); h != nil {
+		return h, true
+	}
+	return nil, false
 }
 
 // NumHosts returns the number of registered hosts.
@@ -428,16 +477,18 @@ func (n *Network) ProbePort(ip netip.Addr, port int) error {
 	if !ok {
 		return ErrHostUnreachable
 	}
+	var h *Host
 	bp := n.bits[k>>pageBits].Load()
-	if bp == nil {
-		return ErrHostUnreachable
+	if bp != nil && bp[(k&(1<<pageBits-1))>>5].Load()&(1<<(k&31)) != 0 {
+		h, _ = n.lookup(ip)
 	}
-	if bp[(k&(1<<pageBits-1))>>5].Load()&(1<<(k&31)) == 0 {
-		return ErrHostUnreachable
-	}
-	h, ok := n.lookup(ip)
-	if !ok {
-		return ErrHostUnreachable
+	if h == nil {
+		// Page-table miss: give the resolver, if any, a chance to
+		// materialize the host. The extra cost on the registered-world
+		// miss path is one atomic nil-check.
+		if h = n.resolve(ip); h == nil {
+			return ErrHostUnreachable
+		}
 	}
 	if _, err := h.lookupService(port); err != nil {
 		return err
@@ -462,7 +513,9 @@ func (n *Network) Dial(ctx context.Context, ip netip.Addr, port int) (net.Conn, 
 func (n *Network) DialFrom(ctx context.Context, src, ip netip.Addr, port int) (net.Conn, error) {
 	h, ok := n.lookup(ip)
 	if !ok {
-		return nil, ErrHostUnreachable
+		if h = n.resolve(ip); h == nil {
+			return nil, ErrHostUnreachable
+		}
 	}
 	handler, err := h.lookupService(port)
 	if err != nil {

@@ -261,3 +261,119 @@ func TestProbeDialAgreementProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// countingResolver materializes an echo host for one address and counts
+// how often it is consulted.
+type countingResolver struct {
+	mu    sync.Mutex
+	calls int
+	live  netip.Addr
+	host  *Host
+}
+
+func (r *countingResolver) Resolve(ip netip.Addr) *Host {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	if ip != r.live {
+		return nil
+	}
+	if r.host == nil {
+		r.host = NewHost(ip)
+		r.host.Bind(80, echoHandler)
+	}
+	return r.host
+}
+
+func TestResolverMaterializesOnMiss(t *testing.T) {
+	n := New()
+	live := netip.MustParseAddr("10.9.0.7")
+	empty := netip.MustParseAddr("10.9.0.8")
+	// Without a resolver the address is unreachable.
+	if err := n.ProbePort(live, 80); !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("probe before resolver: %v", err)
+	}
+	r := &countingResolver{live: live}
+	n.SetResolver(r)
+	if err := n.ProbePort(live, 80); err != nil {
+		t.Fatalf("probe open port on resolved host: %v", err)
+	}
+	if err := n.ProbePort(live, 81); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("probe closed port on resolved host: %v", err)
+	}
+	if err := n.ProbePort(empty, 80); !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("probe empty address: %v", err)
+	}
+	// Dial flows data through the materialized handler.
+	conn, err := n.Dial(context.Background(), live, 80)
+	if err != nil {
+		t.Fatalf("dial resolved host: %v", err)
+	}
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("echo through resolved host: %q, %v", buf, err)
+	}
+	conn.Close()
+	// Host() sees the resolved host too.
+	if h, ok := n.Host(live); !ok || h != r.host {
+		t.Fatal("Host() did not return the resolved host")
+	}
+	// Resolved hosts are not registered: NumHosts stays zero.
+	if n.NumHosts() != 0 {
+		t.Fatalf("resolved host leaked into the registry: NumHosts=%d", n.NumHosts())
+	}
+	// Clearing the resolver restores the empty-world behavior.
+	n.SetResolver(nil)
+	if err := n.ProbePort(live, 80); !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("probe after clearing resolver: %v", err)
+	}
+}
+
+func TestResolverNotConsultedForRegisteredHosts(t *testing.T) {
+	n := New()
+	h := NewHost(ipA)
+	h.Bind(80, echoHandler)
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	r := &countingResolver{live: ipB}
+	n.SetResolver(r)
+	if err := n.ProbePort(ipA, 80); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Dial(context.Background(), ipA, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, ok := n.Host(ipA); !ok {
+		t.Fatal("registered host lost")
+	}
+	r.mu.Lock()
+	calls := r.calls
+	r.mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("resolver consulted %d times for a registered host", calls)
+	}
+}
+
+// faultEveryProbe injects a probe fault unconditionally.
+type faultEveryProbe struct{}
+
+func (faultEveryProbe) ProbeFault(ip netip.Addr, port int) error { return ErrFiltered }
+func (faultEveryProbe) DialFault(ip netip.Addr, port int) Fault  { return Fault{} }
+
+func TestResolverComposesWithFaultInjection(t *testing.T) {
+	n := New()
+	live := netip.MustParseAddr("10.9.0.7")
+	n.SetResolver(&countingResolver{live: live})
+	n.SetFaults(faultEveryProbe{})
+	// The fault overlays the resolved-but-healthy host, same as for a
+	// registered one.
+	if err := n.ProbePort(live, 80); !errors.Is(err, ErrFiltered) {
+		t.Fatalf("fault not applied to resolved host: %v", err)
+	}
+}

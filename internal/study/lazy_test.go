@@ -1,0 +1,163 @@
+package study
+
+import (
+	"context"
+	"encoding/json"
+	"net/netip"
+	"runtime"
+	"testing"
+
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+)
+
+func canonReport(t *testing.T, rep *scanner.Report) string {
+	t.Helper()
+	cp := *rep
+	cp.Stats.Elapsed = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLazyScanMatchesEager is the end-to-end contract of the lazy world:
+// the same seed scanned against an up-front-materialized population and
+// against an on-demand one must produce byte-identical reports — both
+// monolithically and through the sharded orchestrator's merge.
+func TestLazyScanMatchesEager(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three scan studies")
+	}
+	base := ScanConfig{
+		Population: population.Config{
+			Seed: 31, HostScale: 8000, VulnScale: 8,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+		Scan: scanner.Options{Seed: 31},
+	}
+	eager, err := RunScan(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lazyCfg := base
+	lazyCfg.Population.Lazy = true
+	lazy, err := RunScan(context.Background(), lazyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonReport(t, eager.Report)
+	if got := canonReport(t, lazy.Report); got != want {
+		t.Error("lazy scan report differs from eager scan report")
+	}
+
+	sharded := lazyCfg
+	sharded.Shards = 3
+	sharded.Checkpoint = orchestrator.Checkpoint{Store: orchestrator.NewMemStore()}
+	shard, err := RunScan(context.Background(), sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonReport(t, shard.Report); got != want {
+		t.Error("sharded lazy report differs from eager monolithic report")
+	}
+}
+
+// TestLazyLongevityMatchesFigure2Series runs the four-week observation on
+// an eager and a lazy world with the same seeds: churn mutates pinned
+// lazily-derived hosts in place, so every Figure-2 time series must come
+// out identical.
+func TestLazyLongevityMatchesFigure2Series(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two longevity studies")
+	}
+	series := func(lazyMode bool) string {
+		pop := population.Config{
+			Seed: 32, HostScale: 40000, VulnScale: 10,
+			BackgroundScale: -1, WildcardScale: -1,
+			Lazy: lazyMode,
+		}
+		scan, err := RunScan(context.Background(), ScanConfig{
+			Population: pop,
+			Scan:       scanner.Options{Seed: 32},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunLongevity(context.Background(), LongevityConfig{
+			Scan:     scan,
+			Seed:     32,
+			Interval: 12 * 3600e9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(map[string]any{
+			"overall":     res.Overall,
+			"byDefault":   res.ByDefault[true],
+			"byMisconfig": res.ByDefault[false],
+			"updated":     res.Updated,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if eager, lazy := series(false), series(true); eager != lazy {
+		t.Error("lazy longevity series differ from eager series")
+	}
+}
+
+// TestLazyPopScale100ShardedSmoke is the CI memory-budget gate: a world
+// scaled 100× beyond the paper's (≈170M addresses across /9 allocations)
+// is generated in O(strata) time and sharded-scanned over a carved subset,
+// while the resident host population stays bounded by the cache cap — not
+// by the number of addresses probed.
+func TestLazyPopScale100ShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probes >1M addresses")
+	}
+	const cacheHosts = 4096
+	pop := population.Config{
+		Seed: 33, PopScale: 100, Lazy: true, CacheHosts: cacheHosts,
+	}
+	world, err := population.Generate(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.TotalHosts() < 1_000_000 {
+		t.Fatalf("100x world holds only %d hosts", world.TotalHosts())
+	}
+	// Scan the first /16 of every allocation: 20 windows, ~1.3M addresses,
+	// a cross-section of every stratum.
+	var targets []netip.Prefix
+	for _, p := range world.Geo.Prefixes() {
+		targets = append(targets, netip.PrefixFrom(p.Addr(), 16))
+	}
+	cfg := ScanConfig{
+		Population: pop,
+		Scan:       scanner.Options{Seed: 33, Targets: targets, Ports: []int{80, 8080}},
+		Shards:     4,
+	}
+	scan, err := RunScan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Report.Stats.Probed < 2_000_000 {
+		t.Fatalf("only %d probes issued, want ≥2M (1.3M addresses × 2 ports)", scan.Report.Stats.Probed)
+	}
+	if got := scan.World.MaterializedHosts(); got > cacheHosts {
+		t.Errorf("cache holds %d hosts, cap is %d — lazy world is not bounded", got, cacheHosts)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const heapBudget = 512 << 20
+	if ms.HeapAlloc > heapBudget {
+		t.Errorf("heap %d MiB exceeds the %d MiB budget for a cache-bounded scan",
+			ms.HeapAlloc>>20, heapBudget>>20)
+	}
+}

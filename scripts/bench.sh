@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance benchmark suite and update BENCH_pr6.json.
+# bench.sh — run the performance benchmark suite and update BENCH_pr7.json.
 #
 # Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
 # iteration is a full simulated internet scan, so only a few iterations
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr6.json}"
+OUT="${1:-BENCH_pr7.json}"
 TABLE_RUNS="${TABLE_RUNS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$TMP.json"' EXIT
@@ -37,6 +37,10 @@ go test -run '^$' -bench . -benchmem ./internal/telemetry/ >>"$TMP"
 echo "==> orchestrator shard sweep (-benchtime=1x: one iteration is a full scan)"
 go test -run '^$' -bench 'BenchmarkScanThroughput' -benchtime=1x -benchmem ./internal/orchestrator/ >>"$TMP"
 
+echo "==> population scale sweep: world setup (lazy vs eager, heap-bytes) and probe throughput at 1x/100x/1000x"
+go test -run '^$' -bench 'BenchmarkWorldSetup' -benchtime=1x ./internal/population/ >>"$TMP"
+go test -run '^$' -bench 'BenchmarkScanProbeThroughput|BenchmarkLocate' -benchtime=200000x -benchmem ./internal/population/ >>"$TMP"
+
 echo "==> mavlint analyzer wall-time (per rule + full suite)"
 go test -run '^$' -bench 'BenchmarkAnalyzer|BenchmarkSuite' -benchmem ./internal/lint/ >>"$TMP"
 
@@ -49,15 +53,17 @@ awk '
 	next
 }
 pending != "" && /ns\/op/ { emit(pending, $0); pending = "" }
-function emit(name, line,    f, n, i, ns, b, a) {
+function emit(name, line,    f, n, i, ns, b, a, h, r) {
 	n = split(line, f)
-	ns = 0; b = 0; a = 0
+	ns = 0; b = 0; a = 0; h = 0; r = 0
 	for (i = 2; i <= n; i++) {
-		if (f[i] == "ns/op")     ns = f[i-1]
-		if (f[i] == "B/op")      b  = f[i-1]
-		if (f[i] == "allocs/op") a  = f[i-1]
+		if (f[i] == "ns/op")          ns = f[i-1]
+		if (f[i] == "B/op")           b  = f[i-1]
+		if (f[i] == "allocs/op")      a  = f[i-1]
+		if (f[i] == "heap-bytes")     h  = f[i-1]
+		if (f[i] == "resident-hosts") r  = f[i-1]
 	}
-	print name, ns, b, a
+	print name, ns, b, a, h, r
 }
 ' "$TMP" |
 	jq -Rn '
@@ -65,16 +71,20 @@ function emit(name, line,    f, n, i, ns, b, a) {
 			name: .[0],
 			ns: (.[1] | tonumber),
 			b: (.[2] | tonumber),
-			a: (.[3] | tonumber)
+			a: (.[3] | tonumber),
+			h: (.[4] | tonumber),
+			r: (.[5] | tonumber)
 		}]
 		| group_by(.name)
 		| map({
 			key: .[0].name,
-			value: {
+			value: ({
 				ns_per_op: (sort_by(.ns) | .[(length - 1) / 2 | floor].ns),
 				bytes_per_op: .[0].b,
 				allocs_per_op: .[0].a
 			}
+			+ (if .[0].h > 0 then {heap_bytes: .[0].h} else {} end)
+			+ (if .[0].r > 0 then {resident_hosts: .[0].r} else {} end))
 		})
 		| from_entries
 	' >"$TMP.json"
