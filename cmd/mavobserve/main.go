@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mavscan/internal/faults"
+	"mavscan/internal/obs"
 	"mavscan/internal/population"
 	"mavscan/internal/report"
 	"mavscan/internal/resilience"
@@ -29,6 +32,8 @@ func main() {
 		vulnScale = flag.Int("vuln-scale", 8, "divisor for the MAV counts")
 		interval  = flag.Duration("interval", 3*time.Hour, "observation cadence (paper: 3h)")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after Figure 2")
+		serve     = flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8071 (implies -metrics)")
+		linger    = flag.Bool("linger", false, "with -serve: keep serving after the study completes until interrupted")
 		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,burst-every=6h,burst-len=20m,burst-rate=0.5]")
 		retries   = flag.Int("retries", 3, "max attempts per check when -faults is set (1 disables retries)")
 		offAfter  = flag.Int("offline-after", 1, "consecutive failed ticks before a target is reported offline (1 = the paper's single-miss rule)")
@@ -46,28 +51,27 @@ func main() {
 
 	var reg *telemetry.Registry
 	var done chan struct{}
-	if *metrics {
+	if *metrics || *serve != "" {
 		reg = telemetry.New(simtime.Wall{})
 		done = make(chan struct{})
-		go func() {
-			ticker := time.NewTicker(200 * time.Millisecond)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-done:
-					fmt.Fprintf(os.Stderr, "\r%80s\r", "")
-					return
-				case <-ticker.C:
-					fmt.Fprintf(os.Stderr,
-						"\rticks=%d vulnerable=%d fixed=%d offline=%d updated=%d",
-						reg.CounterValue("mavscan_observer_ticks_total"),
-						reg.GaugeValue(`mavscan_observer_current{state="vulnerable"}`),
-						reg.GaugeValue(`mavscan_observer_current{state="fixed"}`),
-						reg.GaugeValue(`mavscan_observer_current{state="offline"}`),
-						reg.CounterValue("mavscan_observer_updates_total"))
-				}
-			}
-		}()
+		go obs.ProgressLoop(os.Stderr, reg, obs.ObserverProgressFields,
+			simtime.Wall{}, 200*time.Millisecond, done)
+	}
+
+	ready := &obs.Flag{}
+	var srv *obs.Server
+	if *serve != "" {
+		lis, err := obs.Listen(*serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = obs.Serve(lis, obs.Config{
+			Telemetry: reg,
+			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+			Ready:     []obs.Check{ready.Check("observation")},
+		})
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mavobserve: operations plane on http://%s\n", srv.Addr())
 	}
 
 	fmt.Println("generating world and running the initial scan...")
@@ -97,6 +101,7 @@ func main() {
 		Resilience:   policy,
 		OfflineAfter: *offAfter,
 		Telemetry:    reg,
+		Obs:          study.ObsConfig{Ready: ready},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,5 +117,12 @@ func main() {
 		if err := reg.WriteProm(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *linger && srv != nil {
+		fmt.Fprintf(os.Stderr, "mavobserve: lingering on http://%s (interrupt to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }

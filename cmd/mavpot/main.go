@@ -9,20 +9,61 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mavscan/internal/analysis"
+	"mavscan/internal/obs"
 	"mavscan/internal/report"
+	"mavscan/internal/simtime"
 	"mavscan/internal/study"
+	"mavscan/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mavpot: ")
 	seed := flag.Int64("seed", 7, "attack plan seed")
+	metrics := flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
+	serve := flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8072 (implies -metrics)")
+	linger := flag.Bool("linger", false, "with -serve: keep serving after the study completes until interrupted")
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	var done chan struct{}
+	if *metrics || *serve != "" {
+		reg = telemetry.New(simtime.Wall{})
+		done = make(chan struct{})
+		go obs.ProgressLoop(os.Stderr, reg, obs.HoneypotProgressFields,
+			simtime.Wall{}, 200*time.Millisecond, done)
+	}
+
+	ready := &obs.Flag{}
+	var srv *obs.Server
+	if *serve != "" {
+		lis, err := obs.Listen(*serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = obs.Serve(lis, obs.Config{
+			Telemetry: reg,
+			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+			Ready:     []obs.Check{ready.Check("farm")},
+		})
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mavpot: operations plane on http://%s\n", srv.Addr())
+	}
+
 	fmt.Println("deploying 18 honeypots and replaying four weeks of attacks...")
-	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: *seed})
+	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{
+		Seed:      *seed,
+		Telemetry: reg,
+		Obs:       study.ObsConfig{Ready: ready},
+	})
+	if done != nil {
+		close(done)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,4 +91,19 @@ func main() {
 	}
 	fmt.Fprintf(w, "cryptojacking (incl. Kinsing): %.0f%% of attacks (paper: \"mostly cryptojacking\")\n",
 		100*analysis.CryptojackingShare(hs.Attacks))
+
+	if reg != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "=== Telemetry snapshot ===")
+		if err := reg.WriteProm(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *linger && srv != nil {
+		fmt.Fprintf(os.Stderr, "mavpot: lingering on http://%s (interrupt to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
 }

@@ -8,11 +8,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mavscan/internal/analysis"
 	"mavscan/internal/faults"
 	"mavscan/internal/mav"
+	"mavscan/internal/obs"
 	"mavscan/internal/orchestrator"
 	"mavscan/internal/population"
 	"mavscan/internal/report"
@@ -22,30 +25,6 @@ import (
 	"mavscan/internal/study"
 	"mavscan/internal/telemetry"
 )
-
-// progressLoop prints a live progress line to stderr every interval until
-// done is closed. It reads only snapshot accessors, so it never contends
-// with the scan's hot path.
-func progressLoop(reg *telemetry.Registry, interval time.Duration, done <-chan struct{}) {
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-done:
-			fmt.Fprintf(os.Stderr, "\r%80s\r", "")
-			return
-		case <-ticker.C:
-			fmt.Fprintf(os.Stderr,
-				"\rprobes=%d open=%d prefilter=%d matched=%d findings=%d queue=%d",
-				reg.CounterValue("mavscan_portscan_probes_total"),
-				reg.CounterValue("mavscan_portscan_open_total"),
-				reg.CounterValue("mavscan_prefilter_probes_total"),
-				reg.CounterValue("mavscan_prefilter_matched_endpoints_total"),
-				reg.CounterValue("mavscan_tsunami_findings_total"),
-				reg.GaugeValue("mavscan_scanner_queue_depth"))
-		}
-	}
-}
 
 func main() {
 	log.SetFlags(0)
@@ -60,6 +39,8 @@ func main() {
 		cacheSize = flag.Int("cache-hosts", 0, "resident host bound for -lazy worlds (0 = default 131072)")
 		workers   = flag.Int("workers", 64, "stage-I probe workers")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
+		serve     = flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8070 (implies -metrics)")
+		linger    = flag.Bool("linger", false, "with -serve: keep serving after the scan completes until interrupted")
 		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx,crash=0.3]")
 		retries   = flag.Int("retries", 3, "max attempts per HTTP-stage request when -faults is set (1 disables retries)")
 		shards    = flag.Int("shards", 1, "run the scan sharded across this many pipelines")
@@ -96,20 +77,49 @@ func main() {
 
 	var reg *telemetry.Registry
 	var done chan struct{}
-	if *metrics {
+	if *metrics || *serve != "" {
 		reg = telemetry.New(simtime.Wall{})
 		done = make(chan struct{})
-		go progressLoop(reg, 200*time.Millisecond, done)
+		go obs.ProgressLoop(os.Stderr, reg, obs.ScanProgressFields,
+			simtime.Wall{}, 200*time.Millisecond, done)
 	}
 
 	var ckpt orchestrator.Checkpoint
+	var store *orchestrator.FileStore
 	if *ckptPath != "" {
-		store, err := orchestrator.OpenFileStore(*ckptPath)
+		store, err = orchestrator.OpenFileStore(*ckptPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer store.Close()
 		ckpt = orchestrator.Checkpoint{Store: store, Every: *ckptEvery, Resume: *resume}
+	}
+
+	// The operations plane: progress tracker + readiness latch served over
+	// a loopback-only listener. The tracker routes the scan through the
+	// orchestrator even unsharded, so /progress always has a watermark.
+	var tracker *orchestrator.ProgressTracker
+	var ready *obs.Flag
+	var srv *obs.Server
+	if *serve != "" {
+		tracker = orchestrator.NewProgressTracker()
+		ready = &obs.Flag{}
+		lis, err := obs.Listen(*serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		readyChecks := []obs.Check{ready.Check("world"), obs.PingCheck("workers", tracker)}
+		if store != nil {
+			readyChecks = append(readyChecks, obs.PingCheck("checkpoint", store))
+		}
+		srv = obs.Serve(lis, obs.Config{
+			Telemetry: reg,
+			Progress:  func() any { return tracker.Snapshot() },
+			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+			Ready:     readyChecks,
+		})
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mavscan: operations plane on http://%s\n", srv.Addr())
 	}
 
 	fmt.Println("generating simulated IPv4 internet...")
@@ -133,6 +143,7 @@ func main() {
 		Faults:     faultCfg,
 		Resilience: policy,
 		Telemetry:  reg,
+		Obs:        study.ObsConfig{Progress: tracker, Ready: ready},
 	})
 	if done != nil {
 		close(done)
@@ -157,10 +168,19 @@ func main() {
 	report.Figure1(w, panels)
 
 	if reg != nil {
+		// Final flush: the full exposition lands on stdout even if no
+		// scraper ever hit /metrics during the run.
 		fmt.Fprintln(w)
 		fmt.Fprintln(w, "=== Telemetry snapshot ===")
 		if err := reg.WriteProm(w); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *linger && srv != nil {
+		fmt.Fprintf(os.Stderr, "mavscan: lingering on http://%s (interrupt to exit)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }

@@ -13,6 +13,16 @@ var hermeticExempt = []string{
 	"mavscan/internal/httpsim",
 }
 
+// hermeticFuncExempt lists individual functions allowed to touch the
+// banned primitives, keyed by package path. Unlike hermeticExempt this is
+// function-scoped: the operations plane's listener constructor is the one
+// sanctioned real socket (it validates loopback-only before binding), and
+// scoping the carve-out to that single function keeps the rest of the
+// package — handlers, renderers, the trace exporter — under the rule.
+var hermeticFuncExempt = map[string][]string{
+	"mavscan/internal/obs": {"Listen"},
+}
+
 // hermeticNetBanned are the net-package entry points that would open real
 // sockets. Address parsing and net.Conn plumbing remain allowed — only
 // functions that reach the host network stack are banned.
@@ -41,9 +51,18 @@ func runHermetic(pkg *Package) []Finding {
 	if !pathIsOrUnder(pkg.Path, "mavscan/internal") || pathUnderAny(pkg.Path, hermeticExempt) {
 		return nil
 	}
+	exemptFuncs := map[string]bool{}
+	for _, name := range hermeticFuncExempt[pkg.Path] {
+		exemptFuncs[name] = true
+	}
 	var out []Finding
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok && fn.Recv == nil && exemptFuncs[fn.Name.Name] {
+				// The sanctioned carve-out: skip this function's body
+				// entirely, but keep walking the rest of the file.
+				return false
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true

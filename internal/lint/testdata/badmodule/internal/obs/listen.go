@@ -1,0 +1,26 @@
+// Package obs is a fixture for the hermetic rule's function-scoped
+// carve-out: the package-level Listen constructor is sanctioned, but any
+// other listener construction — a helper, a method that happens to share
+// the name — must still be flagged.
+package obs
+
+import "net"
+
+// Listen is the sanctioned operations-plane listener constructor: the
+// carve-out covers exactly this function, so the call below is clean.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr) // sanctioned: hermeticFuncExempt
+}
+
+// debugListen is NOT in the carve-out; its socket must be flagged.
+func debugListen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr) // violation: unsanctioned listener
+}
+
+// server shows the carve-out is for the package-level function only.
+type server struct{}
+
+// Listen shares the sanctioned name but is a method; still flagged.
+func (server) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr) // violation: method, not the constructor
+}

@@ -1,0 +1,91 @@
+package obs_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mavscan/internal/obs"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/simtime"
+	"mavscan/internal/study"
+	"mavscan/internal/telemetry"
+)
+
+// benchScan runs one full small orchestrated scan, optionally with the
+// operations plane mounted and polled hard for the whole run. One
+// iteration is a complete scan, so run with -benchtime=1x; the Off/On
+// delta is the serve overhead (acceptance: ≤2%).
+func benchScan(b *testing.B, serve bool) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		reg := telemetry.New(simtime.NewSim(time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)))
+		tracker := orchestrator.NewProgressTracker()
+
+		done := make(chan struct{})
+		polled := make(chan struct{})
+		if serve {
+			h := obs.NewHandler(obs.Config{
+				Telemetry: reg,
+				Progress:  func() any { return tracker.Snapshot() },
+				Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+			})
+			go func() {
+				defer close(polled)
+				// A hot operator: every endpoint swept 5×/s, 75× faster
+				// than a default 15s Prometheus scrape yet still paced —
+				// a pauseless busy-poller would just measure one core
+				// spinning on the registry lock, not serving cost.
+				paths := []string{"/metrics", "/progress", "/events?tail=64", "/healthz"}
+				ticker := time.NewTicker(200 * time.Millisecond)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-done:
+						return
+					case <-ticker.C:
+					}
+					for _, p := range paths {
+						req := httptest.NewRequest(http.MethodGet, p, nil)
+						rec := httptest.NewRecorder()
+						h.ServeHTTP(rec, req)
+						io.Copy(io.Discard, rec.Result().Body)
+					}
+				}
+			}()
+		} else {
+			close(polled)
+		}
+
+		b.StartTimer()
+		_, err := study.RunScan(context.Background(), study.ScanConfig{
+			Population: population.Config{
+				Seed: 9, HostScale: 8000, VulnScale: 8,
+				BackgroundScale: -1, WildcardScale: -1,
+			},
+			Shards:      4,
+			Parallelism: 4,
+			Telemetry:   reg,
+			Obs:         study.ObsConfig{Progress: tracker},
+		})
+		b.StopTimer()
+		close(done)
+		<-polled
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanThroughputServeOff is the baseline: instrumented orchestrated
+// scan, operations plane not mounted.
+func BenchmarkScanThroughputServeOff(b *testing.B) { benchScan(b, false) }
+
+// BenchmarkScanThroughputServeOn is the same scan with the plane mounted
+// and scraped continuously; the delta against ServeOff is the cost of
+// operating a scan observed.
+func BenchmarkScanThroughputServeOn(b *testing.B) { benchScan(b, true) }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// Check is one named liveness or readiness probe. Probe returns nil when
+// the condition holds; the error message is surfaced verbatim in the
+// /healthz and /readyz bodies, so it should say what is wrong, not just
+// that something is.
+type Check struct {
+	Name  string
+	Probe func() error
+}
+
+// checksHandler serves one check list: 200 with "ok" when every probe
+// passes, 503 listing each failing check otherwise. Output is sorted by
+// check name so transcripts are stable regardless of registration order.
+func checksHandler(checks []Check) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		type failure struct{ name, msg string }
+		var failures []failure
+		for _, c := range checks {
+			if err := c.Probe(); err != nil {
+				failures = append(failures, failure{c.Name, err.Error()})
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(failures) == 0 {
+			fmt.Fprintf(w, "ok (%d checks)\n", len(checks))
+			return
+		}
+		sort.Slice(failures, func(i, j int) bool { return failures[i].name < failures[j].name })
+		w.WriteHeader(http.StatusServiceUnavailable)
+		for _, f := range failures {
+			fmt.Fprintf(w, "%s: %s\n", f.name, f.msg)
+		}
+	}
+}
+
+// Flag is an atomic readiness latch: a run flips it once a phase is
+// reached (world generated, first segment journaled) and the plane's
+// /readyz reports it. The nil *Flag no-ops on Set and reads as unset, so
+// wiring stays unconditional like the nil telemetry registry.
+type Flag struct {
+	set atomic.Bool
+}
+
+// Set latches the flag.
+func (f *Flag) Set() {
+	if f == nil {
+		return
+	}
+	f.set.Store(true)
+}
+
+// IsSet reports whether the flag has been latched.
+func (f *Flag) IsSet() bool {
+	return f != nil && f.set.Load()
+}
+
+// Check wraps the flag as a named readiness check.
+func (f *Flag) Check(name string) Check {
+	return Check{Name: name, Probe: func() error {
+		if !f.IsSet() {
+			return errors.New("not yet reached")
+		}
+		return nil
+	}}
+}
+
+// HeapCheck returns a liveness check failing once the live heap exceeds
+// maxBytes. It reads runtime.MemStats without forcing a GC, so it is
+// cheap enough to probe on every /healthz hit.
+func HeapCheck(maxBytes uint64) Check {
+	return Check{Name: "heap", Probe: func() error {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > maxBytes {
+			return fmt.Errorf("heap %d bytes exceeds budget %d", ms.HeapAlloc, maxBytes)
+		}
+		return nil
+	}}
+}
+
+// Pinger is anything with a cheap self-test — the checkpoint stores'
+// Ping() (writability) and the progress tracker's Health() (workers live)
+// both satisfy it, without obs importing the orchestrator.
+type Pinger interface {
+	Ping() error
+}
+
+// PingCheck wraps a Pinger as a named check. A nil pinger passes: the
+// component simply isn't configured, which is not a failure.
+func PingCheck(name string, p Pinger) Check {
+	return Check{Name: name, Probe: func() error {
+		if p == nil {
+			return nil
+		}
+		return p.Ping()
+	}}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+func TestFlagLatch(t *testing.T) {
+	f := &Flag{}
+	if f.IsSet() {
+		t.Fatal("new flag reads set")
+	}
+	check := f.Check("phase")
+	if err := check.Probe(); err == nil {
+		t.Fatal("unset flag's check passes")
+	}
+	f.Set()
+	if !f.IsSet() {
+		t.Fatal("Set did not latch")
+	}
+	if err := check.Probe(); err != nil {
+		t.Fatalf("set flag's check fails: %v", err)
+	}
+}
+
+func TestFlagNilSafe(t *testing.T) {
+	var f *Flag
+	f.Set() // must not panic
+	if f.IsSet() {
+		t.Fatal("nil flag reads set")
+	}
+	if err := f.Check("phase").Probe(); err == nil {
+		t.Fatal("nil flag's check passes; it must report unset")
+	}
+}
+
+func TestHeapCheck(t *testing.T) {
+	if err := HeapCheck(1 << 40).Probe(); err != nil {
+		t.Fatalf("1TiB budget fails: %v", err)
+	}
+	if err := HeapCheck(0).Probe(); err == nil {
+		t.Fatal("zero budget passes; any live heap must exceed it")
+	}
+}
+
+type fakePinger struct{ err error }
+
+func (p *fakePinger) Ping() error { return p.err }
+
+func TestPingCheck(t *testing.T) {
+	if err := PingCheck("store", nil).Probe(); err != nil {
+		t.Fatalf("nil pinger fails: %v", err)
+	}
+	if err := PingCheck("store", &fakePinger{}).Probe(); err != nil {
+		t.Fatalf("healthy pinger fails: %v", err)
+	}
+	boom := errors.New("disk full")
+	if err := PingCheck("store", &fakePinger{err: boom}).Probe(); !errors.Is(err, boom) {
+		t.Fatalf("failing pinger error = %v, want %v", err, boom)
+	}
+}
+
+func TestChecksHandlerSortsFailures(t *testing.T) {
+	h := checksHandler([]Check{
+		{Name: "zeta", Probe: func() error { return errors.New("z down") }},
+		{Name: "alpha", Probe: func() error { return errors.New("a down") }},
+		{Name: "mid", Probe: func() error { return nil }},
+	})
+	status, _, body := get(t, h, "/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	if body != "alpha: a down\nzeta: z down\n" {
+		t.Fatalf("body = %q; failures must be name-sorted", body)
+	}
+}

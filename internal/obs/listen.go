@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+)
+
+// Listen opens the operations plane's TCP listener. It is the single real
+// socket in mavscan's internal tree and is deliberately narrow: the
+// address must resolve to a loopback interface (":8070" is rewritten to
+// "127.0.0.1:8070"), because the plane serves unauthenticated process
+// internals — pprof, progress, the event log — that must never face the
+// network a scan is probing. Fleet exposure is the future coordinator's
+// job, behind its own transport.
+//
+// This function is the one sanctioned carve-out in mavlint's hermetic
+// rule (hermeticFuncExempt in internal/lint/hermetic.go); everything else
+// under internal/ still may not touch net.Listen. Tests exercise the
+// plane through httptest and net.Pipe instead.
+func Listen(addr string) (net.Listener, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: invalid listen address %q: %w", addr, err)
+	}
+	if host == "" || host == "localhost" {
+		host = "127.0.0.1"
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return nil, fmt.Errorf("obs: listen host %q must be a loopback IP or localhost", host)
+	}
+	if !ip.IsLoopback() {
+		return nil, fmt.Errorf("obs: refusing non-loopback listen address %q: the ops plane serves unauthenticated process internals", addr)
+	}
+	return net.Listen("tcp", net.JoinHostPort(host, port))
+}

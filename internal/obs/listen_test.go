@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListenRefusals covers every rejection path without opening a socket;
+// the bind-success path is exercised end-to-end by the CI ops-plane smoke
+// step, keeping `go test` hermetic.
+func TestListenRefusals(t *testing.T) {
+	cases := []struct {
+		addr    string
+		wantErr string
+	}{
+		{"no-port", "invalid listen address"},
+		{"0.0.0.0:8070", "refusing non-loopback"},
+		{"[::]:8070", "refusing non-loopback"},
+		{"192.168.1.4:8070", "refusing non-loopback"},
+		{"8.8.8.8:80", "refusing non-loopback"},
+		{"example.com:8070", "must be a loopback IP or localhost"},
+	}
+	for _, c := range cases {
+		l, err := Listen(c.addr)
+		if err == nil {
+			l.Close()
+			t.Errorf("Listen(%q) succeeded; want error containing %q", c.addr, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Listen(%q) error = %v, want containing %q", c.addr, err, c.wantErr)
+		}
+	}
+}

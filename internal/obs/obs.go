@@ -1,0 +1,204 @@
+// Package obs is mavscan's live operations plane: a stdlib-only HTTP
+// server exposing the telemetry registry and the runtime state of a scan
+// while it runs. A multi-week, fleet-scale measurement cannot be operated
+// blind — the paper's scan spanned 3.5B addresses across 64 machines —
+// and the coordinator/worker fabric on the roadmap needs exactly this
+// serving layer for heartbeats and lease state.
+//
+// Endpoints (all GET, all read-only):
+//
+//	/metrics       Prometheus text exposition (telemetry.WriteProm)
+//	/metrics.json  full registry snapshot as JSON
+//	/healthz       liveness checks (process-level: heap budget, ...)
+//	/readyz        readiness checks (world generated, store writable, ...)
+//	/progress      live per-shard scan progress (orchestrator tracker)
+//	/spans         span log as Chrome trace-event JSON (chrome://tracing)
+//	/events        structured event log as JSONL (?tail=N&after=SEQ)
+//	/debug/pprof/  the standard runtime profiles
+//
+// Two design rules carry over from the rest of the code base:
+//
+//   - Determinism. The plane adds no clocks and no background flushers of
+//     its own: every timestamp served comes from the telemetry registry's
+//     injected simtime.Clock, so /events and /spans under a *simtime.Sim
+//     replay byte-identically. The only goroutine is the accept loop.
+//
+//   - Hermeticity. The library is exercised entirely through
+//     httptest/net.Pipe; the one real socket, Listen, refuses to bind
+//     anything but loopback and is the single function-scoped carve-out
+//     in the mavlint hermetic rule (see internal/lint/hermetic.go).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"mavscan/internal/telemetry"
+)
+
+// ProgressFunc supplies the /progress payload: any JSON-marshalable
+// snapshot of live run state. It is a function type rather than an
+// orchestrator import so the plane stays reusable for runs (observer,
+// honeypots) that have no shard plan.
+type ProgressFunc func() any
+
+// Config assembles one operations plane.
+type Config struct {
+	// Telemetry backs /metrics, /metrics.json, /spans and /events. A nil
+	// registry serves empty expositions rather than errors, so a plane can
+	// be wired unconditionally.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, backs /progress.
+	Progress ProgressFunc
+	// Live are the /healthz checks: "is this process still sane"
+	// (heap budget, deadlocked pool). An empty list means always healthy.
+	Live []Check
+	// Ready are the /readyz checks: "is the run serving useful state yet"
+	// (world generated, checkpoint store writable, workers live).
+	Ready []Check
+	// EventsTail caps the default /events response length (default 512;
+	// ?tail=N overrides up to the log's full retention).
+	EventsTail int
+}
+
+// NewHandler builds the operations-plane HTTP handler. It is a plain
+// http.Handler so tests drive it hermetically via httptest and the future
+// coordinator can mount it under its own mux.
+func NewHandler(cfg Config) http.Handler {
+	if cfg.EventsTail <= 0 {
+		cfg.EventsTail = 512
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Telemetry.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := cfg.Telemetry.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", checksHandler(cfg.Live))
+	mux.HandleFunc("/readyz", checksHandler(cfg.Ready))
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Progress == nil {
+			http.Error(w, "no progress source configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg.Progress()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteTrace(w, cfg.Telemetry); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		tail := cfg.EventsTail
+		if v := r.URL.Query().Get("tail"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "tail must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			tail = n
+		}
+		var after uint64
+		if v := r.URL.Query().Get("after"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "after must be a sequence number", http.StatusBadRequest)
+				return
+			}
+			after = n
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := cfg.Telemetry.WriteEvents(w, tail, after); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "mavscan operations plane\n\n"+
+			"/metrics       Prometheus exposition\n"+
+			"/metrics.json  registry snapshot\n"+
+			"/healthz       liveness\n"+
+			"/readyz        readiness\n"+
+			"/progress      per-shard scan progress\n"+
+			"/spans         Chrome trace-event export\n"+
+			"/events        structured event log (JSONL)\n"+
+			"/debug/pprof/  runtime profiles\n")
+	})
+	return mux
+}
+
+// Server is a running operations plane bound to a listener.
+type Server struct {
+	listener net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	err      error
+}
+
+// Serve starts the plane on l (obtained from Listen, or any net.Listener
+// in tests) and returns immediately; the accept loop runs until Close.
+func Serve(l net.Listener, cfg Config) *Server {
+	s := &Server{
+		listener: l,
+		srv:      &http.Server{Handler: NewHandler(cfg)},
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// run is the accept loop; it owns the done channel.
+func (s *Server) run() {
+	defer close(s.done)
+	if err := s.srv.Serve(s.listener); err != nil && err != http.ErrServerClosed {
+		s.err = err
+	}
+}
+
+// Addr returns the listener's bound address (useful with ":0" ports).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops accepting, closes the listener, and waits for the accept
+// loop to exit. It returns the loop's terminal error, if any. A nil
+// server is a no-op, so CLIs can defer Close unconditionally.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Close(); err != nil {
+		return err
+	}
+	<-s.done
+	return s.err
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+var t0 = time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+
+// get drives the handler hermetically and returns status, content type and
+// body.
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, res.Header.Get("Content-Type"), string(body)
+}
+
+func testRegistry() *telemetry.Registry {
+	reg := telemetry.New(simtime.NewSim(t0))
+	reg.Counter("mavscan_portscan_probes_total").Add(42)
+	reg.Event("scan.start", "hosts", "12")
+	sp := reg.StartSpan("run")
+	sp.Child("stage").End()
+	sp.End()
+	return reg
+}
+
+func TestHandlerIndex(t *testing.T) {
+	h := NewHandler(Config{})
+	status, _, body := get(t, h, "/")
+	if status != http.StatusOK {
+		t.Fatalf("GET / status = %d", status)
+	}
+	for _, path := range []string{"/metrics", "/healthz", "/readyz", "/progress", "/spans", "/events", "/debug/pprof/"} {
+		if !strings.Contains(body, path) {
+			t.Errorf("index page does not mention %s", path)
+		}
+	}
+	if status, _, _ := get(t, h, "/no-such-page"); status != http.StatusNotFound {
+		t.Fatalf("GET /no-such-page status = %d, want 404", status)
+	}
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	h := NewHandler(Config{Telemetry: testRegistry()})
+	status, ctype, body := get(t, h, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", status)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type = %q", ctype)
+	}
+	if !strings.Contains(body, "mavscan_portscan_probes_total 42\n") {
+		t.Fatalf("missing counter series:\n%s", body)
+	}
+	if !strings.Contains(body, telemetry.SpansDroppedSeries+" 0\n") ||
+		!strings.Contains(body, telemetry.EventsDroppedSeries+" 0\n") {
+		t.Fatalf("missing synthetic dropped series:\n%s", body)
+	}
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	h := NewHandler(Config{Telemetry: testRegistry()})
+	status, ctype, body := get(t, h, "/metrics.json")
+	if status != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("GET /metrics.json status=%d ctype=%q", status, ctype)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("body is not a Snapshot: %v", err)
+	}
+	if snap.Counters["mavscan_portscan_probes_total"] != 42 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if len(snap.Spans) != 2 || len(snap.Events) != 1 {
+		t.Fatalf("snapshot spans=%d events=%d, want 2 and 1", len(snap.Spans), len(snap.Events))
+	}
+}
+
+func TestHandlerNilRegistryServesEmpty(t *testing.T) {
+	h := NewHandler(Config{})
+	for _, path := range []string{"/metrics", "/metrics.json", "/spans", "/events"} {
+		if status, _, _ := get(t, h, path); status != http.StatusOK {
+			t.Errorf("GET %s with nil registry status = %d, want 200", path, status)
+		}
+	}
+}
+
+func TestHandlerHealthAndReady(t *testing.T) {
+	ready := &Flag{}
+	h := NewHandler(Config{
+		Live:  []Check{HeapCheck(1 << 40)},
+		Ready: []Check{ready.Check("world")},
+	})
+	if status, _, body := get(t, h, "/healthz"); status != http.StatusOK || !strings.HasPrefix(body, "ok (1 checks)") {
+		t.Fatalf("healthz = %d %q", status, body)
+	}
+	status, _, body := get(t, h, "/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Set: status = %d, want 503", status)
+	}
+	if !strings.Contains(body, "world: not yet reached") {
+		t.Fatalf("readyz body = %q", body)
+	}
+	ready.Set()
+	if status, _, _ := get(t, h, "/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz after Set: status = %d, want 200", status)
+	}
+}
+
+func TestHandlerProgress(t *testing.T) {
+	h := NewHandler(Config{})
+	if status, _, _ := get(t, h, "/progress"); status != http.StatusNotFound {
+		t.Fatalf("progress without source: status = %d, want 404", status)
+	}
+	h = NewHandler(Config{Progress: func() any {
+		return map[string]any{"watermark": 0.5}
+	}})
+	status, ctype, body := get(t, h, "/progress")
+	if status != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("progress status=%d ctype=%q", status, ctype)
+	}
+	var decoded map[string]float64
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("progress body is not JSON: %v", err)
+	}
+	if decoded["watermark"] != 0.5 {
+		t.Fatalf("progress payload = %v", decoded)
+	}
+}
+
+func TestHandlerEvents(t *testing.T) {
+	reg := telemetry.New(simtime.NewSim(t0))
+	for _, name := range []string{"e1", "e2", "e3"} {
+		reg.Event(name)
+	}
+	h := NewHandler(Config{Telemetry: reg})
+
+	status, ctype, body := get(t, h, "/events")
+	if status != http.StatusOK || ctype != "application/x-ndjson" {
+		t.Fatalf("events status=%d ctype=%q", status, ctype)
+	}
+	if got := strings.Count(body, "\n"); got != 3 {
+		t.Fatalf("events line count = %d, want 3", got)
+	}
+	if _, _, body := get(t, h, "/events?tail=1"); strings.Count(body, "\n") != 1 || !strings.Contains(body, `"event":"e3"`) {
+		t.Fatalf("events?tail=1 = %q", body)
+	}
+	if _, _, body := get(t, h, "/events?after=2"); strings.Count(body, "\n") != 1 || !strings.Contains(body, `"event":"e3"`) {
+		t.Fatalf("events?after=2 = %q", body)
+	}
+	for _, bad := range []string{"/events?tail=-1", "/events?tail=x", "/events?after=-3", "/events?after=x"} {
+		if status, _, _ := get(t, h, bad); status != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", bad, status)
+		}
+	}
+}
+
+func TestHandlerEventsDefaultTail(t *testing.T) {
+	reg := telemetry.New(simtime.NewSim(t0))
+	for i := 0; i < 600; i++ {
+		reg.Event("e")
+	}
+	h := NewHandler(Config{Telemetry: reg})
+	if _, _, body := get(t, h, "/events"); strings.Count(body, "\n") != 512 {
+		t.Fatalf("default tail = %d lines, want 512", strings.Count(body, "\n"))
+	}
+	h = NewHandler(Config{Telemetry: reg, EventsTail: 10})
+	if _, _, body := get(t, h, "/events"); strings.Count(body, "\n") != 10 {
+		t.Fatalf("configured tail = %d lines, want 10", strings.Count(body, "\n"))
+	}
+	// tail=0 asks for the full retained log.
+	if _, _, body := get(t, h, "/events?tail=0"); strings.Count(body, "\n") != 600 {
+		t.Fatalf("tail=0 = %d lines, want 600", strings.Count(body, "\n"))
+	}
+}
+
+func TestHandlerSpans(t *testing.T) {
+	h := NewHandler(Config{Telemetry: testRegistry()})
+	status, ctype, body := get(t, h, "/spans")
+	if status != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("spans status=%d ctype=%q", status, ctype)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(body), &file); err != nil {
+		t.Fatalf("spans body is not trace JSON: %v", err)
+	}
+	if file.OtherData["spanCount"].(float64) != 2 {
+		t.Fatalf("otherData = %v", file.OtherData)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	h := NewHandler(Config{})
+	if status, _, body := get(t, h, "/debug/pprof/"); status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index status = %d", status)
+	}
+}
+
+// pipeListener is an in-memory net.Listener over net.Pipe, so Server's
+// accept loop is exercised without any real socket.
+type pipeListener struct {
+	conns  chan net.Conn
+	closed chan struct{}
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// Dial hands the server side of a pipe to the accept loop and returns the
+// client side.
+func (l *pipeListener) Dial() net.Conn {
+	client, server := net.Pipe()
+	l.conns <- server
+	return client
+}
+
+func TestServerServesOverPipe(t *testing.T) {
+	lis := newPipeListener()
+	srv := Serve(lis, Config{Telemetry: testRegistry()})
+	defer srv.Close()
+
+	if srv.Addr() == "" {
+		t.Fatal("Addr is empty")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(context.Context, string, string) (net.Conn, error) { return lis.Dial(), nil },
+	}}
+	res, err := client.Get("http://ops/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Fatalf("healthz over pipe = %d %q", res.StatusCode, body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close is idempotent through the nil guard and the http.Server.
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if nilSrv.Addr() != "" {
+		t.Fatal("nil Addr should be empty")
+	}
+}

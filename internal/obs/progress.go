@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// Field is one entry of a progress line: a label and the registry series
+// it reads. The three CLIs used to hand-roll near-identical stderr loops;
+// they now share this renderer so fields and ordering stay consistent.
+type Field struct {
+	Label  string
+	Series string
+	// Gauge selects GaugeValue over CounterValue for the lookup.
+	Gauge bool
+}
+
+// ScanProgressFields is the mavscan -metrics progress line.
+var ScanProgressFields = []Field{
+	{Label: "probes", Series: "mavscan_portscan_probes_total"},
+	{Label: "open", Series: "mavscan_portscan_open_total"},
+	{Label: "prefilter", Series: "mavscan_prefilter_probes_total"},
+	{Label: "matched", Series: "mavscan_prefilter_matched_endpoints_total"},
+	{Label: "findings", Series: "mavscan_tsunami_findings_total"},
+	{Label: "queue", Series: "mavscan_scanner_queue_depth", Gauge: true},
+}
+
+// ObserverProgressFields is the mavobserve -metrics progress line.
+var ObserverProgressFields = []Field{
+	{Label: "ticks", Series: "mavscan_observer_ticks_total"},
+	{Label: "vulnerable", Series: `mavscan_observer_current{state="vulnerable"}`, Gauge: true},
+	{Label: "fixed", Series: `mavscan_observer_current{state="fixed"}`, Gauge: true},
+	{Label: "offline", Series: `mavscan_observer_current{state="offline"}`, Gauge: true},
+	{Label: "updated", Series: "mavscan_observer_updates_total"},
+}
+
+// HoneypotProgressFields is the mavpot -metrics progress line.
+var HoneypotProgressFields = []Field{
+	{Label: "deployed", Series: "mavscan_honeypot_deployed", Gauge: true},
+	{Label: "ticks", Series: "mavscan_honeypot_ticks_total"},
+	{Label: "restores", Series: "mavscan_honeypot_restores_total"},
+	{Label: "events", Series: "mavscan_eslite_events_total"},
+}
+
+// ProgressLine renders one snapshot of the fields as "label=value ...",
+// without any carriage-return framing, so it is equally usable as a
+// stderr ticker payload and in tests.
+func ProgressLine(reg *telemetry.Registry, fields []Field) string {
+	var b strings.Builder
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(f.Label)
+		b.WriteByte('=')
+		if f.Gauge {
+			fmt.Fprintf(&b, "%d", reg.GaugeValue(f.Series))
+		} else {
+			fmt.Fprintf(&b, "%d", reg.CounterValue(f.Series))
+		}
+	}
+	return b.String()
+}
+
+// ProgressLoop rewrites the progress line on w every interval until done
+// closes, then blanks it. Pacing comes from the injected Sleeper
+// (simtime.Wall{} in the CLIs, simtime.Immediate in tests), so the loop
+// obeys the same no-ambient-clock rule as everything else under
+// internal/. It reads only snapshot accessors and never contends with
+// the run's hot path.
+func ProgressLoop(w io.Writer, reg *telemetry.Registry, fields []Field, sleep simtime.Sleeper, interval time.Duration, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			fmt.Fprintf(w, "\r%80s\r", "")
+			return
+		case <-sleep.After(interval):
+			fmt.Fprintf(w, "\r%-80s", ProgressLine(reg, fields))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+func TestProgressLine(t *testing.T) {
+	reg := telemetry.New(simtime.NewSim(t0))
+	reg.Counter("mavscan_portscan_probes_total").Add(100)
+	reg.Counter("mavscan_portscan_open_total").Add(7)
+	reg.Gauge("mavscan_scanner_queue_depth").Set(3)
+
+	got := ProgressLine(reg, ScanProgressFields)
+	want := "probes=100 open=7 prefilter=0 matched=0 findings=0 queue=3"
+	if got != want {
+		t.Fatalf("ProgressLine = %q, want %q", got, want)
+	}
+}
+
+func TestProgressLineLabeledGauges(t *testing.T) {
+	reg := telemetry.New(simtime.NewSim(t0))
+	reg.Gauge(telemetry.Labeled("mavscan_observer_current", "state", "vulnerable")).Set(12)
+	reg.Counter("mavscan_observer_ticks_total").Add(4)
+
+	got := ProgressLine(reg, ObserverProgressFields)
+	if !strings.Contains(got, "ticks=4") || !strings.Contains(got, "vulnerable=12") {
+		t.Fatalf("ProgressLine = %q", got)
+	}
+}
+
+func TestProgressLineNilRegistry(t *testing.T) {
+	got := ProgressLine(nil, HoneypotProgressFields)
+	want := "deployed=0 ticks=0 restores=0 events=0"
+	if got != want {
+		t.Fatalf("nil-registry ProgressLine = %q, want %q", got, want)
+	}
+}
+
+// syncWriter counts writes and releases a waiter after the first tick, so
+// the test can close done deterministically without real sleeping.
+type syncWriter struct {
+	strings.Builder
+	first chan struct{}
+	once  bool
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	n, _ := w.Builder.Write(p)
+	if !w.once {
+		w.once = true
+		close(w.first)
+	}
+	return n, nil
+}
+
+func TestProgressLoop(t *testing.T) {
+	sim := simtime.NewSim(t0)
+	reg := telemetry.New(sim)
+	reg.Counter("mavscan_portscan_probes_total").Add(9)
+
+	w := &syncWriter{first: make(chan struct{})}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ProgressLoop(w, reg, ScanProgressFields, simtime.Immediate(sim), time.Second, done)
+	}()
+	<-w.first
+	close(done)
+	<-finished
+
+	out := w.String()
+	if !strings.Contains(out, "probes=9") {
+		t.Fatalf("loop output %q missing progress line", out)
+	}
+	if !strings.HasSuffix(out, "\r"+strings.Repeat(" ", 80)+"\r") {
+		t.Fatalf("loop did not blank the line on done: %q", out[len(out)-20:])
+	}
+}

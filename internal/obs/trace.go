@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"mavscan/internal/telemetry"
+)
+
+// traceEvent is one record in Chrome's trace-event JSON format (the
+// chrome://tracing / Perfetto legacy import format). Only the fields the
+// viewer reads are emitted; Ph is "X" (complete event, Ts+Dur) for spans
+// and "M" (metadata) for lane names.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // µs since trace start
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object envelope form of the format, which lets
+// the export carry metadata (dropped-span accounting) alongside events.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace exports the registry's span log as Chrome trace-event JSON.
+//
+// Lanes: the viewer stacks events that share a tid, which collides badly
+// with mavscan's span tree — stage1 and stage23 overlap in time under the
+// same pipeline root, and per-shard segment spans overlap under the run
+// span. So spans of depth 0 or 1 (roots and their direct children) each
+// get their own lane named after the span, and deeper spans inherit their
+// ancestor's lane, where the viewer nests them by time containment. A
+// span whose parent was lost to the log's cap is treated as a root.
+//
+// Timestamps are µs relative to the earliest span start, so traces from
+// the Sim clock's 2021 epoch and from wall time render alike.
+func WriteTrace(w io.Writer, reg *telemetry.Registry) error {
+	spans, dropped := reg.Spans()
+
+	byID := make(map[uint64]telemetry.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	// lane resolves the tid for a span, memoized; depth ≤1 → own ID.
+	lanes := make(map[uint64]uint64, len(spans))
+	var lane func(id uint64) uint64
+	lane = func(id uint64) uint64 {
+		if l, ok := lanes[id]; ok {
+			return l
+		}
+		s := byID[id]
+		l := id
+		if s.Parent != 0 {
+			if p, ok := byID[s.Parent]; ok && p.Parent != 0 {
+				l = lane(s.Parent)
+			}
+		}
+		lanes[id] = l
+		return l
+	}
+
+	var base time.Time
+	for _, s := range spans {
+		if base.IsZero() || s.Start.Before(base) {
+			base = s.Start
+		}
+	}
+
+	events := make([]traceEvent, 0, len(spans)*2)
+	laneNames := make(map[uint64]string, len(spans))
+	for _, s := range spans {
+		tid := lane(s.ID)
+		if tid == s.ID {
+			laneNames[tid] = s.Name
+		}
+		ev := traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start.Sub(base).Microseconds(),
+			Dur:  s.End.Sub(s.Start).Microseconds(),
+			Pid:  1,
+			Tid:  tid,
+		}
+		if s.Parent != 0 {
+			ev.Args = map[string]any{"parent": s.Parent}
+		}
+		events = append(events, ev)
+	}
+	// Lane-name metadata first, sorted by tid, so the output is stable.
+	tids := make([]uint64, 0, len(laneNames))
+	for tid := range laneNames {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	meta := make([]traceEvent, 0, len(tids))
+	for _, tid := range tids {
+		meta = append(meta, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": laneNames[tid]},
+		})
+	}
+
+	file := traceFile{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"droppedSpans": dropped,
+			"spanCount":    len(spans),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTraceRegistry records a fixed span tree under the Sim clock:
+//
+//	run ─┬─ stage1 ─── worker        (worker is depth 2: inherits stage1's lane)
+//	     └─ stage23
+//
+// with deliberate overlap between stage1 and stage23 so the lane rule is
+// load-bearing, not decorative.
+func buildTraceRegistry() *telemetry.Registry {
+	sim := simtime.NewSim(t0)
+	reg := telemetry.New(sim)
+	run := reg.StartSpan("run")
+	stage1 := run.Child("stage1")
+	sim.Advance(10 * time.Millisecond)
+	worker := stage1.Child("worker")
+	stage23 := run.Child("stage23") // overlaps stage1 from here on
+	sim.Advance(5 * time.Millisecond)
+	worker.End()
+	sim.Advance(5 * time.Millisecond)
+	stage1.End()
+	sim.Advance(30 * time.Millisecond)
+	stage23.End()
+	run.End()
+	return reg
+}
+
+// TestWriteTraceGolden pins the exact Chrome trace-event export for a known
+// span tree. The golden file is what chrome://tracing ("Load" button) and
+// Perfetto's legacy importer consume; regenerate with
+//
+//	go test ./internal/obs -run WriteTraceGolden -update
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, buildTraceRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace export drifted from %s (re-run with -update if intended):\n%s", golden, buf.String())
+	}
+}
+
+func TestWriteTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, buildTraceRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	if file.OtherData["spanCount"].(float64) != 4 || file.OtherData["droppedSpans"].(float64) != 0 {
+		t.Fatalf("otherData = %v", file.OtherData)
+	}
+
+	lanes := map[string]uint64{} // span name -> tid
+	metaNames := map[uint64]string{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			lanes[ev.Name] = ev.Tid
+		case "M":
+			metaNames[ev.Tid] = ev.Args["name"].(string)
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// Depth ≤1 spans own a lane; the depth-2 worker inherits stage1's.
+	for _, name := range []string{"run", "stage1", "stage23"} {
+		if metaNames[lanes[name]] != name {
+			t.Errorf("span %s does not own its lane (tid %d named %q)", name, lanes[name], metaNames[lanes[name]])
+		}
+	}
+	if lanes["worker"] != lanes["stage1"] {
+		t.Errorf("worker lane %d != stage1 lane %d; deep spans must inherit", lanes["worker"], lanes["stage1"])
+	}
+	// Timestamps are relative to the earliest start: the root opens at 0.
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "run" && ev.Ts != 0 {
+			t.Errorf("run span ts = %d µs, want 0 (relative base)", ev.Ts)
+		}
+		if ev.Ph == "X" && ev.Name == "worker" && ev.Dur != 5000 {
+			t.Errorf("worker dur = %d µs, want 5000", ev.Dur)
+		}
+	}
+}
+
+func TestWriteTraceNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("nil-registry export is not valid JSON: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ package observer
 import (
 	"context"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
@@ -370,6 +371,14 @@ func (o *Observer) Watch(targets []Target, interval, duration time.Duration) *Re
 			tel.current[StateFixed].Set(int64(overall.Fixed))
 			tel.current[StateOffline].Set(int64(overall.Offline))
 			tel.tickDur.ObserveDuration(tel.reg.Now().Sub(tickStart))
+			// One event per tick, emitted from this single-threaded callback
+			// with the tick's aggregate — under a Sim clock the stream is
+			// byte-identical across same-seed runs.
+			tel.reg.Event("observer.tick",
+				"tick", strconv.Itoa(tick),
+				"vulnerable", strconv.Itoa(overall.Vulnerable),
+				"fixed", strconv.Itoa(overall.Fixed),
+				"offline", strconv.Itoa(overall.Offline))
 		}
 		copy(prev, states)
 		res.Overall = append(res.Overall, overall)

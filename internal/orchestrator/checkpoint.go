@@ -94,6 +94,10 @@ func (s *MemStore) Len() int {
 	return len(s.recs)
 }
 
+// Ping reports writability for the operations plane's readiness check
+// (obs.Pinger). Memory is always writable.
+func (s *MemStore) Ping() error { return nil }
+
 // checkpointEventType is the eslite event class checkpoint records use.
 const checkpointEventType = "orchestrator.checkpoint"
 
@@ -240,4 +244,16 @@ func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.f.Close()
+}
+
+// Ping reports writability for the operations plane's readiness check
+// (obs.Pinger): it stats the open handle, which fails once the file is
+// closed or the descriptor has gone bad.
+func (s *FileStore) Ping() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Stat(); err != nil {
+		return fmt.Errorf("checkpoint journal %s: %w", s.path, err)
+	}
+	return nil
 }

@@ -86,6 +86,10 @@ type Config struct {
 	// tree, watermark gauges, steal/resume/crash counters) and every
 	// pipeline stage.
 	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives live run state (per-shard
+	// watermarks, checkpoint lag, worker liveness) for the operations
+	// plane's /progress endpoint.
+	Progress *ProgressTracker
 	// Resilience applies at two levels: per-pipeline HTTP-stage retries
 	// (as in the monolithic path) and segment re-runs after injected
 	// worker crashes. Context cancellation is never retried.
@@ -110,6 +114,7 @@ type segment struct {
 // orch is the per-run coordinator state.
 type orch struct {
 	cfg   Config
+	clock simtime.Clock
 	space *iprange.Set
 	opts  scanner.Options
 	pipes []*scanner.Pipeline
@@ -130,6 +135,7 @@ type orchTelemetry struct {
 	steals     *telemetry.Counter
 	resumes    *telemetry.Counter
 	crashes    *telemetry.Counter
+	segSeconds *telemetry.Histogram
 	watermarks []*telemetry.Gauge
 }
 
@@ -169,6 +175,7 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 	}
 	o := &orch{
 		cfg:       cfg,
+		clock:     clock,
 		space:     space,
 		opts:      opts,
 		queues:    make([][]segment, shards),
@@ -179,12 +186,20 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 	segs := o.partition(shards)
 	fingerprint := planFingerprint(space, opts, shards, cfg.Checkpoint.Every)
 
+	shardTotals := make([]uint64, shards)
+	for i := 0; i < shards; i++ {
+		lo, hi := uint64(i)*space.NumAddresses()/uint64(shards), uint64(i+1)*space.NumAddresses()/uint64(shards)
+		shardTotals[i] = hi - lo
+	}
+	cfg.Progress.begin(clock, shardTotals, len(segs), cfg.Checkpoint.Store != nil)
+
 	if reg := cfg.Telemetry; reg.Enabled() {
 		o.tel = &orchTelemetry{
 			segments:   reg.Counter("mavscan_orchestrator_segments_total"),
 			steals:     reg.Counter("mavscan_orchestrator_steals_total"),
 			resumes:    reg.Counter("mavscan_orchestrator_resumed_segments_total"),
 			crashes:    reg.Counter("mavscan_orchestrator_worker_crashes_total"),
+			segSeconds: reg.Histogram("mavscan_orchestrator_segment_seconds", nil),
 			watermarks: make([]*telemetry.Gauge, shards),
 		}
 		for i := range o.tel.watermarks {
@@ -234,11 +249,18 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 		cancel()
 	}
 
+	cfg.Telemetry.Event("orchestrator.start",
+		"shards", strconv.Itoa(shards),
+		"segments", strconv.Itoa(len(segs)),
+		"workers", strconv.Itoa(workers))
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		cfg.Progress.workerStart()
 		go func(w int) {
 			defer wg.Done()
+			defer cfg.Progress.workerStop()
 			for {
 				if runCtx.Err() != nil {
 					fail(runCtx.Err())
@@ -248,8 +270,11 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 				if !ok {
 					return
 				}
-				if stolen && o.tel != nil {
-					o.tel.steals.Inc()
+				if stolen {
+					cfg.Progress.steal()
+					if o.tel != nil {
+						o.tel.steals.Inc()
+					}
 				}
 				if err := o.runSegment(runCtx, seg); err != nil {
 					fail(err)
@@ -260,9 +285,11 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 	}
 	wg.Wait()
 	rootSpan.End()
+	cfg.Progress.finish()
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	cfg.Telemetry.Event("orchestrator.done", "segments", strconv.Itoa(len(segs)))
 
 	report := o.merge(len(segs))
 	report.Stats.Excluded = excludedPairs
@@ -370,6 +397,7 @@ func (o *orch) resume(fingerprint []byte, segs []segment) error {
 		for _, seg := range o.queues[i] {
 			if _, done := o.parts[seg.ordinal]; done {
 				o.remaining[i]--
+				o.cfg.Progress.resumedSegment(i, seg.hi-seg.lo)
 				if o.tel != nil {
 					o.tel.resumes.Inc()
 					o.tel.watermarks[i].Add(int64(seg.hi - seg.lo))
@@ -417,6 +445,7 @@ func (o *orch) next(w, workers int) (segment, bool, bool) {
 func (o *orch) runSegment(ctx context.Context, seg segment) error {
 	span := o.shardSpans[seg.shard].Child(fmt.Sprintf("segment.%03d", seg.ordinal))
 	defer span.End()
+	segStart := o.clock.Now()
 
 	opts := o.opts
 	opts.Space = o.space.Slice(seg.lo, seg.hi)
@@ -434,6 +463,7 @@ func (o *orch) runSegment(ctx context.Context, seg segment) error {
 		attempt := o.attempts[seg.ordinal]
 		o.mu.Unlock()
 		if o.cfg.Faults != nil && o.cfg.Faults.WorkerCrash(seg.shard, seg.ordinal, attempt) {
+			o.cfg.Progress.crash()
 			if o.tel != nil {
 				o.tel.crashes.Inc()
 			}
@@ -481,12 +511,19 @@ func (o *orch) runSegment(ctx context.Context, seg segment) error {
 	o.remaining[seg.shard]--
 	done := o.remaining[seg.shard] == 0
 	o.mu.Unlock()
+	segDur := o.clock.Now().Sub(segStart)
+	o.cfg.Progress.segmentDone(seg.shard, seg.hi-seg.lo, segDur, o.cfg.Checkpoint.Store != nil)
 	if o.tel != nil {
 		o.tel.segments.Inc()
+		o.tel.segSeconds.ObserveDuration(segDur)
 		o.tel.watermarks[seg.shard].Add(int64(seg.hi - seg.lo))
 	}
+	o.cfg.Telemetry.Event("orchestrator.segment.done",
+		"shard", strconv.Itoa(seg.shard),
+		"ordinal", strconv.Itoa(seg.ordinal))
 	if done {
 		o.shardSpans[seg.shard].End()
+		o.cfg.Telemetry.Event("orchestrator.shard.done", "shard", strconv.Itoa(seg.shard))
 	}
 	return nil
 }

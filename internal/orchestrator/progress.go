@@ -1,0 +1,264 @@
+package orchestrator
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+// ProgressTracker accumulates the live state of one orchestrated run for
+// the operations plane's /progress endpoint: per-shard address
+// watermarks, checkpoint lag, steal/crash/resume counts, worker
+// liveness, and an ETA extrapolated from completed-segment durations.
+//
+// It is the runtime twin of the telemetry gauges — gauges feed a metrics
+// scraper one number at a time, the tracker serves one coherent JSON
+// snapshot — and it is the structure the future coordinator/worker
+// fabric will lease on. The nil *ProgressTracker no-ops on every hook,
+// mirroring the nil telemetry registry, so orchestrator wiring is
+// unconditional.
+type ProgressTracker struct {
+	mu       sync.Mutex
+	clock    simtime.Clock
+	start    time.Time
+	started  bool
+	finished bool
+	hasStore bool
+
+	shards   []shardState
+	segTotal int
+	segDone  int
+
+	steals  uint64
+	crashes uint64
+	resumed uint64
+	active  int
+
+	segElapsed time.Duration // summed durations of completed segments
+
+	resident func() int
+}
+
+type shardState struct {
+	total     uint64 // addresses in the shard
+	done      uint64 // addresses in completed segments
+	journaled uint64 // addresses durably checkpointed
+}
+
+// NewProgressTracker returns an empty tracker ready to hand to
+// Config.Progress.
+func NewProgressTracker() *ProgressTracker { return &ProgressTracker{} }
+
+// ShardProgress is one shard's row in a snapshot.
+type ShardProgress struct {
+	Shard     int    `json:"shard"`
+	Total     uint64 `json:"total_addrs"`
+	Done      uint64 `json:"done_addrs"`
+	Journaled uint64 `json:"journaled_addrs"`
+	// Lag is Done − Journaled: addresses scanned but not yet durable,
+	// i.e. the work a kill at this instant would lose.
+	Lag       uint64  `json:"checkpoint_lag_addrs"`
+	Watermark float64 `json:"watermark"` // Done/Total in [0,1]
+}
+
+// Progress is one coherent snapshot of a run, shaped for JSON.
+type Progress struct {
+	Started        bool            `json:"started"`
+	Done           bool            `json:"done"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Watermark      float64         `json:"watermark"` // merged Done/Total
+	TotalAddrs     uint64          `json:"total_addrs"`
+	DoneAddrs      uint64          `json:"done_addrs"`
+	SegmentsTotal  int             `json:"segments_total"`
+	SegmentsDone   int             `json:"segments_done"`
+	ActiveWorkers  int             `json:"active_workers"`
+	Steals         uint64          `json:"steals"`
+	Crashes        uint64          `json:"crashes"`
+	Resumed        uint64          `json:"resumed_segments"`
+	ResidentHosts  int             `json:"resident_hosts"`
+	ETASeconds     float64         `json:"eta_seconds"`
+	Shards         []ShardProgress `json:"shards,omitempty"`
+}
+
+// SetResident installs the resident-host sampler (the lazy population
+// cache's occupancy), read lazily at snapshot time.
+func (t *ProgressTracker) SetResident(fn func() int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.resident = fn
+	t.mu.Unlock()
+}
+
+// begin records the run's shape. shardTotals holds each shard's address
+// count; hasStore reports whether completed segments become durable.
+func (t *ProgressTracker) begin(clock simtime.Clock, shardTotals []uint64, segTotal int, hasStore bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+	t.start = clock.Now()
+	t.started = true
+	t.finished = false
+	t.hasStore = hasStore
+	t.shards = make([]shardState, len(shardTotals))
+	for i, n := range shardTotals {
+		t.shards[i].total = n
+	}
+	t.segTotal = segTotal
+	t.segDone = 0
+	t.steals, t.crashes, t.resumed = 0, 0, 0
+	t.segElapsed = 0
+}
+
+// resumedSegment accounts a segment satisfied from the journal.
+func (t *ProgressTracker) resumedSegment(shard int, addrs uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resumed++
+	t.segDone++
+	t.shards[shard].done += addrs
+	t.shards[shard].journaled += addrs
+}
+
+// segmentDone accounts a freshly scanned segment. journaled reports
+// whether the delta reached the checkpoint store before completion.
+func (t *ProgressTracker) segmentDone(shard int, addrs uint64, dur time.Duration, journaled bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.segDone++
+	t.shards[shard].done += addrs
+	if journaled {
+		t.shards[shard].journaled += addrs
+	}
+	t.segElapsed += dur
+}
+
+func (t *ProgressTracker) steal() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.steals++
+	t.mu.Unlock()
+}
+
+func (t *ProgressTracker) crash() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.crashes++
+	t.mu.Unlock()
+}
+
+func (t *ProgressTracker) workerStart() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.active++
+	t.mu.Unlock()
+}
+
+func (t *ProgressTracker) workerStop() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.active--
+	t.mu.Unlock()
+}
+
+func (t *ProgressTracker) finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.finished = true
+	t.mu.Unlock()
+}
+
+// Snapshot freezes the tracker into a JSON-ready Progress. A nil or
+// never-begun tracker yields the zero snapshot (Started false).
+func (t *ProgressTracker) Snapshot() Progress {
+	if t == nil {
+		return Progress{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := Progress{
+		Started:       t.started,
+		Done:          t.finished,
+		SegmentsTotal: t.segTotal,
+		SegmentsDone:  t.segDone,
+		ActiveWorkers: t.active,
+		Steals:        t.steals,
+		Crashes:       t.crashes,
+		Resumed:       t.resumed,
+	}
+	if !t.started {
+		return p
+	}
+	p.ElapsedSeconds = t.clock.Now().Sub(t.start).Seconds()
+	p.Shards = make([]ShardProgress, len(t.shards))
+	for i, s := range t.shards {
+		row := ShardProgress{Shard: i, Total: s.total, Done: s.done, Journaled: s.journaled}
+		if !t.hasStore {
+			// No journal: nothing can lag behind one. Mirror Done so the
+			// lag column reads zero instead of "everything".
+			row.Journaled = s.done
+		}
+		row.Lag = row.Done - row.Journaled
+		if s.total > 0 {
+			row.Watermark = float64(s.done) / float64(s.total)
+		}
+		p.TotalAddrs += s.total
+		p.DoneAddrs += s.done
+		p.Shards[i] = row
+	}
+	if p.TotalAddrs > 0 {
+		p.Watermark = float64(p.DoneAddrs) / float64(p.TotalAddrs)
+	}
+	if t.resident != nil {
+		p.ResidentHosts = t.resident()
+	}
+	// ETA: mean completed-segment duration × remaining segments, spread
+	// over the live workers. Resumed segments cost no scan time, so only
+	// freshly scanned ones contribute to the mean.
+	if scanned := t.segDone - int(t.resumed); scanned > 0 && !t.finished {
+		mean := t.segElapsed.Seconds() / float64(scanned)
+		workers := t.active
+		if workers < 1 {
+			workers = 1
+		}
+		p.ETASeconds = mean * float64(t.segTotal-t.segDone) / float64(workers)
+	}
+	return p
+}
+
+// Ping reports worker-pool liveness for a readiness check: it fails when
+// the run has begun, is not finished, and no worker is active — the
+// signature of a wedged or abandoned pool. It satisfies obs.Pinger.
+func (t *ProgressTracker) Ping() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started && !t.finished && t.active == 0 {
+		return errors.New("run in progress but no live workers")
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+var progT0 = time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+
+func TestProgressTrackerNilSafe(t *testing.T) {
+	var tr *ProgressTracker
+	tr.begin(simtime.NewSim(progT0), []uint64{10}, 2, false)
+	tr.resumedSegment(0, 5)
+	tr.segmentDone(0, 5, time.Second, false)
+	tr.steal()
+	tr.crash()
+	tr.workerStart()
+	tr.workerStop()
+	tr.finish()
+	tr.SetResident(func() int { return 1 })
+	if p := tr.Snapshot(); p.Started {
+		t.Fatalf("nil tracker snapshot = %+v, want zero", p)
+	}
+	if err := tr.Ping(); err != nil {
+		t.Fatalf("nil tracker Ping = %v", err)
+	}
+}
+
+func TestProgressTrackerZeroBeforeBegin(t *testing.T) {
+	tr := NewProgressTracker()
+	p := tr.Snapshot()
+	if p.Started || p.Done || p.Watermark != 0 || p.Shards != nil {
+		t.Fatalf("pre-begin snapshot = %+v, want zero", p)
+	}
+}
+
+func TestProgressTrackerWatermarkAndLag(t *testing.T) {
+	sim := simtime.NewSim(progT0)
+	tr := NewProgressTracker()
+	tr.begin(sim, []uint64{100, 300}, 8, true)
+
+	tr.segmentDone(0, 50, time.Second, true)  // journaled
+	tr.segmentDone(1, 75, time.Second, false) // lost race with shutdown
+	sim.Advance(10 * time.Second)
+
+	p := tr.Snapshot()
+	if !p.Started || p.Done {
+		t.Fatalf("flags = %+v", p)
+	}
+	if p.TotalAddrs != 400 || p.DoneAddrs != 125 {
+		t.Fatalf("addrs = %d/%d, want 125/400", p.DoneAddrs, p.TotalAddrs)
+	}
+	if p.Watermark != 125.0/400 {
+		t.Fatalf("watermark = %v, want %v", p.Watermark, 125.0/400)
+	}
+	if p.ElapsedSeconds != 10 {
+		t.Fatalf("elapsed = %v, want 10", p.ElapsedSeconds)
+	}
+	if len(p.Shards) != 2 {
+		t.Fatalf("shards = %+v", p.Shards)
+	}
+	s0, s1 := p.Shards[0], p.Shards[1]
+	if s0.Done != 50 || s0.Journaled != 50 || s0.Lag != 0 || s0.Watermark != 0.5 {
+		t.Fatalf("shard 0 = %+v", s0)
+	}
+	if s1.Done != 75 || s1.Journaled != 0 || s1.Lag != 75 || s1.Watermark != 0.25 {
+		t.Fatalf("shard 1 = %+v", s1)
+	}
+}
+
+func TestProgressTrackerNoStoreReadsZeroLag(t *testing.T) {
+	tr := NewProgressTracker()
+	tr.begin(simtime.NewSim(progT0), []uint64{100}, 2, false)
+	tr.segmentDone(0, 50, time.Second, false)
+	p := tr.Snapshot()
+	if p.Shards[0].Journaled != 50 || p.Shards[0].Lag != 0 {
+		t.Fatalf("storeless shard = %+v, want journaled mirrored and lag 0", p.Shards[0])
+	}
+}
+
+func TestProgressTrackerETA(t *testing.T) {
+	tr := NewProgressTracker()
+	tr.begin(simtime.NewSim(progT0), []uint64{100}, 10, false)
+	tr.workerStart()
+	tr.workerStart()
+	// Two resumed segments must not drag the mean toward zero.
+	tr.resumedSegment(0, 10)
+	tr.resumedSegment(0, 10)
+	tr.segmentDone(0, 10, 4*time.Second, false)
+	tr.segmentDone(0, 10, 6*time.Second, false)
+
+	p := tr.Snapshot()
+	// mean = (4+6)/2 = 5s; remaining = 10-4 = 6 segments; 2 workers → 15s.
+	if p.ETASeconds != 15 {
+		t.Fatalf("eta = %v, want 15", p.ETASeconds)
+	}
+	if p.Resumed != 2 || p.SegmentsDone != 4 {
+		t.Fatalf("segments = %+v", p)
+	}
+
+	tr.finish()
+	if p := tr.Snapshot(); p.ETASeconds != 0 || !p.Done {
+		t.Fatalf("finished snapshot = %+v, want eta 0 and done", p)
+	}
+}
+
+func TestProgressTrackerCounters(t *testing.T) {
+	tr := NewProgressTracker()
+	tr.begin(simtime.NewSim(progT0), []uint64{10}, 1, false)
+	tr.steal()
+	tr.steal()
+	tr.crash()
+	tr.SetResident(func() int { return 42 })
+	p := tr.Snapshot()
+	if p.Steals != 2 || p.Crashes != 1 || p.ResidentHosts != 42 {
+		t.Fatalf("counters = %+v", p)
+	}
+}
+
+func TestProgressTrackerPing(t *testing.T) {
+	tr := NewProgressTracker()
+	if err := tr.Ping(); err != nil {
+		t.Fatalf("pre-begin Ping = %v, want nil", err)
+	}
+	tr.begin(simtime.NewSim(progT0), []uint64{10}, 1, false)
+	if err := tr.Ping(); err == nil {
+		t.Fatal("started run with zero workers must fail Ping")
+	}
+	tr.workerStart()
+	if err := tr.Ping(); err != nil {
+		t.Fatalf("live pool Ping = %v, want nil", err)
+	}
+	tr.workerStop()
+	tr.finish()
+	if err := tr.Ping(); err != nil {
+		t.Fatalf("finished Ping = %v, want nil", err)
+	}
+}
+
+func TestProgressSnapshotJSONShape(t *testing.T) {
+	tr := NewProgressTracker()
+	tr.begin(simtime.NewSim(progT0), []uint64{4}, 1, false)
+	tr.segmentDone(0, 4, time.Second, false)
+	tr.finish()
+	raw, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"started", "done", "elapsed_seconds", "watermark", "total_addrs",
+		"done_addrs", "segments_total", "segments_done", "active_workers",
+		"steals", "crashes", "resumed_segments", "resident_hosts",
+		"eta_seconds", "shards",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("snapshot JSON missing key %q", key)
+		}
+	}
+	shard := decoded["shards"].([]any)[0].(map[string]any)
+	for _, key := range []string{"shard", "total_addrs", "done_addrs", "journaled_addrs", "checkpoint_lag_addrs", "watermark"} {
+		if _, ok := shard[key]; !ok {
+			t.Errorf("shard JSON missing key %q", key)
+		}
+	}
+	if decoded["watermark"].(float64) != 1 {
+		t.Fatalf("final watermark = %v, want 1", decoded["watermark"])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"mavscan/internal/simnet"
+	"mavscan/internal/telemetry"
 )
 
 // hostCache is the bounded materialization table of the lazy world: the only
@@ -21,7 +22,11 @@ import (
 // bounded by cap.
 type hostCache struct {
 	shardCap int
-	shards   [cacheShards]cacheShard
+	// gauge mirrors the resident entry count for the operations plane
+	// (mavscan_population_resident_hosts). The nil gauge no-ops, so the
+	// cache pays one nil check per materialization when uninstrumented.
+	gauge  *telemetry.Gauge
+	shards [cacheShards]cacheShard
 }
 
 const cacheShards = 64
@@ -83,12 +88,13 @@ func (c *hostCache) getOrCreate(key uint32, build func() (*simnet.Host, *HostSpe
 	}
 	e := &cacheEntry{host: host, spec: spec, pinned: pin}
 	sh.entries[key] = e
+	c.gauge.Add(1)
 	if pin {
 		sh.pinned++
 	} else {
 		sh.order = append(sh.order, key)
 	}
-	sh.evictLocked(c.shardCap)
+	sh.evictLocked(c.shardCap, c.gauge)
 	return e, nil
 }
 
@@ -96,13 +102,14 @@ func (c *hostCache) getOrCreate(key uint32, build func() (*simnet.Host, *HostSpe
 // (the nominal cap plus the pinned population). Keys whose entries were
 // pinned after enqueueing are skipped — their stale queue slot is simply
 // consumed; pinned entries never return to the queue.
-func (sh *cacheShard) evictLocked(nominal int) {
+func (sh *cacheShard) evictLocked(nominal int, gauge *telemetry.Gauge) {
 	bound := nominal + sh.pinned
 	for len(sh.entries) > bound && sh.head < len(sh.order) {
 		key := sh.order[sh.head]
 		sh.head++
 		if e, ok := sh.entries[key]; ok && !e.pinned {
 			delete(sh.entries, key)
+			gauge.Sub(1)
 		}
 	}
 	// Compact the consumed prefix once it dominates the queue.
@@ -132,5 +139,6 @@ func (c *hostCache) drop(key uint32) {
 	defer sh.mu.Unlock()
 	if e, ok := sh.entries[key]; ok && !e.pinned {
 		delete(sh.entries, key)
+		c.gauge.Sub(1)
 	}
 }

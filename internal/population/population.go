@@ -22,6 +22,7 @@ import (
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
 	"mavscan/internal/simnet"
+	"mavscan/internal/telemetry"
 )
 
 // ScanDate is the paper's Internet-wide scan date (June 03, 2021); version
@@ -280,6 +281,23 @@ func (w *World) MaterializedHosts() int {
 		return w.cache.len()
 	}
 	return w.Net.NumHosts()
+}
+
+// Instrument registers the world's occupancy gauge
+// (mavscan_population_resident_hosts) on reg. In lazy mode the gauge
+// tracks the materialization cache live — every insert, eviction and drop
+// moves it — which is what makes memory pressure visible on the
+// operations plane during a lazy scan; in eager mode it is set once to
+// the (static) full host count. A nil registry no-ops.
+func (w *World) Instrument(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	g := reg.Gauge("mavscan_population_resident_hosts")
+	g.Set(int64(w.MaterializedHosts()))
+	if w.cfg.Lazy {
+		w.cache.gauge = g
+	}
 }
 
 // materialize derives the host at ip if the layout places one there,

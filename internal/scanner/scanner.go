@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/netip"
 	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -262,9 +263,12 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 
 	// Root span covering the whole run; stage spans hang off it so the
 	// snapshot shows how long Stage I overlapped the Stage-II/III drain.
+	// Stage transitions also land in the event log — spans need both ends
+	// before they appear in a snapshot, events stream as they happen.
 	pipeSpan := p.reg.StartSpan(p.spanName("pipeline.run"))
 	stage1Span := pipeSpan.Child("stage1.portscan")
 	stage23Span := pipeSpan.Child("stage23.workers")
+	p.reg.Event(p.spanName("pipeline.start"))
 
 	// Stage II/III worker pool consuming Stage-I results while the port
 	// scan is still running. The handoff is batch-granular: Stage-I workers
@@ -330,10 +334,14 @@ func (p *Pipeline) Run(ctx context.Context, opts Options) (*Report, error) {
 		hits <- batch
 	})
 	stage1Span.End()
+	p.reg.Event(p.spanName("pipeline.stage1.done"),
+		"probed", strconv.FormatUint(stats.Probed, 10),
+		"open", strconv.FormatUint(stats.Open, 10))
 	close(hits)
 	wg.Wait()
 	stage23Span.End()
 	pipeSpan.End()
+	p.reg.Event(p.spanName("pipeline.done"))
 	if scanErr != nil {
 		return nil, scanErr
 	}

@@ -1,0 +1,170 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mavscan/internal/mav"
+	"mavscan/internal/obs"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+var obsT0 = time.Date(2021, 6, 3, 0, 0, 0, 0, time.UTC)
+
+func obsTestPopulation() population.Config {
+	return population.Config{
+		Seed: 5, HostScale: 20000, VulnScale: 64,
+		BackgroundScale: -1, WildcardScale: -1,
+	}
+}
+
+// runInstrumentedScan runs one small orchestrated scan under the Sim clock
+// and returns the registry, the tracker, and the report.
+func runInstrumentedScan(t *testing.T) (*telemetry.Registry, *orchestrator.ProgressTracker, *ScanStudy) {
+	t.Helper()
+	reg := telemetry.New(simtime.NewSim(obsT0))
+	tracker := orchestrator.NewProgressTracker()
+	study, err := RunScan(context.Background(), ScanConfig{
+		Population:  obsTestPopulation(),
+		Shards:      2,
+		Parallelism: 1, // single worker: deterministic event order
+		Telemetry:   reg,
+		Obs:         ObsConfig{Progress: tracker},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, tracker, study
+}
+
+// TestScanEventsDeterministicUnderSim is the /events half of the PR's
+// acceptance: two same-seed runs under the simulated clock produce
+// byte-identical event JSONL and byte-identical reports.
+func TestScanEventsDeterministicUnderSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full scans")
+	}
+	render := func() (string, []byte) {
+		reg, _, study := runInstrumentedScan(t)
+		var buf bytes.Buffer
+		if err := reg.WriteEvents(&buf, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Elapsed is wall-clock noise, not part of the result (the same
+		// canonicalization the orchestrator's identity tests use).
+		cp := *study.Report
+		cp.Stats.Elapsed = 0
+		report, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), report
+	}
+	eventsA, reportA := render()
+	eventsB, reportB := render()
+	if eventsA != eventsB {
+		t.Errorf("same-seed /events JSONL differs:\n--- run A ---\n%s\n--- run B ---\n%s", eventsA, eventsB)
+	}
+	if !bytes.Equal(reportA, reportB) {
+		t.Error("same-seed reports differ")
+	}
+	// The lifecycle skeleton must be present in order.
+	for _, want := range []string{
+		`"event":"study.scan.start"`,
+		`"event":"orchestrator.start"`,
+		`"event":"orchestrator.segment.done"`,
+		`"event":"orchestrator.done"`,
+		`"event":"study.scan.done"`,
+	} {
+		if !bytes.Contains([]byte(eventsA), []byte(want)) {
+			t.Errorf("event log missing %s:\n%s", want, eventsA)
+		}
+	}
+}
+
+// TestProgressReconcilesWithReport is the /progress half of the PR's
+// acceptance: after the run, the merged watermark is exactly 1 and the
+// tracker's address totals reconcile with the report's probe count
+// (every non-excluded address × every scan port probed exactly once).
+func TestProgressReconcilesWithReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scan")
+	}
+	reg, tracker, study := runInstrumentedScan(t)
+
+	p := tracker.Snapshot()
+	if !p.Started || !p.Done {
+		t.Fatalf("run finished but snapshot flags = started=%v done=%v", p.Started, p.Done)
+	}
+	if p.Watermark != 1 {
+		t.Fatalf("final watermark = %v, want exactly 1", p.Watermark)
+	}
+	if p.DoneAddrs != p.TotalAddrs || p.TotalAddrs == 0 {
+		t.Fatalf("addrs = %d/%d, want equal and nonzero", p.DoneAddrs, p.TotalAddrs)
+	}
+	ports := uint64(len(mav.ScanPorts()))
+	if got, want := p.DoneAddrs*ports, study.Report.Stats.Probed; got != want {
+		t.Fatalf("tracker addrs × ports = %d, report probes = %d", got, want)
+	}
+	if p.SegmentsDone != p.SegmentsTotal || p.SegmentsTotal == 0 {
+		t.Fatalf("segments = %d/%d", p.SegmentsDone, p.SegmentsTotal)
+	}
+	for _, s := range p.Shards {
+		if s.Lag != 0 {
+			t.Errorf("shard %d reports checkpoint lag %d after completion", s.Shard, s.Lag)
+		}
+	}
+
+	// End to end through the plane: /progress must serve the same snapshot.
+	h := obs.NewHandler(obs.Config{
+		Telemetry: reg,
+		Progress:  func() any { return tracker.Snapshot() },
+	})
+	req := httptest.NewRequest(http.MethodGet, "/progress", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/progress status = %d", res.StatusCode)
+	}
+	var served orchestrator.Progress
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatalf("/progress body is not a Progress: %v", err)
+	}
+	if served.Watermark != 1 || served.DoneAddrs != p.DoneAddrs {
+		t.Fatalf("/progress served %+v, want watermark 1 and %d done addrs", served, p.DoneAddrs)
+	}
+}
+
+// TestReadyFlagLatchesAfterGeneration pins the /readyz contract: the flag
+// is unset until the world exists, set before the scan finishes the run.
+func TestReadyFlagLatchesAfterGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scan")
+	}
+	ready := &obs.Flag{}
+	if ready.IsSet() {
+		t.Fatal("flag set before the run")
+	}
+	_, err := RunScan(context.Background(), ScanConfig{
+		Population: obsTestPopulation(),
+		Obs:        ObsConfig{Ready: ready},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ready.IsSet() {
+		t.Fatal("ready flag not latched by RunScan")
+	}
+}

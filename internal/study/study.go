@@ -20,6 +20,7 @@ import (
 	"mavscan/internal/honeypot"
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
+	"mavscan/internal/obs"
 	"mavscan/internal/observer"
 	"mavscan/internal/orchestrator"
 	"mavscan/internal/population"
@@ -36,6 +37,19 @@ import (
 type ScanStudy struct {
 	World  *population.World
 	Report *scanner.Report
+}
+
+// ObsConfig hooks a run into the operations plane (internal/obs). Both
+// fields are optional and nil-safe, so runs wire it unconditionally.
+type ObsConfig struct {
+	// Progress receives live run state for /progress: per-shard watermarks,
+	// checkpoint lag, worker liveness, resident-host count. Setting it on a
+	// scan routes the run through the orchestrator even with Shards <= 1,
+	// so a single-shard run still reports a watermark.
+	Progress *orchestrator.ProgressTracker
+	// Ready is latched once the run is serving useful state (world
+	// generated, farm deployed) — the /readyz half of the health pair.
+	Ready *obs.Flag
 }
 
 // ScanConfig bundles the generation and scan parameters.
@@ -63,12 +77,16 @@ type ScanConfig struct {
 	Resilience resilience.Policy
 	// Telemetry, when non-nil, instruments the whole pipeline.
 	Telemetry *telemetry.Registry
+	// Obs hooks the run into the operations plane.
+	Obs ObsConfig
 }
 
 // orchestrated reports whether the scan should run through the sharded
-// orchestrator rather than a single monolithic pipeline.
+// orchestrator rather than a single monolithic pipeline. A progress
+// tracker forces the orchestrated path: watermarks are segment-granular,
+// and only the orchestrator has segments.
 func (cfg *ScanConfig) orchestrated() bool {
-	return cfg.Shards > 1 || cfg.Checkpoint.Store != nil
+	return cfg.Shards > 1 || cfg.Checkpoint.Store != nil || cfg.Obs.Progress != nil
 }
 
 // RunScan generates a world and runs the full three-stage pipeline on it,
@@ -82,6 +100,11 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("study: generating world: %w", err)
 	}
+	world.Instrument(cfg.Telemetry)
+	cfg.Obs.Progress.SetResident(world.MaterializedHosts)
+	cfg.Obs.Ready.Set()
+	cfg.Telemetry.Event("study.scan.start",
+		"hosts", fmt.Sprint(world.TotalHosts()))
 	if len(cfg.Scan.Targets) == 0 {
 		cfg.Scan.Targets = world.Geo.Prefixes()
 	}
@@ -100,6 +123,7 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 			Parallelism: cfg.Parallelism,
 			Checkpoint:  cfg.Checkpoint,
 			Telemetry:   cfg.Telemetry,
+			Progress:    cfg.Obs.Progress,
 			Resilience:  cfg.Resilience,
 			Faults:      plan,
 		})
@@ -112,6 +136,9 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("study: scanning: %w", err)
 	}
+	cfg.Telemetry.Event("study.scan.done",
+		"probed", fmt.Sprint(report.Stats.Probed),
+		"open", fmt.Sprint(report.Stats.Open))
 	return &ScanStudy{World: world, Report: report}, nil
 }
 
@@ -138,8 +165,8 @@ func (s *ScanStudy) ObserverTargets() []observer.Target {
 type LongevityConfig struct {
 	// Scan is the completed scan study whose confirmed MAVs the observer
 	// watches. Required.
-	Scan *ScanStudy
-	Seed int64
+	Scan     *ScanStudy
+	Seed     int64
 	Interval time.Duration // default 3h
 	Duration time.Duration // default 4 weeks
 	// FingerprintEvery controls the version re-check cadence in ticks.
@@ -155,6 +182,9 @@ type LongevityConfig struct {
 	OfflineAfter int
 	// Telemetry, when non-nil, instruments the observer.
 	Telemetry *telemetry.Registry
+	// Obs hooks the run into the operations plane (Ready latches once the
+	// observation is scheduled; scans have no shard progress here).
+	Obs ObsConfig
 }
 
 // RunLongevity schedules the churn model and the observer on a simulated
@@ -190,13 +220,21 @@ func RunLongevity(ctx context.Context, cfg LongevityConfig) (*observer.Result, e
 	} else {
 		s.World.Net.SetFaults(nil)
 	}
-	obs := observer.New(s.World.Net, sim)
-	obs.FingerprintEvery = cfg.FingerprintEvery
-	obs.Resilience = cfg.Resilience
-	obs.OfflineAfter = cfg.OfflineAfter
-	obs.Instrument(cfg.Telemetry)
-	result := obs.Watch(s.ObserverTargets(), cfg.Interval, cfg.Duration)
+	watcher := observer.New(s.World.Net, sim)
+	watcher.FingerprintEvery = cfg.FingerprintEvery
+	watcher.Resilience = cfg.Resilience
+	watcher.OfflineAfter = cfg.OfflineAfter
+	watcher.Instrument(cfg.Telemetry)
+	targets := s.ObserverTargets()
+	cfg.Telemetry.Event("study.longevity.start",
+		"targets", fmt.Sprint(len(targets)),
+		"interval", cfg.Interval.String())
+	result := watcher.Watch(targets, cfg.Interval, cfg.Duration)
+	cfg.Obs.Ready.Set()
 	sim.Run()
+	cfg.Telemetry.Event("study.longevity.done",
+		"ticks", fmt.Sprint(len(result.Overall)),
+		"updated", fmt.Sprint(result.Updated))
 	return result, nil
 }
 
@@ -233,6 +271,9 @@ type HoneypotConfig struct {
 	// Telemetry, when non-nil, instruments the farm, the monitoring store
 	// and the fault plan.
 	Telemetry *telemetry.Registry
+	// Obs hooks the run into the operations plane (Ready latches once the
+	// farm is deployed).
+	Obs ObsConfig
 }
 
 // RunHoneypots deploys the farm, replays the attacker plan over the
@@ -260,6 +301,9 @@ func RunHoneypots(ctx context.Context, cfg HoneypotConfig) (*HoneypotStudy, erro
 	if err := farm.DeployAll(netip.MustParseAddr("10.30.0.10")); err != nil {
 		return nil, err
 	}
+	cfg.Obs.Ready.Set()
+	cfg.Telemetry.Event("study.honeypots.start",
+		"pots", fmt.Sprint(len(farm.Honeypots())))
 	farm.StartTicker(15*time.Minute, HoneypotStart.Add(attacker.StudyDuration))
 
 	targets := attacker.TargetMap{}
@@ -274,6 +318,8 @@ func RunHoneypots(ctx context.Context, cfg HoneypotConfig) (*HoneypotStudy, erro
 	exec := &attacker.Executor{Net: net, Clock: sim, Targets: targets, Resilience: cfg.Resilience}
 	exec.Schedule(plan)
 	sim.Run()
+	cfg.Telemetry.Event("study.honeypots.done",
+		"events", fmt.Sprint(store.Len()))
 
 	attacks := analysis.Uniquify(analysis.Sessionize(store))
 	clusters := analysis.ClusterAttackers(attacks)
@@ -307,6 +353,9 @@ type DefenderConfig struct {
 	// Telemetry, when non-nil, instruments the farm, the monitoring store
 	// and the fault plan.
 	Telemetry *telemetry.Registry
+	// Obs hooks the run into the operations plane (Ready latches once the
+	// farm is deployed).
+	Obs ObsConfig
 }
 
 // RunDefenders points both commercial scanners at a fresh honeypot farm
@@ -329,6 +378,7 @@ func RunDefenders(ctx context.Context, cfg DefenderConfig) (*DefenderStudy, erro
 	if err := farm.DeployAll(netip.MustParseAddr("10.40.0.10")); err != nil {
 		return nil, err
 	}
+	cfg.Obs.Ready.Set()
 	var targets []tsunami.Target
 	for _, pot := range farm.Honeypots() {
 		targets = append(targets, tsunami.Target{

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// maxEvents bounds the per-registry event log. Unlike the span log (which
+// keeps the first spans and counts overflow), the event log is a tail: it
+// retains the most recent maxEvents records and counts how many older ones
+// were overwritten, because a live operator cares about what is happening
+// now, not about the run's first minute.
+const maxEvents = 8192
+
+// EventRecord is one structured event. Fields are ordered key/value pairs
+// (key, value, key, value, ...), never a map, so two runs that emit the
+// same events render byte-identical JSONL — map iteration order must not
+// leak into the export.
+type EventRecord struct {
+	// Seq is the registry-global 1-based emission number; it survives the
+	// ring's overwrites, so a tailing client can resume from the last Seq
+	// it saw.
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"t"`
+	Name   string    `json:"event"`
+	Fields []string  `json:"fields,omitempty"`
+}
+
+// AppendJSON appends the record as one JSON object (no trailing newline):
+//
+//	{"seq":12,"t":"2021-06-03T03:00:00Z","event":"observer.tick","tick":"1"}
+//
+// Keys emit in field order; values pass through encoding/json, so the
+// output is always valid JSON and deterministic for identical records.
+func (e EventRecord) AppendJSON(b []byte) []byte {
+	quote := func(s string) []byte {
+		q, err := json.Marshal(s)
+		if err != nil { // cannot happen for a string
+			return []byte(`""`)
+		}
+		return q
+	}
+	b = append(b, `{"seq":`...)
+	b = appendUint(b, e.Seq)
+	b = append(b, `,"t":`...)
+	b = quoteTime(b, e.Time)
+	b = append(b, `,"event":`...)
+	b = append(b, quote(e.Name)...)
+	for i := 0; i+1 < len(e.Fields); i += 2 {
+		b = append(b, ',')
+		b = append(b, quote(e.Fields[i])...)
+		b = append(b, ':')
+		b = append(b, quote(e.Fields[i+1])...)
+	}
+	return append(b, '}')
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+func quoteTime(b []byte, t time.Time) []byte {
+	b = append(b, '"')
+	b = t.AppendFormat(b, time.RFC3339Nano)
+	return append(b, '"')
+}
+
+// eventLog is the bounded most-recent-events ring.
+type eventLog struct {
+	records []EventRecord // ring storage, up to maxEvents
+	head    int           // index of the oldest record once the ring is full
+	seq     uint64
+	dropped uint64
+}
+
+// Event appends one structured event stamped with the registry's injected
+// clock. Fields are ordered key/value pairs, e.g.
+//
+//	reg.Event("segment.done", "shard", "3", "ordinal", "17")
+//
+// Events are coarse run-lifecycle records (stage transitions, segment
+// completions, observer ticks) — never per-probe. A nil registry no-ops.
+func (r *Registry) Event(name string, fields ...string) {
+	if r == nil {
+		return
+	}
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events.seq++
+	rec := EventRecord{
+		Seq:    r.events.seq,
+		Time:   now,
+		Name:   name,
+		Fields: append([]string(nil), fields...),
+	}
+	if len(r.events.records) < maxEvents {
+		r.events.records = append(r.events.records, rec)
+		return
+	}
+	r.events.records[r.events.head] = rec
+	r.events.head = (r.events.head + 1) % maxEvents
+	r.events.dropped++
+}
+
+// Events returns the retained events oldest-first, plus the number of
+// older events the bounded log has already overwritten.
+func (r *Registry) Events() ([]EventRecord, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.events.records)
+	out := make([]EventRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.events.records[(r.events.head+i)%n])
+	}
+	return out, r.events.dropped
+}
+
+// WriteEvents writes the retained events as JSONL, one object per line,
+// oldest first. tail > 0 restricts the output to the most recent tail
+// records; afterSeq > 0 additionally skips records with Seq <= afterSeq,
+// which is how a tailing client resumes without replaying what it saw.
+func (r *Registry) WriteEvents(w io.Writer, tail int, afterSeq uint64) error {
+	events, _ := r.Events()
+	if tail > 0 && len(events) > tail {
+		events = events[len(events)-tail:]
+	}
+	var buf []byte
+	for _, e := range events {
+		if e.Seq <= afterSeq {
+			continue
+		}
+		buf = e.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

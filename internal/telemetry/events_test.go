@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/simtime"
+)
+
+func TestEventSeqAndOrder(t *testing.T) {
+	sim := simtime.NewSim(t0)
+	reg := New(sim)
+	reg.Event("a")
+	sim.Advance(3 * time.Second)
+	reg.Event("b", "k", "v")
+	reg.Event("c")
+
+	events, dropped := reg.Events()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(events) != 3 {
+		t.Fatalf("len(events) = %d, want 3", len(events))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if events[i].Name != want {
+			t.Fatalf("events[%d].Name = %q, want %q", i, events[i].Name, want)
+		}
+		if events[i].Seq != uint64(i+1) {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, events[i].Seq, i+1)
+		}
+	}
+	if !events[0].Time.Equal(t0) {
+		t.Fatalf("events[0].Time = %v, want %v", events[0].Time, t0)
+	}
+	if events[1].Time.Equal(events[0].Time) {
+		t.Fatal("clock advance did not move the event timestamp")
+	}
+}
+
+func TestEventLogKeepsMostRecent(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	const extra = 37
+	for i := 0; i < maxEvents+extra; i++ {
+		reg.Event(fmt.Sprintf("e%d", i))
+	}
+	events, dropped := reg.Events()
+	if dropped != extra {
+		t.Fatalf("dropped = %d, want %d", dropped, extra)
+	}
+	if len(events) != maxEvents {
+		t.Fatalf("len(events) = %d, want %d", len(events), maxEvents)
+	}
+	// Tail semantics: the oldest retained record is the (extra+1)-th
+	// emitted, the newest is the last emitted, and Seq stays contiguous.
+	if got, want := events[0].Name, fmt.Sprintf("e%d", extra); got != want {
+		t.Fatalf("oldest retained = %q, want %q", got, want)
+	}
+	if got, want := events[len(events)-1].Name, fmt.Sprintf("e%d", maxEvents+extra-1); got != want {
+		t.Fatalf("newest retained = %q, want %q", got, want)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("Seq gap at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestEventAppendJSONIsValidJSON(t *testing.T) {
+	sim := simtime.NewSim(t0)
+	reg := New(sim)
+	reg.Event("weird", "quote", `say "hi"`, "slash", `a\b`, "nl", "x\ny", "utf8", "héllo — ✓")
+	events, _ := reg.Events()
+	line := events[0].AppendJSON(nil)
+
+	var decoded map[string]any
+	if err := json.Unmarshal(line, &decoded); err != nil {
+		t.Fatalf("AppendJSON produced invalid JSON %q: %v", line, err)
+	}
+	for k, want := range map[string]string{
+		"event": "weird",
+		"quote": `say "hi"`,
+		"slash": `a\b`,
+		"nl":    "x\ny",
+		"utf8":  "héllo — ✓",
+	} {
+		if got := decoded[k]; got != want {
+			t.Fatalf("decoded[%q] = %q, want %q", k, got, want)
+		}
+	}
+	if got := decoded["seq"].(float64); got != 1 {
+		t.Fatalf("decoded seq = %v, want 1", got)
+	}
+	if got := decoded["t"].(string); got != "2021-06-03T00:00:00Z" {
+		t.Fatalf("decoded t = %q, want RFC3339 start time", got)
+	}
+}
+
+func TestEventsDeterministicUnderSim(t *testing.T) {
+	render := func() string {
+		reg := New(simtime.NewSim(t0))
+		reg.Event("scan.start", "hosts", "12")
+		reg.Event("segment.done", "shard", "0", "ordinal", "3")
+		reg.Event("scan.done")
+		var buf bytes.Buffer
+		if err := reg.WriteEvents(&buf, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same-seed event JSONL differs:\n%s\nvs\n%s", a, b)
+	}
+	if lines := strings.Count(a, "\n"); lines != 3 {
+		t.Fatalf("JSONL line count = %d, want 3", lines)
+	}
+}
+
+func TestWriteEventsTailAndAfter(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	for i := 1; i <= 5; i++ {
+		reg.Event(fmt.Sprintf("e%d", i))
+	}
+	names := func(tail int, after uint64) []string {
+		var buf bytes.Buffer
+		if err := reg.WriteEvents(&buf, tail, after); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var rec struct {
+				Event string `json:"event"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("bad JSONL line %q: %v", line, err)
+			}
+			out = append(out, rec.Event)
+		}
+		return out
+	}
+	if got := names(2, 0); !equalStrings(got, []string{"e4", "e5"}) {
+		t.Fatalf("tail=2: %v, want [e4 e5]", got)
+	}
+	if got := names(0, 3); !equalStrings(got, []string{"e4", "e5"}) {
+		t.Fatalf("after=3: %v, want [e4 e5]", got)
+	}
+	if got := names(1, 5); got != nil {
+		t.Fatalf("after=last: %v, want empty", got)
+	}
+}
+
+func TestNilRegistryEventsInert(t *testing.T) {
+	var reg *Registry
+	reg.Event("ignored", "k", "v")
+	events, dropped := reg.Events()
+	if events != nil || dropped != 0 {
+		t.Fatalf("nil registry Events() = %v, %d; want nil, 0", events, dropped)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteEvents(&buf, 0, 0); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteEvents wrote %q err=%v", buf.String(), err)
+	}
+}
+
+func TestWritePromSyntheticDroppedSeries(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	reg.Event("only")
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{SpansDroppedSeries, EventsDroppedSeries} {
+		if !strings.Contains(out, series+" 0\n") {
+			t.Fatalf("WriteProm missing synthetic series %s:\n%s", series, out)
+		}
+		if !strings.Contains(out, "# TYPE "+series+" counter\n") {
+			t.Fatalf("WriteProm missing TYPE header for %s:\n%s", series, out)
+		}
+	}
+}
+
+func TestSnapshotCarriesEvents(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	reg.Event("a", "k", "v")
+	s := reg.Snapshot()
+	if len(s.Events) != 1 || s.Events[0].Name != "a" {
+		t.Fatalf("snapshot events = %+v, want one record named a", s.Events)
+	}
+	if s.EventsDropped != 0 {
+		t.Fatalf("snapshot EventsDropped = %d, want 0", s.EventsDropped)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -65,6 +65,15 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// Synthetic series surfacing the bounded logs' overflow accounting. They
+// are emitted by WriteProm without registration, so a span or event lost
+// to a cap is never silent; registering ordinary metrics under these names
+// is reserved.
+const (
+	SpansDroppedSeries  = "mavscan_telemetry_spans_dropped_total"
+	EventsDroppedSeries = "mavscan_telemetry_events_dropped_total"
+)
+
 // WriteProm writes every metric in the Prometheus text exposition format,
 // families sorted lexically and series sorted within each family. A nil
 // registry writes nothing.
@@ -73,10 +82,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	counters := make(map[string]uint64, len(r.counters))
+	counters := make(map[string]uint64, len(r.counters)+2)
 	for name, c := range r.counters {
 		counters[name] = c.Value()
 	}
+	counters[SpansDroppedSeries] = r.spans.dropped
+	counters[EventsDroppedSeries] = r.events.dropped
 	gauges := make(map[string]int64, len(r.gauges))
 	for name, g := range r.gauges {
 		gauges[name] = g.Value()
@@ -129,11 +140,13 @@ func writeFamilies(b *strings.Builder, typ string, names []string, emit func(nam
 
 // Snapshot is the JSON-friendly frozen state of a registry.
 type Snapshot struct {
-	Counters     map[string]uint64            `json:"counters,omitempty"`
-	Gauges       map[string]int64             `json:"gauges,omitempty"`
-	Histograms   map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	Spans        []SpanRecord                 `json:"spans,omitempty"`
-	SpansDropped uint64                       `json:"spans_dropped,omitempty"`
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans         []SpanRecord                 `json:"spans,omitempty"`
+	SpansDropped  uint64                       `json:"spans_dropped,omitempty"`
+	Events        []EventRecord                `json:"events,omitempty"`
+	EventsDropped uint64                       `json:"events_dropped,omitempty"`
 }
 
 // Snapshot freezes the registry. A nil registry yields an empty snapshot.
@@ -164,6 +177,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	s.Spans = append([]SpanRecord(nil), r.spans.records...)
 	s.SpansDropped = r.spans.dropped
+	n := len(r.events.records)
+	for i := 0; i < n; i++ {
+		s.Events = append(s.Events, r.events.records[(r.events.head+i)%n])
+	}
+	s.EventsDropped = r.events.dropped
 	return s
 }
 

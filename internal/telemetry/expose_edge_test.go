@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mavscan/internal/simtime"
+)
+
+func TestEscapeLabelEdgeCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"multi\nline", `multi\nline`},
+		{`all \ " ` + "\n", `all \\ \" \n`},
+		{"ütf-8 ✓", "ütf-8 ✓"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabeledEscapesValues(t *testing.T) {
+	got := Labeled("x_total", "state", `fi"x\ed`)
+	want := `x_total{state="fi\"x\\ed"}`
+	if got != want {
+		t.Fatalf("Labeled = %s, want %s", got, want)
+	}
+}
+
+func TestWritePromEscapedLabelSeries(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	reg.Counter(Labeled("mavscan_edge_total", "path", `C:\tmp`, "msg", "a\nb")).Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `mavscan_edge_total{path="C:\\tmp",msg="a\nb"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("WriteProm output missing escaped series %q:\n%s", want, buf.String())
+	}
+	// The family header must use the bare family name, not the labeled one.
+	if !strings.Contains(buf.String(), "# TYPE mavscan_edge_total counter\n") {
+		t.Fatalf("WriteProm missing family TYPE header:\n%s", buf.String())
+	}
+}
+
+func TestSplitSeriesRoundTrip(t *testing.T) {
+	cases := []struct {
+		series, family, labels string
+	}{
+		{"plain_total", "plain_total", ""},
+		{`x_total{state="fixed"}`, "x_total", `state="fixed"`},
+		{`x_total{a="1",b="2"}`, "x_total", `a="1",b="2"`},
+		{`x_total{v="br{ace"}`, "x_total", `v="br{ace"`},
+		{`x_total{q="\""}`, "x_total", `q="\""`},
+		{`x_total{}`, "x_total", ""},
+	}
+	for _, c := range cases {
+		family, labels := splitSeries(c.series)
+		if family != c.family || labels != c.labels {
+			t.Errorf("splitSeries(%q) = %q, %q; want %q, %q",
+				c.series, family, labels, c.family, c.labels)
+		}
+		// Round trip: re-joining the parts must rebuild the series (the
+		// empty-brace form canonicalizes to the bare family name).
+		rebuilt := family + joinLabels(labels)
+		wantSeries := c.series
+		if c.labels == "" {
+			wantSeries = c.family
+		}
+		if rebuilt != wantSeries {
+			t.Errorf("rejoin of %q = %q, want %q", c.series, rebuilt, wantSeries)
+		}
+	}
+}
+
+func TestJoinLabels(t *testing.T) {
+	cases := []struct {
+		blocks []string
+		want   string
+	}{
+		{nil, ""},
+		{[]string{""}, ""},
+		{[]string{`a="1"`}, `{a="1"}`},
+		{[]string{`a="1"`, ""}, `{a="1"}`},
+		{[]string{`a="1"`, `le="0.5"`}, `{a="1",le="0.5"}`},
+		{[]string{"", `le="+Inf"`}, `{le="+Inf"}`},
+	}
+	for _, c := range cases {
+		if got := joinLabels(c.blocks...); got != c.want {
+			t.Errorf("joinLabels(%q) = %q, want %q", c.blocks, got, c.want)
+		}
+	}
+}
+
+func TestWritePromLabeledHistogramSuffixes(t *testing.T) {
+	reg := New(simtime.NewSim(t0))
+	h := reg.Histogram(Labeled("mavscan_lat_seconds", "stage", "probe"), []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// _bucket merges the series labels with le=, _sum/_count keep only the
+	// series labels: the family/label split must survive suffixing.
+	for _, want := range []string{
+		`mavscan_lat_seconds_bucket{stage="probe",le="0.1"} 1`,
+		`mavscan_lat_seconds_bucket{stage="probe",le="+Inf"} 2`,
+		`mavscan_lat_seconds_sum{stage="probe"} 5.05`,
+		`mavscan_lat_seconds_count{stage="probe"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("WriteProm missing %q:\n%s", want, out)
+		}
+	}
+}

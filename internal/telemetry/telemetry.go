@@ -165,6 +165,7 @@ type Registry struct {
 	histograms map[string]*Histogram
 	spans      spanLog
 	spanSeq    atomic.Uint64
+	events     eventLog
 }
 
 // New returns an enabled registry reading time from clock. Pass

@@ -30,6 +30,7 @@ package mavscan
 import (
 	"context"
 	"crypto/tls"
+	"net"
 	"net/http"
 	"net/netip"
 
@@ -45,11 +46,12 @@ import (
 	"mavscan/internal/honeypot"
 	"mavscan/internal/httpsim"
 	"mavscan/internal/mav"
+	"mavscan/internal/obs"
 	"mavscan/internal/observer"
 	"mavscan/internal/orchestrator"
 	"mavscan/internal/population"
-	"mavscan/internal/resilience"
 	"mavscan/internal/prefilter"
+	"mavscan/internal/resilience"
 	"mavscan/internal/scanner"
 	"mavscan/internal/secscan"
 	"mavscan/internal/simnet"
@@ -213,6 +215,42 @@ func NewESLiteCheckpointStore(events *EventStore, clock simtime.Clock) *ESLiteCh
 
 // NewDetectorRegistry returns a registry with all 18 plugins installed.
 func NewDetectorRegistry() *DetectorRegistry { return plugins.NewRegistry() }
+
+// The live operations plane (internal/obs): an HTTP server exposing
+// metrics, health, per-shard progress, the event log, and trace export
+// while a run is in flight.
+type (
+	// OpsConfig assembles one operations plane.
+	OpsConfig = obs.Config
+	// OpsServer is a running operations plane.
+	OpsServer = obs.Server
+	// OpsCheck is one named liveness or readiness probe.
+	OpsCheck = obs.Check
+	// ReadyFlag is an atomic readiness latch for /readyz.
+	ReadyFlag = obs.Flag
+	// ProgressTracker accumulates live per-shard scan progress for
+	// /progress (hand it to ScanConfig.Obs.Progress).
+	ProgressTracker = orchestrator.ProgressTracker
+	// ScanProgress is one coherent progress snapshot.
+	ScanProgress = orchestrator.Progress
+	// ObsHooks wires a study run into the operations plane.
+	ObsHooks = study.ObsConfig
+)
+
+// NewProgressTracker returns an empty progress tracker ready for
+// ScanConfig.Obs.
+func NewProgressTracker() *ProgressTracker { return orchestrator.NewProgressTracker() }
+
+// ListenOps opens the operations plane's loopback-only TCP listener
+// (":8070" binds 127.0.0.1:8070; non-loopback addresses are refused).
+func ListenOps(addr string) (net.Listener, error) { return obs.Listen(addr) }
+
+// ServeOps starts the operations plane on l and returns immediately.
+func ServeOps(l net.Listener, cfg OpsConfig) *OpsServer { return obs.Serve(l, cfg) }
+
+// NewOpsHandler returns the plane as a plain http.Handler, for mounting
+// under an existing mux.
+func NewOpsHandler(cfg OpsConfig) http.Handler { return obs.NewHandler(cfg) }
 
 // World generation (internal/population, internal/geo).
 type (

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance benchmark suite and update BENCH_pr7.json.
+# bench.sh — run the performance benchmark suite and update BENCH_pr8.json.
 #
 # Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
 # iteration is a full simulated internet scan, so only a few iterations
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr7.json}"
+OUT="${1:-BENCH_pr8.json}"
 TABLE_RUNS="${TABLE_RUNS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$TMP.json"' EXIT
@@ -36,6 +36,9 @@ go test -run '^$' -bench . -benchmem ./internal/telemetry/ >>"$TMP"
 
 echo "==> orchestrator shard sweep (-benchtime=1x: one iteration is a full scan)"
 go test -run '^$' -bench 'BenchmarkScanThroughput' -benchtime=1x -benchmem ./internal/orchestrator/ >>"$TMP"
+
+echo "==> operations plane: serve-off vs serve-on scan (-benchtime=1x; ≤2% overhead budget)"
+go test -run '^$' -bench 'BenchmarkScanThroughputServe' -benchtime=1x -benchmem ./internal/obs/ >>"$TMP"
 
 echo "==> population scale sweep: world setup (lazy vs eager, heap-bytes) and probe throughput at 1x/100x/1000x"
 go test -run '^$' -bench 'BenchmarkWorldSetup' -benchtime=1x ./internal/population/ >>"$TMP"
