@@ -16,6 +16,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"mavscan"
 	"mavscan/internal/analysis"
@@ -348,6 +349,38 @@ func BenchmarkTable9Summary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := study.Table9(scan, hs, def)
 		printOnce(i, func() { report.Table9(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkScanHostileOff / On quantify the adversarial stratum: the same
+// world and scan scale, first hostile-free, then with 10% weaponized
+// responders, both under a tight HTTP wall budget. The Off variant doubles
+// as the benign-path overhead gate — the hardened read paths (shared
+// limits ledger, truncation bookkeeping, connection budgets) are in play
+// on every request, and the pipeline must stay within 2% of its
+// pre-adversary throughput (compare against BenchmarkTable3Prevalence in
+// the previous BENCH file).
+func BenchmarkScanHostileOff(b *testing.B) { benchHostileScan(b, 0) }
+
+// BenchmarkScanHostileOn is the weaponized counterpart: tarpits, bombs
+// and mazes in the population, terminated only by the budgets.
+func BenchmarkScanHostileOn(b *testing.B) { benchHostileScan(b, 0.1) }
+
+func benchHostileScan(b *testing.B, rate float64) {
+	if testing.Short() {
+		b.Skip("full scan study is slow; skipped in -short mode")
+	}
+	cfg := benchScanConfig()
+	cfg.Population.HostileRate = rate
+	cfg.HTTPTimeout = 150 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		scan, err := study.RunScan(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rate > 0 && scan.World.Hostile == 0 {
+			b.Fatal("hostile world generated zero hostile hosts")
+		}
 	}
 }
 

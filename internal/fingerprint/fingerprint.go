@@ -286,6 +286,13 @@ func (f *Fingerprinter) crawlHash(ctx context.Context, t tsunami.Target) string 
 		if err != nil || resp.Status != 200 {
 			continue
 		}
+		if resp.Truncated {
+			// A body cut at the read cap is a prefix, and a prefix hash can
+			// collide with nothing in the knowledge base — or worse, a
+			// hostile endpoint could serve cap-sized prefixes of real assets
+			// to poison the intersection. Truncated bodies are no evidence.
+			continue
+		}
 		keys, ok := f.kb[hashBody([]byte(resp.Body))]
 		if !ok {
 			continue

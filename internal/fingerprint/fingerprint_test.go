@@ -1,12 +1,15 @@
 package fingerprint
 
 import (
+	"bytes"
 	"context"
+	"net/http"
 	"net/netip"
 	"testing"
 
 	"mavscan/internal/apps"
 	"mavscan/internal/httpsim"
+	"mavscan/internal/limits"
 	"mavscan/internal/mav"
 	"mavscan/internal/simnet"
 	"mavscan/internal/tsunami"
@@ -124,5 +127,65 @@ func TestHashPathDisambiguatesVersions(t *testing.T) {
 		if res.Version != version {
 			t.Errorf("Polynote %s fingerprinted as %q", version, res.Version)
 		}
+	}
+}
+
+// bindPage deploys a bare HTTP host serving exactly the given routes.
+func bindPage(t *testing.T, routes map[string][]byte) *simnet.Network {
+	t.Helper()
+	mux := http.NewServeMux()
+	for path, body := range routes {
+		body := body
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Write(body)
+		})
+	}
+	n := simnet.New()
+	h := simnet.NewHost(fpIP)
+	h.Bind(80, httpsim.ConnHandler(mux))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCrawlHashIgnoresTruncatedBodies is the anti-poisoning regression: a
+// hostile endpoint serves a multi-MiB "asset" whose cap-sized prefix
+// hashes to a genuine knowledge-base entry. Before truncation was recorded
+// the crawler hashed the silently clipped prefix and identified the fake
+// release; now a truncated body is no evidence at all.
+func TestCrawlHashIgnoresTruncatedBodies(t *testing.T) {
+	huge := bytes.Repeat([]byte("poison! "), limits.MaxBody/2) // 4x the cap
+	kb := KnowledgeBase{
+		hashBody(huge[:limits.MaxBody]): {assetKey{mav.Grav, "99.0-fake"}},
+	}
+	n := bindPage(t, map[string][]byte{
+		"/":              []byte(`<a href="/static/big.js">big</a>`),
+		"/static/big.js": huge,
+	})
+	env := tsunami.NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	fp := NewWithKnowledgeBase(env, kb)
+	res := fp.Fingerprint(context.Background(), tsunami.Target{IP: fpIP, Port: 80, Scheme: "http", App: mav.Grav})
+	if res.Identified() {
+		t.Fatalf("truncated-prefix hash identified %q; clipped bodies must be discarded", res.Version)
+	}
+}
+
+// TestCrawlHashExactCapBody is the other side of the boundary: a body of
+// exactly limits.MaxBody is complete, not truncated, and must still match.
+func TestCrawlHashExactCapBody(t *testing.T) {
+	exact := bytes.Repeat([]byte{'e'}, limits.MaxBody)
+	kb := KnowledgeBase{
+		hashBody(exact): {assetKey{mav.Grav, "7.7.7"}},
+	}
+	n := bindPage(t, map[string][]byte{
+		"/":                []byte(`<a href="/static/exact.js">e</a>`),
+		"/static/exact.js": exact,
+	})
+	env := tsunami.NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	fp := NewWithKnowledgeBase(env, kb)
+	res := fp.Fingerprint(context.Background(), tsunami.Target{IP: fpIP, Port: 80, Scheme: "http", App: mav.Grav})
+	if res.Version != "7.7.7" {
+		t.Fatalf("exact-cap body fingerprinted as %q, want 7.7.7", res.Version)
 	}
 }

@@ -24,8 +24,10 @@ import (
 	"sync"
 	"time"
 
+	"mavscan/internal/limits"
 	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
+	"mavscan/internal/simtime"
 )
 
 // oneShotListener yields a single pre-established connection and then
@@ -54,8 +56,10 @@ func (l *oneShotListener) Addr() net.Addr {
 // maxHeaderBytes caps request headers on simulated servers and response
 // headers on the scanning client. A header bomb from either side of the
 // wire must fail the one exchange, not grow the process ("Never Trust
-// Your Victim" hardening).
-const maxHeaderBytes = 256 << 10 // 256 KiB
+// Your Victim" hardening). The value is the shared cap from
+// internal/limits, so servers, clients and the lint rules agree on one
+// number.
+const maxHeaderBytes = limits.MaxHeaderBytes
 
 // ConnHandler returns a simnet connection handler that serves h as plain
 // HTTP, with keep-alive support, on every accepted connection.
@@ -203,6 +207,20 @@ type ClientOptions struct {
 	// retried on transport errors and transient 5xx responses under the
 	// retrier's policy (see internal/resilience).
 	Retrier *resilience.Retrier
+	// Clock paces the per-connection wall budget (nil = the wall clock).
+	// Tests inject a fake sleeper to prove tarpits and slow-loris drips
+	// terminate without waiting out a real budget.
+	Clock simtime.Sleeper
+	// Budget is the per-connection wall budget: a watchdog off Clock closes
+	// any connection older than Budget regardless of protocol progress,
+	// which is what terminates a drip that delivers one byte per timeout
+	// window. Zero means Timeout; negative disables the watchdog.
+	Budget time.Duration
+	// MaxConnBytes caps the cumulative bytes read from one connection,
+	// under the protocol layer — the backstop against responders that
+	// stream garbage past every header and body cap. Zero means
+	// limits.MaxConnBytes; negative disables the cap.
+	MaxConnBytes int64
 }
 
 // NewClient returns an *http.Client whose connections are dialed through
@@ -216,23 +234,33 @@ func NewClient(n *simnet.Network, opts ClientOptions) *http.Client {
 	if opts.MaxRedirects == 0 {
 		opts.MaxRedirects = 5
 	}
+	if opts.Budget == 0 {
+		opts.Budget = opts.Timeout
+	}
 	dial := func(ctx context.Context, network, address string) (net.Conn, error) {
+		var conn net.Conn
+		var err error
 		if opts.SourceIP.IsValid() {
-			host, portStr, err := net.SplitHostPort(address)
-			if err != nil {
-				return nil, err
+			host, portStr, splitErr := net.SplitHostPort(address)
+			if splitErr != nil {
+				return nil, splitErr
 			}
-			ip, err := netip.ParseAddr(host)
-			if err != nil {
-				return nil, fmt.Errorf("httpsim: bad host %q: %w", host, err)
+			ip, parseErr := netip.ParseAddr(host)
+			if parseErr != nil {
+				return nil, fmt.Errorf("httpsim: bad host %q: %w", host, parseErr)
 			}
-			port, err := strconv.Atoi(portStr)
-			if err != nil || port < 1 || port > 65535 {
+			port, portErr := strconv.Atoi(portStr)
+			if portErr != nil || port < 1 || port > 65535 {
 				return nil, fmt.Errorf("httpsim: bad port %q", portStr)
 			}
-			return n.DialFrom(ctx, opts.SourceIP, ip, port)
+			conn, err = n.DialFrom(ctx, opts.SourceIP, ip, port)
+		} else {
+			conn, err = n.DialContext(ctx, network, address)
 		}
-		return n.DialContext(ctx, network, address)
+		if err != nil {
+			return nil, err
+		}
+		return harden(conn, opts), nil
 	}
 	transport := &http.Transport{
 		DialContext:       dial,
@@ -265,6 +293,35 @@ func NewClient(n *simnet.Network, opts ClientOptions) *http.Client {
 			return nil
 		},
 	}
+}
+
+// harden applies the shared read budgets from internal/limits to a dialed
+// connection: a cumulative byte cap under the protocol layer and a
+// wall-clock watchdog, the two enforcement points a weaponized endpoint
+// cannot negotiate with. Everything above them — header caps, body caps,
+// redirect caps — is protocol-level and already enforced elsewhere.
+func harden(conn net.Conn, opts ClientOptions) net.Conn {
+	if opts.MaxConnBytes >= 0 {
+		conn = limits.Conn(conn, opts.MaxConnBytes)
+	}
+	if opts.Budget > 0 {
+		stop := limits.Watchdog(conn, opts.Clock, opts.Budget)
+		conn = &guardedConn{Conn: conn, stop: stop}
+	}
+	return conn
+}
+
+// guardedConn retires its watchdog when the connection closes normally, so
+// an orderly exchange never leaks a pending timer goroutine for the rest
+// of the budget.
+type guardedConn struct {
+	net.Conn
+	stop func()
+}
+
+func (c *guardedConn) Close() error {
+	c.stop()
+	return c.Conn.Close()
 }
 
 // FetchCertificate performs a TLS handshake against (ip, 443-style port)

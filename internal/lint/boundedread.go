@@ -7,9 +7,12 @@ import (
 
 // boundedreadExempt lists the packages allowed to consume network readers
 // without a bound: simnet is the simulated-victim fabric (it *is* the
-// peer), and the analysis engine itself holds no sockets.
+// peer), adversary implements the weaponized victims themselves (a tarpit
+// deliberately drains its attacker's bytes), and the analysis engine holds
+// no sockets.
 var boundedreadExempt = []string{
 	"mavscan/internal/simnet",
+	"mavscan/internal/adversary",
 	"mavscan/internal/lint",
 }
 
@@ -68,24 +71,46 @@ func unboundedConsumption(fl *funcFlow, call *ast.CallExpr, stack []ast.Node) st
 		}
 		return nil
 	}
+	// describe renders the reader's flavor for the finding message;
+	// decompressed streams get their own wording because the fix differs
+	// (re-bound the *output*, or use limits.Gunzip — bounding the input
+	// does nothing against a compression bomb).
+	describe := func(v flowVal) string {
+		if v == valDecompressed {
+			return "a decompressed network stream (compression-bomb amplification); re-bound the inflated output or use limits.Gunzip"
+		}
+		return ""
+	}
 	obj := usedObject(fl.pkg.Info, call.Fun)
 	if obj != nil && packageLevel(obj) {
 		switch {
 		case objectFromPkg(obj, "io", "ReadAll"):
-			if fl.classify(arg(0)) == valNetReader {
+			if v := fl.classify(arg(0)); netLike(v) {
+				if d := describe(v); d != "" {
+					return "io.ReadAll of " + d
+				}
 				return "io.ReadAll of an unbounded network reader; wrap it in io.LimitReader"
 			}
 		case objectFromPkg(obj, "io", "Copy", "CopyBuffer"):
-			if fl.classify(arg(1)) == valNetReader {
+			if v := fl.classify(arg(1)); netLike(v) {
+				if d := describe(v); d != "" {
+					return fmt.Sprintf("io.%s from %s", obj.Name(), d)
+				}
 				return fmt.Sprintf("io.%s from an unbounded network reader; wrap the source in io.LimitReader", obj.Name())
 			}
 		case objectFromPkg(obj, "bufio", "NewScanner"):
-			if fl.classify(arg(0)) == valNetReader {
+			if v := fl.classify(arg(0)); netLike(v) {
+				if d := describe(v); d != "" {
+					return "bufio.Scanner over " + d
+				}
 				return "bufio.Scanner over an unbounded network reader; scan an io.LimitReader instead"
 			}
 		case objectFromPkg(obj, "encoding/json", "NewDecoder"),
 			objectFromPkg(obj, "encoding/xml", "NewDecoder"):
-			if fl.classify(arg(0)) == valNetReader {
+			if v := fl.classify(arg(0)); netLike(v) {
+				if d := describe(v); d != "" {
+					return fmt.Sprintf("%s.NewDecoder on %s", obj.Pkg().Name(), d)
+				}
 				return fmt.Sprintf("%s.NewDecoder on an unbounded network body; decode from http.MaxBytesReader or io.LimitReader", obj.Pkg().Name())
 			}
 		}
@@ -93,8 +118,13 @@ func unboundedConsumption(fl *funcFlow, call *ast.CallExpr, stack []ast.Node) st
 	// A raw x.Read(buf) fills one bounded buffer, but inside a loop it
 	// consumes the stream indefinitely under the peer's control.
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Read" && len(call.Args) == 1 {
-		if insideLoop(stack) && fl.classify(sel.X) == valNetReader {
-			return "raw Read loop over an unbounded network reader; bound it with io.LimitReader"
+		if insideLoop(stack) {
+			if v := fl.classify(sel.X); netLike(v) {
+				if d := describe(v); d != "" {
+					return "raw Read loop over " + d
+				}
+				return "raw Read loop over an unbounded network reader; bound it with io.LimitReader"
+			}
 		}
 	}
 	return ""

@@ -38,10 +38,19 @@ const (
 	valUnknown flowVal = iota
 	// valNetReader marks a reader whose length the remote peer controls.
 	valNetReader
+	// valDecompressed marks the output of a decompressor fed from a
+	// network reader: the peer controls not just the length but the
+	// *expansion* (a 64KiB gzip bomb inflates to 64MiB), so it is as
+	// dangerous as the raw stream and must be re-bounded before use.
+	valDecompressed
 	// valBounded marks a reader with an explicit size ceiling or one
 	// backed by an already-materialized in-memory buffer.
 	valBounded
 )
+
+// netLike reports whether v carries peer-controlled bytes that no bound
+// has been applied to yet.
+func netLike(v flowVal) bool { return v == valNetReader || v == valDecompressed }
 
 // flowKey addresses one tracked value: a variable, or one of its fields.
 type flowKey struct {
@@ -73,9 +82,21 @@ func (fl *funcFlow) walk(body *ast.BlockStmt, visit func(n ast.Node, stack []ast
 
 // assign is the transfer function: each 1:1 assignment re-classifies its
 // left-hand side. Multi-value unpackings (conn, err := dial(...)) are
-// skipped; connection-typed results still classify by their static type.
+// skipped — connection-typed results still classify by their static type —
+// with one exception: the two-valued decompressor constructors
+// (gzip.NewReader, zlib.NewReader), whose reader result would otherwise
+// launder its peer-controlled input into valUnknown.
 func (fl *funcFlow) assign(a *ast.AssignStmt) {
 	if len(a.Lhs) != len(a.Rhs) {
+		if len(a.Rhs) == 1 && len(a.Lhs) == 2 {
+			if call, ok := a.Rhs[0].(*ast.CallExpr); ok {
+				if v := fl.classifyCall(call); v != valUnknown {
+					if key, ok := fl.lvalKeyOf(a.Lhs[0]); ok {
+						fl.vals[key] = v
+					}
+				}
+			}
+		}
 		return
 	}
 	for i, lhs := range a.Lhs {
@@ -187,6 +208,14 @@ func (fl *funcFlow) classifyCall(call *ast.CallExpr) flowVal {
 			}
 		case objectFromPkg(obj, "crypto/tls", "Client", "Server"):
 			return valNetReader
+		case objectFromPkg(obj, "compress/gzip", "NewReader"),
+			objectFromPkg(obj, "compress/zlib", "NewReader", "NewReaderDict"),
+			objectFromPkg(obj, "compress/flate", "NewReader", "NewReaderDict"):
+			// A decompressor does not bound its input — it amplifies it.
+			// Output over peer-controlled bytes stays peer-controlled.
+			if len(call.Args) > 0 && netLike(fl.classify(call.Args[0])) {
+				return valDecompressed
+			}
 		}
 	}
 	if obj != nil && obj.Pkg() != nil && pathUnderAny(obj.Pkg().Path(), flowSourcePkgs) {

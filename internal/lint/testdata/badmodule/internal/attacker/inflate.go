@@ -1,0 +1,54 @@
+package attacker
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"compress/zlib"
+	"io"
+	"net"
+	"net/http"
+)
+
+// Inflate demonstrates decompressor laundering: a gzip/flate/zlib reader
+// over peer-controlled bytes is still peer-controlled — amplified, even —
+// and consuming its output without a fresh bound must be flagged.
+func Inflate(resp *http.Response, conn net.Conn) []byte {
+	// Violation: gzip over the body, inflated output read unbounded.
+	zr, _ := gzip.NewReader(resp.Body)
+	out, _ := io.ReadAll(zr)
+
+	// Violation: flate directly over a network connection, copied out.
+	fr := flate.NewReader(conn)
+	io.Copy(io.Discard, fr)
+
+	// Violation: zlib output drained through a raw Read loop.
+	zl, _ := zlib.NewReader(resp.Body)
+	buf := make([]byte, 512)
+	for {
+		n, err := zl.Read(buf)
+		if err != nil {
+			break
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// InflateCapped is the clean counterpart: the decompressor's *output* is
+// re-bounded before consumption, which is the fix the rule points at.
+func InflateCapped(resp *http.Response) ([]byte, error) {
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(io.LimitReader(zr, 1<<20))
+}
+
+// InflateBuffered decompresses an already-materialized buffer: the input
+// is bounded, so the output draws no finding here (ratio caps are the
+// runtime's job, not the lint's).
+func InflateBuffered(data []byte) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(data))
+	return io.ReadAll(io.LimitReader(zr, 1<<20))
+}

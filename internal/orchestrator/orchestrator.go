@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"mavscan/internal/faults"
 	"mavscan/internal/iprange"
@@ -100,6 +101,10 @@ type Config struct {
 	Faults *faults.Plan
 	// Clock provides elapsed-time accounting (default the wall clock).
 	Clock simtime.Clock
+	// HTTPTimeout overrides the per-request HTTP timeout (and connection
+	// wall budget) of every shard pipeline; zero keeps the 10s default.
+	// Hostile-seeded scans set it low so tarpits cost milliseconds.
+	HTTPTimeout time.Duration
 }
 
 // segment is one atomic unit of scan work: a contiguous flat-index address
@@ -221,7 +226,8 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 		o.pipes[i] = scanner.New(cfg.Net,
 			scanner.WithResilience(cfg.Resilience),
 			scanner.WithTelemetry(cfg.Telemetry),
-			scanner.WithShardPlan(scanner.ShardPlan{Shard: i, Shards: shards}))
+			scanner.WithShardPlan(scanner.ShardPlan{Shard: i, Shards: shards}),
+			scanner.WithHTTPTimeout(cfg.HTTPTimeout))
 	}
 
 	rootSpan := cfg.Telemetry.StartSpan("orchestrator.run")

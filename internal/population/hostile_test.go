@@ -1,0 +1,135 @@
+package population
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"mavscan/internal/adversary"
+	"mavscan/internal/mav"
+)
+
+func hostileConfig(seed int64, rate float64) Config {
+	c := smallConfig(seed)
+	c.HostileRate = rate
+	return c
+}
+
+func TestHostileRateValidation(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1, 1.5} {
+		if _, err := Generate(hostileConfig(1, rate)); err == nil {
+			t.Errorf("HostileRate %v accepted, want rejection", rate)
+		}
+	}
+}
+
+func TestHostileStratumCounts(t *testing.T) {
+	w, err := Generate(hostileConfig(3, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Hostile == 0 {
+		t.Fatal("HostileRate 0.1 produced no hostile hosts")
+	}
+	got := float64(w.Hostile) / float64(w.TotalHosts())
+	if got < 0.05 || got > 0.15 {
+		t.Errorf("hostile fraction = %v, want ~0.1", got)
+	}
+	hosts := w.HostileHosts()
+	if len(hosts) != w.Hostile {
+		t.Fatalf("HostileHosts returned %d entries, want %d", len(hosts), w.Hostile)
+	}
+	ports := map[int]bool{}
+	for _, p := range mav.ScanPorts() {
+		ports[p] = true
+	}
+	for _, h := range hosts {
+		if h.Archetype >= adversary.NumArchetypes {
+			t.Errorf("%s: archetype %d out of range", h.IP, h.Archetype)
+		}
+		if !ports[h.Port] {
+			t.Errorf("%s: port %d is not a scan port", h.IP, h.Port)
+		}
+		// Hostile hosts are infrastructure, not app ground truth.
+		if spec, ok := w.SpecFor(h.IP); ok {
+			t.Errorf("%s: hostile host has an app spec (%s)", h.IP, spec.App)
+		}
+		// The generated network really serves the archetype at that address.
+		if _, ok := w.Net.Host(h.IP); !ok {
+			t.Errorf("%s: hostile host missing from the network", h.IP)
+		}
+	}
+}
+
+// TestHostileDoesNotPerturbBenign is the seed-stability half of the
+// acceptance criterion: seeding adversaries must leave every benign host —
+// address, app, port, TLS identity, version, ground truth — untouched.
+func TestHostileDoesNotPerturbBenign(t *testing.T) {
+	clean, err := Generate(hostileConfig(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := Generate(hostileConfig(7, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Hostile != 0 || len(clean.HostileHosts()) != 0 {
+		t.Fatalf("rate-0 world has %d hostile hosts", clean.Hostile)
+	}
+	if dirty.Background != clean.Background || dirty.Wildcard != clean.Wildcard {
+		t.Errorf("background/wildcard counts changed: %d/%d vs %d/%d",
+			dirty.Background, dirty.Wildcard, clean.Background, clean.Wildcard)
+	}
+	if len(dirty.Specs) != len(clean.Specs) {
+		t.Fatalf("app-host count changed: %d vs %d", len(dirty.Specs), len(clean.Specs))
+	}
+	for i := range clean.Specs {
+		a, b := &clean.Specs[i], &dirty.Specs[i]
+		if a.IP != b.IP || a.App != b.App || a.Port != b.Port || a.TLS != b.TLS ||
+			a.Domain != b.Domain || a.Version != b.Version ||
+			a.Vulnerable != b.Vulnerable || a.ByDefault != b.ByDefault {
+			t.Fatalf("spec %d diverged:\n  clean: %+v\n  dirty: %+v", i, *a, *b)
+		}
+	}
+	benign := map[netip.Addr]bool{}
+	for i := range clean.Specs {
+		benign[clean.Specs[i].IP] = true
+	}
+	for _, h := range dirty.HostileHosts() {
+		if benign[h.IP] {
+			t.Errorf("hostile host %s collides with a benign app host", h.IP)
+		}
+	}
+}
+
+// TestHostileEagerLazyAgree checks the (seed, address) purity of the
+// hostile stratum: both world modes derive the same adversaries.
+func TestHostileEagerLazyAgree(t *testing.T) {
+	eager, err := Generate(hostileConfig(11, 0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcfg := hostileConfig(11, 0.15)
+	lcfg.Lazy = true
+	lazy, err := Generate(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh, lh := eager.HostileHosts(), lazy.HostileHosts()
+	if len(eh) == 0 || len(eh) != len(lh) {
+		t.Fatalf("hostile counts disagree: eager %d, lazy %d", len(eh), len(lh))
+	}
+	for i := range eh {
+		if eh[i] != lh[i] {
+			t.Fatalf("hostile host %d diverged: eager %+v, lazy %+v", i, eh[i], lh[i])
+		}
+	}
+	// A lazily materialized hostile address must accept a connection on its
+	// drawn port, like its eager twin.
+	h := lh[0]
+	conn, err := lazy.Net.Dial(context.Background(), h.IP, h.Port)
+	if err != nil {
+		t.Fatalf("dial lazy hostile %s:%d: %v", h.IP, h.Port, err)
+	}
+	conn.Close()
+}

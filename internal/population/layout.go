@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"mavscan/internal/adversary"
 	"mavscan/internal/apps"
 	"mavscan/internal/geo"
 	"mavscan/internal/httpsim"
@@ -49,6 +50,7 @@ const (
 	kindApp stratumKind = iota
 	kindBackground
 	kindWildcard
+	kindHostile
 )
 
 // stratum is one homogeneous slice of the population.
@@ -91,12 +93,15 @@ type layout struct {
 	strata []stratum
 	allocs []allocLayout
 	// kinds caches the background handler palette (stable order).
-	kinds   []apps.BackgroundKind
+	kinds []apps.BackgroundKind
+	// ports caches the scan-port palette hostile hosts draw from.
+	ports   []int
 	weights map[mav.App]strataWeights
 
 	appHosts   uint64 // total application hosts (vulnerable + secure)
 	background uint64
 	wildcard   uint64
+	hostile    uint64
 }
 
 // splitmix64 is the standard finalizing mixer (the same one the BlackRock
@@ -185,6 +190,7 @@ func newLayout(cfg Config, db *geo.DB, ca *httpsim.CA) (*layout, error) {
 		db:      db,
 		ca:      ca,
 		kinds:   apps.BackgroundKinds(),
+		ports:   mav.ScanPorts(),
 		weights: make(map[mav.App]strataWeights),
 	}
 	allocs := db.Allocations()
@@ -250,6 +256,19 @@ func newLayout(cfg Config, db *geo.DB, ca *httpsim.CA) (*layout, error) {
 		n := uint64(3_000_000 * scale / cfg.WildcardScale)
 		l.strata = append(l.strata, stratum{kind: kindWildcard, count: n})
 		l.wildcard += n
+	}
+	if cfg.HostileRate > 0 {
+		// The hostile stratum sizes itself so hostile hosts make up
+		// HostileRate of the total population, and it is appended strictly
+		// LAST: every benign stratum keeps its slot starts and its
+		// per-allocation permutation draws, so the benign world at a given
+		// seed is byte-identical whether or not adversaries are seeded.
+		benign := l.appHosts + l.background + l.wildcard
+		n := uint64(cfg.HostileRate/(1-cfg.HostileRate)*float64(benign) + 0.5)
+		if n > 0 {
+			l.strata = append(l.strata, stratum{kind: kindHostile, count: n})
+			l.hostile = n
+		}
 	}
 
 	for s := range l.strata {
@@ -343,6 +362,15 @@ func lazyTLSHandler(ca *httpsim.CA, h http.Handler, names ...string) simnet.Conn
 // and the like): accept, hang up.
 func closeHandler(c net.Conn) { c.Close() }
 
+// hostileDraw picks a hostile host's archetype and listening port from its
+// per-host RNG. It is factored out so build and World.HostileHosts consume
+// the draw in the same order and derive the same ground truth.
+func (l *layout) hostileDraw(rng *rand.Rand) (adversary.Archetype, int) {
+	arch := adversary.Archetype(rng.Intn(int(adversary.NumArchetypes)))
+	port := l.ports[rng.Intn(len(l.ports))]
+	return arch, port
+}
+
 // build derives the host (and, for app strata, the ground-truth spec) at
 // (stratum s, index idx, address ip). It is the pure function both world
 // modes share: the eager walk calls it for every (s, idx) in order, the
@@ -355,6 +383,10 @@ func (l *layout) build(s int, idx uint64, ip netip.Addr) (*simnet.Host, *HostSpe
 	switch st.kind {
 	case kindWildcard:
 		host.SetWildcardOpen(true)
+		return host, nil, nil
+	case kindHostile:
+		arch, port := l.hostileDraw(rng)
+		host.Bind(port, adversary.Handler(arch, ip, port, nil))
 		return host, nil, nil
 	case kindBackground:
 		// Protocol per Table 2's response ratios at this stratum's scale;

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"mavscan/internal/adversary"
 	"mavscan/internal/apps"
 	"mavscan/internal/geo"
 	"mavscan/internal/httpsim"
@@ -113,6 +114,12 @@ type Config struct {
 	// CacheHosts bounds the lazy world's resident host count (default
 	// 131072). Ignored when Lazy is false.
 	CacheHosts int
+	// HostileRate is the fraction of the total population made of
+	// weaponized responders (internal/adversary archetypes): 0 disables
+	// them (the default — and the benign strata are then byte-identical to
+	// a hostile-seeded world at the same seed, because the hostile stratum
+	// is appended after every benign one). Must be in [0, 1).
+	HostileRate float64
 	// Clock stamps command executions on the emulated instances.
 	Clock apps.Clock
 	// Exec receives executed commands (used when honeypots reuse the
@@ -173,9 +180,11 @@ type World struct {
 	// Specs is the eager app-host ground truth, in generation order. Empty
 	// in lazy mode — use SpecFor and VulnerableSpecs, which work in both.
 	Specs []HostSpec
-	// Background counts generated noise hosts; Wildcard the artifact hosts.
+	// Background counts generated noise hosts; Wildcard the artifact
+	// hosts; Hostile the weaponized responders.
 	Background int
 	Wildcard   int
+	Hostile    int
 
 	cfg    Config
 	layout *layout
@@ -269,9 +278,41 @@ func (w *World) VulnerableSpecs() []*HostSpec {
 // artifacts.
 func (w *World) TotalHosts() uint64 {
 	if w.layout != nil {
-		return w.layout.appHosts + w.layout.background + w.layout.wildcard
+		return w.layout.appHosts + w.layout.background + w.layout.wildcard + w.layout.hostile
 	}
 	return uint64(w.Net.NumHosts())
+}
+
+// HostileHost is the ground truth for one weaponized responder.
+type HostileHost struct {
+	IP        netip.Addr
+	Port      int
+	Archetype adversary.Archetype
+}
+
+// HostileHosts derives the ground truth of every hostile host without
+// materializing any of them: each entry replays the same per-host RNG draw
+// build performs, so it matches what a probe of that address meets. The
+// slice is in stratum order; empty when HostileRate is 0.
+func (w *World) HostileHosts() []HostileHost {
+	l := w.layout
+	if l == nil || l.hostile == 0 {
+		return nil
+	}
+	out := make([]HostileHost, 0, l.hostile)
+	for s := range l.strata {
+		st := &l.strata[s]
+		if st.kind != kindHostile {
+			continue
+		}
+		for idx := uint64(0); idx < st.count; idx++ {
+			ip := l.addrOf(s, idx)
+			rng := rand.New(rand.NewSource(hostSeed(w.cfg.Seed, ipKey(ip))))
+			arch, port := l.hostileDraw(rng)
+			out = append(out, HostileHost{IP: ip, Port: port, Archetype: arch})
+		}
+	}
+	return out
 }
 
 // MaterializedHosts returns how many hosts currently exist in memory: the
@@ -491,6 +532,9 @@ func tlsLikelihood(app mav.App, port int) float64 {
 // to its first probe.
 func Generate(cfg Config) (*World, error) {
 	cfg.fill()
+	if cfg.HostileRate < 0 || cfg.HostileRate >= 1 {
+		return nil, fmt.Errorf("population: HostileRate %v out of range [0, 1)", cfg.HostileRate)
+	}
 	db, err := scaledGeo(cfg.PopScale)
 	if err != nil {
 		return nil, err
@@ -512,6 +556,7 @@ func Generate(cfg Config) (*World, error) {
 		weights:    l.weights,
 		Background: int(l.background),
 		Wildcard:   int(l.wildcard),
+		Hostile:    int(l.hostile),
 	}
 	if cfg.Lazy {
 		w.cache = newHostCache(cfg.CacheHosts)

@@ -1,0 +1,69 @@
+package prefilter
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mavscan/internal/adversary"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/simnet"
+)
+
+// TestProbeMazeAcrossHostsAndSchemes walks a redirect maze whose every hop
+// flips both the host and the scheme: plain-HTTP host A bounces to HTTPS
+// host B and back, forever. The probe must terminate on its redirect cap
+// and must not manufacture an application match out of the chain.
+func TestProbeMazeAcrossHostsAndSchemes(t *testing.T) {
+	n := simnet.New()
+	plainIP := netip.MustParseAddr("10.9.0.1")
+	tlsIP := netip.MustParseAddr("10.9.0.2")
+	deployOn(t, n, plainIP, 80, adversary.Maze(func(hop int) string {
+		return fmt.Sprintf("https://%s:443/%d", tlsIP, hop)
+	}), false)
+	deployOn(t, n, tlsIP, 443, adversary.Maze(func(hop int) string {
+		return fmt.Sprintf("http://%s:80/%d", plainIP, hop)
+	}), true)
+
+	start := time.Now()
+	res := New(n).Probe(context.Background(), plainIP, 80)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("maze probe ran %v; the redirect cap did not terminate the walk", elapsed)
+	}
+	if res.Relevant() {
+		t.Errorf("maze endpoint identified as %v; a redirect chain must never yield an app match", res.Apps)
+	}
+}
+
+// TestProbeOriginLoopTerminates points a host's every response back at its
+// own origin URL. Two independent brakes must each stop the loop: the
+// client's redirect cap under the default prefilter, and the per-request
+// wall budget when the redirect cap is effectively removed.
+func TestProbeOriginLoopTerminates(t *testing.T) {
+	n := simnet.New()
+	ip := netip.MustParseAddr("10.9.0.3")
+	deployOn(t, n, ip, 80, adversary.Loop("http://"+ip.String()+":80/"), false)
+
+	res := New(n).Probe(context.Background(), ip, 80)
+	if res.Relevant() {
+		t.Errorf("origin loop identified as %v under the default redirect cap", res.Apps)
+	}
+
+	// Redirect cap pushed out of reach: only the wall budget is left to
+	// cut the loop, and it must.
+	c := httpsim.NewClient(n, httpsim.ClientOptions{
+		Timeout:           100 * time.Millisecond,
+		MaxRedirects:      1 << 20,
+		DisableKeepAlives: true,
+	})
+	start := time.Now()
+	res = NewWithClient(c).Probe(context.Background(), ip, 80)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("origin loop ran %v with the redirect cap disabled; the wall budget failed to terminate it", elapsed)
+	}
+	if res.Relevant() {
+		t.Errorf("origin loop identified as %v under the wall budget", res.Apps)
+	}
+}

@@ -11,20 +11,17 @@ package prefilter
 import (
 	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"net/netip"
 	"time"
 
 	"mavscan/internal/httpsim"
+	"mavscan/internal/limits"
 	"mavscan/internal/mav"
 	"mavscan/internal/resilience"
 	"mavscan/internal/simnet"
 	"mavscan/internal/telemetry"
 )
-
-// maxBody bounds how much of a response body is read for matching.
-const maxBody = 512 << 10
 
 // Result describes one probed (ip, port) endpoint.
 type Result struct {
@@ -67,6 +64,7 @@ type preTelemetry struct {
 	responders  *telemetry.Counter
 	matched     *telemetry.Counter
 	fetchErrors *telemetry.Counter
+	truncated   *telemetry.Counter
 	perApp      map[mav.App]*telemetry.Counter
 }
 
@@ -87,6 +85,7 @@ func (p *Prefilter) Instrument(reg *telemetry.Registry) {
 		responders:  reg.Counter("mavscan_prefilter_responders_total"),
 		matched:     reg.Counter("mavscan_prefilter_matched_endpoints_total"),
 		fetchErrors: reg.Counter("mavscan_prefilter_fetch_errors_total"),
+		truncated:   reg.Counter("mavscan_prefilter_truncated_total"),
 		perApp:      perApp,
 	}
 }
@@ -106,10 +105,13 @@ func NewWithClient(c *http.Client) *Prefilter { return &Prefilter{client: c} }
 
 // fetch retrieves scheme://ip:port/ following redirects and returns the
 // final body, retrying transient failures when a retrier is installed.
-func (p *Prefilter) fetch(ctx context.Context, scheme string, ip netip.Addr, port int) (string, error) {
+// truncated reports that the body was cut at the read cap: a signature
+// match on it is still a match, but a hash of it must never be treated as
+// the document hash.
+func (p *Prefilter) fetch(ctx context.Context, scheme string, ip netip.Addr, port int) (body string, truncated bool, err error) {
 	if p.retr == nil {
-		body, _, err := p.fetchOnce(ctx, scheme, ip, port)
-		return body, err
+		body, truncated, _, err := p.fetchOnce(ctx, scheme, ip, port)
+		return body, truncated, err
 	}
 	// A 5xx is retried like a transport error. When failures persist past
 	// the attempt budget, the last 5xx body is surfaced only if every
@@ -120,44 +122,44 @@ func (p *Prefilter) fetch(ctx context.Context, scheme string, ip netip.Addr, por
 	// would promote an endpoint that cannot complete a clean exchange
 	// (say, a TLS-only service probed over plain HTTP) into an HTTP
 	// responder it never was.
-	var body string
 	var fetched, connErr bool
-	err := p.retr.Do(ctx, func(ctx context.Context) error {
-		b, status, err := p.fetchOnce(ctx, scheme, ip, port)
+	rerr := p.retr.Do(ctx, func(ctx context.Context) error {
+		b, trunc, status, err := p.fetchOnce(ctx, scheme, ip, port)
 		if err != nil {
 			connErr = true
 			return err
 		}
-		body, fetched = b, true
+		body, truncated, fetched = b, trunc, true
 		if status >= 500 {
 			return fmt.Errorf("prefilter: transient server status %d", status)
 		}
 		return nil
 	})
-	if err == nil || (fetched && !connErr) {
-		return body, nil
+	if rerr == nil || (fetched && !connErr) {
+		return body, truncated, nil
 	}
-	return "", err
+	return "", false, rerr
 }
 
-// fetchOnce is a single fetch attempt.
-func (p *Prefilter) fetchOnce(ctx context.Context, scheme string, ip netip.Addr, port int) (string, int, error) {
+// fetchOnce is a single fetch attempt. The body read is capped at
+// limits.MaxBody with the overflow recorded, never buffered.
+func (p *Prefilter) fetchOnce(ctx context.Context, scheme string, ip netip.Addr, port int) (string, bool, int, error) {
 	url := fmt.Sprintf("%s://%s:%d/", scheme, ip, port)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return "", 0, err
+		return "", false, 0, err
 	}
 	req.Header.Set("User-Agent", "mavscan-research-scanner/1.0 (+https://example.org/scan-optout)")
 	resp, err := p.client.Do(req)
 	if err != nil {
-		return "", 0, err
+		return "", false, 0, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	body, truncated, err := limits.ReadBody(resp.Body, limits.MaxBody)
 	if err != nil {
-		return "", resp.StatusCode, err
+		return "", truncated, resp.StatusCode, err
 	}
-	return string(body), resp.StatusCode, nil
+	return string(body), truncated, resp.StatusCode, nil
 }
 
 // Probe runs the Stage-II check for one open port.
@@ -174,12 +176,15 @@ func (p *Prefilter) Probe(ctx context.Context, ip netip.Addr, port int) Result {
 		if ctx.Err() != nil {
 			break // canceled: report only what was already observed
 		}
-		body, err := p.fetch(ctx, scheme, ip, port)
+		body, truncated, err := p.fetch(ctx, scheme, ip, port)
 		if err != nil {
 			if p.tel != nil {
 				p.tel.fetchErrors.Inc()
 			}
 			continue
+		}
+		if truncated && p.tel != nil {
+			p.tel.truncated.Inc()
 		}
 		if scheme == "http" {
 			res.HTTP = true

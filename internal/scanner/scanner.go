@@ -161,9 +161,10 @@ type ShardPlan struct {
 // pipeline is assembled, removing the ordering hazards of the former
 // mutator API (SetResilience had to precede Instrument).
 type settings struct {
-	policy resilience.Policy
-	reg    *telemetry.Registry
-	shard  ShardPlan
+	policy      resilience.Policy
+	reg         *telemetry.Registry
+	shard       ShardPlan
+	httpTimeout time.Duration
 }
 
 // Option configures a Pipeline at construction time.
@@ -195,6 +196,17 @@ func WithShardPlan(plan ShardPlan) Option {
 	return func(s *settings) { s.shard = plan }
 }
 
+// WithHTTPTimeout overrides the 10-second default HTTP timeout of the
+// Stage-II/III clients. The same value becomes each connection's wall
+// budget (httpsim's watchdog), which is what bounds the cost of a tarpit
+// or slow-loris endpoint to one short exchange: against a hostile-seeded
+// population, a smaller timeout is the difference between a scan that
+// finishes and one that idles in adversarial pits. Zero or negative keeps
+// the default.
+func WithHTTPTimeout(d time.Duration) Option {
+	return func(s *settings) { s.httpTimeout = d }
+}
+
 // New assembles the pipeline with all detection plugins installed,
 // configured by the given options.
 func New(n *simnet.Network, opts ...Option) *Pipeline {
@@ -202,15 +214,25 @@ func New(n *simnet.Network, opts ...Option) *Pipeline {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.httpTimeout <= 0 {
+		cfg.httpTimeout = 10 * time.Second
+	}
 	client := httpsim.NewClient(n, httpsim.ClientOptions{
-		Timeout:           10 * time.Second,
+		Timeout:           cfg.httpTimeout,
+		DisableKeepAlives: true,
+	})
+	// The prefilter's client mirrors prefilter.New's, under the same
+	// timeout override.
+	preClient := httpsim.NewClient(n, httpsim.ClientOptions{
+		Timeout:           cfg.httpTimeout,
+		MaxRedirects:      5,
 		DisableKeepAlives: true,
 	})
 	env := tsunami.NewEnv(client)
 	p := &Pipeline{
 		net:    n,
 		ports:  portscan.New(n),
-		pre:    prefilter.New(n),
+		pre:    prefilter.NewWithClient(preClient),
 		engine: tsunami.NewEngine(plugins.NewRegistry(), client),
 		fp:     fingerprint.New(env),
 		shard:  cfg.shard,

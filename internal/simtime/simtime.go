@@ -44,6 +44,15 @@ func (Wall) Now() time.Time { return time.Now() }
 // After waits in real time, like time.After.
 func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
+// AfterFunc schedules f after d on a runtime timer and returns its stop
+// function. Unlike After, no goroutine waits and a stopped timer leaves
+// the timer heap immediately — the cheap path for high-frequency
+// schedule-then-usually-cancel uses like per-connection watchdogs.
+func (Wall) AfterFunc(d time.Duration, f func()) (stop func()) {
+	t := time.AfterFunc(d, f)
+	return func() { t.Stop() }
+}
+
 // Immediate returns a Sleeper that reads Now from clock but whose After
 // channels are already fired: a receive completes instantly, carrying the
 // clock's current time. It makes wait-shaped code (backoff loops, pacing)

@@ -1,0 +1,154 @@
+package study
+
+import (
+	"context"
+	"encoding/json"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+)
+
+// canonBenign canonicalizes a report for the benign-subset identity.
+// Elapsed is timing noise. The hostile /32s are probed-and-closed in the
+// hostile-free run but skipped outright in the excluded run, so the
+// (Probed, Excluded) split is folded into its invariant sum — everything
+// else must match byte for byte.
+func canonBenign(t *testing.T, rep *scanner.Report) string {
+	t.Helper()
+	cp := *rep
+	cp.Stats.Elapsed = 0
+	cp.Stats.Probed += cp.Stats.Excluded
+	cp.Stats.Excluded = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func canonApps(t *testing.T, apps []scanner.AppObservation) string {
+	t.Helper()
+	b, err := json.Marshal(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHostileWorldBenignSubsetIdentity is the adversarial-endpoints
+// acceptance gate. Three runs share one seed:
+//
+//	R0 — HostileRate 0: the pre-adversary baseline.
+//	R1 — HostileRate 0.2: weaponized hosts live in the population.
+//	R2 — same hostile world, but every hostile /32 excluded from Stage I.
+//
+// R1 must finish (every archetype is terminated by some budget) and must
+// report exactly R0's application observations — hostile endpoints never
+// manufacture an app match and never suppress a real one. R2 must
+// reproduce R0's entire report byte for byte: the hostile stratum is
+// invisible to the benign world.
+func TestHostileWorldBenignSubsetIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three scan studies")
+	}
+	base := ScanConfig{
+		Population: population.Config{
+			Seed: 41, HostScale: 8000, VulnScale: 8,
+			BackgroundScale: -1, WildcardScale: -1,
+		},
+		Scan:        scanner.Options{Seed: 41},
+		HTTPTimeout: 500 * time.Millisecond,
+	}
+	r0, err := RunScan(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hostileCfg := base
+	hostileCfg.Population.HostileRate = 0.2
+	r1, err := RunScan(context.Background(), hostileCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.World.Hostile == 0 {
+		t.Fatal("hostile world generated zero hostile hosts")
+	}
+	if got, want := canonApps(t, r1.Report.Apps), canonApps(t, r0.Report.Apps); got != want {
+		t.Errorf("app observations differ between hostile and hostile-free scans:\n got %s\nwant %s", got, want)
+	}
+
+	var excl []netip.Prefix
+	for _, h := range r1.World.HostileHosts() {
+		excl = append(excl, netip.PrefixFrom(h.IP, 32))
+	}
+	r2cfg := hostileCfg
+	r2cfg.Scan.Exclude = excl
+	r2, err := RunScan(context.Background(), r2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Report.Stats.Excluded == 0 {
+		t.Fatal("exclusion list did not remove any probes")
+	}
+	if got, want := canonBenign(t, r2.Report), canonBenign(t, r0.Report); got != want {
+		t.Error("benign subset of the hostile world differs from the hostile-free run")
+	}
+}
+
+// TestHostilePopScale10Smoke is the CI adversarial gate: a 10×-scaled lazy
+// world with 10% weaponized responders is sharded-scanned across a
+// cross-section of every allocation, under a tight HTTP wall budget. The
+// scan must complete with the resident host set bounded by the cache cap
+// and the heap under the pinned budget — tarpits, bombs and mazes
+// included.
+func TestHostilePopScale10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probes >100k addresses against weaponized hosts")
+	}
+	const cacheHosts = 4096
+	pop := population.Config{
+		Seed: 42, PopScale: 10, Lazy: true, CacheHosts: cacheHosts,
+		HostileRate: 0.1,
+	}
+	world, err := population.Generate(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.Hostile == 0 {
+		t.Fatal("10% hostile world generated zero hostile hosts")
+	}
+	// Scan the first /18 of every allocation: a cross-section of every
+	// stratum, hostile included, without a full-space walk.
+	var targets []netip.Prefix
+	for _, p := range world.Geo.Prefixes() {
+		targets = append(targets, netip.PrefixFrom(p.Addr(), 18))
+	}
+	cfg := ScanConfig{
+		Population:  pop,
+		Scan:        scanner.Options{Seed: 42, Targets: targets, Ports: []int{80, 8080}},
+		Shards:      4,
+		HTTPTimeout: 150 * time.Millisecond,
+	}
+	scan, err := RunScan(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Report.Stats.Probed < 100_000 {
+		t.Fatalf("only %d probes issued, want ≥100k", scan.Report.Stats.Probed)
+	}
+	if got := scan.World.MaterializedHosts(); got > cacheHosts {
+		t.Errorf("cache holds %d hosts, cap is %d — hostile lazy world is not bounded", got, cacheHosts)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const heapBudget = 512 << 20
+	if ms.HeapAlloc > heapBudget {
+		t.Errorf("heap %d MiB exceeds the %d MiB budget for a hostile cache-bounded scan",
+			ms.HeapAlloc>>20, heapBudget>>20)
+	}
+}

@@ -79,6 +79,11 @@ type ScanConfig struct {
 	Telemetry *telemetry.Registry
 	// Obs hooks the run into the operations plane.
 	Obs ObsConfig
+	// HTTPTimeout overrides the Stage-II/III per-request timeout and
+	// connection wall budget (zero keeps the 10s default). Scans of
+	// hostile-seeded populations (Population.HostileRate > 0) should set
+	// it low: it is what prices a tarpit at one short exchange.
+	HTTPTimeout time.Duration
 }
 
 // orchestrated reports whether the scan should run through the sharded
@@ -126,11 +131,13 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 			Progress:    cfg.Obs.Progress,
 			Resilience:  cfg.Resilience,
 			Faults:      plan,
+			HTTPTimeout: cfg.HTTPTimeout,
 		})
 	} else {
 		pipe := scanner.New(world.Net,
 			scanner.WithResilience(cfg.Resilience),
-			scanner.WithTelemetry(cfg.Telemetry))
+			scanner.WithTelemetry(cfg.Telemetry),
+			scanner.WithHTTPTimeout(cfg.HTTPTimeout))
 		report, err = pipe.Run(ctx, cfg.Scan)
 	}
 	if err != nil {

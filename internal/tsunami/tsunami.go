@@ -12,7 +12,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/netip"
 	"regexp"
@@ -21,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"mavscan/internal/limits"
 	"mavscan/internal/mav"
 	"mavscan/internal/resilience"
 	"mavscan/internal/telemetry"
@@ -53,14 +53,15 @@ func NewEnv(client *http.Client) *Env { return &Env{client: client} }
 // semantics.
 func (e *Env) SetRetrier(r *resilience.Retrier) { e.retr = r }
 
-// maxBody caps how much of a response body a plugin may read.
-const maxBody = 512 << 10
-
-// Response is a fetched page, pre-read for convenience.
+// Response is a fetched page, pre-read for convenience. Body is capped at
+// limits.MaxBody; Truncated reports that the endpoint sent more — a
+// substring check on a truncated body is still valid evidence, but exact
+// comparisons and hashes of it are not.
 type Response struct {
-	Status int
-	Body   string
-	Header http.Header
+	Status    int
+	Body      string
+	Header    http.Header
+	Truncated bool
 }
 
 // Get fetches path (which must start with "/") from the target using a
@@ -109,11 +110,11 @@ func (e *Env) getOnce(ctx context.Context, t Target, path string) (*Response, er
 		return nil, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	body, truncated, err := limits.ReadBody(resp.Body, limits.MaxBody)
 	if err != nil {
 		return nil, err
 	}
-	return &Response{Status: resp.StatusCode, Body: string(body), Header: resp.Header}, nil
+	return &Response{Status: resp.StatusCode, Body: string(body), Header: resp.Header, Truncated: truncated}, nil
 }
 
 // Detector is one MAV verification plugin.

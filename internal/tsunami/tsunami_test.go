@@ -2,12 +2,14 @@ package tsunami
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/netip"
 	"strings"
 	"testing"
 
 	"mavscan/internal/httpsim"
+	"mavscan/internal/limits"
 	"mavscan/internal/mav"
 	"mavscan/internal/simnet"
 )
@@ -150,5 +152,44 @@ func TestTargetURL(t *testing.T) {
 	target := Target{IP: netip.MustParseAddr("10.1.2.3"), Port: 8443, Scheme: "https", App: mav.Kubernetes}
 	if got := target.URL(); got != "https://10.1.2.3:8443" {
 		t.Fatalf("URL() = %q", got)
+	}
+}
+
+// TestGetTruncationBoundary pins the at-the-cap semantics of Env.Get: a
+// body of exactly limits.MaxBody is complete (Truncated false), one byte
+// more is clipped to the cap with Truncated set — so a signature can never
+// half-match a clipped body believing it saw the whole document.
+func TestGetTruncationBoundary(t *testing.T) {
+	ip := netip.MustParseAddr("10.9.9.9")
+	exact := strings.Repeat("x", limits.MaxBody)
+	over := exact + "y"
+	mux := http.NewServeMux()
+	mux.HandleFunc("/exact", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, exact) })
+	mux.HandleFunc("/over", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, over) })
+	n := simnet.New()
+	h := simnet.NewHost(ip)
+	h.Bind(80, httpsim.ConnHandler(mux))
+	if err := n.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(httpsim.NewClient(n, httpsim.ClientOptions{}))
+	target := Target{IP: ip, Port: 80, Scheme: "http", App: mav.Grav}
+
+	resp, err := env.Get(context.Background(), target, "/exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || len(resp.Body) != limits.MaxBody {
+		t.Errorf("exact-cap body: len=%d truncated=%v, want %d untruncated",
+			len(resp.Body), resp.Truncated, limits.MaxBody)
+	}
+
+	resp, err = env.Get(context.Background(), target, "/over")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated || len(resp.Body) != limits.MaxBody {
+		t.Errorf("over-cap body: len=%d truncated=%v, want %d truncated",
+			len(resp.Body), resp.Truncated, limits.MaxBody)
 	}
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance benchmark suite and update BENCH_pr8.json.
+# bench.sh — run the performance benchmark suite and update BENCH_pr9.json.
 #
 # Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
 # iteration is a full simulated internet scan, so only a few iterations
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr8.json}"
+OUT="${1:-BENCH_pr9.json}"
 TABLE_RUNS="${TABLE_RUNS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$TMP.json"' EXIT
@@ -39,6 +39,9 @@ go test -run '^$' -bench 'BenchmarkScanThroughput' -benchtime=1x -benchmem ./int
 
 echo "==> operations plane: serve-off vs serve-on scan (-benchtime=1x; ≤2% overhead budget)"
 go test -run '^$' -bench 'BenchmarkScanThroughputServe' -benchtime=1x -benchmem ./internal/obs/ >>"$TMP"
+
+echo "==> adversarial population: hostile-off vs hostile-on scan (-benchtime=1x; off variant gates the ≤2% benign-path overhead budget)"
+go test -run '^$' -bench 'BenchmarkScanHostile' -benchtime=1x -benchmem . >>"$TMP"
 
 echo "==> population scale sweep: world setup (lazy vs eager, heap-bytes) and probe throughput at 1x/100x/1000x"
 go test -run '^$' -bench 'BenchmarkWorldSetup' -benchtime=1x ./internal/population/ >>"$TMP"
