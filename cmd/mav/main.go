@@ -1,0 +1,12 @@
+// Command mav is the mavscan appliance: every study, tool and fabric
+// role of the repo behind one binary. Run "mav help" for the command
+// list; the legacy cmd/mav* entrypoints forward here unchanged.
+package main
+
+import (
+	"os"
+
+	"mavscan/internal/cli"
+)
+
+func main() { os.Exit(cli.Main(os.Args[1:])) }

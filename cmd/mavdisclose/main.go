@@ -1,63 +1,10 @@
-// Command mavdisclose runs the responsible-disclosure workflow of Section
-// 3.2 over a scan's findings: vulnerable hosts inside large hosting
-// providers are batched into per-provider reports; for the rest the TLS
-// certificate is inspected to derive a security@domain contact.
+// Command mavdisclose is the forwarding shim for "mav disclose"; see cmd/mav.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
+	"os"
 
-	"mavscan/internal/disclosure"
-	"mavscan/internal/population"
-	"mavscan/internal/study"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mavdisclose: ")
-	var (
-		seed      = flag.Int64("seed", 1, "world generation seed")
-		hostScale = flag.Int("host-scale", 20000, "divisor for the secure host counts")
-		vulnScale = flag.Int("vuln-scale", 8, "divisor for the MAV counts")
-	)
-	flag.Parse()
-
-	fmt.Println("scanning the simulated internet...")
-	scan, err := study.RunScan(context.Background(), study.ScanConfig{
-		Population: population.Config{
-			Seed:            *seed,
-			HostScale:       *hostScale,
-			VulnScale:       *vulnScale,
-			BackgroundScale: -1,
-			WildcardScale:   -1,
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var findings []disclosure.Finding
-	for _, obs := range scan.Report.VulnerableObservations() {
-		findings = append(findings, disclosure.Finding{
-			IP: obs.IP, Port: obs.Port, App: obs.App, TLS: obs.Scheme == "https",
-		})
-	}
-	fmt.Printf("found %d vulnerable hosts; building notification plan...\n\n", len(findings))
-
-	plan := disclosure.New(scan.World.Net, scan.World.Geo).Build(context.Background(), findings)
-	fmt.Print(plan.RenderSummary())
-	if len(plan.Direct) > 0 {
-		fmt.Println("\nexample direct notifications:")
-		for i, d := range plan.Direct {
-			if i >= 5 {
-				break
-			}
-			fmt.Printf("  %s → %s (%s at %s:%d)\n", d.Domain, d.Contact, d.Finding.App, d.Finding.IP, d.Finding.Port)
-		}
-	}
-	fmt.Printf("\n%d of %d findings have a notification path (%.0f%%)\n",
-		plan.Notifiable(), len(findings), 100*float64(plan.Notifiable())/float64(len(findings)))
-}
+func main() { os.Exit(cli.Forward("disclose", os.Args[1:])) }

@@ -1,98 +1,10 @@
-// Command mavfp exercises the detection and fingerprinting stack against a
-// single emulated deployment: it deploys one instance of the named
-// application, then reports what Stage II, Stage III and the fingerprinter
-// observe — a debugging loupe for the pipeline.
+// Command mavfp is the forwarding shim for "mav fp"; see cmd/mav.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
-	"net"
-	"net/netip"
-	"time"
+	"os"
 
-	"mavscan/internal/apps"
-	"mavscan/internal/fingerprint"
-	"mavscan/internal/httpsim"
-	"mavscan/internal/mav"
-	"mavscan/internal/prefilter"
-	"mavscan/internal/simnet"
-	"mavscan/internal/tsunami"
-	"mavscan/internal/tsunami/plugins"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mavfp: ")
-	var (
-		appName    = flag.String("app", "Docker", "application to deploy (catalog name)")
-		version    = flag.String("version", "", "release to deploy (default: latest)")
-		vulnerable = flag.Bool("vulnerable", true, "deploy in a vulnerable configuration")
-	)
-	flag.Parse()
-
-	info, err := mav.Lookup(mav.App(*appName))
-	if err != nil {
-		log.Fatalf("%v (valid names: see Table 1)", err)
-	}
-	cfg := apps.Config{App: info.App, Version: *version, Options: map[string]bool{}}
-	switch info.App {
-	case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
-		cfg.Installed = !*vulnerable
-	case mav.Consul:
-		cfg.Options["enableScriptChecks"] = *vulnerable
-	case mav.Ajenti:
-		cfg.Options["autologin"] = *vulnerable
-	case mav.PhpMyAdmin:
-		cfg.Options["allowNoPassword"] = *vulnerable
-	case mav.Adminer:
-		cfg.Options["emptyDBPassword"] = *vulnerable
-	default:
-		cfg.AuthRequired = !*vulnerable
-	}
-	inst, err := apps.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	n := simnet.New()
-	ip := netip.MustParseAddr("10.0.0.1")
-	host := simnet.NewHost(ip)
-	port := 80
-	if len(info.Ports) > 0 {
-		port = info.Ports[0]
-	}
-	host.Bind(port, httpsim.ConnHandler(inst.Handler()))
-	if err := n.AddHost(host); err != nil {
-		log.Fatal(err)
-	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-
-	fmt.Printf("deployed %s %s (vulnerable=%v) at %s\n", info.App, inst.Version(), inst.Vulnerable(), net.JoinHostPort(ip.String(), fmt.Sprint(port)))
-
-	pre := prefilter.New(n)
-	res := pre.Probe(ctx, ip, port)
-	fmt.Printf("stage II: http=%v https=%v matched apps=%v\n", res.HTTP, res.HTTPS, res.Apps)
-	if !res.Relevant() {
-		return
-	}
-
-	client := httpsim.NewClient(n, httpsim.ClientOptions{})
-	engine := tsunami.NewEngine(plugins.NewRegistry(), client)
-	target := tsunami.Target{IP: ip, Port: port, Scheme: res.Scheme, App: info.App}
-	findings := engine.Scan(ctx, target)
-	if len(findings) == 0 {
-		fmt.Println("stage III: no MAV detected")
-	}
-	for _, f := range findings {
-		fmt.Printf("stage III: MAV — %s\n", f)
-	}
-
-	fp := fingerprint.New(tsunami.NewEnv(client))
-	fpRes := fp.Fingerprint(ctx, target)
-	fmt.Printf("fingerprint: version=%q method=%q\n", fpRes.Version, fpRes.Method)
-}
+func main() { os.Exit(cli.Forward("fp", os.Args[1:])) }

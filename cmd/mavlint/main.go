@@ -1,319 +1,10 @@
-// Command mavlint runs mavscan's repo-specific static-analysis suite.
-//
-// The suite enforces the invariants the paper's methodology depends on —
-// GET-only detection probes, simulated-clock determinism, network
-// hermeticity, bounded goroutines, no dropped scan errors, bounded reads
-// of peer-controlled data, deterministic map-order emission, and
-// cancellation-aware probe loops. See internal/lint for the analyzers and
-// DESIGN.md for the mapping to paper constraints.
-//
-// Usage:
-//
-//	mavlint [-rules list] [-pkg list] [-format text|json] [-baseline file [-write-baseline]] [./... | <module-dir>]
-//
-// With "./..." (or no argument) the module containing the working
-// directory is analyzed. A directory argument holding a go.mod is
-// analyzed as its own module root, which is how the checked-in violation
-// fixtures under internal/lint/testdata are exercised.
-//
-// -format json emits machine-readable findings (file, line, rule,
-// message) for CI and editors; the human "file:line: [rule] msg" text
-// remains the default.
-//
-// -baseline FILE suppresses findings already recorded in FILE, so a run
-// fails only on *new* findings. Entries are keyed (file, rule, message)
-// without line numbers, surviving unrelated edits to the same file.
-// -write-baseline rewrites FILE from the current findings instead.
-//
-// Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
+// Command mavlint is the forwarding shim for "mav lint"; see cmd/mav.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
-	"io"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
-	"mavscan/internal/lint"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
-
-func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("mavlint", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	pkgFilter := fs.String("pkg", "", "comma-separated import-path suffixes restricting which packages are analyzed (default: all)")
-	list := fs.Bool("list", false, "print the available rules and exit")
-	format := fs.String("format", "text", `output format: "text" or "json"`)
-	baseline := fs.String("baseline", "", "suppress findings recorded in this file; fail only on new ones")
-	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from the current findings instead of diffing")
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-
-	if *list {
-		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
-		}
-		return 0
-	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(stderr, "mavlint: unknown -format %q\n", *format)
-		return 2
-	}
-	if *writeBaseline && *baseline == "" {
-		fmt.Fprintln(stderr, "mavlint: -write-baseline requires -baseline")
-		return 2
-	}
-
-	analyzers, err := selectAnalyzers(*rules)
-	if err != nil {
-		fmt.Fprintln(stderr, "mavlint:", err)
-		return 2
-	}
-
-	root, err := resolveRoot(fs.Args())
-	if err != nil {
-		fmt.Fprintln(stderr, "mavlint:", err)
-		return 2
-	}
-
-	pkgs, err := lint.LoadModule(root)
-	if err != nil {
-		fmt.Fprintln(stderr, "mavlint:", err)
-		return 2
-	}
-
-	if *pkgFilter != "" {
-		pkgs, err = filterPackages(pkgs, *pkgFilter)
-		if err != nil {
-			fmt.Fprintln(stderr, "mavlint:", err)
-			return 2
-		}
-	}
-
-	findings := lint.RunSuite(pkgs, analyzers)
-
-	if *writeBaseline {
-		if err := os.WriteFile(*baseline, []byte(baselineContent(root, findings)), 0o644); err != nil {
-			fmt.Fprintln(stderr, "mavlint:", err)
-			return 2
-		}
-		fmt.Fprintf(stderr, "mavlint: wrote %d baseline entr%s to %s\n",
-			len(findings), plural(len(findings), "y", "ies"), *baseline)
-		return 0
-	}
-
-	suppressed := 0
-	if *baseline != "" {
-		known, err := readBaseline(*baseline)
-		if err != nil {
-			fmt.Fprintln(stderr, "mavlint:", err)
-			return 2
-		}
-		findings, suppressed = filterBaselined(root, findings, known)
-	}
-
-	switch *format {
-	case "json":
-		if err := writeJSON(stdout, root, findings); err != nil {
-			fmt.Fprintln(stderr, "mavlint:", err)
-			return 2
-		}
-	default:
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f)
-		}
-	}
-	if len(findings) > 0 {
-		msg := fmt.Sprintf("mavlint: %d violation(s)", len(findings))
-		if suppressed > 0 {
-			msg += fmt.Sprintf(" (%d baselined finding(s) suppressed)", suppressed)
-		}
-		fmt.Fprintln(stderr, msg)
-		return 1
-	}
-	return 0
-}
-
-// jsonFinding is the machine-readable form of one finding.
-type jsonFinding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
-}
-
-// writeJSON emits findings as a JSON array (always an array, so consumers
-// need no null handling on a clean run). File paths are relative to the
-// module root when possible, making the output stable across checkouts.
-func writeJSON(w io.Writer, root string, findings []lint.Finding) error {
-	out := make([]jsonFinding, 0, len(findings))
-	for _, f := range findings {
-		out = append(out, jsonFinding{
-			File:    relToRoot(root, f.Pos.Filename),
-			Line:    f.Pos.Line,
-			Rule:    f.Rule,
-			Message: f.Msg,
-		})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
-}
-
-// baselineKey is the suppression identity of a finding: file, rule and
-// message, but no line number — a baselined finding should survive
-// unrelated edits shifting it up or down the file.
-func baselineKey(root string, f lint.Finding) string {
-	return relToRoot(root, f.Pos.Filename) + " [" + f.Rule + "] " + f.Msg
-}
-
-// baselineContent renders findings in baseline format: one sorted,
-// deduplicated key per line, with a comment header.
-func baselineContent(root string, findings []lint.Finding) string {
-	seen := map[string]bool{}
-	var keys []string
-	for _, f := range findings {
-		k := baselineKey(root, f)
-		if !seen[k] {
-			seen[k] = true
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString("# mavlint baseline: findings listed here are suppressed by -baseline.\n")
-	b.WriteString("# Regenerate with: go run ./cmd/mavlint -baseline lint.baseline -write-baseline ./...\n")
-	for _, k := range keys {
-		b.WriteString(k)
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// readBaseline parses a baseline file into its suppression set. Blank
-// lines and #-comments are ignored. A missing file is an error: silently
-// suppressing nothing would make a typoed path pass CI forever.
-func readBaseline(path string) (map[string]bool, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]bool{}
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		out[line] = true
-	}
-	return out, nil
-}
-
-// filterBaselined drops findings whose key appears in the baseline and
-// reports how many were suppressed.
-func filterBaselined(root string, findings []lint.Finding, known map[string]bool) ([]lint.Finding, int) {
-	var out []lint.Finding
-	suppressed := 0
-	for _, f := range findings {
-		if known[baselineKey(root, f)] {
-			suppressed++
-			continue
-		}
-		out = append(out, f)
-	}
-	return out, suppressed
-}
-
-// relToRoot renders path relative to the module root, falling back to the
-// original on failure; output always uses forward slashes.
-func relToRoot(root, path string) string {
-	abs, err := filepath.Abs(root)
-	if err == nil {
-		if rel, err := filepath.Rel(abs, path); err == nil && !strings.HasPrefix(rel, "..") {
-			return filepath.ToSlash(rel)
-		}
-	}
-	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
-		return filepath.ToSlash(rel)
-	}
-	return filepath.ToSlash(path)
-}
-
-func plural(n int, one, many string) string {
-	if n == 1 {
-		return one
-	}
-	return many
-}
-
-// selectAnalyzers resolves the -rules flag to a suite subset.
-func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
-	if rules == "" {
-		return lint.Analyzers(), nil
-	}
-	var out []*lint.Analyzer
-	for _, name := range strings.Split(rules, ",") {
-		name = strings.TrimSpace(name)
-		a := lint.ByName(name)
-		if a == nil {
-			return nil, fmt.Errorf("unknown rule %q", name)
-		}
-		out = append(out, a)
-	}
-	return out, nil
-}
-
-// filterPackages keeps the packages whose import path equals, or ends
-// with "/" plus, one of the comma-separated patterns. A pattern matching
-// nothing is an error — a CI step silently analyzing zero packages would
-// report success forever.
-func filterPackages(pkgs []*lint.Package, filter string) ([]*lint.Package, error) {
-	var out []*lint.Package
-	for _, pat := range strings.Split(filter, ",") {
-		pat = strings.TrimSpace(pat)
-		if pat == "" {
-			continue
-		}
-		matched := false
-		for _, p := range pkgs {
-			if p.Path == pat || strings.HasSuffix(p.Path, "/"+pat) {
-				out = append(out, p)
-				matched = true
-			}
-		}
-		if !matched {
-			return nil, fmt.Errorf("-pkg pattern %q matches no package", pat)
-		}
-	}
-	return out, nil
-}
-
-// resolveRoot maps the package-pattern argument to a module root: an
-// explicit directory containing go.mod wins; otherwise ("./..." or
-// nothing) the module enclosing the working directory is used.
-func resolveRoot(args []string) (string, error) {
-	if len(args) > 1 {
-		return "", fmt.Errorf("at most one package pattern expected, got %d", len(args))
-	}
-	if len(args) == 1 && args[0] != "./..." {
-		dir := filepath.Clean(args[0])
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
-		}
-		return "", fmt.Errorf("argument %q is neither ./... nor a module directory", args[0])
-	}
-	wd, err := os.Getwd()
-	if err != nil {
-		return "", err
-	}
-	return lint.FindModuleRoot(wd)
-}
+func main() { os.Exit(cli.Forward("lint", os.Args[1:])) }

@@ -1,128 +1,10 @@
-// Command mavobserve runs the longevity study (RQ3, Figure 2): it scans a
-// generated world, then re-checks every vulnerable host on a 3-hour cadence
-// over a simulated four-week window.
+// Command mavobserve is the forwarding shim for "mav observe"; see cmd/mav.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"mavscan/internal/faults"
-	"mavscan/internal/obs"
-	"mavscan/internal/population"
-	"mavscan/internal/report"
-	"mavscan/internal/resilience"
-	"mavscan/internal/simtime"
-	"mavscan/internal/study"
-	"mavscan/internal/telemetry"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mavobserve: ")
-	var (
-		seed      = flag.Int64("seed", 1, "world generation seed")
-		hostScale = flag.Int("host-scale", 20000, "divisor for the secure host counts")
-		vulnScale = flag.Int("vuln-scale", 8, "divisor for the MAV counts")
-		interval  = flag.Duration("interval", 3*time.Hour, "observation cadence (paper: 3h)")
-		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after Figure 2")
-		serve     = flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8071 (implies -metrics)")
-		linger    = flag.Bool("linger", false, "with -serve: keep serving after the study completes until interrupted")
-		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,burst-every=6h,burst-len=20m,burst-rate=0.5]")
-		retries   = flag.Int("retries", 3, "max attempts per check when -faults is set (1 disables retries)")
-		offAfter  = flag.Int("offline-after", 1, "consecutive failed ticks before a target is reported offline (1 = the paper's single-miss rule)")
-	)
-	flag.Parse()
-
-	faultCfg, err := faults.ParseFlag(*faultSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var policy resilience.Policy
-	if faultCfg.Enabled() && *retries > 1 {
-		policy = resilience.Policy{MaxAttempts: *retries, JitterSeed: uint64(faultCfg.Seed)}
-	}
-
-	var reg *telemetry.Registry
-	var done chan struct{}
-	if *metrics || *serve != "" {
-		reg = telemetry.New(simtime.Wall{})
-		done = make(chan struct{})
-		go obs.ProgressLoop(os.Stderr, reg, obs.ObserverProgressFields,
-			simtime.Wall{}, 200*time.Millisecond, done)
-	}
-
-	ready := &obs.Flag{}
-	var srv *obs.Server
-	if *serve != "" {
-		lis, err := obs.Listen(*serve)
-		if err != nil {
-			log.Fatal(err)
-		}
-		srv = obs.Serve(lis, obs.Config{
-			Telemetry: reg,
-			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
-			Ready:     []obs.Check{ready.Check("observation")},
-		})
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "mavobserve: operations plane on http://%s\n", srv.Addr())
-	}
-
-	fmt.Println("generating world and running the initial scan...")
-	// The initial scan runs fault-free: faults model the weather of the
-	// four-week observation window, not the (already completed) scan.
-	scan, err := study.RunScan(context.Background(), study.ScanConfig{
-		Population: population.Config{
-			Seed:            *seed,
-			HostScale:       *hostScale,
-			VulnScale:       *vulnScale,
-			BackgroundScale: -1,
-			WildcardScale:   -1,
-		},
-		Telemetry: reg,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	targets := scan.ObserverTargets()
-	fmt.Printf("observing %d vulnerable hosts every %v for four simulated weeks...\n\n", len(targets), *interval)
-
-	res, err := study.RunLongevity(context.Background(), study.LongevityConfig{
-		Scan:         scan,
-		Seed:         *seed,
-		Interval:     *interval,
-		Faults:       faultCfg,
-		Resilience:   policy,
-		OfflineAfter: *offAfter,
-		Telemetry:    reg,
-		Obs:          study.ObsConfig{Ready: ready},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if done != nil {
-		close(done)
-	}
-	report.Figure2(os.Stdout, res)
-
-	if reg != nil {
-		fmt.Println()
-		fmt.Println("=== Telemetry snapshot ===")
-		if err := reg.WriteProm(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	if *linger && srv != nil {
-		fmt.Fprintf(os.Stderr, "mavobserve: lingering on http://%s (interrupt to exit)\n", srv.Addr())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-	}
-}
+func main() { os.Exit(cli.Forward("observe", os.Args[1:])) }

@@ -1,109 +1,10 @@
-// Command mavpot runs the honeypot study (Section 4): 18 vulnerable
-// applications exposed to the modeled attacker population for four
-// simulated weeks, then prints Tables 5-8 and Figures 3-4.
+// Command mavpot is the forwarding shim for "mav pot"; see cmd/mav.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"mavscan/internal/analysis"
-	"mavscan/internal/obs"
-	"mavscan/internal/report"
-	"mavscan/internal/simtime"
-	"mavscan/internal/study"
-	"mavscan/internal/telemetry"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mavpot: ")
-	seed := flag.Int64("seed", 7, "attack plan seed")
-	metrics := flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
-	serve := flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8072 (implies -metrics)")
-	linger := flag.Bool("linger", false, "with -serve: keep serving after the study completes until interrupted")
-	flag.Parse()
-
-	var reg *telemetry.Registry
-	var done chan struct{}
-	if *metrics || *serve != "" {
-		reg = telemetry.New(simtime.Wall{})
-		done = make(chan struct{})
-		go obs.ProgressLoop(os.Stderr, reg, obs.HoneypotProgressFields,
-			simtime.Wall{}, 200*time.Millisecond, done)
-	}
-
-	ready := &obs.Flag{}
-	var srv *obs.Server
-	if *serve != "" {
-		lis, err := obs.Listen(*serve)
-		if err != nil {
-			log.Fatal(err)
-		}
-		srv = obs.Serve(lis, obs.Config{
-			Telemetry: reg,
-			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
-			Ready:     []obs.Check{ready.Check("farm")},
-		})
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "mavpot: operations plane on http://%s\n", srv.Addr())
-	}
-
-	fmt.Println("deploying 18 honeypots and replaying four weeks of attacks...")
-	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{
-		Seed:      *seed,
-		Telemetry: reg,
-		Obs:       study.ObsConfig{Ready: ready},
-	})
-	if done != nil {
-		close(done)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("monitoring recorded %d events (%d executed attacks, %d failed attempts)\n\n",
-		hs.Store.Len(), len(hs.Executor.Executed), len(hs.Executor.Failed))
-
-	w := os.Stdout
-	report.Table5(w, hs.Attacks)
-	fmt.Fprintln(w)
-	report.Table6(w, analysis.Table6(hs.Attacks, hs.Start))
-	fmt.Fprintln(w)
-	report.Table7(w, analysis.Table7(hs.Attacks, hs.Geo), 10)
-	fmt.Fprintln(w)
-	report.Table8(w, analysis.Table8(hs.Attacks, hs.Geo), 5)
-	fmt.Fprintln(w)
-	report.Figure3(w, analysis.Figure3(hs.Attacks, hs.Start))
-	fmt.Fprintln(w)
-	report.Figure4(w, hs.Clusters)
-	fmt.Fprintf(w, "\ntop-5 attackers carry %.0f%% of attacks (paper: 67%%), top-10 %.0f%% (paper: 84%%)\n",
-		100*analysis.TopShare(hs.Clusters, 5), 100*analysis.TopShare(hs.Clusters, 10))
-
-	fmt.Fprintln(w, "\nattack purposes (RQ4):")
-	for _, row := range analysis.PurposeBreakdown(hs.Attacks) {
-		fmt.Fprintf(w, "  %-20s %5d (%.0f%%)\n", row.Purpose, row.Attacks, 100*row.Share)
-	}
-	fmt.Fprintf(w, "cryptojacking (incl. Kinsing): %.0f%% of attacks (paper: \"mostly cryptojacking\")\n",
-		100*analysis.CryptojackingShare(hs.Attacks))
-
-	if reg != nil {
-		fmt.Fprintln(w)
-		fmt.Fprintln(w, "=== Telemetry snapshot ===")
-		if err := reg.WriteProm(w); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	if *linger && srv != nil {
-		fmt.Fprintf(os.Stderr, "mavpot: lingering on http://%s (interrupt to exit)\n", srv.Addr())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-	}
-}
+func main() { os.Exit(cli.Forward("pot", os.Args[1:])) }

@@ -1,119 +1,10 @@
-// Command mavreport regenerates every table and figure of the paper in one
-// run: the scanning study (Tables 1-4, Figure 1), the longevity study
-// (Figure 2), the honeypot study (Tables 5-8, Figures 3-4), the defender
-// study (RQ7) and the joined summary (Table 9).
+// Command mavreport is the forwarding shim for "mav report"; see cmd/mav.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
 	"os"
-	"time"
 
-	"mavscan/internal/analysis"
-	"mavscan/internal/mav"
-	"mavscan/internal/population"
-	"mavscan/internal/report"
-	"mavscan/internal/secscan"
-	"mavscan/internal/study"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mavreport: ")
-	var (
-		seed      = flag.Int64("seed", 1, "seed for all randomized stages")
-		hostScale = flag.Int("host-scale", 4000, "divisor for the secure host counts")
-		vulnScale = flag.Int("vuln-scale", 8, "divisor for the MAV counts")
-		interval  = flag.Duration("interval", 6*time.Hour, "longevity observation cadence")
-		fast      = flag.Bool("fast", false, "smaller world and coarser cadence")
-		jsonPath  = flag.String("json", "", "also write machine-readable results to this file")
-	)
-	flag.Parse()
-	if *fast {
-		*hostScale, *vulnScale, *interval = 40000, 40, 24*time.Hour
-	}
-	w := os.Stdout
-
-	// --- Section 2: manual investigation ---
-	report.Table1(w)
-	fmt.Fprintln(w)
-
-	// --- Section 3: prevalence ---
-	fmt.Fprintln(w, "== scanning study ==")
-	scan, err := study.RunScan(context.Background(), study.ScanConfig{
-		Population: population.Config{
-			Seed:            *seed,
-			HostScale:       *hostScale,
-			VulnScale:       *vulnScale,
-			BackgroundScale: 200000,
-			WildcardScale:   200000,
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report.Table2(w, scan.Report)
-	fmt.Fprintln(w)
-	report.Table3(w, scan)
-	fmt.Fprintln(w)
-	report.Table4(w, scan, 5)
-	fmt.Fprintln(w)
-	report.Figure1(w, analysis.Figure1(scan.Report.Apps, population.ScanDate, mav.JupyterNotebook, mav.Hadoop))
-	fmt.Fprintln(w)
-
-	// --- Section 3.3 RQ3: longevity ---
-	fmt.Fprintln(w, "== longevity study ==")
-	res, err := study.RunLongevity(context.Background(), study.LongevityConfig{Scan: scan, Seed: *seed, Interval: *interval})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report.Figure2(w, res)
-	fmt.Fprintln(w)
-
-	// --- Section 4: attacker awareness ---
-	fmt.Fprintln(w, "== honeypot study ==")
-	hs, err := study.RunHoneypots(context.Background(), study.HoneypotConfig{Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report.Table5(w, hs.Attacks)
-	fmt.Fprintln(w)
-	report.Table6(w, analysis.Table6(hs.Attacks, hs.Start))
-	fmt.Fprintln(w)
-	report.Table7(w, analysis.Table7(hs.Attacks, hs.Geo), 10)
-	fmt.Fprintln(w)
-	report.Table8(w, analysis.Table8(hs.Attacks, hs.Geo), 5)
-	fmt.Fprintln(w)
-	report.Figure3(w, analysis.Figure3(hs.Attacks, hs.Start))
-	fmt.Fprintln(w)
-	report.Figure4(w, hs.Clusters)
-	fmt.Fprintln(w)
-
-	// --- Section 5: defender awareness ---
-	fmt.Fprintln(w, "== defender study ==")
-	def, err := study.RunDefenders(context.Background(), study.DefenderConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(w, "Scanner 1 detected %d/18 MAVs (paper: 5)\n", secscan.VulnerabilitiesDetected(def.Scanner1))
-	fmt.Fprintf(w, "Scanner 2 detected %d/18 MAVs (paper: 3)\n", secscan.VulnerabilitiesDetected(def.Scanner2))
-	fmt.Fprintln(w)
-
-	// --- Section 6: summary ---
-	report.Table9(w, study.Table9(scan, hs, def))
-
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := report.BuildResults(scan, res, hs, def).WriteJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(w, "\nmachine-readable results written to %s\n", *jsonPath)
-	}
-}
+func main() { os.Exit(cli.Forward("report", os.Args[1:])) }

@@ -1,193 +1,10 @@
-// Command mavscan runs the Internet-wide scanning study (Section 3) on a
-// generated simulated internet and prints Tables 1-4 and Figure 1.
+// Command mavscan is the forwarding shim for "mav scan"; see cmd/mav.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"log"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
-	"mavscan/internal/analysis"
-	"mavscan/internal/faults"
-	"mavscan/internal/mav"
-	"mavscan/internal/obs"
-	"mavscan/internal/orchestrator"
-	"mavscan/internal/population"
-	"mavscan/internal/report"
-	"mavscan/internal/resilience"
-	"mavscan/internal/scanner"
-	"mavscan/internal/simtime"
-	"mavscan/internal/study"
-	"mavscan/internal/telemetry"
+	"mavscan/internal/cli"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mavscan: ")
-	var (
-		seed      = flag.Int64("seed", 1, "world generation seed")
-		hostScale = flag.Int("host-scale", 2000, "divisor for the secure host counts of Table 3")
-		vulnScale = flag.Int("vuln-scale", 4, "divisor for the MAV counts of Table 3")
-		bgScale   = flag.Int("background-scale", 100000, "divisor for Table 2 background noise (negative disables)")
-		popScale  = flag.Int("pop-scale", 1, "multiply every population target and widen the address plan this many times (implies -lazy for scales > 1 unless -lazy=false is forced)")
-		lazy      = flag.Bool("lazy", false, "derive hosts on first probe instead of materializing the world up front")
-		cacheSize = flag.Int("cache-hosts", 0, "resident host bound for -lazy worlds (0 = default 131072)")
-		hostile   = flag.Float64("hostile", 0, "fraction of the population seeded as weaponized responders (tarpits, bombs, mazes), in [0, 1)")
-		httpTO    = flag.Duration("http-timeout", 0, "stage-II/III per-request timeout and connection wall budget (0 = 10s default); set low for -hostile scans")
-		workers   = flag.Int("workers", 64, "stage-I probe workers")
-		metrics   = flag.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the tables")
-		serve     = flag.String("serve", "", "serve the operations plane on this loopback address, e.g. :8070 (implies -metrics)")
-		linger    = flag.Bool("linger", false, "with -serve: keep serving after the scan completes until interrupted")
-		faultSpec = flag.String("faults", "", "inject deterministic transient faults, e.g. seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx,crash=0.3]")
-		retries   = flag.Int("retries", 3, "max attempts per HTTP-stage request when -faults is set (1 disables retries)")
-		shards    = flag.Int("shards", 1, "run the scan sharded across this many pipelines")
-		ckptPath  = flag.String("checkpoint", "", "journal per-shard progress to this file (JSONL), enabling -resume")
-		resume    = flag.Bool("resume", false, "resume from the -checkpoint journal, skipping completed segments")
-		ckptEvery = flag.Uint64("checkpoint-every", 0, "checkpoint granularity in addresses per segment (0 = one segment per shard)")
-	)
-	flag.Parse()
-	if *resume && *ckptPath == "" {
-		log.Fatal("-resume requires -checkpoint")
-	}
-	if *hostile < 0 || *hostile >= 1 {
-		log.Fatal("-hostile must be in [0, 1)")
-	}
-	if *popScale > 1 && !*lazy {
-		// An eager 100× world means tens of millions of up-front hosts;
-		// unless the user explicitly forced eager mode, scale lazily.
-		forced := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "lazy" {
-				forced = true
-			}
-		})
-		if !forced {
-			*lazy = true
-		}
-	}
-
-	faultCfg, err := faults.ParseFlag(*faultSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var policy resilience.Policy
-	if faultCfg.Enabled() && *retries > 1 {
-		policy = resilience.Policy{MaxAttempts: *retries, JitterSeed: uint64(faultCfg.Seed)}
-	}
-
-	var reg *telemetry.Registry
-	var done chan struct{}
-	if *metrics || *serve != "" {
-		reg = telemetry.New(simtime.Wall{})
-		done = make(chan struct{})
-		go obs.ProgressLoop(os.Stderr, reg, obs.ScanProgressFields,
-			simtime.Wall{}, 200*time.Millisecond, done)
-	}
-
-	var ckpt orchestrator.Checkpoint
-	var store *orchestrator.FileStore
-	if *ckptPath != "" {
-		store, err = orchestrator.OpenFileStore(*ckptPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer store.Close()
-		ckpt = orchestrator.Checkpoint{Store: store, Every: *ckptEvery, Resume: *resume}
-	}
-
-	// The operations plane: progress tracker + readiness latch served over
-	// a loopback-only listener. The tracker routes the scan through the
-	// orchestrator even unsharded, so /progress always has a watermark.
-	var tracker *orchestrator.ProgressTracker
-	var ready *obs.Flag
-	var srv *obs.Server
-	if *serve != "" {
-		tracker = orchestrator.NewProgressTracker()
-		ready = &obs.Flag{}
-		lis, err := obs.Listen(*serve)
-		if err != nil {
-			log.Fatal(err)
-		}
-		readyChecks := []obs.Check{ready.Check("world"), obs.PingCheck("workers", tracker)}
-		if store != nil {
-			readyChecks = append(readyChecks, obs.PingCheck("checkpoint", store))
-		}
-		srv = obs.Serve(lis, obs.Config{
-			Telemetry: reg,
-			Progress:  func() any { return tracker.Snapshot() },
-			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
-			Ready:     readyChecks,
-		})
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "mavscan: operations plane on http://%s\n", srv.Addr())
-	}
-
-	fmt.Println("generating simulated IPv4 internet...")
-	scan, err := study.RunScan(context.Background(), study.ScanConfig{
-		Population: population.Config{
-			Seed:            *seed,
-			HostScale:       *hostScale,
-			VulnScale:       *vulnScale,
-			BackgroundScale: *bgScale,
-			WildcardScale:   *bgScale,
-			PopScale:        *popScale,
-			Lazy:            *lazy,
-			CacheHosts:      *cacheSize,
-			HostileRate:     *hostile,
-		},
-		Scan: scanner.Options{
-			PortWorkers: *workers,
-			Seed:        uint64(*seed),
-		},
-		Shards:      *shards,
-		Checkpoint:  ckpt,
-		Faults:      faultCfg,
-		Resilience:  policy,
-		Telemetry:   reg,
-		Obs:         study.ObsConfig{Progress: tracker, Ready: ready},
-		HTTPTimeout: *httpTO,
-	})
-	if done != nil {
-		close(done)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("scanned %d probes in %v; %d open ports, %d hosts in world (%d materialized)\n\n",
-		scan.Report.Stats.Probed, scan.Report.Stats.Elapsed, scan.Report.Stats.Open,
-		scan.World.TotalHosts(), scan.World.MaterializedHosts())
-
-	w := os.Stdout
-	report.Table1(w)
-	fmt.Fprintln(w)
-	report.Table2(w, scan.Report)
-	fmt.Fprintln(w)
-	report.Table3(w, scan)
-	fmt.Fprintln(w)
-	report.Table4(w, scan, 5)
-	fmt.Fprintln(w)
-	panels := analysis.Figure1(scan.Report.Apps, population.ScanDate, mav.JupyterNotebook, mav.Hadoop)
-	report.Figure1(w, panels)
-
-	if reg != nil {
-		// Final flush: the full exposition lands on stdout even if no
-		// scraper ever hit /metrics during the run.
-		fmt.Fprintln(w)
-		fmt.Fprintln(w, "=== Telemetry snapshot ===")
-		if err := reg.WriteProm(w); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	if *linger && srv != nil {
-		fmt.Fprintf(os.Stderr, "mavscan: lingering on http://%s (interrupt to exit)\n", srv.Addr())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-	}
-}
+func main() { os.Exit(cli.Forward("scan", os.Args[1:])) }

@@ -1,0 +1,80 @@
+// Package cli implements the mav appliance: every study, tool and
+// fabric role of the repo as subcommands of one binary. Each command is
+// a pure function of (args, stdout, stderr) returning an exit code,
+// which is what lets the whole surface be tested without spawning
+// processes; cmd/mav dispatches to Main, and the legacy cmd/mav*
+// entrypoints forward here one command each.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// command is one mav subcommand.
+type command struct {
+	name    string
+	summary string
+	run     func(args []string, stdout, stderr io.Writer) int
+}
+
+// commands lists the appliance surface in help order.
+func commands() []command {
+	return []command{
+		{"scan", "run the scanning study (Tables 1-4, Figure 1)", runScan},
+		{"observe", "run the longevity study (Figure 2)", runObserve},
+		{"pot", "run the honeypot study (Tables 5-8, Figures 3-4)", runPot},
+		{"fp", "probe one emulated deployment through the detection stack", runFP},
+		{"report", "regenerate every table and figure in one run", runReport},
+		{"disclose", "build the responsible-disclosure notification plan", runDisclose},
+		{"lint", "run the repo-specific static-analysis suite", runLint},
+		{"coordinate", "serve a distributed scan's segment plan as leases", runCoordinate},
+		{"work", "join a coordinator and scan leased segments", runWork},
+	}
+}
+
+// Main dispatches one appliance invocation and returns its exit code.
+func Main(args []string) int {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
+	}
+	switch args[0] {
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+		return 0
+	}
+	for _, cmd := range commands() {
+		if cmd.name == args[0] {
+			return cmd.run(args[1:], os.Stdout, os.Stderr)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mav: unknown command %q\n\n", args[0])
+	usage(os.Stderr)
+	return 2
+}
+
+// Forward runs one named subcommand on the standard streams — the whole
+// body of each legacy cmd/mav* shim.
+func Forward(name string, args []string) int {
+	for _, cmd := range commands() {
+		if cmd.name == name {
+			return cmd.run(args, os.Stdout, os.Stderr)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mav: unknown forwarded command %q\n", name)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: mav <command> [flags]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "The mavscan appliance. Commands:")
+	fmt.Fprintln(w)
+	for _, cmd := range commands() {
+		fmt.Fprintf(w, "  %-12s %s\n", cmd.name, cmd.summary)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Run 'mav <command> -h' for the command's flags.")
+}

@@ -1,0 +1,131 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mavscan/internal/fabric"
+	"mavscan/internal/obs"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+)
+
+// runCoordinate is "mav coordinate": it plans a distributed scan and
+// serves the segment plan as leases over the wire protocol, co-hosted
+// with the operations plane on one loopback listener. Workers join with
+// "mav work -coordinator <addr>"; the command exits once every segment
+// is completed and journaled.
+func runCoordinate(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("coordinate", stderr)
+	var (
+		seed      = fs.Int64("seed", 1, "world generation seed (shipped to workers)")
+		hostScale = fs.Int("host-scale", 2000, "divisor for the secure host counts")
+		vulnScale = fs.Int("vuln-scale", 4, "divisor for the MAV counts")
+		bgScale   = fs.Int("background-scale", 100000, "divisor for background noise (negative disables)")
+		workers   = fs.Int("workers", 64, "stage-I probe workers per fabric worker")
+		shards    = fs.Int("shards", 1, "flat-index shard count of the plan")
+		heartbeat = fs.Duration("heartbeat-every", 500*time.Millisecond, "beat cadence workers must keep")
+		missed    = fs.Int("missed-beats", 3, "missed-beat budget before a worker's leases expire")
+		jsonOut   = fs.String("json-report", "", "write the canonical machine-readable merged report to this file")
+	)
+	ops := bindOps(fs, ":8070")
+	flt := bindFaults(fs, "seed=7,rate=0.02[,crash=0.3]")
+	ckpt := bindCheckpoint(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ops.serve == "" {
+		fmt.Fprintln(stderr, "mav coordinate: -serve is required (the wire protocol needs a loopback listener)")
+		return 2
+	}
+
+	faultCfg, policy, err := flt.parse()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav coordinate:", err)
+		return 2
+	}
+	ckptCfg, store, err := ckpt.open()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav coordinate:", err)
+		return 1
+	}
+	if store != nil {
+		defer store.Close()
+	}
+
+	reg, stopProgress := ops.registry(stderr, obs.ScanProgressFields)
+	defer stopProgress()
+	tracker := orchestrator.NewProgressTracker()
+
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Population: population.Config{
+			Seed:            *seed,
+			HostScale:       *hostScale,
+			VulnScale:       *vulnScale,
+			BackgroundScale: *bgScale,
+			WildcardScale:   *bgScale,
+		},
+		Scan:           scanner.Options{PortWorkers: *workers, Seed: uint64(*seed)},
+		Shards:         *shards,
+		Checkpoint:     ckptCfg,
+		Faults:         faultCfg,
+		Resilience:     policy,
+		HeartbeatEvery: *heartbeat,
+		MissedBeats:    *missed,
+		Telemetry:      reg,
+		Progress:       tracker,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mav coordinate:", err)
+		return 1
+	}
+
+	readyChecks := []obs.Check{obs.PingCheck("workers", tracker)}
+	if store != nil {
+		readyChecks = append(readyChecks, obs.PingCheck("checkpoint", store))
+	}
+	srv, err := ops.servePlane(stderr, "mav coordinate", obs.Config{
+		Telemetry: reg,
+		Progress:  func() any { return tracker.Snapshot() },
+		Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+		Ready:     readyChecks,
+		Routes:    map[string]http.Handler{"/fabric/v1/": coord.Handler()},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mav coordinate:", err)
+		return 1
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "coordinating %d-shard plan; workers join with: mav work -coordinator %s\n",
+		*shards, srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := coord.Wait(ctx); err != nil {
+		fmt.Fprintln(stderr, "mav coordinate: interrupted:", err)
+		return 1
+	}
+	rep, err := coord.Report()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav coordinate:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "plan complete: %d probes, %d open ports, %d reassigned lease(s)\n",
+		rep.Stats.Probed, rep.Stats.Open, len(coord.Reassignments()))
+	if *jsonOut != "" {
+		if err := writeReportJSON(*jsonOut, rep); err != nil {
+			fmt.Fprintln(stderr, "mav coordinate:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "canonical report written to %s\n", *jsonOut)
+	}
+
+	ops.lingerWait(stderr, "mav coordinate", srv)
+	return 0
+}

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/obs"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// newFlagSet returns the standard per-command flag set: errors print to
+// stderr and return to the caller instead of exiting the process.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("mav "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// opsFlags are the operations-plane flags every long-running command
+// shares: -metrics, -serve, -linger.
+type opsFlags struct {
+	metrics *bool
+	serve   *string
+	linger  *bool
+}
+
+func bindOps(fs *flag.FlagSet, example string) *opsFlags {
+	return &opsFlags{
+		metrics: fs.Bool("metrics", false, "enable telemetry: live progress on stderr, Prometheus snapshot after the output"),
+		serve:   fs.String("serve", "", "serve the operations plane on this loopback address, e.g. "+example+" (implies -metrics)"),
+		linger:  fs.Bool("linger", false, "with -serve: keep serving after the run completes until interrupted"),
+	}
+}
+
+// registry builds the telemetry registry (nil when telemetry is off) and
+// starts the stderr progress ticker; stop flushes and halts the ticker.
+func (o *opsFlags) registry(stderr io.Writer, fields []obs.Field) (reg *telemetry.Registry, stop func()) {
+	if !*o.metrics && *o.serve == "" {
+		return nil, func() {}
+	}
+	reg = telemetry.New(simtime.Wall{})
+	done := make(chan struct{})
+	go obs.ProgressLoop(stderr, reg, fields, simtime.Wall{}, 200*time.Millisecond, done)
+	return reg, func() { close(done) }
+}
+
+// servePlane starts the operations plane when -serve is set. Routes may
+// mount extra handlers (the fabric coordinator's wire endpoints) on the
+// same loopback listener. Callers must Close the returned server; a nil
+// server with nil error means -serve was not requested.
+func (o *opsFlags) servePlane(stderr io.Writer, name string, cfg obs.Config) (*obs.Server, error) {
+	if *o.serve == "" {
+		return nil, nil
+	}
+	lis, err := obs.Listen(*o.serve)
+	if err != nil {
+		return nil, err
+	}
+	srv := obs.Serve(lis, cfg)
+	fmt.Fprintf(stderr, "%s: operations plane on http://%s\n", name, srv.Addr())
+	return srv, nil
+}
+
+// lingerWait blocks until interrupted when -linger is set on a served
+// plane, so scrapers can read the final state.
+func (o *opsFlags) lingerWait(stderr io.Writer, name string, srv *obs.Server) {
+	if !*o.linger || srv == nil {
+		return
+	}
+	fmt.Fprintf(stderr, "%s: lingering on http://%s (interrupt to exit)\n", name, srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+// faultFlags are the fault-injection flags shared by the scanning
+// commands: a -faults spec plus the -retries budget it activates.
+type faultFlags struct {
+	spec    *string
+	retries *int
+}
+
+func bindFaults(fs *flag.FlagSet, example string) *faultFlags {
+	return &faultFlags{
+		spec:    fs.String("faults", "", "inject deterministic transient faults, e.g. "+example),
+		retries: fs.Int("retries", 3, "max attempts per HTTP-stage request when -faults is set (1 disables retries)"),
+	}
+}
+
+func (f *faultFlags) parse() (faults.Config, resilience.Policy, error) {
+	cfg, err := faults.ParseFlag(*f.spec)
+	if err != nil {
+		return faults.Config{}, resilience.Policy{}, err
+	}
+	var policy resilience.Policy
+	if cfg.Enabled() && *f.retries > 1 {
+		policy = resilience.Policy{MaxAttempts: *f.retries, JitterSeed: uint64(cfg.Seed)}
+	}
+	return cfg, policy, nil
+}
+
+// checkpointFlags are the journal flags shared by scan and coordinate.
+type checkpointFlags struct {
+	path   *string
+	resume *bool
+	every  *uint64
+}
+
+func bindCheckpoint(fs *flag.FlagSet) *checkpointFlags {
+	return &checkpointFlags{
+		path:   fs.String("checkpoint", "", "journal per-segment progress to this file (JSONL), enabling -resume"),
+		resume: fs.Bool("resume", false, "resume from the -checkpoint journal, skipping completed segments"),
+		every:  fs.Uint64("checkpoint-every", 0, "checkpoint granularity in addresses per segment (0 = one segment per shard)"),
+	}
+}
+
+// open validates the flag combination and opens the journal. The store is
+// nil when checkpointing is off; callers must Close a non-nil store.
+func (c *checkpointFlags) open() (orchestrator.Checkpoint, *orchestrator.FileStore, error) {
+	if *c.resume && *c.path == "" {
+		return orchestrator.Checkpoint{}, nil, fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *c.path == "" {
+		return orchestrator.Checkpoint{}, nil, nil
+	}
+	store, err := orchestrator.OpenFileStore(*c.path)
+	if err != nil {
+		return orchestrator.Checkpoint{}, nil, err
+	}
+	return orchestrator.Checkpoint{Store: store, Every: *c.every, Resume: *c.resume}, store, nil
+}
+
+// writeReportJSON writes the canonical machine-readable report — Elapsed
+// zeroed, so two runs of the same plan compare byte-for-byte. The CI
+// fabric smoke diffs these files across process topologies.
+func writeReportJSON(path string, rep *scanner.Report) error {
+	cp := *rep
+	cp.Stats.Elapsed = 0
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+
+	"mavscan/internal/apps"
+	"mavscan/internal/fingerprint"
+	"mavscan/internal/httpsim"
+	"mavscan/internal/mav"
+	"mavscan/internal/prefilter"
+	"mavscan/internal/simnet"
+	"mavscan/internal/tsunami"
+	"mavscan/internal/tsunami/plugins"
+)
+
+// runFP is "mav fp": the detection and fingerprinting stack against a
+// single emulated deployment — a debugging loupe for the pipeline.
+func runFP(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("fp", stderr)
+	var (
+		appName    = fs.String("app", "Docker", "application to deploy (catalog name)")
+		version    = fs.String("version", "", "release to deploy (default: latest)")
+		vulnerable = fs.Bool("vulnerable", true, "deploy in a vulnerable configuration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	info, err := mav.Lookup(mav.App(*appName))
+	if err != nil {
+		fmt.Fprintf(stderr, "mav fp: %v (valid names: see Table 1)\n", err)
+		return 2
+	}
+	cfg := apps.Config{App: info.App, Version: *version, Options: map[string]bool{}}
+	switch info.App {
+	case mav.WordPress, mav.Grav, mav.Joomla, mav.Drupal:
+		cfg.Installed = !*vulnerable
+	case mav.Consul:
+		cfg.Options["enableScriptChecks"] = *vulnerable
+	case mav.Ajenti:
+		cfg.Options["autologin"] = *vulnerable
+	case mav.PhpMyAdmin:
+		cfg.Options["allowNoPassword"] = *vulnerable
+	case mav.Adminer:
+		cfg.Options["emptyDBPassword"] = *vulnerable
+	default:
+		cfg.AuthRequired = !*vulnerable
+	}
+	inst, err := apps.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "mav fp:", err)
+		return 1
+	}
+
+	n := simnet.New()
+	ip := netip.MustParseAddr("10.0.0.1")
+	host := simnet.NewHost(ip)
+	port := 80
+	if len(info.Ports) > 0 {
+		port = info.Ports[0]
+	}
+	host.Bind(port, httpsim.ConnHandler(inst.Handler()))
+	if err := n.AddHost(host); err != nil {
+		fmt.Fprintln(stderr, "mav fp:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	fmt.Fprintf(stdout, "deployed %s %s (vulnerable=%v) at %s\n", info.App, inst.Version(), inst.Vulnerable(), net.JoinHostPort(ip.String(), fmt.Sprint(port)))
+
+	pre := prefilter.New(n)
+	res := pre.Probe(ctx, ip, port)
+	fmt.Fprintf(stdout, "stage II: http=%v https=%v matched apps=%v\n", res.HTTP, res.HTTPS, res.Apps)
+	if !res.Relevant() {
+		return 0
+	}
+
+	client := httpsim.NewClient(n, httpsim.ClientOptions{})
+	engine := tsunami.NewEngine(plugins.NewRegistry(), client)
+	target := tsunami.Target{IP: ip, Port: port, Scheme: res.Scheme, App: info.App}
+	findings := engine.Scan(ctx, target)
+	if len(findings) == 0 {
+		fmt.Fprintln(stdout, "stage III: no MAV detected")
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "stage III: MAV — %s\n", f)
+	}
+
+	fp := fingerprint.New(tsunami.NewEnv(client))
+	fpRes := fp.Fingerprint(ctx, target)
+	fmt.Fprintf(stdout, "fingerprint: version=%q method=%q\n", fpRes.Version, fpRes.Method)
+	return 0
+}

@@ -1,4 +1,4 @@
-package main
+package cli
 
 import (
 	"bytes"
@@ -14,11 +14,11 @@ import (
 // this package's directory.
 const fixtureModule = "../../internal/lint/testdata/badmodule"
 
-// runMavlint invokes run() capturing both streams.
+// runMavlint invokes the lint subcommand capturing both streams.
 func runMavlint(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	code = run(args, &out, &errBuf)
+	code = runLint(args, &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }
 

@@ -1,0 +1,103 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mavscan/internal/obs"
+	"mavscan/internal/population"
+	"mavscan/internal/report"
+	"mavscan/internal/study"
+)
+
+// runObserve is "mav observe": the longevity study (RQ3, Figure 2) — a
+// scan followed by re-checks of every vulnerable host on a 3-hour
+// cadence over a simulated four-week window.
+func runObserve(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("observe", stderr)
+	var (
+		seed      = fs.Int64("seed", 1, "world generation seed")
+		hostScale = fs.Int("host-scale", 20000, "divisor for the secure host counts")
+		vulnScale = fs.Int("vuln-scale", 8, "divisor for the MAV counts")
+		interval  = fs.Duration("interval", 3*time.Hour, "observation cadence (paper: 3h)")
+		offAfter  = fs.Int("offline-after", 1, "consecutive failed ticks before a target is reported offline (1 = the paper's single-miss rule)")
+	)
+	ops := bindOps(fs, ":8071")
+	flt := bindFaults(fs, "seed=7,rate=0.02[,burst-every=6h,burst-len=20m,burst-rate=0.5]")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	faultCfg, policy, err := flt.parse()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav observe:", err)
+		return 2
+	}
+
+	reg, stopProgress := ops.registry(stderr, obs.ObserverProgressFields)
+
+	ready := &obs.Flag{}
+	srv, err := ops.servePlane(stderr, "mav observe", obs.Config{
+		Telemetry: reg,
+		Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+		Ready:     []obs.Check{ready.Check("observation")},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mav observe:", err)
+		return 1
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
+	fmt.Fprintln(stdout, "generating world and running the initial scan...")
+	// The initial scan runs fault-free: faults model the weather of the
+	// four-week observation window, not the (already completed) scan.
+	scan, err := study.RunScan(context.Background(), study.ScanConfig{
+		Population: population.Config{
+			Seed:            *seed,
+			HostScale:       *hostScale,
+			VulnScale:       *vulnScale,
+			BackgroundScale: -1,
+			WildcardScale:   -1,
+		},
+		Telemetry: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mav observe:", err)
+		return 1
+	}
+	targets := scan.ObserverTargets()
+	fmt.Fprintf(stdout, "observing %d vulnerable hosts every %v for four simulated weeks...\n\n", len(targets), *interval)
+
+	res, err := study.RunLongevity(context.Background(), study.LongevityConfig{
+		Scan:         scan,
+		Seed:         *seed,
+		Interval:     *interval,
+		Faults:       faultCfg,
+		Resilience:   policy,
+		OfflineAfter: *offAfter,
+		Telemetry:    reg,
+		Obs:          study.ObsConfig{Ready: ready},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mav observe:", err)
+		return 1
+	}
+	stopProgress()
+	report.Figure2(stdout, res)
+
+	if reg != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "=== Telemetry snapshot ===")
+		if err := reg.WriteProm(stdout); err != nil {
+			fmt.Fprintln(stderr, "mav observe:", err)
+			return 1
+		}
+	}
+
+	ops.lingerWait(stderr, "mav observe", srv)
+	return 0
+}

@@ -1,0 +1,171 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"mavscan/internal/analysis"
+	"mavscan/internal/mav"
+	"mavscan/internal/obs"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/report"
+	"mavscan/internal/scanner"
+	"mavscan/internal/study"
+)
+
+// runScan is "mav scan": the Internet-wide scanning study (Section 3) on
+// a generated simulated internet, printing Tables 1-4 and Figure 1.
+func runScan(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("scan", stderr)
+	var (
+		seed      = fs.Int64("seed", 1, "world generation seed")
+		hostScale = fs.Int("host-scale", 2000, "divisor for the secure host counts of Table 3")
+		vulnScale = fs.Int("vuln-scale", 4, "divisor for the MAV counts of Table 3")
+		bgScale   = fs.Int("background-scale", 100000, "divisor for Table 2 background noise (negative disables)")
+		popScale  = fs.Int("pop-scale", 1, "multiply every population target and widen the address plan this many times (implies -lazy for scales > 1 unless -lazy=false is forced)")
+		lazy      = fs.Bool("lazy", false, "derive hosts on first probe instead of materializing the world up front")
+		cacheSize = fs.Int("cache-hosts", 0, "resident host bound for -lazy worlds (0 = default 131072)")
+		hostile   = fs.Float64("hostile", 0, "fraction of the population seeded as weaponized responders (tarpits, bombs, mazes), in [0, 1)")
+		httpTO    = fs.Duration("http-timeout", 0, "stage-II/III per-request timeout and connection wall budget (0 = 10s default); set low for -hostile scans")
+		workers   = fs.Int("workers", 64, "stage-I probe workers")
+		shards    = fs.Int("shards", 1, "run the scan sharded across this many pipelines")
+		fabricN   = fs.Int("fabric-workers", 0, "run the scan through the distributed fabric with this many in-process workers (0 = off)")
+		jsonOut   = fs.String("json-report", "", "also write the canonical machine-readable report to this file")
+	)
+	ops := bindOps(fs, ":8070")
+	flt := bindFaults(fs, "seed=7,rate=0.02[,latency=50ms,trunc=64,kinds=syn+reset+5xx,crash=0.3]")
+	ckpt := bindCheckpoint(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *hostile < 0 || *hostile >= 1 {
+		fmt.Fprintln(stderr, "mav scan: -hostile must be in [0, 1)")
+		return 2
+	}
+	if *popScale > 1 && !*lazy {
+		// An eager 100× world means tens of millions of up-front hosts;
+		// unless the user explicitly forced eager mode, scale lazily.
+		forced := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "lazy" {
+				forced = true
+			}
+		})
+		if !forced {
+			*lazy = true
+		}
+	}
+
+	faultCfg, policy, err := flt.parse()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav scan:", err)
+		return 2
+	}
+	ckptCfg, store, err := ckpt.open()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav scan:", err)
+		return 1
+	}
+	if store != nil {
+		defer store.Close()
+	}
+
+	reg, stopProgress := ops.registry(stderr, obs.ScanProgressFields)
+
+	// The operations plane: progress tracker + readiness latch served over
+	// a loopback-only listener. The tracker routes the scan through the
+	// orchestrator even unsharded, so /progress always has a watermark.
+	var tracker *orchestrator.ProgressTracker
+	var ready *obs.Flag
+	var srv *obs.Server
+	if *ops.serve != "" {
+		tracker = orchestrator.NewProgressTracker()
+		ready = &obs.Flag{}
+		readyChecks := []obs.Check{ready.Check("world"), obs.PingCheck("workers", tracker)}
+		if store != nil {
+			readyChecks = append(readyChecks, obs.PingCheck("checkpoint", store))
+		}
+		srv, err = ops.servePlane(stderr, "mav scan", obs.Config{
+			Telemetry: reg,
+			Progress:  func() any { return tracker.Snapshot() },
+			Live:      []obs.Check{obs.HeapCheck(8 << 30)},
+			Ready:     readyChecks,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mav scan:", err)
+			return 1
+		}
+		defer srv.Close()
+	}
+
+	fmt.Fprintln(stdout, "generating simulated IPv4 internet...")
+	scan, err := study.RunScan(context.Background(), study.ScanConfig{
+		Population: population.Config{
+			Seed:            *seed,
+			HostScale:       *hostScale,
+			VulnScale:       *vulnScale,
+			BackgroundScale: *bgScale,
+			WildcardScale:   *bgScale,
+			PopScale:        *popScale,
+			Lazy:            *lazy,
+			CacheHosts:      *cacheSize,
+			HostileRate:     *hostile,
+		},
+		Scan: scanner.Options{
+			PortWorkers: *workers,
+			Seed:        uint64(*seed),
+		},
+		Shards:        *shards,
+		FabricWorkers: *fabricN,
+		Checkpoint:    ckptCfg,
+		Faults:        faultCfg,
+		Resilience:    policy,
+		Telemetry:     reg,
+		Obs:           study.ObsConfig{Progress: tracker, Ready: ready},
+		HTTPTimeout:   *httpTO,
+	})
+	stopProgress()
+	if err != nil {
+		fmt.Fprintln(stderr, "mav scan:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "scanned %d probes in %v; %d open ports, %d hosts in world (%d materialized)\n\n",
+		scan.Report.Stats.Probed, scan.Report.Stats.Elapsed, scan.Report.Stats.Open,
+		scan.World.TotalHosts(), scan.World.MaterializedHosts())
+
+	report.Table1(stdout)
+	fmt.Fprintln(stdout)
+	report.Table2(stdout, scan.Report)
+	fmt.Fprintln(stdout)
+	report.Table3(stdout, scan)
+	fmt.Fprintln(stdout)
+	report.Table4(stdout, scan, 5)
+	fmt.Fprintln(stdout)
+	panels := analysis.Figure1(scan.Report.Apps, population.ScanDate, mav.JupyterNotebook, mav.Hadoop)
+	report.Figure1(stdout, panels)
+
+	if *jsonOut != "" {
+		if err := writeReportJSON(*jsonOut, scan.Report); err != nil {
+			fmt.Fprintln(stderr, "mav scan:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\ncanonical report written to %s\n", *jsonOut)
+	}
+
+	if reg != nil {
+		// Final flush: the full exposition lands on stdout even if no
+		// scraper ever hit /metrics during the run.
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "=== Telemetry snapshot ===")
+		if err := reg.WriteProm(stdout); err != nil {
+			fmt.Fprintln(stderr, "mav scan:", err)
+			return 1
+		}
+	}
+
+	ops.lingerWait(stderr, "mav scan", srv)
+	return 0
+}

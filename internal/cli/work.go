@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mavscan/internal/fabric"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// runWork is "mav work": one fabric worker process. It joins the
+// coordinator at -coordinator, regenerates the world from the shipped
+// spec, and scans leased segments until the plan completes. Exit codes:
+// 0 done, 1 error, 3 killed by the coordinator's fault schedule (a
+// supervisor distinguishing injected kills from crashes can respawn on
+// 3 unconditionally).
+func runWork(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("work", stderr)
+	var (
+		addr    = fs.String("coordinator", "", "coordinator address (loopback only), e.g. 127.0.0.1:8070")
+		id      = fs.String("id", "", "worker ID, unique per live worker (default w<pid>)")
+		journal = fs.String("journal", "", "additionally journal completed segments to this local file (JSONL)")
+		metrics = fs.Bool("metrics", false, "print a Prometheus telemetry snapshot on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addr == "" {
+		fmt.Fprintln(stderr, "mav work: -coordinator is required")
+		return 2
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("w%d", os.Getpid())
+	}
+
+	transport, err := fabric.DialLoopback(*addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mav work:", err)
+		return 2
+	}
+	var store orchestrator.Store
+	if *journal != "" {
+		fileStore, err := orchestrator.OpenFileStore(*journal)
+		if err != nil {
+			fmt.Fprintln(stderr, "mav work:", err)
+			return 1
+		}
+		defer fileStore.Close()
+		store = fileStore
+	}
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.New(simtime.Wall{})
+	}
+
+	worker, err := fabric.NewWorker(fabric.WorkerConfig{
+		ID:        *id,
+		Transport: transport,
+		Store:     store,
+		Telemetry: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mav work:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(stdout, "worker %s joining %s...\n", *id, *addr)
+	runErr := worker.Run(ctx)
+
+	if reg != nil {
+		fmt.Fprintln(stdout, "=== Telemetry snapshot ===")
+		if err := reg.WriteProm(stdout); err != nil {
+			fmt.Fprintln(stderr, "mav work:", err)
+		}
+	}
+	switch {
+	case runErr == nil:
+		fmt.Fprintf(stdout, "worker %s: plan complete\n", *id)
+		return 0
+	case errors.Is(runErr, fabric.ErrKilled):
+		fmt.Fprintf(stderr, "mav work: worker %s killed by fault schedule\n", *id)
+		return 3
+	default:
+		fmt.Fprintln(stderr, "mav work:", runErr)
+		return 1
+	}
+}

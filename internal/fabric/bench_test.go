@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+)
+
+// BenchmarkFabricScan measures a full fabric scan — coordinator, pipe
+// transport, worker fleet, journal — at 1, 4 and 8 workers over the same
+// world and seed. One iteration is a complete scan; compare against the
+// monolithic variant for the protocol's overhead.
+func BenchmarkFabricScan(b *testing.B) {
+	b.Run("monolithic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			world, err := population.Generate(testPop())
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := scanner.Options{
+				Targets:         world.Geo.Prefixes(),
+				Seed:            9,
+				SkipFingerprint: true,
+			}
+			pipe := scanner.New(world.Net)
+			b.StartTimer()
+			if _, err := pipe.Run(context.Background(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(context.Background(), Config{
+					// 8 shards, one segment each (Every 0): enough leases to
+					// occupy the widest fleet without drowning the scan in
+					// per-segment pipeline setup.
+					Coordinator: CoordinatorConfig{
+						Population: testPop(),
+						Scan:       scanner.Options{Seed: 9, SkipFingerprint: true},
+						Shards:     8,
+						Checkpoint: orchestrator.Checkpoint{Store: orchestrator.NewMemStore()},
+					},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("workers=%d probed=%d open=%d apps=%d", workers, rep.Stats.Probed, rep.Stats.Open, len(rep.Apps))
+				}
+			}
+		})
+	}
+}

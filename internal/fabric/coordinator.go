@@ -1,0 +1,581 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/iprange"
+	"mavscan/internal/mav"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// CoordinatorConfig parametrizes a fabric coordinator. It mirrors the
+// in-process orchestrator.Config, minus the things only a worker owns
+// (the network handle, parallelism) and plus the heartbeat contract.
+type CoordinatorConfig struct {
+	// Population is the world recipe shipped to workers. The coordinator
+	// itself never scans; it generates the world once only to derive the
+	// target prefixes when Scan.Targets is empty.
+	Population population.Config
+	// Scan carries the pipeline options. Space must be unset (the plan
+	// owns the partition).
+	Scan scanner.Options
+	// Shards is the flat-index shard count of the plan (default 1).
+	Shards int
+	// Checkpoint configures the shared journal: every completion is
+	// appended to Store (duplicates included — replay is keep-first), and
+	// Resume preloads completed segments before any worker joins.
+	Checkpoint orchestrator.Checkpoint
+	// Faults is shipped to workers: its endpoint rates seed each worker's
+	// fault plan, and WorkerCrashRate drives whole-worker kill draws.
+	Faults faults.Config
+	// Resilience is the workers' HTTP-stage retry policy.
+	Resilience resilience.Policy
+	// HTTPTimeout overrides the workers' per-request timeout.
+	HTTPTimeout time.Duration
+	// HeartbeatEvery is the beat cadence workers are told to keep
+	// (default 500ms); MissedBeats is K, the missed-beat budget before a
+	// worker's leases expire (default 3).
+	HeartbeatEvery time.Duration
+	MissedBeats    int
+	// Clock drives lease expiry and elapsed accounting (default wall).
+	Clock simtime.Clock
+	// Telemetry, when non-nil, instruments the lease book (grants,
+	// expiries, reassignments, heartbeat lag, per-worker watermarks).
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives the per-worker fabric view for the
+	// operations plane's /progress endpoint.
+	Progress *orchestrator.ProgressTracker
+}
+
+// Coordinator owns the segment plan and the lease book of one fabric
+// scan. All state transitions happen under one mutex on request arrival —
+// expiry is swept lazily on every incoming call (and on Tick), so the
+// coordinator needs no background goroutine and runs unchanged on a
+// simulated clock.
+type Coordinator struct {
+	cfg         CoordinatorConfig
+	clock       simtime.Clock
+	start       time.Time
+	segs        []orchestrator.Segment
+	fingerprint []byte
+	excluded    uint64
+	runID       string
+	spec        JoinSpec
+
+	mu         sync.Mutex
+	pending    []int // ordinals awaiting (re)grant, ascending
+	leases     map[int]*Lease
+	parts      map[int]*scanner.Report
+	workers    map[string]*workerInfo
+	granted    map[int]bool // ordinals ever granted (reassignment detection)
+	reassigned []int        // reassignment order, for audits and tests
+	joins      int
+	grants     int
+	done       chan struct{}
+
+	tel *coordTelemetry
+}
+
+type workerInfo struct {
+	index    int
+	lastBeat time.Time
+	lost     bool
+	grants   int
+}
+
+type coordTelemetry struct {
+	granted    *telemetry.Counter
+	expired    *telemetry.Counter
+	reassigned *telemetry.Counter
+	beatLag    *telemetry.Histogram
+	reg        *telemetry.Registry
+	watermarks map[string]*telemetry.Gauge
+}
+
+// NewCoordinator plans the scan (segments, fingerprint, resume) and
+// returns a coordinator ready to serve a Transport. No goroutines start;
+// serving is the caller's choice of transport.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simtime.Wall{}
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.MissedBeats <= 0 {
+		cfg.MissedBeats = 3
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	opts := cfg.Scan
+	if opts.Space != nil {
+		return nil, errors.New("fabric: Scan.Space is owned by the plan; set Targets/Exclude")
+	}
+	if len(opts.Ports) == 0 {
+		opts.Ports = mav.ScanPorts()
+	}
+	if len(opts.Targets) == 0 {
+		// The world recipe implies the address plan; generate it once to
+		// read the prefixes (cheap for lazy worlds — hosts materialize only
+		// on probe, and the coordinator never probes).
+		world, err := population.Generate(cfg.Population)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: deriving targets: %w", err)
+		}
+		opts.Targets = world.Geo.Prefixes()
+	}
+	targets, err := iprange.FromPrefixes(opts.Targets)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: targets: %w", err)
+	}
+	exclude, err := iprange.FromPrefixes(opts.Exclude)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: exclude: %w", err)
+	}
+	space := targets.Subtract(exclude)
+	cfg.Scan = opts
+
+	c := &Coordinator{
+		cfg:         cfg,
+		clock:       clock,
+		start:       clock.Now(),
+		segs:        orchestrator.PlanSegments(space.NumAddresses(), opts.Seed, cfg.Shards, cfg.Checkpoint.Every),
+		fingerprint: orchestrator.PlanFingerprint(space, opts, cfg.Shards, cfg.Checkpoint.Every),
+		excluded:    (targets.NumAddresses() - space.NumAddresses()) * uint64(len(opts.Ports)),
+		leases:      map[int]*Lease{},
+		parts:       map[int]*scanner.Report{},
+		workers:     map[string]*workerInfo{},
+		granted:     map[int]bool{},
+		done:        make(chan struct{}),
+	}
+	c.runID = cfg.Checkpoint.RunID
+	if c.runID == "" {
+		c.runID = "scan"
+	}
+	c.spec = JoinSpec{
+		RunID:          c.runID,
+		Fingerprint:    string(c.fingerprint),
+		Population:     cfg.Population,
+		Scan:           opts,
+		Shards:         cfg.Shards,
+		Faults:         cfg.Faults,
+		Resilience:     cfg.Resilience,
+		HTTPTimeout:    cfg.HTTPTimeout,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		MissedBeats:    cfg.MissedBeats,
+	}
+
+	if reg := cfg.Telemetry; reg.Enabled() {
+		c.tel = &coordTelemetry{
+			granted:    reg.Counter("mavscan_fabric_leases_granted_total"),
+			expired:    reg.Counter("mavscan_fabric_leases_expired_total"),
+			reassigned: reg.Counter("mavscan_fabric_leases_reassigned_total"),
+			beatLag:    reg.Histogram("mavscan_fabric_heartbeat_lag_seconds", nil),
+			reg:        reg,
+			watermarks: map[string]*telemetry.Gauge{},
+		}
+	}
+
+	shardTotals := make([]uint64, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		lo := uint64(i) * space.NumAddresses() / uint64(cfg.Shards)
+		hi := uint64(i+1) * space.NumAddresses() / uint64(cfg.Shards)
+		shardTotals[i] = hi - lo
+	}
+	cfg.Progress.BeginFabric(clock, shardTotals, len(c.segs), cfg.Checkpoint.Store != nil)
+
+	if err := c.resume(); err != nil {
+		return nil, err
+	}
+	for _, seg := range c.segs {
+		if _, ok := c.parts[seg.Ordinal]; !ok {
+			c.pending = append(c.pending, seg.Ordinal)
+		}
+	}
+	if len(c.parts) == len(c.segs) {
+		cfg.Progress.FinishFabric()
+		close(c.done)
+	}
+	cfg.Telemetry.Event("fabric.plan",
+		"shards", strconv.Itoa(cfg.Shards),
+		"segments", strconv.Itoa(len(c.segs)),
+		"resumed", strconv.Itoa(len(c.parts)))
+	return c, nil
+}
+
+// resume replays the shared journal (when Checkpoint.Resume is set),
+// preloading completed segments keep-first, and ensures the stream opens
+// with a plan record — the same contract the in-process orchestrator
+// keeps, because it is the same journal.
+func (c *Coordinator) resume() error {
+	ck := c.cfg.Checkpoint
+	if ck.Store == nil {
+		if ck.Resume {
+			return errors.New("fabric: Resume requires a checkpoint store")
+		}
+		return nil
+	}
+	havePlan := false
+	if ck.Resume {
+		err := ck.Store.Replay(c.runID, func(rec orchestrator.Record) error {
+			switch rec.Kind {
+			case orchestrator.KindPlan:
+				if !bytes.Equal(rec.Payload, c.fingerprint) {
+					return fmt.Errorf("fabric: journal %q belongs to a different scan configuration", c.runID)
+				}
+				havePlan = true
+			case orchestrator.KindSegment:
+				if rec.Segment < 0 || rec.Segment >= len(c.segs) {
+					return fmt.Errorf("fabric: journal %q references unknown segment %d", c.runID, rec.Segment)
+				}
+				if _, dup := c.parts[rec.Segment]; dup {
+					return nil // keep first
+				}
+				part := &scanner.Report{}
+				if err := json.Unmarshal(rec.Payload, part); err != nil {
+					return fmt.Errorf("fabric: journal %q segment %d: %w", c.runID, rec.Segment, err)
+				}
+				c.parts[rec.Segment] = part
+				seg := c.segs[rec.Segment]
+				c.cfg.Progress.FabricResumed(seg.Shard, seg.Hi-seg.Lo)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if !havePlan {
+		if err := ck.Store.Append(orchestrator.Record{
+			RunID: c.runID, Kind: orchestrator.KindPlan, Payload: c.fingerprint,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Done returns a channel closed once every segment has completed.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the plan completes or ctx expires.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Report merges the completed segments into the final report. It must be
+// called after Done; calling early returns an error rather than a
+// partial merge.
+func (c *Coordinator) Report() (*scanner.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.parts) != len(c.segs) {
+		return nil, fmt.Errorf("fabric: plan incomplete: %d/%d segments", len(c.parts), len(c.segs))
+	}
+	report := orchestrator.MergeParts(c.parts, len(c.segs))
+	report.Stats.Excluded = c.excluded
+	report.Stats.Elapsed = c.clock.Now().Sub(c.start)
+	return report, nil
+}
+
+// Reassignments returns the ordinals re-granted after a lease expiry, in
+// grant order — the audit trail the determinism tests assert on.
+func (c *Coordinator) Reassignments() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.reassigned...)
+}
+
+// Tick runs one lease-expiry sweep without any worker traffic. The sweep
+// also runs on every incoming request; Tick exists for supervisors that
+// want expiry to make progress while all workers are silent.
+func (c *Coordinator) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+}
+
+// sweep (mu held) expires every worker whose last beat is older than
+// K×HeartbeatEvery and returns its leases to the pending queue. Workers
+// are visited in sorted-ID order and reclaimed ordinals are re-inserted
+// in ascending order, so the reassignment sequence is deterministic.
+func (c *Coordinator) sweep() {
+	ttl := time.Duration(c.cfg.MissedBeats) * c.cfg.HeartbeatEvery
+	now := c.clock.Now()
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		if w.lost || now.Sub(w.lastBeat) <= ttl {
+			continue
+		}
+		w.lost = true
+		c.cfg.Progress.WorkerLost(id)
+		var orphans []int
+		for ord, l := range c.leases {
+			if l.Worker == id {
+				orphans = append(orphans, ord)
+			}
+		}
+		sort.Ints(orphans)
+		for _, ord := range orphans {
+			delete(c.leases, ord)
+			c.insertPending(ord)
+			if c.tel != nil {
+				c.tel.expired.Inc()
+			}
+			c.cfg.Telemetry.Event("fabric.lease.expired",
+				"worker", id, "ordinal", strconv.Itoa(ord))
+		}
+	}
+}
+
+// insertPending (mu held) re-queues ordinal keeping pending ascending.
+func (c *Coordinator) insertPending(ord int) {
+	i := sort.SearchInts(c.pending, ord)
+	c.pending = append(c.pending, 0)
+	copy(c.pending[i+1:], c.pending[i:])
+	c.pending[i] = ord
+}
+
+// beat (mu held) refreshes the worker's liveness and observes its lag.
+// A request from a lost worker is proof of life: the worker rejoins the
+// fleet (its expired leases stay reassigned — it will be handed new
+// ones), so a healed partition needs no explicit re-join handshake.
+func (c *Coordinator) beat(id string) {
+	w := c.workers[id]
+	if w == nil {
+		return
+	}
+	now := c.clock.Now()
+	if w.lost {
+		w.lost = false
+		c.cfg.Progress.WorkerJoined(id)
+		c.cfg.Telemetry.Event("fabric.worker.revived", "worker", id)
+	} else if c.tel != nil {
+		c.tel.beatLag.Observe(now.Sub(w.lastBeat).Seconds())
+	}
+	w.lastBeat = now
+	c.cfg.Progress.WorkerBeat(id)
+}
+
+// isDone (mu held) reports plan completion.
+func (c *Coordinator) isDone() bool { return len(c.parts) == len(c.segs) }
+
+// serveJoin registers (or revives) a worker and hands it the scan spec.
+func (c *Coordinator) serveJoin(req joinRequest) (joinResponse, error) {
+	if req.Worker == "" {
+		return joinResponse{Reason: "empty worker ID"}, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+	w := c.workers[req.Worker]
+	if w == nil {
+		w = &workerInfo{index: c.joins}
+		c.joins++
+		c.workers[req.Worker] = w
+	}
+	w.lost = false
+	w.lastBeat = c.clock.Now()
+	c.cfg.Progress.WorkerJoined(req.Worker)
+	c.cfg.Telemetry.Event("fabric.worker.joined",
+		"worker", req.Worker, "index", strconv.Itoa(w.index))
+	return joinResponse{Accepted: true, Index: w.index, Spec: c.spec}, nil
+}
+
+// serveLease grants the lowest pending ordinal to the caller, or reports
+// the plan done / fully leased.
+func (c *Coordinator) serveLease(req leaseRequest) (leaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+	w := c.workers[req.Worker]
+	if w == nil {
+		return leaseResponse{}, fmt.Errorf("fabric: unknown worker %q (join first)", req.Worker)
+	}
+	c.beat(req.Worker)
+	if c.isDone() {
+		return leaseResponse{Done: true}, nil
+	}
+	// A pending entry can be stale: a lease that expired mid-scan is
+	// re-queued, yet its original holder may still deliver. Granting such
+	// an ordinal again would burn a whole segment scan on a duplicate —
+	// and under tight heartbeat budgets the re-scan can expire too,
+	// re-queueing the same head forever. Skip anything already merged.
+	var ord int
+	for {
+		if len(c.pending) == 0 {
+			return leaseResponse{}, nil
+		}
+		ord = c.pending[0]
+		c.pending = c.pending[1:]
+		if _, completed := c.parts[ord]; !completed {
+			break
+		}
+	}
+	c.grants++
+	w.grants++
+	lease := &Lease{ID: c.grants, Worker: req.Worker, Grant: w.grants, Segment: c.segs[ord]}
+	c.leases[ord] = lease
+	if c.tel != nil {
+		c.tel.granted.Inc()
+	}
+	if c.granted[ord] {
+		c.reassigned = append(c.reassigned, ord)
+		if c.tel != nil {
+			c.tel.reassigned.Inc()
+		}
+		c.cfg.Telemetry.Event("fabric.lease.reassigned",
+			"worker", req.Worker, "ordinal", strconv.Itoa(ord))
+	}
+	c.granted[ord] = true
+	return leaseResponse{Granted: true, Lease: *lease}, nil
+}
+
+// serveBeat is the pure-heartbeat endpoint, for workers deep in a long
+// segment with nothing else to say.
+func (c *Coordinator) serveBeat(req beatRequest) (beatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+	if c.workers[req.Worker] == nil {
+		return beatResponse{}, fmt.Errorf("fabric: unknown worker %q (join first)", req.Worker)
+	}
+	c.beat(req.Worker)
+	return beatResponse{Done: c.isDone()}, nil
+}
+
+// serveComplete journals and merges one segment delta. Every completion
+// is appended to the shared journal — duplicates included, because the
+// journal's replay is keep-first and a double-completed segment is
+// evidence worth keeping — but only the first delta is merged.
+func (c *Coordinator) serveComplete(req completeRequest) (completeResponse, error) {
+	if req.Ordinal < 0 || req.Ordinal >= len(c.segs) {
+		return completeResponse{}, fmt.Errorf("fabric: completion for unknown segment %d", req.Ordinal)
+	}
+	part := &scanner.Report{}
+	if err := json.Unmarshal(req.Delta, part); err != nil {
+		return completeResponse{}, fmt.Errorf("fabric: segment %d delta: %w", req.Ordinal, err)
+	}
+	seg := c.segs[req.Ordinal]
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+	c.beat(req.Worker)
+	if store := c.cfg.Checkpoint.Store; store != nil {
+		if err := store.Append(orchestrator.Record{
+			RunID: c.runID, Kind: orchestrator.KindSegment,
+			Shard: seg.Shard, Segment: seg.Ordinal,
+			Watermark: seg.Hi, Payload: req.Delta,
+		}); err != nil {
+			return completeResponse{}, fmt.Errorf("fabric: journaling segment %d: %w", seg.Ordinal, err)
+		}
+	}
+	if _, dup := c.parts[req.Ordinal]; dup {
+		c.cfg.Telemetry.Event("fabric.segment.duplicate",
+			"worker", req.Worker, "ordinal", strconv.Itoa(req.Ordinal))
+		return completeResponse{Accepted: true, Duplicate: true}, nil
+	}
+	c.parts[req.Ordinal] = part
+	delete(c.leases, req.Ordinal)
+	// The ordinal may sit in pending too, re-queued by an expiry sweep
+	// while this delta was in flight; purge it so it is never re-granted.
+	if i := sort.SearchInts(c.pending, req.Ordinal); i < len(c.pending) && c.pending[i] == req.Ordinal {
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	}
+	c.cfg.Progress.WorkerSegmentDone(req.Worker, seg.Shard, seg.Hi-seg.Lo, 0, c.cfg.Checkpoint.Store != nil)
+	if c.tel != nil {
+		g := c.tel.watermarks[req.Worker]
+		if g == nil {
+			g = c.tel.reg.Gauge(telemetry.Labeled(
+				"mavscan_fabric_worker_watermark_addrs", "worker", req.Worker))
+			c.tel.watermarks[req.Worker] = g
+		}
+		g.Add(int64(seg.Hi - seg.Lo))
+	}
+	c.cfg.Telemetry.Event("fabric.segment.done",
+		"worker", req.Worker, "ordinal", strconv.Itoa(req.Ordinal))
+	if c.isDone() {
+		c.cfg.Progress.FinishFabric()
+		c.cfg.Telemetry.Event("fabric.done", "segments", strconv.Itoa(len(c.segs)))
+		close(c.done)
+	}
+	return completeResponse{Accepted: true}, nil
+}
+
+// Handler serves the wire protocol under /fabric/v1/. Mount it on the
+// operations plane's loopback listener (obs.Listen) for multi-process
+// runs, or behind a PipeTransport for hermetic ones.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fabric/v1/"+endpointJoin, func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, r, func(req joinRequest) (joinResponse, error) { return c.serveJoin(req) })
+	})
+	mux.HandleFunc("/fabric/v1/"+endpointLease, func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, r, func(req leaseRequest) (leaseResponse, error) { return c.serveLease(req) })
+	})
+	mux.HandleFunc("/fabric/v1/"+endpointBeat, func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, r, func(req beatRequest) (beatResponse, error) { return c.serveBeat(req) })
+	})
+	mux.HandleFunc("/fabric/v1/"+endpointComplete, func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, r, func(req completeRequest) (completeResponse, error) { return c.serveComplete(req) })
+	})
+	return mux
+}
+
+// serveJSON decodes one bounded JSON request, dispatches it, and writes
+// the JSON reply. Handler errors become 400s: every defined failure in
+// the protocol is a caller mistake (unknown worker, unknown segment,
+// corrupt delta), and transport-level retries must not re-trigger them.
+func serveJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Req
+	body := http.MaxBytesReader(w, r.Body, maxWireBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "fabric: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := fn(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// The reply is already partially written; nothing to repair.
+		return
+	}
+}

@@ -1,0 +1,175 @@
+// Package fabric distributes an orchestrated scan across worker
+// processes: a coordinator serves the orchestrator's segment plan as
+// leases over a pluggable wire Transport, and workers acquire leases, run
+// the existing per-shard scanner.Pipeline over the leased segments, and
+// report deltas back.
+//
+// The paper's Stage I ran from a 64-machine fleet; PR 5's orchestrator
+// reproduced the shard/checkpoint/merge model inside one process, and
+// this package promotes it across a process boundary without changing
+// the correctness bar: segments still partition addresses (never ports),
+// per-segment seeds still come from orchestrator.PlanSegments, and the
+// merge still folds in ordinal order — so a fabric scan with worker
+// kills, lease expiries, and reassignments produces a byte-identical
+// merged report versus the monolithic pipeline.
+//
+// Failure model. Liveness is worker-granular: every request a worker
+// makes doubles as a heartbeat, and a worker that stays silent for
+// MissedBeats heartbeat intervals is declared lost. Its leases expire and
+// the orphaned segments return to the head of the pending queue in
+// ordinal order, so reassignment order is a deterministic function of
+// (plan, kill schedule) rather than of scheduling noise. Completions are
+// keep-first: a partitioned worker that finishes a segment and reconnects
+// after its lease was reassigned journals a duplicate record, which
+// replay dedups — the same idempotence the checkpoint journal already
+// guarantees for crash-resume.
+//
+// The journal is the source of truth: the coordinator appends every
+// completion (duplicates included) to the pluggable checkpoint Store, so
+// a killed coordinator resumes by replay exactly like the in-process
+// orchestrator, and an eslite-backed store doubles as a fleet-wide audit
+// log. Worker state, in contrast, is disposable — each worker regenerates
+// the identical world from the shipped population.Config (host state is a
+// pure function of (seed, address)), which is what makes a reassigned
+// segment's delta byte-identical no matter which process scans it.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+)
+
+// Transport carries one coordinator-bound RPC: req is JSON-encoded, sent
+// to the named endpoint (join, lease, beat, complete), and the reply is
+// decoded into resp. Implementations: PipeTransport (in-memory net.Pipe
+// pair, hermetic) and the loopback HTTP transport from DialLoopback.
+type Transport interface {
+	Call(ctx context.Context, endpoint string, req, resp any) error
+}
+
+// Wire endpoints, relative to the /fabric/v1/ prefix.
+const (
+	endpointJoin     = "join"
+	endpointLease    = "lease"
+	endpointBeat     = "beat"
+	endpointComplete = "complete"
+)
+
+// maxWireBytes bounds every wire read on both sides of the protocol. The
+// largest message is a completion delta (a segment's partial report);
+// peers are same-trust-domain processes, but the transport is still a
+// network reader and stays under the boundedread discipline.
+const maxWireBytes = 64 << 20
+
+// ErrKilled is returned by a worker whose injected kill schedule
+// (faults.Config.WorkerCrashRate via Plan.WorkerKill) fired: the worker
+// stops heartbeating and abandons its lease, modelling a process lost
+// mid-scan. Supervisors (fabric.Run, the CLI) treat it as a process
+// death, not a scan error.
+var ErrKilled = errors.New("fabric: worker killed by fault schedule")
+
+// JoinSpec is everything a worker needs to reconstruct the scan locally:
+// the world recipe, the scan options, the plan shape, and the heartbeat
+// contract. It is shipped in the join response, so a worker binary needs
+// no scan configuration of its own — pointing it at a coordinator is
+// enough.
+type JoinSpec struct {
+	// RunID names the journal stream completions are appended to.
+	RunID string `json:"run_id"`
+	// Fingerprint is the orchestrator.PlanFingerprint of the plan; workers
+	// with a local journal use it the same way resume does.
+	Fingerprint string `json:"fingerprint"`
+	// Population is the world recipe. Host state is a pure function of
+	// (seed, address), so every worker materializes the identical world.
+	Population population.Config `json:"population"`
+	// Scan carries the pipeline options (Targets filled in, Space unset:
+	// each lease ships its own flat-index window).
+	Scan scanner.Options `json:"scan"`
+	// Shards is the plan's shard count (pipelines label telemetry with it).
+	Shards int `json:"shards"`
+	// Faults seeds the worker's endpoint fault plan and its kill schedule.
+	Faults faults.Config `json:"faults"`
+	// Resilience is the HTTP-stage retry policy.
+	Resilience resilience.Policy `json:"resilience"`
+	// HTTPTimeout overrides the per-request timeout (0 = 10s default).
+	HTTPTimeout time.Duration `json:"http_timeout"`
+	// HeartbeatEvery is the beat cadence; MissedBeats is K, the number of
+	// missed beats after which a worker's leases expire.
+	HeartbeatEvery time.Duration `json:"heartbeat_every"`
+	MissedBeats    int           `json:"missed_beats"`
+}
+
+// Lease is one granted unit of work: a segment, who holds it, and the
+// grant ordinals that make kill draws and reassignment audits stable.
+type Lease struct {
+	// ID is the coordinator-wide monotonic grant number.
+	ID int `json:"id"`
+	// Worker is the holder's ID.
+	Worker string `json:"worker"`
+	// Grant is the holder's 1-based per-worker grant ordinal — the lease
+	// coordinate the kill schedule draws on (faults.Plan.WorkerKill).
+	Grant int `json:"grant"`
+	// Segment is the leased work unit, straight from the shared plan.
+	Segment orchestrator.Segment `json:"segment"`
+}
+
+type joinRequest struct {
+	Worker string `json:"worker"`
+}
+
+type joinResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	// Index is the worker's 0-based join ordinal — the worker coordinate
+	// of its kill draws.
+	Index int      `json:"index"`
+	Spec  JoinSpec `json:"spec"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	// Done reports the whole plan complete: the worker should exit.
+	Done bool `json:"done"`
+	// Granted is false when every pending segment is currently leased out;
+	// the worker idles one heartbeat and asks again.
+	Granted bool  `json:"granted"`
+	Lease   Lease `json:"lease"`
+}
+
+type beatRequest struct {
+	Worker string `json:"worker"`
+}
+
+type beatResponse struct {
+	Done bool `json:"done"`
+}
+
+type completeRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID int    `json:"lease_id"`
+	Ordinal int    `json:"ordinal"`
+	// Delta is the segment's JSON-encoded partial report — the same
+	// encoding the checkpoint journal stores, so the coordinator journals
+	// it verbatim.
+	Delta json.RawMessage `json:"delta"`
+}
+
+type completeResponse struct {
+	Accepted bool `json:"accepted"`
+	// Duplicate marks a keep-first rejection: another completion for the
+	// same segment landed earlier (typically after a lease expiry and
+	// reassignment). The work is discarded but the record is journaled, so
+	// the double completion is auditable and replay stays idempotent.
+	Duplicate bool `json:"duplicate"`
+}

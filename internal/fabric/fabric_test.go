@@ -1,0 +1,436 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/iprange"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/resilience"
+	"mavscan/internal/scanner"
+	"mavscan/internal/simtime"
+)
+
+// testPop is the standard small scan world recipe (the same one the
+// orchestrator's identity tests use). Every worker regenerates it
+// independently, which is the property the whole fabric rests on.
+func testPop() population.Config {
+	return population.Config{
+		Seed: 9, HostScale: 8000, VulnScale: 8,
+		BackgroundScale: -1, WildcardScale: -1,
+	}
+}
+
+func testScanOptions(tb testing.TB) (scanner.Options, uint64) {
+	tb.Helper()
+	world, err := population.Generate(testPop())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	set, err := iprange.FromPrefixes(world.Geo.Prefixes())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return scanner.Options{Targets: world.Geo.Prefixes(), Seed: 9}, set.NumAddresses()
+}
+
+// monolithicJSON runs the unsharded pipeline on a fresh world — with the
+// same endpoint fault plan and retry policy a fabric run would ship to
+// its workers — and returns the canonical JSON of its report.
+func monolithicJSON(tb testing.TB, fcfg faults.Config, pol resilience.Policy) []byte {
+	tb.Helper()
+	world, err := population.Generate(testPop())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if fcfg.Enabled() {
+		world.Net.SetFaults(faults.NewPlan(fcfg, nil))
+	}
+	opts := scanner.Options{Targets: world.Geo.Prefixes(), Seed: 9}
+	rep, err := scanner.New(world.Net, scanner.WithResilience(pol)).Run(context.Background(), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return reportJSON(tb, rep)
+}
+
+// reportJSON canonicalizes a report for byte-level comparison (Elapsed is
+// wall-clock noise and is zeroed).
+func reportJSON(tb testing.TB, rep *scanner.Report) []byte {
+	tb.Helper()
+	cp := *rep
+	cp.Stats.Elapsed = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// lockstepResult is one deterministic fabric run's observable outcome.
+type lockstepResult struct {
+	report       []byte
+	reassigned   []int
+	kills        int
+	journalCount int
+}
+
+// runLockstep executes one fabric scan with every protocol interaction
+// serialized by the test: workers step round-robin on a simulated clock,
+// kill-schedule deaths remove the worker and respawn a replacement, and
+// the clock advances by advance(round) between rounds — which is what
+// positions kills at or between heartbeats.
+func runLockstep(t *testing.T, workers int, fcfg faults.Config, pol resilience.Policy, advance func(round int) time.Duration) lockstepResult {
+	t.Helper()
+	opts, n := testScanOptions(t)
+	const hb = time.Second
+	store := orchestrator.NewMemStore()
+	sim := simtime.NewSim(time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC))
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Population:     testPop(),
+		Scan:           opts,
+		Shards:         2,
+		Checkpoint:     orchestrator.Checkpoint{Store: store, Every: n/6 + 1},
+		Faults:         fcfg,
+		Resilience:     pol,
+		HeartbeatEvery: hb,
+		MissedBeats:    2,
+		Clock:          sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPipeTransport(coord)
+	defer func() {
+		if err := tr.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	ctx := context.Background()
+	newWorker := func(id string) *Worker {
+		w, err := NewWorker(WorkerConfig{ID: id, Transport: tr, Clock: sim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	var live []*Worker
+	for i := 0; i < workers; i++ {
+		live = append(live, newWorker(fmt.Sprintf("w%d", i)))
+	}
+
+	kills, respawns := 0, 0
+	for round := 0; ; round++ {
+		if round > 5000 {
+			t.Fatal("fabric run made no progress in 5000 rounds")
+		}
+		if done(coord) {
+			break
+		}
+		var alive []*Worker
+		for _, w := range live {
+			if done(coord) {
+				alive = append(alive, w)
+				continue
+			}
+			_, err := w.Step(ctx)
+			switch {
+			case errors.Is(err, ErrKilled):
+				kills++
+				respawns++
+				alive = append(alive, newWorker(fmt.Sprintf("r%d", respawns)))
+			case err != nil:
+				t.Fatal(err)
+			default:
+				alive = append(alive, w)
+			}
+		}
+		live = alive
+		sim.Advance(advance(round))
+	}
+	rep, err := coord.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := store.Replay("scan", func(rec orchestrator.Record) error {
+		if rec.Kind == orchestrator.KindSegment {
+			count++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return lockstepResult{
+		report:       reportJSON(t, rep),
+		reassigned:   coord.Reassignments(),
+		kills:        kills,
+		journalCount: count,
+	}
+}
+
+func done(c *Coordinator) bool {
+	select {
+	case <-c.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// TestLeaseExpiryDeterminism is the fabric's headline acceptance: with
+// the same seed and the same kill schedule, two runs produce the same
+// kill count, the identical reassignment order, and a merged report
+// byte-identical to the monolithic pipeline — for fleets of 1, 3 and 8
+// workers, with clock advances that land kills both at and between
+// heartbeat boundaries.
+func TestLeaseExpiryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full scans")
+	}
+	fcfg := faults.Config{Seed: 7, WorkerCrashRate: 0.4}
+	want := monolithicJSON(t, fcfg, resilience.Policy{})
+	const hb = time.Second
+	advances := map[string]func(int) time.Duration{
+		"at-beats": func(int) time.Duration { return hb },
+		"between-beats": func(round int) time.Duration {
+			if round%2 == 0 {
+				return hb / 2
+			}
+			return 3 * hb / 2
+		},
+	}
+	totalKills := 0
+	for _, workers := range []int{1, 3, 8} {
+		for name, adv := range advances {
+			a := runLockstep(t, workers, fcfg, resilience.Policy{}, adv)
+			b := runLockstep(t, workers, fcfg, resilience.Policy{}, adv)
+			if a.kills != b.kills {
+				t.Errorf("workers=%d %s: kill counts differ between identical runs: %d vs %d",
+					workers, name, a.kills, b.kills)
+			}
+			if fmt.Sprint(a.reassigned) != fmt.Sprint(b.reassigned) {
+				t.Errorf("workers=%d %s: reassignment order differs: %v vs %v",
+					workers, name, a.reassigned, b.reassigned)
+			}
+			if string(a.report) != string(want) {
+				t.Errorf("workers=%d %s: merged report differs from monolithic", workers, name)
+			}
+			if string(b.report) != string(want) {
+				t.Errorf("workers=%d %s: second run's report differs from monolithic", workers, name)
+			}
+			totalKills += a.kills
+		}
+	}
+	if totalKills == 0 {
+		t.Error("kill schedule never fired; raise WorkerCrashRate so the reassignment path is exercised")
+	}
+}
+
+// TestFaultedFabricMatchesMonolithic runs one lockstep fleet under
+// endpoint faults plus retries: every worker derives the same fault
+// draws from the shipped config, so the merged report still matches a
+// monolithic run with the identical plan installed.
+func TestFaultedFabricMatchesMonolithic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full scans")
+	}
+	fcfg := faults.Config{Seed: 11, Rate: 0.05, WorkerCrashRate: 0.3}
+	pol := resilience.Policy{MaxAttempts: 3, JitterSeed: 11}
+	want := monolithicJSON(t, fcfg, pol)
+	got := runLockstep(t, 3, fcfg, pol, func(int) time.Duration { return time.Second })
+	if string(got.report) != string(want) {
+		t.Error("faulted fabric report differs from faulted monolithic")
+	}
+}
+
+// TestRunMatchesMonolithic exercises the concurrent production path:
+// fabric.Run with a real worker pool over the pipe transport, kills
+// respawning mid-flight, against the monolithic baseline.
+func TestRunMatchesMonolithic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full scans")
+	}
+	fcfg := faults.Config{Seed: 7, WorkerCrashRate: 0.3}
+	want := monolithicJSON(t, fcfg, resilience.Policy{})
+	opts, n := testScanOptions(t)
+	for _, workers := range []int{1, 3, 8} {
+		rep, err := Run(context.Background(), Config{
+			Coordinator: CoordinatorConfig{
+				Population:     testPop(),
+				Scan:           opts,
+				Shards:         4,
+				Checkpoint:     orchestrator.Checkpoint{Store: orchestrator.NewMemStore(), Every: n/8 + 1},
+				Faults:         fcfg,
+				HeartbeatEvery: 5 * time.Millisecond,
+			},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := reportJSON(t, rep); string(got) != string(want) {
+			t.Errorf("workers=%d: fabric report differs from monolithic", workers)
+		}
+	}
+}
+
+// TestCoordinatorResume replays a half-journaled run: a second
+// coordinator over the same store starts with the journaled segments
+// done and the remaining ones pending, and the final report matches an
+// uninterrupted run.
+func TestCoordinatorResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full scans")
+	}
+	want := monolithicJSON(t, faults.Config{}, resilience.Policy{})
+	opts, n := testScanOptions(t)
+	store := orchestrator.NewMemStore()
+	sim := simtime.NewSim(time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC))
+	every := n/6 + 1
+
+	// First incarnation: one worker completes exactly two segments, then
+	// the coordinator is dropped.
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: opts, Shards: 2,
+		Checkpoint: orchestrator.Checkpoint{Store: store, Every: every},
+		Clock:      sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPipeTransport(coord)
+	w, err := NewWorker(WorkerConfig{ID: "w0", Transport: tr, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for steps, segs := 0, 0; segs < 2; steps++ {
+		if steps > 100 {
+			t.Fatal("worker made no progress")
+		}
+		act, err := w.Step(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act == ActionScan {
+			segs++
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation resumes from the shared journal.
+	coord2, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: opts, Shards: 2,
+		Checkpoint: orchestrator.Checkpoint{Store: store, Every: every, Resume: true},
+		Clock:      sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewPipeTransport(coord2)
+	defer func() {
+		if err := tr2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	w2, err := NewWorker(WorkerConfig{ID: "w1", Transport: tr2, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for steps := 0; !done(coord2); steps++ {
+		if steps > 200 {
+			t.Fatal("resumed run made no progress")
+		}
+		if _, err := w2.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := coord2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); string(got) != string(want) {
+		t.Error("resumed fabric report differs from monolithic")
+	}
+}
+
+// TestResumeRefusesChangedPlan mirrors the orchestrator's fingerprint
+// check across the fabric: a journal from one configuration must not
+// feed a coordinator planning a different one.
+func TestResumeRefusesChangedPlan(t *testing.T) {
+	opts, n := testScanOptions(t)
+	store := orchestrator.NewMemStore()
+	if _, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: opts, Shards: 2,
+		Checkpoint: orchestrator.Checkpoint{Store: store, Every: n/6 + 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	changed := opts
+	changed.Seed = 1234
+	if _, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: changed, Shards: 2,
+		Checkpoint: orchestrator.Checkpoint{Store: store, Every: n/6 + 1, Resume: true},
+	}); err == nil {
+		t.Fatal("resume under a changed configuration should fail")
+	}
+}
+
+// TestProgressAllWorkersLost drives the per-worker ops-plane view: a
+// joined worker that stops beating flips its row to dead, and once every
+// worker is lost the tracker's readiness Ping fails.
+func TestProgressAllWorkersLost(t *testing.T) {
+	opts, n := testScanOptions(t)
+	sim := simtime.NewSim(time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC))
+	tracker := orchestrator.NewProgressTracker()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: opts, Shards: 2,
+		Checkpoint:     orchestrator.Checkpoint{Store: orchestrator.NewMemStore(), Every: n/6 + 1},
+		HeartbeatEvery: time.Second,
+		MissedBeats:    2,
+		Clock:          sim,
+		Progress:       tracker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPipeTransport(coord)
+	defer func() {
+		if err := tr.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	w, err := NewWorker(WorkerConfig{ID: "w0", Transport: tr, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Step(context.Background()); err != nil { // join
+		t.Fatal(err)
+	}
+	snap := tracker.Snapshot()
+	if len(snap.Workers) != 1 || !snap.Workers[0].Live || snap.Workers[0].ID != "w0" {
+		t.Fatalf("after join, want one live worker row, got %+v", snap.Workers)
+	}
+	if err := tracker.Ping(); err != nil {
+		t.Fatalf("live fleet must pass readiness: %v", err)
+	}
+	sim.Advance(5 * time.Second) // past the 2-beat expiry budget
+	coord.Tick()
+	snap = tracker.Snapshot()
+	if len(snap.Workers) != 1 || snap.Workers[0].Live {
+		t.Fatalf("after expiry, want one dead worker row, got %+v", snap.Workers)
+	}
+	if err := tracker.Ping(); err == nil {
+		t.Fatal("Ping must fail once every fabric worker is lost")
+	}
+}

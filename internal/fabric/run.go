@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"mavscan/internal/scanner"
+	"mavscan/internal/simtime"
+)
+
+// Config parametrizes an in-process fabric run: a coordinator plus a
+// supervised fleet of workers, wired over a hermetic PipeTransport. It
+// is the single-binary form of the coordinate/work pair — what the
+// benchmarks and `mav scan -fabric-workers` use — and it exercises the
+// identical protocol path as a multi-process run.
+type Config struct {
+	// Coordinator is the plan and lease configuration.
+	Coordinator CoordinatorConfig
+	// Workers is the fleet size (default 1).
+	Workers int
+	// Sleep paces worker idle/retry loops (default wall clock).
+	Sleep simtime.Sleeper
+}
+
+// Run executes a fabric scan in one process and returns the merged
+// report. Workers killed by the fault schedule are respawned under a
+// fresh ID — the supervisor-restarts-the-process model — so the run
+// always drains the plan; every kill still exercises the full lease
+// expiry and reassignment path before the respawned worker picks the
+// orphaned segments back up.
+func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	coord, err := NewCoordinator(cfg.Coordinator)
+	if err != nil {
+		return nil, err
+	}
+	transport := NewPipeTransport(coord)
+	defer func() {
+		if err := transport.Close(); err != nil {
+			cfg.Coordinator.Telemetry.Event("fabric.transport.close_error", "err", err.Error())
+		}
+	}()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	s := &supervisor{
+		ctx:       runCtx,
+		cancel:    cancel,
+		coord:     coord,
+		transport: transport,
+		sleep:     cfg.Sleep,
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.runWorker(fmt.Sprintf("w%d", i))
+	}
+	s.wg.Wait()
+	if s.firstErr != nil {
+		return nil, s.firstErr
+	}
+	if err := coord.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return coord.Report()
+}
+
+// supervisor owns the worker fleet of one in-process run.
+type supervisor struct {
+	ctx       context.Context
+	cancel    context.CancelFunc
+	coord     *Coordinator
+	transport *PipeTransport
+	sleep     simtime.Sleeper
+
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	respawns int
+	firstErr error
+}
+
+// runWorker drives one worker to completion, respawning it in place
+// (fresh ID, fresh world) whenever the kill schedule fires. Real scan
+// errors cancel the whole run.
+func (s *supervisor) runWorker(id string) {
+	defer s.wg.Done()
+	for {
+		w, err := NewWorker(WorkerConfig{
+			ID:        id,
+			Transport: s.transport,
+			Clock:     s.coord.clock,
+			Sleep:     s.sleep,
+			Telemetry: s.coord.cfg.Telemetry,
+		})
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		err = w.Run(s.ctx)
+		switch {
+		case err == nil:
+			return
+		case errors.Is(err, ErrKilled):
+			select {
+			case <-s.coord.Done():
+				return
+			case <-s.ctx.Done():
+				return
+			default:
+			}
+			s.mu.Lock()
+			s.respawns++
+			n := s.respawns
+			s.mu.Unlock()
+			id = fmt.Sprintf("%s.r%d", id, n)
+			s.coord.cfg.Telemetry.Event("fabric.worker.respawn",
+				"worker", id, "respawn", strconv.Itoa(n))
+		default:
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// fail records the first real error and cancels the fleet.
+func (s *supervisor) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil && !errors.Is(err, context.Canceled) {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	s.cancel()
+}

@@ -1,0 +1,196 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/resilience"
+	"mavscan/internal/simtime"
+)
+
+// TestPartitionDoubleCompletion is the split-brain scenario the journal
+// design exists for: worker A scans a segment but is partitioned before
+// it can report, the coordinator expires A's lease and reassigns the
+// segment to worker B, B completes it — and then the partition heals and
+// A's cached completion lands late. Both completions are journaled, the
+// duplicate is flagged, keep-first replay dedups them, and the merged
+// report is still byte-identical to the monolithic run.
+func TestPartitionDoubleCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full scans")
+	}
+	want := monolithicJSON(t, faults.Config{}, resilience.Policy{})
+	opts, n := testScanOptions(t)
+	store := orchestrator.NewMemStore()
+	sim := simtime.NewSim(time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC))
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Population:     testPop(),
+		Scan:           opts,
+		Shards:         2,
+		Checkpoint:     orchestrator.Checkpoint{Store: store, Every: n/6 + 1},
+		HeartbeatEvery: time.Second,
+		MissedBeats:    2,
+		Clock:          sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each worker gets its own transport so one side can be partitioned
+	// while the other keeps talking — like two processes on two links.
+	trA := NewPipeTransport(coord)
+	trB := NewPipeTransport(coord)
+	defer func() {
+		for _, tr := range []*PipeTransport{trA, trB} {
+			if err := tr.Close(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	ctx := context.Background()
+	wA, err := NewWorker(WorkerConfig{ID: "wA", Transport: trA, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, err := NewWorker(WorkerConfig{ID: "wB", Transport: trB, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(w *Worker, want Action) {
+		t.Helper()
+		act, err := w.Step(ctx)
+		if err != nil {
+			t.Fatalf("step: %v (action %v)", err, act)
+		}
+		if act != want {
+			t.Fatalf("step returned action %v, want %v", act, want)
+		}
+	}
+	step(wA, ActionJoin)
+	step(wB, ActionJoin)
+	step(wA, ActionLease) // A now holds segment 0
+
+	// Partition A. Its scan finishes but the completion call cannot land;
+	// Step must surface the delivery error while caching the delta.
+	trA.Break()
+	act, err := wA.Step(ctx)
+	if act != ActionScan || err == nil {
+		t.Fatalf("partitioned scan: action %v err %v; want ActionScan with a delivery error", act, err)
+	}
+
+	// A is silent past its 2-beat budget; B's next request sweeps the
+	// expired lease and picks the orphaned segment 0 back up.
+	sim.Advance(3 * time.Second)
+	step(wB, ActionLease)
+	if got := coord.Reassignments(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("reassignments after expiry = %v, want [0]", got)
+	}
+	step(wB, ActionScan) // B completes segment 0: first journaled copy
+
+	// Partition heals; A retries only the cached delivery — never the
+	// scan — and the coordinator takes it as a journaled duplicate.
+	trA.Heal()
+	step(wA, ActionComplete)
+
+	seg0 := 0
+	if err := store.Replay("scan", func(rec orchestrator.Record) error {
+		if rec.Kind == orchestrator.KindSegment && rec.Segment == 0 {
+			seg0++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seg0 != 2 {
+		t.Fatalf("journal holds %d completions for segment 0, want 2 (original + duplicate)", seg0)
+	}
+
+	// Drain the rest of the plan with both workers.
+	for steps := 0; !done(coord); steps++ {
+		if steps > 200 {
+			t.Fatal("fleet made no progress after heal")
+		}
+		for _, w := range []*Worker{wA, wB} {
+			if done(coord) {
+				break
+			}
+			if _, err := w.Step(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim.Advance(time.Second / 2)
+	}
+	rep, err := coord.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); string(got) != string(want) {
+		t.Error("report after partition + double completion differs from monolithic")
+	}
+
+	// Keep-first replay: a resumed coordinator over the same journal —
+	// duplicates and all — reconstructs the identical report.
+	coord2, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: opts, Shards: 2,
+		Checkpoint: orchestrator.Checkpoint{Store: store, Every: n/6 + 1, Resume: true},
+		Clock:      sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done(coord2) {
+		t.Fatal("resumed coordinator should see the plan complete")
+	}
+	rep2, err := coord2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep2); string(got) != string(want) {
+		t.Error("replayed report differs from monolithic")
+	}
+}
+
+// TestDialLoopbackRefusesNonLoopback pins the transport trust model: the
+// wire protocol is unauthenticated, so the dialer only ever connects to
+// the local machine.
+func TestDialLoopbackRefusesNonLoopback(t *testing.T) {
+	for _, addr := range []string{"192.0.2.1:7777", "example.com:7777", "no-port"} {
+		if _, err := DialLoopback(addr); err == nil {
+			t.Errorf("DialLoopback(%q) succeeded, want refusal", addr)
+		}
+	}
+	for _, addr := range []string{"127.0.0.1:7777", "localhost:7777", ":7777", "[::1]:7777"} {
+		if _, err := DialLoopback(addr); err != nil {
+			t.Errorf("DialLoopback(%q): %v", addr, err)
+		}
+	}
+}
+
+// TestPipeTransportClosed verifies calls fail cleanly after Close rather
+// than hanging on a dead listener.
+func TestPipeTransportClosed(t *testing.T) {
+	opts, _ := testScanOptions(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Population: testPop(), Scan: opts, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewPipeTransport(coord)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var resp beatResponse
+	err = tr.Call(context.Background(), endpointBeat, &beatRequest{Worker: "w"}, &resp)
+	if err == nil {
+		t.Fatal("call on closed transport succeeded")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call on closed transport timed out instead of failing fast: %v", err)
+	}
+}

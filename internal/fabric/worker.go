@@ -1,0 +1,369 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mavscan/internal/faults"
+	"mavscan/internal/iprange"
+	"mavscan/internal/orchestrator"
+	"mavscan/internal/population"
+	"mavscan/internal/scanner"
+	"mavscan/internal/simtime"
+	"mavscan/internal/telemetry"
+)
+
+// WorkerConfig parametrizes one fabric worker.
+type WorkerConfig struct {
+	// ID names the worker in leases, journal audits and /progress rows.
+	// Required, unique per live worker.
+	ID string
+	// Transport reaches the coordinator. Required.
+	Transport Transport
+	// Clock drives elapsed accounting (default wall). Hermetic tests share
+	// the coordinator's simulated clock.
+	Clock simtime.Clock
+	// Sleep paces the idle loop and background heartbeats (default wall).
+	Sleep simtime.Sleeper
+	// Store, when non-nil, is the worker's own journal: completed segments
+	// are appended locally before the completion call, so a worker-side
+	// audit survives even a coordinator loss. The shared source of truth
+	// remains the coordinator's journal.
+	Store orchestrator.Store
+	// Telemetry, when non-nil, instruments the worker's pipelines.
+	Telemetry *telemetry.Registry
+}
+
+// Action names what one Worker.Step did, for lockstep tests and logs.
+type Action string
+
+// The step outcomes.
+const (
+	ActionJoin     Action = "join"     // joined the coordinator
+	ActionLease    Action = "lease"    // acquired a lease
+	ActionScan     Action = "scan"     // scanned + completed the held lease
+	ActionComplete Action = "complete" // delivered a previously stuck completion
+	ActionIdle     Action = "idle"     // nothing to lease; heartbeat only
+	ActionDone     Action = "done"     // plan complete
+	ActionKilled   Action = "killed"   // kill schedule fired
+)
+
+// Worker is one fabric scan worker. It is a state machine advanced by
+// Step — one protocol interaction per call, which is what lets the
+// determinism tests serialize a whole fleet — with Run as the production
+// loop around it.
+type Worker struct {
+	cfg   WorkerConfig
+	clock simtime.Clock
+	sleep simtime.Sleeper
+
+	joined bool
+	spec   JoinSpec
+	index  int
+	world  *population.World
+	space  *iprange.Set
+	kills  *faults.Plan
+	grants int
+
+	lease   *Lease
+	stuck   *completeRequest // completed delta awaiting a reachable coordinator
+	done    bool
+	killed  bool
+	segsRun int
+}
+
+// errPermanent marks worker failures that retrying cannot fix (join
+// rejection, a spec that fails to materialize); Run stops on them
+// instead of retrying them forever.
+var errPermanent = errors.New("fabric: permanent worker error")
+
+// NewWorker validates cfg and returns a worker ready to Step or Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("fabric: WorkerConfig.ID is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("fabric: WorkerConfig.Transport is required")
+	}
+	w := &Worker{cfg: cfg, clock: cfg.Clock, sleep: cfg.Sleep}
+	if w.clock == nil {
+		w.clock = simtime.Wall{}
+	}
+	if w.sleep == nil {
+		w.sleep = simtime.Wall{}
+	}
+	return w, nil
+}
+
+// Spec returns the join spec after a successful join (zero before).
+func (w *Worker) Spec() JoinSpec { return w.spec }
+
+// Index returns the coordinator-assigned join ordinal.
+func (w *Worker) Index() int { return w.index }
+
+// Step advances the worker by exactly one protocol interaction: join,
+// then lease/scan/complete/idle until the coordinator reports the plan
+// done. A transport error leaves the worker's state unchanged (a scanned
+// but undelivered segment is cached and retried), so callers just call
+// Step again. ErrKilled is terminal.
+func (w *Worker) Step(ctx context.Context) (Action, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	switch {
+	case w.killed:
+		return ActionKilled, ErrKilled
+	case w.done:
+		return ActionDone, nil
+	case !w.joined:
+		return w.stepJoin(ctx)
+	case w.stuck != nil:
+		return w.stepDeliver(ctx)
+	case w.lease == nil:
+		return w.stepLease(ctx)
+	default:
+		return w.stepScan(ctx)
+	}
+}
+
+// stepJoin performs the join handshake and materializes the local world
+// from the shipped recipe.
+func (w *Worker) stepJoin(ctx context.Context) (Action, error) {
+	var resp joinResponse
+	if err := w.cfg.Transport.Call(ctx, endpointJoin, joinRequest{Worker: w.cfg.ID}, &resp); err != nil {
+		return ActionJoin, err
+	}
+	if !resp.Accepted {
+		return ActionJoin, fmt.Errorf("%w: join rejected: %s", errPermanent, resp.Reason)
+	}
+	world, err := population.Generate(resp.Spec.Population)
+	if err != nil {
+		return ActionJoin, fmt.Errorf("%w: generating world: %v", errPermanent, err)
+	}
+	world.Instrument(w.cfg.Telemetry)
+	if resp.Spec.Faults.Enabled() {
+		plan := faults.NewPlan(resp.Spec.Faults, nil)
+		plan.Instrument(w.cfg.Telemetry)
+		world.Net.SetFaults(plan)
+	}
+	targets, err := iprange.FromPrefixes(resp.Spec.Scan.Targets)
+	if err != nil {
+		return ActionJoin, fmt.Errorf("%w: spec targets: %v", errPermanent, err)
+	}
+	exclude, err := iprange.FromPrefixes(resp.Spec.Scan.Exclude)
+	if err != nil {
+		return ActionJoin, fmt.Errorf("%w: spec exclude: %v", errPermanent, err)
+	}
+	w.spec = resp.Spec
+	w.index = resp.Index
+	w.world = world
+	w.space = targets.Subtract(exclude)
+	w.kills = faults.NewPlan(resp.Spec.Faults, nil)
+	w.joined = true
+	w.cfg.Telemetry.Event("fabric.worker.join", "worker", w.cfg.ID)
+	return ActionJoin, nil
+}
+
+// stepLease asks for work. Acquiring a lease is where the kill schedule
+// draws: faults.Plan.WorkerKill keys on (join index, per-worker grant
+// ordinal), so the same seed kills the same worker at the same point in
+// its lease history on every run — and because the draw happens before
+// the pipeline starts, a killed worker leaves its segment's per-endpoint
+// fault counters untouched, exactly like the orchestrator's pre-run
+// crash draw.
+func (w *Worker) stepLease(ctx context.Context) (Action, error) {
+	var resp leaseResponse
+	if err := w.cfg.Transport.Call(ctx, endpointLease, leaseRequest{Worker: w.cfg.ID}, &resp); err != nil {
+		return ActionLease, err
+	}
+	if resp.Done {
+		w.done = true
+		return ActionDone, nil
+	}
+	if !resp.Granted {
+		return ActionIdle, nil
+	}
+	lease := resp.Lease
+	w.grants = lease.Grant
+	if w.kills.WorkerKill(w.index, lease.Grant) {
+		w.killed = true
+		w.cfg.Telemetry.Event("fabric.worker.killed",
+			"worker", w.cfg.ID, "lease", fmt.Sprint(lease.ID))
+		return ActionKilled, ErrKilled
+	}
+	w.lease = &lease
+	return ActionLease, nil
+}
+
+// stepScan runs the held lease's segment through a pipeline and delivers
+// the delta. The pipeline setup mirrors orchestrator.runSegment field
+// for field — space slice, segment seed, shard plan — which is what
+// keeps a leased segment's delta byte-identical to the in-process run's.
+func (w *Worker) stepScan(ctx context.Context) (Action, error) {
+	seg := w.lease.Segment
+	opts := w.spec.Scan
+	opts.Space = w.space.Slice(seg.Lo, seg.Hi)
+	opts.Targets, opts.Exclude = nil, nil
+	opts.Seed = seg.Seed
+
+	pipe := scanner.New(w.world.Net,
+		scanner.WithResilience(w.spec.Resilience),
+		scanner.WithTelemetry(w.cfg.Telemetry),
+		scanner.WithShardPlan(scanner.ShardPlan{Shard: seg.Shard, Shards: w.spec.Shards}),
+		scanner.WithHTTPTimeout(w.spec.HTTPTimeout))
+	part, err := pipe.Run(ctx, opts)
+	if err != nil {
+		return ActionScan, err
+	}
+	// A cancellation mid-segment doesn't abort the pipeline with an error;
+	// only a segment finished under a live context is complete.
+	if err := ctx.Err(); err != nil {
+		return ActionScan, err
+	}
+	delta, err := json.Marshal(part)
+	if err != nil {
+		return ActionScan, err
+	}
+	if w.cfg.Store != nil {
+		if err := w.cfg.Store.Append(orchestrator.Record{
+			RunID: w.spec.RunID, Kind: orchestrator.KindSegment,
+			Shard: seg.Shard, Segment: seg.Ordinal,
+			Watermark: seg.Hi, Payload: delta,
+		}); err != nil {
+			return ActionScan, fmt.Errorf("fabric: local journal: %w", err)
+		}
+	}
+	w.segsRun++
+	// The lease is spent whether or not the delivery below succeeds: the
+	// segment must never be re-scanned by this worker (fresh endpoint
+	// fault draws would diverge), only its completed delta re-sent.
+	req := &completeRequest{
+		Worker: w.cfg.ID, LeaseID: w.lease.ID, Ordinal: seg.Ordinal, Delta: delta,
+	}
+	w.lease = nil
+	w.stuck = req
+	if err := w.deliver(ctx); err != nil {
+		return ActionScan, err
+	}
+	return ActionScan, nil
+}
+
+// stepDeliver retries a completion whose transport call failed earlier
+// (the partitioned-worker path).
+func (w *Worker) stepDeliver(ctx context.Context) (Action, error) {
+	if err := w.deliver(ctx); err != nil {
+		return ActionComplete, err
+	}
+	return ActionComplete, nil
+}
+
+// deliver sends the cached completion; on success it clears the cache.
+func (w *Worker) deliver(ctx context.Context) error {
+	var resp completeResponse
+	if err := w.cfg.Transport.Call(ctx, endpointComplete, *w.stuck, &resp); err != nil {
+		return err
+	}
+	if !resp.Accepted {
+		return fmt.Errorf("fabric: completion of segment %d rejected", w.stuck.Ordinal)
+	}
+	if resp.Duplicate {
+		w.cfg.Telemetry.Event("fabric.worker.duplicate",
+			"worker", w.cfg.ID, "ordinal", fmt.Sprint(w.stuck.Ordinal))
+	}
+	w.stuck = nil
+	return nil
+}
+
+// Beat sends one pure heartbeat. It is safe to call concurrently with
+// Step: it touches no worker state beyond the ID.
+func (w *Worker) Beat(ctx context.Context) error {
+	var resp beatResponse
+	return w.cfg.Transport.Call(ctx, endpointBeat, beatRequest{Worker: w.cfg.ID}, &resp)
+}
+
+// Run drives the worker to completion: join, then lease/scan until the
+// coordinator reports the plan done. A background heartbeat keeps the
+// lease alive through segments longer than the expiry budget. Transport
+// errors are retried after one heartbeat interval (the coordinator may
+// be restarting); ErrKilled and context cancellation are terminal.
+func (w *Worker) Run(ctx context.Context) error {
+	for !w.joined {
+		if _, err := w.Step(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, errPermanent) {
+				return err
+			}
+			if err := w.pause(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	beatCtx, stopBeats := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go w.beatLoop(beatCtx, &wg)
+	// One defer for both: cancel strictly before waiting, or the wait
+	// would stall on a loop whose stop signal never fires.
+	defer func() {
+		stopBeats()
+		wg.Wait()
+	}()
+
+	for {
+		act, err := w.Step(ctx)
+		switch {
+		case errors.Is(err, ErrKilled):
+			return ErrKilled
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil:
+			// Transport hiccup: state is preserved (an undelivered delta is
+			// cached), so wait one beat and retry.
+			if err := w.pause(ctx); err != nil {
+				return err
+			}
+		case act == ActionDone:
+			return nil
+		case act == ActionIdle:
+			if err := w.pause(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pause sleeps one heartbeat interval (default 500ms before join).
+func (w *Worker) pause(ctx context.Context) error {
+	every := w.spec.HeartbeatEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-w.sleep.After(every):
+		return nil
+	}
+}
+
+// beatLoop heartbeats until its context is canceled. Beat errors are
+// ignored: the next Step surfaces a broken transport.
+func (w *Worker) beatLoop(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.sleep.After(w.spec.HeartbeatEvery):
+			if err := w.Beat(ctx); err != nil && ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}

@@ -345,6 +345,24 @@ func (p *Plan) WorkerCrash(shard, segment, attempt int) bool {
 	return float64(h>>11)/(1<<53) < r
 }
 
+// WorkerKill draws whether fabric worker (0-based ordinal) dies while
+// holding its lease-th granted lease (1-based). Like WorkerCrash it is a
+// stateless, independent hash chain — a distinct salt keeps it from ever
+// correlating with segment crashes or endpoint faults — but the subject
+// here is the whole worker process: a kill drops every lease the worker
+// holds at once, exercising the coordinator's expiry-and-reassign path
+// rather than the in-process retry path.
+func (p *Plan) WorkerKill(worker, lease int) bool {
+	r := p.cfg.WorkerCrashRate
+	if r <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(p.cfg.Seed) ^ 0x94d049bb133111eb)
+	h = splitmix64(h ^ uint64(uint32(worker)))
+	h = splitmix64(h ^ uint64(uint32(lease)))
+	return float64(h>>11)/(1<<53) < r
+}
+
 // ProbeFault implements simnet.FaultInjector for SYN probes. Only faults
 // that break the handshake apply: a dropped SYN or an over-deadline SYN-ACK
 // looks like an unreachable host to a masscan-style prober, a reset like a

@@ -251,6 +251,56 @@ func TestWorkerCrashDeterministicAndIndependent(t *testing.T) {
 	}
 }
 
+// TestWorkerKillDeterministicAndIndependent pins the fabric kill
+// schedule's contract: the same (seed, worker, lease) always draws the
+// same verdict, the chain never correlates with the shard-crash or
+// endpoint chains sharing its seed, and a zero rate never kills.
+func TestWorkerKillDeterministicAndIndependent(t *testing.T) {
+	a := NewPlan(Config{Seed: 11, WorkerCrashRate: 0.5}, nil)
+	b := NewPlan(Config{Seed: 11, WorkerCrashRate: 0.5}, nil)
+	var kills, draws int
+	for worker := 0; worker < 8; worker++ {
+		for lease := 1; lease <= 6; lease++ {
+			draws++
+			va, vb := a.WorkerKill(worker, lease), b.WorkerKill(worker, lease)
+			if va != vb {
+				t.Fatalf("WorkerKill(%d,%d) not deterministic", worker, lease)
+			}
+			if va {
+				kills++
+			}
+		}
+	}
+	if kills == 0 || kills == draws {
+		t.Errorf("kill rate 0.5 drew %d/%d kills", kills, draws)
+	}
+
+	// The kill chain must not mirror the shard-crash chain: same seed and
+	// rate, same integer arguments, yet the salts keep the schedules
+	// distinct somewhere in a modest sweep.
+	same := true
+	for i := 0; i < 48 && same; i++ {
+		same = a.WorkerKill(i%8, i/8+1) == a.WorkerCrash(i%8, i/8+1, 1)
+	}
+	if same {
+		t.Error("WorkerKill shadows WorkerCrash across 48 draws")
+	}
+
+	// Endpoint draws must be byte-identical with and without worker kills
+	// in play (they hash on independent chains).
+	endpoints := NewPlan(Config{Seed: 11, Rate: 0.5, Kinds: []Kind{Reset}}, nil)
+	withKills := NewPlan(Config{Seed: 11, Rate: 0.5, Kinds: []Kind{Reset}, WorkerCrashRate: 0.9}, nil)
+	for port := 80; port < 120; port++ {
+		if endpoints.DialFault(ipA, port) != withKills.DialFault(ipA, port) {
+			t.Fatalf("port %d: kill rate changed endpoint draw", port)
+		}
+	}
+
+	if NewPlan(Config{Seed: 11}, nil).WorkerKill(0, 1) {
+		t.Error("zero kill rate drew a kill")
+	}
+}
+
 // TestParseFlagCrash covers the crash= key of the -faults flag.
 func TestParseFlagCrash(t *testing.T) {
 	cfg, err := ParseFlag("seed=3,crash=0.25")

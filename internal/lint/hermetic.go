@@ -21,6 +21,10 @@ var hermeticExempt = []string{
 // package — handlers, renderers, the trace exporter — under the rule.
 var hermeticFuncExempt = map[string][]string{
 	"mavscan/internal/obs": {"Listen"},
+	// DialLoopback is the client end of the same sanctioned socket: it
+	// refuses non-loopback coordinators before dialing, mirroring
+	// obs.Listen's bind-side validation.
+	"mavscan/internal/fabric": {"DialLoopback"},
 }
 
 // hermeticNetBanned are the net-package entry points that would open real

@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 
 	"mavscan/internal/telemetry"
@@ -63,6 +64,11 @@ type Config struct {
 	// EventsTail caps the default /events response length (default 512;
 	// ?tail=N overrides up to the log's full retention).
 	EventsTail int
+	// Routes mounts extra handlers on the plane's mux (pattern → handler),
+	// letting a command co-host another loopback protocol on the same
+	// sanctioned listener — the fabric coordinator's /fabric/v1/ wire
+	// endpoints ride the operations plane this way.
+	Routes map[string]http.Handler
 }
 
 // NewHandler builds the operations-plane HTTP handler. It is a plain
@@ -129,6 +135,16 @@ func NewHandler(cfg Config) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	// Sorted registration: mux behavior is order-independent, but the
+	// deterministic-iteration rule (mapdet) holds everywhere.
+	extra := make([]string, 0, len(cfg.Routes))
+	for pattern := range cfg.Routes {
+		extra = append(extra, pattern)
+	}
+	sort.Strings(extra)
+	for _, pattern := range extra {
+		mux.Handle(pattern, cfg.Routes[pattern])
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -20,6 +20,14 @@ const (
 	recordSegment = "segment"
 )
 
+// Exported record kinds, for external journal writers that share the
+// checkpoint stream format (the fabric coordinator journals worker
+// completions with these).
+const (
+	KindPlan    = recordPlan
+	KindSegment = recordSegment
+)
+
 // Record is one checkpoint-journal entry. Segment records are appended
 // only when a segment has fully completed — a segment is the atomic unit
 // of progress, so a crash mid-segment loses at most that segment's work
@@ -137,6 +145,18 @@ func (s *ESLiteStore) Append(rec Record) error {
 		e.Time = s.Clock.Now()
 	}
 	s.Events.Append(e)
+	return nil
+}
+
+// Ping reports writability for the operations plane's readiness check
+// (obs.Pinger): an ESLiteStore is healthy exactly when it has a backing
+// event store, and probing Len exercises the store's lock so a poisoned
+// mutex would surface as a hang in /readyz rather than a silent pass.
+func (s *ESLiteStore) Ping() error {
+	if s.Events == nil {
+		return fmt.Errorf("eslite checkpoint journal: no backing event store")
+	}
+	s.Events.Len()
 	return nil
 }
 

@@ -107,13 +107,69 @@ type Config struct {
 	HTTPTimeout time.Duration
 }
 
-// segment is one atomic unit of scan work: a contiguous flat-index address
-// window of one shard, scanned on every port.
-type segment struct {
-	shard   int
-	ordinal int // global segment index, shard-major
-	lo, hi  uint64
-	seed    uint64
+// Segment is one atomic unit of scan work: a contiguous flat-index address
+// window of one shard, scanned on every port. It is exported because the
+// distributed fabric (internal/fabric) leases exactly these units to
+// worker processes; the in-process orchestrator and the coordinator both
+// derive their plans from PlanSegments, which is what makes their merged
+// reports interchangeable.
+type Segment struct {
+	// Shard is the flat-index shard the segment belongs to.
+	Shard int `json:"shard"`
+	// Ordinal is the global segment index, shard-major. It identifies the
+	// segment in checkpoint records and fabric leases.
+	Ordinal int `json:"ordinal"`
+	// Lo and Hi bound the segment's flat-index address window
+	// [Lo, Hi) within the global scan space.
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+	// Seed keys the segment's probe-order permutation.
+	Seed uint64 `json:"seed"`
+}
+
+// PlanSegments partitions a scan space of n addresses into shards and
+// checkpoint segments: shard i covers the flat-index window
+// [i*n/shards, (i+1)*n/shards), cut into every-address segments (every=0
+// means one segment per shard). Segments contain whole hosts across all
+// ports, so artifact-host detection and per-endpoint fault sequences stay
+// segment-local. The per-segment seed derivation lives here too: when the
+// single segment spans the whole space the base seed is used unchanged,
+// so the orchestrated probe order is identical to the monolithic
+// pipeline's — not just the merged report.
+func PlanSegments(n uint64, seed uint64, shards int, every uint64) []Segment {
+	if shards <= 0 {
+		shards = 1
+	}
+	var segs []Segment
+	for i := 0; i < shards; i++ {
+		lo, hi := uint64(i)*n/uint64(shards), uint64(i+1)*n/uint64(shards)
+		step := every
+		if step == 0 {
+			step = hi - lo
+		}
+		for s := lo; s < hi; s += step {
+			e := s + step
+			if e > hi {
+				e = hi
+			}
+			segs = append(segs, Segment{
+				Shard: i, Ordinal: len(segs), Lo: s, Hi: e,
+				Seed: segmentSeed(seed, len(segs), s, e, n),
+			})
+		}
+	}
+	return segs
+}
+
+// segmentSeed derives the per-segment shuffle seed (see PlanSegments).
+func segmentSeed(base uint64, ordinal int, lo, hi, n uint64) uint64 {
+	if lo == 0 && hi == n {
+		return base
+	}
+	x := base ^ (uint64(ordinal)+1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // orch is the per-run coordinator state.
@@ -127,7 +183,7 @@ type orch struct {
 	tel   *orchTelemetry
 
 	mu        sync.Mutex
-	queues    [][]segment // pending, per shard
+	queues    [][]Segment // pending, per shard
 	remaining []int       // unfinished segments per shard (incl. running)
 	parts     map[int]*scanner.Report
 	attempts  map[int]int // per-ordinal execution attempts (crash draws)
@@ -183,13 +239,13 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 		clock:     clock,
 		space:     space,
 		opts:      opts,
-		queues:    make([][]segment, shards),
+		queues:    make([][]Segment, shards),
 		remaining: make([]int, shards),
 		parts:     map[int]*scanner.Report{},
 		attempts:  map[int]int{},
 	}
 	segs := o.partition(shards)
-	fingerprint := planFingerprint(space, opts, shards, cfg.Checkpoint.Every)
+	fingerprint := PlanFingerprint(space, opts, shards, cfg.Checkpoint.Every)
 
 	shardTotals := make([]uint64, shards)
 	for i := 0; i < shards; i++ {
@@ -303,53 +359,21 @@ func Run(ctx context.Context, cfg Config) (*scanner.Report, error) {
 	return report, nil
 }
 
-// partition splits the scan space into shards and checkpoint segments.
-// Shard i covers the flat-index address window [i*N/K, (i+1)*N/K); each
-// shard is cut into Checkpoint.Every-address segments. Segments contain
-// whole hosts across all ports, so artifact-host detection and per-
-// endpoint fault sequences stay segment-local.
-func (o *orch) partition(shards int) []segment {
-	n := o.space.NumAddresses()
-	size := o.cfg.Checkpoint.Every
-	var segs []segment
-	for i := 0; i < shards; i++ {
-		lo, hi := uint64(i)*n/uint64(shards), uint64(i+1)*n/uint64(shards)
-		step := size
-		if step == 0 {
-			step = hi - lo
-		}
-		for s := lo; s < hi; s += step {
-			e := s + step
-			if e > hi {
-				e = hi
-			}
-			seg := segment{shard: i, ordinal: len(segs), lo: s, hi: e, seed: o.segmentSeed(len(segs), s, e, n)}
-			segs = append(segs, seg)
-			o.queues[i] = append(o.queues[i], seg)
-			o.remaining[i]++
-		}
+// partition splits the scan space into shards and checkpoint segments via
+// PlanSegments and seeds the per-shard work queues.
+func (o *orch) partition(shards int) []Segment {
+	segs := PlanSegments(o.space.NumAddresses(), o.opts.Seed, shards, o.cfg.Checkpoint.Every)
+	for _, seg := range segs {
+		o.queues[seg.Shard] = append(o.queues[seg.Shard], seg)
+		o.remaining[seg.Shard]++
 	}
 	return segs
-}
-
-// segmentSeed derives the per-segment shuffle seed. When the segment is
-// the whole space (shards=1, no checkpoint granularity), the base seed is
-// used unchanged, so the orchestrated probe order is identical to the
-// monolithic pipeline's — not just the merged report.
-func (o *orch) segmentSeed(ordinal int, lo, hi, n uint64) uint64 {
-	if lo == 0 && hi == n {
-		return o.opts.Seed
-	}
-	x := o.opts.Seed ^ (uint64(ordinal)+1)*0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }
 
 // resume replays the checkpoint journal (if resuming), removes completed
 // segments from the queues, and ensures the stream opens with a plan
 // record carrying the configuration fingerprint.
-func (o *orch) resume(fingerprint []byte, segs []segment) error {
+func (o *orch) resume(fingerprint []byte, segs []Segment) error {
 	ck := o.cfg.Checkpoint
 	if ck.Store == nil {
 		if ck.Resume {
@@ -401,12 +425,12 @@ func (o *orch) resume(fingerprint []byte, segs []segment) error {
 	for i := range o.queues {
 		q := o.queues[i][:0]
 		for _, seg := range o.queues[i] {
-			if _, done := o.parts[seg.ordinal]; done {
+			if _, done := o.parts[seg.Ordinal]; done {
 				o.remaining[i]--
-				o.cfg.Progress.resumedSegment(i, seg.hi-seg.lo)
+				o.cfg.Progress.resumedSegment(i, seg.Hi-seg.Lo)
 				if o.tel != nil {
 					o.tel.resumes.Inc()
-					o.tel.watermarks[i].Add(int64(seg.hi - seg.lo))
+					o.tel.watermarks[i].Add(int64(seg.Hi - seg.Lo))
 				}
 				continue
 			}
@@ -420,7 +444,7 @@ func (o *orch) resume(fingerprint []byte, segs []segment) error {
 // next hands worker w its next segment. Workers own the shards congruent
 // to their index; an idle worker steals from the back of the richest
 // foreign queue, so stragglers shed their tail segments first.
-func (o *orch) next(w, workers int) (segment, bool, bool) {
+func (o *orch) next(w, workers int) (Segment, bool, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for i := w; i < len(o.queues); i += workers {
@@ -437,7 +461,7 @@ func (o *orch) next(w, workers int) (segment, bool, bool) {
 		}
 	}
 	if best < 0 {
-		return segment{}, false, false
+		return Segment{}, false, false
 	}
 	q := o.queues[best]
 	seg := q[len(q)-1]
@@ -448,15 +472,15 @@ func (o *orch) next(w, workers int) (segment, bool, bool) {
 // runSegment executes one segment through its shard's pipeline — retrying
 // under the resilience policy when the fault plan crashes the worker —
 // journals the completed delta, and accounts progress.
-func (o *orch) runSegment(ctx context.Context, seg segment) error {
-	span := o.shardSpans[seg.shard].Child(fmt.Sprintf("segment.%03d", seg.ordinal))
+func (o *orch) runSegment(ctx context.Context, seg Segment) error {
+	span := o.shardSpans[seg.Shard].Child(fmt.Sprintf("segment.%03d", seg.Ordinal))
 	defer span.End()
 	segStart := o.clock.Now()
 
 	opts := o.opts
-	opts.Space = o.space.Slice(seg.lo, seg.hi)
+	opts.Space = o.space.Slice(seg.Lo, seg.Hi)
 	opts.Targets, opts.Exclude = nil, nil
-	opts.Seed = seg.seed
+	opts.Seed = seg.Seed
 
 	var part *scanner.Report
 	err := o.retr.Do(ctx, func(ctx context.Context) error {
@@ -465,18 +489,18 @@ func (o *orch) runSegment(ctx context.Context, seg segment) error {
 		// network's per-endpoint fault counters untouched by crashed
 		// attempts, preserving byte-identity across retries and resumes.
 		o.mu.Lock()
-		o.attempts[seg.ordinal]++
-		attempt := o.attempts[seg.ordinal]
+		o.attempts[seg.Ordinal]++
+		attempt := o.attempts[seg.Ordinal]
 		o.mu.Unlock()
-		if o.cfg.Faults != nil && o.cfg.Faults.WorkerCrash(seg.shard, seg.ordinal, attempt) {
+		if o.cfg.Faults != nil && o.cfg.Faults.WorkerCrash(seg.Shard, seg.Ordinal, attempt) {
 			o.cfg.Progress.crash()
 			if o.tel != nil {
 				o.tel.crashes.Inc()
 			}
 			return fmt.Errorf("%w (shard %d segment %d attempt %d)",
-				ErrWorkerCrash, seg.shard, seg.ordinal, attempt)
+				ErrWorkerCrash, seg.Shard, seg.Ordinal, attempt)
 		}
-		rep, err := o.pipes[seg.shard].Run(ctx, opts)
+		rep, err := o.pipes[seg.Shard].Run(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -505,47 +529,56 @@ func (o *orch) runSegment(ctx context.Context, seg segment) error {
 		}
 		if err := store.Append(Record{
 			RunID: runID, Kind: recordSegment,
-			Shard: seg.shard, Segment: seg.ordinal,
-			Watermark: seg.hi, Payload: payload,
+			Shard: seg.Shard, Segment: seg.Ordinal,
+			Watermark: seg.Hi, Payload: payload,
 		}); err != nil {
-			return fmt.Errorf("orchestrator: journaling segment %d: %w", seg.ordinal, err)
+			return fmt.Errorf("orchestrator: journaling segment %d: %w", seg.Ordinal, err)
 		}
 	}
 
 	o.mu.Lock()
-	o.parts[seg.ordinal] = part
-	o.remaining[seg.shard]--
-	done := o.remaining[seg.shard] == 0
+	o.parts[seg.Ordinal] = part
+	o.remaining[seg.Shard]--
+	done := o.remaining[seg.Shard] == 0
 	o.mu.Unlock()
 	segDur := o.clock.Now().Sub(segStart)
-	o.cfg.Progress.segmentDone(seg.shard, seg.hi-seg.lo, segDur, o.cfg.Checkpoint.Store != nil)
+	o.cfg.Progress.segmentDone(seg.Shard, seg.Hi-seg.Lo, segDur, o.cfg.Checkpoint.Store != nil)
 	if o.tel != nil {
 		o.tel.segments.Inc()
 		o.tel.segSeconds.ObserveDuration(segDur)
-		o.tel.watermarks[seg.shard].Add(int64(seg.hi - seg.lo))
+		o.tel.watermarks[seg.Shard].Add(int64(seg.Hi - seg.Lo))
 	}
 	o.cfg.Telemetry.Event("orchestrator.segment.done",
-		"shard", strconv.Itoa(seg.shard),
-		"ordinal", strconv.Itoa(seg.ordinal))
+		"shard", strconv.Itoa(seg.Shard),
+		"ordinal", strconv.Itoa(seg.Ordinal))
 	if done {
-		o.shardSpans[seg.shard].End()
-		o.cfg.Telemetry.Event("orchestrator.shard.done", "shard", strconv.Itoa(seg.shard))
+		o.shardSpans[seg.Shard].End()
+		o.cfg.Telemetry.Event("orchestrator.shard.done", "shard", strconv.Itoa(seg.Shard))
 	}
 	return nil
 }
 
-// merge folds the per-segment reports into one, reproducing exactly what
-// the monolithic pipeline would have emitted: counters are additive over
-// endpoints, (host, app) observations are disjoint across segments, and
-// the final Apps ordering matches the aggregator's fold (App, then IP).
+// merge folds the per-segment reports into one via MergeParts.
 func (o *orch) merge(nSegs int) *scanner.Report {
+	return MergeParts(o.parts, nSegs)
+}
+
+// MergeParts folds per-segment report deltas (keyed by segment ordinal)
+// into one report, reproducing exactly what the monolithic pipeline would
+// have emitted: counters are additive over endpoints, (host, app)
+// observations are disjoint across segments, and the final Apps ordering
+// matches the aggregator's fold (App, then IP). The fold visits segments
+// in ordinal order, so the result is independent of completion order —
+// the property both the in-process orchestrator and the distributed
+// fabric's coordinator rely on for byte-identical merged reports.
+func MergeParts(parts map[int]*scanner.Report, nSegs int) *scanner.Report {
 	out := &scanner.Report{
 		OpenPorts:      map[int]int{},
 		HTTPResponses:  map[int]int{},
 		HTTPSResponses: map[int]int{},
 	}
 	for ordinal := 0; ordinal < nSegs; ordinal++ {
-		part := o.parts[ordinal]
+		part := parts[ordinal]
 		for port, c := range part.OpenPorts {
 			out.OpenPorts[port] += c
 		}
@@ -569,10 +602,10 @@ func (o *orch) merge(nSegs int) *scanner.Report {
 	return out
 }
 
-// planFingerprint hashes everything that determines the partition and the
-// per-segment results, so a journal can refuse to resume under a changed
-// configuration.
-func planFingerprint(space *iprange.Set, opts scanner.Options, shards int, every uint64) []byte {
+// PlanFingerprint hashes everything that determines the partition and the
+// per-segment results, so a journal can refuse to resume — and a fabric
+// worker can refuse to join — under a changed configuration.
+func PlanFingerprint(space *iprange.Set, opts scanner.Options, shards int, every uint64) []byte {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v1 seed=%d shards=%d every=%d skipfp=%v n=%d ports=%v",
 		opts.Seed, shards, every, opts.SkipFingerprint, space.NumAddresses(), opts.Ports)

@@ -380,6 +380,27 @@ func TestFileStoreResumesAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestESLiteStorePing pins the readiness contract the operations plane
+// relies on (obs.Pinger): a store with a backing event log is healthy —
+// before and after writes — and a zero-value store without one reports an
+// error instead of passing silently.
+func TestESLiteStorePing(t *testing.T) {
+	st := NewESLiteStore(&eslite.Store{}, nil)
+	if err := st.Ping(); err != nil {
+		t.Errorf("fresh store Ping: %v", err)
+	}
+	if err := st.Append(Record{RunID: "scan", Kind: recordSegment}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ping(); err != nil {
+		t.Errorf("Ping after append: %v", err)
+	}
+	var hollow ESLiteStore
+	if err := hollow.Ping(); err == nil {
+		t.Error("store without a backing event log pinged healthy")
+	}
+}
+
 // TestESLiteStoreRoundTrip checks the event-store-backed journal filters
 // by run and preserves append order and payloads.
 func TestESLiteStoreRoundTrip(t *testing.T) {

@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,20 @@ type ProgressTracker struct {
 	segElapsed time.Duration // summed durations of completed segments
 
 	resident func() int
+
+	// Fabric mode: per-worker rows keyed by worker ID, maintained by the
+	// coordinator's exported hooks instead of the in-process pool's
+	// workerStart/workerStop.
+	fabric  bool
+	workers map[string]*workerState
+}
+
+type workerState struct {
+	joined   time.Time
+	lastBeat time.Time
+	lost     bool
+	segs     int
+	addrs    uint64
 }
 
 type shardState struct {
@@ -63,6 +78,20 @@ type ShardProgress struct {
 	Watermark float64 `json:"watermark"` // Done/Total in [0,1]
 }
 
+// WorkerProgress is one fabric worker's row in a snapshot.
+type WorkerProgress struct {
+	ID   string `json:"id"`
+	Live bool   `json:"live"`
+	// Segments and DoneAddrs count completed leased work attributed to
+	// this worker (keep-first: duplicate completions credit the winner).
+	Segments  int    `json:"segments_done"`
+	DoneAddrs uint64 `json:"done_addrs"`
+	// BeatAgeSeconds is the time since the worker's last heartbeat (any
+	// fabric request counts), the number the coordinator's lease-expiry
+	// sweep compares against the lease TTL.
+	BeatAgeSeconds float64 `json:"beat_age_seconds"`
+}
+
 // Progress is one coherent snapshot of a run, shaped for JSON.
 type Progress struct {
 	Started        bool            `json:"started"`
@@ -78,8 +107,9 @@ type Progress struct {
 	Crashes        uint64          `json:"crashes"`
 	Resumed        uint64          `json:"resumed_segments"`
 	ResidentHosts  int             `json:"resident_hosts"`
-	ETASeconds     float64         `json:"eta_seconds"`
-	Shards         []ShardProgress `json:"shards,omitempty"`
+	ETASeconds     float64          `json:"eta_seconds"`
+	Shards         []ShardProgress  `json:"shards,omitempty"`
+	Workers        []WorkerProgress `json:"workers,omitempty"`
 }
 
 // SetResident installs the resident-host sampler (the lazy population
@@ -190,6 +220,97 @@ func (t *ProgressTracker) finish() {
 	t.mu.Unlock()
 }
 
+// BeginFabric records a coordinator-run scan's shape, like begin, but
+// switches the tracker into fabric mode: worker liveness comes from the
+// WorkerJoined/WorkerBeat/WorkerLost hooks rather than the in-process
+// pool, and Ping fails when every joined worker has been lost.
+func (t *ProgressTracker) BeginFabric(clock simtime.Clock, shardTotals []uint64, segTotal int, hasStore bool) {
+	t.begin(clock, shardTotals, segTotal, hasStore)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.fabric = true
+	t.workers = map[string]*workerState{}
+	t.mu.Unlock()
+}
+
+// WorkerJoined registers a fabric worker (idempotent; a rejoin revives a
+// lost worker) and counts as its first heartbeat.
+func (t *ProgressTracker) WorkerJoined(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.workers == nil {
+		t.workers = map[string]*workerState{}
+	}
+	w := t.workers[id]
+	if w == nil {
+		w = &workerState{}
+		t.workers[id] = w
+		if t.clock != nil {
+			w.joined = t.clock.Now()
+		}
+	}
+	if w.lost {
+		w.lost = false
+	}
+	if t.clock != nil {
+		w.lastBeat = t.clock.Now()
+	}
+}
+
+// WorkerBeat refreshes a fabric worker's heartbeat. Any coordinator
+// request from the worker should route through here, so a worker busy
+// scanning one long segment still reads as live.
+func (t *ProgressTracker) WorkerBeat(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[id]; w != nil && t.clock != nil {
+		w.lastBeat = t.clock.Now()
+	}
+}
+
+// WorkerLost marks a fabric worker dead (lease expired after K missed
+// heartbeats, or the transport reported the peer gone).
+func (t *ProgressTracker) WorkerLost(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[id]; w != nil {
+		w.lost = true
+	}
+}
+
+// WorkerSegmentDone accounts a leased segment completed by worker id,
+// feeding both the shard watermarks and the worker's own row.
+func (t *ProgressTracker) WorkerSegmentDone(id string, shard int, addrs uint64, dur time.Duration, journaled bool) {
+	t.segmentDone(shard, addrs, dur, journaled)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[id]; w != nil {
+		w.segs++
+		w.addrs += addrs
+	}
+}
+
+// FabricResumed accounts a segment satisfied from the shared journal
+// before any worker scanned it (coordinator resume).
+func (t *ProgressTracker) FabricResumed(shard int, addrs uint64) { t.resumedSegment(shard, addrs) }
+
+// FinishFabric marks a coordinator-run scan complete.
+func (t *ProgressTracker) FinishFabric() { t.finish() }
+
 // Snapshot freezes the tracker into a JSON-ready Progress. A nil or
 // never-begun tracker yields the zero snapshot (Started false).
 func (t *ProgressTracker) Snapshot() Progress {
@@ -234,6 +355,25 @@ func (t *ProgressTracker) Snapshot() Progress {
 	if t.resident != nil {
 		p.ResidentHosts = t.resident()
 	}
+	if t.fabric {
+		ids := make([]string, 0, len(t.workers))
+		for id := range t.workers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		now := t.clock.Now()
+		live := 0
+		for _, id := range ids {
+			w := t.workers[id]
+			row := WorkerProgress{ID: id, Live: !w.lost, Segments: w.segs, DoneAddrs: w.addrs}
+			if !w.lost {
+				live++
+				row.BeatAgeSeconds = now.Sub(w.lastBeat).Seconds()
+			}
+			p.Workers = append(p.Workers, row)
+		}
+		p.ActiveWorkers = live
+	}
 	// ETA: mean completed-segment duration × remaining segments, spread
 	// over the live workers. Resumed segments cost no scan time, so only
 	// freshly scanned ones contribute to the mean.
@@ -257,6 +397,17 @@ func (t *ProgressTracker) Ping() error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.fabric {
+		if !t.started || t.finished || len(t.workers) == 0 {
+			return nil
+		}
+		for _, w := range t.workers {
+			if !w.lost {
+				return nil
+			}
+		}
+		return errors.New("fabric run in progress but all workers lost")
+	}
 	if t.started && !t.finished && t.active == 0 {
 		return errors.New("run in progress but no live workers")
 	}

@@ -15,6 +15,7 @@ import (
 	"mavscan/internal/apps"
 	"mavscan/internal/attacker"
 	"mavscan/internal/eslite"
+	"mavscan/internal/fabric"
 	"mavscan/internal/faults"
 	"mavscan/internal/geo"
 	"mavscan/internal/honeypot"
@@ -63,6 +64,12 @@ type ScanConfig struct {
 	// concurrent shard workers (0 = min(Shards, GOMAXPROCS)).
 	Shards      int
 	Parallelism int
+	// FabricWorkers, when > 0, routes the scan through the distributed
+	// scan fabric (internal/fabric): an in-process coordinator serving the
+	// segment plan as leases to this many workers over the hermetic pipe
+	// transport. Each worker regenerates the world from Population, so the
+	// merged report stays byte-identical to the monolithic run.
+	FabricWorkers int
 	// Checkpoint journals per-shard progress and enables resume; setting a
 	// Store also routes through the orchestrator even with Shards <= 1.
 	Checkpoint orchestrator.Checkpoint
@@ -120,7 +127,25 @@ func RunScan(ctx context.Context, cfg ScanConfig) (*ScanStudy, error) {
 		world.Net.SetFaults(plan)
 	}
 	var report *scanner.Report
-	if cfg.orchestrated() {
+	if cfg.FabricWorkers > 0 {
+		// The fabric's workers scan their own regenerated copies of the
+		// world; the one generated above still anchors the study result
+		// (ground-truth totals, disclosure lookups, observer targets).
+		report, err = fabric.Run(ctx, fabric.Config{
+			Coordinator: fabric.CoordinatorConfig{
+				Population:  cfg.Population,
+				Scan:        cfg.Scan,
+				Shards:      cfg.Shards,
+				Checkpoint:  cfg.Checkpoint,
+				Faults:      cfg.Faults,
+				Resilience:  cfg.Resilience,
+				HTTPTimeout: cfg.HTTPTimeout,
+				Telemetry:   cfg.Telemetry,
+				Progress:    cfg.Obs.Progress,
+			},
+			Workers: cfg.FabricWorkers,
+		})
+	} else if cfg.orchestrated() {
 		report, err = orchestrator.Run(ctx, orchestrator.Config{
 			Net:         world.Net,
 			Scan:        cfg.Scan,

@@ -40,6 +40,7 @@ import (
 	"mavscan/internal/ctlog"
 	"mavscan/internal/disclosure"
 	"mavscan/internal/eslite"
+	"mavscan/internal/fabric"
 	"mavscan/internal/faults"
 	"mavscan/internal/fingerprint"
 	"mavscan/internal/geo"
@@ -216,6 +217,66 @@ func NewESLiteCheckpointStore(events *EventStore, clock simtime.Clock) *ESLiteCh
 // NewDetectorRegistry returns a registry with all 18 plugins installed.
 func NewDetectorRegistry() *DetectorRegistry { return plugins.NewRegistry() }
 
+// The distributed scan fabric (internal/fabric): a coordinator serving
+// the orchestrator's segment plan as leases over a wire protocol, and
+// workers that regenerate the world from the shipped spec and scan
+// leased segments. A fabric run's merged report is byte-identical to the
+// monolithic pipeline's for the same seed, whatever workers join, die or
+// rejoin along the way.
+type (
+	// FabricConfig parametrizes an in-process fabric run (coordinator
+	// plus a supervised worker fleet over the hermetic pipe transport).
+	FabricConfig = fabric.Config
+	// CoordinatorConfig parametrizes a fabric coordinator.
+	CoordinatorConfig = fabric.CoordinatorConfig
+	// Coordinator owns the segment plan and lease book of one fabric scan.
+	Coordinator = fabric.Coordinator
+	// WorkerConfig parametrizes one fabric worker.
+	WorkerConfig = fabric.WorkerConfig
+	// FabricWorker is one fabric scan worker.
+	FabricWorker = fabric.Worker
+	// Lease is one granted segment assignment.
+	Lease = fabric.Lease
+	// FabricTransport carries the wire protocol to a coordinator.
+	FabricTransport = fabric.Transport
+	// JoinSpec is the scan recipe a coordinator ships to joining workers.
+	JoinSpec = fabric.JoinSpec
+	// PlanSegment is one leased unit of the segment plan.
+	PlanSegment = orchestrator.Segment
+)
+
+// RunFabricScan executes a distributed scan in one process — a
+// coordinator plus FabricConfig.Workers workers over the pipe transport —
+// and returns the merged report.
+func RunFabricScan(ctx context.Context, cfg FabricConfig) (*ScanReport, error) {
+	return fabric.Run(ctx, cfg)
+}
+
+// NewCoordinator plans a distributed scan and returns a coordinator
+// ready to serve a transport (mount Handler on ListenOps's listener via
+// OpsConfig.Routes, or hand it to NewFabricPipeTransport).
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	return fabric.NewCoordinator(cfg)
+}
+
+// NewFabricWorker returns a worker ready to join a coordinator.
+func NewFabricWorker(cfg WorkerConfig) (*FabricWorker, error) {
+	return fabric.NewWorker(cfg)
+}
+
+// NewFabricPipeTransport serves c over an in-memory pipe — the hermetic
+// transport in-process fleets and tests use.
+func NewFabricPipeTransport(c *Coordinator) *fabric.PipeTransport {
+	return fabric.NewPipeTransport(c)
+}
+
+// DialFabric returns a transport POSTing the wire protocol to a
+// coordinator on a loopback address; non-loopback coordinators are
+// refused (the protocol is unauthenticated).
+func DialFabric(addr string) (*fabric.HTTPTransport, error) {
+	return fabric.DialLoopback(addr)
+}
+
 // The live operations plane (internal/obs): an HTTP server exposing
 // metrics, health, per-shard progress, the event log, and trace export
 // while a run is in flight.
@@ -330,6 +391,14 @@ func RunHoneypotStudy(ctx context.Context, cfg HoneypotConfig) (*HoneypotStudy, 
 func RunDefenderStudy(ctx context.Context, cfg DefenderConfig) (*DefenderStudy, error) {
 	return study.RunDefenders(ctx, cfg)
 }
+
+// API stability
+//
+// New entry points follow the (ctx, cfg) convention: a context first, a
+// single config struct second, errors returned rather than panicked. The
+// wrappers below predate that convention; they are kept so existing
+// callers keep compiling, but each has a (ctx, cfg) replacement above and
+// new code should not pick them up.
 
 // RunLongevity replays the four-week observation of the scan's vulnerable
 // hosts.

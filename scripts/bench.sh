@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the performance benchmark suite and update BENCH_pr9.json.
+# bench.sh — run the performance benchmark suite and update BENCH_pr10.json.
 #
 # Runs the pipeline-level table benchmarks (Table 2 / Table 3; one
 # iteration is a full simulated internet scan, so only a few iterations
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr9.json}"
+OUT="${1:-BENCH_pr10.json}"
 TABLE_RUNS="${TABLE_RUNS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$TMP.json"' EXIT
@@ -46,6 +46,9 @@ go test -run '^$' -bench 'BenchmarkScanHostile' -benchtime=1x -benchmem . >>"$TM
 echo "==> population scale sweep: world setup (lazy vs eager, heap-bytes) and probe throughput at 1x/100x/1000x"
 go test -run '^$' -bench 'BenchmarkWorldSetup' -benchtime=1x ./internal/population/ >>"$TMP"
 go test -run '^$' -bench 'BenchmarkScanProbeThroughput|BenchmarkLocate' -benchtime=200000x -benchmem ./internal/population/ >>"$TMP"
+
+echo "==> fabric worker sweep vs monolithic (-benchtime=1x: one iteration is a full scan)"
+go test -run '^$' -bench 'BenchmarkFabricScan' -benchtime=1x -benchmem ./internal/fabric/ >>"$TMP"
 
 echo "==> mavlint analyzer wall-time (per rule + full suite)"
 go test -run '^$' -bench 'BenchmarkAnalyzer|BenchmarkSuite' -benchmem ./internal/lint/ >>"$TMP"
